@@ -1,0 +1,34 @@
+# Convenience targets for the k-set consensus reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures experiments examples all clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) examples/figure_gallery.py --n 64 --outdir figures
+
+experiments:
+	$(PYTHON) -m repro.analysis.report > EXPERIMENTS.md
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/byzantine_config_rollout.py
+	$(PYTHON) examples/shared_memory_shortlist.py
+	$(PYTHON) examples/asyncio_backend.py
+	$(PYTHON) examples/verification_lab.py
+	$(PYTHON) examples/open_gap_expedition.py
+
+all: install test bench
+
+clean:
+	rm -rf benchmarks/out figures .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,94 @@
+"""Ablation: the l parameter of PROTOCOL C(l) and the Z(n, t) landscape.
+
+DESIGN.md calls out two tunables worth ablating:
+
+* **l in PROTOCOL C(l)** -- larger l strengthens the echo filter
+  (t < ln/(2l+1) grows toward n/2) but weakens the agreement bound
+  (t < (k-1)n/(2k+l-1) shrinks).  The bench regenerates, for n = 64 and
+  a range of k, the best achievable t per l and checks the interior
+  optimum the paper's Lemma 3.15 trade-off implies.
+* **Z(n, t) of PROTOCOL D** -- the agreement bound's growth as t crosses
+  n/3 and n/2.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.lemmas import v_function, z_function
+from repro.protocols.protocol_c import best_ell, lemma_3_15_region
+
+N = 64
+
+
+def max_solvable_t(n: int, k: int, ell: int) -> int:
+    """Largest t solvable by PROTOCOL C(l) at fixed l (0 if none)."""
+    best = 0
+    for t in range(1, n):
+        if lemma_3_15_region(n, k, t, ell):
+            best = t
+    return best
+
+
+def test_ablation_ell_tradeoff(benchmark):
+    def sweep():
+        return {
+            k: [max_solvable_t(N, k, ell) for ell in range(1, 13)]
+            for k in (2, 4, 8, 16, 32)
+        }
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nPROTOCOL C(l): max solvable t by l (n = 64)")
+    print("k \\ l: " + " ".join(f"{ell:3d}" for ell in range(1, 13)))
+    for k, row in table.items():
+        print(f"k={k:3d}: " + " ".join(f"{t:3d}" for t in row))
+
+    for k, row in table.items():
+        peak = max(row)
+        # the optimum l is interior for large k (l ~ sqrt(k)), so the
+        # curve must rise then fall rather than be monotone
+        if k >= 8:
+            assert row.index(peak) > 0, (k, row)
+            assert row[-1] < peak, (k, row)
+        # and best_ell must achieve the peak
+        best = best_ell(N, k, peak)
+        assert best is not None
+        assert max_solvable_t(N, k, best) == peak
+
+
+def test_ablation_ell_never_beats_analytic_bound(benchmark):
+    def check():
+        violations = []
+        for k in range(2, N):
+            for ell in range(1, 10):
+                t = max_solvable_t(N, k, ell)
+                if t and not (
+                    Fraction(t) < Fraction((k - 1) * N, 2 * k + ell - 1)
+                    and Fraction(t) < Fraction(ell * N, 2 * ell + 1)
+                ):
+                    violations.append((k, ell, t))
+        return violations
+
+    violations = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert not violations
+
+
+def test_ablation_z_landscape(benchmark):
+    def landscape():
+        return [z_function(N, t) for t in range(1, N + 1)]
+
+    zs = benchmark(landscape)
+    print("\nZ(64, t) for t = 1..64:")
+    print(" ".join(str(z) for z in zs))
+
+    # below n/3: exactly t + 1
+    for t in range(1, N // 3):
+        assert zs[t - 1] == t + 1
+    # monotone non-decreasing overall
+    assert all(b >= a for a, b in zip(zs, zs[1:]))
+    # once t >= n - 1 the bound saturates near n
+    assert zs[-1] <= N
+    # the V function's two branches agree at the boundary region
+    for t in (20, 30, 40):
+        for f in range(t + 1):
+            assert v_function(N, t, f) >= 1

@@ -1,0 +1,50 @@
+"""Message / register-operation complexity across n, per protocol.
+
+Regenerates the cost table of ``repro.analysis.complexity`` and checks
+the asymptotic orders: the one-broadcast protocols (flood-min, A, B) are
+Theta(n^2) messages, the echo-based protocols (C(l), D) pick up an extra
+factor of n from the per-sender echo broadcasts, and the shared-memory
+protocols stay at Theta(n) register operations per process.
+"""
+
+from figure_common import OUT_DIR
+from repro.analysis.complexity import growth_exponent, standard_suite
+
+NS = (6, 9, 12, 16, 20)
+
+
+def test_complexity_suite(benchmark):
+    suite = benchmark.pedantic(standard_suite, args=(NS,), rounds=1, iterations=1)
+
+    OUT_DIR.mkdir(exist_ok=True)
+    lines = []
+    for key in sorted(suite):
+        series = suite[key]
+        lines.append(series.table())
+        print("\n" + series.table())
+    (OUT_DIR / "complexity.txt").write_text("\n\n".join(lines) + "\n")
+
+    exponents = {key: growth_exponent(series) for key, series in suite.items()}
+
+    # one-broadcast message-passing protocols: Theta(n^2) exactly
+    for key in ("chaudhuri", "protocol-a", "protocol-b"):
+        assert 1.9 <= exponents[key] <= 2.1, (key, exponents[key])
+        series = suite[key]
+        for point in series.points:
+            assert point.cost == point.n * point.n
+
+    # echo-based protocols: strictly superquadratic, at most cubic-ish
+    for key in ("protocol-c", "protocol-d"):
+        assert 2.3 <= exponents[key] <= 3.2, (key, exponents[key])
+
+    # shared-memory protocols: linear ops per process (quadratic total)
+    for key in ("protocol-e", "protocol-f"):
+        assert 1.7 <= exponents[key] <= 2.2, (key, exponents[key])
+        series = suite[key]
+        for point in series.points:
+            # E under contention-free round robin: n+1 ops per process
+            assert point.cost <= point.n * (point.n + 4)
+
+    # echo cost dominates flood cost at every measured n
+    for c_point, a_point in zip(suite["protocol-c"].points, suite["protocol-a"].points):
+        assert c_point.cost > a_point.cost

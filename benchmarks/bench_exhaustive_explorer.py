@@ -1,0 +1,56 @@
+"""Throughput of the exhaustive schedule explorer.
+
+The explorer's practical reach is bounded by state-expansion rate and
+dedup effectiveness; this bench pins both so regressions in the kernel
+fork path (``deepcopy`` cost) or the fingerprint function show up.
+"""
+
+from repro.core.validity import RV2
+from repro.harness.exhaustive import explore_mp, explore_sm
+from repro.protocols.protocol_a import ProtocolA
+from repro.protocols.protocol_e import protocol_e
+
+
+def test_mp_exploration_throughput(benchmark):
+    def explore():
+        return explore_mp(
+            lambda: [ProtocolA() for _ in range(3)],
+            ["v", "v", "w"], k=2, t=1, validity=RV2,
+        )
+
+    result = benchmark.pedantic(explore, rounds=1, iterations=1)
+    assert result.exhausted and result.all_ok
+    # dedup keeps the state count far below the raw interleaving count
+    assert result.states < 10_000
+    print(f"\n  MP n=3: {result.states} states, {result.runs} complete runs")
+
+
+def test_sm_exploration_throughput(benchmark):
+    def explore():
+        return explore_sm(
+            lambda: [protocol_e] * 2, ["a", "b"], k=2, t=2, validity=RV2,
+        )
+
+    result = benchmark.pedantic(explore, rounds=1, iterations=1)
+    assert result.exhausted and result.all_ok
+    print(f"\n  SM n=2: {result.states} prefixes, {result.runs} complete runs")
+
+
+def test_dedup_effectiveness(benchmark):
+    def compare():
+        with_dedup = explore_mp(
+            lambda: [ProtocolA() for _ in range(3)],
+            ["v", "v", "v"], k=2, t=1, validity=RV2, dedup=True,
+        )
+        without = explore_mp(
+            lambda: [ProtocolA() for _ in range(3)],
+            ["v", "v", "v"], k=2, t=1, validity=RV2,
+            dedup=False, max_states=100_000,
+        )
+        return with_dedup, without
+
+    with_dedup, without = benchmark.pedantic(compare, rounds=1, iterations=1)
+    ratio = without.states / with_dedup.states
+    print(f"\n  dedup shrinks the state space {ratio:.1f}x "
+          f"({without.states} -> {with_dedup.states})")
+    assert ratio > 2.0

@@ -1,0 +1,30 @@
+"""Fig. 1 -- the validity-condition lattice.
+
+Regenerates the "weaker than" relation of Fig. 1 and validates it
+empirically: the seven declared implications must hold on thousands of
+random outcomes, and every non-implication must be separated by a
+witness outcome.
+"""
+
+from repro.analysis.lattice import render_lattice, verify_lattice
+from repro.core.validity import ALL_VALIDITY_CONDITIONS, implication_pairs
+
+
+def test_fig1_lattice_verification(benchmark):
+    check = benchmark(verify_lattice, 2000, 0)
+    assert check.ok
+    assert not check.implication_violations
+    assert not check.missing_witnesses
+    print("\n" + render_lattice())
+
+
+def test_fig1_closure_shape(benchmark):
+    pairs = benchmark(implication_pairs)
+    # 7 direct edges close to 12 strict implications among 6 conditions
+    assert len(pairs) == 12
+    codes = {c.code for c in ALL_VALIDITY_CONDITIONS}
+    for stronger, weaker in pairs:
+        assert stronger in codes and weaker in codes
+    # SV1 implies everything; WV2 implies nothing (strictly)
+    assert sum(1 for s, _ in pairs if s == "SV1") == 5
+    assert not any(s == "WV2" for s, _ in pairs)

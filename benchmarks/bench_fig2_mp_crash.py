@@ -1,0 +1,88 @@
+"""Fig. 2 -- MP/CR: the six region panels at n = 64, plus validation.
+
+Paper shape being reproduced (n = 64):
+
+* SV1: impossible everywhere (Lemma 3.5);
+* SV2: solvable below t = (k-1)n/(2k) (PROTOCOL B), impossible from
+  t = kn/(2k+1), a gap band between (Lemmas 3.8, 3.6);
+* RV1/WV1: the classical t < k diagonal (Lemmas 3.1/3.2/3.4);
+* RV2/WV2: solvable below t = (k-1)n/k (PROTOCOL A), impossible above,
+  with isolated open points exactly where k divides n (Lemmas 3.7, 3.3).
+"""
+
+from fractions import Fraction
+
+from figure_common import (
+    assert_frontier_monotone,
+    frontier_series,
+    print_figure_summary,
+    run_empirical_validation,
+    write_figure_artifacts,
+)
+from repro.core.regions import region_map
+from repro.core.solvability import Solvability
+from repro.core.validity import RV1, RV2, SV1, SV2, WV1, WV2
+from repro.models import Model
+
+MODEL = Model.MP_CR
+N = 64
+
+
+def test_fig2_analytic_regions(benchmark):
+    path = benchmark.pedantic(
+        write_figure_artifacts, args=(MODEL, N), rounds=1, iterations=1
+    )
+    assert path.exists()
+    assert_frontier_monotone(MODEL, N)
+    print_figure_summary(MODEL, N)
+
+    # RV1 / WV1: the t < k diagonal.
+    for validity in (RV1, WV1):
+        series = frontier_series(MODEL, validity, N)
+        for k, entry in series.items():
+            assert entry["max_possible_t"] == k - 1
+            assert entry["min_impossible_t"] == k
+
+    # RV2 / WV2: frontier at t = (k-1)n/k, open exactly when k | n.
+    for validity in (RV2, WV2):
+        series = frontier_series(MODEL, validity, N)
+        for k, entry in series.items():
+            bound = Fraction((k - 1) * N, k)
+            if bound.denominator == 1:  # k divides (k-1)n  <=>  k | n here
+                assert entry["open_count"] == 1, (validity.code, k)
+                assert entry["max_possible_t"] == int(bound) - 1
+            else:
+                assert entry["open_count"] == 0, (validity.code, k)
+                assert entry["max_possible_t"] == int(bound)
+
+    # SV2: PROTOCOL B up to (k-1)n/2k; impossibility from kn/(2k+1);
+    # the open band between the two holds exactly the integers in the
+    # rational gap (it narrows to nothing as k -> n).
+    series = frontier_series(MODEL, SV2, N)
+    for k, entry in series.items():
+        lower = Fraction((k - 1) * N, 2 * k)
+        upper = Fraction(k * N, 2 * k + 1)
+        assert entry["max_possible_t"] < upper
+        assert entry["max_possible_t"] >= int(lower) - 1
+        assert entry["min_impossible_t"] > entry["max_possible_t"]
+        assert entry["open_count"] == (
+            entry["min_impossible_t"] - entry["max_possible_t"] - 1
+        )
+    # the band is non-trivial for small k (the paper's visible gap)
+    assert series[2]["open_count"] >= 5
+
+    # SV1: no solvable point at all.
+    region = region_map(MODEL, SV1, N)
+    assert region.count(Solvability.POSSIBLE) == 0
+
+
+def test_fig2_empirical_validation(benchmark):
+    validation = benchmark.pedantic(
+        run_empirical_validation, args=(MODEL,), rounds=1, iterations=1
+    )
+    print(f"\nFig. 2 possible-side sweeps ({len(validation.sweeps)} points):")
+    for stats in validation.sweeps:
+        print(f"  {stats.summary()}")
+    print("Fig. 2 impossible-side constructions:")
+    for result in validation.constructions:
+        print(f"  {result.summary()}")

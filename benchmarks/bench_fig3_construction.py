@@ -1,0 +1,33 @@
+"""Fig. 3 -- the partition run from the proof of Lemma 3.3, executed.
+
+The paper's Fig. 3 diagrams the run used to prove that SC(k, t, WV2) is
+unsolvable in MP/CR for t >= ((k-1)n + 1)/k: k groups, intra-group
+traffic only, forcing k + 1 decisions.  Here that run actually executes
+against PROTOCOL A and must produce exactly k + 1 distinct correct
+decisions.
+"""
+
+import pytest
+
+from repro.adversary.constructions import lemma_3_3_partition_run
+
+
+@pytest.mark.parametrize("n,k", [(9, 2), (16, 3), (25, 4)])
+def test_fig3_partition_run(benchmark, n, k):
+    result = benchmark.pedantic(
+        lemma_3_3_partition_run, args=(n, k), rounds=1, iterations=1
+    )
+    assert result.demonstrates_violation
+    assert "agreement" in result.violated
+    distinct = result.report.outcome.correct_decision_values()
+    assert len(distinct) == k + 1
+    print(f"\n{result.summary()}")
+
+
+def test_fig3_run_is_failure_free(benchmark):
+    """The Lemma 3.3 run needs no failures at all -- only asynchrony."""
+    result = benchmark.pedantic(
+        lemma_3_3_partition_run, rounds=1, iterations=1
+    )
+    assert result.report.outcome.failure_free
+    assert "agreement" in result.violated

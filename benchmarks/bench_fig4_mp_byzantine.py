@@ -1,0 +1,83 @@
+"""Fig. 4 -- MP/Byz: the six region panels at n = 64, plus validation.
+
+Paper shape being reproduced (n = 64):
+
+* SV1 and RV1: impossible everywhere (Lemmas 3.5 carried, 3.10);
+* SV2/RV2: PROTOCOL C(l)'s region below roughly n/2 shrinking with the
+  l trade-off; impossibility from kn/(2k+1) resp. kn/(2(k+1))
+  (Lemmas 3.15, 3.6 carried, 3.11);
+* WV1: PROTOCOL D's k >= Z(n, t) region against the t >= k
+  impossibility, with a substantial open gap (Lemmas 3.16, 3.4 carried);
+* WV2: PROTOCOL A's two-branch region (Lemmas 3.12/3.13) against
+  Lemma 3.9 / Lemma 3.3-carried impossibility.
+"""
+
+from figure_common import (
+    assert_frontier_monotone,
+    frontier_series,
+    print_figure_summary,
+    run_empirical_validation,
+    write_figure_artifacts,
+)
+from repro.core.lemmas import z_function
+from repro.core.regions import region_map
+from repro.core.solvability import Solvability
+from repro.core.validity import RV1, RV2, SV1, SV2, WV1, WV2
+from repro.models import Model
+
+MODEL = Model.MP_BYZ
+N = 64
+
+
+def test_fig4_analytic_regions(benchmark):
+    path = benchmark.pedantic(
+        write_figure_artifacts, args=(MODEL, N), rounds=1, iterations=1
+    )
+    assert path.exists()
+    assert_frontier_monotone(MODEL, N)
+    print_figure_summary(MODEL, N)
+
+    # SV1 and RV1: nothing solvable.
+    for validity in (SV1, RV1):
+        region = region_map(MODEL, validity, N)
+        assert region.count(Solvability.POSSIBLE) == 0
+
+    # WV1: solvable iff k >= Z(n, t) on the possibility side; the
+    # impossibility side is exactly t >= k; open in between.
+    series = frontier_series(MODEL, WV1, N)
+    for k in (22, 32, 63):
+        max_t = max(
+            (t for t in range(1, N + 1) if z_function(N, t) <= k),
+            default=0,
+        )
+        assert series[k]["max_possible_t"] == max_t
+        assert series[k]["min_impossible_t"] == k
+    # substantial gap: e.g. k = 40 has many open points
+    assert series[40]["open_count"] > 5
+
+    # WV2 crossover at t = n/2: above it the requirement is k >= t + 1.
+    region = region_map(MODEL, WV2, N)
+    assert region.status(33, 32) is Solvability.POSSIBLE   # k = t+1 at n/2
+    assert region.status(32, 32) is Solvability.IMPOSSIBLE  # k = t fails
+    assert region.status(40, 39) is Solvability.POSSIBLE
+
+    # RV2's impossibility is strictly stricter than SV2's possibility gap:
+    # Lemma 3.11's kn/(2(k+1)) lies below Lemma 3.6's kn/(2k+1).
+    rv2 = frontier_series(MODEL, RV2, N)
+    sv2 = frontier_series(MODEL, SV2, N)
+    for k in (2, 4, 8):
+        assert rv2[k]["min_impossible_t"] <= sv2[k]["min_impossible_t"]
+        # both retain PROTOCOL C's possibility frontier
+        assert rv2[k]["max_possible_t"] == sv2[k]["max_possible_t"]
+
+
+def test_fig4_empirical_validation(benchmark):
+    validation = benchmark.pedantic(
+        run_empirical_validation, args=(MODEL,), rounds=1, iterations=1
+    )
+    print(f"\nFig. 4 possible-side sweeps ({len(validation.sweeps)} points):")
+    for stats in validation.sweeps:
+        print(f"  {stats.summary()}")
+    print("Fig. 4 impossible-side constructions:")
+    for result in validation.constructions:
+        print(f"  {result.summary()}")

@@ -1,0 +1,81 @@
+"""Fig. 5 -- SM/CR: the six region panels at n = 64, plus validation.
+
+Paper shape being reproduced (n = 64):
+
+* RV2 and WV2: solvable *everywhere* -- PROTOCOL E is wait-free
+  (Lemma 4.5); this is the starkest divergence from message passing,
+  where the same conditions die at t = (k-1)n/k;
+* SV2: PROTOCOL F extends solvability to all k > t + 1, far beyond the
+  simulated PROTOCOL B region; impossible for t >= n/2, t >= k
+  (Lemmas 4.7, 4.6, 4.3);
+* RV1/WV1: the t < k diagonal again (Lemmas 4.4, 3.2, 4.1);
+* SV1: impossible everywhere (Lemma 4.2).
+"""
+
+from figure_common import (
+    assert_frontier_monotone,
+    frontier_series,
+    print_figure_summary,
+    run_empirical_validation,
+    write_figure_artifacts,
+)
+from repro.core.regions import region_map
+from repro.core.solvability import Solvability
+from repro.core.validity import RV1, RV2, SV1, SV2, WV1, WV2
+from repro.models import Model
+
+MODEL = Model.SM_CR
+N = 64
+
+
+def test_fig5_analytic_regions(benchmark):
+    path = benchmark.pedantic(
+        write_figure_artifacts, args=(MODEL, N), rounds=1, iterations=1
+    )
+    assert path.exists()
+    assert_frontier_monotone(MODEL, N)
+    print_figure_summary(MODEL, N)
+
+    # RV2 / WV2: the whole grid is solvable.
+    for validity in (RV2, WV2):
+        region = region_map(MODEL, validity, N)
+        assert region.count(Solvability.POSSIBLE) == len(region.grid)
+
+    # SV2: k > t + 1 everywhere; for k <= t + 1 only PROTOCOL B's band.
+    region = region_map(MODEL, SV2, N)
+    for t in (10, 31, 50, 64):
+        if t + 2 <= N - 1:
+            assert region.status(t + 2, t) is Solvability.POSSIBLE
+    assert region.status(30, 32) is Solvability.IMPOSSIBLE  # t>=n/2, t>=k
+    assert region.status(2, 15) is Solvability.POSSIBLE     # PROTOCOL B band
+    assert region.status(2, 20) is Solvability.OPEN         # the gap
+
+    # RV1 / WV1 diagonal.
+    for validity in (RV1, WV1):
+        series = frontier_series(MODEL, validity, N)
+        for k, entry in series.items():
+            assert entry["max_possible_t"] == k - 1
+            assert entry["min_impossible_t"] == k
+
+    # SV1 barren.
+    region = region_map(MODEL, SV1, N)
+    assert region.count(Solvability.POSSIBLE) == 0
+
+    # The model-separation headline: a point impossible in MP/CR but
+    # solvable here (shared memory strictly helps for RV2).
+    mp = region_map(Model.MP_CR, RV2, N, k_values=[2], t_values=[40])
+    sm = region_map(MODEL, RV2, N, k_values=[2], t_values=[40])
+    assert mp.status(2, 40) is Solvability.IMPOSSIBLE
+    assert sm.status(2, 40) is Solvability.POSSIBLE
+
+
+def test_fig5_empirical_validation(benchmark):
+    validation = benchmark.pedantic(
+        run_empirical_validation, args=(MODEL,), rounds=1, iterations=1
+    )
+    print(f"\nFig. 5 possible-side sweeps ({len(validation.sweeps)} points):")
+    for stats in validation.sweeps:
+        print(f"  {stats.summary()}")
+    print("Fig. 5 impossible-side constructions:")
+    for result in validation.constructions:
+        print(f"  {result.summary()}")

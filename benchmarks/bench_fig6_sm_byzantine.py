@@ -1,0 +1,77 @@
+"""Fig. 6 -- SM/Byz: the six region panels at n = 64, plus validation.
+
+Paper shape being reproduced (n = 64):
+
+* WV2: solvable everywhere -- PROTOCOL E survives Byzantine writers
+  (Lemma 4.10);
+* SV2/RV2: PROTOCOL F's k > t + 1 region plus the simulated
+  PROTOCOL C(l) band; impossible for t >= n/2, t >= k (Lemmas 4.12,
+  4.11, 4.3 carried / 4.9);
+* WV1: SIMULATION of PROTOCOL D, k >= Z(n, t) (Lemma 4.13) against the
+  k <= t impossibility (Lemma 4.1), substantial gap;
+* RV1 and SV1: impossible everywhere (Lemmas 4.8, 4.2).
+"""
+
+from figure_common import (
+    assert_frontier_monotone,
+    frontier_series,
+    print_figure_summary,
+    run_empirical_validation,
+    write_figure_artifacts,
+)
+from repro.core.lemmas import z_function
+from repro.core.regions import region_map
+from repro.core.solvability import Solvability
+from repro.core.validity import RV1, RV2, SV1, SV2, WV1, WV2
+from repro.models import Model
+
+MODEL = Model.SM_BYZ
+N = 64
+
+
+def test_fig6_analytic_regions(benchmark):
+    path = benchmark.pedantic(
+        write_figure_artifacts, args=(MODEL, N), rounds=1, iterations=1
+    )
+    assert path.exists()
+    assert_frontier_monotone(MODEL, N)
+    print_figure_summary(MODEL, N)
+
+    # WV2 solvable everywhere, even t = n with Byzantine writers.
+    region = region_map(MODEL, WV2, N)
+    assert region.count(Solvability.POSSIBLE) == len(region.grid)
+
+    # RV1 / SV1 barren.
+    for validity in (RV1, SV1):
+        region = region_map(MODEL, validity, N)
+        assert region.count(Solvability.POSSIBLE) == 0
+
+    # SV2 / RV2: k > t + 1 via PROTOCOL F; impossibility at t >= n/2, t >= k.
+    for validity in (SV2, RV2):
+        region = region_map(MODEL, validity, N)
+        assert region.status(34, 32) is Solvability.POSSIBLE
+        assert region.status(30, 32) is Solvability.IMPOSSIBLE
+        # small gap on the k <= t + 1 side below n/2
+        assert region.status(2, 20) is Solvability.OPEN
+
+    # WV1: Z(n, t) frontier, same as the message-passing Byzantine model
+    # (SIMULATION carries PROTOCOL D across).
+    series = frontier_series(MODEL, WV1, N)
+    mp_series = frontier_series(Model.MP_BYZ, WV1, N)
+    for k in (22, 40, 63):
+        assert series[k] == mp_series[k]
+    for t in (5, 15, 21):
+        region = region_map(MODEL, WV1, N, k_values=[z_function(N, t)], t_values=[t])
+        assert region.status(z_function(N, t), t) is Solvability.POSSIBLE
+
+
+def test_fig6_empirical_validation(benchmark):
+    validation = benchmark.pedantic(
+        run_empirical_validation, args=(MODEL,), rounds=1, iterations=1
+    )
+    print(f"\nFig. 6 possible-side sweeps ({len(validation.sweeps)} points):")
+    for stats in validation.sweeps:
+        print(f"  {stats.summary()}")
+    print("Fig. 6 impossible-side constructions:")
+    for result in validation.constructions:
+        print(f"  {result.summary()}")

@@ -1,0 +1,86 @@
+"""Probing the paper's OPEN gaps with adversarial search.
+
+Several panels leave gaps between the possibility and impossibility
+frontiers (the paper's Section 5 lists them as open problems).  A
+randomized adversarial search at points inside those gaps cannot settle
+anything, but it produces *evidence*: how many distinct decisions each
+concrete protocol can be driven to there, and whether the protocol's own
+guarantee survives just past its proven frontier.
+
+Assertions are deliberately one-sided: the points probed must really be
+OPEN per the classifier, the searches must complete, and protocols run
+*inside* their regions during the same probe must stay clean.
+"""
+
+from figure_common import OUT_DIR
+from repro.core.solvability import Solvability, classify
+from repro.core.validity import by_code
+from repro.harness.attack import search_worst_run
+from repro.models import Model
+from repro.protocols.base import get_spec
+
+#: (spec name, model, validity, n, k, t) -- each (k, t) lies in an OPEN
+#: region of the corresponding panel at that n.
+GAP_POINTS = [
+    # MP/CR SV2 gap between (k-1)n/2k and kn/(2k+1): n=16, k=2 -> open t in {4..5}
+    ("protocol-b@mp-cr", Model.MP_CR, "SV2", 16, 2, 5),
+    # MP/Byz WV1 gap between t >= k and k >= Z(n,t): n=12, t=5: Z=9; k=7
+    ("protocol-d@mp-byz", Model.MP_BYZ, "WV1", 12, 7, 5),
+    # SM/CR SV2 gap (k <= t+1, below n/2): n=12, k=2, t=4
+    ("protocol-f@sm-cr", Model.SM_CR, "SV2", 12, 2, 4),
+]
+
+
+def test_gap_points_are_open(benchmark):
+    def check():
+        statuses = []
+        for (_, model, validity, n, k, t) in GAP_POINTS:
+            statuses.append(classify(model, by_code(validity), n, k, t).status)
+        return statuses
+
+    statuses = benchmark(check)
+    assert all(s is Solvability.OPEN for s in statuses), statuses
+
+
+def test_gap_probe_search(benchmark):
+    def probe():
+        results = []
+        for (spec_name, _, _, n, k, t) in GAP_POINTS:
+            spec = get_spec(spec_name)
+            results.append(
+                search_worst_run(spec, n, k, t, attempts=60, seed=11)
+            )
+        return results
+
+    results = benchmark.pedantic(probe, rounds=1, iterations=1)
+    OUT_DIR.mkdir(exist_ok=True)
+    lines = ["Adversarial probes at OPEN points (evidence, not proof):"]
+    for result in results:
+        lines.append("  " + result.summary())
+        print("\n" + result.summary())
+    (OUT_DIR / "gap_probes.txt").write_text("\n".join(lines) + "\n")
+    # the searches completed over the full budget
+    assert all(r.attempts == 60 for r in results)
+
+
+def test_protocols_clean_just_inside_frontier(benchmark):
+    """One step inside each proven region, the search must find nothing."""
+    inside = [
+        ("protocol-b@mp-cr", 16, 2, 3),    # region t < 4
+        ("protocol-f@sm-cr", 12, 6, 4),    # region k > t+1
+        ("protocol-a@mp-cr", 16, 2, 7),    # region t < 8
+    ]
+
+    def probe():
+        results = []
+        for (spec_name, n, k, t) in inside:
+            spec = get_spec(spec_name)
+            assert spec.solvable(n, k, t), (spec_name, n, k, t)
+            results.append(
+                search_worst_run(spec, n, k, t, attempts=50, seed=5)
+            )
+        return results
+
+    results = benchmark.pedantic(probe, rounds=1, iterations=1)
+    for result in results:
+        assert result.violations_found == 0, result.summary()

@@ -1,0 +1,138 @@
+"""Protocol performance microbenchmarks.
+
+The paper reports no wall-clock numbers (its substrate is the abstract
+asynchronous model), but a reproduction should characterize the cost of
+each protocol on the simulator: wall time per run and messages /
+register operations per decision, as n grows.  These benches also guard
+against complexity regressions (e.g. the echo protocols are Theta(n^2)
+messages per broadcast and must stay that way).
+"""
+
+import pytest
+
+from repro.core.lemmas import z_function
+from repro.core.validity import RV1, RV2, SV2, WV1, by_code
+from repro.harness.runner import run_mp, run_sm
+from repro.net.schedulers import FifoScheduler
+from repro.protocols.chaudhuri import ChaudhuriKSet
+from repro.protocols.protocol_a import ProtocolA
+from repro.protocols.protocol_b import ProtocolB
+from repro.protocols.protocol_c import ProtocolC, best_ell
+from repro.protocols.protocol_d import ProtocolD
+from repro.protocols.protocol_e import protocol_e
+from repro.protocols.protocol_f import protocol_f
+from repro.shm.schedulers import RoundRobinScheduler
+
+N = 16
+T = 3
+
+
+def _mp_run(factory, k, t, validity):
+    def runner():
+        return run_mp(
+            [factory() for _ in range(N)],
+            [f"v{i}" for i in range(N)],
+            k, t, validity,
+            scheduler=FifoScheduler(),
+        )
+
+    return runner
+
+
+class TestMessagePassingProtocols:
+    def test_chaudhuri_flood_min(self, benchmark):
+        report = benchmark(_mp_run(ChaudhuriKSet, T + 1, T, RV1))
+        assert report.ok
+        # one broadcast per process: exactly n^2 point-to-point sends
+        assert report.result.message_count == N * N
+
+    def test_protocol_a(self, benchmark):
+        report = benchmark(_mp_run(ProtocolA, 2, T, RV2))
+        assert report.ok
+        assert report.result.message_count == N * N
+
+    def test_protocol_b(self, benchmark):
+        report = benchmark(_mp_run(ProtocolB, 4, T, SV2))
+        assert report.ok
+        assert report.result.message_count == N * N
+
+    def test_protocol_c_echo_cost(self, benchmark):
+        k = 6
+        ell = best_ell(N, k, T)
+        assert ell is not None
+        report = benchmark(
+            _mp_run(lambda: ProtocolC(ell), k, T, SV2)
+        )
+        assert report.ok
+        # init broadcast (n^2) + one echo broadcast per (process, sender)
+        # pair: Theta(n^3) total sends; check the order of growth bound.
+        assert N * N < report.result.message_count <= N * N * (N + 1)
+
+    def test_protocol_d(self, benchmark):
+        k = z_function(N, T)
+        report = benchmark(_mp_run(ProtocolD, k, T, WV1))
+        assert report.ok
+        # t+1 value broadcasts + at most (t+1) echo broadcasts per process
+        assert report.result.message_count <= (T + 1) * N + N * (T + 1) * N
+
+
+class TestSharedMemoryProtocols:
+    def test_protocol_e(self, benchmark):
+        def runner():
+            return run_sm(
+                [protocol_e] * N,
+                [f"v{i}" for i in range(N)],
+                2, N, RV2,
+                scheduler=RoundRobinScheduler(),
+            )
+
+        report = benchmark(runner)
+        assert report.ok
+        # wait-free: exactly one write + n reads + 1 decide per process
+        assert report.result.ticks <= N * (N + 2)
+
+    def test_protocol_f(self, benchmark):
+        def runner():
+            return run_sm(
+                [protocol_f] * N,
+                [f"v{i}" for i in range(N)],
+                T + 2, T, SV2,
+                scheduler=RoundRobinScheduler(),
+            )
+
+        report = benchmark(runner)
+        assert report.ok
+
+
+class TestSimulationOverhead:
+    """SIMULATION's register-polling cost vs. the native message kernel."""
+
+    def test_simulated_chaudhuri(self, benchmark):
+        from repro.protocols.simulation import simulate_mp_over_sm
+
+        n, k, t = 8, 3, 2
+
+        def runner():
+            return run_sm(
+                [simulate_mp_over_sm(ChaudhuriKSet)] * n,
+                [f"v{i}" for i in range(n)],
+                k, t, RV1,
+                scheduler=RoundRobinScheduler(),
+            )
+
+        report = benchmark(runner)
+        assert report.ok
+
+    def test_native_chaudhuri_same_size(self, benchmark):
+        n, k, t = 8, 3, 2
+
+        def runner():
+            return run_mp(
+                [ChaudhuriKSet() for _ in range(n)],
+                [f"v{i}" for i in range(n)],
+                k, t, RV1,
+                scheduler=FifoScheduler(),
+            )
+
+        report = benchmark(runner)
+        assert report.ok

@@ -1,0 +1,95 @@
+"""Shared helpers for the figure benchmarks.
+
+Each figure benchmark regenerates one of the paper's figures (2, 4, 5, 6):
+
+* the *analytic* side -- the six (k, t) region panels at the paper's
+  n = 64, written to ``benchmarks/out/`` as text maps and frontier CSVs;
+* the *possible* side -- Monte-Carlo sweeps of every registered protocol
+  for that model at sampled points inside its solvable region (smaller n
+  for runtime), which must be violation-free;
+* the *impossible* side -- the executed proof constructions for that
+  model, which must each demonstrate a violation.
+
+``pytest benchmarks/ --benchmark-only`` runs everything; the analytic
+artifacts land in ``benchmarks/out/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Tuple
+
+from repro.analysis.figures import FIGURE_BY_MODEL, panel_csv, render_figure
+from repro.analysis.report import constructions_for_model, validate_figure
+from repro.core.regions import frontier, region_map
+from repro.core.solvability import Solvability
+from repro.core.validity import ALL_VALIDITY_CONDITIONS
+from repro.models import Model
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Empirical sweep parameters (kept small so the full bench suite stays
+#: in the tens of seconds).
+EMPIRICAL_N = 9
+POINTS_PER_SPEC = 2
+RUNS_PER_POINT = 12
+
+
+def write_figure_artifacts(model: Model, n: int = 64) -> pathlib.Path:
+    """Render the full figure and per-panel CSVs into ``benchmarks/out``."""
+    OUT_DIR.mkdir(exist_ok=True)
+    number = FIGURE_BY_MODEL[model]
+    slug = model.shorthand.replace("/", "-").lower()
+    figure_path = OUT_DIR / f"fig{number}_{slug}.txt"
+    figure_path.write_text(render_figure(model, n=n))
+    for validity in ALL_VALIDITY_CONDITIONS:
+        region = region_map(model, validity, n)
+        csv_path = OUT_DIR / f"fig{number}_{slug}_{validity.code.lower()}.csv"
+        csv_path.write_text(panel_csv(region))
+    return figure_path
+
+
+def frontier_series(model: Model, validity, n: int = 64):
+    return frontier(region_map(model, validity, n))
+
+
+def assert_frontier_monotone(model: Model, n: int = 64) -> None:
+    """Weakening the problem (larger k) never shrinks the solvable range."""
+    for validity in ALL_VALIDITY_CONDITIONS:
+        series = frontier_series(model, validity, n)
+        last = None
+        for k in sorted(series):
+            current = series[k]["max_possible_t"] or 0
+            if last is not None:
+                assert current >= last, (model, validity.code, k)
+            last = current
+
+
+def run_empirical_validation(model: Model, seed: int = 0):
+    """Both empirical sides of a figure; asserts the expected outcome."""
+    validation = validate_figure(
+        model,
+        n_empirical=EMPIRICAL_N,
+        points_per_spec=POINTS_PER_SPEC,
+        runs_per_point=RUNS_PER_POINT,
+        seed=seed,
+    )
+    assert validation.possible_side_clean, [
+        s.summary() for s in validation.sweeps if not s.clean
+    ]
+    assert validation.impossible_side_demonstrated, [
+        c.summary() for c in validation.constructions
+    ]
+    return validation
+
+
+def print_figure_summary(model: Model, n: int = 64) -> None:
+    number = FIGURE_BY_MODEL[model]
+    print(f"\nFig. {number} ({model}, n={n}) region sizes:")
+    for validity in ALL_VALIDITY_CONDITIONS:
+        region = region_map(model, validity, n)
+        print(
+            f"  {validity.code}: possible={region.count(Solvability.POSSIBLE):5d}"
+            f" impossible={region.count(Solvability.IMPOSSIBLE):5d}"
+            f" open={region.count(Solvability.OPEN):4d}"
+        )

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Scenario: picking rollout configurations in a Byzantine fleet.
+
+A fleet of 9 replica servers must converge on a *small set* of
+configuration versions to roll out.  Running several versions at once is
+acceptable (canarying), running many is not -- classic k-set consensus.
+Up to t = 2 replicas may be compromised (Byzantine).
+
+Two sub-scenarios:
+
+* **Safety-critical flag** (SV2): if all honest replicas already agree on
+  a version, that version must win, even against compromised replicas --
+  PROTOCOL C(l), the l-echo hardened quorum protocol.
+* **Bootstrap shortlist** (WV1): any small shortlist will do as long as
+  honest-only fleets never invent versions -- PROTOCOL D, cheaper and
+  tolerant of larger k.
+
+Run:  python examples/byzantine_config_rollout.py
+"""
+
+from repro import Model, classify, by_code
+from repro.core.lemmas import z_function
+from repro.failures.byzantine import GarbageProcess, MultiFaceProcess
+from repro.harness.runner import run_mp
+from repro.net.schedulers import RandomScheduler
+from repro.protocols.protocol_c import ProtocolC, best_ell
+from repro.protocols.protocol_d import ProtocolD
+
+FLEET = 9
+COMPROMISED = 2  # t
+
+
+def scenario_unanimous_fleet() -> None:
+    """All honest replicas want v2.3.1; two compromised replicas push a
+    poisoned build, equivocating to different halves of the fleet."""
+    print("== Scenario 1: safety-critical flag (SV2, PROTOCOL C) ==")
+    k = 4
+    ell = best_ell(FLEET, k, COMPROMISED)
+    verdict = classify(Model.MP_BYZ, by_code("SV2"), FLEET, k, COMPROMISED)
+    print(f"  SC(k={k}, t={COMPROMISED}, SV2) in MP/Byz: {verdict}; l = {ell}")
+
+    def poisoned():
+        return MultiFaceProcess(
+            lambda: ProtocolC(ell),
+            {"east": "v9.9.9-poisoned", "west": "v0.0.0-rollback"},
+            lambda peer: "east" if peer < FLEET // 2 else "west",
+        )
+
+    inputs = ["v2.3.1"] * FLEET
+    inputs[3] = "nominally-v2.3.1"  # what the attacker claims to hold
+    inputs[7] = "nominally-v2.3.1"
+    processes = [
+        poisoned() if pid in (3, 7) else ProtocolC(ell)
+        for pid in range(FLEET)
+    ]
+    report = run_mp(
+        processes, inputs, k=k, t=COMPROMISED, validity=by_code("SV2"),
+        byzantine=[3, 7], scheduler=RandomScheduler(seed=2026),
+    )
+    honest = report.outcome.correct_decisions()
+    print(f"  honest replicas decided: {sorted(set(map(str, honest.values())))}")
+    assert report.ok
+    assert all(v == "v2.3.1" for v in honest.values()), honest
+    print("  -> the unanimous honest version won despite equivocation\n")
+
+
+def scenario_bootstrap_shortlist() -> None:
+    """Fresh fleet, every replica proposes its own candidate build; a
+    shortlist of Z(n, t) versions is acceptable."""
+    print("== Scenario 2: bootstrap shortlist (WV1, PROTOCOL D) ==")
+    k = z_function(FLEET, COMPROMISED)
+    verdict = classify(Model.MP_BYZ, by_code("WV1"), FLEET, k, COMPROMISED)
+    print(f"  Z(n={FLEET}, t={COMPROMISED}) = {k}; classifier: {verdict}")
+
+    inputs = [f"build-{pid:02d}" for pid in range(FLEET)]
+    processes = [
+        GarbageProcess(seed=5) if pid == 8 else ProtocolD()
+        for pid in range(FLEET)
+    ]
+    report = run_mp(
+        processes, inputs, k=k, t=COMPROMISED, validity=by_code("WV1"),
+        byzantine=[8], scheduler=RandomScheduler(seed=7),
+    )
+    shortlist = report.outcome.correct_decision_values()
+    print(f"  shortlist ({len(shortlist)} <= k={k}): {sorted(map(str, shortlist))}")
+    assert report.ok
+    print("  -> a bounded shortlist emerged despite a babbling replica\n")
+
+
+def main() -> None:
+    scenario_unanimous_fleet()
+    scenario_bootstrap_shortlist()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Figure gallery: regenerate every paper figure into ``figures/``.
+
+Writes, for each of the paper's models, the six-panel region figure as
+both text (terminal-style, like the benches produce) and SVG (brick /
+honeycomb hatching like the paper's own panels), plus the Fig. 1 lattice
+and the Section 2.1 summary table.
+
+Run:  python examples/figure_gallery.py [--n 64] [--outdir figures]
+"""
+
+import argparse
+import pathlib
+
+from repro.analysis.figures import FIGURE_BY_MODEL, render_figure
+from repro.analysis.lattice import render_lattice
+from repro.analysis.summary import render_summary
+from repro.analysis.svg import figure_svg
+from repro.models import ALL_MODELS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=64)
+    parser.add_argument("--outdir", default="figures")
+    args = parser.parse_args()
+
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(exist_ok=True)
+
+    (outdir / "fig1_lattice.txt").write_text(render_lattice() + "\n")
+    print(f"wrote {outdir}/fig1_lattice.txt")
+
+    for model in ALL_MODELS:
+        number = FIGURE_BY_MODEL[model]
+        slug = model.shorthand.replace("/", "-").lower()
+
+        text_path = outdir / f"fig{number}_{slug}.txt"
+        text_path.write_text(render_figure(model, n=args.n))
+        print(f"wrote {text_path}")
+
+        svg_path = outdir / f"fig{number}_{slug}.svg"
+        svg_path.write_text(figure_svg(model, n=args.n))
+        print(f"wrote {svg_path}")
+
+    (outdir / "summary.txt").write_text(render_summary() + "\n")
+    print(f"wrote {outdir}/summary.txt")
+
+
+if __name__ == "__main__":
+    main()

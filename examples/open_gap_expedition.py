@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Expedition into an open gap of the paper.
+
+MP/CR with SV2 has a gap between PROTOCOL B's region (t < (k-1)n/2k)
+and Lemma 3.6's impossibility (t >= kn/(2k+1)).  Whether SC(k, t, SV2)
+is solvable there is open.  This example gathers *evidence* at one gap
+point with the library's three investigation tools:
+
+1. the classifier confirms the point is genuinely OPEN;
+2. adversarial search hammers PROTOCOL B there (it is outside B's
+   proven region -- does it happen to survive anyway?);
+3. exhaustive exploration of a scaled-down analogue checks every
+   schedule at tiny n.
+
+Nothing here settles the open problem; the point is to show how far
+executable evidence can go.
+
+Run:  python examples/open_gap_expedition.py
+"""
+
+from repro import Model, SV2, classify, Solvability
+from repro.harness.attack import search_worst_run
+from repro.harness.exhaustive import explore_mp
+from repro.protocols.base import get_spec
+from repro.protocols.protocol_b import ProtocolB
+
+N, K = 16, 2
+GAP_T = 5  # region boundary: t < 4; impossibility: t >= 6.4 -> 7
+
+
+def confirm_open() -> None:
+    print(f"== 1. The point: SC(k={K}, t={GAP_T}, SV2), MP/CR, n={N} ==")
+    verdict = classify(Model.MP_CR, SV2, N, K, GAP_T)
+    print(f"  classifier: {verdict} -- {verdict.note}")
+    assert verdict.status is Solvability.OPEN
+    below = classify(Model.MP_CR, SV2, N, K, 3)
+    above = classify(Model.MP_CR, SV2, N, K, 7)
+    print(f"  one step below the gap (t=3): {below}")
+    print(f"  one step above the gap (t=7): {above}\n")
+
+
+def hammer_protocol_b() -> None:
+    print("== 2. Adversarial search against PROTOCOL B at the gap point ==")
+    spec = get_spec("protocol-b@mp-cr")
+    print(f"  B's own region contains (k={K}, t={GAP_T})? "
+          f"{spec.solvable(N, K, GAP_T)}")
+    result = search_worst_run(spec, N, K, GAP_T, attempts=150, seed=42)
+    print(f"  {result.summary()}")
+    if result.violations_found:
+        print("  -> B specifically fails here; the gap question is about")
+        print("     whether ANY protocol can do better.\n")
+    else:
+        print("  -> B survived this search; evidence, not proof, that the")
+        print("     gap might close on the possible side for k=2.\n")
+
+
+def scaled_down_exhaustive() -> None:
+    print("== 3. Exhaustive check of a scaled-down analogue (n=4) ==")
+    # same geometry: k=2; B's region t < n/4 = 1, so t=1 is the gap edge
+    result = explore_mp(
+        lambda: [ProtocolB() for _ in range(4)],
+        ["v", "v", "w", "w"], k=2, t=1, validity=SV2,
+        max_states=60_000,
+    )
+    print(f"  runs={result.runs} states={result.states} "
+          f"exhausted={result.exhausted}")
+    print(f"  violations: {len(result.violations)}")
+    print(f"  max distinct decisions: {result.max_distinct_decisions}")
+    status = "no schedule breaks B here" if result.all_ok else \
+        "a schedule breaking B exists"
+    print(f"  -> {status} (t at the edge of B's region, n=4)")
+
+
+def main() -> None:
+    confirm_open()
+    hammer_protocol_b()
+    scaled_down_exhaustive()
+
+
+if __name__ == "__main__":
+    main()

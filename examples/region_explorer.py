@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Region explorer: render any of the paper's figure panels from the CLI.
+
+Examples:
+
+    python examples/region_explorer.py                       # Fig. 2, all panels, n=64
+    python examples/region_explorer.py --model SM/Byz --n 32
+    python examples/region_explorer.py --validity WV2 --point 5 20
+"""
+
+import argparse
+
+from repro import ALL_VALIDITY_CONDITIONS, Model, by_code, classify
+from repro.analysis.figures import FIGURE_BY_MODEL, panel_csv, render_panel
+from repro.core.regions import region_map
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--model", default="MP/CR",
+        help="model shorthand: MP/CR, MP/Byz, SM/CR, SM/Byz",
+    )
+    parser.add_argument(
+        "--validity", default=None,
+        help="one of SV1 SV2 RV1 RV2 WV1 WV2 (default: all six panels)",
+    )
+    parser.add_argument("--n", type=int, default=64, help="number of processes")
+    parser.add_argument(
+        "--csv", action="store_true",
+        help="emit the frontier series as CSV instead of the text panel",
+    )
+    parser.add_argument(
+        "--point", type=int, nargs=2, metavar=("K", "T"), default=None,
+        help="classify a single (k, t) point with lemma citations",
+    )
+    args = parser.parse_args()
+
+    model = Model.from_shorthand(args.model)
+    conditions = (
+        [by_code(args.validity)] if args.validity else list(ALL_VALIDITY_CONDITIONS)
+    )
+
+    if args.point:
+        k, t = args.point
+        for validity in conditions:
+            verdict = classify(model, validity, args.n, k, t)
+            print(
+                f"SC(k={k}, t={t}, {validity.code}) in {model} "
+                f"(n={args.n}): {verdict}"
+                + (f" -- {verdict.note}" if verdict.note else "")
+            )
+        return
+
+    print(f"Reproducing Fig. {FIGURE_BY_MODEL[model]} ({model}, n={args.n})\n")
+    for validity in conditions:
+        region = region_map(model, validity, args.n)
+        if args.csv:
+            print(f"# {model} / {validity.code}")
+            print(panel_csv(region))
+        else:
+            print(render_panel(region))
+            print()
+
+
+if __name__ == "__main__":
+    main()

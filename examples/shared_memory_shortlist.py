@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Scenario: wait-free candidate narrowing over shared memory.
+
+Worker threads of a scheduler share a memory segment (SWMR registers).
+Each worker proposes a node for a placement decision; the group must
+narrow to at most two candidates *without ever waiting for each other*
+-- any number of workers may be preempted forever (t = n).
+
+PROTOCOL E does exactly this (Lemma 4.5: SC(k, t, RV2) for k >= 2 and
+any t, wait-free).  When at most t workers can stall and k > t + 1 is
+acceptable, PROTOCOL F upgrades the guarantee to SV2: if all live
+workers agree, their choice wins.
+
+Run:  python examples/shared_memory_shortlist.py
+"""
+
+from repro import Model, RV2, SV2, classify
+from repro.core.values import DEFAULT
+from repro.failures.crash import CrashPlan, CrashPoint
+from repro.harness.runner import run_sm
+from repro.protocols.protocol_e import protocol_e
+from repro.protocols.protocol_f import protocol_f
+from repro.shm.schedulers import RandomProcessScheduler
+
+WORKERS = 6
+
+
+def scenario_wait_free_narrowing() -> None:
+    print("== Scenario 1: wait-free narrowing (PROTOCOL E, k=2, t=n) ==")
+    verdict = classify(Model.SM_CR, RV2, WORKERS, 2, WORKERS)
+    print(f"  SC(k=2, t={WORKERS}, RV2) in SM/CR: {verdict}")
+
+    proposals = ["node-a", "node-a", "node-b", "node-a", "node-b", "node-a"]
+    # five of six workers stall forever at various points
+    stalls = CrashPlan({
+        0: CrashPoint(after_steps=1),
+        1: CrashPoint(after_steps=3),
+        2: CrashPoint(after_steps=0),
+        3: CrashPoint(after_steps=5),
+        4: CrashPoint(after_steps=2),
+    })
+    report = run_sm(
+        [protocol_e] * WORKERS, proposals, k=2, t=WORKERS, validity=RV2,
+        crash_adversary=stalls,
+        scheduler=RandomProcessScheduler(seed=13),
+    )
+    survivors = report.outcome.correct_decisions()
+    pretty = {
+        pid: ("<fallback>" if value is DEFAULT else value)
+        for pid, value in survivors.items()
+    }
+    print(f"  surviving workers decided: {pretty}")
+    assert report.ok
+    print("  -> the lone survivor decided without waiting for anyone\n")
+
+
+def scenario_quorum_preference() -> None:
+    print("== Scenario 2: quorum preference (PROTOCOL F, k > t+1) ==")
+    k, t = 4, 2
+    verdict = classify(Model.SM_CR, SV2, WORKERS, k, t)
+    print(f"  SC(k={k}, t={t}, SV2) in SM/CR: {verdict}")
+
+    proposals = ["node-c"] * WORKERS  # live workers unanimous
+    report = run_sm(
+        [protocol_f] * WORKERS, proposals, k=k, t=t, validity=SV2,
+        crash_adversary=CrashPlan({5: CrashPoint(after_steps=0)}),
+        scheduler=RandomProcessScheduler(seed=99),
+    )
+    decisions = report.outcome.correct_decision_values()
+    print(f"  decisions: {sorted(map(str, decisions))}")
+    assert report.ok
+    assert decisions == {"node-c"}
+    print("  -> unanimity among live workers is preserved (SV2)\n")
+
+
+def main() -> None:
+    scenario_wait_free_narrowing()
+    scenario_quorum_preference()
+
+
+if __name__ == "__main__":
+    main()

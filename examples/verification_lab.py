@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Verification lab: exhaustive schedules, adversarial search, diagrams.
+
+Three ways to gain confidence in (or break) a protocol beyond sampled
+sweeps:
+
+1. **Exhaustive exploration** -- enumerate *every* delivery order of a
+   tiny instance; the paper's lemmas quantify over all runs, and for
+   small n so can we.
+2. **Adversarial search** -- hunt for the worst run at a given point,
+   inside the region (must find nothing) and past the frontier (finds
+   the predicted break).
+3. **Space-time diagrams** -- render the found counterexample the way
+   the paper draws its proof runs (Fig. 3).
+
+Run:  python examples/verification_lab.py
+"""
+
+from repro.analysis.spacetime import render_spacetime
+from repro.core.validity import RV2
+from repro.harness.attack import search_worst_run
+from repro.harness.exhaustive import crash_patterns, explore_mp
+from repro.protocols.base import get_spec
+from repro.protocols.protocol_a import ProtocolA
+
+
+def exhaustive_all_schedules() -> None:
+    print("== 1. Exhaustive exploration: PROTOCOL A, n=3, k=2, t=1 ==")
+    result = explore_mp(
+        lambda: [ProtocolA() for _ in range(3)],
+        ["v", "v", "w"], k=2, t=1, validity=RV2,
+    )
+    print(f"  complete runs explored : {result.runs}")
+    print(f"  kernel states expanded : {result.states}")
+    print(f"  exhaustive             : {result.exhausted}")
+    print(f"  violations             : {len(result.violations)}")
+    pretty_sets = sorted(
+        sorted(str(value) for value in decided)
+        for decided in result.decision_sets
+    )
+    print(f"  decision sets seen     : {pretty_sets}")
+    assert result.all_ok
+
+    print("\n  ... and across every single-crash pattern:")
+    total = 0
+    for plan in crash_patterns(3, 1, max_sends=3):
+        sub = explore_mp(
+            lambda: [ProtocolA() for _ in range(3)],
+            ["v", "v", "w"], k=2, t=1, validity=RV2,
+            crash_adversary=plan,
+        )
+        assert sub.all_ok
+        total += sub.runs
+    print(f"  {total} runs, all satisfying SC(2, 1, RV2)\n")
+
+
+def adversarial_search() -> None:
+    print("== 2. Adversarial search: PROTOCOL B ==")
+    spec = get_spec("protocol-b@mp-cr")
+    inside = search_worst_run(spec, 9, 4, 3, attempts=120, seed=0)
+    print(f"  inside region : {inside.summary()}")
+    assert inside.violations_found == 0
+
+    outside = search_worst_run(
+        spec, 9, 2, 4, attempts=400, seed=0, stop_on_violation=True
+    )
+    print(f"  past frontier : {outside.summary()}")
+    assert outside.violations_found > 0
+    return outside
+
+
+def show_counterexample(outside) -> None:
+    print("\n== 3. The counterexample, as a space-time diagram ==")
+    report = outside.best_report
+    print(render_spacetime(
+        report.result.trace, report.outcome.n, max_rows=40
+    ))
+    print(f"\n  decisions: {report.outcome.decisions}")
+
+
+def main() -> None:
+    exhaustive_all_schedules()
+    outside = adversarial_search()
+    show_counterexample(outside)
+
+
+if __name__ == "__main__":
+    main()

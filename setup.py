@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+the legacy ``pip install -e .`` path (setuptools develop mode), which
+does not require building a wheel.
+"""
+
+from setuptools import setup
+
+setup()

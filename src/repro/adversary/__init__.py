@@ -1,0 +1,33 @@
+"""Executable counterexample runs from the impossibility proofs."""
+
+from repro.adversary.constructions import (
+    ConstructionResult,
+    all_constructions,
+    lemma_3_3_partition_run,
+    lemma_3_4_wv1_overflow,
+    lemma_3_5_crash_after_decide,
+    lemma_3_6_subgroup_run,
+    lemma_3_9_two_faced_run,
+    lemma_3_10_value_lie,
+    lemma_3_11_rv2_lie,
+    lemma_4_3_staged_run,
+    lemma_4_8_sm_value_lie,
+    lemma_4_9_register_lie,
+    set_overflow_run,
+)
+
+__all__ = [
+    "ConstructionResult",
+    "all_constructions",
+    "lemma_3_3_partition_run",
+    "lemma_3_4_wv1_overflow",
+    "lemma_3_5_crash_after_decide",
+    "lemma_3_6_subgroup_run",
+    "lemma_3_9_two_faced_run",
+    "lemma_3_10_value_lie",
+    "lemma_3_11_rv2_lie",
+    "lemma_4_3_staged_run",
+    "lemma_4_8_sm_value_lie",
+    "lemma_4_9_register_lie",
+    "set_overflow_run",
+]

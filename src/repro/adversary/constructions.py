@@ -1,0 +1,557 @@
+"""Executable counterexample runs from the impossibility proofs.
+
+The paper's impossibility lemmas are proved by *constructing* runs --
+partitions whose cross traffic is delayed, Byzantine processes showing a
+different face to each group, crashes timed right after a decision --
+in which any hypothetical protocol must misbehave.  The proofs
+themselves are mathematics (they quantify over all protocols); what this
+module reproduces is their *runs*: each construction executes the
+corresponding adversarial schedule against one of this library's
+concrete protocols placed outside its solvable region and returns the
+resulting condition violation.
+
+Each function returns a :class:`ConstructionResult` whose ``violated``
+set is non-empty, demonstrating the failure mode the lemma predicts at
+that point of the ``(k, t)`` plane.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.problem import SCProblem
+from repro.core.validity import RV1, SV1, SV2, WV2, by_code
+from repro.core.values import DEFAULT
+from repro.failures.byzantine import MultiFaceProcess
+from repro.failures.crash import CrashPlan, CrashPoint
+from repro.harness.runner import ExperimentReport, run_mp, run_sm
+from repro.net.schedulers import GroupPartitionScheduler, PredicateScheduler
+from repro.protocols.chaudhuri import ChaudhuriKSet
+from repro.protocols.protocol_a import ProtocolA
+from repro.protocols.protocol_b import ProtocolB
+from repro.protocols.protocol_d import ProtocolD
+from repro.protocols.protocol_e import protocol_e
+from repro.protocols.protocol_f import protocol_f
+from repro.protocols.simulation import simulate_mp_over_sm
+from repro.runtime.events import Delivery
+from repro.shm.ops import Write
+from repro.shm.schedulers import StagedScheduler
+
+__all__ = [
+    "ConstructionResult",
+    "lemma_3_3_partition_run",
+    "lemma_3_5_crash_after_decide",
+    "lemma_3_6_subgroup_run",
+    "lemma_3_9_two_faced_run",
+    "lemma_3_10_value_lie",
+    "lemma_4_3_staged_run",
+    "set_overflow_run",
+]
+
+
+@dataclasses.dataclass
+class ConstructionResult:
+    """One executed counterexample."""
+
+    lemma_id: str
+    description: str
+    report: ExperimentReport
+    #: Conditions the run violated (non-empty when the construction worked).
+    violated: Tuple[str, ...]
+
+    @property
+    def demonstrates_violation(self) -> bool:
+        return bool(self.violated)
+
+    def summary(self) -> str:
+        return (
+            f"{self.lemma_id}: {self.description} -> "
+            f"violated {', '.join(self.violated) or 'nothing (!)'} "
+            f"({len(self.report.outcome.correct_decision_values())} distinct "
+            "correct decisions)"
+        )
+
+
+def _wrap(lemma_id: str, description: str, report: ExperimentReport) -> ConstructionResult:
+    return ConstructionResult(
+        lemma_id=lemma_id,
+        description=description,
+        report=report,
+        violated=tuple(report.violated()),
+    )
+
+
+def lemma_3_3_partition_run(n: int = 9, k: int = 2) -> ConstructionResult:
+    """The run of Lemma 3.3 / Fig. 3, against PROTOCOL A.
+
+    ``t = ((k-1)n + 1 + (k-1)) // k`` puts the point in the impossible
+    region for WV2.  Processes split into ``k`` groups: groups
+    ``g_1 .. g_{k-1}`` (size ``n - t``) are unanimous on distinct values
+    and decide intra-group; group ``g_k`` (size ``n - t + 1``) is
+    engineered to decide *two* values (one member sees only matching
+    values, another sees the odd one out), for ``k + 1`` in total.
+    """
+    t = ((k - 1) * n + 1 + (k - 1)) // k  # ceil(((k-1)n+1)/k)
+    size = n - t
+    if size < 1 or (k - 1) * size + size + 1 > n:
+        raise ValueError(f"choose n, k with n >= k(n-t)+1; got n={n}, k={k}, t={t}")
+    groups: List[List[int]] = []
+    cursor = 0
+    for _ in range(k - 1):
+        groups.append(list(range(cursor, cursor + size)))
+        cursor += size
+    last_group = list(range(cursor, n))  # size >= n - t + 1
+    groups.append(last_group)
+
+    inputs: List[object] = [None] * n
+    for i, group in enumerate(groups[:-1]):
+        for pid in group:
+            inputs[pid] = f"v{i + 1}"
+    # Last group: all but one member share value "x"; the odd one has "y".
+    # Two members are steered to different views: the pure reader sees
+    # n - t unanimous "x" values and decides x; the mixed reader is made
+    # to take the odd "y" among its first n - t values and falls back to
+    # the default -- two decisions inside g_k, k + 1 overall.
+    odd_one = last_group[-1]
+    pure_reader = last_group[0]
+    mixed_reader = last_group[1]
+    for pid in last_group:
+        inputs[pid] = "x"
+    inputs[odd_one] = "y"
+
+    base = GroupPartitionScheduler(groups)
+
+    def allow(kernel, delivery: Delivery) -> bool:
+        if delivery.receiver == pure_reader and delivery.sender == odd_one:
+            return kernel.has_decided(pure_reader)
+        if delivery.receiver == mixed_reader and delivery.sender == pure_reader:
+            return kernel.has_decided(mixed_reader)
+        return base._allowed(kernel, delivery)
+
+    report = run_mp(
+        processes=[ProtocolA() for _ in range(n)],
+        inputs=inputs,
+        k=k,
+        t=t,
+        validity=WV2,
+        scheduler=PredicateScheduler(allow, release_on_stall=True),
+    )
+    return _wrap(
+        "Lemma 3.3",
+        f"k-group partition run (Fig. 3) against PROTOCOL A at n={n}, "
+        f"k={k}, t={t}",
+        report,
+    )
+
+
+def set_overflow_run(n: int = 6, k: int = 2, t: Optional[int] = None) -> ConstructionResult:
+    """Flood-min (Chaudhuri) with ``t >= k``: ``t + 1`` distinct decisions.
+
+    The generic k-set impossibility (Lemma 3.2, [9], [20], [30]) says no
+    protocol works for ``t >= k``; this run shows the *concrete* failure
+    of the flood-min protocol there: delivery is arranged so that each
+    process ``p_i``, ``i <= t``, misses exactly the inputs smaller than
+    its own among ``p_0 .. p_t`` and therefore decides its own value.
+    """
+    t = k if t is None else t
+    if t < k or t + 1 > n:
+        raise ValueError("need k <= t < n")
+    inputs = [f"v{i}" for i in range(n)]  # lexicographic: v0 < v1 < ...
+    low = set(range(t + 1))
+
+    def allow(kernel, delivery: Delivery) -> bool:
+        receiver, sender = delivery.receiver, delivery.sender
+        if receiver in low and sender in low and sender != receiver:
+            # p_i (i <= t) must not hear other low processes before deciding.
+            return kernel.has_decided(receiver)
+        return True
+
+    report = run_mp(
+        processes=[ChaudhuriKSet() for _ in range(n)],
+        inputs=inputs,
+        k=k,
+        t=t,
+        validity=RV1,
+        scheduler=PredicateScheduler(allow, release_on_stall=True),
+    )
+    return _wrap(
+        "Lemma 3.2",
+        f"flood-min overload at n={n}, k={k}, t={t}: each of p_0..p_{t} "
+        "decides its own value",
+        report,
+    )
+
+
+def lemma_3_5_crash_after_decide(n: int = 4, k: int = 2) -> ConstructionResult:
+    """The Lemma 3.5 run: SV1 breaks when a decided-upon input's owner crashes.
+
+    All inputs distinct; with flood-min every process decides the
+    minimum input ``v_0``.  Re-running with ``p_0`` crashing right after
+    its broadcast is indistinguishable to the others, which still decide
+    ``v_0`` -- now the input of no *correct* process.
+    """
+    t = 1
+    inputs = [f"v{i}" for i in range(n)]
+    report = run_mp(
+        processes=[ChaudhuriKSet() for _ in range(n)],
+        inputs=inputs,
+        k=k,
+        t=t,
+        validity=SV1,
+        crash_adversary=CrashPlan({0: CrashPoint(after_steps=1)}),
+    )
+    return _wrap(
+        "Lemma 3.5",
+        f"p_0 crashes right after sending its last message (n={n}, k={k}, "
+        f"t={t}); survivors still decide p_0's input",
+        report,
+    )
+
+
+def lemma_3_6_subgroup_run(n: int = 9, k: int = 2) -> ConstructionResult:
+    """The Lemma 3.6 run against PROTOCOL B (``t >= kn/(2k+1)``, t < n/2).
+
+    ``g`` holds ``n - t`` correct processes split into subgroups of size
+    ``n - 2t`` with distinct values; the other ``t`` processes crash at
+    the start.  Intra-``g`` traffic flows, so every member receives
+    ``n - t`` values of which its subgroup's ``n - 2t`` match its own --
+    each subgroup decides its own value: ``floor((n-t)/(n-2t)) > k``
+    distinct decisions.
+    """
+    t = (k * n + 2 * k) // (2 * k + 1)  # ceil(kn/(2k+1))
+    if t >= n / 2 or n - 2 * t < 1:
+        raise ValueError(f"construction needs t < n/2; got n={n}, k={k}, t={t}")
+    sub = n - 2 * t
+    g = list(range(n - t))
+    inputs: List[object] = [None] * n
+    for idx, pid in enumerate(g):
+        inputs[pid] = f"v{idx // sub}"
+    for pid in range(n - t, n):
+        inputs[pid] = "crashed-anyway"
+    crash = CrashPlan({pid: CrashPoint(after_steps=0) for pid in range(n - t, n)})
+
+    report = run_mp(
+        processes=[ProtocolB() for _ in range(n)],
+        inputs=inputs,
+        k=k,
+        t=t,
+        validity=SV2,
+        crash_adversary=crash,
+    )
+    return _wrap(
+        "Lemma 3.6",
+        f"subgroup run against PROTOCOL B at n={n}, k={k}, t={t}: "
+        f"{(n - t) // sub} subgroups each decide their own value",
+        report,
+    )
+
+
+def lemma_3_9_two_faced_run(n: int = 9, k: int = 2) -> ConstructionResult:
+    """The Lemma 3.9 run against PROTOCOL A in MP/Byz.
+
+    ``k + 1`` groups of ``n - 2t`` correct processes hold distinct
+    values; a set ``F`` of ``t`` Byzantine processes runs ``k + 1``
+    faces, showing face ``i`` (input ``v_i``) to group ``g_i``.  With
+    cross-group traffic delayed, each ``g_i`` member collects ``n - t``
+    unanimous ``v_i`` messages and decides ``v_i``: ``k + 1`` values.
+    """
+    t = max((k * n + 2 * k) // (2 * k + 1), k)  # ceil(kn/(2k+1)), and >= k
+    size = n - 2 * t
+    if size < 1 or (k + 1) * size + t > n:
+        raise ValueError(
+            f"construction needs (k+1)(n-2t) + t <= n; got n={n}, k={k}, t={t}"
+        )
+    groups: List[List[int]] = []
+    cursor = 0
+    for _ in range(k + 1):
+        groups.append(list(range(cursor, cursor + size)))
+        cursor += size
+    # Give any leftover correct processes to the first group.
+    leftovers = list(range(cursor, n - t))
+    groups[0].extend(leftovers)
+    f_set = list(range(n - t, n))
+
+    inputs: List[object] = [None] * n
+    face_of: Dict[int, str] = {}
+    for i, group in enumerate(groups):
+        for pid in group:
+            inputs[pid] = f"v{i}"
+            face_of[pid] = f"face{i}"
+    for pid in f_set:
+        inputs[pid] = "byzantine"
+
+    def make_byzantine() -> MultiFaceProcess:
+        return MultiFaceProcess(
+            protocol_factory=ProtocolA,
+            face_inputs={f"face{i}": f"v{i}" for i in range(k + 1)},
+            face_of_peer=lambda peer: face_of.get(peer),
+        )
+
+    scheduler = GroupPartitionScheduler(
+        groups,
+        extra_links=[(s, r) for s in f_set for r in range(n)]
+        + [(r, s) for s in f_set for r in range(n)],
+        release_on_stall=True,
+    )
+    processes = [
+        make_byzantine() if pid in f_set else ProtocolA() for pid in range(n)
+    ]
+    report = run_mp(
+        processes=processes,
+        inputs=inputs,
+        k=k,
+        t=t,
+        validity=WV2,
+        scheduler=scheduler,
+        byzantine=f_set,
+    )
+    return _wrap(
+        "Lemma 3.9",
+        f"two-faced Byzantine run against PROTOCOL A at n={n}, k={k}, t={t}: "
+        f"{k + 1} groups each adopt their own value",
+        report,
+    )
+
+
+def lemma_3_10_value_lie(n: int = 4, k: int = 2) -> ConstructionResult:
+    """The Lemma 3.10 run: RV1 is unachievable under Byzantine failures.
+
+    A Byzantine process runs flood-min honestly except that it claims an
+    input ``"a-lie"`` smaller than every genuine input; every correct
+    process decides that fabricated value, which is no process's input.
+    """
+    t = 1
+    inputs = [f"v{i}" for i in range(n)]
+
+    liar = MultiFaceProcess(
+        protocol_factory=ChaudhuriKSet,
+        face_inputs={"only": "a-lie"},  # sorts before every "v..." input
+        face_of_peer=lambda peer: "only",
+    )
+    processes = [liar] + [ChaudhuriKSet() for _ in range(n - 1)]
+    report = run_mp(
+        processes=processes,
+        inputs=inputs,
+        k=k,
+        t=t,
+        validity=RV1,
+        byzantine=[0],
+    )
+    return _wrap(
+        "Lemma 3.10",
+        f"input-lie run against flood-min at n={n}, k={k}, t={t}: everyone "
+        "decides a fabricated value",
+        report,
+    )
+
+
+def lemma_4_3_staged_run(n: int = 4, k: int = 2) -> ConstructionResult:
+    """The Lemma 4.3 run against PROTOCOL F in SM/CR (t >= n/2, t >= k).
+
+    Processes take steps one after another: each of ``p_0 .. p_t`` finds
+    at most ``t`` registers written when it finishes its scan, so each
+    decides its *own* value -- ``t + 1 > k`` distinct decisions, without
+    a single failure actually occurring.
+    """
+    t = n // 2
+    if t < k:
+        raise ValueError(f"need t >= k; got n={n} (t={t}), k={k}")
+    inputs = [f"v{i}" for i in range(n)]
+    # PROTOCOL F waits for n - t = t written registers (n even), so the
+    # first stage interleaves p_0 .. p_{n-t-1}; every later process runs
+    # alone and still keeps its own value while i = r - t stays <= 1.
+    stages = [list(range(n - t))] + [[pid] for pid in range(n - t, n)]
+    scheduler = StagedScheduler(stages, release_on_stall=True)
+    report = run_sm(
+        programs=[protocol_f] * n,
+        inputs=inputs,
+        k=k,
+        t=t,
+        validity=SV2,
+        scheduler=scheduler,
+    )
+    return _wrap(
+        "Lemma 4.3",
+        f"staged run against PROTOCOL F at n={n}, k={k}, t={t}: early "
+        "scanners see few registers and keep their own values",
+        report,
+    )
+
+
+def lemma_3_4_wv1_overflow(n: int = 5, k: int = 2) -> ConstructionResult:
+    """The WV1-at-``t >= k`` failure mode, against PROTOCOL D.
+
+    Lemma 3.4 reduces WV1 to RV1 to show no protocol exists for
+    ``t >= k``.  Concretely: PROTOCOL D (a WV1 protocol for
+    ``k >= Z(n, t)``) run below its region, at ``k <= t``, overshoots
+    agreement in the most direct way -- its ``t + 1`` broadcasters each
+    decide their own (distinct) values, with no failure occurring.
+    """
+    t = k  # t >= k: outside every WV1 region
+    inputs = [f"v{i}" for i in range(n)]
+    report = run_mp(
+        processes=[ProtocolD() for _ in range(n)],
+        inputs=inputs,
+        k=k,
+        t=t,
+        validity=by_code("WV1"),
+    )
+    return _wrap(
+        "Lemma 3.4",
+        f"PROTOCOL D below its region at n={n}, k={k}, t={t}: the t+1 "
+        "broadcasters decide distinct values",
+        report,
+    )
+
+
+def lemma_3_11_rv2_lie(n: int = 9, k: int = 2) -> ConstructionResult:
+    """The RV2 failure mode behind Lemma 3.11, against PROTOCOL A.
+
+    Lemma 3.11's full proof is an indistinguishability chain (the runs
+    ``alpha_i`` in which the set ``F_i`` is faulty but behaves as it did
+    in the correct run ``alpha``); its executable core is the ``alpha_i``
+    view: every process nominally starts with ``v``, but the ``t``
+    Byzantine processes *behave as if* they held different inputs.
+    PROTOCOL A's unanimity rule then collapses to the default for every
+    correct process -- RV2's "all started with v, so decide v" is
+    violated with the failure budget set exactly at the lemma's
+    ``t = ceil(kn/(2(k+1)))`` frontier (any ``t >= 1`` would do for
+    PROTOCOL A; the budget anchors the run to the lemma's region).
+    """
+    t = max((k * n + 2 * (k + 1) - 1) // (2 * (k + 1)), 1)  # ceil(kn/(2(k+1)))
+    if t >= n:
+        raise ValueError(f"need t < n; got n={n}, k={k}, t={t}")
+    f_set = list(range(n - t, n))
+    inputs = ["v"] * n  # nominally unanimous, including the liars
+
+    def make_liar(pid: int) -> MultiFaceProcess:
+        return MultiFaceProcess(
+            protocol_factory=ProtocolA,
+            face_inputs={"lie": f"w{pid}"},
+            face_of_peer=lambda peer: "lie",
+        )
+
+    processes = [
+        make_liar(pid) if pid in f_set else ProtocolA() for pid in range(n)
+    ]
+    # Newest-first delivery puts the Byzantine values among every correct
+    # process's first n - t messages, spoiling unanimity.
+    from repro.net.schedulers import LifoScheduler
+
+    report = run_mp(
+        processes=processes,
+        inputs=inputs,
+        k=k,
+        t=t,
+        validity=by_code("RV2"),
+        byzantine=f_set,
+        scheduler=LifoScheduler(),
+    )
+    return _wrap(
+        "Lemma 3.11",
+        f"input-lie run (RV2) against PROTOCOL A at n={n}, k={k}, t={t}: "
+        "unanimous nominal inputs, divergent Byzantine behaviour",
+        report,
+    )
+
+
+def lemma_4_8_sm_value_lie(n: int = 4, k: int = 2) -> ConstructionResult:
+    """The Lemma 4.8 run: RV1 fails in SM/Byz just as in MP/Byz.
+
+    The Lemma 3.10 liar is pushed through SIMULATION: a Byzantine
+    process runs flood-min over shared memory claiming a fabricated
+    minimal input, and every correct process adopts it.  (The paper
+    proves Lemma 4.8 by observing the Lemma 3.10 proof never uses the
+    message-passing structure.)
+    """
+    t = 1
+    inputs = [f"v{i}" for i in range(n)]
+
+    def make_liar() -> MultiFaceProcess:
+        return MultiFaceProcess(
+            protocol_factory=ChaudhuriKSet,
+            face_inputs={"only": "a-lie"},
+            face_of_peer=lambda peer: "only",
+        )
+
+    programs = [simulate_mp_over_sm(make_liar)] + [
+        simulate_mp_over_sm(ChaudhuriKSet) for _ in range(n - 1)
+    ]
+    report = run_sm(
+        programs=programs,
+        inputs=inputs,
+        k=k,
+        t=t,
+        validity=RV1,
+        byzantine=[0],
+    )
+    return _wrap(
+        "Lemma 4.8",
+        f"input-lie run against SIMULATED flood-min in SM/Byz at n={n}, "
+        f"k={k}, t={t}",
+        report,
+    )
+
+
+def lemma_4_9_register_lie(n: int = 4, k: int = 2) -> ConstructionResult:
+    """The Lemma 4.9 flavour of RV2 failure in SM/Byz, against PROTOCOL E.
+
+    Every process nominally starts with the same value ``v`` but one
+    Byzantine process writes a different value into its register; the
+    correct processes' scans are not unanimous, so they fall back to the
+    default -- violating RV2's "all started with v, so decide v".
+    (PROTOCOL E only promises WV2 in SM/Byz, Lemma 4.10; this run shows
+    why the promise cannot be strengthened to RV2 on the t >= k side.)
+    """
+    t = n // 2
+    if t < k:
+        raise ValueError(f"need t = n//2 >= k; got n={n}, k={k}")
+    inputs = ["v"] * n
+
+    def liar_program(ctx):
+        yield Write("not-v")
+
+    programs = [protocol_e] * (n - 1) + [liar_program]
+    report = run_sm(
+        programs=programs,
+        inputs=inputs,
+        k=k,
+        t=t,
+        validity=by_code("RV2"),
+        byzantine=[n - 1],
+    )
+    return _wrap(
+        "Lemma 4.9",
+        f"register-lie run against PROTOCOL E at n={n}, k={k}, t={t}: "
+        "one Byzantine register breaks unanimity",
+        report,
+    )
+
+
+def all_constructions() -> Tuple[ConstructionResult, ...]:
+    """Execute every construction with its default parameters."""
+    return (
+        lemma_3_3_partition_run(),
+        set_overflow_run(),
+        lemma_3_4_wv1_overflow(),
+        lemma_3_5_crash_after_decide(),
+        lemma_3_6_subgroup_run(),
+        lemma_3_9_two_faced_run(),
+        lemma_3_10_value_lie(),
+        lemma_3_11_rv2_lie(),
+        lemma_4_3_staged_run(),
+        lemma_4_8_sm_value_lie(),
+        lemma_4_9_register_lie(),
+    )
+
+
+__all__.extend(
+    [
+        "all_constructions",
+        "lemma_3_4_wv1_overflow",
+        "lemma_3_11_rv2_lie",
+        "lemma_4_8_sm_value_lie",
+        "lemma_4_9_register_lie",
+    ]
+)

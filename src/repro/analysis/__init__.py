@@ -1,0 +1,54 @@
+"""Figure rendering, lattice verification, and experiment reports."""
+
+from repro.analysis.figures import (
+    FIGURE_BY_MODEL,
+    panel_csv,
+    render_figure,
+    render_panel,
+)
+from repro.analysis.complexity import (
+    ComplexityPoint,
+    ComplexitySeries,
+    growth_exponent,
+    measure_mp_protocol,
+    measure_sm_protocol,
+)
+from repro.analysis.forensics import Violation, first_violation
+from repro.analysis.html import build_html_report
+from repro.analysis.lattice import render_lattice, verify_lattice
+from repro.analysis.spacetime import render_spacetime
+from repro.analysis.summary import SUMMARY, render_summary, variant
+from repro.analysis.svg import figure_svg, panel_svg
+from repro.analysis.report import (
+    FigureValidation,
+    constructions_for_model,
+    generate_experiments_md,
+    validate_figure,
+)
+
+__all__ = [
+    "ComplexityPoint",
+    "ComplexitySeries",
+    "FIGURE_BY_MODEL",
+    "FigureValidation",
+    "constructions_for_model",
+    "generate_experiments_md",
+    "panel_csv",
+    "render_figure",
+    "SUMMARY",
+    "Violation",
+    "build_html_report",
+    "first_violation",
+    "figure_svg",
+    "growth_exponent",
+    "measure_mp_protocol",
+    "measure_sm_protocol",
+    "panel_svg",
+    "render_lattice",
+    "render_panel",
+    "render_spacetime",
+    "render_summary",
+    "variant",
+    "validate_figure",
+    "verify_lattice",
+]

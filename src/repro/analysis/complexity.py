@@ -1,0 +1,200 @@
+"""Message / operation complexity measurement.
+
+The paper analyses solvability, not cost; a usable library should still
+characterize what each protocol costs on the wire (point-to-point sends)
+or in the memory (register operations) as ``n`` grows.  This module runs
+protocols across a range of ``n`` under a fixed fair schedule and fits
+the observed counts against the expected asymptotic orders:
+
+=====================  =======================  =====================
+Protocol               measured quantity        expected order
+=====================  =======================  =====================
+Chaudhuri / A / B      messages                 Theta(n^2)
+C(l)                   messages                 Theta(n^3)  (echoes)
+D                      messages                 Theta(t n^2)
+E                      register ops             Theta(n) per process
+F                      register ops             Theta(n) - Theta(n^2)
+SIMULATION             register ops             >= native message count
+=====================  =======================  =====================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.lemmas import z_function
+from repro.core.validity import by_code
+from repro.harness.runner import run_mp, run_sm
+from repro.net.schedulers import FifoScheduler
+from repro.shm.schedulers import RoundRobinScheduler
+
+__all__ = [
+    "ComplexityPoint",
+    "ComplexitySeries",
+    "growth_exponent",
+    "measure_mp_protocol",
+    "measure_sm_protocol",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ComplexityPoint:
+    """Measured cost of one run."""
+
+    n: int
+    t: int
+    cost: int  # sends (MP) or register operations (SM)
+    ticks: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ComplexitySeries:
+    """Cost measurements across a range of ``n``."""
+
+    label: str
+    points: Tuple[ComplexityPoint, ...]
+
+    def costs(self) -> List[int]:
+        return [p.cost for p in self.points]
+
+    def table(self) -> str:
+        lines = [f"{self.label}: cost by n"]
+        for p in self.points:
+            lines.append(f"  n={p.n:3d} t={p.t:2d}: cost={p.cost:7d} ticks={p.ticks:7d}")
+        lines.append(f"  fitted growth exponent ~ {growth_exponent(self):.2f}")
+        return "\n".join(lines)
+
+
+def growth_exponent(series: ComplexitySeries) -> float:
+    """Least-squares slope of log(cost) against log(n).
+
+    An empirical estimate of ``d`` for ``cost = Theta(n^d)``; exact
+    enough on the small range measured to distinguish n^2 from n^3.
+    """
+    import math
+
+    xs = [math.log(p.n) for p in series.points]
+    ys = [math.log(max(p.cost, 1)) for p in series.points]
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return sxy / sxx if sxx else 0.0
+
+
+def measure_mp_protocol(
+    label: str,
+    factory: Callable[[int, int], object],
+    k_of: Callable[[int, int], int],
+    t_of: Callable[[int], int],
+    ns: Sequence[int],
+    validity_code: str = "WV2",
+) -> ComplexitySeries:
+    """Measure point-to-point sends across ``n`` for an MP protocol.
+
+    Args:
+        factory: ``factory(n, t)`` builds one process instance.
+        k_of: ``k_of(n, t)`` picks a k inside the protocol's region.
+        t_of: failure budget per ``n``.
+    """
+    points = []
+    for n in ns:
+        t = t_of(n)
+        k = k_of(n, t)
+        report = run_mp(
+            [factory(n, t) for _ in range(n)],
+            [f"v{i}" for i in range(n)],
+            k, t, by_code(validity_code),
+            scheduler=FifoScheduler(),
+        )
+        assert report.verdicts["termination"], (label, n)
+        points.append(
+            ComplexityPoint(
+                n=n, t=t,
+                cost=report.result.message_count,
+                ticks=report.result.ticks,
+            )
+        )
+    return ComplexitySeries(label=label, points=tuple(points))
+
+
+def measure_sm_protocol(
+    label: str,
+    program_of: Callable[[int, int], object],
+    k_of: Callable[[int, int], int],
+    t_of: Callable[[int], int],
+    ns: Sequence[int],
+    validity_code: str = "WV2",
+) -> ComplexitySeries:
+    """Measure register operations across ``n`` for an SM protocol."""
+    points = []
+    for n in ns:
+        t = t_of(n)
+        k = k_of(n, t)
+        report = run_sm(
+            [program_of(n, t)] * n,
+            [f"v{i}" for i in range(n)],
+            k, t, by_code(validity_code),
+            scheduler=RoundRobinScheduler(),
+        )
+        assert report.verdicts["termination"], (label, n)
+        ops = len(report.result.trace.of_kind("read")) + len(
+            report.result.trace.of_kind("write")
+        )
+        points.append(
+            ComplexityPoint(n=n, t=t, cost=ops, ticks=report.result.ticks)
+        )
+    return ComplexitySeries(label=label, points=tuple(points))
+
+
+def standard_suite(ns: Sequence[int] = (6, 9, 12, 16, 20)) -> Dict[str, ComplexitySeries]:
+    """Measure every protocol with paper-consistent parameter choices."""
+    from repro.protocols.chaudhuri import ChaudhuriKSet
+    from repro.protocols.protocol_a import ProtocolA
+    from repro.protocols.protocol_b import ProtocolB
+    from repro.protocols.protocol_c import ProtocolC, best_ell
+    from repro.protocols.protocol_d import ProtocolD
+    from repro.protocols.protocol_e import protocol_e
+    from repro.protocols.protocol_f import protocol_f
+
+    t_small = lambda n: max(1, n // 4)
+
+    def make_c(n: int, t: int):
+        ell = best_ell(n, max(2, n // 2), t)
+        return ProtocolC(ell if ell is not None else 1)
+
+    series = {
+        "chaudhuri": measure_mp_protocol(
+            "Chaudhuri flood-min", lambda n, t: ChaudhuriKSet(),
+            lambda n, t: t + 1, t_small, ns, "RV1",
+        ),
+        "protocol-a": measure_mp_protocol(
+            "PROTOCOL A", lambda n, t: ProtocolA(),
+            lambda n, t: 2, t_small, ns, "RV2",
+        ),
+        "protocol-b": measure_mp_protocol(
+            "PROTOCOL B", lambda n, t: ProtocolB(),
+            lambda n, t: max(2, n // 2), t_small, ns, "SV2",
+        ),
+        "protocol-c": measure_mp_protocol(
+            "PROTOCOL C(l)", make_c,
+            lambda n, t: max(2, n // 2), t_small, ns, "SV2",
+        ),
+        "protocol-d": measure_mp_protocol(
+            "PROTOCOL D", lambda n, t: ProtocolD(),
+            lambda n, t: z_function(n, t), t_small, ns, "WV1",
+        ),
+        "protocol-e": measure_sm_protocol(
+            "PROTOCOL E", lambda n, t: protocol_e,
+            lambda n, t: 2, lambda n: n, ns, "RV2",
+        ),
+        "protocol-f": measure_sm_protocol(
+            "PROTOCOL F", lambda n, t: protocol_f,
+            lambda n, t: t + 2, t_small, ns, "SV2",
+        ),
+    }
+    return series

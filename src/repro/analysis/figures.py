@@ -1,0 +1,115 @@
+"""Render the paper's region figures (Figs. 2, 4, 5, 6) as text and CSV.
+
+The paper fills solvable regions with a honeycomb pattern and impossible
+regions with a brick pattern; here solvable points render as ``o``,
+impossible as ``#``, and open problems as ``.`` -- the same three-way
+legend, terminal-friendly.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional
+
+from repro.core.regions import RegionMap, frontier, region_map
+from repro.core.solvability import Solvability
+from repro.core.validity import ALL_VALIDITY_CONDITIONS
+from repro.models import Model
+
+__all__ = [
+    "FIGURE_BY_MODEL",
+    "render_figure",
+    "render_panel",
+    "panel_csv",
+]
+
+#: Paper figure number per model.
+FIGURE_BY_MODEL = {
+    Model.MP_CR: 2,
+    Model.MP_BYZ: 4,
+    Model.SM_CR: 5,
+    Model.SM_BYZ: 6,
+}
+
+_GLYPH = {
+    Solvability.POSSIBLE: "o",
+    Solvability.IMPOSSIBLE: "#",
+    Solvability.OPEN: ".",
+}
+
+
+def render_panel(region: RegionMap, max_width: int = 64) -> str:
+    """Render one panel: ``t`` increases upward, ``k`` rightward.
+
+    When the grid is wider than ``max_width`` columns it is subsampled
+    evenly (the paper's n = 64 panels fit unsampled).
+    """
+    ks = list(region.k_values)
+    ts = list(region.t_values)
+    if len(ks) > max_width:
+        step = (len(ks) + max_width - 1) // max_width
+        ks = ks[::step]
+    lines: List[str] = []
+    title = (
+        f"{region.model} / {region.validity.code} "
+        f"({region.validity.name}), n = {region.n}"
+    )
+    lines.append(title)
+    lines.append(
+        "legend: o = solvable, # = impossible, . = open   "
+        "(x: k = {}..{}, y: t = {}..{})".format(
+            ks[0], ks[-1], ts[0], ts[-1]
+        )
+    )
+    for t in reversed(ts):
+        row = "".join(_GLYPH[region.status(k, t)] for k in ks)
+        lines.append(f"t={t:>3} |{row}")
+    lines.append("      +" + "-" * len(ks))
+    k_axis = "       "
+    for i, k in enumerate(ks):
+        k_axis += str(k % 10)
+    lines.append(k_axis + "   (k mod 10)")
+    return "\n".join(lines)
+
+
+def render_figure(
+    model: Model,
+    n: int = 64,
+    validities: Optional[Iterable] = None,
+    max_width: int = 64,
+) -> str:
+    """Render all six panels of one paper figure."""
+    conditions = tuple(validities) if validities is not None else ALL_VALIDITY_CONDITIONS
+    number = FIGURE_BY_MODEL[model]
+    out = io.StringIO()
+    out.write(
+        f"=== Fig. {number}: {model} model, n = {n} "
+        f"(reproduction of the paper's Fig. {number}) ===\n"
+    )
+    for validity in conditions:
+        region = region_map(model, validity, n)
+        out.write("\n")
+        out.write(render_panel(region, max_width=max_width))
+        out.write("\n")
+        counts = {
+            status.value: region.count(status) for status in Solvability
+        }
+        out.write(
+            f"counts: {counts}; decided by: {', '.join(region.citations_used())}\n"
+        )
+    return out.getvalue()
+
+
+def panel_csv(region: RegionMap) -> str:
+    """CSV of one panel's frontier series (per-k crossover thresholds)."""
+    rows = ["k,max_possible_t,min_impossible_t,open_count"]
+    for k, series in sorted(frontier(region).items()):
+        rows.append(
+            "{},{},{},{}".format(
+                k,
+                series["max_possible_t"] if series["max_possible_t"] is not None else "",
+                series["min_impossible_t"] if series["min_impossible_t"] is not None else "",
+                series["open_count"],
+            )
+        )
+    return "\n".join(rows) + "\n"

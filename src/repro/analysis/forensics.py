@@ -1,0 +1,83 @@
+"""Run forensics: when exactly did a run go wrong?
+
+The condition checkers judge a finished outcome; for debugging an
+adversarial run it is more useful to know the *first tick* at which a
+condition became unsatisfiable.  :func:`first_violation` replays the
+decision events of a trace in order and reports the earliest point
+where agreement was exceeded or a validity clause broke, together with
+the decision that tipped it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.core.problem import Outcome
+from repro.core.validity import ValidityCondition
+from repro.runtime.traces import Trace
+
+__all__ = ["Violation", "first_violation"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """The earliest condition break in a run."""
+
+    condition: str  # "agreement" | "validity"
+    tick: int
+    pid: int
+    value: object
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.condition} first violated at tick {self.tick} by "
+            f"p{self.pid} deciding {self.value!r}: {self.detail}"
+        )
+
+
+def first_violation(
+    trace: Trace,
+    outcome: Outcome,
+    k: int,
+    validity: ValidityCondition,
+) -> Optional[Violation]:
+    """Earliest decision event that broke agreement or validity.
+
+    Only decisions of *correct* processes are considered (faulty
+    processes' decisions are unconstrained).  Termination has no "first
+    violation" instant and is judged on the final outcome as usual.
+    Returns ``None`` when no prefix of the run violates either condition.
+    """
+    partial_decisions: Dict[int, object] = {}
+    for record in trace.of_kind("decide"):
+        pid = record.pid
+        if pid in outcome.faulty:
+            continue
+        partial_decisions[pid] = record.payload
+        distinct = set(partial_decisions.values())
+        if len(distinct) > k:
+            return Violation(
+                condition="agreement",
+                tick=record.tick,
+                pid=pid,
+                value=record.payload,
+                detail=f"{len(distinct)} distinct correct decisions > k={k}",
+            )
+        partial_outcome = Outcome(
+            n=outcome.n,
+            inputs=dict(outcome.inputs),
+            decisions=dict(partial_decisions),
+            faulty=outcome.faulty,
+        )
+        verdict = validity.check(partial_outcome)
+        if not verdict:
+            return Violation(
+                condition="validity",
+                tick=record.tick,
+                pid=pid,
+                value=record.payload,
+                detail=verdict.detail,
+            )
+    return None

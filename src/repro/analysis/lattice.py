@@ -1,0 +1,113 @@
+"""Fig. 1: the "weaker than" lattice of validity conditions.
+
+Renders the lattice and verifies it empirically: the declared
+implications must hold on every outcome, and every *non*-implication
+must have a separating witness (an outcome satisfying one condition but
+not the other).  The test suite and ``benchmarks/bench_fig1_lattice.py``
+drive both checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Tuple
+
+from repro.core.problem import Outcome
+from repro.core.validity import (
+    ALL_VALIDITY_CONDITIONS,
+    ValidityCondition,
+)
+
+__all__ = ["LatticeCheck", "random_outcome", "render_lattice", "verify_lattice"]
+
+_DIAGRAM = r"""
+        SV1  (strong V1)
+       /   \
+    SV2     RV1
+       \   /   \
+        RV2     WV1
+           \   /
+            WV2  (weak V2)
+
+(An edge downward from D to C means SC(C) is weaker than SC(D):
+ every outcome satisfying D satisfies C.)
+"""
+
+
+def render_lattice() -> str:
+    """The Fig. 1 diagram plus each condition's statement."""
+    lines = [_DIAGRAM.strip(), ""]
+    for condition in ALL_VALIDITY_CONDITIONS:
+        lines.append(f"{condition.code} ({condition.name}): {condition.statement}")
+    return "\n".join(lines)
+
+
+def random_outcome(rng: random.Random, n_max: int = 8) -> Outcome:
+    """A random execution outcome for property-testing the lattice.
+
+    Decisions are drawn from the inputs plus a fabricated value, and an
+    arbitrary subset of processes may be faulty or undecided -- wide
+    enough to separate every pair of distinct conditions.
+    """
+    n = rng.randint(2, n_max)
+    value_pool = [f"v{i}" for i in range(rng.randint(1, n))] + ["bogus"]
+    inputs = {pid: rng.choice(value_pool[:-1]) for pid in range(n)}
+    faulty = frozenset(
+        pid for pid in range(n) if rng.random() < 0.3
+    )
+    decisions = {}
+    for pid in range(n):
+        if rng.random() < 0.85:
+            decisions[pid] = rng.choice(value_pool)
+    return Outcome(n=n, inputs=inputs, decisions=decisions, faulty=faulty)
+
+
+@dataclasses.dataclass
+class LatticeCheck:
+    """Result of the empirical lattice verification."""
+
+    samples: int
+    implication_violations: List[Tuple[str, str, Outcome]]
+    missing_witnesses: List[Tuple[str, str]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.implication_violations and not self.missing_witnesses
+
+
+def verify_lattice(samples: int = 4000, seed: int = 0) -> LatticeCheck:
+    """Empirically validate Fig. 1 over random outcomes.
+
+    * For every pair with ``C.implies(D)``: no sampled outcome satisfies
+      ``C`` but violates ``D``.
+    * For every ordered pair *without* an implication: at least one
+      sampled outcome separates them (C holds, D fails).
+    """
+    rng = random.Random(seed)
+    conditions = ALL_VALIDITY_CONDITIONS
+    violations: List[Tuple[str, str, Outcome]] = []
+    witness_found: Dict[Tuple[str, str], bool] = {
+        (c.code, d.code): False
+        for c in conditions
+        for d in conditions
+        if c is not d and not c.implies(d)
+    }
+    for _ in range(samples):
+        outcome = random_outcome(rng)
+        holds = {c.code: bool(c.check(outcome)) for c in conditions}
+        for c in conditions:
+            for d in conditions:
+                if c is d:
+                    continue
+                if c.implies(d):
+                    if holds[c.code] and not holds[d.code]:
+                        violations.append((c.code, d.code, outcome))
+                elif holds[c.code] and not holds[d.code]:
+                    witness_found[(c.code, d.code)] = True
+    missing = [pair for pair, found in witness_found.items() if not found]
+    return LatticeCheck(
+        samples=samples,
+        implication_violations=violations,
+        missing_witnesses=missing,
+    )

@@ -1,0 +1,346 @@
+"""Experiment reports: analytic regions + empirical validation, per figure.
+
+For each paper figure (2, 4, 5, 6) the report combines:
+
+* the analytic region maps at the paper's ``n = 64`` (from
+  :mod:`repro.core.regions`),
+* possible-side empirical validation -- Monte-Carlo sweeps of every
+  registered protocol at sampled points inside its solvable region (at a
+  smaller ``n`` for runtime), asserting zero violations,
+* impossible-side demonstrations -- the executable proof constructions
+  of :mod:`repro.adversary.constructions` for that model.
+
+``generate_experiments_md`` assembles the whole EXPERIMENTS.md document.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.adversary import constructions as cx
+from repro.analysis.figures import FIGURE_BY_MODEL, render_figure
+from repro.analysis.lattice import render_lattice, verify_lattice
+from repro.core.regions import frontier, region_map
+from repro.core.validity import ALL_VALIDITY_CONDITIONS, by_code
+from repro.harness.sweep import SweepConfig, SweepStats, sweep_spec
+from repro.models import ALL_MODELS, Model
+from repro.protocols.base import ProtocolSpec, all_specs
+
+__all__ = [
+    "FigureValidation",
+    "constructions_for_model",
+    "generate_experiments_md",
+    "sample_solvable_points",
+    "validate_figure",
+]
+
+#: Impossibility constructions per model (executed by the figure benches).
+_CONSTRUCTIONS_BY_MODEL: Dict[Model, Tuple] = {
+    Model.MP_CR: (
+        cx.lemma_3_3_partition_run,
+        cx.set_overflow_run,
+        cx.lemma_3_4_wv1_overflow,
+        cx.lemma_3_5_crash_after_decide,
+        cx.lemma_3_6_subgroup_run,
+    ),
+    Model.MP_BYZ: (
+        cx.lemma_3_9_two_faced_run,
+        cx.lemma_3_10_value_lie,
+        cx.lemma_3_11_rv2_lie,
+    ),
+    Model.SM_CR: (
+        cx.lemma_4_3_staged_run,
+    ),
+    Model.SM_BYZ: (
+        cx.lemma_4_8_sm_value_lie,
+        cx.lemma_4_9_register_lie,
+    ),
+}
+
+
+def constructions_for_model(model: Model) -> Tuple[cx.ConstructionResult, ...]:
+    """Execute the impossibility-run constructions relevant to a figure."""
+    return tuple(build() for build in _CONSTRUCTIONS_BY_MODEL[model])
+
+
+def sample_solvable_points(
+    spec: ProtocolSpec,
+    n: int,
+    count: int,
+    rng: random.Random,
+) -> List[Tuple[int, int]]:
+    """Sample up to ``count`` ``(k, t)`` points inside a spec's region.
+
+    Always includes the extreme points (smallest solvable ``k``, largest
+    solvable ``t``) so sweeps probe the frontier, then fills with random
+    interior points.
+    """
+    candidates = [
+        (k, t)
+        for k in range(2, n)
+        for t in range(1, n + 1)
+        if spec.solvable(n, k, t)
+    ]
+    if not candidates:
+        return []
+    picked = {min(candidates), max(candidates, key=lambda kt: (kt[1], kt[0]))}
+    remaining = [p for p in candidates if p not in picked]
+    rng.shuffle(remaining)
+    for point in remaining:
+        if len(picked) >= count:
+            break
+        picked.add(point)
+    return sorted(picked)
+
+
+@dataclasses.dataclass
+class FigureValidation:
+    """Empirical results backing one paper figure."""
+
+    model: Model
+    n_empirical: int
+    sweeps: List[SweepStats]
+    constructions: Tuple[cx.ConstructionResult, ...]
+
+    @property
+    def possible_side_clean(self) -> bool:
+        return all(s.clean for s in self.sweeps)
+
+    @property
+    def impossible_side_demonstrated(self) -> bool:
+        return all(c.demonstrates_violation for c in self.constructions)
+
+    @property
+    def ok(self) -> bool:
+        return self.possible_side_clean and self.impossible_side_demonstrated
+
+
+def validate_figure(
+    model: Model,
+    n_empirical: int = 9,
+    points_per_spec: int = 3,
+    runs_per_point: int = 20,
+    seed: int = 0,
+) -> FigureValidation:
+    """Empirically validate one figure's possible and impossible sides."""
+    rng = random.Random(seed)
+    sweeps: List[SweepStats] = []
+    for spec in all_specs(model=model):
+        for (k, t) in sample_solvable_points(spec, n_empirical, points_per_spec, rng):
+            sweeps.append(
+                sweep_spec(
+                    spec,
+                    n_empirical,
+                    k,
+                    t,
+                    SweepConfig(runs=runs_per_point, seed=rng.randrange(1 << 30)),
+                )
+            )
+    return FigureValidation(
+        model=model,
+        n_empirical=n_empirical,
+        sweeps=sweeps,
+        constructions=constructions_for_model(model),
+    )
+
+
+def _frontier_table(model: Model, n: int, ks: Sequence[int]) -> str:
+    """Markdown table of crossover thresholds for selected k."""
+    header = "| validity | " + " | ".join(f"k={k}" for k in ks) + " |"
+    sep = "|---" * (len(ks) + 1) + "|"
+    rows = [header, sep]
+    for validity in ALL_VALIDITY_CONDITIONS:
+        region = region_map(model, validity, n, k_values=ks)
+        series = frontier(region)
+        cells = []
+        for k in ks:
+            entry = series[k]
+            max_p = entry["max_possible_t"]
+            min_i = entry["min_impossible_t"]
+            cells.append(
+                f"t<= {max_p if max_p is not None else '-'} / "
+                f"t>= {min_i if min_i is not None else '-'}"
+            )
+        rows.append(f"| {validity.code} | " + " | ".join(cells) + " |")
+    return "\n".join(rows)
+
+
+def figure_section(
+    model: Model,
+    n_analytic: int = 64,
+    validation: Optional[FigureValidation] = None,
+) -> str:
+    """One figure's EXPERIMENTS.md section."""
+    number = FIGURE_BY_MODEL[model]
+    lines = [f"## Fig. {number} -- {model} model (n = {n_analytic})", ""]
+    lines.append(
+        "Frontier (largest solvable t / smallest impossible t) per validity "
+        "condition at selected k:"
+    )
+    lines.append("")
+    lines.append(_frontier_table(model, n_analytic, (2, 4, 8, 16, 32, 63)))
+    lines.append("")
+    if validation is not None:
+        lines.append(
+            f"Possible side: {len(validation.sweeps)} sweep points at "
+            f"n = {validation.n_empirical}, "
+            f"{sum(s.runs for s in validation.sweeps)} randomized runs, "
+            f"{sum(len(s.violations) for s in validation.sweeps)} violations."
+        )
+        for stats in validation.sweeps:
+            lines.append(f"  * {stats.summary()}")
+        lines.append("")
+        lines.append("Impossible side (executed proof constructions):")
+        for result in validation.constructions:
+            status = "violated" if result.demonstrates_violation else "NO VIOLATION (!)"
+            lines.append(f"  * {result.summary()} [{status}]")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def generate_experiments_md(
+    n_analytic: int = 64,
+    n_empirical: int = 9,
+    points_per_spec: int = 3,
+    runs_per_point: int = 20,
+    seed: int = 0,
+    include_panels: bool = False,
+) -> str:
+    """Assemble the full EXPERIMENTS.md content."""
+    lines = [
+        "# EXPERIMENTS -- paper vs. measured",
+        "",
+        "Generated by `python -m repro.analysis.report`.  Every figure of the",
+        "paper is reproduced analytically (region maps at n = 64 from the",
+        "lemma bounds) and validated empirically (randomized sweeps inside",
+        "solvable regions must be violation-free; the proofs' adversarial",
+        "runs outside them must exhibit violations).",
+        "",
+        "## Fig. 1 -- validity lattice",
+        "",
+        "```",
+        render_lattice(),
+        "```",
+        "",
+    ]
+    check = verify_lattice()
+    lines.append(
+        f"Empirical check over {check.samples} random outcomes: "
+        f"{len(check.implication_violations)} implication violations, "
+        f"{len(check.missing_witnesses)} missing separations "
+        f"({'OK' if check.ok else 'FAILED'})."
+    )
+    lines.append("")
+    for model in ALL_MODELS:
+        validation = validate_figure(
+            model,
+            n_empirical=n_empirical,
+            points_per_spec=points_per_spec,
+            runs_per_point=runs_per_point,
+            seed=seed,
+        )
+        lines.append(figure_section(model, n_analytic, validation))
+        if include_panels:
+            lines.append("```")
+            lines.append(render_figure(model, n=n_analytic))
+            lines.append("```")
+            lines.append("")
+    lines.append(_summary_section())
+    lines.append(_separation_section(n_analytic))
+    lines.append(_complexity_section())
+    lines.append(_open_problem_section())
+    return "\n".join(lines)
+
+
+def _separation_section(n: int) -> str:
+    from repro.core.regions import separation_points
+    from repro.core.validity import RV2, SV2, WV2
+    from repro.models import Model
+
+    lines = [
+        "## Model separations (where the communication medium matters)",
+        "",
+        "Points impossible in message passing but solvable in shared",
+        f"memory at n = {n} -- the paper's headline contrast between the",
+        "Fig. 2 and Fig. 5 panels:",
+        "",
+    ]
+    for validity in (RV2, WV2, SV2):
+        points = separation_points(Model.MP_CR, Model.SM_CR, validity, n)
+        sample = ", ".join(f"(k={k}, t={t})" for k, t in points[:4])
+        lines.append(
+            f"* {validity.code}: {len(points)} separation points"
+            + (f"; e.g. {sample}, ..." if points else "")
+        )
+    lines.append("")
+    lines.append(
+        "The reverse separations (SM impossible, MP solvable) are empty, "
+        "and crash never loses to Byzantine -- both checked by "
+        "`tests/core/test_regions.py`."
+    )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _summary_section() -> str:
+    from repro.analysis.summary import render_summary
+
+    return (
+        "## Closed-form summary (paper Section 2.1)\n\n"
+        "The per-variant frontier formulas below are cross-checked against\n"
+        "the classifier by `tests/test_paper_index.py`.\n\n"
+        "```\n" + render_summary() + "\n```\n"
+    )
+
+
+def _complexity_section() -> str:
+    from repro.analysis.complexity import growth_exponent, standard_suite
+
+    suite = standard_suite((6, 9, 12, 16))
+    lines = [
+        "## Protocol cost (not reported by the paper; measured here)",
+        "",
+        "Point-to-point sends (MP) / register operations (SM) per run on",
+        "the deterministic kernel, FIFO/round-robin schedule, with the",
+        "fitted growth exponent of cost against n:",
+        "",
+        "| protocol | costs at n = 6, 9, 12, 16 | ~n^d |",
+        "|---|---|---|",
+    ]
+    for key in sorted(suite):
+        series = suite[key]
+        lines.append(
+            f"| {series.label} | {', '.join(map(str, series.costs()))} "
+            f"| {growth_exponent(series):.2f} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _open_problem_section() -> str:
+    from repro.protocols.halting import straggler_run
+
+    halting = straggler_run(halting=True)
+    plain = straggler_run(halting=False)
+    return (
+        "## Section 5's open problem, made executable\n\n"
+        "PROTOCOL C(l) modified to *halt* after deciding, under the\n"
+        "straggler schedule (one correct process's messages delayed until\n"
+        "the rest decided): termination "
+        + ("**violated**" if not halting.verdicts["termination"] else "held (!)")
+        + " for the straggler; the plain, ever-echoing PROTOCOL C under the\n"
+        "identical schedule: "
+        + ("all conditions held." if plain.ok else "violated (!).")
+        + "\nEvidence for why terminating Byzantine protocols remain open;\n"
+        "see `repro.protocols.halting`.\n"
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(generate_experiments_md())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

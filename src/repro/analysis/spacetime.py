@@ -1,0 +1,123 @@
+"""ASCII space-time (Lamport) diagrams of executions.
+
+Renders a finished trace as one column per process and one row per
+kernel tick, showing broadcasts, deliveries, decisions, and crashes --
+the textual equivalent of the run diagrams the paper draws (Fig. 3).
+Indispensable when debugging why a schedule forced a particular
+decision pattern.
+
+Example output (one row per event)::
+
+    tick  p0          p1          p2
+       0  bcast VAL
+       1              bcast VAL
+       ...
+       7  <-p1 VAL
+       9  DECIDE 'v'
+      11  CRASH
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.runtime.traces import Trace, TraceRecord
+
+__all__ = ["render_spacetime"]
+
+_MAX_PAYLOAD = 14
+
+
+def _payload_text(payload) -> str:
+    text = repr(payload)
+    if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+        # show the tag plus a shortened body
+        body = ", ".join(repr(x) for x in payload[1:])
+        text = f"{payload[0]} {body}"
+    if len(text) > _MAX_PAYLOAD:
+        text = text[: _MAX_PAYLOAD - 1] + "~"
+    return text
+
+
+def _cell(record: TraceRecord) -> Optional[str]:
+    if record.kind == "start":
+        return "start"
+    if record.kind == "send":
+        return f"->p{record.peer} {_payload_text(record.payload)}"
+    if record.kind == "deliver":
+        return f"<-p{record.peer} {_payload_text(record.payload)}"
+    if record.kind == "decide":
+        return f"DECIDE {_payload_text(record.payload)}"
+    if record.kind == "crash":
+        return "CRASH"
+    if record.kind == "drop":
+        return f"(drop p{record.peer})"
+    if record.kind == "read":
+        return f"rd[{record.peer}] {_payload_text(record.payload)}"
+    if record.kind == "write":
+        return f"wr {_payload_text(record.payload)}"
+    if record.kind == "halt":
+        return "halt"
+    return None  # send-suppressed and other noise
+
+
+def render_spacetime(
+    trace: Trace,
+    n: int,
+    pids: Optional[Sequence[int]] = None,
+    collapse_sends: bool = True,
+    max_rows: int = 200,
+) -> str:
+    """Render a trace as a process/time grid.
+
+    Args:
+        trace: the finished execution trace.
+        n: total number of processes.
+        pids: subset of processes to show (default: all).
+        collapse_sends: summarize a run of consecutive sends by the same
+            process (i.e. a broadcast) into a single ``bcast`` cell.
+        max_rows: truncate long diagrams.
+    """
+    shown = list(pids) if pids is not None else list(range(n))
+    width = max(18, 6 + _MAX_PAYLOAD)
+    header = "tick  " + "".join(f"p{pid}".ljust(width) for pid in shown)
+    lines: List[str] = [header, "-" * len(header)]
+
+    rows: List[Dict[int, str]] = []
+    row_ticks: List[int] = []
+
+    pending_bcast: Dict[int, int] = {}
+
+    def flush_bcast(pid: int) -> None:
+        count = pending_bcast.pop(pid, 0)
+        if count:
+            rows.append({pid: f"bcast x{count}"})
+            row_ticks.append(-1)
+
+    for record in trace:
+        if record.pid not in shown:
+            continue
+        if collapse_sends and record.kind == "send":
+            pending_bcast[record.pid] = pending_bcast.get(record.pid, 0) + 1
+            continue
+        flush_bcast(record.pid)
+        cell = _cell(record)
+        if cell is None:
+            continue
+        rows.append({record.pid: cell})
+        row_ticks.append(record.tick)
+
+    for pid in list(pending_bcast):
+        flush_bcast(pid)
+
+    for index, (tick, row) in enumerate(zip(row_ticks, rows)):
+        if index >= max_rows:
+            lines.append(f"... ({len(rows) - max_rows} more rows)")
+            break
+        tick_text = f"{tick:4d}  " if tick >= 0 else "      "
+        body = "".join(
+            (row.get(pid, "") or "").ljust(width) for pid in shown
+        )
+        lines.append((tick_text + body).rstrip())
+
+    return "\n".join(lines)

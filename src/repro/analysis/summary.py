@@ -1,0 +1,136 @@
+"""The paper's Section 2.1 "Summary of Results" as structured data.
+
+Each of the 24 (model, validity) variants gets a closed-form description
+of its possibility and impossibility frontiers -- the caption-level
+content of Figs. 2, 4, 5 and 6 -- with lemma citations, plus a status
+flag: completely characterized, tiny gap (isolated points), small gap,
+or substantial gap, matching the paper's own assessment.
+
+The entries are *checked against the classifier* by the test suite: for
+sampled n, the closed-form bounds must coincide with the region maps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.core.validity import by_code
+from repro.models import ALL_MODELS, Model
+
+__all__ = ["SUMMARY", "VariantSummary", "render_summary", "variant"]
+
+
+@dataclasses.dataclass(frozen=True)
+class VariantSummary:
+    """Closed-form frontier description of one (model, validity) variant."""
+
+    model: Model
+    validity: str
+    possible: str       # closed-form possibility region (or "-" if none)
+    impossible: str     # closed-form impossibility region
+    gap: str            # "none" | "isolated points" | "small" | "substantial"
+    possibility_cites: Tuple[str, ...]
+    impossibility_cites: Tuple[str, ...]
+
+    def row(self) -> str:
+        return (
+            f"{self.model.shorthand:7s} {self.validity:4s}  "
+            f"possible: {self.possible:34s} impossible: {self.impossible:28s} "
+            f"gap: {self.gap}"
+        )
+
+
+SUMMARY: Tuple[VariantSummary, ...] = (
+    # ---------------- MP/CR (Fig. 2) ----------------
+    VariantSummary(Model.MP_CR, "SV1", "-", "all t >= 1", "none",
+                   (), ("Lemma 3.5",)),
+    VariantSummary(Model.MP_CR, "SV2", "t < (k-1)n/2k", "t >= kn/(2k+1)",
+                   "small", ("Lemma 3.8",), ("Lemma 3.6",)),
+    VariantSummary(Model.MP_CR, "RV1", "t < k", "t >= k", "none",
+                   ("Lemma 3.1",), ("Lemma 3.2",)),
+    VariantSummary(Model.MP_CR, "RV2", "t < (k-1)n/k", "t >= ((k-1)n+1)/k",
+                   "isolated points", ("Lemma 3.7",), ("Lemma 3.3",)),
+    VariantSummary(Model.MP_CR, "WV1", "t < k", "t >= k", "none",
+                   ("Lemma 3.1",), ("Lemma 3.4",)),
+    VariantSummary(Model.MP_CR, "WV2", "t < (k-1)n/k", "t >= ((k-1)n+1)/k",
+                   "isolated points", ("Lemma 3.7",), ("Lemma 3.3",)),
+    # ---------------- MP/Byz (Fig. 4) ----------------
+    VariantSummary(Model.MP_BYZ, "SV1", "-", "all t >= 1", "none",
+                   (), ("Lemma 3.5",)),
+    VariantSummary(Model.MP_BYZ, "SV2",
+                   "exists l: t < (k-1)n/(2k+l-1), t < ln/(2l+1)",
+                   "t >= kn/(2(k+1))", "small",
+                   ("Lemma 3.15",), ("Lemma 3.11", "Lemma 3.6")),
+    VariantSummary(Model.MP_BYZ, "RV1", "-", "all t >= 1", "none",
+                   (), ("Lemma 3.10",)),
+    VariantSummary(Model.MP_BYZ, "RV2",
+                   "exists l: t < (k-1)n/(2k+l-1), t < ln/(2l+1)",
+                   "t >= kn/(2(k+1))", "small",
+                   ("Lemma 3.15",), ("Lemma 3.11",)),
+    VariantSummary(Model.MP_BYZ, "WV1", "k >= Z(n, t)", "t >= k",
+                   "substantial", ("Lemma 3.16",), ("Lemma 3.4",)),
+    VariantSummary(Model.MP_BYZ, "WV2",
+                   "t < n/2, k >= (n-t)/(n-2t)+1; or t >= n/2, k >= t+1",
+                   "t >= kn/(2k+1) and t >= k; or t >= ((k-1)n+1)/k",
+                   "small", ("Lemma 3.12", "Lemma 3.13"),
+                   ("Lemma 3.9", "Lemma 3.3")),
+    # ---------------- SM/CR (Fig. 5) ----------------
+    VariantSummary(Model.SM_CR, "SV1", "-", "all t >= 1", "none",
+                   (), ("Lemma 4.2",)),
+    VariantSummary(Model.SM_CR, "SV2", "k > t+1; or t < (k-1)n/2k",
+                   "t >= n/2 and t >= k", "small",
+                   ("Lemma 4.7", "Lemma 4.6"), ("Lemma 4.3",)),
+    VariantSummary(Model.SM_CR, "RV1", "t < k", "t >= k", "none",
+                   ("Lemma 4.4",), ("Lemma 3.2",)),
+    VariantSummary(Model.SM_CR, "RV2", "all k >= 2 (any t)", "-", "none",
+                   ("Lemma 4.5",), ()),
+    VariantSummary(Model.SM_CR, "WV1", "t < k", "t >= k", "none",
+                   ("Lemma 4.4",), ("Lemma 4.1",)),
+    VariantSummary(Model.SM_CR, "WV2", "all k >= 2 (any t)", "-", "none",
+                   ("Lemma 4.5",), ()),
+    # ---------------- SM/Byz (Fig. 6) ----------------
+    VariantSummary(Model.SM_BYZ, "SV1", "-", "all t >= 1", "none",
+                   (), ("Lemma 4.2",)),
+    VariantSummary(Model.SM_BYZ, "SV2",
+                   "k > t+1; or exists l: PROTOCOL C(l) region",
+                   "t >= n/2 and t >= k", "small",
+                   ("Lemma 4.12", "Lemma 4.11"), ("Lemma 4.3",)),
+    VariantSummary(Model.SM_BYZ, "RV1", "-", "all t >= 1", "none",
+                   (), ("Lemma 4.8",)),
+    VariantSummary(Model.SM_BYZ, "RV2",
+                   "k > t+1; or exists l: PROTOCOL C(l) region",
+                   "t >= n/2 and t >= k", "small",
+                   ("Lemma 4.12", "Lemma 4.11"), ("Lemma 4.9",)),
+    VariantSummary(Model.SM_BYZ, "WV1", "k >= Z(n, t)", "k <= t",
+                   "substantial", ("Lemma 4.13",), ("Lemma 4.1",)),
+    VariantSummary(Model.SM_BYZ, "WV2", "all k >= 2 (any t)", "-", "none",
+                   ("Lemma 4.10",), ()),
+)
+
+_BY_KEY: Dict[Tuple[Model, str], VariantSummary] = {
+    (entry.model, entry.validity): entry for entry in SUMMARY
+}
+
+
+def variant(model: Model, validity_code: str) -> VariantSummary:
+    """The summary entry for one (model, validity) variant."""
+    by_code(validity_code)  # validate the code
+    return _BY_KEY[(model, validity_code.upper())]
+
+
+def render_summary() -> str:
+    """Section 2.1 as a text table, grouped by model."""
+    lines = ["Summary of results (paper Section 2.1; 2 <= k <= n-1, t >= 1):", ""]
+    for model in ALL_MODELS:
+        lines.append(f"--- {model} ---")
+        for entry in SUMMARY:
+            if entry.model is model:
+                lines.append("  " + entry.row())
+        lines.append("")
+    lines.append(
+        "Gap legend: none = complete characterization; isolated points = "
+        "open only where k | n on the frontier; small/substantial as the "
+        "paper describes."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""SVG rendering of the region figures.
+
+The paper fills solvable regions with a honeycomb pattern and impossible
+regions with a brick pattern; this module reproduces that style as
+standalone SVG files -- one panel per (model, validity) or a full
+six-panel figure -- without any plotting dependency.
+
+The output is deliberately plain SVG 1.1: ``<pattern>`` defs for the two
+hatch styles, one ``<rect>`` per grid cell, and text axes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.regions import RegionMap, region_map
+from repro.core.solvability import Solvability
+from repro.core.validity import ALL_VALIDITY_CONDITIONS
+from repro.models import Model
+
+__all__ = ["figure_svg", "panel_svg"]
+
+_CELL = 9          # px per grid cell
+_MARGIN_L = 46
+_MARGIN_B = 34
+_MARGIN_T = 28
+_MARGIN_R = 12
+
+_DEFS = """\
+<defs>
+  <pattern id="brick" width="12" height="8" patternUnits="userSpaceOnUse">
+    <rect width="12" height="8" fill="#f6d7cf"/>
+    <path d="M0 0H12M0 4H12M0 8H12M3 0V4M9 4V8" stroke="#b9573f"
+          stroke-width="0.8" fill="none"/>
+  </pattern>
+  <pattern id="honeycomb" width="12" height="10" patternUnits="userSpaceOnUse">
+    <rect width="12" height="10" fill="#dff0dc"/>
+    <path d="M3 0L6 2L6 6L3 8L0 6L0 2Z M9 5L12 7L12 10L9 10"
+          stroke="#4d8a4f" stroke-width="0.7" fill="none"/>
+  </pattern>
+</defs>"""
+
+_FILL = {
+    Solvability.POSSIBLE: "url(#honeycomb)",
+    Solvability.IMPOSSIBLE: "url(#brick)",
+    Solvability.OPEN: "#ffffff",
+}
+
+
+def _panel_body(region: RegionMap, x0: int, y0: int) -> List[str]:
+    """SVG elements of one panel with its top-left corner at (x0, y0)."""
+    ks = list(region.k_values)
+    ts = list(region.t_values)
+    plot_w = len(ks) * _CELL
+    plot_h = len(ts) * _CELL
+    left = x0 + _MARGIN_L
+    top = y0 + _MARGIN_T
+
+    parts: List[str] = []
+    title = (
+        f"{region.model} / {region.validity.code} "
+        f"({region.validity.name}), n = {region.n}"
+    )
+    parts.append(
+        f'<text x="{left}" y="{y0 + 16}" font-size="12" '
+        f'font-family="sans-serif">{title}</text>'
+    )
+    for column, k in enumerate(ks):
+        for row, t in enumerate(ts):
+            status = region.status(k, t)
+            x = left + column * _CELL
+            y = top + plot_h - (row + 1) * _CELL  # t grows upward
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{_CELL}" height="{_CELL}" '
+                f'fill="{_FILL[status]}" stroke="none"/>'
+            )
+    # frame
+    parts.append(
+        f'<rect x="{left}" y="{top}" width="{plot_w}" height="{plot_h}" '
+        f'fill="none" stroke="#333" stroke-width="1"/>'
+    )
+    # axis labels (a few ticks each)
+    for k in {ks[0], ks[len(ks) // 2], ks[-1]}:
+        x = left + (ks.index(k) + 0.5) * _CELL
+        parts.append(
+            f'<text x="{x:.0f}" y="{top + plot_h + 14}" font-size="9" '
+            f'text-anchor="middle" font-family="sans-serif">{k}</text>'
+        )
+    for t in {ts[0], ts[len(ts) // 2], ts[-1]}:
+        y = top + plot_h - (ts.index(t) + 0.5) * _CELL
+        parts.append(
+            f'<text x="{left - 6}" y="{y:.0f}" font-size="9" '
+            f'text-anchor="end" dominant-baseline="middle" '
+            f'font-family="sans-serif">{t}</text>'
+        )
+    parts.append(
+        f'<text x="{left + plot_w / 2:.0f}" y="{top + plot_h + 28}" '
+        f'font-size="10" text-anchor="middle" '
+        f'font-family="sans-serif">k</text>'
+    )
+    parts.append(
+        f'<text x="{x0 + 12}" y="{top + plot_h / 2:.0f}" font-size="10" '
+        f'text-anchor="middle" font-family="sans-serif" '
+        f'transform="rotate(-90 {x0 + 12} {top + plot_h / 2:.0f})">t</text>'
+    )
+    return parts
+
+
+def _panel_size(region: RegionMap) -> tuple:
+    width = _MARGIN_L + len(region.k_values) * _CELL + _MARGIN_R
+    height = _MARGIN_T + len(region.t_values) * _CELL + _MARGIN_B
+    return width, height
+
+
+def panel_svg(region: RegionMap) -> str:
+    """One panel as a standalone SVG document."""
+    width, height = _panel_size(region)
+    body = "\n".join(_panel_body(region, 0, 0))
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">\n'
+        f"{_DEFS}\n{body}\n</svg>\n"
+    )
+
+
+def figure_svg(
+    model: Model,
+    n: int = 64,
+    columns: int = 2,
+    validities: Optional[list] = None,
+) -> str:
+    """A full six-panel figure (like the paper's Figs. 2/4/5/6) as SVG."""
+    conditions = list(validities) if validities else list(ALL_VALIDITY_CONDITIONS)
+    regions = [region_map(model, validity, n) for validity in conditions]
+    panel_w, panel_h = _panel_size(regions[0])
+    rows = (len(regions) + columns - 1) // columns
+    width = columns * panel_w
+    height = rows * panel_h
+
+    parts = []
+    for index, region in enumerate(regions):
+        x0 = (index % columns) * panel_w
+        y0 = (index // columns) * panel_h
+        parts.extend(_panel_body(region, x0, y0))
+
+    body = "\n".join(parts)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">\n'
+        f"{_DEFS}\n{body}\n</svg>\n"
+    )

@@ -1,0 +1,438 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``classify``  -- classify one ``SC(k, t, C)`` instance in a model;
+* ``panel``     -- render one figure panel (region map) as text or CSV;
+* ``figure``    -- render a full six-panel paper figure;
+* ``lattice``   -- print and verify the Fig. 1 validity lattice;
+* ``run``       -- run a registered protocol once and report verdicts;
+* ``sweep``     -- Monte-Carlo sweep of a protocol at one point;
+* ``attack``    -- adversarial search for a protocol's worst run;
+* ``construct`` -- execute the impossibility-proof counterexample runs;
+* ``protocols`` -- list the protocol registry;
+* ``paper``     -- the paper-artifact -> code index;
+* ``summary``   -- the Section 2.1 summary of results;
+* ``svg``       -- write a figure/panel as a paper-style SVG file;
+* ``trace``     -- run a protocol or construction and print its
+  space-time diagram;
+* ``exhaustive``-- verify a protocol over ALL schedules of a tiny
+  instance;
+* ``campaign``  -- run a persisted validation campaign.
+
+Examples::
+
+    python -m repro classify --model MP/Byz --validity WV1 --n 64 --k 22 --t 21
+    python -m repro panel --model SM/CR --validity SV2 --n 32
+    python -m repro run chaudhuri@mp-cr --n 7 --k 3 --t 2
+    python -m repro sweep protocol-f@sm-byz --n 7 --k 5 --t 3 --runs 50
+    python -m repro construct --lemma "Lemma 3.3"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.adversary.constructions import all_constructions
+from repro.analysis.figures import panel_csv, render_figure, render_panel
+from repro.analysis.lattice import render_lattice, verify_lattice
+from repro.core.regions import region_map
+from repro.core.solvability import classify
+from repro.core.validity import ALL_VALIDITY_CONDITIONS, by_code
+from repro.harness.attack import search_worst_run
+from repro.harness.runner import run_spec
+from repro.harness.sweep import SweepConfig, sweep_spec
+from repro.models import Model
+from repro.protocols.base import all_specs, get_spec
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="k-set consensus reproduction (De Prisco-Malkhi-Reiter).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_instance_args(p, with_validity=True):
+        p.add_argument("--model", default="MP/CR", help="MP/CR MP/Byz SM/CR SM/Byz")
+        if with_validity:
+            p.add_argument("--validity", default="RV1",
+                           help="SV1 SV2 RV1 RV2 WV1 WV2")
+        p.add_argument("--n", type=int, default=64)
+
+    p = sub.add_parser("classify", help="classify one SC(k, t, C) instance")
+    add_instance_args(p)
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--t", type=int, required=True)
+
+    p = sub.add_parser("panel", help="render one region panel")
+    add_instance_args(p)
+    p.add_argument("--csv", action="store_true", help="frontier CSV output")
+
+    p = sub.add_parser("figure", help="render a full six-panel figure")
+    add_instance_args(p, with_validity=False)
+
+    sub.add_parser("lattice", help="print and verify the Fig. 1 lattice")
+
+    p = sub.add_parser("run", help="run a registered protocol once")
+    p.add_argument("spec", help="protocol spec name (see `protocols`)")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--t", type=int, required=True)
+    p.add_argument("--inputs", nargs="*", default=None,
+                   help="input values (default: v0 v1 ...)")
+
+    p = sub.add_parser("sweep", help="Monte-Carlo sweep at one point")
+    p.add_argument("spec")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--t", type=int, required=True)
+    p.add_argument("--runs", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("attack", help="adversarial search for the worst run")
+    p.add_argument("spec")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--t", type=int, required=True)
+    p.add_argument("--attempts", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("construct", help="run impossibility constructions")
+    p.add_argument("--lemma", default=None,
+                   help='restrict to one lemma, e.g. "Lemma 3.3"')
+
+    sub.add_parser("protocols", help="list the protocol registry")
+
+    p = sub.add_parser("recommend",
+                       help="which protocol solves an instance, and best")
+    add_instance_args(p)
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--t", type=int, required=True)
+
+    p = sub.add_parser("solve",
+                       help="pick the best protocol and run it once")
+    add_instance_args(p)
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--t", type=int, required=True)
+    p.add_argument("--inputs", nargs="*", default=None)
+    p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("paper", help="paper artifact -> code index")
+
+    sub.add_parser("summary", help="Section 2.1 summary of results")
+
+    p = sub.add_parser("svg", help="write a figure/panel as SVG")
+    add_instance_args(p)
+    p.add_argument("--out", required=True, help="output .svg path")
+    p.add_argument("--full-figure", action="store_true",
+                   help="all six panels instead of one")
+
+    p = sub.add_parser("trace", help="space-time diagram of one run")
+    p.add_argument("spec", nargs="?", default=None,
+                   help="protocol spec name (omit with --lemma)")
+    p.add_argument("--lemma", default=None,
+                   help='trace a construction instead, e.g. "Lemma 3.3"')
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--t", type=int, default=1)
+    p.add_argument("--rows", type=int, default=120)
+
+    p = sub.add_parser("exhaustive",
+                       help="verify a protocol over ALL schedules (tiny n)")
+    p.add_argument("spec")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--t", type=int, required=True)
+    p.add_argument("--inputs", nargs="*", default=None)
+    p.add_argument("--max-states", type=int, default=200_000)
+
+    p = sub.add_parser("campaign", help="run a persisted validation campaign")
+    p.add_argument("--name", default="default")
+    p.add_argument("--n", type=int, nargs="*", default=[6, 8])
+    p.add_argument("--points", type=int, default=2)
+    p.add_argument("--runs", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="JSON result path (resumable)")
+
+    return parser
+
+
+def _cmd_classify(args) -> int:
+    model = Model.from_shorthand(args.model)
+    validity = by_code(args.validity)
+    verdict = classify(model, validity, args.n, args.k, args.t)
+    print(
+        f"SC(k={args.k}, t={args.t}, {validity.code}) in {model} "
+        f"(n={args.n}): {verdict}"
+    )
+    if verdict.note:
+        print(f"  note: {verdict.note}")
+    return 0
+
+
+def _cmd_panel(args) -> int:
+    model = Model.from_shorthand(args.model)
+    region = region_map(model, by_code(args.validity), args.n)
+    print(panel_csv(region) if args.csv else render_panel(region))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    print(render_figure(Model.from_shorthand(args.model), n=args.n))
+    return 0
+
+
+def _cmd_lattice(args) -> int:
+    print(render_lattice())
+    check = verify_lattice()
+    print(
+        f"\nverified on {check.samples} random outcomes: "
+        f"{'OK' if check.ok else 'FAILED'}"
+    )
+    return 0 if check.ok else 1
+
+
+def _cmd_run(args) -> int:
+    spec = get_spec(args.spec)
+    inputs = args.inputs or [f"v{i}" for i in range(args.n)]
+    report = run_spec(spec, args.n, args.k, args.t, inputs)
+    print(f"protocol : {spec.title} ({spec.lemma})")
+    print(f"decisions: {report.outcome.decisions}")
+    print(f"verdicts : {report.summary()}")
+    return 0 if report.ok else 1
+
+
+def _cmd_sweep(args) -> int:
+    spec = get_spec(args.spec)
+    stats = sweep_spec(
+        spec, args.n, args.k, args.t,
+        SweepConfig(runs=args.runs, seed=args.seed),
+    )
+    print(stats.summary())
+    for violation in stats.violations[:10]:
+        print(f"  !! run {violation.run_index} [{violation.pattern}]: "
+              f"{violation.detail}")
+    return 0 if stats.clean else 1
+
+
+def _cmd_attack(args) -> int:
+    spec = get_spec(args.spec)
+    result = search_worst_run(
+        spec, args.n, args.k, args.t,
+        attempts=args.attempts, seed=args.seed,
+    )
+    print(result.summary())
+    if result.best_report is not None:
+        print(f"  worst decisions: {result.best_report.outcome.decisions}")
+    return 0 if not result.violations_found else 1
+
+
+def _cmd_construct(args) -> int:
+    failures = 0
+    for result in all_constructions():
+        if args.lemma and result.lemma_id != args.lemma:
+            continue
+        status = "ok" if result.demonstrates_violation else "FAILED"
+        print(f"[{status}] {result.summary()}")
+        failures += not result.demonstrates_violation
+    return 0 if not failures else 1
+
+
+def _cmd_protocols(args) -> int:
+    for spec in all_specs():
+        print(
+            f"{spec.name:28s} {spec.model.shorthand:7s} {spec.validity:4s} "
+            f"{spec.lemma}"
+        )
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    from repro.protocols.select import NoProtocolAvailable, candidates
+
+    model = Model.from_shorthand(args.model)
+    validity = by_code(args.validity)
+    options = candidates(model, validity, args.n, args.k, args.t)
+    if not options:
+        from repro.protocols.select import recommend
+
+        try:
+            recommend(model, validity, args.n, args.k, args.t)
+        except NoProtocolAvailable as reason:
+            print(reason)
+            return 1
+    print(
+        f"protocols for SC(k={args.k}, t={args.t}, {validity.code}) in "
+        f"{model} (n={args.n}), cheapest first:"
+    )
+    for spec in options:
+        print(f"  {spec.name:28s} {spec.title} ({spec.lemma})")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro.protocols.select import NoProtocolAvailable, solve
+
+    model = Model.from_shorthand(args.model)
+    validity = by_code(args.validity)
+    inputs = args.inputs or [f"v{i}" for i in range(args.n)]
+    try:
+        report = solve(model, validity, inputs, args.k, args.t, seed=args.seed)
+    except NoProtocolAvailable as reason:
+        print(reason)
+        return 1
+    print(f"decisions: {report.outcome.decisions}")
+    print(f"verdicts : {report.summary()}")
+    return 0 if report.ok else 1
+
+
+def _cmd_paper(args) -> int:
+    from repro.paper import render_index
+
+    print(render_index())
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    from repro.analysis.summary import render_summary
+
+    print(render_summary())
+    return 0
+
+
+def _cmd_svg(args) -> int:
+    import pathlib
+
+    from repro.analysis.svg import figure_svg, panel_svg
+
+    model = Model.from_shorthand(args.model)
+    if args.full_figure:
+        content = figure_svg(model, n=args.n)
+    else:
+        region = region_map(model, by_code(args.validity), args.n)
+        content = panel_svg(region)
+    path = pathlib.Path(args.out)
+    path.write_text(content)
+    print(f"wrote {path} ({len(content)} bytes)")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.analysis.spacetime import render_spacetime
+
+    if args.lemma:
+        for result in all_constructions():
+            if result.lemma_id == args.lemma:
+                print(result.summary())
+                print()
+                print(render_spacetime(
+                    result.report.result.trace,
+                    result.report.outcome.n,
+                    max_rows=args.rows,
+                ))
+                return 0
+        print(f"no construction for {args.lemma!r}")
+        return 1
+    if not args.spec:
+        print("provide a protocol spec name or --lemma")
+        return 2
+    spec = get_spec(args.spec)
+    report = run_spec(
+        spec, args.n, args.k, args.t,
+        [f"v{i}" for i in range(args.n)],
+    )
+    print(report.summary())
+    print()
+    print(render_spacetime(report.result.trace, args.n, max_rows=args.rows))
+    if not report.ok:
+        from repro.analysis.forensics import first_violation
+
+        located = first_violation(
+            report.result.trace, report.outcome, args.k,
+            by_code(spec.validity),
+        )
+        if located is not None:
+            print(f"\nforensics: {located}")
+    return 0 if report.ok else 1
+
+
+def _cmd_exhaustive(args) -> int:
+    from repro.harness.exhaustive import explore_mp
+
+    spec = get_spec(args.spec)
+    if spec.is_shared_memory:
+        print("exhaustive exploration supports message-passing specs only")
+        return 2
+    inputs = args.inputs or [f"v{i}" for i in range(args.n)]
+    validity = by_code(spec.validity)
+    result = explore_mp(
+        lambda: [spec.make(args.n, args.k, args.t) for _ in range(args.n)],
+        inputs, args.k, args.t, validity,
+        max_states=args.max_states,
+    )
+    print(
+        f"explored {result.states} states / {result.runs} complete runs "
+        f"({'exhaustive' if result.exhausted else 'budget-capped'})"
+    )
+    print(f"max distinct decisions: {result.max_distinct_decisions}")
+    print(f"violations: {len(result.violations)}")
+    for path, verdicts in result.violations[:5]:
+        print(f"  !! schedule {path}: {verdicts}")
+    return 0 if result.all_ok else 1
+
+
+def _cmd_campaign(args) -> int:
+    import pathlib
+
+    from repro.harness.campaign import Campaign, run_campaign
+
+    campaign = Campaign(
+        name=args.name,
+        n_values=tuple(args.n),
+        points_per_spec=args.points,
+        runs_per_point=args.runs,
+        seed=args.seed,
+    )
+    result = run_campaign(
+        campaign,
+        result_path=pathlib.Path(args.out) if args.out else None,
+    )
+    print(result.summary())
+    for record in result.violating()[:10]:
+        print(f"  !! {record.key}: {record.violations} violations")
+    return 0 if result.clean else 1
+
+
+_DISPATCH = {
+    "classify": _cmd_classify,
+    "panel": _cmd_panel,
+    "figure": _cmd_figure,
+    "lattice": _cmd_lattice,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "attack": _cmd_attack,
+    "construct": _cmd_construct,
+    "protocols": _cmd_protocols,
+    "recommend": _cmd_recommend,
+    "solve": _cmd_solve,
+    "paper": _cmd_paper,
+    "summary": _cmd_summary,
+    "svg": _cmd_svg,
+    "trace": _cmd_trace,
+    "exhaustive": _cmd_exhaustive,
+    "campaign": _cmd_campaign,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _DISPATCH[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

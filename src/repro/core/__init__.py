@@ -1,0 +1,49 @@
+"""Core problem definitions: values, validity conditions, solvability."""
+
+from repro.core.bounds import Thresholds, threshold
+from repro.core.lemmas import ALL_LEMMAS, Lemma, v_function, z_function
+from repro.core.problem import Outcome, SCProblem, Verdict
+from repro.core.regions import RegionMap, frontier, region_map, separation_points
+from repro.core.solvability import Classification, Solvability, classify
+from repro.core.validity import (
+    ALL_VALIDITY_CONDITIONS,
+    RV1,
+    RV2,
+    SV1,
+    SV2,
+    WV1,
+    WV2,
+    ValidityCondition,
+    by_code,
+)
+from repro.core.values import DEFAULT, EMPTY
+
+__all__ = [
+    "ALL_LEMMAS",
+    "ALL_VALIDITY_CONDITIONS",
+    "Classification",
+    "DEFAULT",
+    "EMPTY",
+    "Lemma",
+    "Outcome",
+    "RV1",
+    "RV2",
+    "RegionMap",
+    "SCProblem",
+    "Thresholds",
+    "SV1",
+    "SV2",
+    "Solvability",
+    "ValidityCondition",
+    "Verdict",
+    "WV1",
+    "WV2",
+    "by_code",
+    "classify",
+    "frontier",
+    "region_map",
+    "separation_points",
+    "threshold",
+    "v_function",
+    "z_function",
+]

@@ -1,0 +1,99 @@
+"""O(log n) frontier queries via bisection.
+
+:func:`repro.core.regions.frontier` scans the whole ``t`` axis; for
+large ``n`` (the classifier is exact at any size -- nothing in it is
+grid-bound) that is wasteful.  The structural monotonicity verified by
+the test suite -- status rank POSSIBLE < OPEN < IMPOSSIBLE is
+non-decreasing in ``t`` at fixed ``k`` -- makes the three regions
+contiguous segments of the ``t`` axis, so both frontiers are found by
+binary search with ``O(log n)`` classifier calls.
+
+    >>> threshold(Model.MP_CR, RV2, n=10**6, k=2)
+    Thresholds(max_possible_t=499999, min_impossible_t=500001)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.solvability import Solvability, classify
+from repro.core.validity import ValidityCondition
+from repro.models import Model
+
+__all__ = ["Thresholds", "threshold"]
+
+_RANK = {
+    Solvability.POSSIBLE: 0,
+    Solvability.OPEN: 1,
+    Solvability.IMPOSSIBLE: 2,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Thresholds:
+    """Frontiers of one (model, validity, n, k) column.
+
+    ``max_possible_t`` is the largest ``t >= 1`` still solvable (``None``
+    when nothing is); ``min_impossible_t`` the smallest ``t <= n``
+    already impossible (``None`` when nothing is).  Open points, if any,
+    are exactly the integers strictly between the two.
+    """
+
+    max_possible_t: Optional[int]
+    min_impossible_t: Optional[int]
+
+    @property
+    def open_count(self) -> Optional[int]:
+        """Number of open t values between the frontiers (None if unbounded)."""
+        if self.max_possible_t is None or self.min_impossible_t is None:
+            return None
+        return self.min_impossible_t - self.max_possible_t - 1
+
+
+def _rank(model: Model, validity: ValidityCondition, n: int, k: int, t: int) -> int:
+    return _RANK[classify(model, validity, n, k, t).status]
+
+
+def _largest_below(model, validity, n, k, rank_bound: int) -> Optional[int]:
+    """Largest t in [1, n] whose rank is <= rank_bound, by bisection."""
+    low, high = 1, n
+    if _rank(model, validity, n, k, low) > rank_bound:
+        return None
+    best = low
+    while low <= high:
+        mid = (low + high) // 2
+        if _rank(model, validity, n, k, mid) <= rank_bound:
+            best = mid
+            low = mid + 1
+        else:
+            high = mid - 1
+    return best
+
+
+def threshold(
+    model: Model,
+    validity: ValidityCondition,
+    n: int,
+    k: int,
+) -> Thresholds:
+    """Both frontiers of one column, in O(log n) classifier calls.
+
+    Valid for the paper's non-degenerate range ``2 <= k <= n - 1``.
+    """
+    if not 2 <= k <= n - 1:
+        raise ValueError(f"k must be in 2..n-1, got k={k}, n={n}")
+    max_possible = _largest_below(model, validity, n, k, _RANK[Solvability.POSSIBLE])
+    last_non_impossible = _largest_below(
+        model, validity, n, k, _RANK[Solvability.OPEN]
+    )
+    if last_non_impossible is None:
+        min_impossible: Optional[int] = 1
+    elif last_non_impossible >= n:
+        min_impossible = None
+    else:
+        min_impossible = last_non_impossible + 1
+    return Thresholds(
+        max_possible_t=max_possible,
+        min_impossible_t=min_impossible,
+    )

@@ -1,0 +1,322 @@
+"""Registry of the paper's possibility and impossibility lemmas.
+
+Each lemma is recorded with the exact ``(n, k, t)`` region it covers
+(evaluated with exact rational arithmetic) in the model and validity
+condition it is stated for.  The classifier in
+:mod:`repro.core.solvability` then *carries* lemmas across models and
+validity conditions the same way the paper does:
+
+* a possibility for ``SC(D)`` applies to any weaker ``SC(C)``; an
+  impossibility for ``SC(C)`` applies to any stronger ``SC(D)``
+  (Section 2, Fig. 1);
+* a protocol for a message-passing model runs in the corresponding
+  shared-memory model via SIMULATION, and a Byzantine-tolerant protocol
+  tolerates crashes; dually, shared-memory impossibilities apply to
+  message passing, and crash impossibilities apply to the Byzantine
+  models (Sections 3 and 4).
+
+All region predicates assume the non-degenerate range the paper studies
+(``2 <= k <= n-1``, ``t >= 1``); the classifier handles the degenerate
+cases separately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from fractions import Fraction
+from typing import Callable, Dict, Tuple
+
+from repro.models import Model
+
+__all__ = [
+    "ALL_LEMMAS",
+    "Lemma",
+    "LemmaKind",
+    "lemma",
+    "v_function",
+    "z_function",
+]
+
+
+def v_function(n: int, t: int, f: int) -> int:
+    """``V(n, t, f)`` as defined before Lemma 3.16.
+
+    ``V(n, t, f) = n - f`` when ``n - t - f <= 0``, else
+    ``t + 1 - f + f * floor((n - f) / (n - t - f))``.
+    """
+    if n - t - f <= 0:
+        return n - f
+    return t + 1 - f + f * ((n - f) // (n - t - f))
+
+
+@functools.lru_cache(maxsize=None)
+def z_function(n: int, t: int) -> int:
+    """``Z(n, t) = max_{0 <= f <= t} min{V(n, t, f), n - f}``."""
+    return max(min(v_function(n, t, f), n - f) for f in range(t + 1))
+
+
+@dataclasses.dataclass(frozen=True)
+class Lemma:
+    """One lemma of the paper, as a machine-checkable region claim."""
+
+    lemma_id: str
+    kind: str  # "possibility" | "impossibility"
+    model: Model
+    validity: str
+    region: Callable[[int, int, int], bool]
+    statement: str
+    protocol: str = ""  # the protocol realizing a possibility
+
+    def applies(self, n: int, k: int, t: int) -> bool:
+        return self.region(n, k, t)
+
+    def __str__(self) -> str:
+        return f"{self.lemma_id} [{self.kind}, {self.model}, {self.validity}]"
+
+
+class LemmaKind:
+    POSSIBILITY = "possibility"
+    IMPOSSIBILITY = "impossibility"
+
+
+_REGISTRY: Dict[str, Lemma] = {}
+
+
+def _register(entry: Lemma) -> Lemma:
+    key = f"{entry.lemma_id}/{entry.model.shorthand}/{entry.validity}"
+    if key in _REGISTRY:
+        raise ValueError(f"duplicate lemma registration: {key}")
+    _REGISTRY[key] = entry
+    return entry
+
+
+def lemma(lemma_id: str) -> Tuple[Lemma, ...]:
+    """All registry entries for one lemma id (some lemmas span models)."""
+    found = tuple(
+        entry for entry in _REGISTRY.values() if entry.lemma_id == lemma_id
+    )
+    if not found:
+        raise ValueError(f"unknown lemma: {lemma_id!r}")
+    return found
+
+
+def _frac(a: int, b: int) -> Fraction:
+    return Fraction(a, b)
+
+
+def _protocol_c_region(n: int, k: int, t: int) -> bool:
+    from repro.protocols.protocol_c import best_ell
+
+    return best_ell(n, k, t) is not None
+
+
+# --------------------------------------------------------------------------
+# Possibility lemmas (protocols).
+# --------------------------------------------------------------------------
+
+_register(Lemma(
+    "Lemma 3.1", LemmaKind.POSSIBILITY, Model.MP_CR, "RV1",
+    lambda n, k, t: t < k,
+    "In MP/CR there is a protocol for SC(k, t, RV1) for t < k.",
+    protocol="Chaudhuri's k-set consensus [13]",
+))
+
+_register(Lemma(
+    "Lemma 3.7", LemmaKind.POSSIBILITY, Model.MP_CR, "RV2",
+    lambda n, k, t: Fraction(t) < _frac((k - 1) * n, k),
+    "PROTOCOL A solves SC(k, t, RV2) in MP/CR for t < (k-1)n/k.",
+    protocol="PROTOCOL A",
+))
+
+_register(Lemma(
+    "Lemma 3.8", LemmaKind.POSSIBILITY, Model.MP_CR, "SV2",
+    lambda n, k, t: Fraction(t) < _frac((k - 1) * n, 2 * k),
+    "PROTOCOL B solves SC(k, t, SV2) in MP/CR for t < (k-1)n/(2k).",
+    protocol="PROTOCOL B",
+))
+
+_register(Lemma(
+    "Lemma 3.12", LemmaKind.POSSIBILITY, Model.MP_BYZ, "WV2",
+    lambda n, k, t: (
+        Fraction(t) < _frac(n, 2)
+        and Fraction(k) >= _frac(n - t, n - 2 * t) + 1
+    ),
+    "PROTOCOL A solves SC(k, t, WV2) in MP/Byz for t < n/2 and "
+    "k >= (n-t)/(n-2t) + 1.",
+    protocol="PROTOCOL A",
+))
+
+_register(Lemma(
+    "Lemma 3.13", LemmaKind.POSSIBILITY, Model.MP_BYZ, "WV2",
+    lambda n, k, t: Fraction(t) >= _frac(n, 2) and k >= t + 1,
+    "PROTOCOL A solves SC(k, t, WV2) in MP/Byz for t >= n/2 and k >= t + 1.",
+    protocol="PROTOCOL A",
+))
+
+_register(Lemma(
+    "Lemma 3.15", LemmaKind.POSSIBILITY, Model.MP_BYZ, "SV2",
+    _protocol_c_region,
+    "PROTOCOL C(l) solves SC(k, t, SV2) in MP/Byz for t < (k-1)n/(2k+l-1) "
+    "and t < ln/(2l+1).",
+    protocol="PROTOCOL C(l)",
+))
+
+_register(Lemma(
+    "Lemma 3.16", LemmaKind.POSSIBILITY, Model.MP_BYZ, "WV1",
+    lambda n, k, t: k >= z_function(n, t),
+    "PROTOCOL D solves SC(k, t, WV1) in MP/Byz for k >= Z(n, t).",
+    protocol="PROTOCOL D",
+))
+
+_register(Lemma(
+    "Lemma 4.4", LemmaKind.POSSIBILITY, Model.SM_CR, "RV1",
+    lambda n, k, t: t < k,
+    "SIMULATION of Chaudhuri's protocol solves SC(k, t, RV1) in SM/CR "
+    "for t < k.",
+    protocol="SIMULATION of Chaudhuri's k-set consensus",
+))
+
+_register(Lemma(
+    "Lemma 4.5", LemmaKind.POSSIBILITY, Model.SM_CR, "RV2",
+    lambda n, k, t: k >= 2,
+    "PROTOCOL E solves SC(k, t, RV2) in SM/CR for k >= 2 (any t).",
+    protocol="PROTOCOL E",
+))
+
+_register(Lemma(
+    "Lemma 4.6", LemmaKind.POSSIBILITY, Model.SM_CR, "SV2",
+    lambda n, k, t: Fraction(t) < _frac((k - 1) * n, 2 * k),
+    "SIMULATION of PROTOCOL B solves SC(k, t, SV2) in SM/CR for "
+    "t < (k-1)n/(2k).",
+    protocol="SIMULATION of PROTOCOL B",
+))
+
+_register(Lemma(
+    "Lemma 4.7", LemmaKind.POSSIBILITY, Model.SM_CR, "SV2",
+    lambda n, k, t: k > t + 1,
+    "PROTOCOL F solves SC(k, t, SV2) in SM/CR for all k > t + 1.",
+    protocol="PROTOCOL F",
+))
+
+_register(Lemma(
+    "Lemma 4.10", LemmaKind.POSSIBILITY, Model.SM_BYZ, "WV2",
+    lambda n, k, t: k >= 2,
+    "PROTOCOL E solves SC(k, t, WV2) in SM/Byz for k >= 2 (any t).",
+    protocol="PROTOCOL E",
+))
+
+_register(Lemma(
+    "Lemma 4.11", LemmaKind.POSSIBILITY, Model.SM_BYZ, "SV2",
+    _protocol_c_region,
+    "SIMULATION of PROTOCOL C(l) solves SC(k, t, SV2) in SM/Byz for "
+    "t < (k-1)n/(2k+l-1) and t < ln/(2l+1).",
+    protocol="SIMULATION of PROTOCOL C(l)",
+))
+
+_register(Lemma(
+    "Lemma 4.12", LemmaKind.POSSIBILITY, Model.SM_BYZ, "SV2",
+    lambda n, k, t: k > t + 1,
+    "PROTOCOL F solves SC(k, t, SV2) in SM/Byz for k > t + 1.",
+    protocol="PROTOCOL F",
+))
+
+_register(Lemma(
+    "Lemma 4.13", LemmaKind.POSSIBILITY, Model.SM_BYZ, "WV1",
+    lambda n, k, t: k >= z_function(n, t),
+    "SIMULATION of PROTOCOL D solves SC(k, t, WV1) in SM/Byz for "
+    "k >= Z(n, t).",
+    protocol="SIMULATION of PROTOCOL D",
+))
+
+# --------------------------------------------------------------------------
+# Impossibility lemmas.
+# --------------------------------------------------------------------------
+
+# Lemma 3.2 is stated for both crash models ("In the crash models ...").
+for _model in (Model.MP_CR, Model.SM_CR):
+    _register(Lemma(
+        "Lemma 3.2", LemmaKind.IMPOSSIBILITY, _model, "RV1",
+        lambda n, k, t: t >= k,
+        "In the crash models there is no protocol for SC(k, t, RV1) for "
+        "t >= k ([9], [20], [30]).",
+    ))
+
+_register(Lemma(
+    "Lemma 3.3", LemmaKind.IMPOSSIBILITY, Model.MP_CR, "WV2",
+    lambda n, k, t: Fraction(t) >= _frac((k - 1) * n + 1, k),
+    "In MP/CR there is no protocol for SC(k, t, WV2) for "
+    "t >= ((k-1)n + 1)/k.",
+))
+
+_register(Lemma(
+    "Lemma 3.4", LemmaKind.IMPOSSIBILITY, Model.MP_CR, "WV1",
+    lambda n, k, t: t >= k,
+    "In MP/CR there is no protocol for SC(k, t, WV1) for t >= k.",
+))
+
+_register(Lemma(
+    "Lemma 3.5", LemmaKind.IMPOSSIBILITY, Model.MP_CR, "SV1",
+    lambda n, k, t: True,
+    "In MP/CR there is no protocol for SC(k, t, SV1) (any t >= 1).",
+))
+
+_register(Lemma(
+    "Lemma 3.6", LemmaKind.IMPOSSIBILITY, Model.MP_CR, "SV2",
+    lambda n, k, t: Fraction(t) >= _frac(k * n, 2 * k + 1),
+    "In MP/CR there is no protocol for SC(k, t, SV2) for t >= kn/(2k+1).",
+))
+
+_register(Lemma(
+    "Lemma 3.9", LemmaKind.IMPOSSIBILITY, Model.MP_BYZ, "WV2",
+    lambda n, k, t: Fraction(t) >= _frac(k * n, 2 * k + 1) and t >= k,
+    "In MP/Byz there is no protocol for SC(k, t, WV2) for t >= kn/(2k+1) "
+    "and t >= k.",
+))
+
+_register(Lemma(
+    "Lemma 3.10", LemmaKind.IMPOSSIBILITY, Model.MP_BYZ, "RV1",
+    lambda n, k, t: True,
+    "In MP/Byz there is no protocol for SC(k, t, RV1) (any t >= 1).",
+))
+
+_register(Lemma(
+    "Lemma 3.11", LemmaKind.IMPOSSIBILITY, Model.MP_BYZ, "RV2",
+    lambda n, k, t: Fraction(t) >= _frac(k * n, 2 * (k + 1)),
+    "In MP/Byz there is no protocol for SC(k, t, RV2) for t >= kn/(2(k+1)).",
+))
+
+_register(Lemma(
+    "Lemma 4.1", LemmaKind.IMPOSSIBILITY, Model.SM_CR, "WV1",
+    lambda n, k, t: k <= t,
+    "In SM/CR there is no protocol for SC(k, t, WV1) for k <= t.",
+))
+
+_register(Lemma(
+    "Lemma 4.2", LemmaKind.IMPOSSIBILITY, Model.SM_CR, "SV1",
+    lambda n, k, t: True,
+    "In SM/CR there is no protocol for SC(k, t, SV1) (any t >= 1).",
+))
+
+_register(Lemma(
+    "Lemma 4.3", LemmaKind.IMPOSSIBILITY, Model.SM_CR, "SV2",
+    lambda n, k, t: Fraction(t) >= _frac(n, 2) and t >= k,
+    "In SM/CR there is no protocol for SC(k, t, SV2) when t >= n/2 and "
+    "t >= k.",
+))
+
+_register(Lemma(
+    "Lemma 4.8", LemmaKind.IMPOSSIBILITY, Model.SM_BYZ, "RV1",
+    lambda n, k, t: True,
+    "In SM/Byz there is no protocol for SC(k, t, RV1) (any t >= 1).",
+))
+
+_register(Lemma(
+    "Lemma 4.9", LemmaKind.IMPOSSIBILITY, Model.SM_BYZ, "RV2",
+    lambda n, k, t: Fraction(t) >= _frac(n, 2) and t >= k,
+    "In SM/Byz there is no protocol for SC(k, t, RV2) for t >= n/2 and "
+    "t >= k.",
+))
+
+#: All registered lemmas, in registration (paper) order.
+ALL_LEMMAS: Tuple[Lemma, ...] = tuple(_REGISTRY.values())

@@ -1,0 +1,260 @@
+"""Problem statement: ``SC(k, t, C)`` and execution outcomes.
+
+Section 2 of the paper defines the k-set consensus problem ``SC(k)``:
+every correct process starts with an input value and must irreversibly
+decide so that
+
+* **Termination** -- every correct process eventually decides;
+* **Agreement** -- the set of values decided by correct processes has
+  size at most ``k``;
+* **Validity** -- one of the six conditions of
+  :mod:`repro.core.validity` holds.
+
+This module defines the immutable problem specification
+(:class:`SCProblem`) and the :class:`Outcome` record that a simulated
+execution produces, together with checkers that turn an outcome into a
+:class:`Verdict` for each of the three conditions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Dict, FrozenSet, Mapping, Optional, Set
+
+from repro.core.values import Value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.validity import ValidityCondition
+
+__all__ = [
+    "Outcome",
+    "SCProblem",
+    "Verdict",
+    "check_agreement",
+    "check_termination",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Outcome:
+    """The observable result of one execution.
+
+    Attributes:
+        n: number of processes (identified ``0 .. n-1``).
+        inputs: the initial value assigned to each process.  For Byzantine
+            processes this is the *nominal* input -- what the adversary was
+            handed -- even though the process may lie about it.
+        decisions: decided value per process, or absent if the process
+            never decided.  Decisions of faulty processes are recorded when
+            they occur (crash processes may decide before crashing;
+            Byzantine "decisions" are whatever the adversary reports) but
+            agreement and most validity clauses only constrain correct
+            processes.
+        faulty: identifiers of the processes that were faulty in this
+            execution.
+    """
+
+    n: int
+    inputs: Mapping[int, Value]
+    decisions: Mapping[int, Value]
+    faulty: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("n must be positive")
+        if set(self.inputs) != set(range(self.n)):
+            raise ValueError("inputs must cover process ids 0..n-1 exactly")
+        unknown = set(self.decisions) - set(range(self.n))
+        if unknown:
+            raise ValueError(f"decisions for unknown processes: {sorted(unknown)}")
+        bad_faulty = set(self.faulty) - set(range(self.n))
+        if bad_faulty:
+            raise ValueError(f"faulty ids out of range: {sorted(bad_faulty)}")
+        # Freeze the mappings so outcomes are safely shareable.
+        object.__setattr__(self, "inputs", dict(self.inputs))
+        object.__setattr__(self, "decisions", dict(self.decisions))
+        object.__setattr__(self, "faulty", frozenset(self.faulty))
+
+    @property
+    def processes(self) -> range:
+        return range(self.n)
+
+    @property
+    def correct(self) -> FrozenSet[int]:
+        """Processes that followed their specification throughout."""
+        return frozenset(range(self.n)) - self.faulty
+
+    @property
+    def failure_count(self) -> int:
+        """``f`` -- the number of *actual* failures in this execution."""
+        return len(self.faulty)
+
+    @property
+    def failure_free(self) -> bool:
+        return not self.faulty
+
+    def correct_decisions(self) -> Dict[int, Value]:
+        """Decisions of correct processes only."""
+        return {p: v for p, v in self.decisions.items() if p not in self.faulty}
+
+    def correct_decision_values(self) -> Set[Value]:
+        return set(self.correct_decisions().values())
+
+    def all_decision_values(self) -> Set[Value]:
+        return set(self.decisions.values())
+
+    def input_values(self) -> Set[Value]:
+        return set(self.inputs.values())
+
+    def correct_input_values(self) -> Set[Value]:
+        return {self.inputs[p] for p in self.correct}
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize for storage or transport.
+
+        Values are stored via ``repr`` (inputs/decisions may be arbitrary
+        hashable objects); :meth:`from_json` restores primitive values
+        (str/int/float/bool/None) and the DEFAULT/EMPTY sentinels exactly,
+        and leaves other reprs as strings.
+        """
+        import json
+
+        from repro.core.values import DEFAULT, EMPTY
+
+        def encode(value):
+            if value is DEFAULT:
+                return {"$sentinel": "default"}
+            if value is EMPTY:
+                return {"$sentinel": "empty"}
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                return value
+            return {"$repr": repr(value)}
+
+        return json.dumps({
+            "n": self.n,
+            "inputs": {str(p): encode(v) for p, v in self.inputs.items()},
+            "decisions": {str(p): encode(v) for p, v in self.decisions.items()},
+            "faulty": sorted(self.faulty),
+        })
+
+    @classmethod
+    def from_json(cls, blob: str) -> "Outcome":
+        """Inverse of :meth:`to_json` (non-primitive values come back as
+        their repr strings)."""
+        import json
+
+        from repro.core.values import DEFAULT, EMPTY
+
+        def decode(value):
+            if isinstance(value, dict):
+                if value.get("$sentinel") == "default":
+                    return DEFAULT
+                if value.get("$sentinel") == "empty":
+                    return EMPTY
+                return value.get("$repr")
+            return value
+
+        data = json.loads(blob)
+        return cls(
+            n=data["n"],
+            inputs={int(p): decode(v) for p, v in data["inputs"].items()},
+            decisions={int(p): decode(v) for p, v in data["decisions"].items()},
+            faulty=frozenset(data["faulty"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Verdict:
+    """The result of checking one condition against one outcome."""
+
+    holds: bool
+    condition: str
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __str__(self) -> str:
+        status = "OK" if self.holds else "VIOLATED"
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"{self.condition} {status}{suffix}"
+
+
+def check_termination(outcome: Outcome) -> Verdict:
+    """Termination: every correct process decided."""
+    undecided = sorted(p for p in outcome.correct if p not in outcome.decisions)
+    if undecided:
+        return Verdict(False, "termination", f"undecided correct processes: {undecided}")
+    return Verdict(True, "termination")
+
+
+def check_agreement(outcome: Outcome, k: int) -> Verdict:
+    """Agreement: at most ``k`` distinct values decided by correct processes."""
+    values = outcome.correct_decision_values()
+    if len(values) > k:
+        return Verdict(
+            False,
+            "agreement",
+            f"{len(values)} distinct correct decisions, allowed {k}",
+        )
+    return Verdict(True, "agreement", f"{len(values)} distinct decisions <= k={k}")
+
+
+@dataclasses.dataclass(frozen=True)
+class SCProblem:
+    """The problem ``SC(k, t, C)`` over ``n`` processes.
+
+    The paper writes ``SC(k, t, C)`` for k-set consensus with at most
+    ``t`` failures under validity condition ``C``; ``n`` is implicit
+    there and explicit here.
+    """
+
+    n: int
+    k: int
+    t: int
+    validity: "ValidityCondition"
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("need at least one process")
+        if not 1 <= self.k <= self.n:
+            raise ValueError(f"k must be in 1..n, got k={self.k}, n={self.n}")
+        if self.t < 0:
+            raise ValueError("t must be non-negative")
+
+    def check(self, outcome: Outcome) -> Dict[str, Verdict]:
+        """Check all three conditions, returning one verdict per condition.
+
+        Raises:
+            ValueError: if the outcome exceeds the failure budget ``t``
+                (such an execution is outside the problem's adversary
+                model, so no conclusion about the protocol follows).
+        """
+        if outcome.failure_count > self.t:
+            raise ValueError(
+                f"execution has {outcome.failure_count} failures, budget is t={self.t}"
+            )
+        return {
+            "termination": check_termination(outcome),
+            "agreement": check_agreement(outcome, self.k),
+            "validity": self.validity.check(outcome),
+        }
+
+    def satisfied_by(self, outcome: Outcome) -> bool:
+        """``True`` when all three conditions hold for ``outcome``."""
+        return all(self.check(outcome).values())
+
+    def violations(self, outcome: Outcome) -> Dict[str, Verdict]:
+        """The subset of conditions that failed."""
+        return {name: v for name, v in self.check(outcome).items() if not v}
+
+    def describe(self) -> str:
+        return (
+            f"SC(k={self.k}, t={self.t}, {self.validity.code}) "
+            f"over n={self.n} processes"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,122 @@
+"""Solvability region maps over the ``(k, t)`` grid.
+
+The paper's evaluation artifacts (Figs. 2, 4, 5 and 6) are, for each
+model, six panels -- one per validity condition -- shading the
+``(k, t)`` plane at ``n = 64`` into solvable, impossible, and open
+regions.  :func:`region_map` reproduces one panel as data;
+:mod:`repro.analysis.figures` renders it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.solvability import Classification, Solvability, classify
+from repro.core.validity import ValidityCondition
+from repro.models import Model
+
+__all__ = ["RegionMap", "frontier", "region_map", "separation_points"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionMap:
+    """Classification of every grid point of one figure panel."""
+
+    model: Model
+    validity: ValidityCondition
+    n: int
+    k_values: Tuple[int, ...]
+    t_values: Tuple[int, ...]
+    grid: Dict[Tuple[int, int], Classification]
+
+    def status(self, k: int, t: int) -> Solvability:
+        return self.grid[(k, t)].status
+
+    def points(self, status: Solvability) -> List[Tuple[int, int]]:
+        """All ``(k, t)`` points with the given status."""
+        return sorted(
+            point for point, c in self.grid.items() if c.status is status
+        )
+
+    def count(self, status: Solvability) -> int:
+        return sum(1 for c in self.grid.values() if c.status is status)
+
+    def citations_used(self) -> Tuple[str, ...]:
+        """All lemma ids that decide at least one point, sorted."""
+        seen = set()
+        for c in self.grid.values():
+            seen.update(c.citations)
+        return tuple(sorted(seen))
+
+
+def region_map(
+    model: Model,
+    validity: ValidityCondition,
+    n: int,
+    k_values: Optional[Iterable[int]] = None,
+    t_values: Optional[Iterable[int]] = None,
+) -> RegionMap:
+    """Classify a ``(k, t)`` grid for one model and validity condition.
+
+    Defaults reproduce the paper's panels: ``2 <= k <= n - 1`` and
+    ``1 <= t <= n``.
+    """
+    ks = tuple(k_values) if k_values is not None else tuple(range(2, n))
+    ts = tuple(t_values) if t_values is not None else tuple(range(1, n + 1))
+    grid = {
+        (k, t): classify(model, validity, n, k, t)
+        for k in ks
+        for t in ts
+    }
+    return RegionMap(
+        model=model,
+        validity=validity,
+        n=n,
+        k_values=ks,
+        t_values=ts,
+        grid=grid,
+    )
+
+
+def separation_points(
+    weaker_model: Model,
+    stronger_model: Model,
+    validity: ValidityCondition,
+    n: int,
+) -> List[Tuple[int, int]]:
+    """Points solvable in ``stronger_model`` but impossible in ``weaker_model``.
+
+    The paper's model-separation headlines are exactly these sets: e.g.
+    for RV2, shared memory strictly beats message passing on the whole
+    band above ``t = (k-1)n/k`` (PROTOCOL E vs. Lemma 3.3).
+    """
+    weaker = region_map(weaker_model, validity, n)
+    stronger = region_map(stronger_model, validity, n)
+    return sorted(
+        point
+        for point in weaker.grid
+        if weaker.grid[point].status is Solvability.IMPOSSIBLE
+        and stronger.grid[point].status is Solvability.POSSIBLE
+    )
+
+
+def frontier(region: RegionMap) -> Dict[int, Dict[str, Optional[int]]]:
+    """Per-``k`` crossover thresholds of one panel.
+
+    For each ``k``, reports ``max_possible_t`` (largest ``t`` still
+    solvable), ``min_impossible_t`` (smallest ``t`` already impossible),
+    and ``open_ts`` count.  These are the series EXPERIMENTS.md compares
+    against the paper's closed-form bounds.
+    """
+    out: Dict[int, Dict[str, Optional[int]]] = {}
+    for k in region.k_values:
+        possible = [t for t in region.t_values if region.status(k, t) is Solvability.POSSIBLE]
+        impossible = [t for t in region.t_values if region.status(k, t) is Solvability.IMPOSSIBLE]
+        open_ts = [t for t in region.t_values if region.status(k, t) is Solvability.OPEN]
+        out[k] = {
+            "max_possible_t": max(possible) if possible else None,
+            "min_impossible_t": min(impossible) if impossible else None,
+            "open_count": len(open_ts),
+        }
+    return out

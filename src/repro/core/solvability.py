@@ -1,0 +1,223 @@
+"""The solvability classifier: POSSIBLE / IMPOSSIBLE / OPEN per variant.
+
+This module reproduces the paper's headline result -- the demarcation
+between possible and impossible for all 24 problem variants (four models
+x six validity conditions) -- as an executable function.
+:func:`classify` answers, for any ``(model, validity, n, k, t)``,
+whether ``SC(k, t, C)`` is solvable, citing the lemmas that decide it.
+
+The classifier works exactly the way the paper argues:
+
+1. degenerate cases first (Section 2): ``t = 0`` and ``k >= n`` are
+   trivially solvable; ``k = 1`` with ``t >= 1`` is the classical
+   consensus impossibility [17], [24];
+2. otherwise, every registered lemma whose claim *carries* to the
+   queried model and validity (via the Fig. 1 lattice and the
+   model-strength relations, see :mod:`repro.core.lemmas`) is evaluated
+   on ``(n, k, t)``; any applicable possibility yields POSSIBLE, any
+   applicable impossibility yields IMPOSSIBLE, neither yields OPEN.
+
+A point classified both ways would mean the lemma set is inconsistent;
+:class:`ClassificationConflict` is raised then (and the test suite
+brute-forces wide ranges to show it never happens).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable, Optional, Tuple
+
+from repro.core.lemmas import ALL_LEMMAS, Lemma, LemmaKind, z_function
+from repro.core.validity import ValidityCondition, by_code
+from repro.models import Model
+
+__all__ = [
+    "Classification",
+    "ClassificationConflict",
+    "Solvability",
+    "classify",
+    "is_open",
+    "is_possible",
+    "possibility_lemmas_for",
+    "z_function",
+]
+
+
+class ClassificationConflict(RuntimeError):
+    """A point was derivable both possible and impossible (lemma bug)."""
+
+
+class Solvability(enum.Enum):
+    POSSIBLE = "possible"
+    IMPOSSIBLE = "impossible"
+    OPEN = "open"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class Classification:
+    """The verdict for one ``SC(k, t, C)`` instance in one model."""
+
+    status: Solvability
+    citations: Tuple[str, ...]
+    note: str = ""
+
+    def __str__(self) -> str:
+        cites = ", ".join(self.citations) if self.citations else "-"
+        return f"{self.status.value} [{cites}]"
+
+
+def _possibility_carries(source: Model, target: Model) -> bool:
+    """Whether a protocol for ``source`` is also one for ``target``.
+
+    Message-passing protocols run in shared memory via SIMULATION;
+    Byzantine-tolerant protocols tolerate crashes.
+    """
+    comm_ok = source.communication is target.communication or (
+        source.is_message_passing and target.is_shared_memory
+    )
+    fail_ok = source.failure_mode is target.failure_mode or (
+        source.is_byzantine and target.is_crash
+    )
+    return comm_ok and fail_ok
+
+
+def _impossibility_carries(source: Model, target: Model) -> bool:
+    """Whether an impossibility in ``source`` applies in ``target``.
+
+    Dual of :func:`_possibility_carries`: shared-memory impossibilities
+    apply to message passing, crash impossibilities to Byzantine.
+    """
+    return _possibility_carries(target, source)
+
+
+def _applicable(
+    target_model: Model,
+    target_validity: ValidityCondition,
+    kind: str,
+) -> Iterable[Lemma]:
+    for entry in ALL_LEMMAS:
+        if entry.kind != kind:
+            continue
+        source_validity = by_code(entry.validity)
+        if kind == LemmaKind.POSSIBILITY:
+            if not _possibility_carries(entry.model, target_model):
+                continue
+            # A protocol guaranteeing the (stronger) source validity also
+            # guarantees any weaker target validity.
+            if not source_validity.implies(target_validity):
+                continue
+        else:
+            if not _impossibility_carries(entry.model, target_model):
+                continue
+            # Impossibility of a weaker problem implies impossibility of
+            # any stronger one.
+            if not target_validity.implies(source_validity):
+                continue
+        yield entry
+
+
+def possibility_lemmas_for(
+    model: Model, validity: ValidityCondition
+) -> Tuple[Lemma, ...]:
+    """All possibility lemmas whose claim carries to ``(model, validity)``."""
+    return tuple(_applicable(model, validity, LemmaKind.POSSIBILITY))
+
+
+def impossibility_lemmas_for(
+    model: Model, validity: ValidityCondition
+) -> Tuple[Lemma, ...]:
+    """All impossibility lemmas whose claim carries to ``(model, validity)``."""
+    return tuple(_applicable(model, validity, LemmaKind.IMPOSSIBILITY))
+
+
+__all__.append("impossibility_lemmas_for")
+
+
+def _unique(items: Iterable[str]) -> Tuple[str, ...]:
+    seen = []
+    for item in items:
+        if item not in seen:
+            seen.append(item)
+    return tuple(seen)
+
+
+def classify(
+    model: Model,
+    validity: ValidityCondition,
+    n: int,
+    k: int,
+    t: int,
+) -> Classification:
+    """Classify ``SC(k, t, validity)`` over ``n`` processes in ``model``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 1 <= k:
+        raise ValueError("k must be at least 1")
+    if t < 0:
+        raise ValueError("t must be non-negative")
+
+    if t == 0:
+        return Classification(
+            Solvability.POSSIBLE,
+            ("Section 2",),
+            "t = 0: trivially solvable (adopt any fixed process's input).",
+        )
+    if k >= n:
+        return Classification(
+            Solvability.POSSIBLE,
+            ("Section 2",),
+            "k >= n: each process decides its own input, even under "
+            "Byzantine failures and validity SV1.",
+        )
+    if k == 1:
+        return Classification(
+            Solvability.IMPOSSIBLE,
+            ("Section 2", "[17] FLP", "[24] Loui-AbuAmara"),
+            "k = 1 is consensus: unsolvable for t >= 1 under any "
+            "nontrivial validity condition.",
+        )
+
+    possible_by = tuple(
+        entry
+        for entry in _applicable(model, validity, LemmaKind.POSSIBILITY)
+        if entry.applies(n, k, t)
+    )
+    impossible_by = tuple(
+        entry
+        for entry in _applicable(model, validity, LemmaKind.IMPOSSIBILITY)
+        if entry.applies(n, k, t)
+    )
+
+    if possible_by and impossible_by:
+        raise ClassificationConflict(
+            f"SC(k={k}, t={t}, {validity.code}) in {model} derived both "
+            f"possible ({[str(e) for e in possible_by]}) and impossible "
+            f"({[str(e) for e in impossible_by]})"
+        )
+    if possible_by:
+        return Classification(
+            Solvability.POSSIBLE,
+            _unique(entry.lemma_id for entry in possible_by),
+        )
+    if impossible_by:
+        return Classification(
+            Solvability.IMPOSSIBLE,
+            _unique(entry.lemma_id for entry in impossible_by),
+        )
+    return Classification(
+        Solvability.OPEN,
+        (),
+        "no lemma covers this point; the paper leaves it open",
+    )
+
+
+def is_possible(model: Model, validity: ValidityCondition, n: int, k: int, t: int) -> bool:
+    return classify(model, validity, n, k, t).status is Solvability.POSSIBLE
+
+
+def is_open(model: Model, validity: ValidityCondition, n: int, k: int, t: int) -> bool:
+    return classify(model, validity, n, k, t).status is Solvability.OPEN

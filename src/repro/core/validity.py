@@ -1,0 +1,278 @@
+"""The six validity conditions and their "weaker than" lattice (Fig. 1).
+
+Section 2 of the paper defines six validity conditions for ``SC(k)``:
+
+=====  ==========  =========================================================
+Code   Name        Statement
+=====  ==========  =========================================================
+SV1    strong V1   The decision of any correct process equals the input of
+                   some *correct* process.
+SV2    strong V2   If all correct processes start with ``v`` then correct
+                   processes decide ``v``.
+RV1    regular V1  The decision of any correct process equals the input of
+                   some process.
+RV2    regular V2  If *all* processes start with ``v`` then correct
+                   processes decide ``v``.
+WV1    weak V1     If there are no failures, then the decision of any
+                   process equals the input of some process.
+WV2    weak V2     If there are no failures and all processes start with
+                   ``v``, then the decision of any process is ``v``.
+=====  ==========  =========================================================
+
+``SC(C)`` is *weaker* than ``SC(D)`` when the validity condition ``C`` is
+logically implied by ``D``; any run of a protocol solving ``SC(D)`` then
+also solves ``SC(C)``, and any impossibility for ``SC(C)`` carries over to
+``SC(D)``.  Fig. 1 of the paper draws this partial order; it is exposed
+here via :meth:`ValidityCondition.implies` and :func:`weaker_than`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.core.problem import Outcome, Verdict
+from repro.core.values import Value
+
+__all__ = [
+    "ALL_VALIDITY_CONDITIONS",
+    "RV1",
+    "RV2",
+    "SV1",
+    "SV2",
+    "ValidityCondition",
+    "WV1",
+    "WV2",
+    "by_code",
+    "implication_pairs",
+    "stronger_than",
+    "weaker_than",
+]
+
+
+def _single_common_value(values) -> Tuple[bool, Value]:
+    """Whether all ``values`` coincide; returns (flag, the value or None)."""
+    distinct = set(values)
+    if len(distinct) == 1:
+        return True, next(iter(distinct))
+    return False, None
+
+
+class ValidityCondition:
+    """One of the paper's six validity conditions.
+
+    Instances are module-level singletons (:data:`SV1` ... :data:`WV2`);
+    compare them with ``is`` or ``==`` (identity-based).
+    """
+
+    def __init__(self, code: str, name: str, statement: str) -> None:
+        self.code = code
+        self.name = name
+        self.statement = statement
+
+    def check(self, outcome: Outcome) -> Verdict:
+        """Evaluate the condition on an execution outcome."""
+        raise NotImplementedError
+
+    def implies(self, other: "ValidityCondition") -> bool:
+        """Whether every outcome satisfying ``self`` satisfies ``other``.
+
+        Equivalently (Fig. 1): ``SC(other)`` is weaker than ``SC(self)``.
+        Reflexive: every condition implies itself.
+        """
+        return (self.code, other.code) in _IMPLIES or self is other
+
+    def __repr__(self) -> str:
+        return f"ValidityCondition({self.code})"
+
+    def __str__(self) -> str:
+        return self.code
+
+
+class _SV1(ValidityCondition):
+    def check(self, outcome: Outcome) -> Verdict:
+        allowed = outcome.correct_input_values()
+        bad = {
+            p: v
+            for p, v in outcome.correct_decisions().items()
+            if v not in allowed
+        }
+        if bad:
+            return Verdict(
+                False,
+                "validity:SV1",
+                f"correct decisions not among correct inputs: {bad}",
+            )
+        return Verdict(True, "validity:SV1")
+
+
+class _SV2(ValidityCondition):
+    def check(self, outcome: Outcome) -> Verdict:
+        unanimous, v = _single_common_value(
+            outcome.inputs[p] for p in outcome.correct
+        )
+        if not unanimous:
+            return Verdict(True, "validity:SV2", "correct inputs not unanimous")
+        bad = {p: d for p, d in outcome.correct_decisions().items() if d != v}
+        if bad:
+            return Verdict(
+                False,
+                "validity:SV2",
+                f"all correct started with {v!r} but decided: {bad}",
+            )
+        return Verdict(True, "validity:SV2")
+
+
+class _RV1(ValidityCondition):
+    def check(self, outcome: Outcome) -> Verdict:
+        allowed = outcome.input_values()
+        bad = {
+            p: v
+            for p, v in outcome.correct_decisions().items()
+            if v not in allowed
+        }
+        if bad:
+            return Verdict(
+                False,
+                "validity:RV1",
+                f"correct decisions not among inputs: {bad}",
+            )
+        return Verdict(True, "validity:RV1")
+
+
+class _RV2(ValidityCondition):
+    def check(self, outcome: Outcome) -> Verdict:
+        unanimous, v = _single_common_value(outcome.inputs.values())
+        if not unanimous:
+            return Verdict(True, "validity:RV2", "inputs not unanimous")
+        bad = {p: d for p, d in outcome.correct_decisions().items() if d != v}
+        if bad:
+            return Verdict(
+                False,
+                "validity:RV2",
+                f"all started with {v!r} but decided: {bad}",
+            )
+        return Verdict(True, "validity:RV2")
+
+
+class _WV1(ValidityCondition):
+    def check(self, outcome: Outcome) -> Verdict:
+        if not outcome.failure_free:
+            return Verdict(True, "validity:WV1", "failures occurred")
+        allowed = outcome.input_values()
+        bad = {p: v for p, v in outcome.decisions.items() if v not in allowed}
+        if bad:
+            return Verdict(
+                False,
+                "validity:WV1",
+                f"decisions not among inputs in failure-free run: {bad}",
+            )
+        return Verdict(True, "validity:WV1")
+
+
+class _WV2(ValidityCondition):
+    def check(self, outcome: Outcome) -> Verdict:
+        if not outcome.failure_free:
+            return Verdict(True, "validity:WV2", "failures occurred")
+        unanimous, v = _single_common_value(outcome.inputs.values())
+        if not unanimous:
+            return Verdict(True, "validity:WV2", "inputs not unanimous")
+        bad = {p: d for p, d in outcome.decisions.items() if d != v}
+        if bad:
+            return Verdict(
+                False,
+                "validity:WV2",
+                f"failure-free unanimous run with input {v!r} decided: {bad}",
+            )
+        return Verdict(True, "validity:WV2")
+
+
+SV1 = _SV1(
+    "SV1",
+    "strong V1",
+    "The decision of any correct process is equal to the input of some "
+    "correct process.",
+)
+SV2 = _SV2(
+    "SV2",
+    "strong V2",
+    "If all correct processes start with v then correct processes decide v.",
+)
+RV1 = _RV1(
+    "RV1",
+    "regular V1",
+    "The decision of any correct process is equal to the input of some "
+    "process.",
+)
+RV2 = _RV2(
+    "RV2",
+    "regular V2",
+    "If all processes start with v then correct processes decide v.",
+)
+WV1 = _WV1(
+    "WV1",
+    "weak V1",
+    "If there are no failures, then the decision of any process is equal "
+    "to the input of some process.",
+)
+WV2 = _WV2(
+    "WV2",
+    "weak V2",
+    "If there are no failures and all processes start with v, then the "
+    "decision of any process is equal to v.",
+)
+
+#: All six conditions, strongest first (the order the paper lists them in).
+ALL_VALIDITY_CONDITIONS = (SV1, SV2, RV1, RV2, WV1, WV2)
+
+_BY_CODE: Dict[str, ValidityCondition] = {c.code: c for c in ALL_VALIDITY_CONDITIONS}
+
+# Direct edges of Fig. 1, as (stronger, weaker) code pairs.  An arrow in
+# the figure from C to D means SC(C) is weaker than SC(D), i.e. D implies C.
+_DIRECT_EDGES = (
+    ("SV1", "SV2"),
+    ("SV1", "RV1"),
+    ("SV2", "RV2"),
+    ("RV1", "RV2"),
+    ("RV1", "WV1"),
+    ("RV2", "WV2"),
+    ("WV1", "WV2"),
+)
+
+
+def _transitive_closure(edges) -> FrozenSet[Tuple[str, str]]:
+    closure = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for (a, b) in list(closure):
+            for (c, d) in list(closure):
+                if b == c and (a, d) not in closure:
+                    closure.add((a, d))
+                    changed = True
+    return frozenset(closure)
+
+
+_IMPLIES = _transitive_closure(_DIRECT_EDGES)
+
+
+def by_code(code: str) -> ValidityCondition:
+    """Look a condition up by its paper code, e.g. ``"RV1"``."""
+    try:
+        return _BY_CODE[code.upper()]
+    except KeyError:
+        raise ValueError(f"unknown validity condition: {code!r}") from None
+
+
+def weaker_than(c: ValidityCondition, d: ValidityCondition) -> bool:
+    """Whether ``SC(c)`` is weaker than ``SC(d)`` (strictly), per Fig. 1."""
+    return c is not d and d.implies(c)
+
+
+def stronger_than(c: ValidityCondition, d: ValidityCondition) -> bool:
+    """Whether ``SC(c)`` is stronger than ``SC(d)`` (strictly)."""
+    return weaker_than(d, c)
+
+
+def implication_pairs() -> FrozenSet[Tuple[str, str]]:
+    """All (stronger, weaker) code pairs in the closure of Fig. 1."""
+    return _IMPLIES

@@ -1,0 +1,101 @@
+"""Value domain for k-set consensus.
+
+The paper allows the input domain to be unconstrained (Section 2): inputs
+may come from a set of cardinality ``n`` or larger.  We therefore treat
+values as opaque hashable Python objects.  Two distinguished sentinels are
+defined here:
+
+* :data:`DEFAULT` -- the default decision value ``v0`` used by Protocols
+  A, B, C(l), E and F when a process cannot safely decide a "real" value.
+* :data:`EMPTY` -- the initial content of an unwritten shared register
+  (the bottom value, written as an empty register in the paper's shared
+  memory protocols).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+__all__ = [
+    "DEFAULT",
+    "EMPTY",
+    "Default",
+    "Empty",
+    "Value",
+    "is_default",
+    "is_empty",
+    "order_key",
+]
+
+#: Type alias for decision/input values.  Values must be hashable so they
+#: can be collected in sets when checking agreement.
+Value = Hashable
+
+
+class _Sentinel:
+    """Base class for module-level singleton sentinels."""
+
+    _slug = "sentinel"
+    _instance: "_Sentinel | None" = None
+
+    def __new__(cls) -> "_Sentinel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return f"<{self._slug}>"
+
+    def __reduce__(self):  # keep singleton identity across pickling
+        return (self.__class__, ())
+
+
+class Default(_Sentinel):
+    """The default decision value ``v0`` of the paper's protocols.
+
+    ``v0`` is assumed to differ from every input value; making it a
+    dedicated singleton type guarantees that without constraining the
+    input domain.
+    """
+
+    _slug = "default:v0"
+    _instance = None
+
+
+class Empty(_Sentinel):
+    """Content of a shared register that has never been written."""
+
+    _slug = "empty-register"
+    _instance = None
+
+
+DEFAULT = Default()
+EMPTY = Empty()
+
+
+def is_default(value: Any) -> bool:
+    """Whether ``value`` is the default decision value ``v0``."""
+    return value is DEFAULT
+
+
+def is_empty(value: Any) -> bool:
+    """Whether ``value`` is the unwritten-register sentinel."""
+    return value is EMPTY
+
+
+def order_key(value: Any) -> tuple:
+    """A total order over arbitrary values.
+
+    Chaudhuri's protocol decides the *minimum* of a set of received
+    values, which requires a total order on the input domain.  Natural
+    Python ordering is used within a type; values of different types are
+    ordered by type name first.  The sentinels sort after everything else
+    so they are never mistaken for the minimum of a set of real inputs.
+    """
+    if isinstance(value, _Sentinel):
+        return ("~sentinel", value._slug)
+    try:
+        hash(value)
+    except TypeError:
+        raise TypeError(f"consensus values must be hashable, got {value!r}")
+    return (type(value).__name__, value)

@@ -1,0 +1,48 @@
+"""Fault injection: crash adversaries and Byzantine behaviours."""
+
+from repro.failures.adversary import CrashAdversary, NoCrashes
+from repro.failures.byzantine import (
+    GarbageProcess,
+    MultiFaceProcess,
+    MutatingProcess,
+    MuteProcess,
+    SilentDecider,
+    two_faced,
+)
+from repro.failures.byzantine_sm import (
+    garbage_writer,
+    mute_program,
+    register_rewriter,
+    silent_decider_program,
+    with_fake_input,
+)
+from repro.failures.crash import (
+    CrashAfterDecide,
+    CrashPlan,
+    CrashPoint,
+    CrashWhenOthersDecide,
+    RandomCrashes,
+    combine,
+)
+
+__all__ = [
+    "CrashAdversary",
+    "CrashAfterDecide",
+    "CrashPlan",
+    "CrashPoint",
+    "CrashWhenOthersDecide",
+    "GarbageProcess",
+    "MultiFaceProcess",
+    "MutatingProcess",
+    "MuteProcess",
+    "NoCrashes",
+    "RandomCrashes",
+    "SilentDecider",
+    "combine",
+    "garbage_writer",
+    "mute_program",
+    "register_rewriter",
+    "silent_decider_program",
+    "two_faced",
+    "with_fake_input",
+]

@@ -1,0 +1,69 @@
+"""Adversary interfaces.
+
+The paper's adversary controls three things: which processes fail (at
+most ``t``), *how* they fail (per the failure mode of the model), and the
+asynchrony -- when each pending step or delivery happens.  In this
+reproduction those powers are split into three pluggable objects:
+
+* a :class:`CrashAdversary` (this module / :mod:`repro.failures.crash`)
+  decides crash points in the crash models;
+* Byzantine behaviour replacements (:mod:`repro.failures.byzantine`)
+  substitute arbitrary :class:`~repro.runtime.process.Process` objects at
+  faulty indices in the Byzantine models;
+* a scheduler (:mod:`repro.net.schedulers` /
+  :mod:`repro.shm.kernel`) orders pending events.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set
+
+__all__ = ["CrashAdversary", "NoCrashes"]
+
+
+class CrashAdversary:
+    """Decides when processes crash.  Base class crashes nobody.
+
+    The kernel consults the adversary at three points:
+
+    * before executing a handler step for ``pid``
+      (:meth:`crashes_before_step`) -- returning ``True`` means the
+      process halted before this step; the event is dropped;
+    * at each individual send (:meth:`crashes_at_send`) -- returning
+      ``True`` suppresses this send and every later instruction of the
+      process, which models a crash in the middle of a broadcast;
+    * after every executed event (:meth:`dynamic_crashes`) -- the
+      adversary may react to global progress, e.g. "crash every process
+      in g right after p_i decides" as in the proof of Lemma 4.3.
+
+    Implementations must be deterministic functions of their inputs (plus
+    any internally seeded randomness) so runs are reproducible.
+    """
+
+    def potentially_faulty(self) -> FrozenSet[int]:
+        """Processes this adversary might crash (for budget validation)."""
+        return frozenset()
+
+    def crashes_before_step(self, pid: int, steps_taken: int) -> bool:
+        """Whether ``pid`` halts instead of taking its next handler step.
+
+        ``steps_taken`` counts handler invocations (including the start
+        step) the process has already completed.
+        """
+        return False
+
+    def crashes_at_send(self, pid: int, sends_made: int) -> bool:
+        """Whether ``pid`` halts at its next send.
+
+        ``sends_made`` counts point-to-point sends already performed (a
+        broadcast is ``n`` sends, so a crash can split a broadcast).
+        """
+        return False
+
+    def dynamic_crashes(self, view) -> Iterable[int]:
+        """Processes to crash right now, given a read-only kernel view."""
+        return ()
+
+
+class NoCrashes(CrashAdversary):
+    """The failure-free crash adversary."""

@@ -1,0 +1,255 @@
+"""Byzantine behaviours for the message-passing models.
+
+A Byzantine process "can deviate from its program arbitrarily"
+(Section 2).  In the kernel, Byzantine failure is modelled by installing
+a misbehaving :class:`~repro.runtime.process.Process` object at a faulty
+index.  This module provides the behaviours the paper's proofs rely on
+plus generic fuzzing behaviours:
+
+* :class:`MuteProcess` -- sends nothing (subsumes crash-at-start);
+* :class:`MultiFaceProcess` -- runs several *faces* of a real protocol
+  in parallel, showing a different input/execution to different peers.
+  This is exactly the proof device of Lemmas 3.9 and 4.9 ("for each
+  group g_i, processes in F behave as correct processes with input
+  v_i");
+* :class:`MutatingProcess` -- runs the real protocol but rewrites
+  outgoing payloads (value lies, echo splitting);
+* :class:`GarbageProcess` -- broadcasts malformed payloads, checking
+  that correct processes validate what they receive.
+
+The network still authenticates senders (it does not forge messages), so
+a Byzantine process cannot impersonate another -- matching the paper's
+reliable-network assumption.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Hashable, Iterable, Mapping, Optional
+
+from repro.core.values import Value
+from repro.runtime.process import Context, Process
+
+__all__ = [
+    "GarbageProcess",
+    "MultiFaceProcess",
+    "MutatingProcess",
+    "MuteProcess",
+    "SilentDecider",
+    "two_faced",
+]
+
+#: Sentinel a mutator returns to suppress an outgoing message entirely.
+SUPPRESS = object()
+__all__.append("SUPPRESS")
+
+
+class MuteProcess(Process):
+    """Never sends anything; the Byzantine equivalent of crash-at-start."""
+
+
+class SilentDecider(Process):
+    """Decides its input immediately and otherwise stays silent."""
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.decide(ctx.input)
+
+
+class _FilteredContext(Context):
+    """A context restricted to a subset of destinations with a fake input.
+
+    Sends to destinations outside ``allow_dst`` are silently dropped;
+    self-addressed messages are queued for loop-back to this face only
+    (faces must not see each other's traffic); decisions are swallowed
+    (a Byzantine process owes nobody a decision).
+    """
+
+    def __init__(
+        self,
+        real: Context,
+        fake_input: Value,
+        allow_dst: Callable[[int], bool],
+    ) -> None:
+        super().__init__(real.pid, real.n, real.t, fake_input)
+        self._real = real
+        self._allow_dst = allow_dst
+        self.pending_self: list = []
+
+    def _emit_send(self, dst: int, payload: Any) -> None:
+        if dst == self.pid:
+            self.pending_self.append(payload)
+        elif self._allow_dst(dst):
+            self._real.send(dst, payload)
+
+    def _emit_decide(self, value: Value) -> None:
+        pass
+
+
+class MultiFaceProcess(Process):
+    """Runs one inner protocol instance per *face*.
+
+    Each face is an honest execution of the protocol with its own
+    (possibly fake) input.  Peers are partitioned among faces: a peer
+    assigned to face ``i`` only ever sees face ``i``'s messages, and its
+    messages are only fed to face ``i``.  To each group of peers, the
+    process is indistinguishable from a correct process with that face's
+    input -- the standard two-faced Byzantine strategy.
+
+    Args:
+        protocol_factory: builds a fresh inner protocol process per face.
+        face_inputs: input value per face key.
+        face_of_peer: maps a peer id to the face key it is assigned to;
+            peers mapped to ``None`` are ignored entirely.
+    """
+
+    def __init__(
+        self,
+        protocol_factory: Callable[[], Process],
+        face_inputs: Mapping[Hashable, Value],
+        face_of_peer: Callable[[int], Optional[Hashable]],
+    ) -> None:
+        if not face_inputs:
+            raise ValueError("need at least one face")
+        self._face_inputs: Dict[Hashable, Value] = dict(face_inputs)
+        self._factory = protocol_factory
+        self._face_of_peer = face_of_peer
+        self._faces: Dict[Hashable, Process] = {}
+        self._contexts: Dict[Hashable, _FilteredContext] = {}
+
+    def _ensure_faces(self, ctx: Context) -> None:
+        if self._faces:
+            return
+        for key, fake_input in self._face_inputs.items():
+            allow = self._allow_for(key)
+            self._faces[key] = self._factory()
+            self._contexts[key] = _FilteredContext(ctx, fake_input, allow)
+
+    def _allow_for(self, key: Hashable) -> Callable[[int], bool]:
+        def allow(dst: int) -> bool:
+            return self._face_of_peer(dst) == key
+
+        return allow
+
+    def _flush_self_deliveries(self, pid: int) -> None:
+        # Loop self-addressed messages back into the face that sent them,
+        # after the current handler returned (avoids handler re-entrancy).
+        progressed = True
+        while progressed:
+            progressed = False
+            for key, face_ctx in self._contexts.items():
+                while face_ctx.pending_self:
+                    payload = face_ctx.pending_self.pop(0)
+                    self._faces[key].on_message(face_ctx, pid, payload)
+                    progressed = True
+
+    def on_start(self, ctx: Context) -> None:
+        self._ensure_faces(ctx)
+        for key, face in self._faces.items():
+            face.on_start(self._contexts[key])
+        self._flush_self_deliveries(ctx.pid)
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        self._ensure_faces(ctx)
+        if sender == ctx.pid:
+            return  # network self-copies are not used by faces
+        key = self._face_of_peer(sender)
+        if key is None or key not in self._faces:
+            return
+        self._faces[key].on_message(self._contexts[key], sender, payload)
+        self._flush_self_deliveries(ctx.pid)
+
+
+def two_faced(
+    protocol_factory: Callable[[], Process],
+    input_a: Value,
+    peers_a: Iterable[int],
+    input_b: Value,
+) -> MultiFaceProcess:
+    """Convenience builder: show ``input_a`` to ``peers_a``, ``input_b`` to the rest."""
+    group_a = frozenset(peers_a)
+
+    def face_of_peer(pid: int) -> str:
+        return "a" if pid in group_a else "b"
+
+    return MultiFaceProcess(
+        protocol_factory,
+        {"a": input_a, "b": input_b},
+        face_of_peer,
+    )
+
+
+class _MutatingContext(Context):
+    def __init__(self, real: Context, mutate: Callable[[int, Any], Any]) -> None:
+        super().__init__(real.pid, real.n, real.t, real.input)
+        self._real = real
+        self._mutate = mutate
+
+    def _emit_send(self, dst: int, payload: Any) -> None:
+        mutated = self._mutate(dst, payload)
+        if mutated is not SUPPRESS:
+            self._real.send(dst, mutated)
+
+    def _emit_decide(self, value: Value) -> None:
+        pass
+
+
+class MutatingProcess(Process):
+    """Runs the real protocol but rewrites every outgoing payload.
+
+    ``mutate(dst, payload)`` returns the payload to actually send (which
+    may differ per destination -- equivocation) or :data:`SUPPRESS` to
+    drop the message (selective omission).
+    """
+
+    def __init__(
+        self,
+        inner: Process,
+        mutate: Callable[[int, Any], Any],
+    ) -> None:
+        self._inner = inner
+        self._mutate = mutate
+        self._wrapped: Optional[_MutatingContext] = None
+
+    def _wrap(self, ctx: Context) -> _MutatingContext:
+        if self._wrapped is None:
+            self._wrapped = _MutatingContext(ctx, self._mutate)
+        return self._wrapped
+
+    def on_start(self, ctx: Context) -> None:
+        self._inner.on_start(self._wrap(ctx))
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        self._inner.on_message(self._wrap(ctx), sender, payload)
+
+
+class GarbageProcess(Process):
+    """Broadcasts malformed payloads to everyone, then babbles on replies.
+
+    Exercises input validation in correct processes: tags that do not
+    exist, wrong arities, non-tuple payloads, unhashable-looking values.
+    """
+
+    def __init__(self, seed: int = 0, rounds: int = 3) -> None:
+        self._rng = random.Random(seed)
+        self._rounds = rounds
+        self._sent = 0
+
+    def _garbage(self) -> Any:
+        choices = (
+            ("NOSUCHTAG", self._rng.random()),
+            ("VAL",),  # wrong arity for value messages
+            ("ECHO", "notapid", None, 1, 2, 3),
+            42,
+            None,
+            ("INIT",) * self._rng.randint(1, 4),
+            ("VAL", ("nested", ("tuple", self._rng.randint(0, 99)))),
+        )
+        return choices[self._rng.randrange(len(choices))]
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast(self._garbage())
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        if self._sent < self._rounds:
+            self._sent += 1
+            ctx.send(sender, self._garbage())

@@ -1,0 +1,90 @@
+"""Byzantine behaviours for the shared-memory models.
+
+A Byzantine process in the shared-memory model can write anything *to
+its own register* (the memory's single-writer restriction survives
+Byzantine clients, Section 4) and can read and compute arbitrarily.  The
+programs here misuse exactly that freedom: garbage content, history
+rewriting, lying about the input while otherwise following the protocol.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Generator
+
+from repro.core.values import Value
+from repro.shm.kernel import SMContext, SMProgram
+from repro.shm.ops import Decide, Op, Read, Write
+
+__all__ = [
+    "garbage_writer",
+    "mute_program",
+    "register_rewriter",
+    "with_fake_input",
+]
+
+
+def mute_program(ctx: SMContext) -> Generator[Op, Any, None]:
+    """Take no shared-memory steps at all (crash-at-start equivalent)."""
+    return
+    yield  # pragma: no cover - makes this a generator function
+
+
+def garbage_writer(seed: int = 0, rounds: int = 25) -> SMProgram:
+    """Repeatedly write malformed junk and read random registers."""
+
+    def program(ctx: SMContext) -> Generator[Op, Any, None]:
+        rng = random.Random(f"{seed}:{ctx.pid}")
+        junk_pool = (
+            ("junk", 0.5),
+            (),
+            "a string",
+            -1,
+            ("VAL", "forged", "extra"),
+            None,
+            (("nested",),) * 3,
+        )
+        for _ in range(rounds):
+            yield Write(junk_pool[rng.randrange(len(junk_pool))])
+            yield Read(rng.randrange(ctx.n))
+
+    return program
+
+
+def register_rewriter(values, rounds: int = 10) -> SMProgram:
+    """Cycle the register through ``values``, rewriting history.
+
+    Readers that scan at different times see different values -- the
+    shared-memory analogue of equivocation.
+    """
+    values = tuple(values)
+    if not values:
+        raise ValueError("need at least one value to cycle through")
+
+    def program(ctx: SMContext) -> Generator[Op, Any, None]:
+        for i in range(rounds * len(values)):
+            yield Write(values[i % len(values)])
+            yield Read((ctx.pid + i) % ctx.n)
+
+    return program
+
+
+def with_fake_input(
+    program: SMProgram,
+    fake_input: Value,
+) -> SMProgram:
+    """Follow ``program`` honestly but with a lie for the input value."""
+
+    def wrapped(ctx: SMContext) -> Generator[Op, Any, None]:
+        fake_ctx = SMContext(ctx.pid, ctx.n, ctx.t, fake_input)
+        return program(fake_ctx)
+
+    return wrapped
+
+
+def silent_decider_program(ctx: SMContext) -> Generator[Op, Any, None]:
+    """Decide the input and stop without writing anything."""
+    yield Decide(ctx.input)
+
+
+__all__.append("silent_decider_program")

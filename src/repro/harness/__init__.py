@@ -1,0 +1,29 @@
+"""Experiment harness: runners, input patterns, Monte-Carlo sweeps."""
+
+from repro.harness.attack import AttackResult, search_worst_run
+from repro.harness.campaign import Campaign, CampaignResult, run_campaign
+from repro.harness.exhaustive import ExplorationResult, crash_patterns, explore_mp
+from repro.harness.inputs import INPUT_PATTERNS, make_inputs
+from repro.harness.runner import ExperimentReport, run_mp, run_sm, run_spec
+from repro.harness.sweep import SweepConfig, SweepStats, Violation, sweep_spec
+
+__all__ = [
+    "AttackResult",
+    "Campaign",
+    "CampaignResult",
+    "ExperimentReport",
+    "ExplorationResult",
+    "crash_patterns",
+    "explore_mp",
+    "run_campaign",
+    "search_worst_run",
+    "INPUT_PATTERNS",
+    "SweepConfig",
+    "SweepStats",
+    "Violation",
+    "make_inputs",
+    "run_mp",
+    "run_sm",
+    "run_spec",
+    "sweep_spec",
+]

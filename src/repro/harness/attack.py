@@ -1,0 +1,243 @@
+"""Adversarial search: how badly can a protocol be made to misbehave?
+
+The paper leaves *open gaps* in several panels -- regions where no
+protocol is known and no impossibility is proved.  This module provides
+a randomized adversarial search that, given a protocol and an
+``(n, k, t)`` point, hunts for schedules, crash patterns, Byzantine
+behaviours, and input assignments maximizing the damage (distinct
+correct decisions, or a validity break).
+
+Uses:
+
+* inside a protocol's claimed region it is a *falsification* harness --
+  any found violation is a bug (the test suite runs it there and
+  expects failure-free results);
+* outside the region it quantifies the failure concretely (e.g.
+  "PROTOCOL B at t = kn/(2k+1) can be driven to 5 values");
+* in the open gaps it provides *evidence* (never proof) about which way
+  the open question might resolve for this particular protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.failures.byzantine import (
+    GarbageProcess,
+    MultiFaceProcess,
+    MuteProcess,
+)
+from repro.failures.crash import CrashPlan, CrashPoint
+from repro.harness.runner import ExperimentReport, run_spec
+from repro.net.schedulers import (
+    FairDeliveryWrapper,
+    GroupPartitionScheduler,
+    RandomScheduler,
+)
+from repro.protocols.base import ProtocolSpec
+from repro.runtime.kernel import KernelLimitError, SchedulerStall
+from repro.shm.schedulers import (
+    FairProcessWrapper,
+    RandomProcessScheduler,
+    StagedScheduler,
+)
+
+__all__ = ["AttackResult", "search_worst_run"]
+
+
+@dataclasses.dataclass
+class AttackResult:
+    """The most damaging run found by the search."""
+
+    spec_name: str
+    n: int
+    k: int
+    t: int
+    attempts: int
+    best_distinct: int
+    best_report: Optional[ExperimentReport]
+    violations_found: int
+    first_violation: Optional[str] = None
+
+    @property
+    def broke_agreement(self) -> bool:
+        return self.best_distinct > self.k
+
+    def summary(self) -> str:
+        status = (
+            f"VIOLATION after {self.attempts} attempts: {self.first_violation}"
+            if self.violations_found
+            else f"no violation in {self.attempts} attempts"
+        )
+        return (
+            f"attack on {self.spec_name} at n={self.n}, k={self.k}, "
+            f"t={self.t}: max distinct decisions {self.best_distinct}; {status}"
+        )
+
+
+def _random_partition(n: int, rng: random.Random) -> List[List[int]]:
+    """A random partition of 0..n-1 into 2..4 groups."""
+    pids = list(range(n))
+    rng.shuffle(pids)
+    group_count = rng.randint(2, min(4, n))
+    cuts = sorted(rng.sample(range(1, n), group_count - 1))
+    groups, start = [], 0
+    for cut in cuts + [n]:
+        groups.append(pids[start:cut])
+        start = cut
+    return [g for g in groups if g]
+
+
+def _mp_scheduler(n: int, rng: random.Random):
+    roll = rng.random()
+    if roll < 0.5:
+        return RandomScheduler(seed=rng.randrange(1 << 30))
+    # Partition bias wrapped in fairness: delays stay finite, so any
+    # termination violation reported is genuine.
+    return FairDeliveryWrapper(
+        GroupPartitionScheduler(_random_partition(n, rng), release_on_stall=True),
+        patience=rng.randint(16, 128),
+    )
+
+
+def _sm_scheduler(n: int, rng: random.Random):
+    roll = rng.random()
+    if roll < 0.5:
+        return RandomProcessScheduler(seed=rng.randrange(1 << 30))
+    return FairProcessWrapper(
+        StagedScheduler(_random_partition(n, rng), release_on_stall=True),
+        patience=rng.randint(8, 64),
+    )
+
+
+def _crash_plan(n: int, t: int, rng: random.Random) -> Optional[CrashPlan]:
+    count = rng.randint(0, t)
+    if not count:
+        return None
+    points: Dict[int, CrashPoint] = {}
+    for pid in rng.sample(range(n), count):
+        if rng.random() < 0.5:
+            points[pid] = CrashPoint(after_sends=rng.randint(0, 2 * n))
+        else:
+            points[pid] = CrashPoint(after_steps=rng.randint(0, n))
+    return CrashPlan(points)
+
+
+def _byzantine_behaviours(
+    spec: ProtocolSpec, n: int, k: int, t: int, rng: random.Random
+):
+    count = rng.randint(0, t)
+    victims = rng.sample(range(n), count)
+    behaviours = {}
+    for pid in victims:
+        roll = rng.random()
+        if spec.is_shared_memory:
+            from repro.failures.byzantine_sm import (
+                garbage_writer,
+                mute_program,
+                register_rewriter,
+            )
+
+            if roll < 0.34:
+                behaviours[pid] = mute_program
+            elif roll < 0.67:
+                behaviours[pid] = garbage_writer(seed=rng.randrange(1 << 30))
+            else:
+                behaviours[pid] = register_rewriter(
+                    [f"w{pid}a", f"w{pid}b", f"w{pid}c"]
+                )
+        else:
+            if roll < 0.25:
+                behaviours[pid] = MuteProcess()
+            elif roll < 0.5:
+                behaviours[pid] = GarbageProcess(seed=rng.randrange(1 << 30))
+            else:
+                faces = {f"f{i}": f"lie{pid}-{i}" for i in range(rng.randint(2, 4))}
+                keys = list(faces)
+                behaviours[pid] = MultiFaceProcess(
+                    protocol_factory=lambda: spec.make(n, k, t),
+                    face_inputs=faces,
+                    face_of_peer=lambda peer, keys=keys: keys[peer % len(keys)],
+                )
+    return behaviours
+
+
+def _inputs(n: int, rng: random.Random) -> List[str]:
+    style = rng.random()
+    if style < 0.3:
+        return [f"v{i}" for i in range(n)]
+    if style < 0.6:
+        return ["v"] * n
+    pool = [f"v{i}" for i in range(rng.randint(2, max(2, n // 2)))]
+    return [rng.choice(pool) for _ in range(n)]
+
+
+def search_worst_run(
+    spec: ProtocolSpec,
+    n: int,
+    k: int,
+    t: int,
+    attempts: int = 200,
+    seed: int = 0,
+    max_ticks: int = 200_000,
+    stop_on_violation: bool = False,
+) -> AttackResult:
+    """Randomized adversarial search for the worst run of ``spec``.
+
+    Every attempt draws a scheduler (random or partition-shaped -- the
+    shapes the impossibility proofs use), a failure pattern within the
+    budget, and an input style, then runs the protocol and scores the
+    run by distinct correct decisions and condition violations.
+    """
+    master = random.Random(seed)
+    result = AttackResult(
+        spec_name=spec.name, n=n, k=k, t=t,
+        attempts=0, best_distinct=0, best_report=None, violations_found=0,
+    )
+    for attempt in range(attempts):
+        rng = random.Random(master.randrange(1 << 62))
+        crash = None
+        byzantine = None
+        if spec.model.is_crash:
+            crash = _crash_plan(n, t, rng)
+        else:
+            byzantine = _byzantine_behaviours(spec, n, k, t, rng) or None
+        scheduler = (
+            _sm_scheduler(n, rng)
+            if spec.is_shared_memory
+            else _mp_scheduler(n, rng)
+        )
+        try:
+            report = run_spec(
+                spec, n, k, t, _inputs(n, rng),
+                scheduler=scheduler,
+                crash_adversary=crash,
+                byzantine_behaviours=byzantine,
+                max_ticks=max_ticks,
+            )
+        except (KernelLimitError, SchedulerStall) as error:
+            result.attempts += 1
+            result.violations_found += 1
+            if result.first_violation is None:
+                result.first_violation = f"termination: {error}"
+            if stop_on_violation:
+                break
+            continue
+        result.attempts += 1
+        distinct = len(report.outcome.correct_decision_values())
+        if distinct > result.best_distinct:
+            result.best_distinct = distinct
+            result.best_report = report
+        if not report.ok:
+            result.violations_found += 1
+            if result.first_violation is None:
+                result.first_violation = "; ".join(
+                    str(v) for v in report.violated().values()
+                )
+            if result.best_report is None or distinct >= result.best_distinct:
+                result.best_report = report
+            if stop_on_violation:
+                break
+    return result

@@ -1,0 +1,176 @@
+"""Sweep campaigns: grid-scale validation with persisted results.
+
+A *campaign* runs Monte-Carlo sweeps for many protocols over many
+``(n, k, t)`` points and records the results as JSON, so that large
+validations (the kind backing EXPERIMENTS.md) are resumable and
+diffable across library versions.  Re-running a campaign with the same
+seed reproduces it exactly; points already present in the result file
+are skipped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import sample_solvable_points
+from repro.harness.sweep import SweepConfig, SweepStats, sweep_spec
+from repro.protocols.base import ProtocolSpec, all_specs, get_spec
+from repro.models import Model
+
+import random
+
+__all__ = ["Campaign", "CampaignResult", "PointRecord", "run_campaign"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Campaign:
+    """Specification of a validation campaign."""
+
+    name: str
+    n_values: Tuple[int, ...] = (6, 8)
+    points_per_spec: int = 2
+    runs_per_point: int = 10
+    seed: int = 0
+    spec_names: Optional[Tuple[str, ...]] = None  # default: all registered
+    models: Optional[Tuple[Model, ...]] = None
+
+    def specs(self) -> List[ProtocolSpec]:
+        if self.spec_names is not None:
+            return [get_spec(name) for name in self.spec_names]
+        specs = list(all_specs())
+        if self.models is not None:
+            specs = [s for s in specs if s.model in self.models]
+        return specs
+
+
+@dataclasses.dataclass
+class PointRecord:
+    """Persisted result of one sweep point."""
+
+    spec: str
+    n: int
+    k: int
+    t: int
+    runs: int
+    violations: int
+    max_distinct: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.spec}|n={self.n}|k={self.k}|t={self.t}"
+
+    def to_json(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "PointRecord":
+        return cls(**data)
+
+    @classmethod
+    def from_stats(cls, stats: SweepStats) -> "PointRecord":
+        return cls(
+            spec=stats.spec_name,
+            n=stats.n,
+            k=stats.k,
+            t=stats.t,
+            runs=stats.runs,
+            violations=len(stats.violations),
+            max_distinct=stats.max_distinct_decisions,
+        )
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """All point records of one campaign run."""
+
+    campaign: str
+    seed: int
+    records: List[PointRecord] = dataclasses.field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return all(record.violations == 0 for record in self.records)
+
+    @property
+    def total_runs(self) -> int:
+        return sum(record.runs for record in self.records)
+
+    def violating(self) -> List[PointRecord]:
+        return [r for r in self.records if r.violations]
+
+    def save(self, path: pathlib.Path) -> None:
+        payload = {
+            "campaign": self.campaign,
+            "seed": self.seed,
+            "records": [record.to_json() for record in self.records],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "CampaignResult":
+        payload = json.loads(path.read_text())
+        return cls(
+            campaign=payload["campaign"],
+            seed=payload["seed"],
+            records=[PointRecord.from_json(r) for r in payload["records"]],
+        )
+
+    def summary(self) -> str:
+        status = "clean" if self.clean else f"{len(self.violating())} violating points"
+        return (
+            f"campaign {self.campaign!r}: {len(self.records)} points, "
+            f"{self.total_runs} runs, {status}"
+        )
+
+
+def run_campaign(
+    campaign: Campaign,
+    result_path: Optional[pathlib.Path] = None,
+) -> CampaignResult:
+    """Execute (or resume) a campaign.
+
+    When ``result_path`` exists, previously completed points are loaded
+    and skipped; new records are appended and the file rewritten after
+    every point, so an interrupted campaign loses at most one sweep.
+    """
+    if result_path is not None and result_path.exists():
+        result = CampaignResult.load(result_path)
+        if result.campaign != campaign.name or result.seed != campaign.seed:
+            raise ValueError(
+                f"result file {result_path} belongs to campaign "
+                f"{result.campaign!r} (seed {result.seed}), not "
+                f"{campaign.name!r} (seed {campaign.seed})"
+            )
+    else:
+        result = CampaignResult(campaign=campaign.name, seed=campaign.seed)
+    done = {record.key for record in result.records}
+
+    for spec in campaign.specs():
+        for n in campaign.n_values:
+            point_rng = random.Random(f"{campaign.seed}:{spec.name}:{n}")
+            for (k, t) in sample_solvable_points(
+                spec, n, campaign.points_per_spec, point_rng
+            ):
+                key = f"{spec.name}|n={n}|k={k}|t={t}"
+                if key in done:
+                    continue
+                # Per-point seed derived from the key, so resuming an
+                # interrupted campaign reproduces the same runs exactly.
+                point_seed = random.Random(
+                    f"{campaign.seed}:{key}"
+                ).randrange(1 << 30)
+                stats = sweep_spec(
+                    spec, n, k, t,
+                    SweepConfig(
+                        runs=campaign.runs_per_point,
+                        seed=point_seed,
+                    ),
+                )
+                result.records.append(PointRecord.from_stats(stats))
+                done.add(key)
+                if result_path is not None:
+                    result.save(result_path)
+    return result

@@ -1,0 +1,331 @@
+"""Exhaustive schedule exploration for small instances.
+
+Monte-Carlo sweeps sample the schedule space; for small ``n`` the
+message-passing kernel's nondeterminism can be explored *completely*:
+every interleaving of pending events (and optionally every crash
+pattern) is enumerated by depth-first search over kernel states.  A
+protocol property verified here holds for **all** asynchronous runs of
+the instance, which is the actual quantifier in the paper's lemmas.
+
+The explorer forks kernel states with ``copy.deepcopy``; protocol
+process objects must therefore hold only plain data (all protocols in
+this library do).  State deduplication uses a structural fingerprint,
+collapsing runs that reach the same configuration through different
+event orders.
+
+Typical use::
+
+    outcome = explore_mp(
+        lambda: [ProtocolA() for _ in range(3)],
+        inputs=["v", "v", "w"],
+        k=2, t=1, validity=RV2,
+    )
+    assert outcome.all_ok
+
+Exploration cost grows factorially; ``max_states`` bounds the search
+(the result then reports ``exhausted=False``).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.problem import Outcome, SCProblem
+from repro.core.validity import ValidityCondition
+from repro.core.values import Value
+from repro.failures.crash import CrashPlan, CrashPoint
+from repro.runtime.kernel import MPKernel
+from repro.runtime.process import Process
+
+__all__ = ["ExplorationResult", "crash_patterns", "explore_mp", "explore_sm"]
+
+
+class _ScriptScheduler:
+    """Feeds the kernel a predetermined next choice (set by the explorer)."""
+
+    def __init__(self) -> None:
+        self.next_choice: Optional[int] = None
+
+    def pick(self, kernel) -> Optional[int]:
+        return self.next_choice
+
+
+class _NullTrace:
+    """Drop-in no-op trace: forked kernels do not need event logs, and
+    deep-copying accumulated traces dominates exploration cost."""
+
+    def record(self, *args, **kwargs) -> None:
+        pass
+
+    def of_kind(self, kind):
+        return []
+
+    def message_count(self) -> int:
+        return 0
+
+    def __deepcopy__(self, memo):
+        return self
+
+
+@dataclasses.dataclass
+class ExplorationResult:
+    """Aggregate of a complete (or budget-capped) exploration."""
+
+    runs: int
+    states: int
+    exhausted: bool
+    violations: List[Tuple[Tuple[int, ...], Dict[str, object]]]
+    max_distinct_decisions: int
+    decision_sets: Set[frozenset]
+
+    @property
+    def all_ok(self) -> bool:
+        return not self.violations
+
+
+def _fingerprint(kernel: MPKernel) -> Tuple:
+    """Structural state of a kernel: pending events + process states.
+
+    Two kernel states with the same fingerprint have identical futures,
+    so only one needs expansion.  Process state is captured via
+    ``__dict__`` (sorted, repr-normalized); pending events are a
+    multiset of (sender, receiver, payload).
+    """
+    pending = tuple(sorted(
+        (event.sender, event.receiver, repr(event.payload))
+        if hasattr(event, "receiver")
+        else (-1, event.pid, "start")
+        for event in kernel.pending.values()
+    ))
+    processes = tuple(
+        tuple(sorted((key, repr(value)) for key, value in p.__dict__.items()))
+        for p in kernel._processes
+    )
+    contexts = tuple(
+        (ctx.decided, repr(ctx.decision)) for ctx in kernel._contexts
+    )
+    return (pending, processes, contexts, tuple(sorted(kernel.crashed)))
+
+
+def explore_mp(
+    process_factory: Callable[[], Sequence[Process]],
+    inputs: Sequence[Value],
+    k: int,
+    t: int,
+    validity: ValidityCondition,
+    crash_adversary=None,
+    max_states: int = 200_000,
+    dedup: bool = True,
+) -> ExplorationResult:
+    """Explore *every* delivery order of one message-passing instance.
+
+    Args:
+        process_factory: builds the full process list (fresh state).
+        inputs, k, t, validity: the ``SC(k, t, C)`` instance.
+        crash_adversary: optional fixed crash pattern explored alongside
+            the schedules (use :func:`crash_patterns` to enumerate).
+        max_states: search budget; when hit, ``exhausted`` is ``False``.
+        dedup: collapse states with identical structural fingerprints.
+    """
+    problem = SCProblem(n=len(inputs), k=k, t=t, validity=validity)
+
+    def fresh_kernel() -> Tuple[MPKernel, _ScriptScheduler]:
+        scheduler = _ScriptScheduler()
+        kernel = MPKernel(
+            list(process_factory()),
+            list(inputs),
+            t=t,
+            scheduler=scheduler,
+            crash_adversary=copy.deepcopy(crash_adversary),
+            stop_when_decided=True,
+        )
+        kernel.trace = _NullTrace()
+        kernel._apply_dynamic_crashes()
+        return kernel, scheduler
+
+    result = ExplorationResult(
+        runs=0,
+        states=0,
+        exhausted=True,
+        violations=[],
+        max_distinct_decisions=0,
+        decision_sets=set(),
+    )
+    seen: Set[Tuple] = set()
+
+    root_kernel, _ = fresh_kernel()
+    stack: List[Tuple[MPKernel, Tuple[int, ...]]] = [(root_kernel, ())]
+
+    while stack:
+        if result.states >= max_states:
+            result.exhausted = False
+            break
+        kernel, path = stack.pop()
+        result.states += 1
+
+        if kernel.all_correct_decided() or not kernel.pending:
+            execution = kernel._result()
+            result.runs += 1
+            verdicts = problem.check(execution.outcome)
+            decided = frozenset(execution.outcome.correct_decision_values())
+            result.decision_sets.add(decided)
+            result.max_distinct_decisions = max(
+                result.max_distinct_decisions, len(decided)
+            )
+            if not all(verdicts.values()):
+                result.violations.append(
+                    (path, {name: str(v) for name, v in verdicts.items() if not v})
+                )
+            continue
+
+        for seq in sorted(kernel.pending):
+            branch = copy.deepcopy(kernel)
+            branch._scheduler = _ScriptScheduler()
+            event = branch._pending.pop(seq)
+            branch._execute(event)
+            branch._apply_dynamic_crashes()
+            branch.tick += 1
+            if dedup:
+                fp = _fingerprint(branch)
+                if fp in seen:
+                    continue
+                seen.add(fp)
+            stack.append((branch, path + (seq,)))
+
+    return result
+
+
+def explore_sm(
+    programs_factory: Callable[[], Sequence],
+    inputs: Sequence[Value],
+    k: int,
+    t: int,
+    validity: ValidityCondition,
+    crash_adversary=None,
+    max_states: int = 100_000,
+    max_ticks_per_run: int = 5_000,
+) -> ExplorationResult:
+    """Explore every process interleaving of a shared-memory instance.
+
+    Generator-based SM programs cannot be forked with ``deepcopy``, so
+    exploration proceeds by *prefix replay*: the DFS enumerates choice
+    prefixes (which runnable process steps next) and re-executes each
+    prefix from scratch.  Quadratic in run length per leaf, which is
+    fine at the tiny sizes where the interleaving count is tractable
+    (``n = 2`` fully, ``n = 3`` for short programs).
+    """
+    import itertools as _it
+
+    from repro.shm.kernel import SMKernel
+
+    problem = SCProblem(n=len(inputs), k=k, t=t, validity=validity)
+
+    class _PrefixScheduler:
+        """Replays a choice prefix, then yields control back (None)."""
+
+        def __init__(self, prefix: Tuple[int, ...]) -> None:
+            self._prefix = prefix
+            self._index = 0
+            self.exhausted_cleanly = False
+
+        def pick(self, kernel):
+            if self._index >= len(self._prefix):
+                self.exhausted_cleanly = True
+                return None
+            choice = self._prefix[self._index]
+            self._index += 1
+            if not kernel.is_runnable(choice):
+                return None  # diverged (shouldn't happen) -> stall
+            return choice
+
+    def run_prefix(prefix: Tuple[int, ...]):
+        """Execute a prefix; returns (kernel, finished_flag)."""
+        scheduler = _PrefixScheduler(prefix)
+        kernel = SMKernel(
+            list(programs_factory()),
+            list(inputs),
+            t=t,
+            scheduler=scheduler,
+            crash_adversary=copy.deepcopy(crash_adversary),
+            stop_when_decided=True,
+            max_ticks=max_ticks_per_run,
+        )
+        kernel.trace = _NullTrace()
+        try:
+            kernel.run()
+        except Exception:
+            # the prefix ended mid-run (scheduler returned None while
+            # correct processes undecided): exploration continues below
+            pass
+        return kernel
+
+    result = ExplorationResult(
+        runs=0,
+        states=0,
+        exhausted=True,
+        violations=[],
+        max_distinct_decisions=0,
+        decision_sets=set(),
+    )
+
+    stack: List[Tuple[int, ...]] = [()]
+    while stack:
+        if result.states >= max_states:
+            result.exhausted = False
+            break
+        prefix = stack.pop()
+        result.states += 1
+        kernel = run_prefix(prefix)
+        if kernel.all_correct_decided() or not kernel.runnable_pids():
+            execution = kernel._result()
+            result.runs += 1
+            verdicts = problem.check(execution.outcome)
+            decided = frozenset(execution.outcome.correct_decision_values())
+            result.decision_sets.add(decided)
+            result.max_distinct_decisions = max(
+                result.max_distinct_decisions, len(decided)
+            )
+            if not all(verdicts.values()):
+                result.violations.append(
+                    (prefix, {n_: str(v) for n_, v in verdicts.items() if not v})
+                )
+            continue
+        for pid in sorted(kernel.runnable_pids()):
+            stack.append(prefix + (pid,))
+
+    return result
+
+
+def crash_patterns(
+    n: int,
+    t: int,
+    max_sends: int,
+    include_step_crashes: bool = True,
+) -> List[Optional[CrashPlan]]:
+    """Enumerate a family of crash plans within budget ``t``.
+
+    Produces the failure-free plan, every single-victim plan crashing a
+    process after ``0 .. max_sends`` sends (partial broadcasts), and --
+    when ``include_step_crashes`` -- crash-before-step variants.  Combine
+    with :func:`explore_mp` to quantify over failures as well as
+    schedules.
+    """
+    plans: List[Optional[CrashPlan]] = [None]
+    if t < 1:
+        return plans
+    for victim in range(n):
+        for sends in range(max_sends + 1):
+            plans.append(CrashPlan({victim: CrashPoint(after_sends=sends)}))
+        if include_step_crashes:
+            plans.append(CrashPlan({victim: CrashPoint(after_steps=0)}))
+            plans.append(CrashPlan({victim: CrashPoint(after_steps=1)}))
+    if t >= 2:
+        for v1, v2 in itertools.combinations(range(n), 2):
+            plans.append(CrashPlan({
+                v1: CrashPoint(after_steps=0),
+                v2: CrashPoint(after_sends=max_sends // 2),
+            }))
+    return plans

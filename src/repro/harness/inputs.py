@@ -1,0 +1,57 @@
+"""Input assignment patterns for sweeps.
+
+Which validity clauses fire depends on the *shape* of the input
+assignment: SV2/RV2/WV2 only constrain (near-)unanimous runs, RV1/SV1
+constrain every run.  Sweeps therefore draw inputs from a set of named
+patterns rather than only uniformly at random.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+from repro.core.values import Value
+
+__all__ = ["INPUT_PATTERNS", "make_inputs"]
+
+#: Names of the supported patterns.
+INPUT_PATTERNS = (
+    "distinct",        # all n inputs pairwise different
+    "unanimous",       # every process starts with the same value
+    "unanimous-correct",  # correct processes agree; faulty ones differ
+    "two-valued",      # a roughly even split between two values
+    "random",          # uniform over a small value pool
+)
+
+
+def make_inputs(
+    pattern: str,
+    n: int,
+    rng: random.Random,
+    faulty: Iterable[int] = (),
+) -> List[Value]:
+    """Build an input vector of length ``n`` following ``pattern``.
+
+    ``faulty`` is used by ``unanimous-correct`` to know which processes
+    may diverge (the paper's SV2 premise constrains only correct
+    processes' inputs).
+    """
+    if pattern == "distinct":
+        return [f"v{pid}" for pid in range(n)]
+    if pattern == "unanimous":
+        value = f"v{rng.randrange(100)}"
+        return [value] * n
+    if pattern == "unanimous-correct":
+        value = f"v{rng.randrange(100)}"
+        inputs: List[Value] = [value] * n
+        for pid in faulty:
+            inputs[pid] = f"fake{pid}"
+        return inputs
+    if pattern == "two-valued":
+        a, b = "alpha", "beta"
+        return [a if rng.random() < 0.5 else b for _ in range(n)]
+    if pattern == "random":
+        pool = [f"v{i}" for i in range(max(2, n // 2))]
+        return [rng.choice(pool) for _ in range(n)]
+    raise ValueError(f"unknown input pattern: {pattern!r}")

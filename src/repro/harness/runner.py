@@ -1,0 +1,168 @@
+"""Run one protocol execution and check the SC conditions against it.
+
+The runner glues together a protocol (by spec or explicit
+factory/program), a problem instance ``SC(k, t, C)``, an asynchrony
+adversary (scheduler), and a failure adversary (crash plan or Byzantine
+substitutions), executes the appropriate kernel, and returns an
+:class:`ExperimentReport` with per-condition verdicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.problem import Outcome, SCProblem, Verdict
+from repro.core.validity import ValidityCondition, by_code
+from repro.core.values import Value
+from repro.failures.adversary import CrashAdversary
+from repro.net.schedulers import FifoScheduler
+from repro.protocols.base import ProtocolSpec
+from repro.runtime.kernel import ExecutionResult, MPKernel
+from repro.runtime.process import Process
+from repro.shm.kernel import SMKernel, SMProgram
+from repro.shm.schedulers import RoundRobinScheduler
+
+__all__ = ["ExperimentReport", "run_mp", "run_sm", "run_spec"]
+
+
+@dataclasses.dataclass
+class ExperimentReport:
+    """Execution result plus the three condition verdicts."""
+
+    problem: SCProblem
+    result: ExecutionResult
+    verdicts: Dict[str, Verdict]
+
+    @property
+    def outcome(self) -> Outcome:
+        return self.result.outcome
+
+    @property
+    def ok(self) -> bool:
+        """All of termination, agreement and validity hold."""
+        return all(self.verdicts.values())
+
+    def violated(self) -> Dict[str, Verdict]:
+        return {name: v for name, v in self.verdicts.items() if not v}
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "VIOLATED"
+        details = "; ".join(str(v) for v in self.verdicts.values())
+        return f"{self.problem}: {status} ({details})"
+
+
+def _report(problem: SCProblem, result: ExecutionResult) -> ExperimentReport:
+    return ExperimentReport(
+        problem=problem,
+        result=result,
+        verdicts=problem.check(result.outcome),
+    )
+
+
+def run_mp(
+    processes: Sequence[Process],
+    inputs: Sequence[Value],
+    k: int,
+    t: int,
+    validity: ValidityCondition,
+    scheduler=None,
+    crash_adversary: Optional[CrashAdversary] = None,
+    byzantine: Sequence[int] = (),
+    stop_when_decided: bool = True,
+    max_ticks: int = 1_000_000,
+) -> ExperimentReport:
+    """Run a message-passing execution and check ``SC(k, t, validity)``."""
+    problem = SCProblem(n=len(processes), k=k, t=t, validity=validity)
+    kernel = MPKernel(
+        processes=processes,
+        inputs=inputs,
+        t=t,
+        scheduler=scheduler or FifoScheduler(),
+        crash_adversary=crash_adversary,
+        byzantine=byzantine,
+        stop_when_decided=stop_when_decided,
+        max_ticks=max_ticks,
+    )
+    return _report(problem, kernel.run())
+
+
+def run_sm(
+    programs: Sequence[SMProgram],
+    inputs: Sequence[Value],
+    k: int,
+    t: int,
+    validity: ValidityCondition,
+    scheduler=None,
+    crash_adversary: Optional[CrashAdversary] = None,
+    byzantine: Sequence[int] = (),
+    stop_when_decided: bool = True,
+    max_ticks: int = 1_000_000,
+) -> ExperimentReport:
+    """Run a shared-memory execution and check ``SC(k, t, validity)``."""
+    problem = SCProblem(n=len(programs), k=k, t=t, validity=validity)
+    kernel = SMKernel(
+        programs=programs,
+        inputs=inputs,
+        t=t,
+        scheduler=scheduler or RoundRobinScheduler(),
+        crash_adversary=crash_adversary,
+        byzantine=byzantine,
+        stop_when_decided=stop_when_decided,
+        max_ticks=max_ticks,
+    )
+    return _report(problem, kernel.run())
+
+
+def run_spec(
+    spec: ProtocolSpec,
+    n: int,
+    k: int,
+    t: int,
+    inputs: Sequence[Value],
+    scheduler=None,
+    crash_adversary: Optional[CrashAdversary] = None,
+    byzantine_behaviours: Optional[Mapping[int, object]] = None,
+    max_ticks: int = 1_000_000,
+) -> ExperimentReport:
+    """Run a registered protocol spec on one problem instance.
+
+    Args:
+        spec: the protocol to run; its ``validity`` is what gets checked.
+        byzantine_behaviours: process id -> replacement behaviour (an MP
+            :class:`~repro.runtime.process.Process` or SM program,
+            matching the spec's model); only meaningful in the Byzantine
+            models.
+    """
+    if len(inputs) != n:
+        raise ValueError("inputs must have length n")
+    byz = dict(byzantine_behaviours or {})
+    if byz and spec.model.is_crash:
+        raise ValueError(f"{spec.name} is a crash-model spec; use crash_adversary")
+    validity = by_code(spec.validity)
+    if spec.is_shared_memory:
+        base_program = spec.make(n, k, t)
+        programs = [byz.get(pid, base_program) for pid in range(n)]
+        return run_sm(
+            programs,
+            inputs,
+            k,
+            t,
+            validity,
+            scheduler=scheduler,
+            crash_adversary=crash_adversary,
+            byzantine=sorted(byz),
+            max_ticks=max_ticks,
+        )
+    processes = [byz.get(pid) or spec.make(n, k, t) for pid in range(n)]
+    return run_mp(
+        processes,
+        inputs,
+        k,
+        t,
+        validity,
+        scheduler=scheduler,
+        crash_adversary=crash_adversary,
+        byzantine=sorted(byz),
+        max_ticks=max_ticks,
+    )

@@ -1,0 +1,212 @@
+"""Monte-Carlo sweeps: many randomized executions of one protocol.
+
+A sweep exercises one registered protocol at one ``(n, k, t)`` point
+across randomized schedules, failure patterns, and input shapes, and
+counts condition violations.  Inside a protocol's solvable region the
+expected violation count is zero; the figure benchmarks and the test
+suite both assert exactly that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.failures.byzantine import (
+    GarbageProcess,
+    MultiFaceProcess,
+    MuteProcess,
+    SilentDecider,
+)
+from repro.failures.byzantine_sm import (
+    garbage_writer,
+    mute_program,
+    register_rewriter,
+    silent_decider_program,
+    with_fake_input,
+)
+from repro.failures.crash import RandomCrashes
+from repro.harness.inputs import INPUT_PATTERNS, make_inputs
+from repro.harness.runner import ExperimentReport, run_spec
+from repro.net.schedulers import RandomScheduler
+from repro.protocols.base import ProtocolSpec
+from repro.runtime.kernel import KernelLimitError
+from repro.shm.schedulers import RandomProcessScheduler
+
+__all__ = ["SweepConfig", "SweepStats", "Violation", "sweep_spec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepConfig:
+    """Parameters of one sweep."""
+
+    runs: int = 50
+    seed: int = 0
+    input_patterns: Sequence[str] = INPUT_PATTERNS
+    max_ticks: int = 300_000
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One run that broke a condition (or failed to terminate)."""
+
+    run_index: int
+    pattern: str
+    conditions: Tuple[str, ...]
+    detail: str
+
+
+@dataclasses.dataclass
+class SweepStats:
+    """Aggregate result of a sweep."""
+
+    spec_name: str
+    n: int
+    k: int
+    t: int
+    runs: int = 0
+    violations: List[Violation] = dataclasses.field(default_factory=list)
+    decisions_histogram: Dict[int, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    @property
+    def max_distinct_decisions(self) -> int:
+        return max(self.decisions_histogram, default=0)
+
+    def summary(self) -> str:
+        status = "clean" if self.clean else f"{len(self.violations)} violations"
+        return (
+            f"{self.spec_name} n={self.n} k={self.k} t={self.t}: "
+            f"{self.runs} runs, {status}, "
+            f"max distinct decisions {self.max_distinct_decisions}"
+        )
+
+
+def _mp_byzantine_pool(spec: ProtocolSpec, n: int, k: int, t: int, rng: random.Random):
+    """Byzantine behaviour builders for message-passing sweeps."""
+
+    def mute(pid: int):
+        return MuteProcess()
+
+    def garbage(pid: int):
+        return GarbageProcess(seed=rng.randrange(1 << 30))
+
+    def silent(pid: int):
+        return SilentDecider()
+
+    def faces(pid: int):
+        split = rng.randrange(1, n)
+        return MultiFaceProcess(
+            protocol_factory=lambda: spec.make(n, k, t),
+            face_inputs={"a": f"lieA{pid}", "b": f"lieB{pid}"},
+            face_of_peer=lambda peer: "a" if peer < split else "b",
+        )
+
+    return (mute, garbage, silent, faces)
+
+
+def _sm_byzantine_pool(spec: ProtocolSpec, n: int, k: int, t: int, rng: random.Random):
+    """Byzantine behaviour builders for shared-memory sweeps."""
+    base_program = spec.make(n, k, t)
+
+    def mute(pid: int):
+        return mute_program
+
+    def garbage(pid: int):
+        return garbage_writer(seed=rng.randrange(1 << 30))
+
+    def rewriter(pid: int):
+        return register_rewriter([f"x{pid}", f"y{pid}", ("junk",)])
+
+    def liar(pid: int):
+        return with_fake_input(base_program, f"lie{pid}")
+
+    def silent(pid: int):
+        return silent_decider_program
+
+    return (mute, garbage, rewriter, liar, silent)
+
+
+def sweep_spec(
+    spec: ProtocolSpec,
+    n: int,
+    k: int,
+    t: int,
+    config: Optional[SweepConfig] = None,
+) -> SweepStats:
+    """Run randomized executions of ``spec`` at ``(n, k, t)``.
+
+    Crash-model specs face :class:`RandomCrashes`; Byzantine-model specs
+    face up to ``t`` processes drawn from a pool of Byzantine behaviours
+    (mute, garbage, history rewriting, input lying, two-faced protocol
+    execution).  Schedulers are seeded-random.  Returns aggregate stats;
+    no exception is raised on violations (callers assert on
+    :attr:`SweepStats.clean`).
+    """
+    config = config or SweepConfig()
+    stats = SweepStats(spec_name=spec.name, n=n, k=k, t=t)
+    for index in range(config.runs):
+        rng = random.Random(f"{config.seed}:{index}")
+        pattern = config.input_patterns[index % len(config.input_patterns)]
+        crash_adversary = None
+        byzantine = {}
+        if spec.model.is_crash:
+            crash_adversary = RandomCrashes(
+                n, t, seed=rng.randrange(1 << 30)
+            )
+            faulty_hint = crash_adversary.potentially_faulty()
+        else:
+            count = rng.randint(0, t)
+            victims = rng.sample(range(n), count)
+            pool = (
+                _sm_byzantine_pool(spec, n, k, t, rng)
+                if spec.is_shared_memory
+                else _mp_byzantine_pool(spec, n, k, t, rng)
+            )
+            for pid in victims:
+                byzantine[pid] = rng.choice(pool)(pid)
+            faulty_hint = frozenset(victims)
+        inputs = make_inputs(pattern, n, rng, faulty=faulty_hint)
+        scheduler = (
+            RandomProcessScheduler(seed=rng.randrange(1 << 30))
+            if spec.is_shared_memory
+            else RandomScheduler(seed=rng.randrange(1 << 30))
+        )
+        try:
+            report: ExperimentReport = run_spec(
+                spec,
+                n,
+                k,
+                t,
+                inputs,
+                scheduler=scheduler,
+                crash_adversary=crash_adversary,
+                byzantine_behaviours=byzantine or None,
+                max_ticks=config.max_ticks,
+            )
+        except KernelLimitError as error:
+            stats.violations.append(
+                Violation(index, pattern, ("termination",), str(error))
+            )
+            stats.runs += 1
+            continue
+        stats.runs += 1
+        distinct = len(report.outcome.correct_decision_values())
+        stats.decisions_histogram[distinct] = (
+            stats.decisions_histogram.get(distinct, 0) + 1
+        )
+        if not report.ok:
+            violated = report.violated()
+            stats.violations.append(
+                Violation(
+                    index,
+                    pattern,
+                    tuple(violated),
+                    "; ".join(str(v) for v in violated.values()),
+                )
+            )
+    return stats

@@ -1,0 +1,110 @@
+"""System models considered by the paper.
+
+The paper (Section 2) studies four asynchronous models, given by two axes:
+
+* failure type -- *crash* (a faulty process halts prematurely) versus
+  *Byzantine* (a faulty process deviates arbitrarily), and
+* communication -- *message passing* over a reliable complete network
+  versus *shared memory* made of single-writer multi-reader atomic
+  registers.
+
+The shorthands ``MP/CR``, ``MP/Byz``, ``SM/CR`` and ``SM/Byz`` from the
+paper are mirrored here as members of :class:`Model`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Communication",
+    "FailureMode",
+    "Model",
+]
+
+
+class FailureMode(enum.Enum):
+    """How a faulty process may misbehave."""
+
+    CRASH = "crash"
+    BYZANTINE = "byzantine"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Communication(enum.Enum):
+    """How processes communicate."""
+
+    MESSAGE_PASSING = "message-passing"
+    SHARED_MEMORY = "shared-memory"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Model(enum.Enum):
+    """One of the four asynchronous models of the paper (Section 2)."""
+
+    MP_CR = ("MP/CR", Communication.MESSAGE_PASSING, FailureMode.CRASH)
+    MP_BYZ = ("MP/Byz", Communication.MESSAGE_PASSING, FailureMode.BYZANTINE)
+    SM_CR = ("SM/CR", Communication.SHARED_MEMORY, FailureMode.CRASH)
+    SM_BYZ = ("SM/Byz", Communication.SHARED_MEMORY, FailureMode.BYZANTINE)
+
+    def __init__(
+        self,
+        shorthand: str,
+        communication: Communication,
+        failure_mode: FailureMode,
+    ) -> None:
+        self.shorthand = shorthand
+        self.communication = communication
+        self.failure_mode = failure_mode
+
+    @property
+    def is_byzantine(self) -> bool:
+        """``True`` when faulty processes may behave arbitrarily."""
+        return self.failure_mode is FailureMode.BYZANTINE
+
+    @property
+    def is_crash(self) -> bool:
+        """``True`` when faulty processes may only halt prematurely."""
+        return self.failure_mode is FailureMode.CRASH
+
+    @property
+    def is_message_passing(self) -> bool:
+        return self.communication is Communication.MESSAGE_PASSING
+
+    @property
+    def is_shared_memory(self) -> bool:
+        return self.communication is Communication.SHARED_MEMORY
+
+    def weaker_or_equal(self, other: "Model") -> bool:
+        """Whether an adversary of ``self`` is no stronger than ``other``'s.
+
+        A protocol correct in ``other`` is correct in ``self`` whenever the
+        communication media coincide and ``other`` tolerates Byzantine
+        failures while ``self`` only needs crash tolerance.  (The paper uses
+        this to carry crash impossibilities into the Byzantine models and
+        Byzantine protocols into crash models.)
+        """
+        if self.communication is not other.communication:
+            return False
+        return self.is_crash or other.is_byzantine
+
+    @classmethod
+    def from_shorthand(cls, shorthand: str) -> "Model":
+        """Look a model up by its paper shorthand, e.g. ``"MP/Byz"``."""
+        for model in cls:
+            if model.shorthand.lower() == shorthand.lower():
+                return model
+        raise ValueError(f"unknown model shorthand: {shorthand!r}")
+
+    def __str__(self) -> str:
+        return self.shorthand
+
+
+#: All four models, in the order the paper presents them.
+ALL_MODELS = (Model.MP_CR, Model.MP_BYZ, Model.SM_CR, Model.SM_BYZ)
+
+__all__.append("ALL_MODELS")

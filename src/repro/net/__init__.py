@@ -1,0 +1,24 @@
+"""Network modelling: reliable complete network axioms and schedulers."""
+
+from repro.net.network import NetworkAxiomReport, verify_network_axioms
+from repro.net.schedulers import (
+    FairDeliveryWrapper,
+    FifoScheduler,
+    GroupPartitionScheduler,
+    LifoScheduler,
+    PredicateScheduler,
+    RandomScheduler,
+    Scheduler,
+)
+
+__all__ = [
+    "FairDeliveryWrapper",
+    "FifoScheduler",
+    "GroupPartitionScheduler",
+    "LifoScheduler",
+    "NetworkAxiomReport",
+    "PredicateScheduler",
+    "RandomScheduler",
+    "Scheduler",
+    "verify_network_axioms",
+]

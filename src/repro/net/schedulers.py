@@ -1,0 +1,212 @@
+"""Delivery schedulers: the asynchrony adversary for message passing.
+
+In the paper's model, message delays are arbitrary but finite, and the
+impossibility proofs work by *constructing* runs in which messages are
+delayed in specific patterns (e.g. "all messages sent to processes in
+``g_j`` by processes not in ``g_j`` are delayed until all processes in
+``g_j`` make a decision", proof of Lemma 3.3).  A scheduler chooses, at
+each kernel tick, which pending event executes next; each scheduler
+class below encodes one family of delay patterns.
+
+Schedulers must satisfy the model's fairness obligation: they may not
+delay a message forever while a correct process is still undecided.  The
+kernel raises :class:`~repro.runtime.kernel.SchedulerStall` when a
+scheduler breaks this.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Sequence, Set
+
+from repro.runtime.events import Delivery, Event, Start
+
+__all__ = [
+    "FairDeliveryWrapper",
+    "FifoScheduler",
+    "GroupPartitionScheduler",
+    "LifoScheduler",
+    "PredicateScheduler",
+    "RandomScheduler",
+    "Scheduler",
+]
+
+
+class Scheduler:
+    """Interface: pick the sequence number of the next event to execute."""
+
+    def pick(self, kernel) -> Optional[int]:
+        """Return a key of ``kernel.pending`` or ``None`` to refuse all."""
+        raise NotImplementedError
+
+
+class FifoScheduler(Scheduler):
+    """Deliver events in creation order (synchronous-looking runs)."""
+
+    def pick(self, kernel) -> Optional[int]:
+        if not kernel.pending:
+            return None
+        return min(kernel.pending)
+
+
+class LifoScheduler(Scheduler):
+    """Deliver the newest event first.
+
+    Start events are drained first so every process gets to run; after
+    that, newest-first delivery maximally reorders messages, a useful
+    stress pattern for protocols that implicitly assume FIFO channels.
+    """
+
+    def pick(self, kernel) -> Optional[int]:
+        if not kernel.pending:
+            return None
+        starts = [s for s, e in kernel.pending.items() if isinstance(e, Start)]
+        if starts:
+            return min(starts)
+        return max(kernel.pending)
+
+
+class RandomScheduler(Scheduler):
+    """Pick uniformly at random among pending events (seeded)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def pick(self, kernel) -> Optional[int]:
+        if not kernel.pending:
+            return None
+        return self._rng.choice(sorted(kernel.pending))
+
+
+class FairDeliveryWrapper(Scheduler):
+    """Bound how long any single pending event can be deferred.
+
+    Message delays in the model are arbitrary but *finite*: in an
+    infinite run every message is eventually delivered.  Biased
+    schedulers can defer an event forever while the run keeps going;
+    this wrapper forces the oldest pending event through every
+    ``patience`` picks, making any infinite run fair while preserving
+    the inner scheduler's bias otherwise.
+    """
+
+    def __init__(self, inner: Scheduler, patience: int = 64) -> None:
+        if patience < 1:
+            raise ValueError("patience must be positive")
+        self._inner = inner
+        self._patience = patience
+        self._since_override = 0
+
+    def pick(self, kernel) -> Optional[int]:
+        if not kernel.pending:
+            return None
+        self._since_override += 1
+        if self._since_override >= self._patience:
+            self._since_override = 0
+            return min(kernel.pending)
+        choice = self._inner.pick(kernel)
+        if choice is None:
+            return min(kernel.pending)
+        return choice
+
+
+class PredicateScheduler(Scheduler):
+    """Delay deliveries for which ``allow(kernel, delivery)`` is false.
+
+    Start events are always eligible.  Among eligible events the oldest
+    is picked.  When nothing is eligible the scheduler either refuses
+    (``release_on_stall=False``, the strict behaviour used by proof
+    constructions, where eligibility is *supposed* to open up over time)
+    or releases the oldest delayed event (``release_on_stall=True``,
+    which keeps the run model-compliant for arbitrary protocols).
+    """
+
+    def __init__(
+        self,
+        allow: Callable[[object, Delivery], bool],
+        release_on_stall: bool = False,
+    ) -> None:
+        self._allow = allow
+        self._release_on_stall = release_on_stall
+
+    def pick(self, kernel) -> Optional[int]:
+        if not kernel.pending:
+            return None
+        eligible: List[int] = []
+        for seq in sorted(kernel.pending):
+            event = kernel.pending[seq]
+            if isinstance(event, Start) or self._allow(kernel, event):
+                eligible.append(seq)
+        if eligible:
+            return eligible[0]
+        if self._release_on_stall:
+            return min(kernel.pending)
+        return None
+
+
+class GroupPartitionScheduler(PredicateScheduler):
+    """The partition pattern of the paper's indistinguishability runs.
+
+    Processes are partitioned into groups.  A message crossing into group
+    ``g`` is delayed until every *release-relevant* member of ``g`` has
+    decided (the pattern of Lemmas 3.3, 3.6, 3.9, 3.11).  Intra-group
+    traffic flows freely.
+
+    Args:
+        groups: disjoint process sets covering any subset of processes;
+            processes not listed form an implicit singleton group each.
+        extra_links: optional additional (sender, receiver) pairs that are
+            always allowed, e.g. communication with the faulty set ``F_i``
+            in the proof of Lemma 3.9.
+        release_when_group_decided: when ``True`` (default), cross-group
+            messages into ``g`` unblock once all non-crashed members of
+            ``g`` decided; when ``False`` they unblock only when *all*
+            correct processes decided.
+        release_on_stall: see :class:`PredicateScheduler`.
+    """
+
+    def __init__(
+        self,
+        groups: Sequence[Iterable[int]],
+        extra_links: Iterable[tuple] = (),
+        release_when_group_decided: bool = True,
+        release_on_stall: bool = False,
+    ) -> None:
+        self._groups: List[Set[int]] = [set(g) for g in groups]
+        seen: Set[int] = set()
+        for group in self._groups:
+            overlap = group & seen
+            if overlap:
+                raise ValueError(f"groups must be disjoint; repeated: {sorted(overlap)}")
+            seen |= group
+        self._group_of = {pid: i for i, g in enumerate(self._groups) for pid in g}
+        self._extra_links = set(extra_links)
+        self._release_when_group_decided = release_when_group_decided
+        super().__init__(self._allowed, release_on_stall=release_on_stall)
+
+    def group_of(self, pid: int) -> Optional[int]:
+        return self._group_of.get(pid)
+
+    def _group_released(self, kernel, group_index: int) -> bool:
+        members = self._groups[group_index]
+        if self._release_when_group_decided:
+            relevant = {p for p in members if p not in kernel.crashed}
+        else:
+            relevant = set(kernel.correct)
+        return all(kernel.has_decided(p) for p in relevant)
+
+    def _allowed(self, kernel, delivery: Delivery) -> bool:
+        sender, receiver = delivery.sender, delivery.receiver
+        if (sender, receiver) in self._extra_links:
+            return True
+        sender_group = self._group_of.get(sender)
+        receiver_group = self._group_of.get(receiver)
+        if sender_group is not None and sender_group == receiver_group:
+            return True
+        if receiver_group is None:
+            # Receiver is in an implicit singleton group: its "group" is
+            # itself, so self-messages flow and everything else waits for
+            # its decision.
+            if sender == receiver:
+                return True
+            return kernel.has_decided(receiver) or receiver in kernel.crashed
+        return self._group_released(kernel, receiver_group)

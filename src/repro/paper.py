@@ -1,0 +1,218 @@
+"""Structured index of the paper, cross-referenced to code.
+
+Maps every artifact of De Prisco, Malkhi, Reiter, *On k-Set Consensus
+Problems in Asynchronous Systems* (PODC 1999 / TPDS 2001) to the module
+that reproduces it.  Used by the ``paper`` CLI subcommand and by tests
+that keep the cross-references valid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "CITATION",
+    "FIGURES",
+    "LEMMA_INDEX",
+    "PROTOCOLS",
+    "PaperArtifact",
+    "artifact",
+    "render_index",
+]
+
+CITATION = (
+    "Roberto De Prisco, Dahlia Malkhi, Michael Reiter. "
+    "On k-Set Consensus Problems in Asynchronous Systems. "
+    "PODC 1999; IEEE TPDS 12(1), 2001."
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperArtifact:
+    """One table/figure/lemma/protocol of the paper, mapped to code."""
+
+    identifier: str
+    kind: str  # "figure" | "lemma" | "protocol" | "definition"
+    summary: str
+    module: str
+    symbol: Optional[str] = None
+
+    def resolve(self):
+        """Import and return the implementing object (None for modules)."""
+        mod = importlib.import_module(self.module)
+        if self.symbol is None:
+            return mod
+        return getattr(mod, self.symbol)
+
+    def __str__(self) -> str:
+        target = f"{self.module}.{self.symbol}" if self.symbol else self.module
+        return f"{self.identifier} [{self.kind}] -> {target}\n    {self.summary}"
+
+
+_ARTIFACTS: Tuple[PaperArtifact, ...] = (
+    # -- definitions --------------------------------------------------------
+    PaperArtifact(
+        "Section 2 (SC(k,t,C))", "definition",
+        "The k-set consensus problem: termination, agreement, validity.",
+        "repro.core.problem", "SCProblem",
+    ),
+    PaperArtifact(
+        "Section 2 (validity)", "definition",
+        "The six validity conditions SV1, SV2, RV1, RV2, WV1, WV2.",
+        "repro.core.validity", "ALL_VALIDITY_CONDITIONS",
+    ),
+    PaperArtifact(
+        "Section 2 (models)", "definition",
+        "MP/CR, MP/Byz, SM/CR, SM/Byz.",
+        "repro.models", "Model",
+    ),
+    PaperArtifact(
+        "Section 4 (SWMR registers)", "definition",
+        "Single-writer multi-reader atomic registers; Byzantine clients "
+        "cannot write others' registers.",
+        "repro.shm.registers", "RegisterFile",
+    ),
+    # -- figures -------------------------------------------------------------
+    PaperArtifact(
+        "Fig. 1", "figure",
+        "The 'weaker than' lattice of validity conditions.",
+        "repro.analysis.lattice", "render_lattice",
+    ),
+    PaperArtifact(
+        "Fig. 2", "figure",
+        "MP/CR solvability regions, n = 64 (six panels).",
+        "repro.analysis.figures", "render_figure",
+    ),
+    PaperArtifact(
+        "Fig. 3", "figure",
+        "The partition run of Lemma 3.3's proof, executable.",
+        "repro.adversary.constructions", "lemma_3_3_partition_run",
+    ),
+    PaperArtifact(
+        "Fig. 4", "figure",
+        "MP/Byz solvability regions, n = 64.",
+        "repro.analysis.figures", "render_figure",
+    ),
+    PaperArtifact(
+        "Fig. 5", "figure",
+        "SM/CR solvability regions, n = 64.",
+        "repro.analysis.figures", "render_figure",
+    ),
+    PaperArtifact(
+        "Fig. 6", "figure",
+        "SM/Byz solvability regions, n = 64.",
+        "repro.analysis.figures", "render_figure",
+    ),
+    # -- protocols ------------------------------------------------------------
+    PaperArtifact(
+        "Chaudhuri [13]", "protocol",
+        "Flood inputs; decide the minimum of n-t values (RV1, t < k).",
+        "repro.protocols.chaudhuri", "ChaudhuriKSet",
+    ),
+    PaperArtifact(
+        "PROTOCOL A", "protocol",
+        "Decide the common value of the first n-t inputs, else default.",
+        "repro.protocols.protocol_a", "ProtocolA",
+    ),
+    PaperArtifact(
+        "PROTOCOL B", "protocol",
+        "Decide own input on an n-2t quorum among n-t inputs, else default.",
+        "repro.protocols.protocol_b", "ProtocolB",
+    ),
+    PaperArtifact(
+        "l-echo broadcast", "protocol",
+        "Generalized Bracha-Toueg echo: at most l accepted values per "
+        "sender for t < ln/(2l+1).",
+        "repro.protocols.echo", "LEchoEngine",
+    ),
+    PaperArtifact(
+        "PROTOCOL C(l)", "protocol",
+        "PROTOCOL B over l-echo broadcast (Byzantine SV2).",
+        "repro.protocols.protocol_c", "ProtocolC",
+    ),
+    PaperArtifact(
+        "PROTOCOL D", "protocol",
+        "t+1 broadcasters decide their values; others adopt an n-t-echo "
+        "value (Byzantine WV1, k >= Z(n,t)).",
+        "repro.protocols.protocol_d", "ProtocolD",
+    ),
+    PaperArtifact(
+        "PROTOCOL E", "protocol",
+        "Write, one scan, decide the common value or default (wait-free).",
+        "repro.protocols.protocol_e", "protocol_e",
+    ),
+    PaperArtifact(
+        "PROTOCOL F", "protocol",
+        "Scan until n-t registers written; quorum-check own input.",
+        "repro.protocols.protocol_f", "protocol_f",
+    ),
+    PaperArtifact(
+        "SIMULATION", "protocol",
+        "Run any message-passing protocol over SWMR registers.",
+        "repro.protocols.simulation", "simulate_mp_over_sm",
+    ),
+)
+
+#: Lemma id -> (kind, one-line statement, module implementing/demonstrating).
+LEMMA_INDEX: Dict[str, Tuple[str, str]] = {
+    "Lemma 3.1": ("possibility", "repro.protocols.chaudhuri"),
+    "Lemma 3.2": ("impossibility", "repro.adversary.constructions"),
+    "Lemma 3.3": ("impossibility", "repro.adversary.constructions"),
+    "Lemma 3.4": ("impossibility", "repro.core.lemmas"),
+    "Lemma 3.5": ("impossibility", "repro.adversary.constructions"),
+    "Lemma 3.6": ("impossibility", "repro.adversary.constructions"),
+    "Lemma 3.7": ("possibility", "repro.protocols.protocol_a"),
+    "Lemma 3.8": ("possibility", "repro.protocols.protocol_b"),
+    "Lemma 3.9": ("impossibility", "repro.adversary.constructions"),
+    "Lemma 3.10": ("impossibility", "repro.adversary.constructions"),
+    "Lemma 3.11": ("impossibility", "repro.core.lemmas"),
+    "Lemma 3.12": ("possibility", "repro.protocols.protocol_a"),
+    "Lemma 3.13": ("possibility", "repro.protocols.protocol_a"),
+    "Lemma 3.14": ("possibility", "repro.protocols.echo"),
+    "Lemma 3.15": ("possibility", "repro.protocols.protocol_c"),
+    "Lemma 3.16": ("possibility", "repro.protocols.protocol_d"),
+    "Lemma 4.1": ("impossibility", "repro.core.lemmas"),
+    "Lemma 4.2": ("impossibility", "repro.core.lemmas"),
+    "Lemma 4.3": ("impossibility", "repro.adversary.constructions"),
+    "Lemma 4.4": ("possibility", "repro.protocols.simulation"),
+    "Lemma 4.5": ("possibility", "repro.protocols.protocol_e"),
+    "Lemma 4.6": ("possibility", "repro.protocols.simulation"),
+    "Lemma 4.7": ("possibility", "repro.protocols.protocol_f"),
+    "Lemma 4.8": ("impossibility", "repro.adversary.constructions"),
+    "Lemma 4.9": ("impossibility", "repro.adversary.constructions"),
+    "Lemma 4.10": ("possibility", "repro.protocols.protocol_e"),
+    "Lemma 4.11": ("possibility", "repro.protocols.simulation"),
+    "Lemma 4.12": ("possibility", "repro.protocols.protocol_f"),
+    "Lemma 4.13": ("possibility", "repro.protocols.simulation"),
+}
+
+FIGURES = tuple(a for a in _ARTIFACTS if a.kind == "figure")
+PROTOCOLS = tuple(a for a in _ARTIFACTS if a.kind == "protocol")
+
+
+def artifact(identifier: str) -> PaperArtifact:
+    """Look an artifact up by its paper identifier (case-insensitive)."""
+    for entry in _ARTIFACTS:
+        if entry.identifier.lower() == identifier.lower():
+            return entry
+    raise ValueError(
+        f"unknown artifact {identifier!r}; known: "
+        f"{[a.identifier for a in _ARTIFACTS]}"
+    )
+
+
+def render_index() -> str:
+    """Human-readable map: paper artifact -> implementing code."""
+    lines = [CITATION, ""]
+    for kind in ("definition", "figure", "protocol"):
+        lines.append(f"== {kind}s ==")
+        for entry in _ARTIFACTS:
+            if entry.kind == kind:
+                lines.append(str(entry))
+        lines.append("")
+    lines.append("== lemmas ==")
+    for lemma_id, (kind, module) in LEMMA_INDEX.items():
+        lines.append(f"{lemma_id} [{kind}] -> {module}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""The paper's protocols (possibility side).
+
+Importing this package registers every protocol specification with the
+registry in :mod:`repro.protocols.base`; the harness and benchmarks
+discover protocols through :func:`repro.protocols.base.all_specs`.
+"""
+
+from repro.protocols import (  # noqa: F401  (imported for registration)
+    chaudhuri,
+    protocol_a,
+    protocol_b,
+    protocol_c,
+    protocol_d,
+    protocol_e,
+    protocol_f,
+    simulation,
+    trivial,
+)
+from repro.protocols.base import ProtocolSpec, all_specs, get_spec
+from repro.protocols.chaudhuri import ChaudhuriKSet
+from repro.protocols.echo import LEchoEngine, accept_threshold
+from repro.protocols.protocol_a import ProtocolA
+from repro.protocols.protocol_b import ProtocolB
+from repro.protocols.protocol_c import ProtocolC, best_ell
+from repro.protocols.protocol_d import ProtocolD
+from repro.protocols.protocol_e import protocol_e
+from repro.protocols.protocol_f import protocol_f
+from repro.protocols.select import (
+    NoProtocolAvailable,
+    candidates,
+    recommend,
+    solve,
+)
+from repro.protocols.simulation import simulate_mp_over_sm
+from repro.protocols.trivial import TrivialOwnValue, trivial_own_value_sm
+
+__all__ = [
+    "ChaudhuriKSet",
+    "LEchoEngine",
+    "NoProtocolAvailable",
+    "ProtocolA",
+    "ProtocolB",
+    "ProtocolC",
+    "ProtocolD",
+    "ProtocolSpec",
+    "TrivialOwnValue",
+    "accept_threshold",
+    "all_specs",
+    "best_ell",
+    "candidates",
+    "get_spec",
+    "protocol_e",
+    "recommend",
+    "solve",
+    "protocol_f",
+    "simulate_mp_over_sm",
+    "trivial_own_value_sm",
+]

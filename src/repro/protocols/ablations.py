@@ -1,0 +1,228 @@
+"""Ablated protocol variants: what each design ingredient buys.
+
+Each construct here alters exactly one ingredient of a paper protocol.
+Three of them fail demonstrably under the right adversary (the tests
+and ``benchmarks/bench_ablation_ingredients.py`` exhibit the runs);
+one turns out to be safety-conservative against every adversary we
+field -- an honest ablation finding, recorded as such.
+
+* :class:`ProtocolBStrictQuorum` replaces PROTOCOL B's ``n − 2t``
+  matching quorum with full unanimity of the received values (i.e.
+  PROTOCOL A's decision rule where SV2 is required).  A single
+  divergent faulty input then drives correct processes to the default,
+  violating SV2 -- this is precisely the A-versus-B difference.
+* :class:`ProtocolCPlainBroadcast` removes PROTOCOL C's ℓ-echo layer
+  (PROTOCOL B run in the Byzantine model).  An equivocating sender then
+  inflates every value's quorum, and ``k + 1`` distinct decisions
+  become schedulable inside C's solvable region.
+* :class:`CredulousProcess` removes payload validation from flood-min.
+  A garbage Byzantine payload raises inside the handler -- a remote
+  crash vector that the ``tagged`` checks in every real protocol
+  prevent.
+* :func:`protocol_f_single_scan` removes PROTOCOL F's re-scan loop.
+  Finding: no safety violation was discovered by adversarial search --
+  the loop is what makes the *proof's* ``r = t + i`` accounting sound
+  (it guarantees ``r >= n − t``), but against our adversaries the
+  single-scan variant's decisions stayed within bounds.  The bench
+  reports this as an observation, not a theorem.
+
+None of these are registered in the protocol registry: they are not the
+paper's protocols, they are its design rationale made executable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List
+
+from repro.core.values import DEFAULT, Value, is_empty
+from repro.protocols.base import tagged
+from repro.runtime.process import Context, Process
+from repro.shm.kernel import SMContext
+from repro.shm.ops import Decide, Op, Read, Write
+
+__all__ = [
+    "CredulousProcess",
+    "ProtocolBStrictQuorum",
+    "ProtocolCPlainBroadcast",
+    "protocol_f_single_scan",
+]
+
+_VAL = "B-VAL"  # same wire format as PROTOCOL B
+
+
+class ProtocolBStrictQuorum(Process):
+    """PROTOCOL B with the quorum tightened from ``n − 2t`` to unanimity.
+
+    Decides its own input only when *every* received value matches it.
+    The ``n − 2t`` margin exists exactly to absorb up to ``t`` divergent
+    values from faulty processes; without it, one faulty input that
+    reaches a correct process forces the default and breaks SV2.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[int, Value] = {}
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast((_VAL, ctx.input))
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        if ctx.decided or not tagged(payload, _VAL, 1):
+            return
+        if sender in self._values:
+            return
+        self._values[sender] = payload[1]
+        if len(self._values) >= ctx.n - ctx.t and ctx.pid in self._values:
+            if all(v == ctx.input for v in self._values.values()):
+                ctx.decide(ctx.input)
+            else:
+                ctx.decide(DEFAULT)
+
+
+class ProtocolCPlainBroadcast(Process):
+    """PROTOCOL C with the ℓ-echo layer removed (plain broadcasts).
+
+    Equivalent to running PROTOCOL B against Byzantine failures: an
+    equivocating sender shows a different value to every receiver and
+    joins every value's quorum, which the echo filter would prevent
+    (Lemma 3.14 caps a sender at ℓ accepted values).
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[int, Value] = {}
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast((_VAL, ctx.input))
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        if ctx.decided or not tagged(payload, _VAL, 1):
+            return
+        if sender in self._values:
+            return
+        self._values[sender] = payload[1]
+        if len(self._values) >= ctx.n - ctx.t and ctx.pid in self._values:
+            matching = sum(1 for v in self._values.values() if v == ctx.input)
+            if matching >= ctx.n - 2 * ctx.t:
+                ctx.decide(ctx.input)
+            else:
+                ctx.decide(DEFAULT)
+
+
+class CredulousProcess(Process):
+    """Flood-min without payload validation.
+
+    Treats every payload as ``(tag, value)`` and every value as
+    hashable/orderable; malformed Byzantine payloads raise inside the
+    handler -- in a real deployment, a remote crash vector.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[int, Value] = {}
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast((_VAL, ctx.input))
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        if ctx.decided:
+            return
+        value = payload[1]  # no shape check: may raise
+        self._values.setdefault(sender, value)
+        if len(self._values) >= ctx.n - ctx.t:
+            ctx.decide(min(self._values.values()))  # may raise on mixed types
+
+
+def divergent_crash_run(make_process):
+    """The run that separates PROTOCOL B from its strict-quorum ablation.
+
+    ``n = 5, t = 1``: all correct processes start with ``v``; one faulty
+    process starts with ``w``, broadcasts fully, then crashes, so every
+    correct process hears the divergent value.  PROTOCOL B's ``n − 2t``
+    margin absorbs it; the unanimity variant falls to the default and
+    violates SV2.
+    """
+    from repro.core.validity import SV2
+    from repro.failures.crash import CrashPlan, CrashPoint
+    from repro.harness.runner import run_mp
+
+    n, k, t = 5, 3, 1
+    inputs = ["w"] + ["v"] * (n - 1)
+    return run_mp(
+        [make_process() for _ in range(n)],
+        inputs, k, t, SV2,
+        crash_adversary=CrashPlan({0: CrashPoint(after_steps=1)}),
+        stop_when_decided=False,
+    )
+
+
+def plain_broadcast_attack_run(make_process):
+    """The run that separates PROTOCOL C(1) from its echo-less ablation.
+
+    ``n = 7, k = 4, t = 2`` -- inside C(1)'s solvable region.  The two
+    Byzantine processes run five faces, showing value ``v_i`` to correct
+    ``p_i``; delivery into ``p_i`` is restricted to
+    ``{p_i, p_{i+1}, p_{i+2}, byz}`` until it decides.  Without the echo
+    filter every correct process reaches an ``n − 2t`` quorum for its own
+    value (own + two Byzantine endorsements): five distinct decisions,
+    ``> k``.  With ℓ-echo, the split endorsements never reach the
+    acceptance threshold and everyone falls back to the default.
+    """
+    from repro.core.validity import SV2
+    from repro.failures.byzantine import MultiFaceProcess
+    from repro.harness.runner import run_mp
+    from repro.net.schedulers import PredicateScheduler
+
+    n, k, t = 7, 4, 2
+    byz = [5, 6]
+    inputs = [f"v{i}" for i in range(5)] + ["z", "z"]
+
+    def make_byz():
+        return MultiFaceProcess(
+            make_process,
+            {f"f{i}": f"v{i}" for i in range(5)},
+            lambda peer: f"f{peer}" if peer < 5 else None,
+        )
+
+    def allow(kernel, delivery):
+        receiver, sender = delivery.receiver, delivery.sender
+        if receiver in byz or kernel.has_decided(receiver):
+            return True
+        allowed = {receiver, (receiver + 1) % 5, (receiver + 2) % 5, 5, 6}
+        return sender in allowed
+
+    processes = [
+        make_byz() if pid in byz else make_process() for pid in range(n)
+    ]
+    return run_mp(
+        processes, inputs, k, t, SV2,
+        byzantine=byz,
+        scheduler=PredicateScheduler(allow, release_on_stall=True),
+        stop_when_decided=False,
+        max_ticks=400_000,
+    )
+
+
+__all__.extend(["divergent_crash_run", "plain_broadcast_attack_run"])
+
+
+def protocol_f_single_scan(ctx: SMContext) -> Generator[Op, Any, None]:
+    """PROTOCOL F without the re-scan loop: one scan, then decide.
+
+    See the module docstring: adversarial search found no safety
+    violation for this variant; it exists to separate what the loop
+    does for the proof from what it does for observed behaviour.
+    """
+    yield Write(ctx.input)
+    seen: List[Any] = []
+    for owner in range(ctx.n):
+        value = yield Read(owner)
+        if not is_empty(value):
+            seen.append(value)
+    r = len(seen)
+    if r <= ctx.t:
+        yield Decide(ctx.input)
+        return
+    i = r - ctx.t
+    matching = sum(1 for value in seen if value == ctx.input)
+    if matching >= i:
+        yield Decide(ctx.input)
+    else:
+        yield Decide(DEFAULT)

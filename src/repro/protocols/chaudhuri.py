@@ -1,0 +1,64 @@
+"""Chaudhuri's k-set consensus protocol for ``SC(k, t, RV1)``, t < k.
+
+Lemma 3.1 of the paper (due to Chaudhuri [13]) states that in the
+MP/CR model there is a protocol for ``SC(k, t, RV1)`` whenever
+``t < k``.  The classic flood-and-pick-minimum protocol realizes it:
+
+1. broadcast the input value;
+2. wait for values from ``n - t`` distinct processes (counting one's
+   own);
+3. decide the minimum value received.
+
+Why at most ``t + 1 <= k`` distinct decisions: each process's received
+set omits at most ``t`` of the ``n`` inputs, so its minimum is among the
+``t + 1`` smallest inputs overall.  RV1 holds because in the crash model
+every received value is some process's genuine input.
+
+Values are compared with :func:`repro.core.values.order_key`, a total
+order over arbitrary (hashable) inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.values import Value, order_key
+from repro.models import Model
+from repro.protocols.base import ProtocolSpec, register, tagged
+from repro.runtime.process import Context, Process
+
+__all__ = ["ChaudhuriKSet", "MP_CR_SPEC"]
+
+_VAL = "CH-VAL"
+
+
+class ChaudhuriKSet(Process):
+    """Flood inputs; decide the minimum of the first ``n - t`` values."""
+
+    def __init__(self) -> None:
+        self._values: Dict[int, Value] = {}
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast((_VAL, ctx.input))
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        if ctx.decided or not tagged(payload, _VAL, 1):
+            return
+        if sender in self._values:
+            return  # at most one input per process
+        self._values[sender] = payload[1]
+        if len(self._values) >= ctx.n - ctx.t:
+            ctx.decide(min(self._values.values(), key=order_key))
+
+
+MP_CR_SPEC = register(
+    ProtocolSpec(
+        name="chaudhuri@mp-cr",
+        title="Chaudhuri's k-set consensus",
+        model=Model.MP_CR,
+        validity="RV1",
+        lemma="Lemma 3.1",
+        solvable=lambda n, k, t: t < k,
+        make=lambda n, k, t: ChaudhuriKSet(),
+    )
+)

@@ -1,0 +1,92 @@
+"""Halting protocol variants: probing the paper's open problem.
+
+Section 5 of the paper:
+
+    "In most of our protocols for the Byzantine failure model,
+    processes are required to 'help' other processes by continually
+    participating in the (echo) protocol.  Therefore, termination is
+    satisfied only in the sense that correct processes decide, but not
+    in the sense that they are guaranteed to eventually stop.  It is
+    currently open whether there exists terminating protocols for the
+    same settings."
+
+This module makes the obstacle concrete.  :class:`HaltingProtocolC`
+behaves exactly like PROTOCOL C(ℓ) except that a process *stops
+participating* (ignores all further messages, echoes nothing) once it
+has decided.  :func:`straggler_run` then builds the schedule that
+defeats it: one correct process's messages are delayed until everyone
+else has decided and halted; the halted majority never echoes the
+straggler's init, so the straggler can never accept its own value and
+never decides -- a termination violation that the non-halting PROTOCOL C
+does not suffer under the identical schedule.
+
+This is evidence about *this* protocol shape, not a proof that no
+terminating protocol exists (the question remains open).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.validity import SV2
+from repro.harness.runner import ExperimentReport, run_mp
+from repro.net.schedulers import PredicateScheduler
+from repro.protocols.protocol_c import ProtocolC
+from repro.runtime.events import Delivery
+from repro.runtime.process import Context, Process
+
+__all__ = ["HaltingProtocolC", "straggler_run"]
+
+
+class HaltingProtocolC(Process):
+    """PROTOCOL C(ℓ) that stops participating once it has decided."""
+
+    def __init__(self, ell: int) -> None:
+        self._inner = ProtocolC(ell)
+        self.halted = False
+
+    def on_start(self, ctx: Context) -> None:
+        self._inner.on_start(ctx)
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        if self.halted:
+            return
+        self._inner.on_message(ctx, sender, payload)
+        if ctx.decided:
+            self.halted = True
+
+
+def straggler_run(
+    n: int = 7,
+    t: int = 1,
+    k: int = 4,
+    ell: int = 1,
+    halting: bool = True,
+    max_ticks: int = 500_000,
+) -> ExperimentReport:
+    """The schedule that defeats halting echo protocols.
+
+    The last process's outgoing messages are delayed until every other
+    process has decided.  With ``halting=True`` the others have stopped
+    echoing by then and the straggler never terminates; with
+    ``halting=False`` (plain PROTOCOL C) the same schedule is harmless.
+    """
+    straggler = n - 1
+    others = set(range(n - 1))
+
+    def allow(kernel, delivery: Delivery) -> bool:
+        if delivery.sender != straggler or delivery.receiver == straggler:
+            return True
+        return all(kernel.has_decided(p) for p in others)
+
+    make = (lambda: HaltingProtocolC(ell)) if halting else (lambda: ProtocolC(ell))
+    return run_mp(
+        [make() for _ in range(n)],
+        ["v"] * n,
+        k,
+        t,
+        SV2,
+        scheduler=PredicateScheduler(allow, release_on_stall=True),
+        stop_when_decided=True,
+        max_ticks=max_ticks,
+    )

@@ -1,0 +1,106 @@
+"""PROTOCOL A (Section 3.1.2).
+
+    "Each process broadcasts its input and waits for n - t messages.
+    If all n - t messages contain the same value v, then the process
+    decides v, else it decides a default value v0."
+
+Claims reproduced here:
+
+* Lemma 3.7 -- solves ``SC(k, t, RV2)`` in MP/CR for ``t < (k-1)n/k``
+  (and hence ``SC(WV2)`` too, WV2 being weaker than RV2).
+* Lemma 3.12 -- solves ``SC(k, t, WV2)`` in MP/Byz for ``t < n/2`` and
+  ``k >= (n-t)/(n-2t) + 1``.
+* Lemma 3.13 -- solves ``SC(k, t, WV2)`` in MP/Byz for ``t >= n/2`` and
+  ``k >= t + 1``.
+
+The decision uses exactly the first ``n - t`` well-formed values
+received (one per sender), matching the paper's "waits for n - t
+messages" phrasing.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict
+
+from repro.core.values import DEFAULT, Value
+from repro.models import Model
+from repro.protocols.base import ProtocolSpec, register, tagged
+from repro.runtime.process import Context, Process
+
+__all__ = ["MP_BYZ_WV2_SPEC", "MP_CR_RV2_SPEC", "MP_CR_WV2_SPEC", "ProtocolA"]
+
+_VAL = "A-VAL"
+
+
+class ProtocolA(Process):
+    """Broadcast input; decide it if the first ``n - t`` values agree."""
+
+    def __init__(self) -> None:
+        self._values: Dict[int, Value] = {}
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast((_VAL, ctx.input))
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        if ctx.decided or not tagged(payload, _VAL, 1):
+            return
+        if sender in self._values:
+            return
+        self._values[sender] = payload[1]
+        if len(self._values) >= ctx.n - ctx.t:
+            distinct = set(self._values.values())
+            if len(distinct) == 1:
+                ctx.decide(next(iter(distinct)))
+            else:
+                ctx.decide(DEFAULT)
+
+
+def _lemma_3_7(n: int, k: int, t: int) -> bool:
+    """t < (k-1)n/k."""
+    return Fraction(t) < Fraction((k - 1) * n, k)
+
+
+def _lemma_3_12_or_3_13(n: int, k: int, t: int) -> bool:
+    """Byzantine WV2 region: Lemma 3.12 (t < n/2) or Lemma 3.13 (t >= n/2)."""
+    if Fraction(t) < Fraction(n, 2):
+        return Fraction(k) >= Fraction(n - t, n - 2 * t) + 1
+    return k >= t + 1
+
+
+MP_CR_RV2_SPEC = register(
+    ProtocolSpec(
+        name="protocol-a@mp-cr",
+        title="PROTOCOL A",
+        model=Model.MP_CR,
+        validity="RV2",
+        lemma="Lemma 3.7",
+        solvable=_lemma_3_7,
+        make=lambda n, k, t: ProtocolA(),
+    )
+)
+
+MP_CR_WV2_SPEC = register(
+    ProtocolSpec(
+        name="protocol-a-wv2@mp-cr",
+        title="PROTOCOL A",
+        model=Model.MP_CR,
+        validity="WV2",
+        lemma="Lemma 3.7 (WV2 weaker than RV2)",
+        solvable=_lemma_3_7,
+        make=lambda n, k, t: ProtocolA(),
+        notes="SC(WV2) is weaker than SC(RV2); the RV2 region carries over.",
+    )
+)
+
+MP_BYZ_WV2_SPEC = register(
+    ProtocolSpec(
+        name="protocol-a@mp-byz",
+        title="PROTOCOL A",
+        model=Model.MP_BYZ,
+        validity="WV2",
+        lemma="Lemmas 3.12 and 3.13",
+        solvable=_lemma_3_12_or_3_13,
+        make=lambda n, k, t: ProtocolA(),
+    )
+)

@@ -1,0 +1,70 @@
+"""PROTOCOL B (Section 3.1.2).
+
+    "Each process broadcasts its input and waits for n - t messages.
+    One of these n - t messages is the process' own message.  If
+    n - 2t messages contain the same value as its own, say v, the
+    process decides v, else it decides a default value v0."
+
+Lemma 3.8: solves ``SC(k, t, SV2)`` in MP/CR for ``t < (k-1)n/(2k)``.
+Lemma 4.6: its SIMULATION solves the same in SM/CR.
+
+The wait condition is implemented as "at least ``n - t`` values
+received, among which the process's own"; the decision test counts, at
+that moment, how many received values (including its own) equal its own
+input.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict
+
+from repro.core.values import DEFAULT, Value
+from repro.models import Model
+from repro.protocols.base import ProtocolSpec, register, tagged
+from repro.runtime.process import Context, Process
+
+__all__ = ["MP_CR_SPEC", "ProtocolB"]
+
+_VAL = "B-VAL"
+
+
+class ProtocolB(Process):
+    """Decide own input iff ``n - 2t`` of the first ``n - t`` values match it."""
+
+    def __init__(self) -> None:
+        self._values: Dict[int, Value] = {}
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast((_VAL, ctx.input))
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        if ctx.decided or not tagged(payload, _VAL, 1):
+            return
+        if sender in self._values:
+            return
+        self._values[sender] = payload[1]
+        if len(self._values) >= ctx.n - ctx.t and ctx.pid in self._values:
+            matching = sum(1 for v in self._values.values() if v == ctx.input)
+            if matching >= ctx.n - 2 * ctx.t:
+                ctx.decide(ctx.input)
+            else:
+                ctx.decide(DEFAULT)
+
+
+def lemma_3_8(n: int, k: int, t: int) -> bool:
+    """t < (k-1)n/(2k)."""
+    return Fraction(t) < Fraction((k - 1) * n, 2 * k)
+
+
+MP_CR_SPEC = register(
+    ProtocolSpec(
+        name="protocol-b@mp-cr",
+        title="PROTOCOL B",
+        model=Model.MP_CR,
+        validity="SV2",
+        lemma="Lemma 3.8",
+        solvable=lemma_3_8,
+        make=lambda n, k, t: ProtocolB(),
+    )
+)

@@ -1,0 +1,110 @@
+"""PROTOCOL D (Section 3.2.2) -- ``SC(k, t, WV1)`` in MP/Byz.
+
+    "Processes p1, p2, ..., p_{t+1} each broadcasts its input value.  A
+    process that receives a value vi from pi, i in {1, ..., t+1},
+    broadcasts an <echo, vi, pi> message and never echos a value for pi
+    again.  [The broadcasters decide] on [their] own value.  Every
+    other process decides the first value vi, i in {1, ..., t+1}, for
+    which it receives identical <echo, vi, pi> from n - t processes."
+
+Lemma 3.16: PROTOCOL D solves ``SC(k, t, WV1)`` in MP/Byz for
+``k >= Z(n, t)`` where ``Z`` is defined in
+:func:`repro.core.solvability.z_function` (and before Lemma 3.16 in the
+paper).
+
+Interpretation note: the paper's text says "each process p1, ..., pk
+decides on its own value", but its agreement proof counts the distinct
+decisions as (values of correct broadcasters) + (values faulty
+broadcasters get accepted), i.e. it accounts only for the ``t + 1``
+*broadcasters* deciding their own values.  When ``k > t + 1``, letting
+the extra ``k - t - 1`` non-broadcasters decide their own values can
+exceed ``k`` distinct decisions (their inputs are not among the
+broadcasters' accepted values), so we implement the proof-consistent
+reading: exactly the broadcasters ``p_0 ... p_t`` decide their own
+values.  This is recorded in DESIGN.md as a deliberate deviation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set, Tuple
+
+from repro.core.values import Value
+from repro.models import Model
+from repro.protocols.base import ProtocolSpec, register, tagged
+from repro.runtime.process import Context, Process
+
+__all__ = ["MP_BYZ_SPEC", "ProtocolD"]
+
+_VAL = "D-VAL"
+_ECHO = "D-ECHO"
+
+
+class ProtocolD(Process):
+    """Broadcasters decide their input; others adopt an ``n - t``-echo value."""
+
+    def __init__(self) -> None:
+        self._echoed_for: Set[int] = set()
+        self._echoers: Dict[Tuple[int, Value], Set[int]] = {}
+
+    @staticmethod
+    def _is_broadcaster(ctx: Context, pid: int) -> bool:
+        return pid <= ctx.t  # p_0 ... p_t are the t + 1 broadcasters
+
+    def on_start(self, ctx: Context) -> None:
+        if self._is_broadcaster(ctx, ctx.pid):
+            ctx.broadcast((_VAL, ctx.input))
+            ctx.decide(ctx.input)
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        if tagged(payload, _VAL, 1):
+            self._handle_value(ctx, sender, payload[1])
+        elif tagged(payload, _ECHO, 2):
+            origin = payload[1]
+            if isinstance(origin, int) and self._is_broadcaster(ctx, origin):
+                self._handle_echo(ctx, sender, origin, payload[2])
+
+    def _handle_value(self, ctx: Context, sender: int, value: Value) -> None:
+        if not self._is_broadcaster(ctx, sender):
+            return  # only the designated broadcasters' values are echoed
+        if sender in self._echoed_for:
+            return  # never echo a value for the same broadcaster again
+        self._echoed_for.add(sender)
+        ctx.broadcast((_ECHO, sender, value))
+
+    def _handle_echo(
+        self, ctx: Context, voter: int, origin: int, value: Value
+    ) -> None:
+        key = (origin, value)
+        votes = self._echoers.setdefault(key, set())
+        if voter in votes:
+            return
+        votes.add(voter)
+        if (
+            not ctx.decided
+            and not self._is_broadcaster(ctx, ctx.pid)
+            and len(votes) >= ctx.n - ctx.t
+        ):
+            ctx.decide(value)
+
+
+def _solvable(n: int, k: int, t: int) -> bool:
+    from repro.core.solvability import z_function
+
+    return k >= z_function(n, t)
+
+
+MP_BYZ_SPEC = register(
+    ProtocolSpec(
+        name="protocol-d@mp-byz",
+        title="PROTOCOL D",
+        model=Model.MP_BYZ,
+        validity="WV1",
+        lemma="Lemma 3.16",
+        solvable=_solvable,
+        make=lambda n, k, t: ProtocolD(),
+        notes=(
+            "Proof-consistent reading: the t+1 broadcasters decide their "
+            "own values (see module docstring)."
+        ),
+    )
+)

@@ -1,0 +1,75 @@
+"""PROTOCOL E (Section 4.1.2) -- wait-free 2-set consensus in shared memory.
+
+    "Each process writes its own input into a single-writer register.
+    The process then scans the registers of all other processes exactly
+    once.  If all the values it reads in this single scan (including
+    its own) are identical, it decides that value, otherwise it decides
+    v0 (a default value)."
+
+Lemma 4.5: solves ``SC(k, t, RV2)`` in SM/CR for ``k >= 2`` -- for *any*
+``t``, including ``t = n``: the protocol never waits.
+Lemma 4.10: solves ``SC(k, t, WV2)`` in SM/Byz for ``k >= 2``.
+
+Interpretation note: a register that has never been written reads as the
+distinguished empty sentinel, which is not a value; the "values it
+reads" are the non-empty ones.  (The agreement proof relies only on the
+first completed write being seen by everyone -- each process writes
+before scanning -- and the validity proof needs unwritten registers not
+to spoil unanimity.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.core.values import DEFAULT, is_empty
+from repro.models import Model
+from repro.protocols.base import ProtocolSpec, register
+from repro.shm.kernel import SMContext
+from repro.shm.ops import Decide, Op, Read, Write
+
+__all__ = ["SM_BYZ_WV2_SPEC", "SM_CR_RV2_SPEC", "protocol_e"]
+
+
+def protocol_e(ctx: SMContext) -> Generator[Op, Any, None]:
+    """Write input; one scan; decide the common value or the default."""
+    yield Write(ctx.input)
+    seen: List[Any] = []
+    for owner in range(ctx.n):
+        value = yield Read(owner)
+        if not is_empty(value):
+            seen.append(value)
+    # Own register was written before the scan, so ``seen`` is non-empty.
+    try:
+        unanimous = len(set(seen)) == 1
+    except TypeError:
+        unanimous = False  # a Byzantine neighbour wrote something unhashable
+    if unanimous:
+        yield Decide(seen[0])
+    else:
+        yield Decide(DEFAULT)
+
+
+SM_CR_RV2_SPEC = register(
+    ProtocolSpec(
+        name="protocol-e@sm-cr",
+        title="PROTOCOL E",
+        model=Model.SM_CR,
+        validity="RV2",
+        lemma="Lemma 4.5",
+        solvable=lambda n, k, t: k >= 2,
+        make=lambda n, k, t: protocol_e,
+    )
+)
+
+SM_BYZ_WV2_SPEC = register(
+    ProtocolSpec(
+        name="protocol-e@sm-byz",
+        title="PROTOCOL E",
+        model=Model.SM_BYZ,
+        validity="WV2",
+        lemma="Lemma 4.10",
+        solvable=lambda n, k, t: k >= 2,
+        make=lambda n, k, t: protocol_e,
+    )
+)

@@ -1,0 +1,79 @@
+"""PROTOCOL F (Section 4.1.2) -- ``SC(k, t, SV2)`` for ``k > t + 1``.
+
+    "Each process writes its own input into a single-writer register.
+    The process then scans the registers of all other processes
+    repeatedly, until in a single scan of all registers it successfully
+    reads from some r >= n - t process' registers.  If r <= t (possible
+    if n <= 2t), then the process decides on its own input.  Otherwise,
+    i.e., if r = t + i for some i >= 1, then it decides its own input
+    if at least i registers of these r (including its own) hold its
+    input value, and a default value v0 otherwise."
+
+Lemma 4.7: solves ``SC(k, t, SV2)`` in SM/CR for all ``k > t + 1``.
+Lemma 4.12: the same in SM/Byz.
+
+"Successfully reads" means the register is non-empty (its owner has
+written).  Note that ``r >= n - t`` always holds eventually because
+correct processes write before scanning; the loop exists because early
+scans may find fewer than ``n - t`` registers written.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.core.values import DEFAULT, is_empty
+from repro.models import Model
+from repro.protocols.base import ProtocolSpec, register
+from repro.shm.kernel import SMContext
+from repro.shm.ops import Decide, Op, Read, Write
+
+__all__ = ["SM_BYZ_SPEC", "SM_CR_SPEC", "protocol_f"]
+
+
+def protocol_f(ctx: SMContext) -> Generator[Op, Any, None]:
+    """Scan until ``n - t`` registers are written; quorum-check own input."""
+    yield Write(ctx.input)
+    while True:
+        seen: List[Any] = []
+        for owner in range(ctx.n):
+            value = yield Read(owner)
+            if not is_empty(value):
+                seen.append(value)
+        if len(seen) >= ctx.n - ctx.t:
+            break
+    r = len(seen)
+    if r <= ctx.t:  # possible only if n <= 2t
+        yield Decide(ctx.input)
+        return
+    i = r - ctx.t  # r = t + i with i >= 1
+    matching = sum(1 for value in seen if value == ctx.input)
+    if matching >= i:
+        yield Decide(ctx.input)
+    else:
+        yield Decide(DEFAULT)
+
+
+SM_CR_SPEC = register(
+    ProtocolSpec(
+        name="protocol-f@sm-cr",
+        title="PROTOCOL F",
+        model=Model.SM_CR,
+        validity="SV2",
+        lemma="Lemma 4.7",
+        solvable=lambda n, k, t: k > t + 1,
+        make=lambda n, k, t: protocol_f,
+    )
+)
+
+SM_BYZ_SPEC = register(
+    ProtocolSpec(
+        name="protocol-f@sm-byz",
+        title="PROTOCOL F",
+        model=Model.SM_BYZ,
+        validity="SV2",
+        lemma="Lemma 4.12",
+        solvable=lambda n, k, t: k > t + 1,
+        make=lambda n, k, t: protocol_f,
+    )
+)

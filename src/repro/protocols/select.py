@@ -1,0 +1,156 @@
+"""Protocol selection: which protocol solves my instance, and best?
+
+Several registered protocols can cover the same ``(model, validity,
+n, k, t)`` point (e.g. in SM/CR SV2 both PROTOCOL F and the SIMULATION
+of PROTOCOL B may apply).  :func:`candidates` lists all of them;
+:func:`recommend` picks one by a cost heuristic:
+
+1. native protocols beat SIMULATION-wrapped ones (polling overhead);
+2. protocols with lower measured message/ops growth beat heavier ones
+   (flood-family n^2 beats echo-family n^3);
+3. ties break on the registry name for determinism.
+
+:func:`solve` composes selection with execution -- the "just give me a
+decision" entry point for library users.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from typing import TYPE_CHECKING
+
+from repro.core.solvability import Solvability, classify
+from repro.core.validity import ValidityCondition, by_code
+from repro.core.values import Value
+from repro.models import Model
+from repro.protocols.base import ProtocolSpec, all_specs
+
+if TYPE_CHECKING:  # pragma: no cover - the runner import would be circular
+    from repro.harness.runner import ExperimentReport
+
+__all__ = ["NoProtocolAvailable", "candidates", "recommend", "solve"]
+
+#: Cost rank by protocol family (lower is cheaper); measured by
+#: repro.analysis.complexity (n^2 flood family, ~n^3 echo family).
+_COST_RANK = {
+    "trivial": 0,
+    "protocol-e": 1,       # wait-free, n reads per process
+    "protocol-f": 1,
+    "chaudhuri": 2,        # one broadcast each
+    "protocol-a": 2,
+    "protocol-a-wv2": 2,
+    "protocol-b": 2,
+    "protocol-d": 3,       # echo per broadcaster
+    "protocol-c": 4,       # full l-echo
+    "protocol-c-rv2": 4,
+}
+
+
+class NoProtocolAvailable(LookupError):
+    """No registered protocol covers the requested instance."""
+
+
+def _family(spec: ProtocolSpec) -> str:
+    name = spec.name.split("@")[0]
+    return name[4:] if name.startswith("sim-") else name
+
+
+def _cost_key(spec: ProtocolSpec):
+    simulated = spec.name.startswith("sim-")
+    return (
+        int(simulated),
+        _COST_RANK.get(_family(spec), 9),
+        spec.name,
+    )
+
+
+def candidates(
+    model: Model,
+    validity: ValidityCondition,
+    n: int,
+    k: int,
+    t: int,
+) -> List[ProtocolSpec]:
+    """All registered protocols solving the instance, cheapest first.
+
+    A protocol qualifies if it is registered for ``model``, guarantees a
+    condition at least as strong as ``validity``, and its region
+    contains ``(n, k, t)``.
+    """
+    found = [
+        spec
+        for spec in all_specs(model=model)
+        if by_code(spec.validity).implies(validity)
+        and spec.solvable(n, k, t)
+    ]
+    return sorted(found, key=_cost_key)
+
+
+def recommend(
+    model: Model,
+    validity: ValidityCondition,
+    n: int,
+    k: int,
+    t: int,
+) -> ProtocolSpec:
+    """The cheapest registered protocol for the instance.
+
+    Raises:
+        NoProtocolAvailable: when nothing covers the point.  The message
+            distinguishes "provably impossible" from "open" from
+            "possible but the possibility is carried from another model,
+            so no protocol object is registered here".
+    """
+    options = candidates(model, validity, n, k, t)
+    if options:
+        return options[0]
+    verdict = classify(model, validity, n, k, t)
+    if verdict.status is Solvability.IMPOSSIBLE:
+        raise NoProtocolAvailable(
+            f"SC(k={k}, t={t}, {validity.code}) in {model} (n={n}) is "
+            f"provably impossible [{', '.join(verdict.citations)}]"
+        )
+    if verdict.status is Solvability.OPEN:
+        raise NoProtocolAvailable(
+            f"SC(k={k}, t={t}, {validity.code}) in {model} (n={n}) is an "
+            "open problem -- no protocol is known"
+        )
+    raise NoProtocolAvailable(  # pragma: no cover - registry is complete
+        f"solvable per {verdict}, but no registered protocol covers it"
+    )
+
+
+def solve(
+    model: Model,
+    validity: ValidityCondition,
+    inputs: Sequence[Value],
+    k: int,
+    t: int,
+    scheduler=None,
+    crash_adversary=None,
+    seed: Optional[int] = None,
+) -> "ExperimentReport":
+    """Pick the best protocol for the instance and run it once.
+
+    When ``scheduler`` is omitted, a seeded-random one is used (the
+    ``seed`` argument controls it).
+    """
+    from repro.harness.runner import run_spec
+
+    n = len(inputs)
+    spec = recommend(model, validity, n, k, t)
+    if scheduler is None:
+        if spec.is_shared_memory:
+            from repro.shm.schedulers import RandomProcessScheduler
+
+            scheduler = RandomProcessScheduler(seed or 0)
+        else:
+            from repro.net.schedulers import RandomScheduler
+
+            scheduler = RandomScheduler(seed or 0)
+    return run_spec(
+        spec, n, k, t, list(inputs),
+        scheduler=scheduler,
+        crash_adversary=crash_adversary,
+    )

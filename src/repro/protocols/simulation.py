@@ -1,0 +1,171 @@
+"""SIMULATION: run any message-passing protocol over shared memory.
+
+Section 4 of the paper:
+
+    "Whenever protocol X prescribes that p send its i-th message m to
+    process q, p writes m to a single-writer single-reader register
+    designated for p's i-th message to q; q repeatedly reads the
+    register until it reads a value there."
+
+Hence every MP/CR (resp. MP/Byz) algorithm works in SM/CR (SM/Byz).
+
+Implementation note -- register folding: instead of one register per
+(sender, receiver, index) triple, each process's unbounded outbox is
+folded into its *one* single-writer register as an append-only log of
+``(destination, payload)`` entries.  Receivers track how many entries of
+each log they have consumed; an entry is acted upon at most once, which
+is exactly the semantics of reading a per-message register once.  A
+Byzantine owner may overwrite its log arbitrarily (as it may write its
+registers arbitrarily in the paper's scheme); readers ignore malformed
+logs, already-consumed prefixes, and entries addressed elsewhere, so the
+owner's power is the same in both formulations: it chooses, per
+receiver, which message (if any) that receiver consumes next.
+
+The resulting program serves the wrapped protocol forever (it keeps
+polling and echoing after deciding); runs end when the kernel's
+``stop_when_decided`` condition fires.  This matches the paper's
+Section 5 remark that the Byzantine protocols' termination is "correct
+processes decide", not "correct processes halt".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Tuple
+
+from repro.models import Model
+from repro.protocols.base import ProtocolSpec, register
+from repro.runtime.process import Context, Process
+from repro.shm.kernel import SMContext
+from repro.shm.ops import Decide, Op, Read, Write
+
+__all__ = ["simulate_mp_over_sm"]
+
+
+class _SimContext(Context):
+    """Context that buffers sends into an outbox list."""
+
+    def __init__(self, pid: int, n: int, t: int, input_value) -> None:
+        super().__init__(pid, n, t, input_value)
+        self.outbox: List[Tuple[int, Any]] = []
+
+    def _emit_send(self, dst: int, payload: Any) -> None:
+        self.outbox.append((dst, payload))
+
+
+def _well_formed_entry(entry: Any) -> bool:
+    return (
+        isinstance(entry, tuple)
+        and len(entry) == 2
+        and isinstance(entry[0], int)
+    )
+
+
+def simulate_mp_over_sm(
+    process_factory: Callable[[], Process],
+) -> Callable[[SMContext], Generator[Op, Any, None]]:
+    """Build the shared-memory program simulating an MP protocol.
+
+    Args:
+        process_factory: builds a fresh instance of the message-passing
+            protocol process for each simulated process.
+
+    Returns:
+        An :data:`~repro.shm.kernel.SMProgram` suitable for
+        :class:`~repro.shm.kernel.SMKernel`.
+    """
+
+    def program(ctx: SMContext) -> Generator[Op, Any, None]:
+        inner = process_factory()
+        mp_ctx = _SimContext(ctx.pid, ctx.n, ctx.t, ctx.input)
+        consumed = [0] * ctx.n
+        published = 0
+        decided_reported = False
+
+        inner.on_start(mp_ctx)
+
+        while True:
+            if len(mp_ctx.outbox) > published:
+                yield Write(tuple(mp_ctx.outbox))
+                published = len(mp_ctx.outbox)
+            if mp_ctx.decided and not decided_reported:
+                decided_reported = True
+                yield Decide(mp_ctx.decision)
+            for owner in range(ctx.n):
+                log = yield Read(owner)
+                if not isinstance(log, tuple) or len(log) <= consumed[owner]:
+                    continue
+                fresh = log[consumed[owner]:]
+                consumed[owner] = len(log)
+                for entry in fresh:
+                    if _well_formed_entry(entry) and entry[0] == ctx.pid:
+                        inner.on_message(mp_ctx, owner, entry[1])
+                # Publish promptly so replies (echoes) are visible to
+                # processes scheduled before our next loop iteration.
+                if len(mp_ctx.outbox) > published:
+                    yield Write(tuple(mp_ctx.outbox))
+                    published = len(mp_ctx.outbox)
+                if mp_ctx.decided and not decided_reported:
+                    decided_reported = True
+                    yield Decide(mp_ctx.decision)
+
+    return program
+
+
+def _register_simulations() -> None:
+    """Register the paper's four SIMULATION possibility claims."""
+    from repro.core.lemmas import z_function
+    from repro.protocols.chaudhuri import ChaudhuriKSet
+    from repro.protocols.protocol_b import ProtocolB, lemma_3_8
+    from repro.protocols.protocol_c import ProtocolC, best_ell
+    from repro.protocols.protocol_d import ProtocolD
+
+    register(ProtocolSpec(
+        name="sim-chaudhuri@sm-cr",
+        title="SIMULATION of Chaudhuri's protocol",
+        model=Model.SM_CR,
+        validity="RV1",
+        lemma="Lemma 4.4",
+        solvable=lambda n, k, t: t < k,
+        make=lambda n, k, t: simulate_mp_over_sm(ChaudhuriKSet),
+    ))
+
+    register(ProtocolSpec(
+        name="sim-protocol-b@sm-cr",
+        title="SIMULATION of PROTOCOL B",
+        model=Model.SM_CR,
+        validity="SV2",
+        lemma="Lemma 4.6",
+        solvable=lemma_3_8,
+        make=lambda n, k, t: simulate_mp_over_sm(ProtocolB),
+    ))
+
+    def _make_sim_c(n: int, k: int, t: int):
+        ell = best_ell(n, k, t)
+        if ell is None:
+            raise ValueError(
+                f"(n={n}, k={k}, t={t}) outside PROTOCOL C's solvable region"
+            )
+        return simulate_mp_over_sm(lambda: ProtocolC(ell))
+
+    register(ProtocolSpec(
+        name="sim-protocol-c@sm-byz",
+        title="SIMULATION of PROTOCOL C(l)",
+        model=Model.SM_BYZ,
+        validity="SV2",
+        lemma="Lemma 4.11",
+        solvable=lambda n, k, t: best_ell(n, k, t) is not None,
+        make=_make_sim_c,
+    ))
+
+    register(ProtocolSpec(
+        name="sim-protocol-d@sm-byz",
+        title="SIMULATION of PROTOCOL D",
+        model=Model.SM_BYZ,
+        validity="WV1",
+        lemma="Lemma 4.13",
+        solvable=lambda n, k, t: k >= z_function(n, t),
+        make=lambda n, k, t: simulate_mp_over_sm(ProtocolD),
+    ))
+
+
+_register_simulations()

@@ -1,0 +1,95 @@
+"""The trivial protocol for ``k = n``: decide your own input.
+
+Section 2: "if k = n, then SC(k) is trivially solvable (each process
+decides its own value), even in the Byzantine setting, for any t and
+with the strongest validity condition we are considering, that is,
+validity SV1."
+
+Provided in both communication flavours so every model has a registered
+protocol at ``k = n`` and so tests can pin the degenerate corner of the
+classifier to an actual run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.models import Model
+from repro.protocols.base import ProtocolSpec, register
+from repro.runtime.process import Context, Process
+from repro.shm.kernel import SMContext
+from repro.shm.ops import Decide, Op
+
+__all__ = [
+    "MP_BYZ_SPEC",
+    "MP_CR_SPEC",
+    "SM_BYZ_SPEC",
+    "SM_CR_SPEC",
+    "TrivialOwnValue",
+    "trivial_own_value_sm",
+]
+
+
+class TrivialOwnValue(Process):
+    """Decide own input immediately; send nothing."""
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.decide(ctx.input)
+
+
+def trivial_own_value_sm(ctx: SMContext) -> Generator[Op, Any, None]:
+    """Shared-memory flavour of the trivial protocol."""
+    yield Decide(ctx.input)
+
+
+def _region(n: int, k: int, t: int) -> bool:
+    return k >= n
+
+
+MP_CR_SPEC = register(
+    ProtocolSpec(
+        name="trivial@mp-cr",
+        title="trivial (decide own value)",
+        model=Model.MP_CR,
+        validity="SV1",
+        lemma="Section 2",
+        solvable=_region,
+        make=lambda n, k, t: TrivialOwnValue(),
+    )
+)
+
+MP_BYZ_SPEC = register(
+    ProtocolSpec(
+        name="trivial@mp-byz",
+        title="trivial (decide own value)",
+        model=Model.MP_BYZ,
+        validity="SV1",
+        lemma="Section 2",
+        solvable=_region,
+        make=lambda n, k, t: TrivialOwnValue(),
+    )
+)
+
+SM_CR_SPEC = register(
+    ProtocolSpec(
+        name="trivial@sm-cr",
+        title="trivial (decide own value)",
+        model=Model.SM_CR,
+        validity="SV1",
+        lemma="Section 2",
+        solvable=_region,
+        make=lambda n, k, t: trivial_own_value_sm,
+    )
+)
+
+SM_BYZ_SPEC = register(
+    ProtocolSpec(
+        name="trivial@sm-byz",
+        title="trivial (decide own value)",
+        model=Model.SM_BYZ,
+        validity="SV1",
+        lemma="Section 2",
+        solvable=_region,
+        make=lambda n, k, t: trivial_own_value_sm,
+    )
+)

@@ -1,0 +1,58 @@
+"""Event types of the discrete-event simulation kernels.
+
+Asynchrony in the paper's model means a process step or a message
+delivery may take an arbitrary (but finite) time.  In a discrete-event
+reproduction, "arbitrary but finite" is exactly the freedom given to a
+*scheduler* (the adversary): the kernel keeps a pool of pending events,
+and at each tick the scheduler picks which pending event happens next.
+Any asynchronous run corresponds to some scheduler choice sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any
+
+__all__ = ["Delivery", "Event", "Start", "fresh_event_id"]
+
+_event_counter = itertools.count()
+
+
+def fresh_event_id() -> int:
+    """A process-wide monotonically increasing event identifier.
+
+    Only used for human-readable tracing; kernels order events by their
+    own sequence numbers, so global counter state never affects runs.
+    """
+    return next(_event_counter)
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """Base class for schedulable events."""
+
+    #: Kernel-local sequence number; total order of event creation.
+    seq: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Start(Event):
+    """Process ``pid`` executes its initial step (``on_start``)."""
+
+    pid: int
+
+    def __str__(self) -> str:
+        return f"start(p{self.pid})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Delivery(Event):
+    """Message ``payload`` from ``sender`` is delivered to ``receiver``."""
+
+    sender: int
+    receiver: int
+    payload: Any
+
+    def __str__(self) -> str:
+        return f"deliver(p{self.sender} -> p{self.receiver}: {self.payload!r})"

@@ -1,0 +1,399 @@
+"""Deterministic discrete-event kernel for the message-passing models.
+
+The kernel realizes the paper's asynchronous message-passing system
+(Section 3): a reliable, completely connected network where both process
+steps and deliveries take arbitrary finite time.  All nondeterminism is
+delegated to two pluggable adversaries -- a *scheduler* that picks the
+next pending event and a *crash adversary* (crash models) or Byzantine
+behaviour substitution (Byzantine models).  Runs are therefore exactly
+reproducible from ``(protocol, inputs, scheduler, adversary)``.
+
+Typical use goes through :func:`repro.harness.runner.run_mp`, but the
+kernel is usable directly::
+
+    kernel = MPKernel(
+        processes=[ProtocolA() for _ in range(4)],
+        inputs=[1, 2, 1, 1],
+        t=1,
+        scheduler=FifoScheduler(),
+    )
+    result = kernel.run()
+    result.outcome.decisions
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.core.problem import Outcome
+from repro.core.values import Value
+from repro.failures.adversary import CrashAdversary, NoCrashes
+from repro.runtime.events import Delivery, Event, Start
+from repro.runtime.process import Context, Process, ProtocolError
+from repro.runtime.traces import Trace
+
+__all__ = [
+    "ExecutionResult",
+    "ExecutionStats",
+    "KernelLimitError",
+    "MPKernel",
+    "SchedulerStall",
+]
+
+
+class KernelLimitError(RuntimeError):
+    """The run exceeded the tick budget without reaching a stop state."""
+
+
+class SchedulerStall(RuntimeError):
+    """The scheduler refused every pending event before all correct decided.
+
+    A scheduler embodies "arbitrary but *finite*" delays; refusing to ever
+    deliver a message while some correct process is still undecided would
+    be an infinite delay, which the model forbids.
+    """
+
+
+@dataclasses.dataclass
+class ExecutionResult:
+    """Everything a finished run produced."""
+
+    outcome: Outcome
+    trace: Trace
+    ticks: int
+    quiescent: bool
+
+    @property
+    def message_count(self) -> int:
+        return self.trace.message_count()
+
+    def stats(self) -> "ExecutionStats":
+        """Per-process counters and decision latencies for this run."""
+        sends: Dict[int, int] = {}
+        deliveries: Dict[int, int] = {}
+        register_ops: Dict[int, int] = {}
+        decision_tick: Dict[int, int] = {}
+        for record in self.trace:
+            if record.kind == "send":
+                sends[record.pid] = sends.get(record.pid, 0) + 1
+            elif record.kind == "deliver":
+                deliveries[record.pid] = deliveries.get(record.pid, 0) + 1
+            elif record.kind in ("read", "write"):
+                register_ops[record.pid] = register_ops.get(record.pid, 0) + 1
+            elif record.kind == "decide" and record.pid not in decision_tick:
+                decision_tick[record.pid] = record.tick
+        return ExecutionStats(
+            ticks=self.ticks,
+            sends_by_process=sends,
+            deliveries_by_process=deliveries,
+            register_ops_by_process=register_ops,
+            decision_tick_by_process=decision_tick,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionStats:
+    """Aggregated counters of one run (derived from the trace).
+
+    ``decision_tick_by_process`` maps each decided process to the kernel
+    tick of its decision -- the run's "latency" profile under the chosen
+    schedule.
+    """
+
+    ticks: int
+    sends_by_process: Mapping[int, int]
+    deliveries_by_process: Mapping[int, int]
+    register_ops_by_process: Mapping[int, int]
+    decision_tick_by_process: Mapping[int, int]
+
+    @property
+    def total_sends(self) -> int:
+        return sum(self.sends_by_process.values())
+
+    @property
+    def total_register_ops(self) -> int:
+        return sum(self.register_ops_by_process.values())
+
+    @property
+    def last_decision_tick(self) -> Optional[int]:
+        if not self.decision_tick_by_process:
+            return None
+        return max(self.decision_tick_by_process.values())
+
+    def summary(self) -> str:
+        return (
+            f"ticks={self.ticks} sends={self.total_sends} "
+            f"register_ops={self.total_register_ops} "
+            f"last_decision_tick={self.last_decision_tick}"
+        )
+
+
+class _KernelContext(Context):
+    """Context wired into an :class:`MPKernel`."""
+
+    def __init__(self, kernel: "MPKernel", pid: int, input_value: Value) -> None:
+        super().__init__(pid, kernel.n, kernel.t, input_value)
+        self._kernel = kernel
+
+    def _emit_send(self, dst: int, payload: Any) -> None:
+        self._kernel._handle_send(self.pid, dst, payload)
+
+    def _emit_decide(self, value: Value) -> None:
+        self._kernel._handle_decide(self.pid, value)
+
+
+class MPKernel:
+    """Simulates one execution of a message-passing protocol.
+
+    Args:
+        processes: one :class:`Process` per identifier ``0..n-1``.
+            Byzantine behaviours are installed simply by placing a
+            misbehaving process object at a faulty index and listing the
+            index in ``byzantine``.
+        inputs: nominal input value per process.
+        t: the failure budget of the problem instance (used for context
+            information and budget validation).
+        scheduler: picks the next pending event; see
+            :mod:`repro.net.schedulers`.
+        crash_adversary: crash-point decisions (crash models only).
+        byzantine: identifiers whose process objects deviate arbitrarily.
+        stop_when_decided: stop as soon as every correct process decided
+            (the default).  When ``False`` the run continues until no
+            event is pending.
+        max_ticks: safety valve against non-terminating protocols.
+        enforce_budget: validate that byzantine + potentially-crashing
+            processes stay within ``t``.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        inputs: Sequence[Value],
+        t: int,
+        scheduler,
+        crash_adversary: Optional[CrashAdversary] = None,
+        byzantine: Sequence[int] = (),
+        stop_when_decided: bool = True,
+        max_ticks: int = 1_000_000,
+        enforce_budget: bool = True,
+    ) -> None:
+        if len(processes) != len(inputs):
+            raise ValueError("processes and inputs must have equal length")
+        self.n = len(processes)
+        self.t = t
+        self._processes = list(processes)
+        self._inputs = list(inputs)
+        self._scheduler = scheduler
+        self._crash_adversary = crash_adversary or NoCrashes()
+        self._byzantine: Set[int] = set(byzantine)
+        self._stop_when_decided = stop_when_decided
+        self._max_ticks = max_ticks
+
+        bad = self._byzantine - set(range(self.n))
+        if bad:
+            raise ValueError(f"byzantine ids out of range: {sorted(bad)}")
+        if enforce_budget:
+            budget_users = self._byzantine | set(
+                self._crash_adversary.potentially_faulty()
+            )
+            if len(budget_users) > t:
+                raise ValueError(
+                    f"{len(budget_users)} potentially faulty processes exceed "
+                    f"the failure budget t={t}"
+                )
+
+        self.trace = Trace()
+        self.tick = 0
+        self._seq = 0
+        self._pending: Dict[int, Event] = {}
+        self._crashed: Set[int] = set()
+        self._halted_at_send: Set[int] = set()
+        self._steps_taken: List[int] = [0] * self.n
+        self._sends_made: List[int] = [0] * self.n
+        self._contexts = [
+            _KernelContext(self, pid, self._inputs[pid]) for pid in range(self.n)
+        ]
+        self._executing: Optional[int] = None
+        for pid in range(self.n):
+            self._schedule(Start(self._next_seq(), pid))
+
+    # -- introspection for schedulers and adversaries ----------------------
+
+    @property
+    def pending(self) -> Mapping[int, Event]:
+        """Pending events keyed by sequence number (read-only view)."""
+        return self._pending
+
+    @property
+    def crashed(self) -> frozenset:
+        return frozenset(self._crashed)
+
+    @property
+    def byzantine(self) -> frozenset:
+        return frozenset(self._byzantine)
+
+    @property
+    def faulty(self) -> frozenset:
+        return frozenset(self._crashed | self._byzantine)
+
+    @property
+    def correct(self) -> frozenset:
+        return frozenset(range(self.n)) - self.faulty
+
+    def decision_of(self, pid: int) -> Optional[Value]:
+        return self._contexts[pid].decision
+
+    def has_decided(self, pid: int) -> bool:
+        return self._contexts[pid].decided
+
+    def decided_pids(self) -> frozenset:
+        return frozenset(p for p in range(self.n) if self._contexts[p].decided)
+
+    def all_correct_decided(self) -> bool:
+        return all(self._contexts[p].decided for p in self.correct)
+
+    # -- internals ----------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def _schedule(self, event: Event) -> None:
+        self._pending[event.seq] = event
+
+    def _handle_send(self, sender: int, dst: int, payload: Any) -> None:
+        if sender in self._halted_at_send:
+            self.trace.record(self.tick, "send-suppressed", sender, dst, payload)
+            return
+        if sender not in self._byzantine and self._crash_adversary.crashes_at_send(
+            sender, self._sends_made[sender]
+        ):
+            self._halted_at_send.add(sender)
+            self.trace.record(self.tick, "send-suppressed", sender, dst, payload)
+            return
+        self._sends_made[sender] += 1
+        self.trace.record(self.tick, "send", sender, dst, payload)
+        self._schedule(Delivery(self._next_seq(), sender, dst, payload))
+
+    def _handle_decide(self, pid: int, value: Value) -> None:
+        self.trace.record(self.tick, "decide", pid, payload=value)
+
+    def _crash(self, pid: int) -> None:
+        if pid not in self._crashed:
+            self._crashed.add(pid)
+            self.trace.record(self.tick, "crash", pid)
+
+    def _execute(self, event: Event) -> None:
+        if isinstance(event, Start):
+            pid = event.pid
+            will_run = (
+                pid not in self._crashed
+                and (
+                    pid in self._byzantine
+                    or not self._crash_adversary.crashes_before_step(
+                        pid, self._steps_taken[pid]
+                    )
+                )
+            )
+            if will_run:
+                self.trace.record(self.tick, "start", pid)
+            self._run_handler(pid, lambda ctx: self._processes[pid].on_start(ctx))
+        elif isinstance(event, Delivery):
+            receiver = event.receiver
+            if receiver in self._crashed:
+                self.trace.record(
+                    self.tick, "drop", receiver, event.sender, event.payload
+                )
+                return
+            self.trace.record(
+                self.tick, "deliver", receiver, event.sender, event.payload
+            )
+            self._run_handler(
+                receiver,
+                lambda ctx: self._processes[receiver].on_message(
+                    ctx, event.sender, event.payload
+                ),
+            )
+        else:  # pragma: no cover - future event kinds
+            raise TypeError(f"unknown event type: {event!r}")
+
+    def _run_handler(self, pid: int, call) -> None:
+        if pid in self._crashed:
+            return
+        if pid not in self._byzantine and self._crash_adversary.crashes_before_step(
+            pid, self._steps_taken[pid]
+        ):
+            self._crash(pid)
+            return
+        self._executing = pid
+        try:
+            call(self._contexts[pid])
+        finally:
+            self._executing = None
+        self._steps_taken[pid] += 1
+        if pid in self._halted_at_send:
+            self._crash(pid)
+
+    def _apply_dynamic_crashes(self) -> None:
+        for pid in self._crash_adversary.dynamic_crashes(self):
+            if pid in self._byzantine:
+                continue
+            self._crash(pid)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> ExecutionResult:
+        """Execute until a stop state and return the result.
+
+        Stop states: all correct processes decided (when
+        ``stop_when_decided``), or no event pending (quiescence).
+
+        Raises:
+            KernelLimitError: the tick budget was exhausted first.
+            SchedulerStall: the scheduler refused all pending events while
+                some correct process was still undecided.
+        """
+        self._apply_dynamic_crashes()
+        while self._pending:
+            if self._stop_when_decided and self.all_correct_decided():
+                break
+            if self.tick >= self._max_ticks:
+                raise KernelLimitError(
+                    f"exceeded {self._max_ticks} ticks; "
+                    f"{len(self._pending)} events still pending"
+                )
+            choice = self._scheduler.pick(self)
+            if choice is None:
+                if self.all_correct_decided():
+                    break
+                raise SchedulerStall(
+                    "scheduler refused all pending events but "
+                    f"correct processes {sorted(self.correct - self.decided_pids())} "
+                    "have not decided"
+                )
+            event = self._pending.pop(choice)
+            self._execute(event)
+            self._apply_dynamic_crashes()
+            self.tick += 1
+        return self._result()
+
+    def _result(self) -> ExecutionResult:
+        decisions = {
+            pid: ctx.decision
+            for pid, ctx in enumerate(self._contexts)
+            if ctx.decided
+        }
+        outcome = Outcome(
+            n=self.n,
+            inputs={pid: v for pid, v in enumerate(self._inputs)},
+            decisions=decisions,
+            faulty=frozenset(self._crashed | self._byzantine),
+        )
+        return ExecutionResult(
+            outcome=outcome,
+            trace=self.trace,
+            ticks=self.tick,
+            quiescent=not self._pending,
+        )

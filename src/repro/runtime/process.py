@@ -1,0 +1,111 @@
+"""Message-passing process abstraction.
+
+Protocols for the message-passing models are written as subclasses of
+:class:`Process` with two handlers:
+
+* :meth:`Process.on_start` -- the process's first step, where it
+  typically broadcasts its input;
+* :meth:`Process.on_message` -- invoked once per delivered message.
+
+Handlers interact with the system only through the :class:`Context`
+object the kernel passes in: ``ctx.send``/``ctx.broadcast`` to
+communicate and ``ctx.decide`` to decide irrevocably.  This keeps
+protocol code independent of the kernel that runs it, which is what lets
+the :mod:`repro.protocols.simulation` transform re-run the same protocol
+objects over shared memory, and the asyncio runtime re-run them over
+real tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.values import Value
+
+__all__ = ["Context", "Process", "ProtocolError"]
+
+
+class ProtocolError(RuntimeError):
+    """A protocol implementation broke a kernel rule (e.g. double decide)."""
+
+
+class Context:
+    """The interface a process uses to act on the world.
+
+    Concrete kernels subclass this and implement :meth:`_emit_send`.
+    A context belongs to exactly one process for one execution.
+    """
+
+    def __init__(self, pid: int, n: int, t: int, input_value: Value) -> None:
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.input = input_value
+        self._decision: Optional[Value] = None
+        self._decided = False
+
+    # -- communication ----------------------------------------------------
+
+    def send(self, dst: int, payload: Any) -> None:
+        """Send ``payload`` to process ``dst`` over the reliable network."""
+        if not 0 <= dst < self.n:
+            raise ProtocolError(f"send to unknown process {dst}")
+        self._emit_send(dst, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        """Send ``payload`` to every process, including the sender itself.
+
+        The paper's protocols count the sender's own message among those
+        it waits for ("one of these n-t messages is the process' own
+        message"), so broadcast includes self-delivery.
+        """
+        for dst in range(self.n):
+            self.send(dst, payload)
+
+    # -- deciding ----------------------------------------------------------
+
+    def decide(self, value: Value) -> None:
+        """Irrevocably decide ``value``.
+
+        A process decides at most once; deciding again is a protocol bug
+        and raises :class:`ProtocolError`.
+        """
+        if self._decided:
+            raise ProtocolError(f"p{self.pid} attempted to decide twice")
+        self._decided = True
+        self._decision = value
+        self._emit_decide(value)
+
+    @property
+    def decided(self) -> bool:
+        return self._decided
+
+    @property
+    def decision(self) -> Optional[Value]:
+        return self._decision
+
+    # -- kernel hooks ------------------------------------------------------
+
+    def _emit_send(self, dst: int, payload: Any) -> None:
+        raise NotImplementedError
+
+    def _emit_decide(self, value: Value) -> None:
+        """Kernels may override to trace decisions; default is a no-op."""
+
+
+class Process:
+    """Base class for message-passing protocol processes.
+
+    Subclasses implement the two handlers.  A process must not keep
+    references to the context across executions; the kernel passes the
+    context into every handler call.
+    """
+
+    def on_start(self, ctx: Context) -> None:
+        """The process's initial step."""
+
+    def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
+        """Handle one delivered message from ``sender``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,151 @@
+"""Recording and replaying executions.
+
+Both kernels are deterministic given the scheduler's choices, so a run
+is fully described by its *choice sequence* (event sequence numbers for
+the MP kernel, process ids for the SM kernel).  This module wraps any
+scheduler to record that sequence, serializes it as JSON, and replays it
+exactly -- which turns every counterexample found by sweeps or the
+adversarial search into a shareable, re-executable artifact.
+
+    scheduler = RecordingScheduler(RandomScheduler(seed=7))
+    report = run_mp(processes, inputs, k, t, validity, scheduler=scheduler)
+    blob = scheduler.recording.to_json()
+    ...
+    replayed = run_mp(fresh_processes, inputs, k, t, validity,
+                      scheduler=ReplayScheduler(Recording.from_json(blob)))
+    assert replayed.outcome.decisions == report.outcome.decisions
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Recording",
+    "RecordingProcessScheduler",
+    "RecordingScheduler",
+    "ReplayExhausted",
+    "ReplayProcessScheduler",
+    "ReplayScheduler",
+]
+
+
+class ReplayExhausted(RuntimeError):
+    """The replayed run made more choices than were recorded.
+
+    Usually means the replay was started from different processes,
+    inputs, or failure pattern than the original run.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class Recording:
+    """A serialized choice sequence."""
+
+    kind: str  # "mp" (event seqs) | "sm" (process ids)
+    choices: Tuple[int, ...]
+
+    def to_json(self) -> str:
+        return json.dumps({"kind": self.kind, "choices": list(self.choices)})
+
+    @classmethod
+    def from_json(cls, blob: str) -> "Recording":
+        data = json.loads(blob)
+        if data.get("kind") not in ("mp", "sm"):
+            raise ValueError(f"not a recording: {blob[:80]!r}")
+        return cls(kind=data["kind"], choices=tuple(data["choices"]))
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+
+class RecordingScheduler:
+    """Wraps an MP scheduler and records every chosen event seq."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self._choices: List[int] = []
+
+    def pick(self, kernel) -> Optional[int]:
+        choice = self._inner.pick(kernel)
+        if choice is not None:
+            self._choices.append(choice)
+        return choice
+
+    @property
+    def recording(self) -> Recording:
+        return Recording(kind="mp", choices=tuple(self._choices))
+
+
+class ReplayScheduler:
+    """Feeds a recorded MP choice sequence back to the kernel."""
+
+    def __init__(self, recording: Recording) -> None:
+        if recording.kind != "mp":
+            raise ValueError("expected an 'mp' recording")
+        self._choices = list(recording.choices)
+        self._index = 0
+
+    def pick(self, kernel) -> Optional[int]:
+        if self._index >= len(self._choices):
+            if kernel.all_correct_decided():
+                return None
+            raise ReplayExhausted(
+                f"recording ended after {self._index} choices but the run "
+                "has not finished -- replay started from a different state?"
+            )
+        choice = self._choices[self._index]
+        self._index += 1
+        if choice not in kernel.pending:
+            raise ReplayExhausted(
+                f"recorded choice {choice} is not pending at step "
+                f"{self._index - 1} -- replay diverged"
+            )
+        return choice
+
+
+class RecordingProcessScheduler:
+    """Wraps an SM process scheduler and records every chosen pid."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self._choices: List[int] = []
+
+    def pick(self, kernel) -> Optional[int]:
+        choice = self._inner.pick(kernel)
+        if choice is not None:
+            self._choices.append(choice)
+        return choice
+
+    @property
+    def recording(self) -> Recording:
+        return Recording(kind="sm", choices=tuple(self._choices))
+
+
+class ReplayProcessScheduler:
+    """Feeds a recorded SM choice sequence back to the kernel."""
+
+    def __init__(self, recording: Recording) -> None:
+        if recording.kind != "sm":
+            raise ValueError("expected an 'sm' recording")
+        self._choices = list(recording.choices)
+        self._index = 0
+
+    def pick(self, kernel) -> Optional[int]:
+        if self._index >= len(self._choices):
+            if kernel.all_correct_decided():
+                return None
+            raise ReplayExhausted(
+                f"recording ended after {self._index} choices but the run "
+                "has not finished -- replay started from a different state?"
+            )
+        choice = self._choices[self._index]
+        self._index += 1
+        if not kernel.is_runnable(choice):
+            raise ReplayExhausted(
+                f"recorded pid {choice} is not runnable at step "
+                f"{self._index - 1} -- replay diverged"
+            )
+        return choice

@@ -1,0 +1,99 @@
+"""Execution traces.
+
+Kernels append :class:`TraceRecord` entries as the run unfolds.  Traces
+serve three purposes:
+
+* building the :class:`~repro.core.problem.Outcome` that the condition
+  checkers consume,
+* debugging protocol runs (the ``format`` helper renders a readable log),
+* asserting fine-grained properties in tests (e.g. "no correct process
+  echoed twice for the same sender" in Protocol D).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterator, List, Optional
+
+__all__ = ["Trace", "TraceRecord"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One observable step of an execution.
+
+    Attributes:
+        tick: kernel tick at which the record was emitted (0-based).
+        kind: one of ``start``, ``send``, ``send-suppressed``, ``deliver``,
+            ``drop``, ``decide``, ``crash``, ``read``, ``write``, ``halt``.
+        pid: the process the record is about.
+        peer: the other process involved, if any (message destination or
+            source, register owner for reads).
+        payload: message payload, register value, or decision value.
+    """
+
+    tick: int
+    kind: str
+    pid: int
+    peer: Optional[int] = None
+    payload: Any = None
+
+    def __str__(self) -> str:
+        peer = f" peer=p{self.peer}" if self.peer is not None else ""
+        payload = f" {self.payload!r}" if self.payload is not None else ""
+        return f"[{self.tick:6d}] {self.kind:<16} p{self.pid}{peer}{payload}"
+
+
+class Trace:
+    """An append-only sequence of :class:`TraceRecord` entries."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def append(self, record: TraceRecord) -> None:
+        self._records.append(record)
+
+    def record(
+        self,
+        tick: int,
+        kind: str,
+        pid: int,
+        peer: Optional[int] = None,
+        payload: Any = None,
+    ) -> None:
+        self._records.append(TraceRecord(tick, kind, pid, peer, payload))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index):
+        return self._records[index]
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind, in order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def by_process(self, pid: int) -> List[TraceRecord]:
+        """All records about one process, in order."""
+        return [r for r in self._records if r.pid == pid]
+
+    def message_count(self) -> int:
+        """Number of point-to-point sends (broadcast counts n sends)."""
+        return len(self.of_kind("send"))
+
+    def delivery_count(self) -> int:
+        return len(self.of_kind("deliver"))
+
+    def decisions(self) -> List[TraceRecord]:
+        return self.of_kind("decide")
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Render the trace (optionally only the first ``limit`` records)."""
+        records = self._records if limit is None else self._records[:limit]
+        lines = [str(r) for r in records]
+        if limit is not None and len(self._records) > limit:
+            lines.append(f"... ({len(self._records) - limit} more records)")
+        return "\n".join(lines)

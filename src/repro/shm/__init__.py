@@ -1,0 +1,31 @@
+"""Shared-memory substrate: SWMR atomic registers, kernel, schedulers."""
+
+from repro.shm.kernel import SMContext, SMKernel, SMProgram
+from repro.shm.ops import Decide, Op, Read, Write
+from repro.shm.registers import RegisterFile, SingleWriterViolation
+from repro.shm.schedulers import (
+    FairProcessWrapper,
+    PredicateProcessScheduler,
+    ProcessScheduler,
+    RandomProcessScheduler,
+    RoundRobinScheduler,
+    StagedScheduler,
+)
+
+__all__ = [
+    "Decide",
+    "FairProcessWrapper",
+    "Op",
+    "PredicateProcessScheduler",
+    "ProcessScheduler",
+    "RandomProcessScheduler",
+    "Read",
+    "RegisterFile",
+    "RoundRobinScheduler",
+    "SMContext",
+    "SMKernel",
+    "SMProgram",
+    "SingleWriterViolation",
+    "StagedScheduler",
+    "Write",
+]

@@ -1,0 +1,264 @@
+"""Discrete-event kernel for the shared-memory models.
+
+Shared-memory protocols are generator functions (see
+:mod:`repro.shm.ops`).  The kernel resumes one process at a time -- the
+choice being the asynchrony adversary's, via a process scheduler from
+:mod:`repro.shm.schedulers` -- and executes exactly one atomic register
+operation per kernel tick.  Crash and Byzantine failures are injected
+the same way as in the message-passing kernel: a crash adversary halts
+processes at operation boundaries, and Byzantine processes are arbitrary
+generator programs installed at faulty indices (they can corrupt only
+their *own* register; the memory enforces single-writer access,
+Section 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional, Sequence, Set
+
+from repro.core.problem import Outcome
+from repro.core.values import Value
+from repro.failures.adversary import CrashAdversary, NoCrashes
+from repro.runtime.kernel import ExecutionResult, KernelLimitError, SchedulerStall
+from repro.runtime.process import ProtocolError
+from repro.runtime.traces import Trace
+from repro.shm.ops import Decide, Op, Read, Write
+from repro.shm.registers import RegisterFile
+
+__all__ = ["SMContext", "SMKernel", "SMProgram"]
+
+
+class SMContext:
+    """Read-only per-process information handed to a program."""
+
+    def __init__(self, pid: int, n: int, t: int, input_value: Value) -> None:
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.input = input_value
+
+    def others(self):
+        """All process ids except this one's."""
+        return (p for p in range(self.n) if p != self.pid)
+
+
+#: A shared-memory protocol: builds the op generator for one process.
+SMProgram = Callable[[SMContext], Generator[Op, Any, None]]
+
+
+class _ProcessState:
+    __slots__ = ("generator", "pending_result", "finished", "ops_taken", "decision", "decided")
+
+    def __init__(self) -> None:
+        self.generator: Optional[Generator[Op, Any, None]] = None
+        self.pending_result: Any = None
+        self.finished = False
+        self.ops_taken = 0
+        self.decision: Optional[Value] = None
+        self.decided = False
+
+
+class SMKernel:
+    """Simulates one execution of a shared-memory protocol.
+
+    Args:
+        programs: one generator function per process ``0..n-1``;
+            Byzantine behaviours are arbitrary programs at faulty
+            indices, listed in ``byzantine``.
+        inputs: nominal input value per process.
+        t: failure budget of the problem instance.
+        scheduler: picks which runnable process takes its next operation;
+            see :mod:`repro.shm.schedulers`.
+        crash_adversary: halts processes at operation boundaries.
+        stop_when_decided: stop once every correct process decided.
+        max_ticks: safety valve against non-terminating runs.
+    """
+
+    def __init__(
+        self,
+        programs: Sequence[SMProgram],
+        inputs: Sequence[Value],
+        t: int,
+        scheduler,
+        crash_adversary: Optional[CrashAdversary] = None,
+        byzantine: Sequence[int] = (),
+        stop_when_decided: bool = True,
+        max_ticks: int = 1_000_000,
+        enforce_budget: bool = True,
+    ) -> None:
+        if len(programs) != len(inputs):
+            raise ValueError("programs and inputs must have equal length")
+        self.n = len(programs)
+        self.t = t
+        self._programs = list(programs)
+        self._inputs = list(inputs)
+        self._scheduler = scheduler
+        self._crash_adversary = crash_adversary or NoCrashes()
+        self._byzantine: Set[int] = set(byzantine)
+        self._stop_when_decided = stop_when_decided
+        self._max_ticks = max_ticks
+
+        bad = self._byzantine - set(range(self.n))
+        if bad:
+            raise ValueError(f"byzantine ids out of range: {sorted(bad)}")
+        if enforce_budget:
+            budget_users = self._byzantine | set(
+                self._crash_adversary.potentially_faulty()
+            )
+            if len(budget_users) > t:
+                raise ValueError(
+                    f"{len(budget_users)} potentially faulty processes exceed "
+                    f"the failure budget t={t}"
+                )
+
+        self.registers = RegisterFile(self.n)
+        self.trace = Trace()
+        self.tick = 0
+        self._crashed: Set[int] = set()
+        self._states = [_ProcessState() for _ in range(self.n)]
+        self._contexts = [
+            SMContext(pid, self.n, t, self._inputs[pid]) for pid in range(self.n)
+        ]
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def crashed(self) -> frozenset:
+        return frozenset(self._crashed)
+
+    @property
+    def byzantine(self) -> frozenset:
+        return frozenset(self._byzantine)
+
+    @property
+    def faulty(self) -> frozenset:
+        return frozenset(self._crashed | self._byzantine)
+
+    @property
+    def correct(self) -> frozenset:
+        return frozenset(range(self.n)) - self.faulty
+
+    def has_decided(self, pid: int) -> bool:
+        return self._states[pid].decided
+
+    def decision_of(self, pid: int) -> Optional[Value]:
+        return self._states[pid].decision
+
+    def decided_pids(self) -> frozenset:
+        return frozenset(p for p in range(self.n) if self._states[p].decided)
+
+    def all_correct_decided(self) -> bool:
+        return all(self._states[p].decided for p in self.correct)
+
+    def is_runnable(self, pid: int) -> bool:
+        state = self._states[pid]
+        return pid not in self._crashed and not state.finished
+
+    def runnable_pids(self):
+        return [p for p in range(self.n) if self.is_runnable(p)]
+
+    # -- execution ------------------------------------------------------------
+
+    def _crash(self, pid: int) -> None:
+        if pid not in self._crashed:
+            self._crashed.add(pid)
+            self.trace.record(self.tick, "crash", pid)
+
+    def _apply_dynamic_crashes(self) -> None:
+        for pid in self._crash_adversary.dynamic_crashes(self):
+            if pid in self._byzantine:
+                continue
+            self._crash(pid)
+
+    def _execute_op(self, pid: int, op: Op) -> Any:
+        if isinstance(op, Read):
+            _, value = self.registers.read(pid, op.owner)
+            self.trace.record(self.tick, "read", pid, op.owner, value)
+            return value
+        if isinstance(op, Write):
+            self.registers.write(pid, pid, op.value)
+            self.trace.record(self.tick, "write", pid, pid, op.value)
+            return None
+        if isinstance(op, Decide):
+            state = self._states[pid]
+            if state.decided:
+                raise ProtocolError(f"p{pid} attempted to decide twice")
+            state.decided = True
+            state.decision = op.value
+            self.trace.record(self.tick, "decide", pid, payload=op.value)
+            return None
+        raise ProtocolError(f"p{pid} yielded a non-operation: {op!r}")
+
+    def _step(self, pid: int) -> None:
+        state = self._states[pid]
+        if pid not in self._byzantine and self._crash_adversary.crashes_before_step(
+            pid, state.ops_taken
+        ):
+            self._crash(pid)
+            return
+        if state.generator is None:
+            state.generator = self._programs[pid](self._contexts[pid])
+            self.trace.record(self.tick, "start", pid)
+        try:
+            op = state.generator.send(state.pending_result)
+        except StopIteration:
+            state.finished = True
+            self.trace.record(self.tick, "halt", pid)
+            return
+        state.pending_result = self._execute_op(pid, op)
+        state.ops_taken += 1
+
+    def run(self) -> ExecutionResult:
+        """Execute until a stop state and return the result.
+
+        Stop states: all correct processes decided (when
+        ``stop_when_decided``), or no process is runnable.
+
+        Raises:
+            KernelLimitError: the tick budget was exhausted first.
+            SchedulerStall: the scheduler starved every runnable process
+                while some correct process was still undecided.
+        """
+        self._apply_dynamic_crashes()
+        while self.runnable_pids():
+            if self._stop_when_decided and self.all_correct_decided():
+                break
+            if self.tick >= self._max_ticks:
+                raise KernelLimitError(
+                    f"exceeded {self._max_ticks} ticks; runnable: "
+                    f"{self.runnable_pids()}"
+                )
+            pid = self._scheduler.pick(self)
+            if pid is None:
+                if self.all_correct_decided():
+                    break
+                raise SchedulerStall(
+                    "scheduler starved all runnable processes but "
+                    f"{sorted(self.correct - self.decided_pids())} "
+                    "have not decided"
+                )
+            if not self.is_runnable(pid):
+                raise ProtocolError(f"scheduler picked non-runnable p{pid}")
+            self._step(pid)
+            self._apply_dynamic_crashes()
+            self.tick += 1
+        return self._result()
+
+    def _result(self) -> ExecutionResult:
+        decisions = {
+            pid: state.decision
+            for pid, state in enumerate(self._states)
+            if state.decided
+        }
+        outcome = Outcome(
+            n=self.n,
+            inputs={pid: v for pid, v in enumerate(self._inputs)},
+            decisions=decisions,
+            faulty=frozenset(self._crashed | self._byzantine),
+        )
+        return ExecutionResult(
+            outcome=outcome,
+            trace=self.trace,
+            ticks=self.tick,
+            quiescent=not self.runnable_pids(),
+        )

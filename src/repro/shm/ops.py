@@ -1,0 +1,64 @@
+"""Operations a shared-memory process can perform.
+
+Shared-memory protocols are written as Python *generator functions*: the
+program yields one operation at a time, and the kernel resumes it with
+the operation's result.  Each yielded operation executes atomically at a
+kernel-chosen instant, which models single-writer multi-reader atomic
+registers exactly (Lamport [22] in the paper's references): the
+adversary controls interleaving between operations, but each operation
+is indivisible.
+
+Example (the body of PROTOCOL E)::
+
+    def program(ctx):
+        yield Write(ctx.input)
+        seen = []
+        for owner in range(ctx.n):
+            value = yield Read(owner)
+            if not is_empty(value):
+                seen.append(value)
+        yield Decide(seen[0] if len(set(seen)) == 1 else DEFAULT)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+__all__ = ["Decide", "Op", "Read", "Write"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Op:
+    """Base class for shared-memory operations."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Read(Op):
+    """Atomically read the register owned by process ``owner``.
+
+    Yields back the register's current value, or
+    :data:`repro.core.values.EMPTY` if it was never written.
+    """
+
+    owner: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Write(Op):
+    """Atomically write ``value`` to the caller's *own* register.
+
+    Registers are single-writer: the kernel rejects any attempt to write
+    another process's register, even by Byzantine processes -- the paper
+    assumes the memory itself preserves its access restrictions
+    (Section 4).
+    """
+
+    value: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class Decide(Op):
+    """Irrevocably decide ``value``.  Yields back ``None``."""
+
+    value: Any

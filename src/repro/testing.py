@@ -1,0 +1,95 @@
+"""Testing utilities for downstream users of the library.
+
+Users embedding these protocols in their own systems need the same
+validation machinery this repository uses internally: random outcome
+generators for property tests, input-shape builders, and one-call
+assertion helpers.  Everything here is re-exported from the internal
+modules with stable names.
+
+Example (pytest + hypothesis)::
+
+    from hypothesis import given, strategies as st
+    from repro.testing import assert_protocol_clean
+
+    @given(st.integers(0, 10**6))
+    def test_my_deployment_point(seed):
+        assert_protocol_clean(
+            "protocol-c@mp-byz", n=9, k=4, t=2, runs=3, seed=seed
+        )
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.analysis.lattice import random_outcome
+from repro.core.problem import Outcome, SCProblem
+from repro.core.validity import ValidityCondition, by_code
+from repro.harness.inputs import INPUT_PATTERNS, make_inputs
+from repro.harness.sweep import SweepConfig, sweep_spec
+from repro.protocols.base import get_spec
+
+__all__ = [
+    "INPUT_PATTERNS",
+    "assert_outcome_satisfies",
+    "assert_protocol_clean",
+    "make_inputs",
+    "random_outcome",
+]
+
+
+def assert_protocol_clean(
+    spec_name: str,
+    n: int,
+    k: int,
+    t: int,
+    runs: int = 10,
+    seed: int = 0,
+    input_patterns: Optional[Sequence[str]] = None,
+) -> None:
+    """Sweep a registered protocol and raise ``AssertionError`` on any
+    violation, with the violating runs in the message.
+
+    The point must lie inside the protocol's claimed region (asserted
+    first -- sweeping outside it proves nothing either way).
+    """
+    spec = get_spec(spec_name)
+    assert spec.solvable(n, k, t), (
+        f"({n}, {k}, {t}) is outside {spec_name}'s solvable region; "
+        "a clean sweep there would be meaningless"
+    )
+    config = SweepConfig(
+        runs=runs,
+        seed=seed,
+        input_patterns=tuple(input_patterns or INPUT_PATTERNS),
+    )
+    stats = sweep_spec(spec, n, k, t, config)
+    assert stats.clean, (
+        f"{spec_name} violated SC(k={k}, t={t}, {spec.validity}) at n={n}: "
+        f"{[ (v.run_index, v.conditions, v.detail) for v in stats.violations[:3] ]}"
+    )
+
+
+def assert_outcome_satisfies(
+    outcome: Outcome,
+    k: int,
+    t: int,
+    validity: str,
+) -> None:
+    """Check one externally produced outcome against ``SC(k, t, C)``."""
+    problem = SCProblem(n=outcome.n, k=k, t=t, validity=by_code(validity))
+    verdicts = problem.check(outcome)
+    failed = {name: str(v) for name, v in verdicts.items() if not v}
+    assert not failed, failed
+
+
+def random_outcomes(count: int, seed: int = 0, n_max: int = 8):
+    """Yield ``count`` random outcomes (see
+    :func:`repro.analysis.lattice.random_outcome`)."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield random_outcome(rng, n_max=n_max)
+
+
+__all__.append("random_outcomes")

@@ -1,0 +1,205 @@
+"""Tests for the executable impossibility-proof constructions.
+
+Each construction must (a) exhibit the violation its lemma predicts, and
+(b) do so at a point the solvability classifier marks IMPOSSIBLE (or, for
+protocol-specific overload runs, outside the protocol's own region) --
+tying the adversarial runs back to the analytic characterization.
+"""
+
+import pytest
+
+from repro.adversary.constructions import (
+    all_constructions,
+    lemma_3_3_partition_run,
+    lemma_3_5_crash_after_decide,
+    lemma_3_6_subgroup_run,
+    lemma_3_9_two_faced_run,
+    lemma_3_10_value_lie,
+    lemma_4_3_staged_run,
+    lemma_4_8_sm_value_lie,
+    lemma_4_9_register_lie,
+    set_overflow_run,
+)
+from repro.core.solvability import Solvability, classify
+from repro.core.validity import RV1, RV2, SV1, SV2, WV2
+from repro.models import Model
+
+
+class TestLemma33:
+    def test_violates_agreement(self):
+        result = lemma_3_3_partition_run()
+        assert result.demonstrates_violation
+        assert "agreement" in result.violated
+        distinct = result.report.outcome.correct_decision_values()
+        assert len(distinct) == result.report.problem.k + 1
+
+    def test_point_is_impossible_for_wv2(self):
+        result = lemma_3_3_partition_run()
+        n = result.report.outcome.n
+        verdict = classify(
+            Model.MP_CR, WV2, n, result.report.problem.k, result.report.problem.t
+        )
+        assert verdict.status is Solvability.IMPOSSIBLE
+        assert "Lemma 3.3" in verdict.citations
+
+    def test_larger_k(self):
+        result = lemma_3_3_partition_run(n=16, k=3)
+        assert "agreement" in result.violated
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            lemma_3_3_partition_run(n=4, k=4)
+
+
+class TestSetOverflow:
+    def test_t_plus_one_values(self):
+        result = set_overflow_run(n=6, k=2, t=2)
+        assert "agreement" in result.violated
+        assert len(result.report.outcome.correct_decision_values()) == 3
+
+    def test_point_is_impossible_for_rv1(self):
+        verdict = classify(Model.MP_CR, RV1, 6, 2, 2)
+        assert verdict.status is Solvability.IMPOSSIBLE
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            set_overflow_run(n=4, k=3, t=2)
+
+
+class TestLemma35:
+    def test_sv1_violated(self):
+        result = lemma_3_5_crash_after_decide()
+        assert "validity" in result.violated
+        # the decided value is the crashed process's input
+        decided = set(result.report.outcome.correct_decision_values())
+        assert decided == {"v0"}
+        assert 0 in result.report.outcome.faulty
+
+    def test_sv1_impossible_everywhere(self):
+        verdict = classify(Model.MP_CR, SV1, 4, 2, 1)
+        assert verdict.status is Solvability.IMPOSSIBLE
+
+
+class TestLemma36:
+    def test_many_subgroup_decisions(self):
+        result = lemma_3_6_subgroup_run(n=9, k=2)
+        assert "agreement" in result.violated
+        assert len(result.report.outcome.correct_decision_values()) == 5
+
+    def test_point_is_impossible_for_sv2(self):
+        result = lemma_3_6_subgroup_run(n=9, k=2)
+        t = result.report.problem.t
+        verdict = classify(Model.MP_CR, SV2, 9, 2, t)
+        assert verdict.status is Solvability.IMPOSSIBLE
+
+
+class TestLemma39:
+    def test_k_plus_one_groups(self):
+        result = lemma_3_9_two_faced_run(n=9, k=2)
+        assert "agreement" in result.violated
+        assert len(result.report.outcome.correct_decision_values()) == 3
+
+    def test_point_is_impossible_for_wv2_byz(self):
+        result = lemma_3_9_two_faced_run(n=9, k=2)
+        t = result.report.problem.t
+        verdict = classify(Model.MP_BYZ, WV2, 9, 2, t)
+        assert verdict.status is Solvability.IMPOSSIBLE
+
+
+class TestLemma310:
+    def test_fabricated_value_decided(self):
+        result = lemma_3_10_value_lie()
+        assert "validity" in result.violated
+        assert set(result.report.outcome.correct_decision_values()) == {"a-lie"}
+
+    def test_rv1_impossible_in_byzantine(self):
+        verdict = classify(Model.MP_BYZ, RV1, 4, 2, 1)
+        assert verdict.status is Solvability.IMPOSSIBLE
+        assert "Lemma 3.10" in verdict.citations
+
+
+class TestLemma43:
+    def test_everyone_keeps_own_value(self):
+        result = lemma_4_3_staged_run(n=4, k=2)
+        assert "agreement" in result.violated
+        assert len(result.report.outcome.correct_decision_values()) == 4
+
+    def test_no_actual_failures_needed(self):
+        result = lemma_4_3_staged_run()
+        assert result.report.outcome.failure_free
+
+    def test_scales(self):
+        result = lemma_4_3_staged_run(n=6, k=2)
+        assert "agreement" in result.violated
+
+    def test_point_is_impossible(self):
+        verdict = classify(Model.SM_CR, SV2, 4, 2, 2)
+        assert verdict.status is Solvability.IMPOSSIBLE
+
+
+class TestLemma48:
+    def test_simulated_lie(self):
+        result = lemma_4_8_sm_value_lie()
+        assert "validity" in result.violated
+        assert set(result.report.outcome.correct_decision_values()) == {"a-lie"}
+
+
+class TestLemma49:
+    def test_register_lie_breaks_rv2(self):
+        result = lemma_4_9_register_lie()
+        assert "validity" in result.violated
+
+    def test_point_is_impossible(self):
+        verdict = classify(Model.SM_BYZ, RV2, 4, 2, 2)
+        assert verdict.status is Solvability.IMPOSSIBLE
+        assert "Lemma 4.9" in verdict.citations
+
+
+class TestAllConstructions:
+    def test_every_construction_demonstrates_its_violation(self):
+        for result in all_constructions():
+            assert result.demonstrates_violation, result.summary()
+
+    def test_summaries_mention_lemma(self):
+        for result in all_constructions():
+            assert result.lemma_id.startswith("Lemma")
+            assert result.lemma_id.split()[1] in result.summary()
+
+
+class TestLemma34:
+    def test_protocol_d_overflow_below_region(self):
+        from repro.adversary.constructions import lemma_3_4_wv1_overflow
+
+        result = lemma_3_4_wv1_overflow()
+        assert "agreement" in result.violated
+        # t + 1 broadcasters, distinct inputs: t + 1 > k decisions
+        t = result.report.problem.t
+        assert len(result.report.outcome.correct_decision_values()) == t + 1
+
+    def test_point_is_impossible_for_wv1(self):
+        from repro.core.validity import WV1
+
+        verdict = classify(Model.MP_CR, WV1, 5, 2, 2)
+        assert verdict.status is Solvability.IMPOSSIBLE
+
+
+class TestLemma311:
+    def test_rv2_lie_breaks_protocol_a(self):
+        from repro.adversary.constructions import lemma_3_11_rv2_lie
+
+        result = lemma_3_11_rv2_lie()
+        assert "validity" in result.violated
+        # correct processes fell to the default despite unanimous inputs
+        from repro.core.values import DEFAULT
+
+        assert DEFAULT in result.report.outcome.correct_decision_values()
+
+    def test_budget_matches_lemma_frontier(self):
+        from repro.adversary.constructions import lemma_3_11_rv2_lie
+
+        result = lemma_3_11_rv2_lie(n=9, k=2)
+        # ceil(kn/(2(k+1))) = ceil(18/6) = 3
+        assert result.report.problem.t == 3
+        verdict = classify(Model.MP_BYZ, RV2, 9, 2, 3)
+        assert verdict.status is Solvability.IMPOSSIBLE
+        assert "Lemma 3.11" in verdict.citations

@@ -1,0 +1,63 @@
+"""Tests for the complexity measurement module."""
+
+from repro.analysis.complexity import (
+    ComplexityPoint,
+    ComplexitySeries,
+    growth_exponent,
+    measure_mp_protocol,
+    measure_sm_protocol,
+)
+from repro.protocols.protocol_a import ProtocolA
+from repro.protocols.protocol_e import protocol_e
+
+
+class TestGrowthExponent:
+    def series(self, costs_by_n):
+        return ComplexitySeries(
+            label="x",
+            points=tuple(
+                ComplexityPoint(n=n, t=1, cost=c, ticks=0)
+                for n, c in costs_by_n
+            ),
+        )
+
+    def test_quadratic(self):
+        series = self.series([(4, 16), (8, 64), (16, 256)])
+        assert abs(growth_exponent(series) - 2.0) < 1e-9
+
+    def test_cubic(self):
+        series = self.series([(4, 64), (8, 512), (16, 4096)])
+        assert abs(growth_exponent(series) - 3.0) < 1e-9
+
+    def test_constant(self):
+        series = self.series([(4, 7), (8, 7), (16, 7)])
+        assert abs(growth_exponent(series)) < 1e-9
+
+    def test_single_point_is_zero(self):
+        series = self.series([(4, 10)])
+        assert growth_exponent(series) == 0.0
+
+
+class TestMeasurement:
+    def test_protocol_a_messages_exact(self):
+        series = measure_mp_protocol(
+            "A", lambda n, t: ProtocolA(),
+            lambda n, t: 2, lambda n: 1, ns=(4, 6), validity_code="RV2",
+        )
+        assert [p.cost for p in series.points] == [16, 36]
+
+    def test_protocol_e_ops_linear_per_process(self):
+        series = measure_sm_protocol(
+            "E", lambda n, t: protocol_e,
+            lambda n, t: 2, lambda n: n, ns=(4, 6), validity_code="RV2",
+        )
+        # n writes + n*n reads
+        assert [p.cost for p in series.points] == [4 + 16, 6 + 36]
+
+    def test_table_renders(self):
+        series = measure_mp_protocol(
+            "A", lambda n, t: ProtocolA(),
+            lambda n, t: 2, lambda n: 1, ns=(4,), validity_code="RV2",
+        )
+        text = series.table()
+        assert "n=  4" in text and "exponent" in text

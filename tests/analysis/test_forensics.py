@@ -1,0 +1,71 @@
+"""Tests for first-violation forensics."""
+
+from repro.adversary.constructions import (
+    lemma_3_5_crash_after_decide,
+    lemma_3_6_subgroup_run,
+    set_overflow_run,
+)
+from repro.analysis.forensics import first_violation
+from repro.core.validity import RV1, SV1, SV2
+from repro.harness.runner import run_mp
+from repro.protocols.chaudhuri import ChaudhuriKSet
+
+
+class TestFirstViolation:
+    def test_clean_run_has_no_violation(self):
+        report = run_mp(
+            [ChaudhuriKSet() for _ in range(4)],
+            list("abcd"), k=3, t=2, validity=RV1,
+        )
+        assert first_violation(
+            report.result.trace, report.outcome, 3, RV1
+        ) is None
+
+    def test_agreement_break_located(self):
+        result = set_overflow_run(n=6, k=2, t=2)
+        violation = first_violation(
+            result.report.result.trace, result.report.outcome, 2, RV1
+        )
+        assert violation is not None
+        assert violation.condition == "agreement"
+        # the 3rd distinct decision is the tipping one
+        assert "3 distinct" in violation.detail
+        assert violation.tick <= result.report.result.ticks
+
+    def test_validity_break_located(self):
+        result = lemma_3_5_crash_after_decide()
+        violation = first_violation(
+            result.report.result.trace, result.report.outcome, 2, SV1
+        )
+        assert violation is not None
+        assert violation.condition == "validity"
+        assert violation.value == "v0"
+
+    def test_tipping_process_identified(self):
+        result = lemma_3_6_subgroup_run(n=9, k=2)
+        violation = first_violation(
+            result.report.result.trace, result.report.outcome, 2, SV2
+        )
+        assert violation is not None
+        assert violation.condition == "agreement"
+        # the tipping decision is by one of the correct subgroup members
+        assert violation.pid in result.report.outcome.correct
+
+    def test_faulty_decisions_ignored(self):
+        from repro.core.problem import Outcome
+        from repro.runtime.traces import Trace
+
+        trace = Trace()
+        trace.record(1, "decide", 0, payload="a")
+        trace.record(2, "decide", 1, payload="b")  # faulty: ignored
+        trace.record(3, "decide", 2, payload="c")
+        outcome = Outcome(
+            n=3,
+            inputs={0: "a", 1: "b", 2: "c"},
+            decisions={0: "a", 1: "b", 2: "c"},
+            faulty=frozenset({1}),
+        )
+        violation = first_violation(trace, outcome, 1, RV1)
+        assert violation is not None
+        assert violation.pid == 2
+        assert violation.tick == 3

@@ -1,0 +1,41 @@
+"""Tests for the HTML report generator."""
+
+from repro.analysis.html import build_html_report
+
+
+class TestHTMLReport:
+    def build(self):
+        # small parameters keep the test fast; the structure is the same
+        return build_html_report(n_analytic=10, campaign_runs=2, seed=1)
+
+    def test_document_structure(self):
+        content = self.build()
+        assert content.startswith("<!DOCTYPE html>")
+        assert content.rstrip().endswith("</html>")
+        assert "<title>" in content
+
+    def test_all_figures_embedded(self):
+        content = self.build()
+        for fig in ("Fig. 1", "Fig. 2", "Fig. 4", "Fig. 5", "Fig. 6"):
+            assert fig in content
+        assert content.count("<svg") == 4  # one per model figure
+
+    def test_lattice_verified(self):
+        content = self.build()
+        assert "verified" in content
+        assert "FAILED" not in content
+
+    def test_sweeps_clean(self):
+        content = self.build()
+        assert "all sweeps violation-free" in content
+        assert "violations found!" not in content
+
+    def test_constructions_listed(self):
+        content = self.build()
+        assert "Lemma 3.3" in content
+        assert "NO VIOLATION" not in content
+
+    def test_summary_included(self):
+        content = self.build()
+        assert "Section 2.1" in content
+        assert "Z(n, t)" in content

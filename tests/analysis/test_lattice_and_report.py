@@ -1,0 +1,101 @@
+"""Tests for lattice verification and report generation."""
+
+import random
+
+from repro.analysis.lattice import (
+    LatticeCheck,
+    random_outcome,
+    render_lattice,
+    verify_lattice,
+)
+from repro.analysis.report import (
+    constructions_for_model,
+    figure_section,
+    sample_solvable_points,
+    validate_figure,
+)
+from repro.models import Model
+from repro.protocols.base import get_spec
+
+
+class TestLattice:
+    def test_render_mentions_all_conditions(self):
+        text = render_lattice()
+        for code in ("SV1", "SV2", "RV1", "RV2", "WV1", "WV2"):
+            assert code in text
+
+    def test_random_outcome_is_valid(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            outcome = random_outcome(rng)
+            assert 2 <= outcome.n <= 8
+            assert set(outcome.inputs) == set(range(outcome.n))
+
+    def test_verification_passes(self):
+        check = verify_lattice(samples=1500, seed=3)
+        assert check.ok
+        assert check.samples == 1500
+
+    def test_verification_detects_corrupt_lattice(self):
+        """If an implication were claimed that does not hold, violations
+        would surface; simulate by checking a reversed pair manually."""
+        rng = random.Random(0)
+        from repro.core.validity import RV1, SV2
+
+        # find an outcome where SV2 holds but RV1 does not (they are
+        # incomparable, so one must exist)
+        found = False
+        for _ in range(2000):
+            outcome = random_outcome(rng)
+            if SV2.check(outcome) and not RV1.check(outcome):
+                found = True
+                break
+        assert found
+
+
+class TestSampling:
+    def test_points_inside_region(self):
+        spec = get_spec("protocol-b@mp-cr")
+        rng = random.Random(0)
+        points = sample_solvable_points(spec, 9, 4, rng)
+        assert points
+        for (k, t) in points:
+            assert spec.solvable(9, k, t)
+
+    def test_includes_frontier_extremes(self):
+        spec = get_spec("chaudhuri@mp-cr")
+        rng = random.Random(0)
+        points = sample_solvable_points(spec, 8, 3, rng)
+        # max solvable t overall is (k, t) = (7, 6)
+        assert (7, 6) in points
+
+    def test_empty_region_gives_no_points(self):
+        spec = get_spec("trivial@mp-cr")  # only k >= n, outside 2..n-1
+        rng = random.Random(0)
+        assert sample_solvable_points(spec, 8, 3, rng) == []
+
+
+class TestValidateFigure:
+    def test_small_validation_is_clean(self):
+        validation = validate_figure(
+            Model.MP_CR, n_empirical=6, points_per_spec=1, runs_per_point=5,
+            seed=1,
+        )
+        assert validation.possible_side_clean
+        assert validation.impossible_side_demonstrated
+        assert validation.ok
+
+    def test_constructions_per_model_nonempty(self):
+        for model in Model:
+            results = constructions_for_model(model)
+            assert results
+            for result in results:
+                assert result.demonstrates_violation
+
+
+class TestFigureSection:
+    def test_markdown_structure(self):
+        text = figure_section(Model.MP_CR, n_analytic=16)
+        assert text.startswith("## Fig. 2")
+        assert "| validity |" in text
+        assert "SV1" in text and "WV2" in text

@@ -1,0 +1,72 @@
+"""Tests for space-time diagram rendering."""
+
+from repro.adversary.constructions import (
+    lemma_3_5_crash_after_decide,
+    lemma_4_3_staged_run,
+)
+from repro.analysis.spacetime import render_spacetime
+from repro.core.validity import RV1
+from repro.harness.runner import run_mp
+from repro.protocols.chaudhuri import ChaudhuriKSet
+from repro.runtime.traces import Trace
+
+
+class TestRenderSpacetime:
+    def run_sample(self):
+        return run_mp(
+            [ChaudhuriKSet() for _ in range(3)],
+            ["a", "b", "c"], k=2, t=1, validity=RV1,
+        )
+
+    def test_contains_key_events(self):
+        report = self.run_sample()
+        text = render_spacetime(report.result.trace, 3)
+        assert "bcast" in text
+        assert "DECIDE" in text
+        assert "<-p" in text
+
+    def test_header_lists_processes(self):
+        report = self.run_sample()
+        text = render_spacetime(report.result.trace, 3)
+        header = text.splitlines()[0]
+        for pid in range(3):
+            assert f"p{pid}" in header
+
+    def test_pid_filter(self):
+        report = self.run_sample()
+        text = render_spacetime(report.result.trace, 3, pids=[1])
+        header = text.splitlines()[0]
+        assert "p1" in header and "p0" not in header
+
+    def test_crash_shown(self):
+        result = lemma_3_5_crash_after_decide()
+        text = render_spacetime(result.report.result.trace, 4)
+        assert "CRASH" in text
+
+    def test_sm_ops_shown(self):
+        result = lemma_4_3_staged_run()
+        text = render_spacetime(result.report.result.trace, 4)
+        assert "wr " in text and "rd[" in text
+
+    def test_truncation(self):
+        report = self.run_sample()
+        text = render_spacetime(report.result.trace, 3, max_rows=2)
+        assert "more rows" in text
+
+    def test_uncollapsed_sends(self):
+        report = self.run_sample()
+        text = render_spacetime(
+            report.result.trace, 3, collapse_sends=False
+        )
+        assert "->p" in text
+        assert "bcast" not in text
+
+    def test_empty_trace(self):
+        assert "tick" in render_spacetime(Trace(), 2)
+
+    def test_long_payloads_truncated(self):
+        trace = Trace()
+        trace.record(0, "send", 0, 1, ("TAG", "x" * 50))
+        text = render_spacetime(trace, 2, collapse_sends=False)
+        assert "~" in text
+        assert "x" * 30 not in text

@@ -1,0 +1,70 @@
+"""Tests for SVG figure rendering."""
+
+import xml.etree.ElementTree as ET
+
+from repro.analysis.svg import figure_svg, panel_svg
+from repro.core.regions import region_map
+from repro.core.solvability import Solvability
+from repro.core.validity import RV1, RV2, SV1
+from repro.models import Model
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestPanelSVG:
+    def test_well_formed_xml(self):
+        region = region_map(Model.MP_CR, RV1, 10)
+        root = parse(panel_svg(region))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_rect_per_cell_plus_frame(self):
+        region = region_map(Model.MP_CR, RV1, 8)
+        root = parse(panel_svg(region))
+        rects = root.findall(f".//{SVG_NS}rect")
+        # pattern backing rects (2) + cells + frame
+        assert len(rects) == 2 + len(region.grid) + 1
+
+    def test_fills_match_statuses(self):
+        region = region_map(Model.MP_CR, SV1, 8)  # all impossible
+        svg = panel_svg(region)
+        assert 'fill="url(#brick)"' in svg
+        assert 'fill="url(#honeycomb)"' not in svg
+
+        region = region_map(Model.SM_CR, RV2, 8)  # all possible
+        svg = panel_svg(region)
+        assert 'fill="url(#honeycomb)"' in svg
+        assert 'fill="url(#brick)"' not in svg
+
+    def test_open_points_rendered_white(self):
+        from repro.core.validity import WV2
+
+        region = region_map(Model.MP_CR, WV2, 12)  # has isolated open points
+        assert region.count(Solvability.OPEN) > 0
+        svg = panel_svg(region)
+        assert 'fill="#ffffff"' in svg
+
+    def test_title_text(self):
+        region = region_map(Model.MP_BYZ, RV1, 8)
+        root = parse(panel_svg(region))
+        texts = [el.text for el in root.findall(f".//{SVG_NS}text")]
+        assert any("MP/Byz / RV1" in (t or "") for t in texts)
+
+
+class TestFigureSVG:
+    def test_six_panels(self):
+        svg = figure_svg(Model.SM_CR, n=8)
+        root = parse(svg)
+        texts = [el.text or "" for el in root.findall(f".//{SVG_NS}text")]
+        for code in ("SV1", "SV2", "RV1", "RV2", "WV1", "WV2"):
+            assert any(f"/ {code} " in t for t in texts), code
+
+    def test_custom_validities_and_layout(self):
+        svg = figure_svg(Model.MP_CR, n=8, columns=3, validities=[RV1, RV2, SV1])
+        root = parse(svg)
+        assert root.get("width") is not None
+        texts = [el.text or "" for el in root.findall(f".//{SVG_NS}text")]
+        assert sum(1 for t in texts if "n = 8" in t) == 3

@@ -1,0 +1,66 @@
+"""Tests for O(log n) frontier bisection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import Thresholds, threshold
+from repro.core.regions import frontier, region_map
+from repro.core.validity import ALL_VALIDITY_CONDITIONS, RV1, RV2, SV1, WV2
+from repro.models import ALL_MODELS, Model
+
+
+class TestThreshold:
+    def test_rv1_diagonal(self):
+        for k in (2, 5, 9):
+            result = threshold(Model.MP_CR, RV1, 10, k)
+            assert result.max_possible_t == k - 1
+            assert result.min_impossible_t == k
+            assert result.open_count == 0
+
+    def test_sv1_nothing_possible(self):
+        result = threshold(Model.MP_CR, SV1, 10, 5)
+        assert result.max_possible_t is None
+        assert result.min_impossible_t == 1
+
+    def test_sm_cr_rv2_everything_possible(self):
+        result = threshold(Model.SM_CR, RV2, 10, 5)
+        assert result.max_possible_t == 10
+        assert result.min_impossible_t is None
+
+    def test_isolated_open_point(self):
+        # MP/CR WV2 at n=64, k=2: open exactly at t=32
+        result = threshold(Model.MP_CR, WV2, 64, 2)
+        assert result.max_possible_t == 31
+        assert result.min_impossible_t == 33
+        assert result.open_count == 1
+
+    def test_scales_to_large_n(self):
+        result = threshold(Model.MP_CR, RV2, 10**6, 2)
+        # frontier at (k-1)n/k = n/2
+        assert result.max_possible_t == 10**6 // 2 - 1
+        assert result.min_impossible_t == 10**6 // 2 + 1
+
+    def test_k_range_validated(self):
+        with pytest.raises(ValueError):
+            threshold(Model.MP_CR, RV1, 10, 1)
+        with pytest.raises(ValueError):
+            threshold(Model.MP_CR, RV1, 10, 10)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.sampled_from(ALL_MODELS),
+    st.sampled_from(ALL_VALIDITY_CONDITIONS),
+    st.integers(min_value=4, max_value=20),
+    st.data(),
+)
+def test_bisection_matches_grid_scan(model, validity, n, data):
+    """The O(log n) frontiers equal the exhaustive grid scan's."""
+    k = data.draw(st.integers(min_value=2, max_value=n - 1))
+    fast = threshold(model, validity, n, k)
+    scanned = frontier(region_map(model, validity, n, k_values=[k]))[k]
+    assert fast.max_possible_t == scanned["max_possible_t"]
+    assert fast.min_impossible_t == scanned["min_impossible_t"]
+    if fast.open_count is not None:
+        assert fast.open_count == scanned["open_count"]

@@ -1,0 +1,131 @@
+"""Tests for the lemma registry and the Z / V functions of Lemma 3.16."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lemmas import ALL_LEMMAS, Lemma, lemma, v_function, z_function
+from repro.models import Model
+
+
+class TestVFunction:
+    def test_degenerate_branch(self):
+        # n - t - f <= 0 -> V = n - f
+        assert v_function(4, 3, 1) == 3
+        assert v_function(4, 2, 2) == 2
+
+    def test_main_branch_no_failures(self):
+        # f = 0 -> V = t + 1
+        assert v_function(10, 3, 0) == 4
+        assert v_function(64, 21, 0) == 22
+
+    def test_main_branch_with_failures(self):
+        # n=10, t=4, f=4: V = 1 + 4 * floor(6/2) = 13
+        assert v_function(10, 4, 4) == 13
+
+    def test_floor_is_one_below_n_over_3(self):
+        # t < n/3 -> floor((n-f)/(n-t-f)) == 1 for all f <= t
+        n, t = 16, 5
+        for f in range(t + 1):
+            assert (n - f) // (n - t - f) == 1
+
+
+class TestZFunction:
+    def test_equals_t_plus_one_below_n_over_3(self):
+        for n, t in [(10, 2), (16, 5), (64, 21)]:
+            assert z_function(n, t) == t + 1
+
+    def test_grows_beyond_t_plus_one_above_n_over_3(self):
+        assert z_function(10, 4) > 5
+        assert z_function(64, 30) > 31
+
+    def test_specific_value(self):
+        # n=10, t=4: max over f of min(V, n-f) = 7 (attained at f in {2,3})
+        assert z_function(10, 4) == 7
+
+    def test_never_exceeds_n(self):
+        for n in (4, 7, 12):
+            for t in range(1, n + 1):
+                assert z_function(n, t) <= n
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=2, max_value=60), st.data())
+    def test_z_at_least_t_plus_one_while_t_below_n(self, n, data):
+        t = data.draw(st.integers(min_value=1, max_value=n - 1))
+        assert z_function(n, t) >= min(t + 1, n - t)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.data())
+    def test_z_monotone_in_t(self, n, data):
+        t = data.draw(st.integers(min_value=1, max_value=n - 1))
+        assert z_function(n, t + 1) >= z_function(n, t) - 1  # weak coupling
+        # strong monotonicity of the protocol requirement region:
+        # a larger t never makes the required k smaller below t+1
+        assert z_function(n, t + 1) >= t + 1
+
+
+class TestLemmaRegistry:
+    def test_all_paper_lemmas_present(self):
+        ids = {entry.lemma_id for entry in ALL_LEMMAS}
+        expected = {
+            "Lemma 3.1", "Lemma 3.2", "Lemma 3.3", "Lemma 3.4", "Lemma 3.5",
+            "Lemma 3.6", "Lemma 3.7", "Lemma 3.8", "Lemma 3.9", "Lemma 3.10",
+            "Lemma 3.11", "Lemma 3.12", "Lemma 3.13", "Lemma 3.15",
+            "Lemma 3.16", "Lemma 4.1", "Lemma 4.2", "Lemma 4.3", "Lemma 4.4",
+            "Lemma 4.5", "Lemma 4.6", "Lemma 4.7", "Lemma 4.8", "Lemma 4.9",
+            "Lemma 4.10", "Lemma 4.11", "Lemma 4.12", "Lemma 4.13",
+        }
+        assert expected <= ids
+
+    def test_lemma_lookup(self):
+        entries = lemma("Lemma 3.2")
+        assert len(entries) == 2  # stated for both crash models
+        assert {e.model for e in entries} == {Model.MP_CR, Model.SM_CR}
+
+    def test_unknown_lemma_raises(self):
+        with pytest.raises(ValueError):
+            lemma("Lemma 9.9")
+
+    def test_possibilities_name_protocols(self):
+        for entry in ALL_LEMMAS:
+            if entry.kind == "possibility":
+                assert entry.protocol, entry.lemma_id
+
+    def test_regions_are_decidable_on_the_grid(self):
+        for entry in ALL_LEMMAS:
+            assert isinstance(entry.applies(12, 3, 2), bool)
+
+
+class TestSpecificBounds:
+    def test_lemma_3_7_strict_boundary(self):
+        entry = next(e for e in ALL_LEMMAS if e.lemma_id == "Lemma 3.7")
+        n, k = 9, 3
+        # (k-1)n/k = 6: t=5 in, t=6 out
+        assert entry.applies(n, k, 5)
+        assert not entry.applies(n, k, 6)
+
+    def test_lemma_3_3_boundary_leaves_multiples_open(self):
+        entry = next(e for e in ALL_LEMMAS if e.lemma_id == "Lemma 3.3")
+        # n=64, k=2: impossible needs t >= 32.5 -> t=33; t=32 not covered
+        assert not entry.applies(64, 2, 32)
+        assert entry.applies(64, 2, 33)
+
+    def test_lemma_3_6_boundary(self):
+        entry = next(e for e in ALL_LEMMAS if e.lemma_id == "Lemma 3.6")
+        # kn/(2k+1) at n=10, k=2 is 4: t=4 impossible, t=3 not covered
+        assert entry.applies(10, 2, 4)
+        assert not entry.applies(10, 2, 3)
+
+    def test_lemma_3_12_threshold_exact_fraction(self):
+        entry = next(e for e in ALL_LEMMAS if e.lemma_id == "Lemma 3.12")
+        n, t = 9, 3
+        # (n-t)/(n-2t) + 1 = 6/3 + 1 = 3 -> k >= 3
+        assert entry.applies(n, 3, t)
+        assert not entry.applies(n, 2, t)
+
+    def test_lemma_4_7_region(self):
+        entry = next(e for e in ALL_LEMMAS if e.lemma_id == "Lemma 4.7")
+        assert entry.applies(10, 5, 3)
+        assert not entry.applies(10, 4, 3)  # k > t+1 required

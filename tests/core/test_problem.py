@@ -1,0 +1,126 @@
+"""Tests for SCProblem, Outcome and the termination/agreement checkers."""
+
+import pytest
+
+from repro.core.problem import (
+    Outcome,
+    SCProblem,
+    check_agreement,
+    check_termination,
+)
+from repro.core.validity import RV1, WV2
+
+
+def outcome(n, inputs, decisions, faulty=()):
+    return Outcome(
+        n=n,
+        inputs=dict(enumerate(inputs)),
+        decisions=decisions,
+        faulty=frozenset(faulty),
+    )
+
+
+class TestOutcome:
+    def test_correct_is_complement_of_faulty(self):
+        o = outcome(4, "abcd", {}, faulty={1, 3})
+        assert o.correct == {0, 2}
+
+    def test_failure_count(self):
+        assert outcome(4, "abcd", {}, faulty={0}).failure_count == 1
+        assert outcome(4, "abcd", {}).failure_free
+
+    def test_correct_decisions_filters_faulty(self):
+        o = outcome(3, "abc", {0: "x", 1: "y"}, faulty={0})
+        assert o.correct_decisions() == {1: "y"}
+        assert o.correct_decision_values() == {"y"}
+        assert o.all_decision_values() == {"x", "y"}
+
+    def test_input_value_helpers(self):
+        o = outcome(3, ["a", "a", "b"], {}, faulty={2})
+        assert o.input_values() == {"a", "b"}
+        assert o.correct_input_values() == {"a"}
+
+    def test_rejects_wrong_input_ids(self):
+        with pytest.raises(ValueError):
+            Outcome(n=2, inputs={0: "a"}, decisions={}, faulty=frozenset())
+
+    def test_rejects_unknown_decision_ids(self):
+        with pytest.raises(ValueError):
+            outcome(2, "ab", {5: "x"})
+
+    def test_rejects_out_of_range_faulty(self):
+        with pytest.raises(ValueError):
+            outcome(2, "ab", {}, faulty={7})
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            Outcome(n=0, inputs={}, decisions={}, faulty=frozenset())
+
+
+class TestTermination:
+    def test_holds_when_all_correct_decided(self):
+        o = outcome(3, "abc", {0: "a", 2: "a"}, faulty={1})
+        assert check_termination(o)
+
+    def test_fails_when_correct_undecided(self):
+        o = outcome(3, "abc", {0: "a"}, faulty={1})
+        verdict = check_termination(o)
+        assert not verdict
+        assert "2" in verdict.detail
+
+    def test_faulty_need_not_decide(self):
+        o = outcome(2, "ab", {1: "b"}, faulty={0})
+        assert check_termination(o)
+
+
+class TestAgreement:
+    def test_within_k(self):
+        o = outcome(4, "abcd", {0: "a", 1: "b", 2: "a", 3: "b"})
+        assert check_agreement(o, 2)
+
+    def test_exceeds_k(self):
+        o = outcome(4, "abcd", {0: "a", 1: "b", 2: "c", 3: "b"})
+        assert not check_agreement(o, 2)
+
+    def test_faulty_decisions_excluded(self):
+        o = outcome(4, "abcd", {0: "a", 1: "b", 2: "c"}, faulty={2})
+        assert check_agreement(o, 2)
+
+    def test_k_equals_one_is_consensus(self):
+        o = outcome(2, "ab", {0: "a", 1: "b"})
+        assert not check_agreement(o, 1)
+        o2 = outcome(2, "ab", {0: "a", 1: "a"})
+        assert check_agreement(o2, 1)
+
+
+class TestSCProblem:
+    def test_describe_mentions_parameters(self):
+        problem = SCProblem(n=5, k=2, t=1, validity=RV1)
+        text = str(problem)
+        assert "k=2" in text and "t=1" in text and "RV1" in text and "n=5" in text
+
+    def test_check_returns_three_verdicts(self):
+        problem = SCProblem(n=2, k=1, t=0, validity=RV1)
+        o = outcome(2, "aa", {0: "a", 1: "a"})
+        verdicts = problem.check(o)
+        assert set(verdicts) == {"termination", "agreement", "validity"}
+        assert problem.satisfied_by(o)
+
+    def test_violations_collects_failures(self):
+        problem = SCProblem(n=2, k=1, t=0, validity=RV1)
+        o = outcome(2, "ab", {0: "a", 1: "b"})
+        assert set(problem.violations(o)) == {"agreement"}
+
+    def test_budget_enforced(self):
+        problem = SCProblem(n=3, k=2, t=1, validity=WV2)
+        o = outcome(3, "abc", {}, faulty={0, 1})
+        with pytest.raises(ValueError):
+            problem.check(o)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SCProblem(n=3, k=0, t=1, validity=RV1)
+        with pytest.raises(ValueError):
+            SCProblem(n=3, k=4, t=1, validity=RV1)
+        with pytest.raises(ValueError):
+            SCProblem(n=3, k=2, t=-1, validity=RV1)

@@ -1,0 +1,102 @@
+"""Tests for region maps and frontier extraction."""
+
+from repro.core.regions import frontier, region_map
+from repro.core.solvability import Solvability
+from repro.core.validity import RV1, RV2, SV1, WV2
+from repro.models import Model
+
+
+class TestRegionMap:
+    def test_default_grid_covers_paper_ranges(self):
+        region = region_map(Model.MP_CR, RV1, 12)
+        assert region.k_values == tuple(range(2, 12))
+        assert region.t_values == tuple(range(1, 13))
+        assert len(region.grid) == 10 * 12
+
+    def test_rv1_region_is_t_less_than_k(self):
+        region = region_map(Model.MP_CR, RV1, 10)
+        for (k, t), verdict in region.grid.items():
+            expected = (
+                Solvability.POSSIBLE if t < k else Solvability.IMPOSSIBLE
+            )
+            assert verdict.status is expected, (k, t)
+
+    def test_sv1_all_impossible(self):
+        region = region_map(Model.MP_CR, SV1, 10)
+        assert region.count(Solvability.IMPOSSIBLE) == len(region.grid)
+        assert region.count(Solvability.POSSIBLE) == 0
+
+    def test_sm_cr_rv2_all_possible(self):
+        region = region_map(Model.SM_CR, RV2, 10)
+        assert region.count(Solvability.POSSIBLE) == len(region.grid)
+
+    def test_points_sorted_and_disjoint(self):
+        region = region_map(Model.MP_CR, WV2, 8)
+        possible = set(region.points(Solvability.POSSIBLE))
+        impossible = set(region.points(Solvability.IMPOSSIBLE))
+        open_points = set(region.points(Solvability.OPEN))
+        assert not possible & impossible
+        assert not possible & open_points
+        assert possible | impossible | open_points == set(region.grid)
+
+    def test_citations_used_mentions_deciding_lemmas(self):
+        region = region_map(Model.MP_CR, RV1, 10)
+        assert "Lemma 3.1" in region.citations_used()
+        assert "Lemma 3.2" in region.citations_used()
+
+    def test_custom_grid(self):
+        region = region_map(Model.MP_CR, RV1, 10, k_values=[3], t_values=[1, 2, 3])
+        assert set(region.grid) == {(3, 1), (3, 2), (3, 3)}
+
+
+class TestFrontier:
+    def test_rv1_thresholds(self):
+        region = region_map(Model.MP_CR, RV1, 10)
+        series = frontier(region)
+        for k in region.k_values:
+            assert series[k]["max_possible_t"] == k - 1
+            assert series[k]["min_impossible_t"] == k
+            assert series[k]["open_count"] == 0
+
+    def test_wv2_isolated_open_points_where_k_divides_n(self):
+        region = region_map(Model.MP_CR, WV2, 12)
+        series = frontier(region)
+        # k | 12 -> exactly one open point at t = (k-1)n/k
+        for k in (2, 3, 4, 6):
+            assert series[k]["open_count"] == 1, k
+            assert series[k]["max_possible_t"] == (k - 1) * 12 // k - 1
+        for k in (5, 7, 11):
+            assert series[k]["open_count"] == 0, k
+
+    def test_all_impossible_has_no_possible_threshold(self):
+        region = region_map(Model.MP_BYZ, RV1, 8)
+        series = frontier(region)
+        for k in region.k_values:
+            assert series[k]["max_possible_t"] is None
+            assert series[k]["min_impossible_t"] == 1
+
+
+class TestSeparationPoints:
+    def test_sm_beats_mp_for_rv2(self):
+        from repro.core.regions import separation_points
+
+        points = separation_points(Model.MP_CR, Model.SM_CR, RV2, 12)
+        assert points  # the whole band above (k-1)n/k
+        assert (2, 10) in points
+        # every separation point is above PROTOCOL A's frontier
+        for (k, t) in points:
+            assert t * k > (k - 1) * 12
+
+    def test_byzantine_never_beats_crash(self):
+        from repro.core.regions import separation_points
+        from repro.core.validity import ALL_VALIDITY_CONDITIONS
+
+        for validity in ALL_VALIDITY_CONDITIONS:
+            assert separation_points(Model.MP_CR, Model.MP_BYZ, validity, 10) == []
+            assert separation_points(Model.SM_CR, Model.SM_BYZ, validity, 10) == []
+
+    def test_rv1_has_no_model_separation(self):
+        from repro.core.regions import separation_points
+
+        # RV1's t < k frontier is identical in MP/CR and SM/CR
+        assert separation_points(Model.MP_CR, Model.SM_CR, RV1, 12) == []

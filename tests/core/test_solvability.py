@@ -1,0 +1,309 @@
+"""Tests for the 24-variant solvability classifier.
+
+These pin the paper's headline characterization: per-figure spot checks,
+consistency (no point derivable both ways), and the structural
+monotonicity any correct characterization must have (harder with more
+faults, easier with larger k).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solvability import (
+    Classification,
+    ClassificationConflict,
+    Solvability,
+    classify,
+    impossibility_lemmas_for,
+    possibility_lemmas_for,
+)
+from repro.core.validity import (
+    ALL_VALIDITY_CONDITIONS,
+    RV1,
+    RV2,
+    SV1,
+    SV2,
+    WV1,
+    WV2,
+)
+from repro.models import ALL_MODELS, Model
+
+POSSIBLE = Solvability.POSSIBLE
+IMPOSSIBLE = Solvability.IMPOSSIBLE
+OPEN = Solvability.OPEN
+
+
+def status(model, validity, n, k, t):
+    return classify(model, validity, n, k, t).status
+
+
+class TestDegenerateCases:
+    def test_t_zero_always_possible(self):
+        for model in ALL_MODELS:
+            for validity in ALL_VALIDITY_CONDITIONS:
+                assert status(model, validity, 8, 3, 0) is POSSIBLE
+
+    def test_k_equals_n_always_possible(self):
+        for model in ALL_MODELS:
+            for validity in ALL_VALIDITY_CONDITIONS:
+                assert status(model, validity, 8, 8, 8) is POSSIBLE
+
+    def test_k_one_impossible_with_failures(self):
+        for model in ALL_MODELS:
+            for validity in ALL_VALIDITY_CONDITIONS:
+                verdict = classify(model, validity, 8, 1, 1)
+                assert verdict.status is IMPOSSIBLE
+                assert any("FLP" in c for c in verdict.citations)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            classify(Model.MP_CR, RV1, 0, 1, 1)
+        with pytest.raises(ValueError):
+            classify(Model.MP_CR, RV1, 4, 0, 1)
+        with pytest.raises(ValueError):
+            classify(Model.MP_CR, RV1, 4, 2, -1)
+
+
+class TestMPCrash:
+    """Fig. 2 spot checks at n = 64."""
+
+    def test_rv1_complete_characterization(self):
+        assert status(Model.MP_CR, RV1, 64, 5, 4) is POSSIBLE
+        assert status(Model.MP_CR, RV1, 64, 5, 5) is IMPOSSIBLE
+        assert status(Model.MP_CR, RV1, 64, 63, 62) is POSSIBLE
+        assert status(Model.MP_CR, RV1, 64, 2, 64) is IMPOSSIBLE
+
+    def test_wv1_matches_rv1(self):
+        for k, t in [(5, 4), (5, 5), (2, 1), (2, 2)]:
+            assert status(Model.MP_CR, WV1, 64, k, t) is status(
+                Model.MP_CR, RV1, 64, k, t
+            )
+
+    def test_rv2_frontier_with_isolated_open_points(self):
+        # k=2, n=64: possible t <= 31, open at exactly t = 32, impossible t >= 33
+        assert status(Model.MP_CR, RV2, 64, 2, 31) is POSSIBLE
+        assert status(Model.MP_CR, RV2, 64, 2, 32) is OPEN
+        assert status(Model.MP_CR, RV2, 64, 2, 33) is IMPOSSIBLE
+
+    def test_rv2_no_open_point_when_k_does_not_divide_n(self):
+        # k=3, n=64: (k-1)n/k = 42.67 -> possible t <= 42, impossible t >= 43
+        assert status(Model.MP_CR, RV2, 64, 3, 42) is POSSIBLE
+        assert status(Model.MP_CR, RV2, 64, 3, 43) is IMPOSSIBLE
+
+    def test_wv2_same_frontier_as_rv2(self):
+        for k, t in [(2, 31), (2, 32), (2, 33), (3, 42), (3, 43)]:
+            assert status(Model.MP_CR, WV2, 64, k, t) is status(
+                Model.MP_CR, RV2, 64, k, t
+            )
+
+    def test_sv2_gap_between_protocol_b_and_lemma_3_6(self):
+        # k=2, n=64: possible t < 16, impossible t >= 25.6 -> 26, gap between
+        assert status(Model.MP_CR, SV2, 64, 2, 15) is POSSIBLE
+        assert status(Model.MP_CR, SV2, 64, 2, 16) is OPEN
+        assert status(Model.MP_CR, SV2, 64, 2, 25) is OPEN
+        assert status(Model.MP_CR, SV2, 64, 2, 26) is IMPOSSIBLE
+
+    def test_sv1_impossible_everywhere(self):
+        for k in (2, 32, 63):
+            for t in (1, 10, 64):
+                assert status(Model.MP_CR, SV1, 64, k, t) is IMPOSSIBLE
+
+
+class TestMPByzantine:
+    """Fig. 4 spot checks at n = 64."""
+
+    def test_rv1_and_sv1_impossible_everywhere(self):
+        for validity in (RV1, SV1):
+            for k, t in [(2, 1), (32, 10), (63, 64)]:
+                assert status(Model.MP_BYZ, validity, 64, k, t) is IMPOSSIBLE
+
+    def test_wv2_protocol_a_region(self):
+        # Lemma 3.12: t < n/2 and k >= (n-t)/(n-2t)+1
+        assert status(Model.MP_BYZ, WV2, 64, 3, 20) is POSSIBLE  # (44/24)+1<3
+        # Lemma 3.13: t >= n/2, k >= t+1
+        assert status(Model.MP_BYZ, WV2, 64, 40, 39) is POSSIBLE
+
+    def test_wv2_impossible_region(self):
+        # Lemma 3.9: t >= kn/(2k+1) and t >= k: k=2, t >= 25.6 and >= 2
+        assert status(Model.MP_BYZ, WV2, 64, 2, 26) is IMPOSSIBLE
+
+    def test_wv1_z_function_region(self):
+        # t=21 < 64/3: Z = 22
+        assert status(Model.MP_BYZ, WV1, 64, 22, 21) is POSSIBLE
+        assert status(Model.MP_BYZ, WV1, 64, 21, 21) is IMPOSSIBLE  # t >= k
+
+    def test_wv1_substantial_gap(self):
+        # Between t >= k impossibility and k >= Z(n,t) possibility.
+        assert status(Model.MP_BYZ, WV1, 64, 25, 24) is OPEN
+
+    def test_sv2_protocol_c_region(self):
+        assert status(Model.MP_BYZ, SV2, 64, 4, 10) is POSSIBLE
+        # Impossible from Lemma 3.6 carried: t >= kn/(2k+1)
+        assert status(Model.MP_BYZ, SV2, 64, 2, 26) is IMPOSSIBLE
+
+    def test_rv2_impossibility_carries_up_to_sv2(self):
+        # Lemma 3.11: t >= kn/(2(k+1)): k=2, t >= 64/3 -> 22.  RV2 is
+        # weaker than SV2, so the bound applies to SV2 as well and is
+        # stricter there than Lemma 3.6's kn/(2k+1).
+        assert status(Model.MP_BYZ, RV2, 64, 2, 22) is IMPOSSIBLE
+        sv2 = classify(Model.MP_BYZ, SV2, 64, 2, 22)
+        assert sv2.status is IMPOSSIBLE
+        assert "Lemma 3.11" in sv2.citations
+        # Below that bound and above PROTOCOL C's region, SV2 stays open.
+        assert status(Model.MP_BYZ, SV2, 64, 2, 20) is OPEN
+        assert status(Model.MP_BYZ, SV2, 64, 2, 15) is POSSIBLE
+
+
+class TestSMCrash:
+    """Fig. 5 spot checks at n = 64."""
+
+    def test_rv2_possible_everywhere(self):
+        for k in (2, 10, 63):
+            for t in (1, 32, 64):
+                verdict = classify(Model.SM_CR, RV2, 64, k, t)
+                assert verdict.status is POSSIBLE
+                assert "Lemma 4.5" in verdict.citations
+
+    def test_wv2_possible_everywhere(self):
+        for k, t in [(2, 64), (5, 40)]:
+            assert status(Model.SM_CR, WV2, 64, k, t) is POSSIBLE
+
+    def test_sv2_protocol_f_extends_region(self):
+        # k > t+1 solvable even where message passing is impossible
+        assert status(Model.SM_CR, SV2, 64, 40, 38) is POSSIBLE
+        assert status(Model.MP_CR, SV2, 64, 40, 38) is IMPOSSIBLE
+
+    def test_sv2_impossible_region(self):
+        # Lemma 4.3: t >= n/2 and t >= k
+        assert status(Model.SM_CR, SV2, 64, 30, 32) is IMPOSSIBLE
+
+    def test_sv2_gap(self):
+        # k <= t+1, t >= (k-1)n/2k = 16, t < n/2: e.g. k=2, t=20
+        assert status(Model.SM_CR, SV2, 64, 2, 20) is OPEN
+
+    def test_rv1_complete(self):
+        assert status(Model.SM_CR, RV1, 64, 5, 4) is POSSIBLE
+        assert status(Model.SM_CR, RV1, 64, 5, 5) is IMPOSSIBLE
+
+
+class TestSMByzantine:
+    """Fig. 6 spot checks at n = 64."""
+
+    def test_wv2_possible_everywhere(self):
+        for k, t in [(2, 64), (3, 33), (63, 1)]:
+            verdict = classify(Model.SM_BYZ, WV2, 64, k, t)
+            assert verdict.status is POSSIBLE
+
+    def test_rv1_impossible_everywhere(self):
+        for k, t in [(2, 1), (63, 64)]:
+            assert status(Model.SM_BYZ, RV1, 64, k, t) is IMPOSSIBLE
+
+    def test_sv2_protocol_f_region(self):
+        assert status(Model.SM_BYZ, SV2, 64, 33, 31) is POSSIBLE
+        assert status(Model.SM_BYZ, SV2, 64, 30, 32) is IMPOSSIBLE
+
+    def test_rv2_small_gap(self):
+        # k <= t, t < n/2 and outside C(l): k=2, t=20
+        assert status(Model.SM_BYZ, RV2, 64, 2, 20) is OPEN
+
+    def test_wv1_z_region(self):
+        assert status(Model.SM_BYZ, WV1, 64, 22, 21) is POSSIBLE
+        assert status(Model.SM_BYZ, WV1, 64, 21, 21) is IMPOSSIBLE
+
+
+class TestStructuralProperties:
+    RANK = {POSSIBLE: 0, OPEN: 1, IMPOSSIBLE: 2}
+
+    @pytest.mark.parametrize("n", [4, 6, 9, 13, 16])
+    def test_no_conflicts_and_monotone(self, n):
+        for model in ALL_MODELS:
+            for validity in ALL_VALIDITY_CONDITIONS:
+                previous_by_k = {}
+                for t in range(1, n + 1):
+                    previous_rank_k = None
+                    for k in range(2, n):
+                        verdict = classify(model, validity, n, k, t)  # no raise
+                        rank = self.RANK[verdict.status]
+                        # Harder with more faults: rank non-decreasing in t.
+                        if k in previous_by_k:
+                            assert rank >= previous_by_k[k], (
+                                model, validity.code, n, k, t
+                            )
+                        previous_by_k[k] = rank
+                        # Easier with larger k: rank non-increasing in k.
+                        if previous_rank_k is not None:
+                            assert rank <= previous_rank_k, (
+                                model, validity.code, n, k, t
+                            )
+                        previous_rank_k = rank
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.sampled_from(ALL_MODELS),
+        st.sampled_from(ALL_VALIDITY_CONDITIONS),
+        st.integers(min_value=4, max_value=48),
+        st.data(),
+    )
+    def test_weaker_validity_never_harder(self, model, validity, n, data):
+        """If SC(D) is possible then every weaker SC(C) is possible too."""
+        k = data.draw(st.integers(min_value=2, max_value=n - 1))
+        t = data.draw(st.integers(min_value=1, max_value=n))
+        verdict = classify(model, validity, n, k, t)
+        for weaker in ALL_VALIDITY_CONDITIONS:
+            if validity.implies(weaker) and weaker is not validity:
+                weaker_verdict = classify(model, weaker, n, k, t)
+                if verdict.status is POSSIBLE:
+                    assert weaker_verdict.status is POSSIBLE
+                if weaker_verdict.status is IMPOSSIBLE:
+                    assert verdict.status is IMPOSSIBLE
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.sampled_from(ALL_VALIDITY_CONDITIONS),
+        st.integers(min_value=4, max_value=48),
+        st.data(),
+    )
+    def test_model_strength_relations(self, validity, n, data):
+        """SM no harder than MP; crash no harder than Byzantine."""
+        k = data.draw(st.integers(min_value=2, max_value=n - 1))
+        t = data.draw(st.integers(min_value=1, max_value=n))
+        for mp, sm in [
+            (Model.MP_CR, Model.SM_CR),
+            (Model.MP_BYZ, Model.SM_BYZ),
+        ]:
+            if classify(mp, validity, n, k, t).status is POSSIBLE:
+                assert classify(sm, validity, n, k, t).status is POSSIBLE
+        for byz, cr in [
+            (Model.MP_BYZ, Model.MP_CR),
+            (Model.SM_BYZ, Model.SM_CR),
+        ]:
+            if classify(byz, validity, n, k, t).status is POSSIBLE:
+                assert classify(cr, validity, n, k, t).status is POSSIBLE
+
+
+class TestLemmaApplicability:
+    def test_possibility_lemmas_carry_into_weaker_conditions(self):
+        ids = {e.lemma_id for e in possibility_lemmas_for(Model.MP_CR, WV2)}
+        assert "Lemma 3.7" in ids   # RV2 protocol serves WV2
+        assert "Lemma 3.1" in ids   # RV1 protocol serves WV2
+
+    def test_byzantine_protocols_carry_into_crash(self):
+        ids = {e.lemma_id for e in possibility_lemmas_for(Model.MP_CR, SV2)}
+        assert "Lemma 3.15" in ids
+
+    def test_mp_protocols_carry_into_sm(self):
+        ids = {e.lemma_id for e in possibility_lemmas_for(Model.SM_CR, RV2)}
+        assert "Lemma 3.7" in ids
+
+    def test_sm_impossibilities_carry_into_mp(self):
+        ids = {e.lemma_id for e in impossibility_lemmas_for(Model.MP_CR, SV2)}
+        assert "Lemma 4.3" in ids
+
+    def test_crash_impossibilities_carry_into_byzantine(self):
+        ids = {e.lemma_id for e in impossibility_lemmas_for(Model.MP_BYZ, SV1)}
+        assert "Lemma 3.5" in ids
+
+    def test_sm_possibility_does_not_carry_into_mp(self):
+        ids = {e.lemma_id for e in possibility_lemmas_for(Model.MP_CR, RV2)}
+        assert "Lemma 4.5" not in ids

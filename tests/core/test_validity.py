@@ -1,0 +1,200 @@
+"""Tests for the six validity conditions and the Fig. 1 lattice."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.lattice import random_outcome
+from repro.core.problem import Outcome
+from repro.core.validity import (
+    ALL_VALIDITY_CONDITIONS,
+    RV1,
+    RV2,
+    SV1,
+    SV2,
+    WV1,
+    WV2,
+    by_code,
+    stronger_than,
+    weaker_than,
+)
+
+
+def outcome(n, inputs, decisions, faulty=()):
+    return Outcome(
+        n=n,
+        inputs=dict(enumerate(inputs)),
+        decisions=decisions,
+        faulty=frozenset(faulty),
+    )
+
+
+class TestSV1:
+    def test_holds_when_decisions_are_correct_inputs(self):
+        o = outcome(3, ["a", "b", "c"], {0: "b", 1: "b", 2: "a"})
+        assert SV1.check(o)
+
+    def test_fails_when_decision_is_faulty_process_input(self):
+        o = outcome(3, ["a", "b", "c"], {1: "a", 2: "a"}, faulty={0})
+        assert not SV1.check(o)
+
+    def test_fails_on_fabricated_value(self):
+        o = outcome(2, ["a", "b"], {0: "z", 1: "a"})
+        assert not SV1.check(o)
+
+    def test_ignores_faulty_process_decisions(self):
+        o = outcome(3, ["a", "b", "c"], {0: "zzz", 1: "b"}, faulty={0})
+        assert SV1.check(o)
+
+    def test_undecided_processes_are_fine(self):
+        o = outcome(3, ["a", "b", "c"], {})
+        assert SV1.check(o)
+
+
+class TestSV2:
+    def test_vacuous_when_correct_inputs_differ(self):
+        o = outcome(3, ["a", "b", "b"], {0: "z", 1: "z", 2: "z"})
+        assert SV2.check(o)
+
+    def test_fires_when_correct_unanimous(self):
+        o = outcome(3, ["a", "v", "v"], {1: "v", 2: "v"}, faulty={0})
+        assert SV2.check(o)
+
+    def test_fails_when_unanimous_but_wrong_decision(self):
+        o = outcome(3, ["a", "v", "v"], {1: "v", 2: "a"}, faulty={0})
+        assert not SV2.check(o)
+
+    def test_faulty_inputs_do_not_matter(self):
+        # All correct start with v; the faulty one starts differently.
+        o = outcome(4, ["x", "v", "v", "v"], {1: "v", 2: "v", 3: "v"}, faulty={0})
+        assert SV2.check(o)
+
+
+class TestRV1:
+    def test_holds_on_any_input_value(self):
+        o = outcome(3, ["a", "b", "c"], {0: "c", 1: "a", 2: "b"})
+        assert RV1.check(o)
+
+    def test_faulty_process_input_is_allowed(self):
+        o = outcome(3, ["a", "b", "c"], {1: "a", 2: "a"}, faulty={0})
+        assert RV1.check(o)
+
+    def test_fails_on_fabricated_value(self):
+        o = outcome(2, ["a", "b"], {0: "z"})
+        assert not RV1.check(o)
+
+
+class TestRV2:
+    def test_vacuous_when_any_input_differs(self):
+        # One faulty process had a different nominal input: premise off.
+        o = outcome(3, ["x", "v", "v"], {1: "other", 2: "other"}, faulty={0})
+        assert RV2.check(o)
+
+    def test_fires_when_all_inputs_equal(self):
+        o = outcome(3, ["v", "v", "v"], {0: "v", 1: "v", 2: "v"})
+        assert RV2.check(o)
+
+    def test_fails_on_default_fallback(self):
+        from repro.core.values import DEFAULT
+
+        o = outcome(3, ["v", "v", "v"], {0: "v", 1: DEFAULT, 2: "v"})
+        assert not RV2.check(o)
+
+
+class TestWV1:
+    def test_vacuous_with_failures(self):
+        o = outcome(3, ["a", "b", "c"], {1: "zzz", 2: "zzz"}, faulty={0})
+        assert WV1.check(o)
+
+    def test_constrains_failure_free_runs(self):
+        o = outcome(3, ["a", "b", "c"], {0: "zzz", 1: "a", 2: "a"})
+        assert not WV1.check(o)
+
+    def test_holds_failure_free_with_input_decisions(self):
+        o = outcome(3, ["a", "b", "c"], {0: "b", 1: "b", 2: "c"})
+        assert WV1.check(o)
+
+
+class TestWV2:
+    def test_vacuous_with_failures(self):
+        o = outcome(2, ["v", "v"], {0: "other", 1: "other"}, faulty={1})
+        assert WV2.check(o)
+
+    def test_vacuous_without_unanimity(self):
+        o = outcome(2, ["v", "w"], {0: "anything", 1: "v"})
+        # decision "anything" is not an input, but WV2's premise is off
+        assert WV2.check(o)
+
+    def test_fails_failure_free_unanimous_wrong(self):
+        o = outcome(2, ["v", "v"], {0: "v", 1: "w"})
+        assert not WV2.check(o)
+
+
+class TestLattice:
+    def test_by_code_round_trips(self):
+        for condition in ALL_VALIDITY_CONDITIONS:
+            assert by_code(condition.code) is condition
+
+    def test_by_code_is_case_insensitive(self):
+        assert by_code("rv1") is RV1
+
+    def test_by_code_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            by_code("XXX")
+
+    def test_reflexive_implication(self):
+        for condition in ALL_VALIDITY_CONDITIONS:
+            assert condition.implies(condition)
+
+    def test_paper_edges(self):
+        assert SV1.implies(SV2)
+        assert SV1.implies(RV1)
+        assert SV2.implies(RV2)
+        assert RV1.implies(RV2)
+        assert RV1.implies(WV1)
+        assert RV2.implies(WV2)
+        assert WV1.implies(WV2)
+
+    def test_transitive_closure(self):
+        assert SV1.implies(WV2)
+        assert SV1.implies(RV2)
+        assert RV1.implies(WV2)
+
+    def test_non_implications(self):
+        assert not SV2.implies(RV1)
+        assert not RV1.implies(SV2)
+        assert not WV1.implies(RV1)
+        assert not WV2.implies(WV1)
+        assert not RV2.implies(RV1)
+        assert not SV2.implies(SV1)
+
+    def test_sv2_and_rv1_incomparable(self):
+        assert not SV2.implies(RV1) and not RV1.implies(SV2)
+
+    def test_wv2_is_weakest(self):
+        for condition in ALL_VALIDITY_CONDITIONS:
+            assert condition.implies(WV2)
+
+    def test_sv1_is_strongest(self):
+        for condition in ALL_VALIDITY_CONDITIONS:
+            assert SV1.implies(condition)
+
+    def test_weaker_stronger_are_strict_and_dual(self):
+        assert weaker_than(WV2, SV1)
+        assert stronger_than(SV1, WV2)
+        assert not weaker_than(SV1, SV1)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.integers(min_value=0, max_value=10**9))
+def test_implications_hold_on_random_outcomes(seed):
+    """Property: whenever D holds on an outcome, every weaker C holds too."""
+    rng = random.Random(seed)
+    o = random_outcome(rng)
+    holds = {c.code: bool(c.check(o)) for c in ALL_VALIDITY_CONDITIONS}
+    for c in ALL_VALIDITY_CONDITIONS:
+        for d in ALL_VALIDITY_CONDITIONS:
+            if c.implies(d) and holds[c.code]:
+                assert holds[d.code], (c.code, d.code, o)

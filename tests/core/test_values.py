@@ -1,0 +1,80 @@
+"""Tests for the value domain and sentinels."""
+
+import pickle
+
+import pytest
+
+from repro.core.values import (
+    DEFAULT,
+    EMPTY,
+    Default,
+    Empty,
+    is_default,
+    is_empty,
+    order_key,
+)
+
+
+class TestSentinels:
+    def test_default_is_singleton(self):
+        assert Default() is DEFAULT
+
+    def test_empty_is_singleton(self):
+        assert Empty() is EMPTY
+
+    def test_sentinels_are_distinct(self):
+        assert DEFAULT is not EMPTY
+
+    def test_default_differs_from_any_input_value(self):
+        for value in (0, "", None, False, "v0", ()):
+            assert DEFAULT != value
+
+    def test_is_default(self):
+        assert is_default(DEFAULT)
+        assert not is_default("v0")
+        assert not is_default(EMPTY)
+
+    def test_is_empty(self):
+        assert is_empty(EMPTY)
+        assert not is_empty(DEFAULT)
+        assert not is_empty(None)
+
+    def test_repr_is_informative(self):
+        assert "default" in repr(DEFAULT)
+        assert "empty" in repr(EMPTY)
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(DEFAULT)) is DEFAULT
+        assert pickle.loads(pickle.dumps(EMPTY)) is EMPTY
+
+    def test_sentinels_are_hashable(self):
+        assert len({DEFAULT, EMPTY, DEFAULT}) == 2
+
+
+class TestOrderKey:
+    def test_orders_ints_naturally(self):
+        assert sorted([3, 1, 2], key=order_key) == [1, 2, 3]
+
+    def test_orders_strings_naturally(self):
+        assert sorted(["b", "a"], key=order_key) == ["a", "b"]
+
+    def test_mixed_types_do_not_raise(self):
+        values = ["b", 1, "a", 2]
+        ordered = sorted(values, key=order_key)
+        assert set(ordered) == set(values)
+
+    def test_mixed_type_order_is_deterministic(self):
+        values = ["b", 1, "a", 2]
+        assert sorted(values, key=order_key) == sorted(
+            list(reversed(values)), key=order_key
+        )
+
+    def test_sentinels_sort_after_real_values(self):
+        values = [DEFAULT, "zzz", EMPTY, "a", 10**9]
+        ordered = sorted(values, key=order_key)
+        assert ordered[-2:] in ([DEFAULT, EMPTY], [EMPTY, DEFAULT])
+        assert min(values, key=order_key) not in (DEFAULT, EMPTY)
+
+    def test_unhashable_raises(self):
+        with pytest.raises(TypeError):
+            order_key([1, 2])

@@ -1,0 +1,176 @@
+"""Tests for Byzantine behaviours (message passing and shared memory)."""
+
+from repro.core.validity import RV2, SV2, WV2
+from repro.failures.byzantine import (
+    GarbageProcess,
+    MultiFaceProcess,
+    MutatingProcess,
+    MuteProcess,
+    SUPPRESS,
+    two_faced,
+)
+from repro.failures.byzantine_sm import (
+    garbage_writer,
+    mute_program,
+    register_rewriter,
+    with_fake_input,
+)
+from repro.harness.runner import run_mp, run_sm
+from repro.net.schedulers import FifoScheduler
+from repro.protocols.protocol_a import ProtocolA
+from repro.protocols.protocol_e import protocol_e
+from repro.runtime.kernel import MPKernel
+
+
+def run_with_byzantine(byzantine_process, n=5, t=1, inputs=None, validity=SV2):
+    processes = [byzantine_process] + [ProtocolA() for _ in range(n - 1)]
+    return run_mp(
+        processes,
+        inputs or ["v"] * n,
+        k=2,
+        t=t,
+        validity=validity,
+        byzantine=[0],
+    )
+
+
+class TestMuteProcess:
+    def test_correct_processes_terminate_anyway(self):
+        report = run_with_byzantine(MuteProcess())
+        assert report.verdicts["termination"]
+        for pid in range(1, 5):
+            assert report.outcome.decisions[pid] == "v"
+
+    def test_sends_nothing(self):
+        report = run_with_byzantine(MuteProcess())
+        assert all(r.pid != 0 for r in report.result.trace.of_kind("send"))
+
+
+class TestGarbageProcess:
+    def test_correct_processes_ignore_garbage(self):
+        report = run_with_byzantine(GarbageProcess(seed=4))
+        assert report.ok
+
+    def test_garbage_actually_sent(self):
+        report = run_with_byzantine(GarbageProcess(seed=4))
+        assert any(r.pid == 0 for r in report.result.trace.of_kind("send"))
+
+
+class TestMutatingProcess:
+    def test_value_rewrite(self):
+        liar = MutatingProcess(
+            ProtocolA(), lambda dst, payload: (payload[0], "lie")
+        )
+        report = run_with_byzantine(liar, t=2)
+        # 4 correct all started with v; a single liar cannot break SV2
+        # here because n - 2t = 1 matching value suffices... verify the
+        # run simply completed and the lie was on the wire.
+        lies = [
+            r for r in report.result.trace.of_kind("send")
+            if r.pid == 0 and r.payload[1] == "lie"
+        ]
+        assert lies
+
+    def test_suppress_drops_messages(self):
+        silent = MutatingProcess(ProtocolA(), lambda dst, payload: SUPPRESS)
+        report = run_with_byzantine(silent)
+        assert all(r.pid != 0 for r in report.result.trace.of_kind("send"))
+
+
+class TestMultiFace:
+    def test_two_faces_seen_differently(self):
+        n = 5
+        byz = two_faced(ProtocolA, "x", peers_a=[1, 2], input_b="y")
+        processes = [byz] + [ProtocolA() for _ in range(n - 1)]
+        kernel = MPKernel(
+            processes,
+            ["z"] * n,
+            t=1,
+            scheduler=FifoScheduler(),
+            byzantine=[0],
+            stop_when_decided=False,
+        )
+        result = kernel.run()
+        sends = [(r.peer, r.payload) for r in result.trace.of_kind("send") if r.pid == 0]
+        values_to_1 = {p[1] for dst, p in sends if dst == 1}
+        values_to_3 = {p[1] for dst, p in sends if dst == 3}
+        assert values_to_1 == {"x"}
+        assert values_to_3 == {"y"}
+
+    def test_faces_do_not_leak_across(self):
+        # Face isolation: group a peers never see face b's value.
+        n = 6
+        byz = MultiFaceProcess(
+            ProtocolA,
+            {"a": "va", "b": "vb"},
+            lambda peer: "a" if peer < 3 else "b",
+        )
+        processes = [byz] + [ProtocolA() for _ in range(n - 1)]
+        kernel = MPKernel(
+            processes, ["w"] * n, t=1,
+            scheduler=FifoScheduler(), byzantine=[0],
+            stop_when_decided=False,
+        )
+        result = kernel.run()
+        for r in result.trace.of_kind("send"):
+            if r.pid == 0 and r.peer is not None and r.peer != 0:
+                expected = "va" if r.peer < 3 else "vb"
+                assert r.payload[1] == expected
+
+    def test_requires_at_least_one_face(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            MultiFaceProcess(ProtocolA, {}, lambda peer: None)
+
+
+class TestSharedMemoryByzantine:
+    def test_mute_program_takes_no_ops(self):
+        report = run_sm(
+            [protocol_e, protocol_e, mute_program],
+            ["v", "v", "v"],
+            k=2,
+            t=1,
+            validity=WV2,
+            byzantine=[2],
+        )
+        writes = [r for r in report.result.trace.of_kind("write") if r.pid == 2]
+        assert not writes
+        assert report.verdicts["termination"]
+
+    def test_garbage_writer_cannot_break_weak_validity(self):
+        report = run_sm(
+            [protocol_e, protocol_e, garbage_writer(seed=1)],
+            ["v", "v", "v"],
+            k=2,
+            t=1,
+            validity=WV2,
+            byzantine=[2],
+        )
+        assert report.ok  # WV2 vacuous (failures occurred); agreement <= 2
+
+    def test_register_rewriter_cycles_values(self):
+        report = run_sm(
+            [protocol_e, protocol_e, register_rewriter(["p", "q"])],
+            ["v", "v", "v"],
+            k=2,
+            t=1,
+            validity=WV2,
+            byzantine=[2],
+            stop_when_decided=False,
+            max_ticks=5000,
+        )
+        writes = [r.payload for r in report.result.trace.of_kind("write") if r.pid == 2]
+        assert "p" in writes and "q" in writes
+
+    def test_with_fake_input_lies(self):
+        report = run_sm(
+            [protocol_e, protocol_e, with_fake_input(protocol_e, "lie")],
+            ["v", "v", "v"],
+            k=2,
+            t=1,
+            validity=WV2,
+            byzantine=[2],
+        )
+        writes = [r.payload for r in report.result.trace.of_kind("write") if r.pid == 2]
+        assert writes == ["lie"]

@@ -1,0 +1,101 @@
+"""Tests for persistent sweep campaigns."""
+
+import pathlib
+
+import pytest
+
+from repro.harness.campaign import (
+    Campaign,
+    CampaignResult,
+    PointRecord,
+    run_campaign,
+)
+from repro.models import Model
+
+
+SMALL = Campaign(
+    name="unit-test",
+    n_values=(5,),
+    points_per_spec=1,
+    runs_per_point=3,
+    seed=9,
+    spec_names=("chaudhuri@mp-cr", "protocol-e@sm-cr"),
+)
+
+
+class TestRunCampaign:
+    def test_runs_and_is_clean(self):
+        result = run_campaign(SMALL)
+        assert result.records
+        assert result.clean, result.violating()
+        assert result.total_runs == 3 * len(result.records)
+
+    def test_reproducible(self):
+        a = run_campaign(SMALL)
+        b = run_campaign(SMALL)
+        assert [r.to_json() for r in a.records] == [r.to_json() for r in b.records]
+
+    def test_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        result = run_campaign(SMALL, result_path=path)
+        loaded = CampaignResult.load(path)
+        assert loaded.summary() == result.summary()
+        assert [r.to_json() for r in loaded.records] == [
+            r.to_json() for r in result.records
+        ]
+
+    def test_resume_skips_done_points(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        first = run_campaign(SMALL, result_path=path)
+        # resuming the identical campaign adds nothing new
+        second = run_campaign(SMALL, result_path=path)
+        assert len(second.records) == len(first.records)
+
+    def test_resume_is_equivalent_to_fresh_run(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        # run only the first spec, persist
+        partial = Campaign(
+            name="unit-test", n_values=(5,), points_per_spec=1,
+            runs_per_point=3, seed=9, spec_names=("chaudhuri@mp-cr",),
+        )
+        run_campaign(partial, result_path=path)
+        # resume with the full campaign: results must equal a fresh run
+        resumed = run_campaign(SMALL, result_path=path)
+        fresh = run_campaign(SMALL)
+        assert sorted(r.key for r in resumed.records) == sorted(
+            r.key for r in fresh.records
+        )
+        by_key_resumed = {r.key: r.to_json() for r in resumed.records}
+        by_key_fresh = {r.key: r.to_json() for r in fresh.records}
+        assert by_key_resumed == by_key_fresh
+
+    def test_mismatched_result_file_rejected(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        run_campaign(SMALL, result_path=path)
+        other = Campaign(name="other", seed=9, spec_names=("chaudhuri@mp-cr",))
+        with pytest.raises(ValueError):
+            run_campaign(other, result_path=path)
+
+    def test_model_filter(self):
+        campaign = Campaign(
+            name="mp-only", n_values=(5,), points_per_spec=1,
+            runs_per_point=2, seed=3, models=(Model.MP_CR,),
+        )
+        result = run_campaign(campaign)
+        assert result.records
+        for record in result.records:
+            assert record.spec.endswith("@mp-cr")
+
+
+class TestPointRecord:
+    def test_json_roundtrip(self):
+        record = PointRecord(
+            spec="x", n=5, k=2, t=1, runs=3, violations=0, max_distinct=2
+        )
+        assert PointRecord.from_json(record.to_json()) == record
+
+    def test_key_format(self):
+        record = PointRecord(
+            spec="x", n=5, k=2, t=1, runs=3, violations=0, max_distinct=2
+        )
+        assert record.key == "x|n=5|k=2|t=1"

@@ -1,0 +1,128 @@
+"""Tests for the fairness wrappers (MP delivery and SM process)."""
+
+from repro.core.validity import SV2
+from repro.harness.runner import run_sm
+from repro.net.schedulers import FairDeliveryWrapper, LifoScheduler, Scheduler
+from repro.runtime.kernel import MPKernel
+from repro.runtime.process import Process
+from repro.shm.schedulers import (
+    FairProcessWrapper,
+    RoundRobinScheduler,
+    StagedScheduler,
+)
+from repro.protocols.protocol_f import protocol_f
+
+import pytest
+
+
+class Needy(Process):
+    """Decides only once it has heard from everyone."""
+
+    def __init__(self):
+        self.heard = set()
+
+    def on_start(self, ctx):
+        ctx.broadcast(("VAL", ctx.input))
+
+    def on_message(self, ctx, sender, payload):
+        self.heard.add(sender)
+        if len(self.heard) == ctx.n and not ctx.decided:
+            ctx.decide(ctx.input)
+
+
+class _StarveFirst(Scheduler):
+    """Never delivers anything to process 0 (unfair on its own)."""
+
+    def pick(self, kernel):
+        candidates = [
+            seq for seq, event in sorted(kernel.pending.items())
+            if getattr(event, "receiver", None) != 0
+        ]
+        return candidates[0] if candidates else None
+
+
+class TestFairDeliveryWrapper:
+    def test_starved_process_eventually_served(self):
+        kernel = MPKernel(
+            [Needy() for _ in range(3)],
+            ["a", "b", "c"],
+            t=0,
+            scheduler=FairDeliveryWrapper(_StarveFirst(), patience=5),
+        )
+        result = kernel.run()
+        assert 0 in result.outcome.decisions
+
+    def test_without_wrapper_the_same_schedule_stalls(self):
+        from repro.runtime.kernel import SchedulerStall
+
+        kernel = MPKernel(
+            [Needy() for _ in range(3)],
+            ["a", "b", "c"],
+            t=0,
+            scheduler=_StarveFirst(),
+        )
+        with pytest.raises(SchedulerStall):
+            kernel.run()
+
+    def test_inner_bias_preserved_between_overrides(self):
+        # With a large patience, LIFO order dominates.
+        kernel = MPKernel(
+            [Needy() for _ in range(3)],
+            ["a", "b", "c"],
+            t=0,
+            scheduler=FairDeliveryWrapper(LifoScheduler(), patience=1000),
+        )
+        result = kernel.run()
+        assert len(result.outcome.decisions) == 3
+
+    def test_patience_validation(self):
+        with pytest.raises(ValueError):
+            FairDeliveryWrapper(LifoScheduler(), patience=0)
+
+
+class TestFairProcessWrapper:
+    def test_busy_waiting_stage_cannot_starve_others(self):
+        """PROTOCOL F's first process spins until n - t registers are
+        written; a bare staged scheduler would run it forever."""
+        n, k, t = 5, 4, 2
+        scheduler = FairProcessWrapper(
+            StagedScheduler([[0]], release_on_stall=True), patience=10
+        )
+        report = run_sm(
+            [protocol_f] * n,
+            ["v"] * n,
+            k, t, SV2,
+            scheduler=scheduler,
+            max_ticks=50_000,
+        )
+        assert report.ok
+
+    def test_all_processes_make_progress(self):
+        n = 4
+        scheduler = FairProcessWrapper(
+            StagedScheduler([[1]], release_on_stall=True), patience=4
+        )
+        report = run_sm(
+            [protocol_f] * n,
+            ["v"] * n,
+            k=n, t=1, validity=SV2,
+            scheduler=scheduler,
+            max_ticks=50_000,
+        )
+        assert len(report.outcome.decisions) == n
+
+    def test_round_robin_unchanged_by_wrapper(self):
+        n = 3
+        plain = run_sm(
+            [protocol_f] * n, ["v"] * n, k=n, t=1, validity=SV2,
+            scheduler=RoundRobinScheduler(),
+        )
+        wrapped = run_sm(
+            [protocol_f] * n, ["v"] * n, k=n, t=1, validity=SV2,
+            scheduler=FairProcessWrapper(RoundRobinScheduler(), patience=10**6),
+        )
+        assert plain.outcome.decisions == wrapped.outcome.decisions
+
+    def test_patience_validation(self):
+        with pytest.raises(ValueError):
+            FairProcessWrapper(RoundRobinScheduler(), patience=0)

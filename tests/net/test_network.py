@@ -1,0 +1,67 @@
+"""Tests for the network axiom checker."""
+
+from repro.net.network import verify_network_axioms
+from repro.runtime.traces import Trace
+
+
+def trace_of(records):
+    trace = Trace()
+    for record in records:
+        trace.record(*record)
+    return trace
+
+
+class TestVerifyNetworkAxioms:
+    def test_clean_exchange(self):
+        trace = trace_of([
+            (0, "send", 0, 1, "m"),
+            (1, "deliver", 1, 0, "m"),
+        ])
+        report = verify_network_axioms(trace)
+        assert report.reliable
+        assert not report.lost
+
+    def test_forgery_detected(self):
+        trace = trace_of([
+            (0, "deliver", 1, 0, "m"),  # delivered but never sent
+        ])
+        report = verify_network_axioms(trace)
+        assert not report.reliable
+        assert report.forged
+
+    def test_duplication_detected(self):
+        trace = trace_of([
+            (0, "send", 0, 1, "m"),
+            (1, "deliver", 1, 0, "m"),
+            (2, "deliver", 1, 0, "m"),
+        ])
+        report = verify_network_axioms(trace)
+        assert report.duplicated
+
+    def test_loss_reported(self):
+        trace = trace_of([
+            (0, "send", 0, 1, "m"),
+        ])
+        report = verify_network_axioms(trace)
+        assert report.reliable  # loss alone is caller-interpreted
+        assert report.lost
+
+    def test_drop_at_crashed_receiver_counts_as_arrival(self):
+        trace = trace_of([
+            (0, "send", 0, 1, "m"),
+            (1, "drop", 1, 0, "m"),
+        ])
+        report = verify_network_axioms(trace)
+        assert report.reliable
+        assert not report.lost
+
+    def test_identical_payloads_on_same_channel_matched_by_count(self):
+        trace = trace_of([
+            (0, "send", 0, 1, "m"),
+            (1, "send", 0, 1, "m"),
+            (2, "deliver", 1, 0, "m"),
+            (3, "deliver", 1, 0, "m"),
+        ])
+        report = verify_network_axioms(trace)
+        assert report.reliable
+        assert not report.lost

@@ -1,0 +1,195 @@
+"""Tests for message delivery schedulers."""
+
+import pytest
+
+from repro.net.schedulers import (
+    FifoScheduler,
+    GroupPartitionScheduler,
+    LifoScheduler,
+    PredicateScheduler,
+    RandomScheduler,
+)
+from repro.runtime.kernel import MPKernel, SchedulerStall
+from repro.runtime.process import Process
+
+
+class Collector(Process):
+    """Records delivery order; decides after hearing from everyone."""
+
+    def __init__(self):
+        self.order = []
+
+    def on_start(self, ctx):
+        ctx.broadcast(("VAL", ctx.input))
+
+    def on_message(self, ctx, sender, payload):
+        self.order.append(sender)
+        if len(self.order) == ctx.n and not ctx.decided:
+            ctx.decide(ctx.input)
+
+
+def build(n, scheduler, processes=None, **kwargs):
+    processes = processes or [Collector() for _ in range(n)]
+    return MPKernel(
+        processes,
+        [f"v{i}" for i in range(n)],
+        t=0,
+        scheduler=scheduler,
+        stop_when_decided=False,
+        **kwargs,
+    ), processes
+
+
+class TestFifo:
+    def test_delivery_in_send_order(self):
+        kernel, processes = build(3, FifoScheduler())
+        kernel.run()
+        # p0 starts first and broadcasts first: every process hears 0 first
+        for process in processes:
+            assert process.order[0] == 0
+
+
+class TestLifo:
+    def test_starts_drained_before_deliveries(self):
+        kernel, processes = build(3, LifoScheduler())
+        kernel.run()
+        # all processes started (everyone eventually hears everyone)
+        for process in processes:
+            assert sorted(set(process.order)) == [0, 1, 2]
+
+    def test_newest_first_reverses_order(self):
+        kernel, processes = build(3, LifoScheduler())
+        kernel.run()
+        # the last start is p2's, so its broadcast is newest: heard first
+        assert processes[0].order[0] == 2
+
+
+class TestRandom:
+    def test_reproducible(self):
+        k1, p1 = build(4, RandomScheduler(9))
+        k2, p2 = build(4, RandomScheduler(9))
+        k1.run()
+        k2.run()
+        assert [p.order for p in p1] == [p.order for p in p2]
+
+    def test_seed_changes_order(self):
+        orders = set()
+        for seed in range(10):
+            kernel, processes = build(4, RandomScheduler(seed))
+            kernel.run()
+            orders.add(tuple(tuple(p.order) for p in processes))
+        assert len(orders) > 1
+
+
+class TestPredicate:
+    def test_blocks_until_condition(self):
+        # Hold all deliveries to p0 until p1 decided.
+        def allow(kernel, delivery):
+            if delivery.receiver == 0:
+                return kernel.has_decided(1)
+            return True
+
+        kernel, processes = build(3, PredicateScheduler(allow))
+        kernel.run()
+        assert processes[1].order  # p1 heard everything first
+
+    def test_strict_stall_raises(self):
+        def never(kernel, delivery):
+            return False
+
+        kernel, _ = build(2, PredicateScheduler(never))
+        with pytest.raises(SchedulerStall):
+            kernel.run()
+
+    def test_release_on_stall_recovers(self):
+        def never(kernel, delivery):
+            return False
+
+        kernel, processes = build(
+            2, PredicateScheduler(never, release_on_stall=True)
+        )
+        kernel.run()
+        for process in processes:
+            assert len(process.order) == 2
+
+
+class TestGroupPartition:
+    def test_intra_group_before_cross(self):
+        scheduler = GroupPartitionScheduler([[0, 1], [2, 3]])
+
+        class GroupCollector(Collector):
+            def on_message(self, ctx, sender, payload):
+                self.order.append(sender)
+                group = {0, 1} if ctx.pid in (0, 1) else {2, 3}
+                if set(self.order) >= group and not ctx.decided:
+                    ctx.decide(ctx.input)
+
+        kernel, processes = build(
+            4, scheduler, processes=[GroupCollector() for _ in range(4)]
+        )
+        kernel.run()
+        # Before each process decided it saw only its own group.
+        assert set(processes[0].order[:2]) <= {0, 1}
+        assert set(processes[2].order[:2]) <= {2, 3}
+
+    def test_groups_must_be_disjoint(self):
+        with pytest.raises(ValueError):
+            GroupPartitionScheduler([[0, 1], [1, 2]])
+
+    def test_extra_links_flow_freely(self):
+        # Without the extra link (2, 0), p0 could never hear p2 before
+        # deciding, and this run would stall.
+        scheduler = GroupPartitionScheduler(
+            [[0], [1, 2]], extra_links=[(2, 0)]
+        )
+
+        class WaitForP2(Process):
+            def __init__(self):
+                self.heard = []
+
+            def on_start(self, ctx):
+                ctx.broadcast(("VAL", ctx.input))
+
+            def on_message(self, ctx, sender, payload):
+                self.heard.append(sender)
+                if ctx.decided:
+                    return
+                if ctx.pid == 0 and sender == 2:
+                    ctx.decide(ctx.input)
+                elif ctx.pid != 0:
+                    ctx.decide(ctx.input)
+
+        kernel, processes = build(
+            3, scheduler, processes=[WaitForP2() for _ in range(3)]
+        )
+        kernel.run()
+        assert 2 in processes[0].heard  # the extra link let p2 -> p0 through
+
+    def test_unlisted_processes_form_singletons(self):
+        class SelfDecider(Process):
+            def __init__(self):
+                self.order = []
+
+            def on_start(self, ctx):
+                ctx.broadcast(("VAL", ctx.input))
+
+            def on_message(self, ctx, sender, payload):
+                self.order.append(sender)
+                if not ctx.decided:
+                    ctx.decide(ctx.input)
+
+        scheduler = GroupPartitionScheduler([[0, 1]])
+        kernel, processes = build(
+            3, scheduler, processes=[SelfDecider() for _ in range(3)]
+        )
+        kernel.run()
+        # p2 is an implicit singleton: it hears only itself until decided.
+        assert processes[2].order[0] == 2
+
+    def test_partition_stalls_protocol_needing_cross_traffic(self):
+        # Collector needs all n messages but the partition withholds
+        # cross-group traffic until decisions that can never come.
+        scheduler = GroupPartitionScheduler([[0, 1]])
+        kernel, _ = build(3, scheduler)
+        with pytest.raises(SchedulerStall):
+            kernel.run()

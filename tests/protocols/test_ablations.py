@@ -1,0 +1,114 @@
+"""Tests for the ingredient ablations: each removed ingredient's failure
+mode is exhibited, and the unmodified protocol survives the same run."""
+
+import pytest
+
+from repro.core.validity import RV1, SV2
+from repro.core.values import DEFAULT
+from repro.failures.byzantine import GarbageProcess, MultiFaceProcess
+from repro.failures.crash import CrashPlan, CrashPoint
+from repro.harness.runner import run_mp
+from repro.net.schedulers import PredicateScheduler
+from repro.protocols.ablations import (
+    CredulousProcess,
+    ProtocolBStrictQuorum,
+    ProtocolCPlainBroadcast,
+    divergent_crash_run,
+    plain_broadcast_attack_run,
+    protocol_f_single_scan,
+)
+from repro.protocols.chaudhuri import ChaudhuriKSet
+from repro.protocols.protocol_b import ProtocolB
+from repro.protocols.protocol_c import ProtocolC
+
+
+divergent_crash_setup = divergent_crash_run
+
+
+class TestStrictQuorumAblation:
+    def test_strict_quorum_breaks_sv2(self):
+        report = divergent_crash_setup(ProtocolBStrictQuorum)
+        assert not report.verdicts["validity"], report.summary()
+        # the failure mode: correct processes fell back to the default
+        assert DEFAULT in report.outcome.correct_decision_values()
+
+    def test_real_protocol_b_survives_same_run(self):
+        report = divergent_crash_setup(ProtocolB)
+        assert report.ok, report.summary()
+        for pid in range(1, 5):
+            assert report.outcome.decisions[pid] == "v"
+
+
+_plain_broadcast_attack = plain_broadcast_attack_run
+
+
+class TestEchoLayerAblation:
+    def test_plain_broadcast_breaks_agreement(self):
+        report = _plain_broadcast_attack(ProtocolCPlainBroadcast)
+        assert not report.verdicts["agreement"], report.summary()
+        # every correct process kept its own value: 5 > k = 4
+        assert len(report.outcome.correct_decision_values()) == 5
+
+    def test_real_protocol_c_survives_same_adversary(self):
+        report = _plain_broadcast_attack(lambda: ProtocolC(1))
+        assert report.verdicts["agreement"], report.summary()
+        assert report.verdicts["validity"], report.summary()
+
+
+class TestValidationAblation:
+    def test_credulous_process_crashes_on_garbage(self):
+        n = 4
+        processes = [GarbageProcess(seed=1)] + [
+            CredulousProcess() for _ in range(n - 1)
+        ]
+        with pytest.raises((TypeError, IndexError, KeyError)):
+            run_mp(
+                processes, ["v"] * n, k=2, t=1, validity=RV1,
+                byzantine=[0], stop_when_decided=False,
+            )
+
+    def test_validating_flood_min_survives_same_garbage(self):
+        n = 4
+        processes = [GarbageProcess(seed=1)] + [
+            ChaudhuriKSet() for _ in range(n - 1)
+        ]
+        report = run_mp(
+            processes, ["v"] * n, k=2, t=1, validity=RV1,
+            byzantine=[0],
+        )
+        assert report.verdicts["termination"]
+
+
+class TestSingleScanObservation:
+    """The honest-negative ablation: no violation found for the
+    single-scan PROTOCOL F variant (see module docstring)."""
+
+    def test_search_finds_no_violation(self):
+        import dataclasses
+
+        from repro.harness.attack import search_worst_run
+        from repro.protocols.base import get_spec
+
+        base = get_spec("protocol-f@sm-cr")
+        variant = dataclasses.replace(
+            base,
+            name="protocol-f-single-scan-probe",
+            make=lambda n, k, t: protocol_f_single_scan,
+        )
+        result = search_worst_run(variant, 6, 4, 2, attempts=60, seed=3)
+        assert result.violations_found == 0, result.summary()
+
+    def test_decisions_stay_within_t_plus_2(self):
+        from repro.core.validity import SV2 as _SV2
+        from repro.harness.runner import run_sm
+        from repro.shm.schedulers import StagedScheduler
+
+        n, k, t = 6, 4, 2
+        report = run_sm(
+            [protocol_f_single_scan] * n,
+            [f"v{i}" for i in range(n)],
+            k, t, _SV2,
+            scheduler=StagedScheduler([[pid] for pid in range(n)],
+                                      release_on_stall=True),
+        )
+        assert len(report.outcome.correct_decision_values()) <= t + 2

@@ -1,0 +1,115 @@
+"""Tests for the protocol registry, payload validation, and the trivial
+protocol."""
+
+import pytest
+
+from repro.core.validity import SV1
+from repro.harness.runner import run_mp, run_sm
+from repro.models import Model
+from repro.protocols.base import all_specs, get_spec, tagged
+from repro.protocols.trivial import TrivialOwnValue, trivial_own_value_sm
+
+
+class TestRegistry:
+    def test_all_specs_nonempty(self):
+        assert len(all_specs()) >= 20
+
+    def test_filter_by_model(self):
+        for spec in all_specs(model=Model.MP_CR):
+            assert spec.model is Model.MP_CR
+
+    def test_filter_by_validity(self):
+        for spec in all_specs(validity="SV2"):
+            assert spec.validity == "SV2"
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(ValueError):
+            get_spec("no-such-protocol")
+
+    def test_every_model_validity_possibility_is_covered(self):
+        """Every POSSIBLE classifier point has a registered protocol
+        whose spec region contains it (at a sample grid)."""
+        from repro.core.solvability import Solvability, classify
+        from repro.core.validity import by_code
+
+        n = 9
+        for model in Model:
+            specs = all_specs(model=model)
+            for k in range(2, n):
+                for t in range(1, n + 1):
+                    for validity_code in ("SV2", "RV2", "WV2", "RV1", "WV1"):
+                        validity = by_code(validity_code)
+                        verdict = classify(model, validity, n, k, t)
+                        if verdict.status is not Solvability.POSSIBLE:
+                            continue
+                        covering = [
+                            s for s in specs
+                            if s.solvable(n, k, t)
+                            and by_code(s.validity).implies(validity)
+                        ]
+                        assert covering, (model, validity_code, n, k, t)
+
+    def test_specs_have_lemma_citations(self):
+        for spec in all_specs():
+            assert spec.lemma
+
+    def test_duplicate_registration_rejected(self):
+        from repro.protocols.base import ProtocolSpec, register
+
+        spec = get_spec("trivial@mp-cr")
+        clone = ProtocolSpec(
+            name=spec.name, title="x", model=spec.model, validity="SV1",
+            lemma="-", solvable=lambda n, k, t: False, make=lambda n, k, t: None,
+        )
+        with pytest.raises(ValueError):
+            register(clone)
+
+
+class TestTagged:
+    def test_accepts_well_formed(self):
+        assert tagged(("VAL", "v"), "VAL", 1)
+        assert tagged(("ECHO", 3, "v"), "ECHO", 2)
+
+    def test_rejects_wrong_tag(self):
+        assert not tagged(("VAL", "v"), "ECHO", 1)
+
+    def test_rejects_wrong_arity(self):
+        assert not tagged(("VAL",), "VAL", 1)
+        assert not tagged(("VAL", "a", "b"), "VAL", 1)
+
+    def test_rejects_non_tuple(self):
+        assert not tagged("VAL", "VAL", 1)
+        assert not tagged(None, "VAL", 1)
+        assert not tagged(42, "VAL", 1)
+
+    def test_rejects_unhashable_fields(self):
+        assert not tagged(("VAL", ["list"]), "VAL", 1)
+
+
+class TestTrivialProtocol:
+    def test_mp_sv1_at_k_equals_n(self):
+        n = 4
+        report = run_mp(
+            [TrivialOwnValue() for _ in range(n)],
+            [f"v{i}" for i in range(n)],
+            k=n, t=n, validity=SV1,
+        )
+        assert report.ok
+        for pid in range(n):
+            assert report.outcome.decisions[pid] == f"v{pid}"
+
+    def test_sm_sv1_at_k_equals_n(self):
+        n = 4
+        report = run_sm(
+            [trivial_own_value_sm] * n,
+            [f"v{i}" for i in range(n)],
+            k=n, t=n, validity=SV1,
+        )
+        assert report.ok
+
+    def test_no_messages_sent(self):
+        report = run_mp(
+            [TrivialOwnValue() for _ in range(3)],
+            list("abc"), k=3, t=3, validity=SV1,
+        )
+        assert report.result.message_count == 0

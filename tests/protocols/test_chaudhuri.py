@@ -1,0 +1,134 @@
+"""Tests for Chaudhuri's k-set consensus protocol (Lemma 3.1)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validity import RV1
+from repro.failures.crash import CrashPlan, CrashPoint, RandomCrashes
+from repro.harness.runner import run_mp
+from repro.net.schedulers import FifoScheduler, LifoScheduler, RandomScheduler
+from repro.protocols.chaudhuri import ChaudhuriKSet
+
+
+def run(n, k, t, inputs, scheduler=None, crash_adversary=None):
+    return run_mp(
+        [ChaudhuriKSet() for _ in range(n)],
+        inputs,
+        k,
+        t,
+        RV1,
+        scheduler=scheduler,
+        crash_adversary=crash_adversary,
+    )
+
+
+class TestFailureFree:
+    def test_all_decide_global_minimum_under_fifo(self):
+        report = run(5, 3, 2, [4, 1, 3, 2, 5], FifoScheduler())
+        assert report.ok
+        # FIFO delivers p0..p(n-t-1)'s broadcasts first, min among them
+        assert set(report.outcome.decisions.values()) <= {1, 2, 3, 4}
+
+    def test_unanimous_inputs(self):
+        report = run(5, 2, 1, ["v"] * 5)
+        assert report.ok
+        assert set(report.outcome.decisions.values()) == {"v"}
+
+    def test_distinct_decisions_at_most_t_plus_one(self):
+        for seed in range(25):
+            report = run(
+                7, 3, 2, [f"v{i}" for i in range(7)], RandomScheduler(seed)
+            )
+            assert report.ok
+            assert len(report.outcome.correct_decision_values()) <= 3
+
+    def test_string_and_int_inputs(self):
+        report = run(4, 2, 1, [10, 3, 7, 3])
+        assert report.ok
+        assert set(report.outcome.decisions.values()) <= {3, 7, 10}
+
+
+class TestWithCrashes:
+    def test_tolerates_t_crashes(self):
+        report = run(
+            6, 3, 2,
+            [f"v{i}" for i in range(6)],
+            crash_adversary=CrashPlan({
+                0: CrashPoint(after_steps=0),
+                1: CrashPoint(after_sends=2),
+            }),
+        )
+        assert report.ok
+
+    def test_partial_broadcast_does_not_block(self):
+        report = run(
+            5, 2, 1,
+            list("edcba"),
+            crash_adversary=CrashPlan({0: CrashPoint(after_sends=1)}),
+        )
+        assert report.ok
+
+
+class TestRobustness:
+    def test_ignores_malformed_messages(self):
+        from repro.failures.byzantine import GarbageProcess
+        from repro.harness.runner import run_mp as run_mp_byz
+
+        n = 5
+        processes = [GarbageProcess(seed=2)] + [
+            ChaudhuriKSet() for _ in range(n - 1)
+        ]
+        # run under RV1's *weaker* sibling WV2 since RV1 is unachievable
+        # in Byzantine settings (Lemma 3.10); here we only check liveness
+        # and robustness of parsing.
+        from repro.core.validity import WV2
+
+        report = run_mp_byz(
+            processes, ["v"] * n, k=2, t=1, validity=WV2, byzantine=[0]
+        )
+        assert report.verdicts["termination"]
+        assert report.verdicts["agreement"]
+
+    def test_duplicate_sender_values_counted_once(self):
+        # A protocol process receiving two values from the same sender
+        # must not double-count; simulate via direct handler calls.
+        from repro.runtime.process import Context
+
+        class StubCtx(Context):
+            def __init__(self):
+                super().__init__(0, 4, 1, "z")
+                self.sent = []
+
+            def _emit_send(self, dst, payload):
+                self.sent.append((dst, payload))
+
+        ctx = StubCtx()
+        process = ChaudhuriKSet()
+        process.on_start(ctx)
+        process.on_message(ctx, 1, ("CH-VAL", "a"))
+        process.on_message(ctx, 1, ("CH-VAL", "b"))  # duplicate sender
+        assert not ctx.decided  # still only 1 distinct sender counted
+        process.on_message(ctx, 2, ("CH-VAL", "c"))
+        process.on_message(ctx, 3, ("CH-VAL", "d"))
+        assert ctx.decided
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=9),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_property_agreement_and_validity_under_random_runs(n, seed):
+    """RV1 + agreement hold for every schedule/crash pattern with t < k."""
+    rng = random.Random(seed)
+    k = rng.randint(2, n - 1)
+    t = rng.randint(1, k - 1)
+    inputs = [rng.choice("abcdef") for _ in range(n)]
+    report = run(
+        n, k, t, inputs,
+        scheduler=RandomScheduler(seed),
+        crash_adversary=RandomCrashes(n, t, seed=seed),
+    )
+    assert report.ok, report.summary()

@@ -1,0 +1,187 @@
+"""Tests for the ℓ-echo broadcast protocol (Lemma 3.14)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.harness.runner import run_mp
+from repro.core.validity import WV2
+from repro.net.schedulers import FifoScheduler, RandomScheduler
+from repro.protocols.echo import (
+    ECHO,
+    INIT,
+    LEchoEngine,
+    accept_threshold,
+    lemma_3_14_region,
+)
+from repro.runtime.process import Context, Process
+
+
+class EchoUser(Process):
+    """Broadcasts its input via ℓ-echo and records accepted pairs."""
+
+    def __init__(self, ell):
+        self.accepted = []
+        self.engine = LEchoEngine(ell, self._on_accept)
+
+    def _on_accept(self, ctx, origin, message):
+        self.accepted.append((origin, message))
+        if not ctx.decided and len(self.accepted) >= ctx.n - ctx.t:
+            ctx.decide(message)
+
+    def on_start(self, ctx):
+        self.engine.broadcast(ctx, ctx.input)
+
+    def on_message(self, ctx, sender, payload):
+        self.engine.handle(ctx, sender, payload)
+
+
+class TestThreshold:
+    def test_strictly_above_bound(self):
+        # (n + l t)/(l + 1) with n=7, t=2, l=1: 4.5 -> need 5
+        assert accept_threshold(7, 2, 1) == 5
+        # integer bound: n=8, t=1, l=1: 4.5 -> 5; n=9,t=3,l=2: 5 -> 6
+        assert accept_threshold(9, 3, 2) == 6
+
+    def test_region_predicate(self):
+        assert lemma_3_14_region(7, 2, 1)       # 2 < 7/3
+        assert not lemma_3_14_region(7, 3, 1)   # 3 >= 7/3
+        assert lemma_3_14_region(7, 2, 2)       # 2 < 14/5
+
+    def test_ell_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LEchoEngine(0, lambda ctx, s, m: None)
+
+
+class TestCorrectSender:
+    def test_all_correct_accept(self):
+        n, t, ell = 7, 2, 1
+        processes = [EchoUser(ell) for _ in range(n)]
+        report = run_mp(
+            processes, [f"m{i}" for i in range(n)], k=n - 1, t=t,
+            validity=WV2, stop_when_decided=False,
+        )
+        for pid, process in enumerate(processes):
+            origins = {origin for origin, _ in process.accepted}
+            assert origins == set(range(n)), pid
+            # and each correct sender's message is the genuine one
+            for origin, message in process.accepted:
+                assert message == f"m{origin}"
+
+    def test_acceptance_under_random_schedules(self):
+        n, t, ell = 7, 2, 2
+        for seed in range(5):
+            processes = [EchoUser(ell) for _ in range(n)]
+            report = run_mp(
+                processes, ["m"] * n, k=n - 1, t=t, validity=WV2,
+                scheduler=RandomScheduler(seed), stop_when_decided=False,
+            )
+            for process in processes:
+                assert len({o for o, _ in process.accepted}) == n
+
+
+class SplittingEchoer(Process):
+    """Byzantine sender: inits different values to different peers and
+    echoes inconsistently, trying to get many values accepted."""
+
+    def __init__(self, values, max_bursts=20):
+        self.values = values
+        self._bursts = max_bursts
+
+    def on_start(self, ctx):
+        for dst in range(ctx.n):
+            value = self.values[dst % len(self.values)]
+            ctx.send(dst, (INIT, value))
+
+    def on_message(self, ctx, sender, payload):
+        # echo every candidate value for itself to everyone, trying to
+        # push all of them over the threshold (bounded bursts keep the
+        # run finite; an unbounded Byzantine gains nothing more here)
+        if sender == ctx.pid or self._bursts <= 0:
+            return
+        if isinstance(payload, tuple) and payload and payload[0] == ECHO:
+            self._bursts -= 1
+            for dst in range(ctx.n):
+                if dst == ctx.pid:
+                    continue
+                for value in self.values:
+                    ctx.send(dst, (ECHO, ctx.pid, value))
+
+
+class TestByzantineSender:
+    @pytest.mark.parametrize("ell", [1, 2])
+    def test_at_most_ell_values_accepted_per_sender(self, ell):
+        n, t = 9, 2
+        assert lemma_3_14_region(n, t, ell)
+        byz = SplittingEchoer(["w1", "w2", "w3", "w4"])
+        processes = [byz] + [EchoUser(ell) for _ in range(n - 1)]
+        report = run_mp(
+            processes, ["m"] * n, k=n - 1, t=t, validity=WV2,
+            byzantine=[0], stop_when_decided=False, max_ticks=300_000,
+        )
+        for process in processes[1:]:
+            from_byz = [m for o, m in process.accepted if o == 0]
+            assert len(from_byz) <= ell
+
+    def test_correct_senders_still_accepted_despite_split(self):
+        n, t, ell = 9, 2, 1
+        byz = SplittingEchoer(["w1", "w2"])
+        processes = [byz] + [EchoUser(ell) for _ in range(n - 1)]
+        run_mp(
+            processes, [f"m{i}" for i in range(n)], k=n - 1, t=t,
+            validity=WV2, byzantine=[0], stop_when_decided=False,
+            max_ticks=300_000,
+        )
+        for process in processes[1:]:
+            origins = {o for o, _ in process.accepted}
+            assert set(range(1, n)) <= origins
+
+
+class TestEngineInternals:
+    def make_ctx(self, n=5, t=1):
+        class StubCtx(Context):
+            def __init__(self):
+                super().__init__(0, n, t, "x")
+                self.sent = []
+
+            def _emit_send(self, dst, payload):
+                self.sent.append((dst, payload))
+
+        return StubCtx()
+
+    def test_echoes_only_first_init_per_sender(self):
+        ctx = self.make_ctx()
+        engine = LEchoEngine(1, lambda c, s, m: None)
+        engine.handle(ctx, 3, (INIT, "a"))
+        echoes_after_first = len(ctx.sent)
+        engine.handle(ctx, 3, (INIT, "b"))
+        assert len(ctx.sent) == echoes_after_first
+
+    def test_one_vote_per_voter(self):
+        accepted = []
+        ctx = self.make_ctx(n=5, t=1)
+        engine = LEchoEngine(1, lambda c, s, m: accepted.append((s, m)))
+        threshold = accept_threshold(5, 1, 1)
+        for _ in range(threshold + 3):
+            engine.handle(ctx, 2, (ECHO, 4, "m"))  # same voter repeatedly
+        assert not accepted
+
+    def test_accepts_at_threshold(self):
+        accepted = []
+        ctx = self.make_ctx(n=5, t=1)
+        engine = LEchoEngine(1, lambda c, s, m: accepted.append((s, m)))
+        for voter in range(accept_threshold(5, 1, 1)):
+            engine.handle(ctx, voter, (ECHO, 4, "m"))
+        assert accepted == [(4, "m")]
+
+    def test_ignores_out_of_range_origin(self):
+        ctx = self.make_ctx()
+        engine = LEchoEngine(1, lambda c, s, m: None)
+        assert engine.handle(ctx, 1, (ECHO, 99, "m"))  # consumed, ignored
+        assert engine.accepted_count() == 0
+
+    def test_non_echo_payloads_not_consumed(self):
+        ctx = self.make_ctx()
+        engine = LEchoEngine(1, lambda c, s, m: None)
+        assert not engine.handle(ctx, 1, ("OTHER", "m"))
+        assert not engine.handle(ctx, 1, 42)

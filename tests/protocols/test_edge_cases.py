@@ -1,0 +1,134 @@
+"""Edge-case tests across protocols: boundary instance shapes.
+
+The paper's decision rules have branches that only activate in corner
+geometries (``n <= 2t`` for PROTOCOL F's ``r <= t`` branch, ``n - t = 1``
+views, thresholds landing exactly on integers).  Each case here pins one
+such corner.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.values import DEFAULT
+from repro.core.validity import RV1, RV2, SV2
+from repro.failures.crash import CrashPlan, CrashPoint
+from repro.harness.runner import run_mp, run_sm
+from repro.protocols.chaudhuri import ChaudhuriKSet
+from repro.protocols.echo import accept_threshold
+from repro.protocols.protocol_a import ProtocolA
+from repro.protocols.protocol_b import ProtocolB
+from repro.protocols.protocol_f import protocol_f
+from repro.shm.schedulers import StagedScheduler
+
+
+class TestMinimalViews:
+    def test_protocol_a_with_view_of_one(self):
+        # n=3, t=2: n-t=1 -- each process may decide on its own value only
+        report = run_mp(
+            [ProtocolA() for _ in range(3)],
+            ["v", "v", "v"], k=3, t=2, validity=RV2,
+        )
+        assert report.ok
+        assert set(report.outcome.decisions.values()) == {"v"}
+
+    def test_flood_min_with_view_of_one(self):
+        # t = k-1 = n-1: degenerate but legal; each decides something seen
+        report = run_mp(
+            [ChaudhuriKSet() for _ in range(3)],
+            ["c", "a", "b"], k=3, t=2, validity=RV1,
+        )
+        assert report.ok
+
+    def test_two_processes(self):
+        report = run_mp(
+            [ProtocolA(), ProtocolA()],
+            ["v", "v"], k=2, t=1, validity=RV2,
+        )
+        assert report.ok
+        assert set(report.outcome.decisions.values()) == {"v"}
+
+
+class TestProtocolFSmallRBranch:
+    def test_r_le_t_branch_in_region(self):
+        """n <= 2t with k > t+1: the 'decides on its own input' branch
+        of PROTOCOL F is reachable inside the lemma's region."""
+        n, k, t = 6, 5, 3  # n = 2t, k > t+1
+        report = run_sm(
+            [protocol_f] * n,
+            [f"v{i}" for i in range(n)],
+            k, t, SV2,
+            scheduler=StagedScheduler(
+                [[0, 1, 2], [3], [4], [5]], release_on_stall=True
+            ),
+        )
+        assert report.ok
+        # the first three scanners saw r = 3 = t and kept their values
+        for pid in (0, 1, 2):
+            assert report.outcome.decisions[pid] == f"v{pid}"
+
+    def test_exactly_t_plus_two_distinct_realizable(self):
+        """PROTOCOL F's t+2 bound is tight: a staged run achieves it."""
+        n, k, t = 6, 5, 3
+        report = run_sm(
+            [protocol_f] * n,
+            [f"v{i}" for i in range(n)],
+            k, t, SV2,
+            scheduler=StagedScheduler(
+                [[0, 1, 2], [3], [4], [5]], release_on_stall=True
+            ),
+        )
+        assert report.ok
+        assert len(report.outcome.correct_decision_values()) == t + 2
+
+
+class TestThresholdBoundaries:
+    def test_protocol_b_threshold_exact(self):
+        """n - 2t matching is required, not n - 2t + 1: craft a run with
+        exactly n - 2t matches that must decide the own value."""
+        n, k, t = 5, 3, 1  # n - 2t = 3
+        inputs = ["v", "v", "v", "w", "w"]
+        # p0 receives exactly {p0, p1, p2, p3} -> 3 v's (= n-2t), one w
+        from repro.net.schedulers import PredicateScheduler
+
+        def allow(kernel, delivery):
+            if delivery.receiver == 0:
+                return delivery.sender != 4 or kernel.has_decided(0)
+            return True
+
+        report = run_mp(
+            [ProtocolB() for _ in range(n)],
+            inputs, k, t, SV2,
+            scheduler=PredicateScheduler(allow, release_on_stall=True),
+            stop_when_decided=False,
+        )
+        assert report.outcome.decisions[0] == "v"
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=200),
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_echo_threshold_is_minimal_strict_bound(self, n, t, ell):
+        """accept_threshold is the least count strictly above (n+lt)/(l+1)."""
+        count = accept_threshold(n, t, ell)
+        assert count * (ell + 1) > n + ell * t
+        assert (count - 1) * (ell + 1) <= n + ell * t
+
+
+class TestCrashAtEveryPoint:
+    @pytest.mark.parametrize("sends", range(0, 11))
+    def test_protocol_b_all_partial_broadcast_points(self, sends):
+        """Crashing the divergent process after each possible number of
+        sends never breaks SV2 (n=5, t=1)."""
+        n, k, t = 5, 3, 1
+        inputs = ["w"] + ["v"] * 4
+        report = run_mp(
+            [ProtocolB() for _ in range(n)],
+            inputs, k, t, SV2,
+            crash_adversary=CrashPlan({0: CrashPoint(after_sends=sends)}),
+        )
+        assert report.ok, (sends, report.summary())
+        for pid in range(1, n):
+            assert report.outcome.decisions[pid] == "v"

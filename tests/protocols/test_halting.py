@@ -1,0 +1,33 @@
+"""Tests for the halting-variant probe of the Section 5 open problem."""
+
+from repro.protocols.halting import HaltingProtocolC, straggler_run
+
+
+class TestStragglerRun:
+    def test_halting_variant_violates_termination(self):
+        report = straggler_run(halting=True)
+        assert not report.verdicts["termination"]
+        # the straggler is the one stuck
+        assert report.outcome.n - 1 not in report.outcome.decisions
+
+    def test_plain_protocol_c_survives_the_same_schedule(self):
+        report = straggler_run(halting=False)
+        assert report.ok, report.summary()
+
+    def test_halting_variant_safe_when_it_does_decide(self):
+        # agreement and validity still hold for whoever decided
+        report = straggler_run(halting=True)
+        assert report.verdicts["agreement"]
+        assert report.verdicts["validity"]
+        deciders = report.outcome.correct_decisions()
+        assert set(deciders.values()) == {"v"}
+
+    def test_halting_flag_set_after_decision(self):
+        from repro.core.validity import SV2
+        from repro.harness.runner import run_mp
+
+        n, k, t = 7, 4, 1
+        processes = [HaltingProtocolC(1) for _ in range(n)]
+        report = run_mp(processes, ["v"] * n, k, t, SV2)
+        assert report.ok
+        assert all(p.halted for p in processes)

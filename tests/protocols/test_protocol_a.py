@@ -1,0 +1,119 @@
+"""Tests for PROTOCOL A (Lemmas 3.7, 3.12, 3.13)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.values import DEFAULT
+from repro.core.validity import RV2, WV2
+from repro.failures.byzantine import MultiFaceProcess, MuteProcess
+from repro.failures.crash import CrashPlan, CrashPoint, RandomCrashes
+from repro.harness.runner import run_mp
+from repro.net.schedulers import FifoScheduler, RandomScheduler
+from repro.protocols.protocol_a import ProtocolA, _lemma_3_7
+
+
+def run(n, k, t, inputs, validity=RV2, **kwargs):
+    return run_mp(
+        [ProtocolA() for _ in range(n)], inputs, k, t, validity, **kwargs
+    )
+
+
+class TestCrashModel:
+    def test_unanimous_decides_that_value(self):
+        report = run(6, 3, 3, ["v"] * 6)
+        assert report.ok
+        assert set(report.outcome.decisions.values()) == {"v"}
+
+    def test_mixed_inputs_fall_back_to_default(self):
+        report = run(4, 2, 1, ["a", "b", "a", "b"], scheduler=FifoScheduler())
+        assert report.ok
+        assert DEFAULT in report.outcome.decisions.values()
+
+    def test_at_most_two_values_in_its_region(self):
+        # k=2, n=9: region t < (k-1)n/k = 4.5
+        for seed in range(20):
+            report = run(
+                9, 2, 4,
+                [random.Random(seed).choice("ab") for _ in range(9)],
+                scheduler=RandomScheduler(seed),
+            )
+            assert report.ok
+
+    def test_unanimity_survives_partial_broadcast_crash(self):
+        report = run(
+            5, 2, 2, ["v"] * 5,
+            crash_adversary=CrashPlan({
+                0: CrashPoint(after_sends=1),
+                1: CrashPoint(after_steps=0),
+            }),
+        )
+        assert report.ok
+        for pid in (2, 3, 4):
+            assert report.outcome.decisions[pid] == "v"
+
+    def test_region_predicate_matches_lemma(self):
+        assert _lemma_3_7(9, 3, 5)       # t < 6
+        assert not _lemma_3_7(9, 3, 6)   # t = (k-1)n/k
+        assert _lemma_3_7(64, 2, 31)
+        assert not _lemma_3_7(64, 2, 32)
+
+
+class TestByzantineModel:
+    def test_mute_byzantine_cannot_block(self):
+        report = run(
+            7, 4, 3, ["v"] * 7, validity=WV2,
+            byzantine=[0],
+        )
+        # replace p0's behaviour with mute
+        report = run_mp(
+            [MuteProcess()] + [ProtocolA() for _ in range(6)],
+            ["v"] * 7, 4, 3, WV2, byzantine=[0],
+        )
+        assert report.verdicts["termination"]
+        assert report.verdicts["agreement"]
+
+    def test_two_faced_byzantine_within_region(self):
+        # Lemma 3.12 point: n=9, t=2 < n/2, k >= (7/5)+1 -> k >= 3
+        n, k, t = 9, 3, 2
+        byz = MultiFaceProcess(
+            ProtocolA,
+            {"a": "x", "b": "y"},
+            lambda peer: "a" if peer < 5 else "b",
+        )
+        for seed in range(10):
+            report = run_mp(
+                [byz if pid == 0 else ProtocolA() for pid in range(n)],
+                ["v"] * n, k, t, WV2,
+                byzantine=[0],
+                scheduler=RandomScheduler(seed),
+            )
+            assert report.ok, report.summary()
+
+    def test_failure_free_byzantine_model_unanimous(self):
+        # WV2 bites only in failure-free runs; check the protocol itself.
+        report = run(6, 4, 2, ["w"] * 6, validity=WV2)
+        assert report.ok
+        assert set(report.outcome.decisions.values()) == {"w"}
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=4, max_value=10), st.integers(min_value=0, max_value=10**6))
+def test_property_rv2_region_clean(n, seed):
+    """Random runs inside Lemma 3.7's region never violate SC(k,t,RV2)."""
+    rng = random.Random(seed)
+    k = rng.randint(2, n - 1)
+    max_t = max(1, (k - 1) * n // k - (1 if (k - 1) * n % k == 0 else 0))
+    if max_t < 1:
+        return
+    t = rng.randint(1, max_t)
+    if not _lemma_3_7(n, k, t):
+        return
+    inputs = [rng.choice(["v", "v", "w"]) for _ in range(n)]
+    report = run(
+        n, k, t, inputs,
+        scheduler=RandomScheduler(seed),
+        crash_adversary=RandomCrashes(n, t, seed=seed),
+    )
+    assert report.ok, report.summary()

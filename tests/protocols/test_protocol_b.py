@@ -1,0 +1,110 @@
+"""Tests for PROTOCOL B (Lemma 3.8)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.values import DEFAULT
+from repro.core.validity import SV2
+from repro.failures.crash import CrashPlan, CrashPoint, RandomCrashes
+from repro.harness.runner import run_mp
+from repro.net.schedulers import FifoScheduler, LifoScheduler, RandomScheduler
+from repro.protocols.protocol_b import ProtocolB, lemma_3_8
+
+
+def run(n, k, t, inputs, **kwargs):
+    return run_mp([ProtocolB() for _ in range(n)], inputs, k, t, SV2, **kwargs)
+
+
+class TestBasics:
+    def test_unanimous_correct_decide_their_value(self):
+        report = run(9, 4, 3, ["v"] * 9)
+        assert report.ok
+        assert set(report.outcome.decisions.values()) == {"v"}
+
+    def test_decision_is_own_input_or_default(self):
+        for seed in range(15):
+            inputs = [random.Random(seed * 7 + i).choice("abc") for i in range(9)]
+            report = run(9, 4, 3, inputs, scheduler=RandomScheduler(seed))
+            assert report.ok
+            for pid, decision in report.outcome.decisions.items():
+                assert decision == inputs[pid] or decision is DEFAULT
+
+    def test_own_message_required_before_deciding(self):
+        # Under LIFO the process's own broadcast can arrive late; the
+        # protocol must wait for it rather than decide early.
+        report = run(6, 3, 2, ["v"] * 6, scheduler=LifoScheduler())
+        assert report.ok
+        assert set(report.outcome.decisions.values()) == {"v"}
+
+    def test_unanimity_with_crashes(self):
+        report = run(
+            9, 4, 3, ["v"] * 9,
+            crash_adversary=CrashPlan({
+                0: CrashPoint(after_steps=0),
+                1: CrashPoint(after_sends=4),
+                2: CrashPoint(after_steps=1),
+            }),
+        )
+        assert report.ok
+        for pid in range(3, 9):
+            assert report.outcome.decisions[pid] == "v"
+
+    def test_region_predicate(self):
+        assert lemma_3_8(9, 4, 3)        # t < 27/8
+        assert not lemma_3_8(9, 4, 4)
+        assert lemma_3_8(64, 2, 15)      # t < 16
+        assert not lemma_3_8(64, 2, 16)
+
+
+class TestSV2Semantics:
+    def test_correct_unanimity_despite_faulty_divergence(self):
+        # Faulty processes start with other values but crash immediately:
+        # SV2 still requires correct processes to decide v.
+        n, k, t = 9, 4, 3
+        inputs = ["x", "y", "z"] + ["v"] * 6
+        report = run(
+            n, k, t, inputs,
+            crash_adversary=CrashPlan({
+                0: CrashPoint(after_steps=0),
+                1: CrashPoint(after_steps=0),
+                2: CrashPoint(after_steps=0),
+            }),
+        )
+        assert report.ok
+        for pid in range(3, 9):
+            assert report.outcome.decisions[pid] == "v"
+
+    def test_divergent_faulty_messages_tolerated(self):
+        # Faulty processes broadcast fully before crashing: their alien
+        # values are seen but n - 2t matching still carries the day.
+        n, k, t = 9, 4, 2
+        inputs = ["x", "y"] + ["v"] * 7
+        report = run(
+            n, k, t, inputs,
+            crash_adversary=CrashPlan({
+                0: CrashPoint(after_steps=1),
+                1: CrashPoint(after_steps=1),
+            }),
+        )
+        assert report.ok
+        for pid in range(2, 9):
+            assert report.outcome.decisions[pid] == "v"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=5, max_value=11), st.integers(min_value=0, max_value=10**6))
+def test_property_sv2_region_clean(n, seed):
+    rng = random.Random(seed)
+    k = rng.randint(2, n - 1)
+    t = rng.randint(1, n)
+    if not lemma_3_8(n, k, t):
+        return
+    inputs = [rng.choice(["v", "w"]) for _ in range(n)]
+    report = run(
+        n, k, t, inputs,
+        scheduler=RandomScheduler(seed),
+        crash_adversary=RandomCrashes(n, t, seed=seed),
+    )
+    assert report.ok, report.summary()

@@ -1,0 +1,125 @@
+"""Tests for PROTOCOL D (Lemma 3.16)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lemmas import z_function
+from repro.core.validity import WV1
+from repro.failures.byzantine import MultiFaceProcess, MuteProcess
+from repro.harness.runner import run_mp
+from repro.net.schedulers import LifoScheduler, RandomScheduler
+from repro.protocols.protocol_d import ProtocolD
+
+
+def run(n, k, t, inputs, byzantine=None, **kwargs):
+    byz = dict(byzantine or {})
+    processes = [byz.get(pid) or ProtocolD() for pid in range(n)]
+    return run_mp(
+        processes, inputs, k, t, WV1, byzantine=sorted(byz), **kwargs
+    )
+
+
+class TestFailureFree:
+    def test_broadcasters_decide_own_values(self):
+        n, t = 7, 2
+        k = z_function(n, t)  # 3
+        inputs = [f"v{i}" for i in range(n)]
+        report = run(n, k, t, inputs)
+        assert report.ok
+        for pid in range(t + 1):
+            assert report.outcome.decisions[pid] == inputs[pid]
+
+    def test_others_adopt_a_broadcaster_value(self):
+        n, t = 7, 2
+        k = z_function(n, t)
+        inputs = [f"v{i}" for i in range(n)]
+        report = run(n, k, t, inputs)
+        broadcaster_values = set(inputs[: t + 1])
+        for pid in range(t + 1, n):
+            assert report.outcome.decisions[pid] in broadcaster_values
+
+    def test_agreement_bound_z(self):
+        for seed in range(10):
+            n, t = 8, 2
+            k = z_function(n, t)
+            inputs = [f"v{i}" for i in range(n)]
+            report = run(n, k, t, inputs, scheduler=RandomScheduler(seed))
+            assert report.ok
+            assert len(report.outcome.correct_decision_values()) <= k
+
+    def test_reordered_delivery(self):
+        n, t = 7, 2
+        k = z_function(n, t)
+        report = run(n, k, t, [f"v{i}" for i in range(n)],
+                     scheduler=LifoScheduler())
+        assert report.ok
+
+
+class TestByzantine:
+    def test_mute_broadcaster_does_not_block(self):
+        n, t = 7, 2
+        k = z_function(n, t)
+        report = run(
+            n, k, t, [f"v{i}" for i in range(n)],
+            byzantine={0: MuteProcess()},
+        )
+        assert report.verdicts["termination"]
+        assert report.verdicts["agreement"]
+
+    def test_equivocating_broadcaster_bounded_by_z(self):
+        n, t = 7, 2
+        k = z_function(n, t)
+        # Byzantine broadcaster shows a different value to each half.
+        # (Process objects are single-use: build a fresh one per run.)
+        def make_byz():
+            return MultiFaceProcess(
+                ProtocolD,
+                {"a": "wA", "b": "wB"},
+                lambda peer: "a" if peer < n // 2 else "b",
+            )
+
+        for seed in range(8):
+            report = run(
+                n, k, t, [f"v{i}" for i in range(n)],
+                byzantine={1: make_byz()},
+                scheduler=RandomScheduler(seed),
+            )
+            assert report.verdicts["agreement"], report.summary()
+            assert report.verdicts["termination"], report.summary()
+
+    def test_echoes_never_repeat_per_broadcaster(self):
+        n, t = 7, 2
+        k = z_function(n, t)
+        report = run(n, k, t, [f"v{i}" for i in range(n)],
+                     stop_when_decided=False)
+        # each correct process echoes at most once per broadcaster
+        for pid in range(n):
+            echo_origins = [
+                r.payload[1]
+                for r in report.result.trace.of_kind("send")
+                if r.pid == pid and r.payload[0] == "D-ECHO" and r.peer == 0
+            ]
+            assert len(echo_origins) == len(set(echo_origins))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_property_wv1_region_clean(seed):
+    rng = random.Random(seed)
+    n = rng.randint(5, 9)
+    t = rng.randint(1, n // 3) if n >= 6 else 1
+    k = z_function(n, t)
+    if k >= n:
+        return
+    inputs = [f"v{i}" for i in range(n)]
+    byzantine = {}
+    for pid in rng.sample(range(n), rng.randint(0, t)):
+        byzantine[pid] = MuteProcess()
+    report = run(
+        n, k, t, inputs,
+        byzantine=byzantine,
+        scheduler=RandomScheduler(seed),
+    )
+    assert report.ok, report.summary()

@@ -1,0 +1,128 @@
+"""Tests for PROTOCOL E (Lemmas 4.5 and 4.10)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.values import DEFAULT
+from repro.core.validity import RV2, WV2
+from repro.failures.byzantine_sm import garbage_writer, register_rewriter
+from repro.failures.crash import CrashPlan, CrashPoint, RandomCrashes
+from repro.harness.runner import run_sm
+from repro.shm.schedulers import (
+    RandomProcessScheduler,
+    RoundRobinScheduler,
+    StagedScheduler,
+)
+from repro.protocols.protocol_e import protocol_e
+
+
+def run(n, k, t, inputs, validity=RV2, programs=None, **kwargs):
+    return run_sm(
+        programs or [protocol_e] * n, inputs, k, t, validity, **kwargs
+    )
+
+
+class TestCrashModel:
+    def test_unanimous(self):
+        report = run(5, 2, 5, ["v"] * 5)
+        assert report.ok
+        assert set(report.outcome.decisions.values()) == {"v"}
+
+    def test_mixed_inputs_at_most_two_values(self):
+        for seed in range(20):
+            inputs = [random.Random(seed + i).choice("ab") for i in range(6)]
+            report = run(
+                6, 2, 6, inputs,
+                scheduler=RandomProcessScheduler(seed),
+            )
+            assert report.ok
+            values = report.outcome.correct_decision_values()
+            assert len(values) <= 2
+
+    def test_wait_free_with_all_but_one_crashed(self):
+        # t = n: even a single surviving process decides alone.
+        n = 5
+        report = run(
+            n, 2, n, ["v"] * n,
+            crash_adversary=CrashPlan({
+                pid: CrashPoint(after_steps=0) for pid in range(n - 1)
+            }),
+        )
+        assert report.ok
+        assert report.outcome.decisions[n - 1] == "v"
+
+    def test_first_completed_write_seen_by_all(self):
+        # Run p0 fully first; whatever others do, everybody reads p0's
+        # value, so decisions are {v0} or {default}.
+        n = 5
+        inputs = ["x"] + ["y"] * (n - 1)
+        report = run(
+            n, 2, n, inputs,
+            scheduler=StagedScheduler([[0]], release_on_stall=True),
+        )
+        assert report.ok
+        for decision in report.outcome.decisions.values():
+            assert decision == "x" or decision is DEFAULT or decision == "y"
+        # p0 itself saw only x (scan before others wrote)
+        assert report.outcome.decisions[0] == "x"
+
+    def test_two_distinct_decisions_realizable(self):
+        # The k = 2 bound is tight: some schedule yields two values.
+        n = 4
+        seen = set()
+        for seed in range(30):
+            report = run(
+                n, 2, n, ["a", "b", "b", "b"],
+                scheduler=RandomProcessScheduler(seed),
+            )
+            seen.add(frozenset(
+                "default" if v is DEFAULT else v
+                for v in report.outcome.decisions.values()
+            ))
+        assert any(len(s) == 2 for s in seen)
+
+
+class TestByzantineModel:
+    def test_garbage_register_forces_default_but_agreement_holds(self):
+        n = 5
+        report = run(
+            n, 2, 1, ["v"] * n, validity=WV2,
+            programs=[protocol_e] * (n - 1) + [garbage_writer(seed=3)],
+            byzantine=[n - 1],
+        )
+        assert report.ok
+
+    def test_rewriter_cannot_force_three_values(self):
+        n = 5
+        for seed in range(10):
+            report = run(
+                n, 2, 1, ["a", "a", "b", "b", "x"], validity=WV2,
+                programs=[protocol_e] * (n - 1) + [
+                    register_rewriter(["p", "q", "r"])
+                ],
+                byzantine=[n - 1],
+                scheduler=RandomProcessScheduler(seed),
+            )
+            assert report.verdicts["agreement"], report.summary()
+
+    def test_failure_free_byzantine_model_is_wv2_clean(self):
+        report = run(5, 2, 2, ["v"] * 5, validity=WV2)
+        assert report.ok
+        assert set(report.outcome.decisions.values()) == {"v"}
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=10**6))
+def test_property_rv2_always_clean_in_sm_cr(n, seed):
+    """PROTOCOL E is correct for every t -- the whole Fig. 5 RV2 panel."""
+    rng = random.Random(seed)
+    t = rng.randint(1, n)
+    inputs = [rng.choice(["v", "w"]) for _ in range(n)]
+    report = run(
+        n, 2, t, inputs,
+        scheduler=RandomProcessScheduler(seed),
+        crash_adversary=RandomCrashes(n, t, seed=seed),
+    )
+    assert report.ok, report.summary()

@@ -1,0 +1,116 @@
+"""Tests for PROTOCOL F (Lemmas 4.7 and 4.12)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.values import DEFAULT
+from repro.core.validity import SV2
+from repro.failures.byzantine_sm import garbage_writer, with_fake_input
+from repro.failures.crash import CrashPlan, CrashPoint, RandomCrashes
+from repro.harness.runner import run_sm
+from repro.shm.schedulers import RandomProcessScheduler, StagedScheduler
+from repro.protocols.protocol_f import protocol_f
+
+
+def run(n, k, t, inputs, programs=None, **kwargs):
+    return run_sm(
+        programs or [protocol_f] * n, inputs, k, t, SV2, **kwargs
+    )
+
+
+class TestCrashModel:
+    def test_unanimous(self):
+        report = run(7, 5, 3, ["v"] * 7)
+        assert report.ok
+        assert set(report.outcome.decisions.values()) == {"v"}
+
+    def test_decisions_are_own_input_or_default(self):
+        n, k, t = 7, 5, 3
+        inputs = list("abcabca")
+        for seed in range(10):
+            report = run(n, k, t, inputs,
+                         scheduler=RandomProcessScheduler(seed))
+            assert report.ok
+            for pid, decision in report.outcome.decisions.items():
+                assert decision == inputs[pid] or decision is DEFAULT
+
+    def test_loops_until_enough_registers_written(self):
+        # Stage p0 alone first: it must keep scanning (not decide early)
+        # until n - t registers are written.
+        n, k, t = 5, 4, 2
+        report = run(
+            n, k, t, [f"v{i}" for i in range(n)],
+            scheduler=StagedScheduler([[0, 1, 2]], release_on_stall=True),
+        )
+        assert report.ok
+        # p0 scanned at least twice: reads > n (one full scan is n reads)
+        p0_reads = [r for r in report.result.trace.of_kind("read") if r.pid == 0]
+        assert len(p0_reads) >= n
+
+    def test_crashes_before_write_do_not_block(self):
+        n, k, t = 7, 5, 3
+        report = run(
+            n, k, t, ["v"] * n,
+            crash_adversary=CrashPlan({
+                0: CrashPoint(after_steps=0),
+                1: CrashPoint(after_steps=0),
+                2: CrashPoint(after_steps=0),
+            }),
+        )
+        assert report.ok
+        for pid in range(3, n):
+            assert report.outcome.decisions[pid] == "v"
+
+    def test_n_le_2t_branch_decides_own(self):
+        # n <= 2t: a process may read r <= t registers and decide its own.
+        n, k, t = 4, 4, 2  # k = n: trivial agreement, exercises the branch
+        report = run(
+            n, k, t, list("wxyz"),
+            scheduler=StagedScheduler([[0, 1], [2], [3]],
+                                      release_on_stall=True),
+        )
+        assert report.ok
+        assert report.outcome.decisions[0] == "w"
+        assert report.outcome.decisions[1] == "x"
+
+
+class TestByzantineModel:
+    def test_garbage_register(self):
+        n, k, t = 7, 5, 3
+        report = run(
+            n, k, t, ["v"] * n,
+            programs=[protocol_f] * (n - 1) + [garbage_writer(seed=9)],
+            byzantine=[n - 1],
+        )
+        assert report.ok
+        for pid in range(n - 1):
+            assert report.outcome.decisions[pid] == "v"
+
+    def test_lying_input(self):
+        n, k, t = 7, 5, 3
+        report = run(
+            n, k, t, ["v"] * n,
+            programs=[protocol_f] * (n - 1) + [
+                with_fake_input(protocol_f, "lie")
+            ],
+            byzantine=[n - 1],
+        )
+        assert report.ok
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=4, max_value=9), st.integers(min_value=0, max_value=10**6))
+def test_property_sv2_region_clean(n, seed):
+    """Random runs with k > t + 1 never violate SC(k, t, SV2)."""
+    rng = random.Random(seed)
+    t = rng.randint(1, n - 3)
+    k = rng.randint(t + 2, n - 1)
+    inputs = [rng.choice(["v", "w"]) for _ in range(n)]
+    report = run(
+        n, k, t, inputs,
+        scheduler=RandomProcessScheduler(seed),
+        crash_adversary=RandomCrashes(n, t, seed=seed),
+    )
+    assert report.ok, report.summary()

@@ -1,0 +1,107 @@
+"""Tests for protocol selection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solvability import Solvability, classify
+from repro.core.validity import (
+    ALL_VALIDITY_CONDITIONS,
+    RV1,
+    RV2,
+    SV1,
+    SV2,
+    WV2,
+    by_code,
+)
+from repro.models import ALL_MODELS, Model
+from repro.protocols.select import (
+    NoProtocolAvailable,
+    candidates,
+    recommend,
+    solve,
+)
+
+
+class TestCandidates:
+    def test_multiple_candidates_ordered_by_cost(self):
+        # SM/CR SV2 at k > t+1 and t < (k-1)n/2k: F, sim-B and sim-C apply
+        options = candidates(Model.SM_CR, SV2, 12, 6, 2)
+        names = [spec.name for spec in options]
+        assert "protocol-f@sm-cr" in names
+        assert "sim-protocol-b@sm-cr" in names
+        # native F precedes any SIMULATION
+        assert names.index("protocol-f@sm-cr") < names.index(
+            "sim-protocol-b@sm-cr"
+        )
+
+    def test_stronger_validity_serves_weaker(self):
+        # asking for WV2 in MP/CR: RV2's PROTOCOL A qualifies
+        options = candidates(Model.MP_CR, WV2, 9, 3, 4)
+        assert any(spec.name.startswith("protocol-a") for spec in options)
+
+    def test_flood_beats_echo_when_both_apply(self):
+        options = candidates(Model.MP_BYZ, WV2, 9, 5, 2)
+        names = [spec.name for spec in options]
+        assert names and names[0].startswith("protocol-a")
+
+    def test_empty_outside_all_regions(self):
+        assert candidates(Model.MP_CR, SV1, 9, 3, 2) == []
+
+
+class TestRecommend:
+    def test_trivial_for_k_equals_n(self):
+        spec = recommend(Model.MP_BYZ, SV1, 6, 6, 6)
+        assert spec.name == "trivial@mp-byz"
+
+    def test_impossible_message(self):
+        with pytest.raises(NoProtocolAvailable, match="provably impossible"):
+            recommend(Model.MP_CR, RV1, 8, 3, 3)
+
+    def test_open_message(self):
+        # MP/CR SV2 gap point
+        with pytest.raises(NoProtocolAvailable, match="open problem"):
+            recommend(Model.MP_CR, SV2, 16, 2, 5)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.sampled_from(ALL_MODELS),
+        st.sampled_from(ALL_VALIDITY_CONDITIONS),
+        st.integers(min_value=4, max_value=12),
+        st.data(),
+    )
+    def test_every_possible_point_has_a_recommendation(self, model, validity, n, data):
+        """Completeness: POSSIBLE per the classifier implies a concrete
+        protocol exists in the registry (at the non-degenerate range)."""
+        k = data.draw(st.integers(min_value=2, max_value=n - 1))
+        t = data.draw(st.integers(min_value=1, max_value=n))
+        if classify(model, validity, n, k, t).status is not Solvability.POSSIBLE:
+            return
+        spec = recommend(model, validity, n, k, t)
+        assert spec.solvable(n, k, t)
+        assert by_code(spec.validity).implies(validity)
+
+
+class TestSolve:
+    def test_end_to_end_mp(self):
+        report = solve(Model.MP_CR, RV1, list("abcdefg"), k=3, t=2, seed=4)
+        assert report.ok
+        assert len(report.outcome.decisions) == 7
+
+    def test_end_to_end_sm(self):
+        report = solve(Model.SM_CR, RV2, ["v"] * 5, k=2, t=5, seed=4)
+        assert report.ok
+        assert set(report.outcome.decisions.values()) == {"v"}
+
+    def test_with_crashes(self):
+        from repro.failures.crash import CrashPlan, CrashPoint
+
+        report = solve(
+            Model.MP_CR, RV1, list("abcde"), k=3, t=2,
+            crash_adversary=CrashPlan({0: CrashPoint(after_steps=0)}),
+        )
+        assert report.ok
+
+    def test_impossible_raises(self):
+        with pytest.raises(NoProtocolAvailable):
+            solve(Model.MP_BYZ, RV1, list("abc"), k=2, t=1)

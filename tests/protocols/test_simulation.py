@@ -1,0 +1,258 @@
+"""Tests for the MP -> SM SIMULATION transform (Section 4)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validity import RV1, SV2, WV1
+from repro.core.lemmas import z_function
+from repro.failures.byzantine import MultiFaceProcess, MuteProcess
+from repro.failures.crash import CrashPlan, CrashPoint, RandomCrashes
+from repro.harness.runner import run_sm
+from repro.protocols.chaudhuri import ChaudhuriKSet
+from repro.protocols.protocol_b import ProtocolB
+from repro.protocols.protocol_c import ProtocolC, best_ell
+from repro.protocols.protocol_d import ProtocolD
+from repro.protocols.simulation import simulate_mp_over_sm
+from repro.shm.ops import Write
+from repro.shm.schedulers import RandomProcessScheduler
+
+
+class TestSimulatedChaudhuri:
+    def test_lemma_4_4_basic(self):
+        n, k, t = 5, 3, 2
+        report = run_sm(
+            [simulate_mp_over_sm(ChaudhuriKSet)] * n,
+            [f"v{i}" for i in range(n)],
+            k, t, RV1,
+        )
+        assert report.ok
+
+    def test_with_crashes(self):
+        n, k, t = 5, 3, 2
+        report = run_sm(
+            [simulate_mp_over_sm(ChaudhuriKSet)] * n,
+            [f"v{i}" for i in range(n)],
+            k, t, RV1,
+            crash_adversary=CrashPlan({
+                0: CrashPoint(after_steps=0),
+                1: CrashPoint(after_steps=3),
+            }),
+        )
+        assert report.ok
+
+    def test_random_interleavings(self):
+        n, k, t = 5, 3, 2
+        for seed in range(8):
+            report = run_sm(
+                [simulate_mp_over_sm(ChaudhuriKSet)] * n,
+                [f"v{i}" for i in range(n)],
+                k, t, RV1,
+                scheduler=RandomProcessScheduler(seed),
+            )
+            assert report.ok, report.summary()
+
+
+class TestSimulatedProtocolB:
+    def test_lemma_4_6(self):
+        n, k, t = 7, 4, 2
+        report = run_sm(
+            [simulate_mp_over_sm(ProtocolB)] * n,
+            ["v"] * n, k, t, SV2,
+        )
+        assert report.ok
+        assert set(report.outcome.decisions.values()) == {"v"}
+
+
+class TestSimulatedProtocolC:
+    def test_lemma_4_11_with_byzantine_writer(self):
+        n, k, t = 7, 4, 1
+        ell = best_ell(n, k, t)
+        assert ell is not None
+
+        def junk_program(ctx):
+            # Byzantine register content: malformed log entries.
+            yield Write("not a log")
+            yield Write((("bad", "entry"), 17, ("x",)))
+
+        programs = [simulate_mp_over_sm(lambda: ProtocolC(ell))] * (n - 1) + [
+            junk_program
+        ]
+        report = run_sm(
+            programs, ["v"] * n, k, t, SV2, byzantine=[n - 1],
+        )
+        assert report.ok
+        for pid in range(n - 1):
+            assert report.outcome.decisions[pid] == "v"
+
+    def test_byzantine_log_rewriting_equivocation(self):
+        """A Byzantine simulated process can rewrite its log between
+        readers -- the SM equivalent of equivocation; SV2 must survive."""
+        n, k, t = 7, 4, 1
+        ell = best_ell(n, k, t)
+
+        def equivocating_log(ctx):
+            log_a = tuple((dst, ("EC-INIT", "x")) for dst in range(ctx.n))
+            log_b = tuple((dst, ("EC-INIT", "y")) for dst in range(ctx.n))
+            for _ in range(30):
+                yield Write(log_a)
+                yield Write(log_b)
+
+        programs = [simulate_mp_over_sm(lambda: ProtocolC(ell))] * (n - 1) + [
+            equivocating_log
+        ]
+        for seed in range(5):
+            report = run_sm(
+                programs, ["v"] * n, k, t, SV2, byzantine=[n - 1],
+                scheduler=RandomProcessScheduler(seed),
+            )
+            assert report.ok, report.summary()
+
+
+class TestSimulatedProtocolD:
+    def test_lemma_4_13(self):
+        n, t = 7, 2
+        k = z_function(n, t)
+        report = run_sm(
+            [simulate_mp_over_sm(ProtocolD)] * n,
+            [f"v{i}" for i in range(n)],
+            k, t, WV1,
+        )
+        assert report.ok
+
+    def test_with_mute_byzantine(self):
+        n, t = 7, 2
+        k = z_function(n, t)
+
+        def silent(ctx):
+            return
+            yield
+
+        programs = [simulate_mp_over_sm(ProtocolD)] * (n - 1) + [silent]
+        report = run_sm(
+            programs, [f"v{i}" for i in range(n)], k, t, WV1,
+            byzantine=[n - 1],
+        )
+        assert report.verdicts["termination"]
+        assert report.verdicts["agreement"]
+
+
+class TestLogSemantics:
+    def test_each_message_consumed_once(self):
+        """Log shrinkage or rewrites of consumed prefixes are ignored."""
+        n, k, t = 4, 3, 1
+
+        counted = []
+
+        class CountingProcess(ChaudhuriKSet):
+            def on_message(self, ctx, sender, payload):
+                counted.append((ctx.pid, sender, payload))
+                super().on_message(ctx, sender, payload)
+
+        report = run_sm(
+            [simulate_mp_over_sm(CountingProcess)] * n,
+            [f"v{i}" for i in range(n)],
+            k, t, RV1,
+        )
+        assert report.ok
+        assert len(counted) == len(set(counted))  # no duplicate delivery
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_property_simulation_preserves_rv1(seed):
+    rng = random.Random(seed)
+    n = rng.randint(4, 7)
+    k = rng.randint(2, n - 1)
+    t = rng.randint(1, k - 1)
+    inputs = [rng.choice("abcd") for _ in range(n)]
+    report = run_sm(
+        [simulate_mp_over_sm(ChaudhuriKSet)] * n,
+        inputs, k, t, RV1,
+        scheduler=RandomProcessScheduler(seed),
+        crash_adversary=RandomCrashes(n, t, seed=seed),
+    )
+    assert report.ok, report.summary()
+
+
+class TestLogRewritingEdgeCases:
+    def test_shrinking_log_never_reconsumed(self):
+        """A Byzantine owner shrinks its log below the consumed prefix and
+        regrows it with different content; readers must not act twice."""
+        from repro.core.validity import SV2
+        from repro.protocols.protocol_c import ProtocolC
+
+        n, k, t = 7, 4, 1
+        counted = []
+
+        class CountingC(ProtocolC):
+            def on_message(self, ctx, sender, payload):
+                if sender == n - 1:
+                    counted.append((ctx.pid, payload))
+                super().on_message(ctx, sender, payload)
+
+        def shrink_regrow(ctx):
+            long_log = tuple(
+                (dst, ("EC-INIT", "x")) for dst in range(ctx.n)
+            )
+            for _ in range(20):
+                yield Write(long_log)
+                yield Write(())  # shrink below everyone's consumed prefix
+                yield Write(tuple(
+                    (dst, ("EC-INIT", "y")) for dst in range(ctx.n)
+                ))
+
+        programs = [simulate_mp_over_sm(lambda: CountingC(1))] * (n - 1) + [
+            shrink_regrow
+        ]
+        report = run_sm(
+            programs, ["v"] * n, k, t, SV2, byzantine=[n - 1],
+            scheduler=RandomProcessScheduler(3),
+        )
+        assert report.ok, report.summary()
+        # each reader consumed at most one entry addressed to it per
+        # length-position of the byz log: never both "x" and "y" at the
+        # same index from a shrink/regrow cycle beyond log growth
+        per_reader = {}
+        for pid, payload in counted:
+            per_reader.setdefault(pid, []).append(payload)
+        for pid, payloads in per_reader.items():
+            # consumed prefix only ever grows: at most n entries consumed
+            assert len(payloads) <= n, (pid, payloads)
+
+    def test_non_tuple_log_ignored(self):
+        from repro.core.validity import RV1
+
+        def junk_owner(ctx):
+            for value in (42, "text", None, 3.14):
+                yield Write(value)
+
+        n, k, t = 4, 3, 1
+        programs = [simulate_mp_over_sm(ChaudhuriKSet)] * (n - 1) + [junk_owner]
+        report = run_sm(
+            programs, ["a", "b", "c", "junk"], k, t, RV1, byzantine=[n - 1],
+        )
+        assert report.verdicts["termination"]
+        assert report.verdicts["agreement"]
+
+    def test_malformed_entries_skipped(self):
+        from repro.core.validity import RV1
+
+        def half_valid_owner(ctx):
+            log = (
+                "not an entry",
+                (0,),                         # wrong arity
+                ("zero", ("CH-VAL", "z")),    # non-int dst
+                (1, ("CH-VAL", "a-lie")),     # valid entry for p1
+            )
+            yield Write(log)
+
+        n, k, t = 4, 3, 1
+        programs = [simulate_mp_over_sm(ChaudhuriKSet)] * (n - 1) + [
+            half_valid_owner
+        ]
+        report = run_sm(
+            programs, ["b", "c", "d", "x"], k, t, RV1, byzantine=[n - 1],
+        )
+        assert report.verdicts["termination"]

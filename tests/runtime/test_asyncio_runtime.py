@@ -1,0 +1,93 @@
+"""Tests for the asyncio message-passing backend."""
+
+import pytest
+
+from repro.core.validity import RV1, RV2
+from repro.core.problem import SCProblem
+from repro.failures.crash import CrashPlan, CrashPoint
+from repro.protocols.chaudhuri import ChaudhuriKSet
+from repro.protocols.protocol_a import ProtocolA
+from repro.runtime.asyncio_runtime import run_async
+
+
+class TestAsyncBackend:
+    def test_chaudhuri_decides_and_satisfies_conditions(self):
+        n, k, t = 6, 3, 2
+        result = run_async(
+            [ChaudhuriKSet() for _ in range(n)],
+            [f"v{i}" for i in range(n)],
+            t=t,
+            seed=11,
+            timeout=10,
+        )
+        problem = SCProblem(n=n, k=k, t=t, validity=RV1)
+        assert problem.satisfied_by(result.outcome)
+
+    def test_protocol_a_unanimous(self):
+        n = 5
+        result = run_async(
+            [ProtocolA() for _ in range(n)],
+            ["v"] * n,
+            t=1,
+            seed=3,
+            timeout=10,
+        )
+        problem = SCProblem(n=n, k=2, t=1, validity=RV2)
+        assert problem.satisfied_by(result.outcome)
+        assert set(result.outcome.decisions.values()) == {"v"}
+
+    def test_crash_budget_respected(self):
+        n = 6
+        result = run_async(
+            [ProtocolA() for _ in range(n)],
+            ["v"] * n,
+            t=2,
+            crash_adversary=CrashPlan({
+                0: CrashPoint(after_steps=0),
+                1: CrashPoint(after_sends=2),
+            }),
+            seed=5,
+            timeout=10,
+        )
+        assert result.outcome.faulty <= {0, 1}
+        for pid in range(2, n):
+            assert result.outcome.decisions[pid] == "v"
+
+    def test_jitter_seeds_vary_traces(self):
+        def run(seed):
+            return run_async(
+                [ChaudhuriKSet() for _ in range(5)],
+                [f"v{i}" for i in range(5)],
+                t=2,
+                seed=seed,
+                timeout=10,
+            )
+
+        ticks = {run(seed).ticks for seed in range(3)}
+        assert ticks  # completed; tick counts recorded
+
+    def test_timeout_guards_nontermination(self):
+        from repro.runtime.process import Process
+
+        class Silent(Process):
+            pass  # never decides
+
+        result = run_async([Silent()], ["v"], t=0, timeout=0.2)
+        assert 0 not in result.outcome.decisions
+
+    def test_agreement_across_backends(self):
+        """The async backend's outcomes satisfy the same SC conditions as
+        the deterministic kernel's."""
+        from repro.harness.runner import run_mp
+
+        n, k, t = 6, 3, 2
+        inputs = [f"v{i}" for i in range(n)]
+        deterministic = run_mp(
+            [ChaudhuriKSet() for _ in range(n)], inputs, k, t, RV1
+        )
+        assert deterministic.ok
+        result = run_async(
+            [ChaudhuriKSet() for _ in range(n)], inputs, t=t, seed=1, timeout=10
+        )
+        problem = SCProblem(n=n, k=k, t=t, validity=RV1)
+        assert problem.satisfied_by(result.outcome)

@@ -1,0 +1,97 @@
+"""Tests for the Context/Process abstraction."""
+
+import pytest
+
+from repro.runtime.events import Delivery, Start, fresh_event_id
+from repro.runtime.process import Context, Process, ProtocolError
+
+
+class StubContext(Context):
+    def __init__(self, pid=0, n=3, t=1, input_value="x"):
+        super().__init__(pid, n, t, input_value)
+        self.sent = []
+        self.decides = []
+
+    def _emit_send(self, dst, payload):
+        self.sent.append((dst, payload))
+
+    def _emit_decide(self, value):
+        self.decides.append(value)
+
+
+class TestContext:
+    def test_exposes_instance_parameters(self):
+        ctx = StubContext(pid=2, n=5, t=1, input_value="v")
+        assert ctx.pid == 2
+        assert ctx.n == 5
+        assert ctx.t == 1
+        assert ctx.input == "v"
+
+    def test_send_routes_through_emit(self):
+        ctx = StubContext()
+        ctx.send(1, "hello")
+        assert ctx.sent == [(1, "hello")]
+
+    def test_send_validates_destination(self):
+        ctx = StubContext(n=3)
+        with pytest.raises(ProtocolError):
+            ctx.send(3, "m")
+        with pytest.raises(ProtocolError):
+            ctx.send(-1, "m")
+
+    def test_broadcast_includes_self(self):
+        ctx = StubContext(pid=1, n=3)
+        ctx.broadcast("m")
+        assert [dst for dst, _ in ctx.sent] == [0, 1, 2]
+
+    def test_decide_is_irrevocable(self):
+        ctx = StubContext()
+        ctx.decide("v")
+        assert ctx.decided
+        assert ctx.decision == "v"
+        with pytest.raises(ProtocolError):
+            ctx.decide("w")
+        assert ctx.decision == "v"
+
+    def test_decide_emits_once(self):
+        ctx = StubContext()
+        ctx.decide("v")
+        assert ctx.decides == ["v"]
+
+    def test_undecided_initially(self):
+        ctx = StubContext()
+        assert not ctx.decided
+        assert ctx.decision is None
+
+
+class TestProcessBase:
+    def test_default_handlers_are_noops(self):
+        process = Process()
+        ctx = StubContext()
+        process.on_start(ctx)
+        process.on_message(ctx, 1, "m")
+        assert not ctx.sent and not ctx.decided
+
+    def test_repr(self):
+        class MyProto(Process):
+            pass
+
+        assert repr(MyProto()) == "MyProto()"
+
+
+class TestEvents:
+    def test_start_str(self):
+        assert "p3" in str(Start(seq=0, pid=3))
+
+    def test_delivery_str(self):
+        text = str(Delivery(seq=1, sender=0, receiver=2, payload=("VAL", "x")))
+        assert "p0" in text and "p2" in text and "VAL" in text
+
+    def test_fresh_event_ids_increase(self):
+        a, b = fresh_event_id(), fresh_event_id()
+        assert b > a
+
+    def test_events_are_frozen(self):
+        event = Start(seq=0, pid=1)
+        with pytest.raises(Exception):
+            event.pid = 2

@@ -1,0 +1,95 @@
+"""Tests for execution statistics and outcome serialization."""
+
+from repro.core.problem import Outcome
+from repro.core.validity import RV1, RV2
+from repro.core.values import DEFAULT, EMPTY
+from repro.harness.runner import run_mp, run_sm
+from repro.protocols.chaudhuri import ChaudhuriKSet
+from repro.protocols.protocol_e import protocol_e
+
+
+class TestExecutionStats:
+    def test_mp_counters(self):
+        n = 4
+        report = run_mp(
+            [ChaudhuriKSet() for _ in range(n)],
+            list("dcba"), k=2, t=1, validity=RV1,
+        )
+        stats = report.result.stats()
+        assert stats.total_sends == n * n
+        assert sum(stats.sends_by_process.values()) == n * n
+        assert all(count == n for count in stats.sends_by_process.values())
+        assert stats.total_register_ops == 0
+        assert stats.last_decision_tick is not None
+        assert stats.last_decision_tick <= stats.ticks
+
+    def test_sm_counters(self):
+        n = 3
+        report = run_sm(
+            [protocol_e] * n, ["v"] * n, k=2, t=n, validity=RV2,
+        )
+        stats = report.result.stats()
+        assert stats.total_sends == 0
+        # each process: 1 write + n reads
+        assert stats.total_register_ops == n * (n + 1)
+        assert len(stats.decision_tick_by_process) == n
+
+    def test_decision_latency_ordering(self):
+        report = run_mp(
+            [ChaudhuriKSet() for _ in range(4)],
+            list("dcba"), k=2, t=1, validity=RV1,
+        )
+        stats = report.result.stats()
+        for pid, tick in stats.decision_tick_by_process.items():
+            assert 0 <= tick <= stats.ticks
+
+    def test_summary_text(self):
+        report = run_mp(
+            [ChaudhuriKSet() for _ in range(3)],
+            list("abc"), k=2, t=1, validity=RV1,
+        )
+        text = report.result.stats().summary()
+        assert "sends=9" in text and "ticks=" in text
+
+
+class TestOutcomeSerialization:
+    def outcome(self):
+        return Outcome(
+            n=4,
+            inputs={0: "a", 1: 7, 2: "c", 3: "d"},
+            decisions={0: "a", 1: DEFAULT, 3: 7},
+            faulty=frozenset({2}),
+        )
+
+    def test_round_trip_primitives_and_sentinels(self):
+        restored = Outcome.from_json(self.outcome().to_json())
+        assert restored.n == 4
+        assert restored.inputs == {0: "a", 1: 7, 2: "c", 3: "d"}
+        assert restored.decisions[1] is DEFAULT
+        assert restored.decisions[3] == 7
+        assert restored.faulty == {2}
+
+    def test_empty_sentinel_round_trips(self):
+        outcome = Outcome(
+            n=1, inputs={0: "x"}, decisions={0: EMPTY}, faulty=frozenset()
+        )
+        restored = Outcome.from_json(outcome.to_json())
+        assert restored.decisions[0] is EMPTY
+
+    def test_non_primitive_values_become_reprs(self):
+        outcome = Outcome(
+            n=1, inputs={0: ("tuple", 1)}, decisions={}, faulty=frozenset()
+        )
+        restored = Outcome.from_json(outcome.to_json())
+        assert restored.inputs[0] == repr(("tuple", 1))
+
+    def test_verdicts_survive_round_trip(self):
+        from repro.core.problem import SCProblem
+
+        original = self.outcome()
+        restored = Outcome.from_json(original.to_json())
+        problem = SCProblem(n=4, k=3, t=1, validity=RV1)
+        assert (
+            [str(v) for v in problem.check(original).values()]
+            == [str(v) for v in problem.check(restored).values()]
+        )

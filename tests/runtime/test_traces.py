@@ -1,0 +1,56 @@
+"""Tests for trace records and queries."""
+
+from repro.runtime.traces import Trace, TraceRecord
+
+
+class TestTrace:
+    def make(self):
+        trace = Trace()
+        trace.record(0, "start", 0)
+        trace.record(1, "send", 0, 1, "m1")
+        trace.record(2, "send", 0, 2, "m1")
+        trace.record(3, "deliver", 1, 0, "m1")
+        trace.record(4, "decide", 1, payload="v")
+        trace.record(5, "crash", 2)
+        return trace
+
+    def test_length_and_iteration(self):
+        trace = self.make()
+        assert len(trace) == 6
+        assert [r.kind for r in trace] == [
+            "start", "send", "send", "deliver", "decide", "crash"
+        ]
+
+    def test_of_kind(self):
+        trace = self.make()
+        assert len(trace.of_kind("send")) == 2
+        assert trace.of_kind("decide")[0].payload == "v"
+
+    def test_by_process(self):
+        trace = self.make()
+        assert [r.kind for r in trace.by_process(0)] == ["start", "send", "send"]
+
+    def test_counters(self):
+        trace = self.make()
+        assert trace.message_count() == 2
+        assert trace.delivery_count() == 1
+        assert len(trace.decisions()) == 1
+
+    def test_indexing(self):
+        trace = self.make()
+        assert trace[0].kind == "start"
+        assert trace[-1].kind == "crash"
+
+    def test_format_full(self):
+        text = self.make().format()
+        assert "decide" in text and "p1" in text
+
+    def test_format_limit(self):
+        text = self.make().format(limit=2)
+        assert "more records" in text
+        assert text.count("\n") == 2
+
+    def test_record_str(self):
+        record = TraceRecord(7, "deliver", 3, 1, ("VAL", "x"))
+        text = str(record)
+        assert "p3" in text and "peer=p1" in text and "VAL" in text

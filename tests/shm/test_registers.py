@@ -1,0 +1,87 @@
+"""Tests for single-writer multi-reader atomic registers."""
+
+import pytest
+
+from repro.core.values import EMPTY
+from repro.shm.registers import RegisterFile, SingleWriterViolation
+
+
+class TestRegisterFile:
+    def test_initially_empty(self):
+        regs = RegisterFile(3)
+        for owner in range(3):
+            _, value = regs.read(0, owner)
+            assert value is EMPTY
+
+    def test_write_then_read(self):
+        regs = RegisterFile(2)
+        regs.write(0, 0, "hello")
+        _, value = regs.read(1, 0)
+        assert value == "hello"
+
+    def test_overwrite(self):
+        regs = RegisterFile(1)
+        regs.write(0, 0, "a")
+        regs.write(0, 0, "b")
+        _, value = regs.read(0, 0)
+        assert value == "b"
+
+    def test_single_writer_enforced(self):
+        regs = RegisterFile(2)
+        with pytest.raises(SingleWriterViolation):
+            regs.write(0, 1, "intrusion")
+
+    def test_single_writer_enforced_even_for_any_writer(self):
+        # The paper: "any other process -- even if Byzantine faulty --
+        # is prohibited from writing to it."
+        regs = RegisterFile(3)
+        for writer in range(3):
+            for owner in range(3):
+                if writer != owner:
+                    with pytest.raises(SingleWriterViolation):
+                        regs.write(writer, owner, "x")
+
+    def test_unknown_register_rejected(self):
+        regs = RegisterFile(2)
+        with pytest.raises(ValueError):
+            regs.read(0, 5)
+        with pytest.raises(ValueError):
+            regs.write(5, 5, "x")
+
+    def test_history_records_writes_in_order(self):
+        regs = RegisterFile(1)
+        regs.write(0, 0, "a")
+        regs.read(0, 0)
+        regs.write(0, 0, "b")
+        history = regs.history(0)
+        assert [entry.value for entry in history] == ["a", "b"]
+        assert history[0].op_index < history[1].op_index
+
+    def test_read_log(self):
+        regs = RegisterFile(2)
+        regs.write(0, 0, "a")
+        regs.read(1, 0)
+        log = regs.read_log(0)
+        assert len(log) == 1
+        assert log[0][1] == 1  # reader id
+        assert log[0][2] == "a"
+
+    def test_atomicity_oracle_accepts_sequential_history(self):
+        regs = RegisterFile(3)
+        regs.write(0, 0, "x")
+        regs.read(1, 0)
+        regs.write(0, 0, "y")
+        regs.read(2, 0)
+        regs.read(1, 2)
+        assert regs.verify_atomicity()
+
+    def test_needs_positive_size(self):
+        with pytest.raises(ValueError):
+            RegisterFile(0)
+
+    def test_current_peek_does_not_stamp(self):
+        regs = RegisterFile(1)
+        regs.write(0, 0, "a")
+        before = len(regs.read_log(0))
+        assert regs.current(0) == "a"
+        assert len(regs.read_log(0)) == before

@@ -1,0 +1,137 @@
+"""Tests for shared-memory process schedulers."""
+
+import pytest
+
+from repro.runtime.kernel import SchedulerStall
+from repro.shm.kernel import SMKernel
+from repro.shm.ops import Decide, Read, Write
+from repro.shm.schedulers import (
+    PredicateProcessScheduler,
+    RandomProcessScheduler,
+    RoundRobinScheduler,
+    StagedScheduler,
+)
+
+
+def three_ops(ctx):
+    yield Write(ctx.input)
+    yield Read(ctx.pid)
+    yield Decide(ctx.input)
+
+
+def build(n, scheduler, programs=None, **kwargs):
+    return SMKernel(
+        programs or [three_ops] * n,
+        [f"v{i}" for i in range(n)],
+        t=0,
+        scheduler=scheduler,
+        stop_when_decided=False,
+        **kwargs,
+    )
+
+
+def op_order(kernel):
+    """Sequence of pids in write/read/decide trace order."""
+    return [
+        r.pid
+        for r in kernel.trace
+        if r.kind in ("write", "read", "decide")
+    ]
+
+
+class TestRoundRobin:
+    def test_cycles_fairly(self):
+        kernel = build(3, RoundRobinScheduler())
+        kernel.run()
+        order = op_order(kernel)
+        assert order[:6] == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_finished_processes(self):
+        def quick(ctx):
+            yield Decide(ctx.input)
+
+        kernel = build(2, RoundRobinScheduler(),
+                       programs=[quick, three_ops])
+        kernel.run()
+        order = op_order(kernel)
+        # p0 finishes after one op; the rest is all p1
+        assert order[0] == 0
+        assert set(order[1:]) == {1}
+
+
+class TestRandomProcess:
+    def test_reproducible(self):
+        k1 = build(4, RandomProcessScheduler(2))
+        k2 = build(4, RandomProcessScheduler(2))
+        k1.run()
+        k2.run()
+        assert op_order(k1) == op_order(k2)
+
+    def test_seeds_differ(self):
+        orders = set()
+        for seed in range(8):
+            kernel = build(4, RandomProcessScheduler(seed))
+            kernel.run()
+            orders.add(tuple(op_order(kernel)))
+        assert len(orders) > 1
+
+
+class TestPredicate:
+    def test_only_eligible_run(self):
+        kernel = build(
+            3,
+            PredicateProcessScheduler(
+                lambda k, pid: pid != 2 or k.has_decided(0)
+            ),
+        )
+        kernel.run()
+        order = op_order(kernel)
+        first_p2 = order.index(2)
+        assert 0 in order[:first_p2]  # p0 decided before p2 ran
+
+    def test_strict_stall(self):
+        kernel = build(
+            2, PredicateProcessScheduler(lambda k, pid: False)
+        )
+        with pytest.raises(SchedulerStall):
+            kernel.run()
+
+    def test_release_on_stall(self):
+        kernel = build(
+            2,
+            PredicateProcessScheduler(
+                lambda k, pid: False, release_on_stall=True
+            ),
+        )
+        result = kernel.run()
+        assert len(result.outcome.decisions) == 2
+
+
+class TestStaged:
+    def test_stage_order(self):
+        kernel = build(4, StagedScheduler([[2], [0, 1]]))
+        kernel.run()
+        order = op_order(kernel)
+        # all of p2's ops precede any p0/p1 op; unlisted p3 runs last
+        last_p2 = max(i for i, pid in enumerate(order) if pid == 2)
+        first_p01 = min(i for i, pid in enumerate(order) if pid in (0, 1))
+        first_p3 = min(i for i, pid in enumerate(order) if pid == 3)
+        assert last_p2 < first_p01 < first_p3
+
+    def test_stages_must_be_disjoint(self):
+        with pytest.raises(ValueError):
+            StagedScheduler([[0], [0, 1]])
+
+    def test_crashed_stage_members_do_not_block(self):
+        from repro.failures.crash import CrashPlan, CrashPoint
+
+        kernel = SMKernel(
+            [three_ops] * 3,
+            ["a", "b", "c"],
+            t=1,
+            scheduler=StagedScheduler([[0], [1, 2]]),
+            crash_adversary=CrashPlan({0: CrashPoint(after_steps=0)}),
+            stop_when_decided=False,
+        )
+        result = kernel.run()
+        assert result.outcome.decisions.keys() == {1, 2}

@@ -1,0 +1,139 @@
+"""Fine-grained semantics tests for the shared-memory kernel."""
+
+import pytest
+
+from repro.core.values import EMPTY
+from repro.failures.crash import CrashPlan, CrashPoint
+from repro.runtime.process import ProtocolError
+from repro.shm.kernel import SMKernel
+from repro.shm.ops import Decide, Read, Write
+from repro.shm.schedulers import RoundRobinScheduler, StagedScheduler
+
+
+class TestRegisterPersistence:
+    def test_crashed_writers_value_remains_readable(self):
+        """A register written before a crash stays readable forever --
+        the property SIMULATION relies on for 'helping for free'."""
+        reads = []
+
+        def writer(ctx):
+            yield Write("legacy")
+            yield Read(0)  # crash point is after this op
+
+        def reader(ctx):
+            value = yield Read(0)
+            reads.append(value)
+            yield Decide(value)
+
+        kernel = SMKernel(
+            [writer, reader],
+            ["a", "b"],
+            t=1,
+            scheduler=StagedScheduler([[0], [1]], release_on_stall=True),
+            crash_adversary=CrashPlan({0: CrashPoint(after_steps=2)}),
+            stop_when_decided=False,
+        )
+        kernel.run()
+        assert reads == ["legacy"]
+
+    def test_unwritten_register_reads_empty(self):
+        seen = []
+
+        def peek(ctx):
+            value = yield Read(1)
+            seen.append(value)
+            yield Decide("done")
+
+        def silent(ctx):
+            return
+            yield
+
+        kernel = SMKernel(
+            [peek, silent], ["a", "b"], t=1,
+            scheduler=StagedScheduler([[0]], release_on_stall=True),
+        )
+        kernel.run()
+        assert seen == [EMPTY]
+
+    def test_overwrites_visible_in_program_order(self):
+        timeline = []
+
+        def writer(ctx):
+            yield Write(1)
+            yield Write(2)
+            yield Write(3)
+
+        def watcher(ctx):
+            for _ in range(3):
+                value = yield Read(0)
+                timeline.append(value)
+            yield Decide("done")
+
+        kernel = SMKernel(
+            [writer, watcher], ["a", "b"], t=0,
+            scheduler=RoundRobinScheduler(),
+            stop_when_decided=False,
+        )
+        kernel.run()
+        # round robin: w1, r->1, w2, r->2, w3, r->3
+        assert timeline == [1, 2, 3]
+
+
+class TestProgramErrors:
+    def test_exception_inside_program_propagates(self):
+        def broken(ctx):
+            yield Write("x")
+            raise RuntimeError("protocol bug")
+
+        kernel = SMKernel(
+            [broken], ["a"], t=0,
+            scheduler=RoundRobinScheduler(), stop_when_decided=False,
+        )
+        with pytest.raises(RuntimeError, match="protocol bug"):
+            kernel.run()
+
+    def test_non_generator_program_rejected(self):
+        def not_a_generator(ctx):
+            return 42
+
+        kernel = SMKernel(
+            [not_a_generator], ["a"], t=0,
+            scheduler=RoundRobinScheduler(), stop_when_decided=False,
+        )
+        with pytest.raises((ProtocolError, AttributeError, TypeError)):
+            kernel.run()
+
+
+class TestContextHelpers:
+    def test_others_excludes_self(self):
+        from repro.shm.kernel import SMContext
+
+        ctx = SMContext(pid=1, n=4, t=1, input_value="v")
+        assert list(ctx.others()) == [0, 2, 3]
+
+
+class TestBudgetInteraction:
+    def test_byzantine_plus_crash_budget(self):
+        def quick(ctx):
+            yield Decide(ctx.input)
+
+        with pytest.raises(ValueError):
+            SMKernel(
+                [quick] * 3, ["a", "b", "c"], t=1,
+                scheduler=RoundRobinScheduler(),
+                crash_adversary=CrashPlan({0: CrashPoint(after_steps=0)}),
+                byzantine=[1],  # 2 potentially faulty > t=1
+            )
+
+    def test_same_process_byzantine_and_crash_counts_once(self):
+        def quick(ctx):
+            yield Decide(ctx.input)
+
+        kernel = SMKernel(
+            [quick] * 3, ["a", "b", "c"], t=1,
+            scheduler=RoundRobinScheduler(),
+            crash_adversary=CrashPlan({0: CrashPoint(after_steps=0)}),
+            byzantine=[0],  # overlap: still within budget
+        )
+        kernel.run()
+        assert kernel.faulty == {0}

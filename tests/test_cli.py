@@ -1,0 +1,221 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestClassify:
+    def test_possible_point(self, capsys):
+        code = main([
+            "classify", "--model", "MP/CR", "--validity", "RV1",
+            "--n", "64", "--k", "5", "--t", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "possible" in out
+        assert "Lemma 3.1" in out
+
+    def test_note_printed_for_degenerate(self, capsys):
+        main([
+            "classify", "--model", "MP/CR", "--validity", "RV1",
+            "--n", "8", "--k", "8", "--t", "3",
+        ])
+        out = capsys.readouterr().out
+        assert "note:" in out
+
+
+class TestPanel:
+    def test_text_panel(self, capsys):
+        assert main([
+            "panel", "--model", "SM/CR", "--validity", "RV2", "--n", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SM/CR / RV2" in out
+        assert "o" in out
+
+    def test_csv_panel(self, capsys):
+        assert main([
+            "panel", "--model", "MP/CR", "--validity", "RV1",
+            "--n", "8", "--csv",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("k,max_possible_t")
+
+
+class TestFigure:
+    def test_small_figure(self, capsys):
+        assert main(["figure", "--model", "MP/Byz", "--n", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert out.count("n = 12") >= 6
+
+
+class TestLattice:
+    def test_renders_and_verifies(self, capsys):
+        assert main(["lattice"]) == 0
+        out = capsys.readouterr().out
+        assert "SV1" in out and "OK" in out
+
+
+class TestRun:
+    def test_successful_run(self, capsys):
+        assert main([
+            "run", "chaudhuri@mp-cr", "--n", "5", "--k", "3", "--t", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "decisions:" in out and "OK" in out
+
+    def test_explicit_inputs(self, capsys):
+        assert main([
+            "run", "protocol-a@mp-cr", "--n", "3", "--k", "2", "--t", "1",
+            "--inputs", "x", "x", "x",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "'x'" in out
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ValueError):
+            main(["run", "nope", "--n", "3", "--k", "2", "--t", "1"])
+
+
+class TestSweep:
+    def test_clean_sweep_exit_zero(self, capsys):
+        assert main([
+            "sweep", "protocol-e@sm-cr", "--n", "5", "--k", "2", "--t", "5",
+            "--runs", "6",
+        ]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestAttack:
+    def test_attack_inside_region(self, capsys):
+        assert main([
+            "attack", "chaudhuri@mp-cr", "--n", "5", "--k", "3", "--t", "2",
+            "--attempts", "15",
+        ]) == 0
+        assert "no violation" in capsys.readouterr().out
+
+
+class TestConstruct:
+    def test_single_lemma(self, capsys):
+        assert main(["construct", "--lemma", "Lemma 3.5"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out and "Lemma 3.5" in out
+
+
+class TestProtocols:
+    def test_lists_registry(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "chaudhuri@mp-cr" in out
+        assert "protocol-f@sm-byz" in out
+
+
+class TestPaperAndSummary:
+    def test_paper_index(self, capsys):
+        assert main(["paper"]) == 0
+        out = capsys.readouterr().out
+        assert "PROTOCOL D" in out and "Lemma 3.16" in out
+
+    def test_summary(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "MP/Byz" in out and "gap: substantial" in out
+
+
+class TestSVGCommand:
+    def test_panel_file_written(self, tmp_path, capsys):
+        out = tmp_path / "panel.svg"
+        assert main([
+            "svg", "--model", "SM/CR", "--validity", "RV2",
+            "--n", "10", "--out", str(out),
+        ]) == 0
+        assert out.exists()
+        assert "<svg" in out.read_text()
+
+    def test_full_figure(self, tmp_path, capsys):
+        out = tmp_path / "fig.svg"
+        assert main([
+            "svg", "--model", "MP/CR", "--n", "8", "--out", str(out),
+            "--full-figure",
+        ]) == 0
+        assert "WV2" in out.read_text()
+
+
+class TestTraceCommand:
+    def test_protocol_trace(self, capsys):
+        assert main([
+            "trace", "chaudhuri@mp-cr", "--n", "4", "--k", "2", "--t", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DECIDE" in out
+
+    def test_construction_trace(self, capsys):
+        assert main(["trace", "--lemma", "Lemma 3.5"]) == 0
+        out = capsys.readouterr().out
+        assert "CRASH" in out
+
+    def test_unknown_lemma(self, capsys):
+        assert main(["trace", "--lemma", "Lemma 9.9"]) == 1
+
+    def test_missing_spec(self, capsys):
+        assert main(["trace"]) == 2
+
+
+class TestExhaustiveCommand:
+    def test_clean_instance(self, capsys):
+        assert main([
+            "exhaustive", "protocol-a@mp-cr", "--n", "3", "--k", "2",
+            "--t", "1", "--inputs", "v", "v", "w",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "exhaustive" in out and "violations: 0" in out
+
+    def test_sm_spec_rejected(self, capsys):
+        assert main([
+            "exhaustive", "protocol-e@sm-cr", "--n", "3", "--k", "2",
+            "--t", "1",
+        ]) == 2
+
+
+class TestCampaignCommand:
+    def test_small_campaign(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        assert main([
+            "campaign", "--name", "cli-test", "--n", "5",
+            "--points", "1", "--runs", "2", "--out", str(out),
+        ]) == 0
+        assert out.exists()
+        assert "clean" in capsys.readouterr().out
+
+
+class TestRecommendAndSolve:
+    def test_recommend_lists_candidates(self, capsys):
+        assert main([
+            "recommend", "--model", "SM/CR", "--validity", "SV2",
+            "--n", "12", "--k", "6", "--t", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "protocol-f@sm-cr" in out
+
+    def test_recommend_open_point(self, capsys):
+        assert main([
+            "recommend", "--model", "MP/CR", "--validity", "SV2",
+            "--n", "16", "--k", "2", "--t", "5",
+        ]) == 1
+        assert "open problem" in capsys.readouterr().out
+
+    def test_solve_end_to_end(self, capsys):
+        assert main([
+            "solve", "--model", "MP/CR", "--validity", "RV1",
+            "--n", "5", "--k", "3", "--t", "2",
+        ]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_solve_impossible(self, capsys):
+        assert main([
+            "solve", "--model", "MP/Byz", "--validity", "RV1",
+            "--n", "5", "--k", "3", "--t", "2",
+        ]) == 1
+        assert "impossible" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""Tests for the model enumeration and its strength relations."""
+
+import pytest
+
+from repro.models import ALL_MODELS, Communication, FailureMode, Model
+
+
+class TestModel:
+    def test_four_models(self):
+        assert len(ALL_MODELS) == 4
+        assert len(set(ALL_MODELS)) == 4
+
+    def test_shorthands(self):
+        assert str(Model.MP_CR) == "MP/CR"
+        assert str(Model.MP_BYZ) == "MP/Byz"
+        assert str(Model.SM_CR) == "SM/CR"
+        assert str(Model.SM_BYZ) == "SM/Byz"
+
+    def test_axes(self):
+        assert Model.MP_CR.is_message_passing and Model.MP_CR.is_crash
+        assert Model.MP_BYZ.is_message_passing and Model.MP_BYZ.is_byzantine
+        assert Model.SM_CR.is_shared_memory and Model.SM_CR.is_crash
+        assert Model.SM_BYZ.is_shared_memory and Model.SM_BYZ.is_byzantine
+
+    def test_from_shorthand(self):
+        for model in ALL_MODELS:
+            assert Model.from_shorthand(model.shorthand) is model
+        assert Model.from_shorthand("mp/byz") is Model.MP_BYZ
+
+    def test_from_shorthand_unknown(self):
+        with pytest.raises(ValueError):
+            Model.from_shorthand("XX/YY")
+
+    def test_weaker_or_equal(self):
+        # crash adversary weaker than Byzantine, same communication
+        assert Model.MP_CR.weaker_or_equal(Model.MP_BYZ)
+        assert Model.SM_CR.weaker_or_equal(Model.SM_BYZ)
+        assert not Model.MP_BYZ.weaker_or_equal(Model.MP_CR)
+        # different communication: incomparable by this relation
+        assert not Model.MP_CR.weaker_or_equal(Model.SM_BYZ)
+
+    def test_enums_expose_axis_values(self):
+        assert Model.MP_CR.communication is Communication.MESSAGE_PASSING
+        assert Model.SM_BYZ.failure_mode is FailureMode.BYZANTINE
+        assert str(Communication.SHARED_MEMORY) == "shared-memory"
+        assert str(FailureMode.CRASH) == "crash"

@@ -1,0 +1,124 @@
+"""Tests for the structured paper index and the Section 2.1 summary."""
+
+import pytest
+
+from repro.analysis.summary import SUMMARY, render_summary, variant
+from repro.core.lemmas import ALL_LEMMAS
+from repro.core.regions import region_map
+from repro.core.solvability import Solvability
+from repro.core.validity import by_code
+from repro.models import ALL_MODELS, Model
+from repro.paper import (
+    CITATION,
+    FIGURES,
+    LEMMA_INDEX,
+    PROTOCOLS,
+    artifact,
+    render_index,
+)
+
+
+class TestPaperIndex:
+    def test_citation_names_authors(self):
+        for name in ("De Prisco", "Malkhi", "Reiter"):
+            assert name in CITATION
+
+    def test_all_artifacts_resolve_to_code(self):
+        for entry in FIGURES + PROTOCOLS:
+            assert entry.resolve() is not None
+
+    def test_artifact_lookup(self):
+        entry = artifact("protocol a")
+        assert entry.symbol == "ProtocolA"
+        with pytest.raises(ValueError):
+            artifact("Theorem 1")
+
+    def test_lemma_index_matches_lemma_registry(self):
+        registry_ids = {e.lemma_id for e in ALL_LEMMAS}
+        index_ids = set(LEMMA_INDEX)
+        # every registered lemma is indexed (3.14 is indexed but lives in
+        # the echo module rather than the region registry)
+        assert registry_ids <= index_ids
+
+    def test_lemma_kinds_agree_with_registry(self):
+        by_id = {}
+        for entry in ALL_LEMMAS:
+            by_id.setdefault(entry.lemma_id, entry.kind)
+        for lemma_id, (kind, _module) in LEMMA_INDEX.items():
+            if lemma_id in by_id:
+                assert by_id[lemma_id] == kind, lemma_id
+
+    def test_lemma_index_modules_import(self):
+        import importlib
+
+        for _lemma, (_kind, module) in LEMMA_INDEX.items():
+            importlib.import_module(module)
+
+    def test_render_index(self):
+        text = render_index()
+        assert "PROTOCOL A" in text
+        assert "Lemma 3.16" in text
+        assert "repro.protocols.protocol_d" in text
+
+
+class TestSummaryTable:
+    def test_all_24_variants_present(self):
+        assert len(SUMMARY) == 24
+        keys = {(e.model, e.validity) for e in SUMMARY}
+        assert len(keys) == 24
+
+    def test_variant_lookup(self):
+        entry = variant(Model.SM_CR, "rv2")
+        assert entry.gap == "none"
+        assert "any t" in entry.possible
+
+    def test_citations_exist_in_lemma_registry(self):
+        known = {e.lemma_id for e in ALL_LEMMAS}
+        for entry in SUMMARY:
+            for cite in entry.possibility_cites + entry.impossibility_cites:
+                assert cite in known, (entry.model, entry.validity, cite)
+
+    @pytest.mark.parametrize("n", [8, 12, 16])
+    def test_gap_none_means_no_open_points(self, n):
+        for entry in SUMMARY:
+            if entry.gap != "none":
+                continue
+            region = region_map(entry.model, by_code(entry.validity), n)
+            assert region.count(Solvability.OPEN) == 0, (
+                entry.model, entry.validity, n
+            )
+
+    @pytest.mark.parametrize("n", [8, 12, 16])
+    def test_gapped_variants_have_open_points_somewhere(self, n):
+        # "small"/"substantial"/"isolated" gaps: open points exist for at
+        # least one of the sampled n (isolated points need k | n).
+        for entry in SUMMARY:
+            if entry.gap == "none":
+                continue
+            counts = [
+                region_map(entry.model, by_code(entry.validity), m).count(
+                    Solvability.OPEN
+                )
+                for m in (8, 12, 16)
+            ]
+            assert any(c > 0 for c in counts), (entry.model, entry.validity)
+
+    def test_no_possibility_means_barren_region(self):
+        for entry in SUMMARY:
+            if entry.possible != "-":
+                continue
+            region = region_map(entry.model, by_code(entry.validity), 10)
+            assert region.count(Solvability.POSSIBLE) == 0
+
+    def test_no_impossibility_means_full_region(self):
+        for entry in SUMMARY:
+            if entry.impossible != "-":
+                continue
+            region = region_map(entry.model, by_code(entry.validity), 10)
+            assert region.count(Solvability.POSSIBLE) == len(region.grid)
+
+    def test_render_groups_by_model(self):
+        text = render_summary()
+        for model in ALL_MODELS:
+            assert f"--- {model} ---" in text
+        assert "Z(n, t)" in text

@@ -1,0 +1,161 @@
+"""Cross-cutting property-based tests.
+
+Per-protocol tests pin each protocol's behaviour; the properties here
+quantify across the whole registry and both kernels:
+
+* every registered protocol, at any point of its claimed region, under
+  any seeded schedule and in-budget failure pattern, satisfies its
+  ``SC(k, t, C)`` instance;
+* the network axioms hold on every message-passing run;
+* register atomicity holds on every shared-memory run;
+* a protocol's spec region never contradicts the solvability classifier.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solvability import Solvability, classify
+from repro.core.validity import by_code
+from repro.harness.runner import run_spec
+from repro.harness.sweep import SweepConfig, sweep_spec
+from repro.net.network import verify_network_axioms
+from repro.protocols.base import all_specs
+from repro.models import Model
+
+ALL_SPECS = all_specs()
+MP_SPECS = [s for s in ALL_SPECS if not s.is_shared_memory]
+SM_SPECS = [s for s in ALL_SPECS if s.is_shared_memory]
+
+
+def _solvable_point(spec, n, rng):
+    candidates = [
+        (k, t)
+        for k in range(2, n)
+        for t in range(1, n + 1)
+        if spec.solvable(n, k, t)
+    ]
+    if not candidates:
+        return None
+    return rng.choice(candidates)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sampled_from(ALL_SPECS),
+    st.integers(min_value=5, max_value=8),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_every_spec_clean_in_its_region(spec, n, seed):
+    rng = random.Random(seed)
+    point = _solvable_point(spec, n, rng)
+    if point is None:
+        return
+    k, t = point
+    stats = sweep_spec(spec, n, k, t, SweepConfig(runs=4, seed=seed))
+    assert stats.clean, stats.violations[:2]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sampled_from(MP_SPECS),
+    st.integers(min_value=4, max_value=7),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_network_axioms_on_every_mp_run(spec, n, seed):
+    from repro.failures.crash import RandomCrashes
+    from repro.net.schedulers import RandomScheduler
+
+    rng = random.Random(seed)
+    point = _solvable_point(spec, n, rng)
+    if point is None:
+        return
+    k, t = point
+    crash = RandomCrashes(n, t, seed=seed) if spec.model.is_crash else None
+    report = run_spec(
+        spec, n, k, t,
+        [f"v{i}" for i in range(n)],
+        scheduler=RandomScheduler(seed),
+        crash_adversary=crash,
+    )
+    axioms = verify_network_axioms(report.result.trace)
+    assert axioms.reliable, axioms
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sampled_from(SM_SPECS),
+    st.integers(min_value=4, max_value=7),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_register_atomicity_on_every_sm_run(spec, n, seed):
+    from repro.core.validity import by_code as _by_code
+    from repro.failures.crash import RandomCrashes
+    from repro.shm.kernel import SMKernel
+    from repro.shm.schedulers import RandomProcessScheduler
+
+    rng = random.Random(seed)
+    point = _solvable_point(spec, n, rng)
+    if point is None:
+        return
+    k, t = point
+    program = spec.make(n, k, t)
+    kernel = SMKernel(
+        [program] * n,
+        [f"v{i}" for i in range(n)],
+        t=t,
+        scheduler=RandomProcessScheduler(seed),
+        crash_adversary=RandomCrashes(n, t, seed=seed)
+        if spec.model.is_crash else None,
+    )
+    kernel.run()
+    assert kernel.registers.verify_atomicity()
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.sampled_from(ALL_SPECS),
+    st.integers(min_value=4, max_value=24),
+    st.data(),
+)
+def test_spec_regions_never_contradict_classifier(spec, n, data):
+    """A point a protocol claims solvable is never classified IMPOSSIBLE."""
+    k = data.draw(st.integers(min_value=2, max_value=n - 1))
+    t = data.draw(st.integers(min_value=1, max_value=n))
+    if not spec.solvable(n, k, t):
+        return
+    verdict = classify(spec.model, by_code(spec.validity), n, k, t)
+    assert verdict.status is Solvability.POSSIBLE, (spec.name, n, k, t, verdict)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_simulation_equivalence(seed):
+    """A protocol and its SIMULATION satisfy the same SC instance."""
+    from repro.core.validity import RV1
+    from repro.harness.runner import run_mp, run_sm
+    from repro.protocols.chaudhuri import ChaudhuriKSet
+    from repro.protocols.simulation import simulate_mp_over_sm
+    from repro.net.schedulers import RandomScheduler
+    from repro.shm.schedulers import RandomProcessScheduler
+
+    rng = random.Random(seed)
+    n = rng.randint(4, 6)
+    k = rng.randint(2, n - 1)
+    t = rng.randint(1, k - 1)
+    inputs = [rng.choice("abcd") for _ in range(n)]
+
+    native = run_mp(
+        [ChaudhuriKSet() for _ in range(n)], inputs, k, t, RV1,
+        scheduler=RandomScheduler(seed),
+    )
+    simulated = run_sm(
+        [simulate_mp_over_sm(ChaudhuriKSet)] * n, inputs, k, t, RV1,
+        scheduler=RandomProcessScheduler(seed),
+    )
+    assert native.ok and simulated.ok
+    # both decision sets come from the t+1 smallest inputs
+    lowest = set(sorted(set(inputs))[: t + 1])
+    assert native.outcome.correct_decision_values() <= lowest
+    assert simulated.outcome.correct_decision_values() <= lowest

@@ -1,0 +1,33 @@
+"""Tests for the package's public API surface."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        verdict = repro.classify(repro.Model.MP_CR, repro.RV1, 64, 5, 4)
+        assert verdict.status is repro.Solvability.POSSIBLE
+
+        spec = repro.get_spec("chaudhuri@mp-cr")
+        report = repro.run_spec(spec, 7, 3, 2, list("abcdefg"))
+        assert report.ok
+
+    def test_region_map_via_top_level(self):
+        region = repro.region_map(repro.Model.SM_CR, repro.RV2, 8)
+        assert region.count(repro.Solvability.POSSIBLE) == len(region.grid)
+
+    def test_sweep_via_top_level(self):
+        spec = repro.get_spec("protocol-e@sm-cr")
+        stats = repro.sweep_spec(spec, 5, 2, 5, repro.SweepConfig(runs=5, seed=0))
+        assert stats.clean
+
+    def test_validity_conditions_exported(self):
+        codes = {c.code for c in repro.ALL_VALIDITY_CONDITIONS}
+        assert codes == {"SV1", "SV2", "RV1", "RV2", "WV1", "WV2"}

@@ -1,0 +1,123 @@
+"""Hypothesis-driven schedule fuzzing.
+
+Instead of seeding a random scheduler, hypothesis directly generates the
+*choice stream*: a list of integers interpreted modulo the pending-event
+count.  This gives hypothesis shrinking power over schedules -- when a
+protocol invariant fails, the reported counterexample is a minimal
+schedule, not an opaque seed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validity import RV1, RV2, SV2
+from repro.harness.runner import run_mp, run_sm
+from repro.protocols.chaudhuri import ChaudhuriKSet
+from repro.protocols.protocol_a import ProtocolA
+from repro.protocols.protocol_b import ProtocolB
+from repro.protocols.protocol_e import protocol_e
+
+
+class ChoiceStreamScheduler:
+    """Picks the (c mod len(pending))-th oldest pending event; falls back
+    to FIFO when the stream is exhausted."""
+
+    def __init__(self, stream):
+        self._stream = list(stream)
+        self._index = 0
+
+    def pick(self, kernel):
+        if not kernel.pending:
+            return None
+        ordered = sorted(kernel.pending)
+        if self._index < len(self._stream):
+            choice = self._stream[self._index] % len(ordered)
+            self._index += 1
+        else:
+            choice = 0
+        return ordered[choice]
+
+
+class ChoiceStreamProcessScheduler:
+    """Same idea for the shared-memory kernel (picks runnable pids)."""
+
+    def __init__(self, stream):
+        self._stream = list(stream)
+        self._index = 0
+
+    def pick(self, kernel):
+        runnable = sorted(kernel.runnable_pids())
+        if not runnable:
+            return None
+        if self._index < len(self._stream):
+            choice = self._stream[self._index] % len(runnable)
+            self._index += 1
+        else:
+            choice = 0
+        return runnable[choice]
+
+
+choice_streams = st.lists(
+    st.integers(min_value=0, max_value=10**6), min_size=0, max_size=60
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(choice_streams)
+def test_flood_min_under_arbitrary_choice_streams(stream):
+    report = run_mp(
+        [ChaudhuriKSet() for _ in range(4)],
+        ["c", "a", "d", "b"], k=3, t=2, validity=RV1,
+        scheduler=ChoiceStreamScheduler(stream),
+    )
+    assert report.ok, report.summary()
+
+
+@settings(max_examples=120, deadline=None)
+@given(choice_streams, st.sampled_from(["vvvv", "vvvw", "vwvw"]))
+def test_protocol_a_under_arbitrary_choice_streams(stream, pattern):
+    report = run_mp(
+        [ProtocolA() for _ in range(4)],
+        list(pattern), k=3, t=1, validity=RV2,
+        scheduler=ChoiceStreamScheduler(stream),
+    )
+    assert report.ok, report.summary()
+
+
+@settings(max_examples=120, deadline=None)
+@given(choice_streams)
+def test_protocol_b_under_arbitrary_choice_streams(stream):
+    report = run_mp(
+        [ProtocolB() for _ in range(5)],
+        ["v"] * 5, k=3, t=1, validity=SV2,
+        scheduler=ChoiceStreamScheduler(stream),
+    )
+    assert report.ok, report.summary()
+    assert set(report.outcome.decisions.values()) == {"v"}
+
+
+@settings(max_examples=120, deadline=None)
+@given(choice_streams, st.sampled_from(["aaaa", "aaab", "abab"]))
+def test_protocol_e_under_arbitrary_interleavings(stream, pattern):
+    report = run_sm(
+        [protocol_e] * 4,
+        list(pattern), k=2, t=4, validity=RV2,
+        scheduler=ChoiceStreamProcessScheduler(stream),
+    )
+    assert report.ok, report.summary()
+
+
+@settings(max_examples=60, deadline=None)
+@given(choice_streams)
+def test_choice_stream_determinism(stream):
+    """The same stream always produces the identical run."""
+    def once():
+        return run_mp(
+            [ChaudhuriKSet() for _ in range(4)],
+            ["c", "a", "d", "b"], k=3, t=2, validity=RV1,
+            scheduler=ChoiceStreamScheduler(stream),
+        )
+
+    first, second = once(), once()
+    assert first.outcome.decisions == second.outcome.decisions
+    assert first.result.ticks == second.result.ticks

@@ -1,0 +1,66 @@
+"""Tests for the downstream testing utilities."""
+
+import pytest
+
+from repro.core.problem import Outcome
+from repro.testing import (
+    assert_outcome_satisfies,
+    assert_protocol_clean,
+    random_outcomes,
+)
+
+
+class TestAssertProtocolClean:
+    def test_passes_inside_region(self):
+        assert_protocol_clean("chaudhuri@mp-cr", n=5, k=3, t=2, runs=4)
+
+    def test_rejects_points_outside_region(self):
+        with pytest.raises(AssertionError, match="outside"):
+            assert_protocol_clean("chaudhuri@mp-cr", n=5, k=3, t=3, runs=2)
+
+    def test_custom_patterns(self):
+        assert_protocol_clean(
+            "protocol-e@sm-cr", n=4, k=2, t=4, runs=4,
+            input_patterns=("unanimous",),
+        )
+
+
+class TestAssertOutcomeSatisfies:
+    def outcome(self, decisions):
+        return Outcome(
+            n=3,
+            inputs={0: "a", 1: "a", 2: "b"},
+            decisions=decisions,
+            faulty=frozenset(),
+        )
+
+    def test_good_outcome(self):
+        assert_outcome_satisfies(
+            self.outcome({0: "a", 1: "a", 2: "a"}), k=2, t=0, validity="RV1"
+        )
+
+    def test_bad_agreement(self):
+        with pytest.raises(AssertionError, match="agreement"):
+            assert_outcome_satisfies(
+                self.outcome({0: "a", 1: "b", 2: "a"}), k=1, t=0,
+                validity="RV1",
+            )
+
+    def test_bad_termination(self):
+        with pytest.raises(AssertionError, match="termination"):
+            assert_outcome_satisfies(
+                self.outcome({0: "a"}), k=2, t=0, validity="RV1"
+            )
+
+
+class TestRandomOutcomes:
+    def test_count_and_determinism(self):
+        first = [o.inputs for o in random_outcomes(5, seed=1)]
+        second = [o.inputs for o in random_outcomes(5, seed=1)]
+        assert len(first) == 5
+        assert first == second
+
+    def test_seed_changes_stream(self):
+        a = [o.inputs for o in random_outcomes(5, seed=1)]
+        b = [o.inputs for o in random_outcomes(5, seed=2)]
+        assert a != b
