@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures experiments examples all clean
+.PHONY: install test bench bench-throughput figures experiments examples all clean
 
 install:
 	pip install -e .
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-throughput:
+	$(PYTHON) benchmarks/bench_sweep_throughput.py
 
 figures:
 	$(PYTHON) examples/figure_gallery.py --n 64 --outdir figures

@@ -1,0 +1,186 @@
+"""Sweep throughput benchmark: serial vs parallel, FULL vs COUNTERS.
+
+Measures Monte-Carlo sweep throughput (runs/second) along the two axes
+the parallel engine optimizes:
+
+* **trace mode** -- ``FULL`` (every ``TraceRecord`` allocated, the
+  replay/forensics default) against ``COUNTERS`` (integer counters
+  only, the sweep fast path);
+* **execution** -- serial against ``--jobs``-parallel worker processes.
+
+For every measured point the benchmark also *verifies* that the
+verdicts and decision histograms are identical across all four
+configurations -- throughput must never change results.
+
+Run as a script to (re)generate ``BENCH_sweep_throughput.json`` at the
+repository root::
+
+    python benchmarks/bench_sweep_throughput.py            # full grid
+    python benchmarks/bench_sweep_throughput.py --smoke    # quick CI run
+
+Under ``pytest benchmarks/ --benchmark-only`` a smoke-sized measurement
+runs without touching the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.harness.parallel import available_jobs, derive_seed
+from repro.harness.sweep import SweepConfig, sweep_spec
+from repro.protocols.base import get_spec
+from repro.runtime.traces import TraceMode
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_sweep_throughput.json"
+
+#: A cheap, always-solvable MP crash-model protocol: the sweep cost is
+#: dominated by kernel events, which is exactly what we want to measure.
+SPEC_NAME = "protocol-a@mp-cr"
+BASE_SEED = 20260805
+
+FULL_N_VALUES = (8, 16, 24)
+FULL_RUNS = 48
+SMOKE_N_VALUES = (8,)
+SMOKE_RUNS = 12
+
+
+def _point_for(n: int) -> Dict[str, int]:
+    """A (k, t) point inside the spec's solvable region at ``n``."""
+    spec = get_spec(SPEC_NAME)
+    k = max(2, n // 2)
+    for t in range(n, 0, -1):
+        if spec.solvable(n, k, t):
+            return {"n": n, "k": k, "t": t}
+    raise RuntimeError(f"no solvable t for {SPEC_NAME} at n={n}, k={k}")
+
+
+def _measure(
+    n: int, k: int, t: int, runs: int, jobs: int, trace_mode: TraceMode
+) -> Dict:
+    spec = get_spec(SPEC_NAME)
+    config = SweepConfig(
+        runs=runs,
+        seed=derive_seed(BASE_SEED, SPEC_NAME, n, k, t),
+        trace_mode=trace_mode,
+    )
+    started = time.perf_counter()
+    stats = sweep_spec(spec, n, k, t, config, jobs=jobs)
+    elapsed = time.perf_counter() - started
+    return {
+        "jobs": jobs,
+        "trace_mode": str(trace_mode),
+        "seconds": round(elapsed, 4),
+        "runs_per_sec": round(runs / elapsed, 2) if elapsed > 0 else None,
+        "violations": len(stats.violations),
+        "decisions_histogram": {
+            str(key): value
+            for key, value in sorted(stats.decisions_histogram.items())
+        },
+    }
+
+
+def run_suite(smoke: bool = False, jobs: Optional[int] = None) -> Dict:
+    """Measure the full grid; returns the JSON-ready payload.
+
+    Asserts that every configuration of one point produced identical
+    verdicts and decision histograms (the determinism contract).
+    """
+    n_values = SMOKE_N_VALUES if smoke else FULL_N_VALUES
+    runs = SMOKE_RUNS if smoke else FULL_RUNS
+    parallel_jobs = jobs if jobs else available_jobs()
+
+    points: List[Dict] = []
+    for n in n_values:
+        point = _point_for(n)
+        k, t = point["k"], point["t"]
+        configs = {
+            "serial_full": (1, TraceMode.FULL),
+            "serial_counters": (1, TraceMode.COUNTERS),
+            "parallel_full": (parallel_jobs, TraceMode.FULL),
+            "parallel_counters": (parallel_jobs, TraceMode.COUNTERS),
+        }
+        measured = {
+            label: _measure(n, k, t, runs, j, mode)
+            for label, (j, mode) in configs.items()
+        }
+        histograms = {
+            label: m["decisions_histogram"] for label, m in measured.items()
+        }
+        reference = histograms["serial_full"]
+        for label, histogram in histograms.items():
+            assert histogram == reference, (
+                f"determinism broken at n={n}: {label} histogram "
+                f"{histogram} != serial_full {reference}"
+            )
+        serial = measured["serial_counters"]["runs_per_sec"]
+        parallel = measured["parallel_counters"]["runs_per_sec"]
+        full = measured["serial_full"]["runs_per_sec"]
+        points.append(
+            {
+                **point,
+                "runs": runs,
+                **measured,
+                "speedup_parallel_vs_serial": (
+                    round(parallel / serial, 3) if serial and parallel else None
+                ),
+                "speedup_counters_vs_full": (
+                    round(serial / full, 3) if serial and full else None
+                ),
+            }
+        )
+    return {
+        "benchmark": "sweep_throughput",
+        "spec": SPEC_NAME,
+        "base_seed": BASE_SEED,
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "parallel_jobs": parallel_jobs,
+        "points": points,
+    }
+
+
+def test_sweep_throughput_smoke(benchmark):
+    """Benchmark-suite entry: smoke-sized, no artifact written."""
+    payload = benchmark.pedantic(
+        run_suite, kwargs={"smoke": True}, rounds=1, iterations=1
+    )
+    assert payload["points"], "no points measured"
+    print(json.dumps(payload["points"][0], indent=2))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid for CI (still writes the artifact)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel worker count (0 = all cores)")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(smoke=args.smoke, jobs=args.jobs or None)
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    for point in payload["points"]:
+        print(
+            f"n={point['n']} k={point['k']} t={point['t']} "
+            f"({point['runs']} runs): "
+            f"serial FULL {point['serial_full']['runs_per_sec']}/s, "
+            f"serial COUNTERS {point['serial_counters']['runs_per_sec']}/s, "
+            f"parallel COUNTERS {point['parallel_counters']['runs_per_sec']}/s "
+            f"(x{point['speedup_parallel_vs_serial']} vs serial, "
+            f"counters x{point['speedup_counters_vs_full']} vs full)"
+        )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

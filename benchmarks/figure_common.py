@@ -16,6 +16,7 @@ artifacts land in ``benchmarks/out/`` for inspection.
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Tuple
 
@@ -33,6 +34,11 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 EMPIRICAL_N = 9
 POINTS_PER_SPEC = 2
 RUNS_PER_POINT = 12
+
+#: Worker processes for the empirical sweeps (1 = serial, 0 = all
+#: cores).  Results are bit-identical for any value, so CI can crank
+#: this without changing what is asserted.
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 
 def write_figure_artifacts(model: Model, n: int = 64) -> pathlib.Path:
@@ -73,6 +79,7 @@ def run_empirical_validation(model: Model, seed: int = 0):
         points_per_spec=POINTS_PER_SPEC,
         runs_per_point=RUNS_PER_POINT,
         seed=seed,
+        jobs=JOBS,
     )
     assert validation.possible_side_clean, [
         s.summary() for s in validation.sweeps if not s.clean

@@ -50,9 +50,11 @@ from repro.core.validity import (
     by_code,
 )
 from repro.core.values import DEFAULT, EMPTY
+from repro.harness.parallel import derive_seed, parallel_map
 from repro.harness.runner import ExperimentReport, run_mp, run_sm, run_spec
 from repro.harness.sweep import SweepConfig, SweepStats, sweep_spec
 from repro.models import ALL_MODELS, Model
+from repro.runtime.traces import TraceMode
 from repro.protocols import all_specs, get_spec, recommend, solve
 
 __version__ = "1.0.0"
@@ -75,6 +77,7 @@ __all__ = [
     "Solvability",
     "SweepConfig",
     "SweepStats",
+    "TraceMode",
     "ValidityCondition",
     "Verdict",
     "WV1",
@@ -82,6 +85,8 @@ __all__ = [
     "all_specs",
     "by_code",
     "classify",
+    "derive_seed",
+    "parallel_map",
     "frontier",
     "separation_points",
     "threshold",

@@ -117,27 +117,42 @@ class FigureValidation:
         return self.possible_side_clean and self.impossible_side_demonstrated
 
 
+def _figure_sweep_task(task) -> SweepStats:
+    """Module-level worker: one figure-validation grid point."""
+    from repro.protocols.base import get_spec
+
+    spec_name, n, k, t, runs, seed = task
+    return sweep_spec(
+        get_spec(spec_name), n, k, t, SweepConfig(runs=runs, seed=seed)
+    )
+
+
 def validate_figure(
     model: Model,
     n_empirical: int = 9,
     points_per_spec: int = 3,
     runs_per_point: int = 20,
     seed: int = 0,
+    jobs: int = 1,
 ) -> FigureValidation:
-    """Empirically validate one figure's possible and impossible sides."""
+    """Empirically validate one figure's possible and impossible sides.
+
+    The sweep grid (every registered protocol of the model at sampled
+    solvable points) is built up front with deterministic per-point
+    seeds, then executed -- in parallel worker processes when
+    ``jobs > 1`` (``0`` = all cores), with results identical to serial.
+    """
+    from repro.harness.parallel import parallel_map
+
     rng = random.Random(seed)
-    sweeps: List[SweepStats] = []
+    tasks = []
     for spec in all_specs(model=model):
         for (k, t) in sample_solvable_points(spec, n_empirical, points_per_spec, rng):
-            sweeps.append(
-                sweep_spec(
-                    spec,
-                    n_empirical,
-                    k,
-                    t,
-                    SweepConfig(runs=runs_per_point, seed=rng.randrange(1 << 30)),
-                )
+            tasks.append(
+                (spec.name, n_empirical, k, t, runs_per_point,
+                 rng.randrange(1 << 30))
             )
+    sweeps = parallel_map(_figure_sweep_task, tasks, jobs=jobs)
     return FigureValidation(
         model=model,
         n_empirical=n_empirical,
@@ -212,11 +227,15 @@ def generate_experiments_md(
     lines = [
         "# EXPERIMENTS -- paper vs. measured",
         "",
-        "Generated by `python -m repro.analysis.report`.  Every figure of the",
-        "paper is reproduced analytically (region maps at n = 64 from the",
-        "lemma bounds) and validated empirically (randomized sweeps inside",
-        "solvable regions must be violation-free; the proofs' adversarial",
-        "runs outside them must exhibit violations).",
+        "Generated by `python -m repro.analysis.report` (or `make",
+        "experiments`).  Every figure of the paper is reproduced",
+        "analytically (region maps at n = 64 from the lemma bounds) and",
+        "validated empirically (randomized sweeps inside solvable regions",
+        "must be violation-free; the proofs' adversarial runs outside them",
+        "must exhibit violations).  Sweep throughput (serial vs. parallel,",
+        "FULL vs. COUNTERS tracing) is tracked separately by",
+        "`benchmarks/bench_sweep_throughput.py`, which writes",
+        "`BENCH_sweep_throughput.json` (`make bench-throughput`).",
         "",
         "## Fig. 1 -- validity lattice",
         "",

@@ -86,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inputs", nargs="*", default=None,
                    help="input values (default: v0 v1 ...)")
 
+    def add_jobs_arg(p):
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes (1 = serial, 0 = all cores); "
+                 "results are identical for any value",
+        )
+
     p = sub.add_parser("sweep", help="Monte-Carlo sweep at one point")
     p.add_argument("spec")
     p.add_argument("--n", type=int, required=True)
@@ -93,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--t", type=int, required=True)
     p.add_argument("--runs", type=int, default=50)
     p.add_argument("--seed", type=int, default=0)
+    add_jobs_arg(p)
 
     p = sub.add_parser("attack", help="adversarial search for the worst run")
     p.add_argument("spec")
@@ -101,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--t", type=int, required=True)
     p.add_argument("--attempts", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+    add_jobs_arg(p)
 
     p = sub.add_parser("construct", help="run impossibility constructions")
     p.add_argument("--lemma", default=None,
@@ -158,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="JSON result path (resumable)")
+    add_jobs_arg(p)
 
     return parser
 
@@ -212,6 +222,7 @@ def _cmd_sweep(args) -> int:
     stats = sweep_spec(
         spec, args.n, args.k, args.t,
         SweepConfig(runs=args.runs, seed=args.seed),
+        jobs=args.jobs,
     )
     print(stats.summary())
     for violation in stats.violations[:10]:
@@ -224,7 +235,7 @@ def _cmd_attack(args) -> int:
     spec = get_spec(args.spec)
     result = search_worst_run(
         spec, args.n, args.k, args.t,
-        attempts=args.attempts, seed=args.seed,
+        attempts=args.attempts, seed=args.seed, jobs=args.jobs,
     )
     print(result.summary())
     if result.best_report is not None:
@@ -401,6 +412,7 @@ def _cmd_campaign(args) -> int:
     result = run_campaign(
         campaign,
         result_path=pathlib.Path(args.out) if args.out else None,
+        jobs=args.jobs,
     )
     print(result.summary())
     for record in result.violating()[:10]:

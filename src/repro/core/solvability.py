@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import functools
 from typing import Iterable, Optional, Tuple
 
 from repro.core.lemmas import ALL_LEMMAS, Lemma, LemmaKind, z_function
@@ -145,6 +146,7 @@ def _unique(items: Iterable[str]) -> Tuple[str, ...]:
     return tuple(seen)
 
 
+@functools.lru_cache(maxsize=None)
 def classify(
     model: Model,
     validity: ValidityCondition,
@@ -152,7 +154,14 @@ def classify(
     k: int,
     t: int,
 ) -> Classification:
-    """Classify ``SC(k, t, validity)`` over ``n`` processes in ``model``."""
+    """Classify ``SC(k, t, validity)`` over ``n`` processes in ``model``.
+
+    Memoized: every argument is hashable (validity conditions are
+    module-level singletons) and :class:`Classification` is immutable,
+    so region sweeps that revisit the same ``(model, validity, n, k,
+    t)`` point skip re-deriving the exact :class:`~fractions.Fraction`
+    bounds.  Use ``classify.cache_clear()`` to reset.
+    """
     if n < 1:
         raise ValueError("n must be positive")
     if not 1 <= k:

@@ -4,6 +4,12 @@ from repro.harness.attack import AttackResult, search_worst_run
 from repro.harness.campaign import Campaign, CampaignResult, run_campaign
 from repro.harness.exhaustive import ExplorationResult, crash_patterns, explore_mp
 from repro.harness.inputs import INPUT_PATTERNS, make_inputs
+from repro.harness.parallel import (
+    available_jobs,
+    derive_seed,
+    parallel_map,
+    resolve_jobs,
+)
 from repro.harness.runner import ExperimentReport, run_mp, run_sm, run_spec
 from repro.harness.sweep import SweepConfig, SweepStats, Violation, sweep_spec
 
@@ -13,8 +19,12 @@ __all__ = [
     "CampaignResult",
     "ExperimentReport",
     "ExplorationResult",
+    "available_jobs",
     "crash_patterns",
+    "derive_seed",
     "explore_mp",
+    "parallel_map",
+    "resolve_jobs",
     "run_campaign",
     "search_worst_run",
     "INPUT_PATTERNS",

@@ -30,7 +30,10 @@ from repro.failures.byzantine import (
     MuteProcess,
 )
 from repro.failures.crash import CrashPlan, CrashPoint
+from repro.harness.parallel import parallel_map
 from repro.harness.runner import ExperimentReport, run_spec
+from repro.protocols.base import get_spec
+from repro.runtime.traces import TraceMode
 from repro.net.schedulers import (
     FairDeliveryWrapper,
     GroupPartitionScheduler,
@@ -174,6 +177,77 @@ def _inputs(n: int, rng: random.Random) -> List[str]:
     return [rng.choice(pool) for _ in range(n)]
 
 
+def _run_attempt(
+    spec: ProtocolSpec,
+    n: int,
+    k: int,
+    t: int,
+    attempt_seed: int,
+    max_ticks: int,
+    trace_mode: TraceMode,
+) -> ExperimentReport:
+    """One attempt; fully determined by ``attempt_seed``.
+
+    May raise :class:`KernelLimitError` / :class:`SchedulerStall` (a
+    termination violation).
+    """
+    rng = random.Random(attempt_seed)
+    crash = None
+    byzantine = None
+    if spec.model.is_crash:
+        crash = _crash_plan(n, t, rng)
+    else:
+        byzantine = _byzantine_behaviours(spec, n, k, t, rng) or None
+    scheduler = (
+        _sm_scheduler(n, rng)
+        if spec.is_shared_memory
+        else _mp_scheduler(n, rng)
+    )
+    return run_spec(
+        spec, n, k, t, _inputs(n, rng),
+        scheduler=scheduler,
+        crash_adversary=crash,
+        byzantine_behaviours=byzantine,
+        max_ticks=max_ticks,
+        trace_mode=trace_mode,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class _AttemptSummary:
+    """Lightweight, picklable score of one attempt.
+
+    ``distinct`` is ``None`` for termination violations; ``detail``
+    carries the violation description when the attempt was not ok.
+    """
+
+    distinct: Optional[int]
+    ok: bool
+    detail: Optional[str]
+
+
+def _summarize_attempt(
+    spec: ProtocolSpec, n: int, k: int, t: int, attempt_seed: int, max_ticks: int
+) -> _AttemptSummary:
+    try:
+        report = _run_attempt(
+            spec, n, k, t, attempt_seed, max_ticks, TraceMode.COUNTERS
+        )
+    except (KernelLimitError, SchedulerStall) as error:
+        return _AttemptSummary(None, False, f"termination: {error}")
+    distinct = len(report.outcome.correct_decision_values())
+    if report.ok:
+        return _AttemptSummary(distinct, True, None)
+    detail = "; ".join(str(v) for v in report.violated().values())
+    return _AttemptSummary(distinct, False, detail)
+
+
+def _attack_task(task) -> _AttemptSummary:
+    """Module-level worker: one attack attempt, spec resolved by name."""
+    spec_name, n, k, t, attempt_seed, max_ticks = task
+    return _summarize_attempt(get_spec(spec_name), n, k, t, attempt_seed, max_ticks)
+
+
 def search_worst_run(
     spec: ProtocolSpec,
     n: int,
@@ -183,6 +257,7 @@ def search_worst_run(
     seed: int = 0,
     max_ticks: int = 200_000,
     stop_on_violation: bool = False,
+    jobs: int = 1,
 ) -> AttackResult:
     """Randomized adversarial search for the worst run of ``spec``.
 
@@ -190,54 +265,66 @@ def search_worst_run(
     shapes the impossibility proofs use), a failure pattern within the
     budget, and an input style, then runs the protocol and scores the
     run by distinct correct decisions and condition violations.
+
+    Per-attempt seeds are all drawn from the master RNG up front, so
+    attempts are independent; with ``jobs > 1`` (``0`` = all cores) they
+    run in worker processes and the result is bit-identical to serial.
+    Attempts execute with ``TraceMode.COUNTERS`` (no trace records); the
+    winning attempt is re-run once in ``FULL`` mode so
+    :attr:`AttackResult.best_report` still carries a complete trace for
+    replay and forensics.
     """
     master = random.Random(seed)
+    attempt_seeds = [master.randrange(1 << 62) for _ in range(attempts)]
     result = AttackResult(
         spec_name=spec.name, n=n, k=k, t=t,
         attempts=0, best_distinct=0, best_report=None, violations_found=0,
     )
-    for attempt in range(attempts):
-        rng = random.Random(master.randrange(1 << 62))
-        crash = None
-        byzantine = None
-        if spec.model.is_crash:
-            crash = _crash_plan(n, t, rng)
-        else:
-            byzantine = _byzantine_behaviours(spec, n, k, t, rng) or None
-        scheduler = (
-            _sm_scheduler(n, rng)
-            if spec.is_shared_memory
-            else _mp_scheduler(n, rng)
-        )
+
+    registered = False
+    if jobs != 1:
         try:
-            report = run_spec(
-                spec, n, k, t, _inputs(n, rng),
-                scheduler=scheduler,
-                crash_adversary=crash,
-                byzantine_behaviours=byzantine,
-                max_ticks=max_ticks,
-            )
-        except (KernelLimitError, SchedulerStall) as error:
-            result.attempts += 1
+            registered = get_spec(spec.name) is spec
+        except ValueError:
+            registered = False
+    if registered:
+        tasks = [
+            (spec.name, n, k, t, attempt_seed, max_ticks)
+            for attempt_seed in attempt_seeds
+        ]
+        summaries = parallel_map(_attack_task, tasks, jobs=jobs)
+    else:
+        # Lazy generator: with stop_on_violation the fold below breaks
+        # early and later attempts are never executed.
+        summaries = (
+            _summarize_attempt(spec, n, k, t, attempt_seed, max_ticks)
+            for attempt_seed in attempt_seeds
+        )
+
+    best_index: Optional[int] = None
+    for index, summary in enumerate(summaries):
+        result.attempts += 1
+        if summary.distinct is None:  # termination violation
             result.violations_found += 1
             if result.first_violation is None:
-                result.first_violation = f"termination: {error}"
+                result.first_violation = summary.detail
             if stop_on_violation:
                 break
             continue
-        result.attempts += 1
-        distinct = len(report.outcome.correct_decision_values())
-        if distinct > result.best_distinct:
-            result.best_distinct = distinct
-            result.best_report = report
-        if not report.ok:
+        if summary.distinct > result.best_distinct:
+            result.best_distinct = summary.distinct
+            best_index = index
+        if not summary.ok:
             result.violations_found += 1
             if result.first_violation is None:
-                result.first_violation = "; ".join(
-                    str(v) for v in report.violated().values()
-                )
-            if result.best_report is None or distinct >= result.best_distinct:
-                result.best_report = report
+                result.first_violation = summary.detail
+            if best_index is None or summary.distinct >= result.best_distinct:
+                best_index = index
             if stop_on_violation:
                 break
+
+    if best_index is not None:
+        result.best_report = _run_attempt(
+            spec, n, k, t, attempt_seeds[best_index], max_ticks, TraceMode.FULL
+        )
     return result

@@ -16,6 +16,7 @@ import pathlib
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import sample_solvable_points
+from repro.harness.parallel import parallel_map
 from repro.harness.sweep import SweepConfig, SweepStats, sweep_spec
 from repro.protocols.base import ProtocolSpec, all_specs, get_spec
 from repro.models import Model
@@ -126,15 +127,59 @@ class CampaignResult:
         )
 
 
+def _pending_points(
+    campaign: Campaign, done: set
+) -> List[Tuple[str, int, int, int, int]]:
+    """Points still to sweep, in deterministic campaign order.
+
+    Each entry is ``(spec_name, n, k, t, point_seed)``; the per-point
+    seed is derived from the point's key, so resuming an interrupted
+    campaign (or running it in parallel) reproduces the same runs
+    exactly.
+    """
+    points: List[Tuple[str, int, int, int, int]] = []
+    for spec in campaign.specs():
+        for n in campaign.n_values:
+            point_rng = random.Random(f"{campaign.seed}:{spec.name}:{n}")
+            for (k, t) in sample_solvable_points(
+                spec, n, campaign.points_per_spec, point_rng
+            ):
+                key = f"{spec.name}|n={n}|k={k}|t={t}"
+                if key in done:
+                    continue
+                point_seed = random.Random(
+                    f"{campaign.seed}:{key}"
+                ).randrange(1 << 30)
+                points.append((spec.name, n, k, t, point_seed))
+    return points
+
+
+def _campaign_point(task) -> PointRecord:
+    """Module-level worker: sweep one campaign point."""
+    spec_name, n, k, t, point_seed, runs_per_point = task
+    stats = sweep_spec(
+        get_spec(spec_name), n, k, t,
+        SweepConfig(runs=runs_per_point, seed=point_seed),
+    )
+    return PointRecord.from_stats(stats)
+
+
 def run_campaign(
     campaign: Campaign,
     result_path: Optional[pathlib.Path] = None,
+    jobs: int = 1,
 ) -> CampaignResult:
     """Execute (or resume) a campaign.
 
     When ``result_path`` exists, previously completed points are loaded
     and skipped; new records are appended and the file rewritten after
     every point, so an interrupted campaign loses at most one sweep.
+
+    With ``jobs > 1`` (``0`` = all cores) points are swept in parallel
+    worker processes.  Records are appended in the same deterministic
+    campaign order as the serial path, so the result file is
+    bit-identical; the result file is written once per completed batch
+    rather than per point.
     """
     if result_path is not None and result_path.exists():
         result = CampaignResult.load(result_path)
@@ -148,29 +193,19 @@ def run_campaign(
         result = CampaignResult(campaign=campaign.name, seed=campaign.seed)
     done = {record.key for record in result.records}
 
-    for spec in campaign.specs():
-        for n in campaign.n_values:
-            point_rng = random.Random(f"{campaign.seed}:{spec.name}:{n}")
-            for (k, t) in sample_solvable_points(
-                spec, n, campaign.points_per_spec, point_rng
-            ):
-                key = f"{spec.name}|n={n}|k={k}|t={t}"
-                if key in done:
-                    continue
-                # Per-point seed derived from the key, so resuming an
-                # interrupted campaign reproduces the same runs exactly.
-                point_seed = random.Random(
-                    f"{campaign.seed}:{key}"
-                ).randrange(1 << 30)
-                stats = sweep_spec(
-                    spec, n, k, t,
-                    SweepConfig(
-                        runs=campaign.runs_per_point,
-                        seed=point_seed,
-                    ),
-                )
-                result.records.append(PointRecord.from_stats(stats))
-                done.add(key)
-                if result_path is not None:
-                    result.save(result_path)
+    tasks = [
+        point + (campaign.runs_per_point,)
+        for point in _pending_points(campaign, done)
+    ]
+    if jobs != 1:
+        for record in parallel_map(_campaign_point, tasks, jobs=jobs):
+            result.records.append(record)
+        if tasks and result_path is not None:
+            result.save(result_path)
+        return result
+
+    for task in tasks:
+        result.records.append(_campaign_point(task))
+        if result_path is not None:
+            result.save(result_path)
     return result

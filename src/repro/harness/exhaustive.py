@@ -38,6 +38,7 @@ from repro.core.validity import ValidityCondition
 from repro.core.values import Value
 from repro.failures.crash import CrashPlan, CrashPoint
 from repro.runtime.kernel import MPKernel
+from repro.runtime.traces import TraceMode
 from repro.runtime.process import Process
 
 __all__ = ["ExplorationResult", "crash_patterns", "explore_mp", "explore_sm"]
@@ -51,23 +52,6 @@ class _ScriptScheduler:
 
     def pick(self, kernel) -> Optional[int]:
         return self.next_choice
-
-
-class _NullTrace:
-    """Drop-in no-op trace: forked kernels do not need event logs, and
-    deep-copying accumulated traces dominates exploration cost."""
-
-    def record(self, *args, **kwargs) -> None:
-        pass
-
-    def of_kind(self, kind):
-        return []
-
-    def message_count(self) -> int:
-        return 0
-
-    def __deepcopy__(self, memo):
-        return self
 
 
 @dataclasses.dataclass
@@ -141,8 +125,10 @@ def explore_mp(
             scheduler=scheduler,
             crash_adversary=copy.deepcopy(crash_adversary),
             stop_when_decided=True,
+            # Forked kernels need no event logs, and deep-copying
+            # accumulated traces would dominate exploration cost.
+            trace_mode=TraceMode.OFF,
         )
-        kernel.trace = _NullTrace()
         kernel._apply_dynamic_crashes()
         return kernel, scheduler
 
@@ -252,8 +238,8 @@ def explore_sm(
             crash_adversary=copy.deepcopy(crash_adversary),
             stop_when_decided=True,
             max_ticks=max_ticks_per_run,
+            trace_mode=TraceMode.OFF,
         )
-        kernel.trace = _NullTrace()
         try:
             kernel.run()
         except Exception:

@@ -1,0 +1,110 @@
+"""Parallel fan-out engine for the Monte-Carlo harnesses.
+
+Sweeps, campaigns, adversarial searches, and the figure benchmarks are
+all embarrassingly parallel: every run derives its randomness from a
+per-task seed, never from shared mutable state.  This module provides
+the shared machinery to shard those task lists across worker processes
+while keeping results **bit-identical** to serial execution:
+
+* :func:`parallel_map` -- order-preserving ``map`` over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (serial when
+  ``jobs <= 1``), so aggregation code is independent of where tasks ran;
+* :func:`derive_seed` -- a stable hash-based seed mixer (SHA-256, not
+  Python's randomized ``hash``) turning ``(base_seed, spec, n, k, t,
+  run_index)``-style tuples into per-task seeds that are reproducible
+  across processes, platforms, and interpreter restarts;
+* :func:`resolve_jobs` -- maps a user-facing ``--jobs`` value to a
+  worker count (``0``/``None`` means "all cores").
+
+Worker functions passed to :func:`parallel_map` must be module-level
+(picklable), and task payloads should reference protocols by registry
+name rather than by :class:`~repro.protocols.base.ProtocolSpec` object
+(spec factories are frequently closures, which do not pickle).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = [
+    "available_jobs",
+    "derive_seed",
+    "parallel_map",
+    "resolve_jobs",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def available_jobs() -> int:
+    """Number of workers a ``--jobs 0`` ("auto") request resolves to."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a user-facing jobs request to a positive worker count.
+
+    ``None`` or ``0`` mean "one worker per core"; negative values are
+    rejected.
+    """
+    if jobs is None or jobs == 0:
+        return available_jobs()
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def derive_seed(*parts: object) -> int:
+    """Derive a stable 62-bit seed from arbitrary repr-able parts.
+
+    Unlike ``hash()``, the derivation does not depend on interpreter
+    hash randomization or process identity, so serial and parallel runs
+    (and reruns on other machines) agree on every per-task seed.
+    """
+    blob = "\x1f".join(repr(part) for part in parts).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") >> 2
+
+
+def _run_serial(fn: Callable[[_T], _R], tasks: Sequence[_T]) -> List[_R]:
+    return [fn(task) for task in tasks]
+
+
+def _warm_registry() -> None:
+    """Worker initializer: populate the protocol registry.
+
+    Needed only under the ``spawn`` start method (fresh interpreter);
+    under ``fork`` the registry is inherited.  Importing is idempotent.
+    """
+    import repro.protocols  # noqa: F401  (imported for registration)
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    tasks: Iterable[_T],
+    jobs: int = 1,
+    chunksize: Optional[int] = None,
+) -> List[_R]:
+    """Apply ``fn`` to every task, preserving input order in the result.
+
+    With ``jobs <= 1`` (or at most one task) this is a plain list
+    comprehension -- the serial reference path.  Otherwise tasks are
+    dispatched to a process pool; because results come back in input
+    order, any deterministic aggregation over the returned list is
+    bit-identical to the serial path.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return _run_serial(fn, tasks)
+    jobs = min(jobs, len(tasks))
+    if chunksize is None:
+        # A few chunks per worker amortizes IPC without starving the pool.
+        chunksize = max(1, len(tasks) // (jobs * 4))
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_warm_registry
+    ) as executor:
+        return list(executor.map(fn, tasks, chunksize=chunksize))

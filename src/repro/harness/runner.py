@@ -20,6 +20,7 @@ from repro.net.schedulers import FifoScheduler
 from repro.protocols.base import ProtocolSpec
 from repro.runtime.kernel import ExecutionResult, MPKernel
 from repro.runtime.process import Process
+from repro.runtime.traces import TraceMode
 from repro.shm.kernel import SMKernel, SMProgram
 from repro.shm.schedulers import RoundRobinScheduler
 
@@ -71,6 +72,7 @@ def run_mp(
     byzantine: Sequence[int] = (),
     stop_when_decided: bool = True,
     max_ticks: int = 1_000_000,
+    trace_mode: TraceMode = TraceMode.FULL,
 ) -> ExperimentReport:
     """Run a message-passing execution and check ``SC(k, t, validity)``."""
     problem = SCProblem(n=len(processes), k=k, t=t, validity=validity)
@@ -83,6 +85,7 @@ def run_mp(
         byzantine=byzantine,
         stop_when_decided=stop_when_decided,
         max_ticks=max_ticks,
+        trace_mode=trace_mode,
     )
     return _report(problem, kernel.run())
 
@@ -98,6 +101,7 @@ def run_sm(
     byzantine: Sequence[int] = (),
     stop_when_decided: bool = True,
     max_ticks: int = 1_000_000,
+    trace_mode: TraceMode = TraceMode.FULL,
 ) -> ExperimentReport:
     """Run a shared-memory execution and check ``SC(k, t, validity)``."""
     problem = SCProblem(n=len(programs), k=k, t=t, validity=validity)
@@ -110,6 +114,7 @@ def run_sm(
         byzantine=byzantine,
         stop_when_decided=stop_when_decided,
         max_ticks=max_ticks,
+        trace_mode=trace_mode,
     )
     return _report(problem, kernel.run())
 
@@ -124,6 +129,7 @@ def run_spec(
     crash_adversary: Optional[CrashAdversary] = None,
     byzantine_behaviours: Optional[Mapping[int, object]] = None,
     max_ticks: int = 1_000_000,
+    trace_mode: TraceMode = TraceMode.FULL,
 ) -> ExperimentReport:
     """Run a registered protocol spec on one problem instance.
 
@@ -133,6 +139,9 @@ def run_spec(
             :class:`~repro.runtime.process.Process` or SM program,
             matching the spec's model); only meaningful in the Byzantine
             models.
+        trace_mode: trace retention of the underlying kernel; use
+            ``TraceMode.COUNTERS`` on Monte-Carlo paths that never read
+            individual records.
     """
     if len(inputs) != n:
         raise ValueError("inputs must have length n")
@@ -153,6 +162,7 @@ def run_spec(
             crash_adversary=crash_adversary,
             byzantine=sorted(byz),
             max_ticks=max_ticks,
+            trace_mode=trace_mode,
         )
     processes = [byz.get(pid) or spec.make(n, k, t) for pid in range(n)]
     return run_mp(
@@ -165,4 +175,5 @@ def run_spec(
         crash_adversary=crash_adversary,
         byzantine=sorted(byz),
         max_ticks=max_ticks,
+        trace_mode=trace_mode,
     )

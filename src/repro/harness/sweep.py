@@ -5,6 +5,14 @@ across randomized schedules, failure patterns, and input shapes, and
 counts condition violations.  Inside a protocol's solvable region the
 expected violation count is zero; the figure benchmarks and the test
 suite both assert exactly that.
+
+Every run derives its randomness from ``(config.seed, run_index)``
+alone, so runs are independent and order-free: :func:`sweep_spec` can
+shard them across worker processes (``jobs > 1``) and still aggregate
+results bit-identical to the serial path.  Runs default to
+``TraceMode.COUNTERS`` -- the sweep only reads outcomes and aggregate
+counters, so no :class:`~repro.runtime.traces.TraceRecord` is allocated
+on this path.
 """
 
 from __future__ import annotations
@@ -28,10 +36,12 @@ from repro.failures.byzantine_sm import (
 )
 from repro.failures.crash import RandomCrashes
 from repro.harness.inputs import INPUT_PATTERNS, make_inputs
+from repro.harness.parallel import parallel_map
 from repro.harness.runner import ExperimentReport, run_spec
 from repro.net.schedulers import RandomScheduler
-from repro.protocols.base import ProtocolSpec
+from repro.protocols.base import ProtocolSpec, get_spec
 from repro.runtime.kernel import KernelLimitError
+from repro.runtime.traces import TraceMode
 from repro.shm.schedulers import RandomProcessScheduler
 
 __all__ = ["SweepConfig", "SweepStats", "Violation", "sweep_spec"]
@@ -45,6 +55,7 @@ class SweepConfig:
     seed: int = 0
     input_patterns: Sequence[str] = INPUT_PATTERNS
     max_ticks: int = 300_000
+    trace_mode: TraceMode = TraceMode.COUNTERS
 
 
 @dataclasses.dataclass(frozen=True)
@@ -131,12 +142,88 @@ def _sm_byzantine_pool(spec: ProtocolSpec, n: int, k: int, t: int, rng: random.R
     return (mute, garbage, rewriter, liar, silent)
 
 
+def _sweep_run(
+    spec: ProtocolSpec,
+    n: int,
+    k: int,
+    t: int,
+    config: SweepConfig,
+    index: int,
+) -> Tuple[Optional[Violation], Optional[int]]:
+    """Execute run ``index`` of a sweep.
+
+    Returns ``(violation, distinct)``: the violation (if any) and the
+    number of distinct correct decisions (``None`` when the run hit the
+    tick budget).  All randomness is derived from ``(config.seed,
+    index)``, so the result is independent of which process runs it.
+    """
+    rng = random.Random(f"{config.seed}:{index}")
+    pattern = config.input_patterns[index % len(config.input_patterns)]
+    crash_adversary = None
+    byzantine = {}
+    if spec.model.is_crash:
+        crash_adversary = RandomCrashes(
+            n, t, seed=rng.randrange(1 << 30)
+        )
+        faulty_hint = crash_adversary.potentially_faulty()
+    else:
+        count = rng.randint(0, t)
+        victims = rng.sample(range(n), count)
+        pool = (
+            _sm_byzantine_pool(spec, n, k, t, rng)
+            if spec.is_shared_memory
+            else _mp_byzantine_pool(spec, n, k, t, rng)
+        )
+        for pid in victims:
+            byzantine[pid] = rng.choice(pool)(pid)
+        faulty_hint = frozenset(victims)
+    inputs = make_inputs(pattern, n, rng, faulty=faulty_hint)
+    scheduler = (
+        RandomProcessScheduler(seed=rng.randrange(1 << 30))
+        if spec.is_shared_memory
+        else RandomScheduler(seed=rng.randrange(1 << 30))
+    )
+    try:
+        report: ExperimentReport = run_spec(
+            spec,
+            n,
+            k,
+            t,
+            inputs,
+            scheduler=scheduler,
+            crash_adversary=crash_adversary,
+            byzantine_behaviours=byzantine or None,
+            max_ticks=config.max_ticks,
+            trace_mode=config.trace_mode,
+        )
+    except KernelLimitError as error:
+        return Violation(index, pattern, ("termination",), str(error)), None
+    distinct = len(report.outcome.correct_decision_values())
+    if not report.ok:
+        violated = report.violated()
+        violation = Violation(
+            index,
+            pattern,
+            tuple(violated),
+            "; ".join(str(v) for v in violated.values()),
+        )
+        return violation, distinct
+    return None, distinct
+
+
+def _sweep_task(task) -> Tuple[Optional[Violation], Optional[int]]:
+    """Module-level worker: one sweep run, spec resolved by name."""
+    spec_name, n, k, t, config, index = task
+    return _sweep_run(get_spec(spec_name), n, k, t, config, index)
+
+
 def sweep_spec(
     spec: ProtocolSpec,
     n: int,
     k: int,
     t: int,
     config: Optional[SweepConfig] = None,
+    jobs: int = 1,
 ) -> SweepStats:
     """Run randomized executions of ``spec`` at ``(n, k, t)``.
 
@@ -146,67 +233,41 @@ def sweep_spec(
     execution).  Schedulers are seeded-random.  Returns aggregate stats;
     no exception is raised on violations (callers assert on
     :attr:`SweepStats.clean`).
+
+    With ``jobs > 1`` (``0`` = all cores) runs are sharded across worker
+    processes; results are aggregated in run-index order and therefore
+    bit-identical to the serial path.  Parallel execution requires the
+    spec to be resolvable by name in the registry (ad-hoc specs fall
+    back to serial).
     """
     config = config or SweepConfig()
     stats = SweepStats(spec_name=spec.name, n=n, k=k, t=t)
-    for index in range(config.runs):
-        rng = random.Random(f"{config.seed}:{index}")
-        pattern = config.input_patterns[index % len(config.input_patterns)]
-        crash_adversary = None
-        byzantine = {}
-        if spec.model.is_crash:
-            crash_adversary = RandomCrashes(
-                n, t, seed=rng.randrange(1 << 30)
-            )
-            faulty_hint = crash_adversary.potentially_faulty()
-        else:
-            count = rng.randint(0, t)
-            victims = rng.sample(range(n), count)
-            pool = (
-                _sm_byzantine_pool(spec, n, k, t, rng)
-                if spec.is_shared_memory
-                else _mp_byzantine_pool(spec, n, k, t, rng)
-            )
-            for pid in victims:
-                byzantine[pid] = rng.choice(pool)(pid)
-            faulty_hint = frozenset(victims)
-        inputs = make_inputs(pattern, n, rng, faulty=faulty_hint)
-        scheduler = (
-            RandomProcessScheduler(seed=rng.randrange(1 << 30))
-            if spec.is_shared_memory
-            else RandomScheduler(seed=rng.randrange(1 << 30))
-        )
+
+    registered = False
+    if jobs != 1:
         try:
-            report: ExperimentReport = run_spec(
-                spec,
-                n,
-                k,
-                t,
-                inputs,
-                scheduler=scheduler,
-                crash_adversary=crash_adversary,
-                byzantine_behaviours=byzantine or None,
-                max_ticks=config.max_ticks,
-            )
-        except KernelLimitError as error:
-            stats.violations.append(
-                Violation(index, pattern, ("termination",), str(error))
-            )
-            stats.runs += 1
-            continue
+            registered = get_spec(spec.name) is spec
+        except ValueError:
+            registered = False
+    if registered:
+        tasks = [
+            (spec.name, n, k, t, config, index) for index in range(config.runs)
+        ]
+        results = parallel_map(_sweep_task, tasks, jobs=jobs)
+    else:
+        results = [
+            _sweep_run(spec, n, k, t, config, index)
+            for index in range(config.runs)
+        ]
+
+    for violation, distinct in results:
         stats.runs += 1
-        distinct = len(report.outcome.correct_decision_values())
+        if distinct is None:  # hit the tick budget
+            stats.violations.append(violation)
+            continue
         stats.decisions_histogram[distinct] = (
             stats.decisions_histogram.get(distinct, 0) + 1
         )
-        if not report.ok:
-            violated = report.violated()
-            stats.violations.append(
-                Violation(
-                    index,
-                    pattern,
-                    tuple(violated),
-                    "; ".join(str(v) for v in violated.values()),
-                )
-            )
+        if violation is not None:
+            stats.violations.append(violation)
     return stats

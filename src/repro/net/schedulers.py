@@ -33,7 +33,14 @@ __all__ = [
 
 
 class Scheduler:
-    """Interface: pick the sequence number of the next event to execute."""
+    """Interface: pick the sequence number of the next event to execute.
+
+    The kernel assigns sequence numbers monotonically and ``pending`` is
+    an insertion-ordered mapping, so its first key is always the oldest
+    (minimum) pending sequence number and its last key the newest --
+    schedulers below exploit this to pick in O(1) instead of scanning
+    every pending event each tick.
+    """
 
     def pick(self, kernel) -> Optional[int]:
         """Return a key of ``kernel.pending`` or ``None`` to refuse all."""
@@ -46,7 +53,7 @@ class FifoScheduler(Scheduler):
     def pick(self, kernel) -> Optional[int]:
         if not kernel.pending:
             return None
-        return min(kernel.pending)
+        return next(iter(kernel.pending))
 
 
 class LifoScheduler(Scheduler):
@@ -60,10 +67,13 @@ class LifoScheduler(Scheduler):
     def pick(self, kernel) -> Optional[int]:
         if not kernel.pending:
             return None
-        starts = [s for s, e in kernel.pending.items() if isinstance(e, Start)]
-        if starts:
-            return min(starts)
-        return max(kernel.pending)
+        # All Start events are scheduled before any Delivery, so a Start
+        # remains pending exactly when the oldest pending event is one;
+        # no need to rebuild a starts list once they are drained.
+        oldest = next(iter(kernel.pending))
+        if isinstance(kernel.pending[oldest], Start):
+            return oldest
+        return next(reversed(kernel.pending))
 
 
 class RandomScheduler(Scheduler):
@@ -75,7 +85,9 @@ class RandomScheduler(Scheduler):
     def pick(self, kernel) -> Optional[int]:
         if not kernel.pending:
             return None
-        return self._rng.choice(sorted(kernel.pending))
+        # Keys are already in ascending order (insertion order == seq
+        # order), so no sort is needed for a deterministic choice.
+        return self._rng.choice(list(kernel.pending))
 
 
 class FairDeliveryWrapper(Scheduler):
@@ -102,10 +114,10 @@ class FairDeliveryWrapper(Scheduler):
         self._since_override += 1
         if self._since_override >= self._patience:
             self._since_override = 0
-            return min(kernel.pending)
+            return next(iter(kernel.pending))
         choice = self._inner.pick(kernel)
         if choice is None:
-            return min(kernel.pending)
+            return next(iter(kernel.pending))
         return choice
 
 
@@ -131,15 +143,13 @@ class PredicateScheduler(Scheduler):
     def pick(self, kernel) -> Optional[int]:
         if not kernel.pending:
             return None
-        eligible: List[int] = []
-        for seq in sorted(kernel.pending):
-            event = kernel.pending[seq]
+        # Pending keys iterate oldest-first, so the first eligible event
+        # found is the oldest eligible one.
+        for seq, event in kernel.pending.items():
             if isinstance(event, Start) or self._allow(kernel, event):
-                eligible.append(seq)
-        if eligible:
-            return eligible[0]
+                return seq
         if self._release_on_stall:
-            return min(kernel.pending)
+            return next(iter(kernel.pending))
         return None
 
 

@@ -16,7 +16,7 @@ from repro.runtime.replay import (
     ReplayProcessScheduler,
     ReplayScheduler,
 )
-from repro.runtime.traces import Trace, TraceRecord
+from repro.runtime.traces import Trace, TraceMode, TraceRecord
 
 __all__ = [
     "Context",
@@ -36,5 +36,6 @@ __all__ = [
     "SchedulerStall",
     "Start",
     "Trace",
+    "TraceMode",
     "TraceRecord",
 ]

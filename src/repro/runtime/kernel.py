@@ -31,7 +31,7 @@ from repro.core.values import Value
 from repro.failures.adversary import CrashAdversary, NoCrashes
 from repro.runtime.events import Delivery, Event, Start
 from repro.runtime.process import Context, Process, ProtocolError
-from repro.runtime.traces import Trace
+from repro.runtime.traces import Trace, TraceMode
 
 __all__ = [
     "ExecutionResult",
@@ -63,33 +63,30 @@ class ExecutionResult:
     trace: Trace
     ticks: int
     quiescent: bool
+    _stats: Optional["ExecutionStats"] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def message_count(self) -> int:
         return self.trace.message_count()
 
     def stats(self) -> "ExecutionStats":
-        """Per-process counters and decision latencies for this run."""
-        sends: Dict[int, int] = {}
-        deliveries: Dict[int, int] = {}
-        register_ops: Dict[int, int] = {}
-        decision_tick: Dict[int, int] = {}
-        for record in self.trace:
-            if record.kind == "send":
-                sends[record.pid] = sends.get(record.pid, 0) + 1
-            elif record.kind == "deliver":
-                deliveries[record.pid] = deliveries.get(record.pid, 0) + 1
-            elif record.kind in ("read", "write"):
-                register_ops[record.pid] = register_ops.get(record.pid, 0) + 1
-            elif record.kind == "decide" and record.pid not in decision_tick:
-                decision_tick[record.pid] = record.tick
-        return ExecutionStats(
-            ticks=self.ticks,
-            sends_by_process=sends,
-            deliveries_by_process=deliveries,
-            register_ops_by_process=register_ops,
-            decision_tick_by_process=decision_tick,
-        )
+        """Per-process counters and decision latencies for this run.
+
+        Reads the trace's incrementally-maintained counters (available in
+        both ``FULL`` and ``COUNTERS`` trace modes) and caches the result,
+        so repeated calls never rescan the trace.
+        """
+        if self._stats is None:
+            self._stats = ExecutionStats(
+                ticks=self.ticks,
+                sends_by_process=dict(self.trace.sends_by_process),
+                deliveries_by_process=dict(self.trace.deliveries_by_process),
+                register_ops_by_process=dict(self.trace.register_ops_by_process),
+                decision_tick_by_process=dict(self.trace.decision_tick_by_process),
+            )
+        return self._stats
 
 
 @dataclasses.dataclass(frozen=True)
@@ -164,6 +161,9 @@ class MPKernel:
         max_ticks: safety valve against non-terminating protocols.
         enforce_budget: validate that byzantine + potentially-crashing
             processes stay within ``t``.
+        trace_mode: how much the trace retains; ``COUNTERS`` skips all
+            :class:`~repro.runtime.traces.TraceRecord` allocation (the
+            Monte-Carlo fast path), ``OFF`` records nothing.
     """
 
     def __init__(
@@ -177,6 +177,7 @@ class MPKernel:
         stop_when_decided: bool = True,
         max_ticks: int = 1_000_000,
         enforce_budget: bool = True,
+        trace_mode: TraceMode = TraceMode.FULL,
     ) -> None:
         if len(processes) != len(inputs):
             raise ValueError("processes and inputs must have equal length")
@@ -203,7 +204,7 @@ class MPKernel:
                     f"the failure budget t={t}"
                 )
 
-        self.trace = Trace()
+        self.trace = Trace(trace_mode)
         self.tick = 0
         self._seq = 0
         self._pending: Dict[int, Event] = {}

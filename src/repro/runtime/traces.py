@@ -8,14 +8,42 @@ serve three purposes:
 * debugging protocol runs (the ``format`` helper renders a readable log),
 * asserting fine-grained properties in tests (e.g. "no correct process
   echoed twice for the same sender" in Protocol D).
+
+Monte-Carlo harnesses run millions of kernel events and only ever read
+aggregate counters off the trace, so :class:`Trace` supports three
+recording modes (:class:`TraceMode`):
+
+* ``FULL`` (default) -- keep every :class:`TraceRecord` *and* the
+  incremental counters; required by replay, forensics, space-time
+  diagrams, and any test that inspects individual records;
+* ``COUNTERS`` -- maintain only the integer counters (per-kind totals,
+  per-process sends/deliveries/register ops, first decision tick); no
+  ``TraceRecord`` is ever allocated, which is the sweep fast path;
+* ``OFF`` -- record nothing at all (the exhaustive explorer forks
+  kernels by deep copy and wants the trace to weigh nothing).
+
+In every mode the counters that *are* maintained agree exactly with
+what a ``FULL`` trace of the same run would report.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Iterator, List, Optional
+import enum
+from typing import Any, Dict, Iterator, List, Mapping, Optional
 
-__all__ = ["Trace", "TraceRecord"]
+__all__ = ["Trace", "TraceMode", "TraceRecord"]
+
+
+class TraceMode(enum.Enum):
+    """How much a :class:`Trace` retains of the run it observes."""
+
+    FULL = "full"
+    COUNTERS = "counters"
+    OFF = "off"
+
+    def __str__(self) -> str:
+        return self.value
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,13 +73,51 @@ class TraceRecord:
 
 
 class Trace:
-    """An append-only sequence of :class:`TraceRecord` entries."""
+    """An append-only sequence of :class:`TraceRecord` entries.
 
-    def __init__(self) -> None:
+    Per-kind and per-process counters are maintained incrementally on
+    every append, so ``message_count``/``delivery_count`` and the
+    :meth:`~repro.runtime.kernel.ExecutionResult.stats` aggregates never
+    rescan the record list -- and remain available in ``COUNTERS`` mode,
+    where the record list stays empty.
+    """
+
+    def __init__(self, mode: TraceMode = TraceMode.FULL) -> None:
+        self._mode = mode
         self._records: List[TraceRecord] = []
+        self._kind_counts: Dict[str, int] = {}
+        self._sends_by_process: Dict[int, int] = {}
+        self._deliveries_by_process: Dict[int, int] = {}
+        self._register_ops_by_process: Dict[int, int] = {}
+        self._decision_tick_by_process: Dict[int, int] = {}
+
+    @property
+    def mode(self) -> TraceMode:
+        return self._mode
+
+    # -- appending -----------------------------------------------------------
+
+    def _count(self, tick: int, kind: str, pid: int) -> None:
+        counts = self._kind_counts
+        counts[kind] = counts.get(kind, 0) + 1
+        if kind == "send":
+            per = self._sends_by_process
+            per[pid] = per.get(pid, 0) + 1
+        elif kind == "deliver":
+            per = self._deliveries_by_process
+            per[pid] = per.get(pid, 0) + 1
+        elif kind == "read" or kind == "write":
+            per = self._register_ops_by_process
+            per[pid] = per.get(pid, 0) + 1
+        elif kind == "decide":
+            self._decision_tick_by_process.setdefault(pid, tick)
 
     def append(self, record: TraceRecord) -> None:
-        self._records.append(record)
+        if self._mode is TraceMode.OFF:
+            return
+        self._count(record.tick, record.kind, record.pid)
+        if self._mode is TraceMode.FULL:
+            self._records.append(record)
 
     def record(
         self,
@@ -61,7 +127,13 @@ class Trace:
         peer: Optional[int] = None,
         payload: Any = None,
     ) -> None:
-        self._records.append(TraceRecord(tick, kind, pid, peer, payload))
+        if self._mode is TraceMode.OFF:
+            return
+        self._count(tick, kind, pid)
+        if self._mode is TraceMode.FULL:
+            self._records.append(TraceRecord(tick, kind, pid, peer, payload))
+
+    # -- record access (FULL mode; empty otherwise) --------------------------
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
@@ -80,15 +152,37 @@ class Trace:
         """All records about one process, in order."""
         return [r for r in self._records if r.pid == pid]
 
-    def message_count(self) -> int:
-        """Number of point-to-point sends (broadcast counts n sends)."""
-        return len(self.of_kind("send"))
-
-    def delivery_count(self) -> int:
-        return len(self.of_kind("deliver"))
-
     def decisions(self) -> List[TraceRecord]:
         return self.of_kind("decide")
+
+    # -- counters (all modes except OFF) -------------------------------------
+
+    def kind_count(self, kind: str) -> int:
+        """How many records of ``kind`` were appended (any mode but OFF)."""
+        return self._kind_counts.get(kind, 0)
+
+    def message_count(self) -> int:
+        """Number of point-to-point sends (broadcast counts n sends)."""
+        return self._kind_counts.get("send", 0)
+
+    def delivery_count(self) -> int:
+        return self._kind_counts.get("deliver", 0)
+
+    @property
+    def sends_by_process(self) -> Mapping[int, int]:
+        return self._sends_by_process
+
+    @property
+    def deliveries_by_process(self) -> Mapping[int, int]:
+        return self._deliveries_by_process
+
+    @property
+    def register_ops_by_process(self) -> Mapping[int, int]:
+        return self._register_ops_by_process
+
+    @property
+    def decision_tick_by_process(self) -> Mapping[int, int]:
+        return self._decision_tick_by_process
 
     def format(self, limit: Optional[int] = None) -> str:
         """Render the trace (optionally only the first ``limit`` records)."""

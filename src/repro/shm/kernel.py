@@ -21,7 +21,7 @@ from repro.core.values import Value
 from repro.failures.adversary import CrashAdversary, NoCrashes
 from repro.runtime.kernel import ExecutionResult, KernelLimitError, SchedulerStall
 from repro.runtime.process import ProtocolError
-from repro.runtime.traces import Trace
+from repro.runtime.traces import Trace, TraceMode
 from repro.shm.ops import Decide, Op, Read, Write
 from repro.shm.registers import RegisterFile
 
@@ -72,6 +72,9 @@ class SMKernel:
         crash_adversary: halts processes at operation boundaries.
         stop_when_decided: stop once every correct process decided.
         max_ticks: safety valve against non-terminating runs.
+        trace_mode: how much the trace retains; ``COUNTERS`` skips all
+            :class:`~repro.runtime.traces.TraceRecord` allocation (the
+            Monte-Carlo fast path), ``OFF`` records nothing.
     """
 
     def __init__(
@@ -85,6 +88,7 @@ class SMKernel:
         stop_when_decided: bool = True,
         max_ticks: int = 1_000_000,
         enforce_budget: bool = True,
+        trace_mode: TraceMode = TraceMode.FULL,
     ) -> None:
         if len(programs) != len(inputs):
             raise ValueError("programs and inputs must have equal length")
@@ -112,7 +116,7 @@ class SMKernel:
                 )
 
         self.registers = RegisterFile(self.n)
-        self.trace = Trace()
+        self.trace = Trace(trace_mode)
         self.tick = 0
         self._crashed: Set[int] = set()
         self._states = [_ProcessState() for _ in range(self.n)]

@@ -1,0 +1,30 @@
+"""Property test: memoized ``classify`` agrees with the raw computation."""
+
+import random
+
+from repro.core.solvability import classify
+from repro.core.validity import ALL_VALIDITY_CONDITIONS
+from repro.models import ALL_MODELS
+
+
+class TestClassifyCache:
+    def test_cached_matches_uncached_on_random_grid(self):
+        rng = random.Random(11)
+        raw = classify.__wrapped__
+        for _ in range(200):
+            model = rng.choice(ALL_MODELS)
+            validity = rng.choice(ALL_VALIDITY_CONDITIONS)
+            n = rng.randrange(2, 20)
+            k = rng.randrange(1, n + 2)
+            t = rng.randrange(0, n + 2)
+            assert classify(model, validity, n, k, t) == raw(
+                model, validity, n, k, t
+            ), (model, validity.code, n, k, t)
+
+    def test_repeat_call_hits_cache(self):
+        classify.cache_clear()
+        args = (ALL_MODELS[0], ALL_VALIDITY_CONDITIONS[0], 8, 3, 2)
+        first = classify(*args)
+        second = classify(*args)
+        assert second is first
+        assert classify.cache_info().hits >= 1

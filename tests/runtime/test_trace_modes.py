@@ -1,0 +1,79 @@
+"""Tests for trace retention modes (FULL / COUNTERS / OFF)."""
+
+import random
+
+import pytest
+
+from repro.harness.inputs import make_inputs
+from repro.harness.runner import run_spec
+from repro.protocols.base import all_specs
+from repro.runtime.traces import Trace, TraceMode
+
+
+def _small_point(spec):
+    """A cheap solvable ``(n, k, t)`` for a registered spec."""
+    for n in (5, 6, 7):
+        for k in range(2, n + 1):
+            for t in range(n, 0, -1):
+                if spec.solvable(n, k, t):
+                    return n, k, t
+    raise AssertionError(f"no small solvable point for {spec.name}")
+
+
+def _run(spec, mode):
+    n, k, t = _small_point(spec)
+    inputs = make_inputs("distinct", n, random.Random(7))
+    return run_spec(spec, n, k, t, inputs, trace_mode=mode)
+
+
+class TestCountersMode:
+    @pytest.mark.parametrize(
+        "spec", all_specs(), ids=lambda spec: spec.name
+    )
+    def test_stats_match_full_mode(self, spec):
+        full = _run(spec, TraceMode.FULL)
+        counters = _run(spec, TraceMode.COUNTERS)
+        assert counters.result.stats() == full.result.stats()
+        assert counters.verdicts == full.verdicts
+        assert counters.result.outcome.decisions == full.result.outcome.decisions
+
+    def test_no_records_allocated(self):
+        trace = Trace(TraceMode.COUNTERS)
+        trace.record(0, "start", 0)
+        trace.record(1, "send", 0, 1, "m")
+        trace.record(2, "deliver", 1, 0, "m")
+        trace.record(3, "decide", 1, payload="v")
+        assert len(trace) == 0
+        assert trace.message_count() == 1
+        assert trace.delivery_count() == 1
+        assert trace.kind_count("decide") == 1
+        assert trace.sends_by_process == {0: 1}
+        assert trace.decision_tick_by_process == {1: 3}
+
+
+class TestOffMode:
+    def test_records_nothing(self):
+        trace = Trace(TraceMode.OFF)
+        trace.record(0, "start", 0)
+        trace.record(1, "send", 0, 1, "m")
+        assert len(trace) == 0
+        assert trace.message_count() == 0
+        assert trace.kind_count("send") == 0
+
+
+class TestFullMode:
+    def test_is_the_default(self):
+        assert Trace().mode is TraceMode.FULL
+
+    def test_counters_and_records_agree(self):
+        trace = Trace()
+        trace.record(0, "send", 0, 1, "m")
+        trace.record(1, "send", 2, 1, "m")
+        assert trace.message_count() == len(trace.of_kind("send")) == 2
+
+
+class TestStatsCache:
+    def test_stats_object_is_cached(self):
+        spec = next(iter(all_specs()))
+        report = _run(spec, TraceMode.FULL)
+        assert report.result.stats() is report.result.stats()
