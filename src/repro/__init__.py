@@ -17,7 +17,9 @@ The library provides, from scratch:
   :mod:`repro.failures`), plus an asyncio backend;
 * executable versions of the impossibility proofs' adversarial runs
   (:mod:`repro.adversary`) and figure/report generators
-  (:mod:`repro.analysis`, :mod:`repro.harness`).
+  (:mod:`repro.analysis`, :mod:`repro.harness`);
+* a conformance oracle layer with counterexample shrinking, replayable
+  witness files, and differential kernel testing (:mod:`repro.verify`).
 
 Quickstart::
 
@@ -56,6 +58,7 @@ from repro.harness.sweep import SweepConfig, SweepStats, sweep_spec
 from repro.models import ALL_MODELS, Model
 from repro.runtime.traces import TraceMode
 from repro.protocols import all_specs, get_spec, recommend, solve
+from repro.verify.oracles import Violation, check_execution
 
 __version__ = "1.0.0"
 
@@ -80,6 +83,8 @@ __all__ = [
     "TraceMode",
     "ValidityCondition",
     "Verdict",
+    "Violation",
+    "check_execution",
     "WV1",
     "WV2",
     "all_specs",

@@ -18,7 +18,12 @@ Subcommands:
   space-time diagram;
 * ``exhaustive``-- verify a protocol over ALL schedules of a tiny
   instance;
-* ``campaign``  -- run a persisted validation campaign.
+* ``campaign``  -- run a persisted validation campaign;
+* ``verify-run``-- replay a witness file through the oracle stack.
+
+``run``, ``sweep``, ``attack``, and ``exhaustive`` all accept
+``--verify`` to additionally judge executions with the
+:mod:`repro.verify.oracles` conformance stack.
 
 Examples::
 
@@ -78,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("lattice", help="print and verify the Fig. 1 lattice")
 
+    def add_verify_arg(p):
+        p.add_argument(
+            "--verify", action="store_true",
+            help="also judge executions with the repro.verify oracle stack",
+        )
+
     p = sub.add_parser("run", help="run a registered protocol once")
     p.add_argument("spec", help="protocol spec name (see `protocols`)")
     p.add_argument("--n", type=int, required=True)
@@ -85,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--t", type=int, required=True)
     p.add_argument("--inputs", nargs="*", default=None,
                    help="input values (default: v0 v1 ...)")
+    add_verify_arg(p)
 
     def add_jobs_arg(p):
         p.add_argument(
@@ -101,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=50)
     p.add_argument("--seed", type=int, default=0)
     add_jobs_arg(p)
+    add_verify_arg(p)
 
     p = sub.add_parser("attack", help="adversarial search for the worst run")
     p.add_argument("spec")
@@ -110,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--attempts", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
     add_jobs_arg(p)
+    add_verify_arg(p)
+    p.add_argument(
+        "--save-witness", default=None, metavar="PATH",
+        help="record the winning attempt as a replayable witness file "
+             "(crash-model specs only; the schedule is shrunk when it "
+             "violates a safety oracle)",
+    )
 
     p = sub.add_parser("construct", help="run impossibility constructions")
     p.add_argument("--lemma", default=None,
@@ -159,6 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--t", type=int, required=True)
     p.add_argument("--inputs", nargs="*", default=None)
     p.add_argument("--max-states", type=int, default=200_000)
+    add_verify_arg(p)
+
+    p = sub.add_parser(
+        "verify-run",
+        help="replay a witness file and run the oracle stack over it",
+    )
+    p.add_argument("witness", help="path to a repro-witness/1 JSON file")
 
     p = sub.add_parser("campaign", help="run a persisted validation campaign")
     p.add_argument("--name", default="default")
@@ -210,7 +237,7 @@ def _cmd_lattice(args) -> int:
 def _cmd_run(args) -> int:
     spec = get_spec(args.spec)
     inputs = args.inputs or [f"v{i}" for i in range(args.n)]
-    report = run_spec(spec, args.n, args.k, args.t, inputs)
+    report = run_spec(spec, args.n, args.k, args.t, inputs, verify=args.verify)
     print(f"protocol : {spec.title} ({spec.lemma})")
     print(f"decisions: {report.outcome.decisions}")
     print(f"verdicts : {report.summary()}")
@@ -221,7 +248,7 @@ def _cmd_sweep(args) -> int:
     spec = get_spec(args.spec)
     stats = sweep_spec(
         spec, args.n, args.k, args.t,
-        SweepConfig(runs=args.runs, seed=args.seed),
+        SweepConfig(runs=args.runs, seed=args.seed, verify=args.verify),
         jobs=args.jobs,
     )
     print(stats.summary())
@@ -236,10 +263,25 @@ def _cmd_attack(args) -> int:
     result = search_worst_run(
         spec, args.n, args.k, args.t,
         attempts=args.attempts, seed=args.seed, jobs=args.jobs,
+        verify=args.verify,
     )
     print(result.summary())
     if result.best_report is not None:
         print(f"  worst decisions: {result.best_report.outcome.decisions}")
+    if args.save_witness:
+        import pathlib
+
+        from repro.harness.attack import record_best_witness
+        from repro.verify.witness import save_witness
+
+        try:
+            witness = record_best_witness(result)
+        except ValueError as reason:
+            print(f"  cannot save witness: {reason}")
+            return 2
+        save_witness(witness, pathlib.Path(args.save_witness))
+        print(f"  witness: {args.save_witness} "
+              f"({len(witness.choices)} choices, kind={witness.kind})")
     return 0 if not result.violations_found else 1
 
 
@@ -385,6 +427,7 @@ def _cmd_exhaustive(args) -> int:
         lambda: [spec.make(args.n, args.k, args.t) for _ in range(args.n)],
         inputs, args.k, args.t, validity,
         max_states=args.max_states,
+        verify=args.verify,
     )
     print(
         f"explored {result.states} states / {result.runs} complete runs "
@@ -420,6 +463,27 @@ def _cmd_campaign(args) -> int:
     return 0 if result.clean else 1
 
 
+def _cmd_verify_run(args) -> int:
+    import pathlib
+
+    from repro.verify.witness import load_witness, verify_witness
+
+    path = pathlib.Path(args.witness)
+    try:
+        witness = load_witness(path)
+    except (OSError, ValueError) as reason:
+        print(f"cannot load witness: {reason}")
+        return 2
+    print(f"witness : {witness.describe()}")
+    report = verify_witness(witness)
+    print(f"replay  : {report.summary()}")
+    for violation in report.violations:
+        print(f"  !! {violation}")
+    if not report.deterministic:
+        return 2
+    return 1 if report.violations else 0
+
+
 _DISPATCH = {
     "classify": _cmd_classify,
     "panel": _cmd_panel,
@@ -438,6 +502,7 @@ _DISPATCH = {
     "trace": _cmd_trace,
     "exhaustive": _cmd_exhaustive,
     "campaign": _cmd_campaign,
+    "verify-run": _cmd_verify_run,
 }
 
 

@@ -121,21 +121,14 @@ class Outcome:
         """
         import json
 
-        from repro.core.values import DEFAULT, EMPTY
-
-        def encode(value):
-            if value is DEFAULT:
-                return {"$sentinel": "default"}
-            if value is EMPTY:
-                return {"$sentinel": "empty"}
-            if isinstance(value, (str, int, float, bool)) or value is None:
-                return value
-            return {"$repr": repr(value)}
+        from repro.core.values import encode_value
 
         return json.dumps({
             "n": self.n,
-            "inputs": {str(p): encode(v) for p, v in self.inputs.items()},
-            "decisions": {str(p): encode(v) for p, v in self.decisions.items()},
+            "inputs": {str(p): encode_value(v) for p, v in self.inputs.items()},
+            "decisions": {
+                str(p): encode_value(v) for p, v in self.decisions.items()
+            },
             "faulty": sorted(self.faulty),
         })
 
@@ -145,22 +138,15 @@ class Outcome:
         their repr strings)."""
         import json
 
-        from repro.core.values import DEFAULT, EMPTY
-
-        def decode(value):
-            if isinstance(value, dict):
-                if value.get("$sentinel") == "default":
-                    return DEFAULT
-                if value.get("$sentinel") == "empty":
-                    return EMPTY
-                return value.get("$repr")
-            return value
+        from repro.core.values import decode_value
 
         data = json.loads(blob)
         return cls(
             n=data["n"],
-            inputs={int(p): decode(v) for p, v in data["inputs"].items()},
-            decisions={int(p): decode(v) for p, v in data["decisions"].items()},
+            inputs={int(p): decode_value(v) for p, v in data["inputs"].items()},
+            decisions={
+                int(p): decode_value(v) for p, v in data["decisions"].items()
+            },
             faulty=frozenset(data["faulty"]),
         )
 

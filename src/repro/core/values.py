@@ -22,6 +22,8 @@ __all__ = [
     "Default",
     "Empty",
     "Value",
+    "decode_value",
+    "encode_value",
     "is_default",
     "is_empty",
     "order_key",
@@ -81,6 +83,35 @@ def is_default(value: Any) -> bool:
 def is_empty(value: Any) -> bool:
     """Whether ``value`` is the unwritten-register sentinel."""
     return value is EMPTY
+
+
+def encode_value(value: Any) -> Any:
+    """JSON-safe encoding of one value.
+
+    Primitives pass through; the DEFAULT/EMPTY sentinels become tagged
+    dictionaries; anything else is stored via ``repr``.  Shared by
+    :meth:`repro.core.problem.Outcome.to_json` and the witness files of
+    :mod:`repro.verify`.
+    """
+    if value is DEFAULT:
+        return {"$sentinel": "default"}
+    if value is EMPTY:
+        return {"$sentinel": "empty"}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return {"$repr": repr(value)}
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value` (non-primitive values come back as
+    their repr strings)."""
+    if isinstance(value, dict):
+        if value.get("$sentinel") == "default":
+            return DEFAULT
+        if value.get("$sentinel") == "empty":
+            return EMPTY
+        return value.get("$repr")
+    return value
 
 
 def order_key(value: Any) -> tuple:

@@ -47,7 +47,7 @@ from repro.shm.schedulers import (
     StagedScheduler,
 )
 
-__all__ = ["AttackResult", "search_worst_run"]
+__all__ = ["AttackResult", "record_best_witness", "search_worst_run"]
 
 
 @dataclasses.dataclass
@@ -63,6 +63,8 @@ class AttackResult:
     best_report: Optional[ExperimentReport]
     violations_found: int
     first_violation: Optional[str] = None
+    #: seed of the winning attempt; feeds :func:`record_best_witness`.
+    best_attempt_seed: Optional[int] = None
 
     @property
     def broke_agreement(self) -> bool:
@@ -177,19 +179,10 @@ def _inputs(n: int, rng: random.Random) -> List[str]:
     return [rng.choice(pool) for _ in range(n)]
 
 
-def _run_attempt(
-    spec: ProtocolSpec,
-    n: int,
-    k: int,
-    t: int,
-    attempt_seed: int,
-    max_ticks: int,
-    trace_mode: TraceMode,
-) -> ExperimentReport:
-    """One attempt; fully determined by ``attempt_seed``.
+def _attempt_setup(spec: ProtocolSpec, n: int, k: int, t: int, attempt_seed: int):
+    """The adversary drawn for one attempt, fully determined by the seed.
 
-    May raise :class:`KernelLimitError` / :class:`SchedulerStall` (a
-    termination violation).
+    Returns ``(inputs, scheduler, crash, byzantine)``.
     """
     rng = random.Random(attempt_seed)
     crash = None
@@ -203,13 +196,40 @@ def _run_attempt(
         if spec.is_shared_memory
         else _mp_scheduler(n, rng)
     )
+    return _inputs(n, rng), scheduler, crash, byzantine
+
+
+def _run_attempt(
+    spec: ProtocolSpec,
+    n: int,
+    k: int,
+    t: int,
+    attempt_seed: int,
+    max_ticks: int,
+    trace_mode: TraceMode,
+    verify: bool = False,
+    scheduler_wrapper=None,
+) -> ExperimentReport:
+    """One attempt; fully determined by ``attempt_seed``.
+
+    May raise :class:`KernelLimitError` / :class:`SchedulerStall` (a
+    termination violation).  ``scheduler_wrapper`` (if given) wraps the
+    drawn scheduler -- the hook :func:`record_best_witness` uses to
+    re-run the winning attempt under a recording scheduler.
+    """
+    inputs, scheduler, crash, byzantine = _attempt_setup(
+        spec, n, k, t, attempt_seed
+    )
+    if scheduler_wrapper is not None:
+        scheduler = scheduler_wrapper(scheduler)
     return run_spec(
-        spec, n, k, t, _inputs(n, rng),
+        spec, n, k, t, inputs,
         scheduler=scheduler,
         crash_adversary=crash,
         byzantine_behaviours=byzantine,
         max_ticks=max_ticks,
         trace_mode=trace_mode,
+        verify=verify,
     )
 
 
@@ -227,25 +247,35 @@ class _AttemptSummary:
 
 
 def _summarize_attempt(
-    spec: ProtocolSpec, n: int, k: int, t: int, attempt_seed: int, max_ticks: int
+    spec: ProtocolSpec,
+    n: int,
+    k: int,
+    t: int,
+    attempt_seed: int,
+    max_ticks: int,
+    verify: bool = False,
 ) -> _AttemptSummary:
     try:
         report = _run_attempt(
-            spec, n, k, t, attempt_seed, max_ticks, TraceMode.COUNTERS
+            spec, n, k, t, attempt_seed, max_ticks, TraceMode.COUNTERS,
+            verify=verify,
         )
     except (KernelLimitError, SchedulerStall) as error:
         return _AttemptSummary(None, False, f"termination: {error}")
     distinct = len(report.outcome.correct_decision_values())
     if report.ok:
         return _AttemptSummary(distinct, True, None)
-    detail = "; ".join(str(v) for v in report.violated().values())
-    return _AttemptSummary(distinct, False, detail)
+    details = [str(v) for v in report.violated().values()]
+    details.extend(str(v) for v in report.oracle_violations or ())
+    return _AttemptSummary(distinct, False, "; ".join(details))
 
 
 def _attack_task(task) -> _AttemptSummary:
     """Module-level worker: one attack attempt, spec resolved by name."""
-    spec_name, n, k, t, attempt_seed, max_ticks = task
-    return _summarize_attempt(get_spec(spec_name), n, k, t, attempt_seed, max_ticks)
+    spec_name, n, k, t, attempt_seed, max_ticks, verify = task
+    return _summarize_attempt(
+        get_spec(spec_name), n, k, t, attempt_seed, max_ticks, verify=verify
+    )
 
 
 def search_worst_run(
@@ -258,6 +288,7 @@ def search_worst_run(
     max_ticks: int = 200_000,
     stop_on_violation: bool = False,
     jobs: int = 1,
+    verify: bool = False,
 ) -> AttackResult:
     """Randomized adversarial search for the worst run of ``spec``.
 
@@ -273,6 +304,11 @@ def search_worst_run(
     winning attempt is re-run once in ``FULL`` mode so
     :attr:`AttackResult.best_report` still carries a complete trace for
     replay and forensics.
+
+    With ``verify=True`` every attempt (and the final FULL re-run) also
+    goes through the :mod:`repro.verify.oracles` stack, so oracle-only
+    findings (e.g. a revoked decision invisible to the outcome checks)
+    count as violations too.
     """
     master = random.Random(seed)
     attempt_seeds = [master.randrange(1 << 62) for _ in range(attempts)]
@@ -289,7 +325,7 @@ def search_worst_run(
             registered = False
     if registered:
         tasks = [
-            (spec.name, n, k, t, attempt_seed, max_ticks)
+            (spec.name, n, k, t, attempt_seed, max_ticks, verify)
             for attempt_seed in attempt_seeds
         ]
         summaries = parallel_map(_attack_task, tasks, jobs=jobs)
@@ -297,7 +333,7 @@ def search_worst_run(
         # Lazy generator: with stop_on_violation the fold below breaks
         # early and later attempts are never executed.
         summaries = (
-            _summarize_attempt(spec, n, k, t, attempt_seed, max_ticks)
+            _summarize_attempt(spec, n, k, t, attempt_seed, max_ticks, verify=verify)
             for attempt_seed in attempt_seeds
         )
 
@@ -324,7 +360,100 @@ def search_worst_run(
                 break
 
     if best_index is not None:
+        result.best_attempt_seed = attempt_seeds[best_index]
         result.best_report = _run_attempt(
-            spec, n, k, t, attempt_seeds[best_index], max_ticks, TraceMode.FULL
+            spec, n, k, t, attempt_seeds[best_index], max_ticks, TraceMode.FULL,
+            verify=verify,
         )
     return result
+
+
+def record_best_witness(
+    result: AttackResult,
+    max_ticks: int = 200_000,
+    shrink: bool = True,
+    note: str = "",
+):
+    """Turn the winning attack attempt into a replayable witness.
+
+    Re-runs the attempt identified by :attr:`AttackResult.best_attempt_seed`
+    under a recording scheduler, (optionally) shrinks the recorded
+    schedule when the run violates a safety oracle, and packages the
+    result as a :class:`repro.verify.witness.Witness`.
+
+    Only crash-model attempts are serializable: Byzantine behaviour
+    objects have no witness encoding (raises ``ValueError``), as do
+    attempts the search never identified (``best_attempt_seed is None``).
+    """
+    # Function-level import: repro.verify pulls in harness modules.
+    from repro.runtime.replay import (
+        RecordingProcessScheduler,
+        RecordingScheduler,
+    )
+    from repro.verify.shrink import kernel_factory_for_spec, shrink_schedule
+    from repro.verify.witness import Witness, crash_points_of
+
+    if result.best_attempt_seed is None:
+        raise ValueError("attack found no attempt worth recording")
+    spec = get_spec(result.spec_name)
+    n, k, t = result.n, result.k, result.t
+    inputs, _, crash, byzantine = _attempt_setup(
+        spec, n, k, t, result.best_attempt_seed
+    )
+    if byzantine:
+        raise ValueError(
+            "Byzantine behaviours are not serializable into a witness"
+        )
+    wrapper = (
+        RecordingProcessScheduler if spec.is_shared_memory else RecordingScheduler
+    )
+    recorder = []
+
+    def wrap(scheduler):
+        wrapped = wrapper(scheduler)
+        recorder.append(wrapped)
+        return wrapped
+
+    try:
+        _run_attempt(
+            spec, n, k, t, result.best_attempt_seed, max_ticks,
+            TraceMode.COUNTERS, scheduler_wrapper=wrap,
+        )
+    except (KernelLimitError, SchedulerStall):
+        pass  # the partial schedule up to the stall is still a witness
+    choices = recorder[0].recording.choices
+    factory, kind = kernel_factory_for_spec(
+        spec, n, k, t, inputs, crash_adversary=crash, max_ticks=max_ticks
+    )
+    if shrink:
+        from repro.verify.shrink import run_choices
+        from repro.verify.oracles import safety_violations
+
+        problem = _witness_problem(spec, n, k, t)
+        result_now, applied = run_choices(factory, choices, kind)
+        if safety_violations(result_now, problem):
+            shrunk = shrink_schedule(factory, choices, kind, problem=problem)
+            choices = shrunk.minimized
+        else:
+            choices = applied
+    return Witness(
+        spec=spec.name,
+        n=n,
+        k=k,
+        t=t,
+        inputs=tuple(inputs),
+        choices=tuple(choices),
+        kind=kind,
+        crash_points=crash_points_of(crash) if crash is not None else {},
+        note=note or (
+            f"attack seed {result.best_attempt_seed}: "
+            f"{result.best_distinct} distinct decisions"
+        ),
+    )
+
+
+def _witness_problem(spec: ProtocolSpec, n: int, k: int, t: int):
+    from repro.core.problem import SCProblem
+    from repro.core.validity import by_code
+
+    return SCProblem(n=n, k=k, t=t, validity=by_code(spec.validity))

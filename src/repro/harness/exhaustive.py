@@ -70,6 +70,33 @@ class ExplorationResult:
         return not self.violations
 
 
+def _make_judge(problem: SCProblem, verify: bool):
+    """Leaf judge: name -> description of everything wrong with a run.
+
+    The default judge applies the bare outcome checks
+    (:meth:`SCProblem.check`); with ``verify`` the full oracle stack of
+    :mod:`repro.verify.oracles` runs instead and findings are keyed by
+    oracle name.
+    """
+    if not verify:
+        def judge(execution):
+            verdicts = problem.check(execution.outcome)
+            return {name: str(v) for name, v in verdicts.items() if not v}
+
+        return judge
+
+    # Function-level import: repro.verify pulls in harness modules.
+    from repro.verify.oracles import check_execution
+
+    def oracle_judge(execution):
+        findings = {}
+        for violation in check_execution(execution, problem):
+            findings.setdefault(violation.oracle, str(violation))
+        return findings
+
+    return oracle_judge
+
+
 def _fingerprint(kernel: MPKernel) -> Tuple:
     """Structural state of a kernel: pending events + process states.
 
@@ -103,6 +130,7 @@ def explore_mp(
     crash_adversary=None,
     max_states: int = 200_000,
     dedup: bool = True,
+    verify: bool = False,
 ) -> ExplorationResult:
     """Explore *every* delivery order of one message-passing instance.
 
@@ -113,8 +141,13 @@ def explore_mp(
             the schedules (use :func:`crash_patterns` to enumerate).
         max_states: search budget; when hit, ``exhausted`` is ``False``.
         dedup: collapse states with identical structural fingerprints.
+        verify: judge each leaf with the :mod:`repro.verify.oracles`
+            stack instead of the bare outcome checks; violation records
+            then map oracle names to findings.  Exploration runs with
+            ``TraceMode.OFF``, so trace-dependent oracles stay vacuous.
     """
     problem = SCProblem(n=len(inputs), k=k, t=t, validity=validity)
+    judge = _make_judge(problem, verify)
 
     def fresh_kernel() -> Tuple[MPKernel, _ScriptScheduler]:
         scheduler = _ScriptScheduler()
@@ -155,16 +188,14 @@ def explore_mp(
         if kernel.all_correct_decided() or not kernel.pending:
             execution = kernel._result()
             result.runs += 1
-            verdicts = problem.check(execution.outcome)
+            failures = judge(execution)
             decided = frozenset(execution.outcome.correct_decision_values())
             result.decision_sets.add(decided)
             result.max_distinct_decisions = max(
                 result.max_distinct_decisions, len(decided)
             )
-            if not all(verdicts.values()):
-                result.violations.append(
-                    (path, {name: str(v) for name, v in verdicts.items() if not v})
-                )
+            if failures:
+                result.violations.append((path, failures))
             continue
 
         for seq in sorted(kernel.pending):
@@ -193,6 +224,7 @@ def explore_sm(
     crash_adversary=None,
     max_states: int = 100_000,
     max_ticks_per_run: int = 5_000,
+    verify: bool = False,
 ) -> ExplorationResult:
     """Explore every process interleaving of a shared-memory instance.
 
@@ -208,6 +240,7 @@ def explore_sm(
     from repro.shm.kernel import SMKernel
 
     problem = SCProblem(n=len(inputs), k=k, t=t, validity=validity)
+    judge = _make_judge(problem, verify)
 
     class _PrefixScheduler:
         """Replays a choice prefix, then yields control back (None)."""
@@ -268,16 +301,14 @@ def explore_sm(
         if kernel.all_correct_decided() or not kernel.runnable_pids():
             execution = kernel._result()
             result.runs += 1
-            verdicts = problem.check(execution.outcome)
+            failures = judge(execution)
             decided = frozenset(execution.outcome.correct_decision_values())
             result.decision_sets.add(decided)
             result.max_distinct_decisions = max(
                 result.max_distinct_decisions, len(decided)
             )
-            if not all(verdicts.values()):
-                result.violations.append(
-                    (prefix, {n_: str(v) for n_, v in verdicts.items() if not v})
-                )
+            if failures:
+                result.violations.append((prefix, failures))
             continue
         for pid in sorted(kernel.runnable_pids()):
             stack.append(prefix + (pid,))

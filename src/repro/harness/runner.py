@@ -29,11 +29,17 @@ __all__ = ["ExperimentReport", "run_mp", "run_sm", "run_spec"]
 
 @dataclasses.dataclass
 class ExperimentReport:
-    """Execution result plus the three condition verdicts."""
+    """Execution result plus the three condition verdicts.
+
+    When the run was made with ``verify=True`` the full oracle stack of
+    :mod:`repro.verify.oracles` was also applied and its findings are in
+    ``oracle_violations`` (``None`` means the oracles were not run).
+    """
 
     problem: SCProblem
     result: ExecutionResult
     verdicts: Dict[str, Verdict]
+    oracle_violations: Optional[list] = None
 
     @property
     def outcome(self) -> Outcome:
@@ -41,8 +47,9 @@ class ExperimentReport:
 
     @property
     def ok(self) -> bool:
-        """All of termination, agreement and validity hold."""
-        return all(self.verdicts.values())
+        """All of termination, agreement and validity hold (and, when the
+        oracle stack ran, it found nothing either)."""
+        return all(self.verdicts.values()) and not self.oracle_violations
 
     def violated(self) -> Dict[str, Verdict]:
         return {name: v for name, v in self.verdicts.items() if not v}
@@ -50,14 +57,26 @@ class ExperimentReport:
     def summary(self) -> str:
         status = "OK" if self.ok else "VIOLATED"
         details = "; ".join(str(v) for v in self.verdicts.values())
+        if self.oracle_violations:
+            oracle = "; ".join(str(v) for v in self.oracle_violations)
+            details = f"{details}; oracles: {oracle}"
         return f"{self.problem}: {status} ({details})"
 
 
-def _report(problem: SCProblem, result: ExecutionResult) -> ExperimentReport:
+def _report(
+    problem: SCProblem, result: ExecutionResult, verify: bool = False
+) -> ExperimentReport:
+    oracle_violations = None
+    if verify:
+        # Function-level import: repro.verify pulls in harness modules.
+        from repro.verify.oracles import check_execution
+
+        oracle_violations = check_execution(result, problem)
     return ExperimentReport(
         problem=problem,
         result=result,
         verdicts=problem.check(result.outcome),
+        oracle_violations=oracle_violations,
     )
 
 
@@ -73,8 +92,13 @@ def run_mp(
     stop_when_decided: bool = True,
     max_ticks: int = 1_000_000,
     trace_mode: TraceMode = TraceMode.FULL,
+    verify: bool = False,
 ) -> ExperimentReport:
-    """Run a message-passing execution and check ``SC(k, t, validity)``."""
+    """Run a message-passing execution and check ``SC(k, t, validity)``.
+
+    ``verify=True`` additionally runs the full oracle stack
+    (:func:`repro.verify.oracles.check_execution`) over the execution.
+    """
     problem = SCProblem(n=len(processes), k=k, t=t, validity=validity)
     kernel = MPKernel(
         processes=processes,
@@ -87,7 +111,7 @@ def run_mp(
         max_ticks=max_ticks,
         trace_mode=trace_mode,
     )
-    return _report(problem, kernel.run())
+    return _report(problem, kernel.run(), verify=verify)
 
 
 def run_sm(
@@ -102,8 +126,12 @@ def run_sm(
     stop_when_decided: bool = True,
     max_ticks: int = 1_000_000,
     trace_mode: TraceMode = TraceMode.FULL,
+    verify: bool = False,
 ) -> ExperimentReport:
-    """Run a shared-memory execution and check ``SC(k, t, validity)``."""
+    """Run a shared-memory execution and check ``SC(k, t, validity)``.
+
+    ``verify=True`` additionally runs the full oracle stack.
+    """
     problem = SCProblem(n=len(programs), k=k, t=t, validity=validity)
     kernel = SMKernel(
         programs=programs,
@@ -116,7 +144,7 @@ def run_sm(
         max_ticks=max_ticks,
         trace_mode=trace_mode,
     )
-    return _report(problem, kernel.run())
+    return _report(problem, kernel.run(), verify=verify)
 
 
 def run_spec(
@@ -130,6 +158,7 @@ def run_spec(
     byzantine_behaviours: Optional[Mapping[int, object]] = None,
     max_ticks: int = 1_000_000,
     trace_mode: TraceMode = TraceMode.FULL,
+    verify: bool = False,
 ) -> ExperimentReport:
     """Run a registered protocol spec on one problem instance.
 
@@ -142,6 +171,8 @@ def run_spec(
         trace_mode: trace retention of the underlying kernel; use
             ``TraceMode.COUNTERS`` on Monte-Carlo paths that never read
             individual records.
+        verify: also run the full oracle stack over the execution and
+            attach its findings to the report.
     """
     if len(inputs) != n:
         raise ValueError("inputs must have length n")
@@ -163,6 +194,7 @@ def run_spec(
             byzantine=sorted(byz),
             max_ticks=max_ticks,
             trace_mode=trace_mode,
+            verify=verify,
         )
     processes = [byz.get(pid) or spec.make(n, k, t) for pid in range(n)]
     return run_mp(
@@ -176,4 +208,5 @@ def run_spec(
         byzantine=sorted(byz),
         max_ticks=max_ticks,
         trace_mode=trace_mode,
+        verify=verify,
     )

@@ -56,6 +56,9 @@ class SweepConfig:
     input_patterns: Sequence[str] = INPUT_PATTERNS
     max_ticks: int = 300_000
     trace_mode: TraceMode = TraceMode.COUNTERS
+    #: also run the :mod:`repro.verify.oracles` stack over every run;
+    #: oracle findings are reported as :class:`Violation` records.
+    verify: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -195,17 +198,24 @@ def _sweep_run(
             byzantine_behaviours=byzantine or None,
             max_ticks=config.max_ticks,
             trace_mode=config.trace_mode,
+            verify=config.verify,
         )
     except KernelLimitError as error:
         return Violation(index, pattern, ("termination",), str(error)), None
     distinct = len(report.outcome.correct_decision_values())
     if not report.ok:
         violated = report.violated()
+        conditions = list(violated)
+        details = [str(v) for v in violated.values()]
+        for finding in report.oracle_violations or ():
+            if finding.oracle not in conditions:
+                conditions.append(finding.oracle)
+            details.append(str(finding))
         violation = Violation(
             index,
             pattern,
-            tuple(violated),
-            "; ".join(str(v) for v in violated.values()),
+            tuple(conditions),
+            "; ".join(details),
         )
         return violation, distinct
     return None, distinct

@@ -66,6 +66,9 @@ class ExecutionResult:
     _stats: Optional["ExecutionStats"] = dataclasses.field(
         default=None, repr=False, compare=False
     )
+    _stats_version: Optional[int] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def message_count(self) -> int:
@@ -76,9 +79,14 @@ class ExecutionResult:
 
         Reads the trace's incrementally-maintained counters (available in
         both ``FULL`` and ``COUNTERS`` trace modes) and caches the result,
-        so repeated calls never rescan the trace.
+        so repeated calls never rescan the trace.  The cache keys on
+        :attr:`Trace.version`, so extending the trace after a first call
+        (e.g. merging counters into a still-live COUNTERS trace)
+        invalidates it instead of serving stale aggregates.
         """
-        if self._stats is None:
+        version = self.trace.version
+        if self._stats is None or self._stats_version != version:
+            self._stats_version = version
             self._stats = ExecutionStats(
                 ticks=self.ticks,
                 sends_by_process=dict(self.trace.sends_by_process),

@@ -90,14 +90,28 @@ class Trace:
         self._deliveries_by_process: Dict[int, int] = {}
         self._register_ops_by_process: Dict[int, int] = {}
         self._decision_tick_by_process: Dict[int, int] = {}
+        self._version = 0
 
     @property
     def mode(self) -> TraceMode:
         return self._mode
 
+    @property
+    def version(self) -> int:
+        """Monotonic append counter (the dirty flag for derived caches).
+
+        Incremented on every counted append, in ``FULL`` and ``COUNTERS``
+        modes alike; consumers caching aggregates derived from the trace
+        (e.g. :meth:`~repro.runtime.kernel.ExecutionResult.stats`) compare
+        versions to detect that the trace was extended after the cache
+        was built.
+        """
+        return self._version
+
     # -- appending -----------------------------------------------------------
 
     def _count(self, tick: int, kind: str, pid: int) -> None:
+        self._version += 1
         counts = self._kind_counts
         counts[kind] = counts.get(kind, 0) + 1
         if kind == "send":

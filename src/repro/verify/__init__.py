@@ -1,0 +1,92 @@
+"""Conformance oracle layer: machine-check executions, shrink and
+replay counterexamples, and differential-test the kernels.
+
+Three pieces (see the submodule docstrings):
+
+* :mod:`repro.verify.oracles` -- composable :class:`ExecutionOracle`
+  checkers (k-agreement, the six validity conditions against the actual
+  fault pattern, irrevocability, termination, fault budget) with the
+  single entry point :func:`check_execution`;
+* :mod:`repro.verify.shrink` -- delta-debugging minimizer over recorded
+  schedules, producing minimal deterministic witnesses;
+* :mod:`repro.verify.differential` -- cross-configuration diffing
+  (MP vs SM kernel, FULL vs COUNTERS traces, serial vs ``--jobs N``);
+* :mod:`repro.verify.witness` -- serializable replayable witness files
+  (``repro verify-run witness.json``).
+
+The harnesses expose all of this behind opt-in ``--verify`` flags.
+"""
+
+from repro.verify.differential import (
+    DifferentialReport,
+    HistogramDiff,
+    diff_mp_sm,
+    diff_serial_parallel,
+    diff_trace_modes,
+    differential_check,
+    sm_counterpart,
+)
+from repro.verify.oracles import (
+    ExecutionOracle,
+    FaultBudgetOracle,
+    IrrevocabilityOracle,
+    KAgreementOracle,
+    TerminationOracle,
+    ValidityOracle,
+    Violation,
+    all_validity_oracles,
+    check_execution,
+    default_oracles,
+    outcome_result,
+    safety_violations,
+)
+from repro.verify.shrink import (
+    ShrinkResult,
+    SubsequenceScheduler,
+    kernel_factory_for_spec,
+    run_choices,
+    shrink_recording,
+    shrink_schedule,
+)
+from repro.verify.witness import (
+    Witness,
+    WitnessReport,
+    load_witness,
+    replay_witness,
+    save_witness,
+    verify_witness,
+)
+
+__all__ = [
+    "DifferentialReport",
+    "ExecutionOracle",
+    "FaultBudgetOracle",
+    "HistogramDiff",
+    "IrrevocabilityOracle",
+    "KAgreementOracle",
+    "ShrinkResult",
+    "SubsequenceScheduler",
+    "TerminationOracle",
+    "ValidityOracle",
+    "Violation",
+    "Witness",
+    "WitnessReport",
+    "all_validity_oracles",
+    "check_execution",
+    "default_oracles",
+    "diff_mp_sm",
+    "diff_serial_parallel",
+    "diff_trace_modes",
+    "differential_check",
+    "kernel_factory_for_spec",
+    "load_witness",
+    "outcome_result",
+    "replay_witness",
+    "run_choices",
+    "safety_violations",
+    "save_witness",
+    "shrink_recording",
+    "shrink_schedule",
+    "sm_counterpart",
+    "verify_witness",
+]

@@ -1,0 +1,248 @@
+"""Differential testing across kernels, trace modes, and parallelism.
+
+Three cross-configuration invariants are checkable by running the same
+seeded workload twice and diffing aggregate results:
+
+* **serial vs ``--jobs N``** -- the parallel sweep engine derives every
+  run from ``(seed, index)`` alone, so sharding must be bit-identical
+  to the serial path (histogram *and* violation list);
+* **FULL vs COUNTERS trace modes** -- trace retention is observational;
+  changing it must never change any outcome;
+* **MP kernel vs SM kernel** -- a protocol and its SIMULATION transform
+  run over different substrates.  At ``t = 0`` the paper's quorum
+  protocols are full-information (every process waits for all ``n``
+  values), making the decision profile schedule-independent: the
+  decision histograms must then be *equal* on a shared seed stream.
+  At ``t > 0`` the kernels legitimately explore different schedules, so
+  the diff is reported (and both sides must still be violation-free)
+  but equality is not asserted unless ``strict=True``.
+
+``differential_check`` bundles all applicable comparisons for one spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.sweep import SweepConfig, SweepStats, sweep_spec
+from repro.protocols.base import ProtocolSpec, get_spec
+from repro.runtime.traces import TraceMode
+
+__all__ = [
+    "SM_COUNTERPARTS",
+    "DifferentialReport",
+    "HistogramDiff",
+    "diff_mp_sm",
+    "diff_serial_parallel",
+    "diff_trace_modes",
+    "differential_check",
+    "sm_counterpart",
+]
+
+#: MP spec -> the registered SM spec running the same protocol (the
+#: paper's SIMULATION transform, or the same trivial program).
+SM_COUNTERPARTS: Dict[str, str] = {
+    "chaudhuri@mp-cr": "sim-chaudhuri@sm-cr",
+    "protocol-b@mp-cr": "sim-protocol-b@sm-cr",
+    "protocol-c@mp-byz": "sim-protocol-c@sm-byz",
+    "protocol-d@mp-byz": "sim-protocol-d@sm-byz",
+    "trivial@mp-cr": "trivial@sm-cr",
+    "trivial@mp-byz": "trivial@sm-byz",
+}
+
+
+def sm_counterpart(spec: ProtocolSpec) -> Optional[ProtocolSpec]:
+    """The SM twin of an MP spec, when one is registered."""
+    name = SM_COUNTERPARTS.get(spec.name)
+    return get_spec(name) if name else None
+
+
+@dataclasses.dataclass(frozen=True)
+class HistogramDiff:
+    """Decision histograms of two sweeps over the same seed stream."""
+
+    label_a: str
+    label_b: str
+    histogram_a: Dict[int, int]
+    histogram_b: Dict[int, int]
+    violations_a: int
+    violations_b: int
+    required_equal: bool
+
+    @property
+    def identical(self) -> bool:
+        return self.histogram_a == self.histogram_b
+
+    @property
+    def ok(self) -> bool:
+        """No violations on either side, and equality where required."""
+        if self.violations_a or self.violations_b:
+            return False
+        return self.identical or not self.required_equal
+
+    def delta(self) -> Dict[int, int]:
+        """Per-bucket count difference (a minus b); empty when identical."""
+        keys = set(self.histogram_a) | set(self.histogram_b)
+        return {
+            key: self.histogram_a.get(key, 0) - self.histogram_b.get(key, 0)
+            for key in sorted(keys)
+            if self.histogram_a.get(key, 0) != self.histogram_b.get(key, 0)
+        }
+
+    def summary(self) -> str:
+        if self.identical:
+            shape = f"identical histograms {self.histogram_a}"
+        else:
+            shape = (
+                f"histograms differ {self.delta()} "
+                f"({'REQUIRED EQUAL' if self.required_equal else 'allowed'})"
+            )
+        return (
+            f"{self.label_a} vs {self.label_b}: {shape}; "
+            f"violations {self.violations_a}/{self.violations_b}"
+        )
+
+
+def _diff(
+    stats_a: SweepStats,
+    stats_b: SweepStats,
+    label_a: str,
+    label_b: str,
+    required_equal: bool,
+) -> HistogramDiff:
+    return HistogramDiff(
+        label_a=label_a,
+        label_b=label_b,
+        histogram_a=dict(stats_a.decisions_histogram),
+        histogram_b=dict(stats_b.decisions_histogram),
+        violations_a=len(stats_a.violations),
+        violations_b=len(stats_b.violations),
+        required_equal=required_equal,
+    )
+
+
+def diff_serial_parallel(
+    spec: ProtocolSpec,
+    n: int,
+    k: int,
+    t: int,
+    config: Optional[SweepConfig] = None,
+    jobs: int = 2,
+) -> HistogramDiff:
+    """Serial sweep vs the sharded sweep engine; must be bit-identical."""
+    config = config or SweepConfig()
+    serial = sweep_spec(spec, n, k, t, config, jobs=1)
+    parallel = sweep_spec(spec, n, k, t, config, jobs=jobs)
+    diff = _diff(
+        serial, parallel, f"{spec.name}[serial]", f"{spec.name}[jobs={jobs}]",
+        required_equal=True,
+    )
+    # Violation lists must match record-for-record, not just in count.
+    if serial.violations != parallel.violations:
+        diff = dataclasses.replace(
+            diff, violations_a=len(serial.violations) or 1,
+            violations_b=len(parallel.violations) or 1,
+        )
+    return diff
+
+
+def diff_trace_modes(
+    spec: ProtocolSpec,
+    n: int,
+    k: int,
+    t: int,
+    config: Optional[SweepConfig] = None,
+) -> HistogramDiff:
+    """FULL-trace sweep vs COUNTERS-trace sweep; must be bit-identical."""
+    config = config or SweepConfig()
+    full = sweep_spec(
+        spec, n, k, t,
+        dataclasses.replace(config, trace_mode=TraceMode.FULL),
+    )
+    counters = sweep_spec(
+        spec, n, k, t,
+        dataclasses.replace(config, trace_mode=TraceMode.COUNTERS),
+    )
+    return _diff(
+        full, counters, f"{spec.name}[FULL]", f"{spec.name}[COUNTERS]",
+        required_equal=True,
+    )
+
+
+def diff_mp_sm(
+    mp_spec: ProtocolSpec,
+    sm_spec: ProtocolSpec,
+    n: int,
+    k: int,
+    t: int,
+    config: Optional[SweepConfig] = None,
+    strict: Optional[bool] = None,
+) -> HistogramDiff:
+    """MP kernel vs SM kernel on the same seed stream.
+
+    ``strict`` defaults to ``t == 0``: failure-free runs of the paper's
+    quorum protocols are full-information and schedule-independent, so
+    the histograms must coincide exactly; with failures the kernels may
+    legitimately diverge run-by-run and only cleanliness is required.
+    """
+    config = config or SweepConfig()
+    if strict is None:
+        strict = t == 0
+    mp = sweep_spec(mp_spec, n, k, t, config)
+    sm = sweep_spec(sm_spec, n, k, t, config)
+    return _diff(mp, sm, mp_spec.name, sm_spec.name, required_equal=strict)
+
+
+@dataclasses.dataclass
+class DifferentialReport:
+    """All applicable differential comparisons for one spec/point."""
+
+    spec_name: str
+    n: int
+    k: int
+    t: int
+    diffs: List[HistogramDiff]
+
+    @property
+    def ok(self) -> bool:
+        return all(diff.ok for diff in self.diffs)
+
+    def failing(self) -> List[HistogramDiff]:
+        return [diff for diff in self.diffs if not diff.ok]
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failing())} FAILING"
+        lines = [
+            f"differential {self.spec_name} n={self.n} k={self.k} "
+            f"t={self.t}: {status}"
+        ]
+        lines.extend(f"  {diff.summary()}" for diff in self.diffs)
+        return "\n".join(lines)
+
+
+def differential_check(
+    spec: ProtocolSpec,
+    n: int,
+    k: int,
+    t: int,
+    config: Optional[SweepConfig] = None,
+    jobs: int = 2,
+) -> DifferentialReport:
+    """Run every applicable differential comparison for one point.
+
+    Always: serial-vs-parallel and FULL-vs-COUNTERS.  Additionally
+    MP-vs-SM when the spec has a registered SM counterpart (strictness
+    per :func:`diff_mp_sm`).
+    """
+    config = config or SweepConfig()
+    diffs = [
+        diff_serial_parallel(spec, n, k, t, config, jobs=jobs),
+        diff_trace_modes(spec, n, k, t, config),
+    ]
+    twin = sm_counterpart(spec)
+    if twin is not None and twin.solvable(n, k, t):
+        diffs.append(diff_mp_sm(spec, twin, n, k, t, config))
+    return DifferentialReport(
+        spec_name=spec.name, n=n, k=k, t=t, diffs=diffs
+    )

@@ -1,0 +1,337 @@
+"""Composable execution oracles: machine-check one finished run.
+
+The paper's claims are per-variant safety/liveness predicates -- at most
+``k`` decisions, one of the six validity conditions SV1..WV2 evaluated
+against the *actual* fault pattern of the run, irrevocability of
+decisions, and termination of correct processes.  The condition
+checkers in :mod:`repro.core.problem` judge an :class:`Outcome`; the
+oracles here judge a full :class:`~repro.runtime.kernel.ExecutionResult`
+(outcome *and* trace), return structured :class:`Violation` records
+instead of booleans, and degrade gracefully across trace modes
+(``FULL`` enables the trace-level checks, ``COUNTERS`` keeps the
+counter-level ones, ``OFF`` keeps the outcome-level ones).
+
+Single entry point::
+
+    violations = check_execution(result, problem)
+    assert not violations
+
+Each oracle is independent and composable; harnesses opt in via the
+``--verify`` flag (sweep, attack, exhaustive, run) or call
+:func:`check_execution` directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.problem import Outcome, SCProblem
+from repro.core.validity import (
+    ALL_VALIDITY_CONDITIONS,
+    ValidityCondition,
+)
+from repro.runtime.kernel import ExecutionResult
+from repro.runtime.traces import TraceMode
+
+__all__ = [
+    "ExecutionOracle",
+    "FaultBudgetOracle",
+    "IrrevocabilityOracle",
+    "KAgreementOracle",
+    "TerminationOracle",
+    "ValidityOracle",
+    "Violation",
+    "all_validity_oracles",
+    "check_execution",
+    "default_oracles",
+    "safety_violations",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One oracle finding about one execution.
+
+    Attributes:
+        oracle: name of the violated predicate, e.g. ``"agreement"``,
+            ``"validity:SV2"``, ``"irrevocability"``.
+        detail: human-readable description of the break.
+        pid: the process the finding is about, if one is identifiable.
+        value: the offending value, if one is identifiable.
+        tick: kernel tick of the offending event, when the trace mode
+            retains enough to know it.
+    """
+
+    oracle: str
+    detail: str
+    pid: Optional[int] = None
+    value: Any = None
+    tick: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = []
+        if self.pid is not None:
+            where.append(f"p{self.pid}")
+        if self.tick is not None:
+            where.append(f"tick {self.tick}")
+        suffix = f" [{', '.join(where)}]" if where else ""
+        return f"{self.oracle}: {self.detail}{suffix}"
+
+
+class ExecutionOracle:
+    """One checkable predicate over a finished execution.
+
+    Subclasses implement :meth:`check` and return a (possibly empty)
+    list of :class:`Violation` records.  Oracles must not mutate the
+    result and must tolerate every :class:`TraceMode`.
+    """
+
+    #: Identifier used in :class:`Violation.oracle` records.
+    name = "oracle"
+
+    #: Liveness oracles are excluded by :func:`safety_violations` --
+    #: a truncated (shrunk) schedule trivially breaks termination.
+    is_safety = True
+
+    def check(
+        self, result: ExecutionResult, problem: SCProblem
+    ) -> List[Violation]:
+        raise NotImplementedError
+
+
+class FaultBudgetOracle(ExecutionOracle):
+    """The execution stayed inside the adversary model: at most ``t``
+    actual failures.  A run outside the budget proves nothing about the
+    protocol, so every other oracle verdict is moot when this fires."""
+
+    name = "fault-budget"
+
+    def check(self, result, problem):
+        outcome = result.outcome
+        if outcome.failure_count > problem.t:
+            return [Violation(
+                self.name,
+                f"{outcome.failure_count} failures exceed the budget "
+                f"t={problem.t} (faulty: {sorted(outcome.faulty)})",
+            )]
+        return []
+
+
+class KAgreementOracle(ExecutionOracle):
+    """At most ``k`` distinct values decided by correct processes.
+
+    With a ``FULL`` trace the violation pinpoints the decision event
+    that first pushed the distinct count past ``k`` (the same scan as
+    :func:`repro.analysis.forensics.first_violation`).
+    """
+
+    name = "agreement"
+
+    def check(self, result, problem):
+        outcome = result.outcome
+        values = outcome.correct_decision_values()
+        if len(values) <= problem.k:
+            return []
+        violation = Violation(
+            self.name,
+            f"{len(values)} distinct correct decisions, allowed k={problem.k}: "
+            f"{sorted(map(repr, values))}",
+        )
+        if result.trace.mode is TraceMode.FULL:
+            seen: set = set()
+            for record in result.trace.of_kind("decide"):
+                if record.pid in outcome.faulty:
+                    continue
+                seen.add(record.payload)
+                if len(seen) > problem.k:
+                    violation = dataclasses.replace(
+                        violation,
+                        pid=record.pid,
+                        value=record.payload,
+                        tick=record.tick,
+                    )
+                    break
+        return [violation]
+
+
+class ValidityOracle(ExecutionOracle):
+    """One validity condition, evaluated against the actual fault
+    pattern of the run (``outcome.faulty``, not the budget ``t``).
+
+    Defaults to the problem's own condition; pass ``condition`` to pin
+    one of the six (used by the lattice cross-checks and the edge-case
+    tests).
+    """
+
+    def __init__(self, condition: Optional[ValidityCondition] = None) -> None:
+        self._condition = condition
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        code = self._condition.code if self._condition else "problem"
+        return f"validity:{code}"
+
+    def check(self, result, problem):
+        condition = self._condition or problem.validity
+        verdict = condition.check(result.outcome)
+        if verdict.holds:
+            return []
+        return [Violation(f"validity:{condition.code}", verdict.detail)]
+
+
+class IrrevocabilityOracle(ExecutionOracle):
+    """Decisions are decided once and never change.
+
+    ``FULL`` trace: at most one ``decide`` record per process, and each
+    recorded decision matches the final outcome.  ``COUNTERS`` trace:
+    the total decide count cannot exceed the number of decided
+    processes.  ``OFF``: nothing to check (vacuously passes).
+    """
+
+    name = "irrevocability"
+
+    def check(self, result, problem):
+        trace = result.trace
+        outcome = result.outcome
+        if trace.mode is TraceMode.OFF:
+            return []
+        if trace.mode is TraceMode.COUNTERS:
+            count = trace.kind_count("decide")
+            if count > len(outcome.decisions):
+                return [Violation(
+                    self.name,
+                    f"{count} decide events for {len(outcome.decisions)} "
+                    "decided processes (some process decided twice)",
+                )]
+            return []
+        violations: List[Violation] = []
+        decided: Dict[int, Any] = {}
+        for record in trace.of_kind("decide"):
+            if record.pid in decided:
+                violations.append(Violation(
+                    self.name,
+                    f"p{record.pid} decided again ({record.payload!r} after "
+                    f"{decided[record.pid]!r})",
+                    pid=record.pid,
+                    value=record.payload,
+                    tick=record.tick,
+                ))
+                continue
+            decided[record.pid] = record.payload
+        for pid, value in decided.items():
+            if pid not in outcome.decisions:
+                violations.append(Violation(
+                    self.name,
+                    f"p{pid} decided {value!r} in the trace but the outcome "
+                    "records no decision (decision revoked)",
+                    pid=pid,
+                    value=value,
+                ))
+            elif outcome.decisions[pid] != value:
+                violations.append(Violation(
+                    self.name,
+                    f"p{pid} decided {value!r} in the trace but "
+                    f"{outcome.decisions[pid]!r} in the outcome "
+                    "(decision changed)",
+                    pid=pid,
+                    value=value,
+                ))
+        return violations
+
+
+class TerminationOracle(ExecutionOracle):
+    """Every correct process decided (liveness).
+
+    Only meaningful on complete runs: a deliberately truncated schedule
+    (mid-shrink) trivially fails it, which is why
+    :func:`safety_violations` excludes liveness oracles.
+    """
+
+    name = "termination"
+    is_safety = False
+
+    def check(self, result, problem):
+        outcome = result.outcome
+        undecided = sorted(
+            p for p in outcome.correct if p not in outcome.decisions
+        )
+        if not undecided:
+            return []
+        return [Violation(
+            self.name,
+            f"correct processes never decided: {undecided} "
+            f"(after {result.ticks} ticks)",
+        )]
+
+
+def default_oracles() -> Tuple[ExecutionOracle, ...]:
+    """The standard oracle stack applied by :func:`check_execution`."""
+    return (
+        FaultBudgetOracle(),
+        KAgreementOracle(),
+        ValidityOracle(),
+        IrrevocabilityOracle(),
+        TerminationOracle(),
+    )
+
+
+def all_validity_oracles() -> Tuple[ValidityOracle, ...]:
+    """One :class:`ValidityOracle` per paper condition SV1..WV2."""
+    return tuple(ValidityOracle(c) for c in ALL_VALIDITY_CONDITIONS)
+
+
+def check_execution(
+    result: ExecutionResult,
+    problem: SCProblem,
+    oracles: Optional[Sequence[ExecutionOracle]] = None,
+) -> List[Violation]:
+    """Run ``result`` through the oracle stack; empty list means clean.
+
+    When the run exceeded the fault budget only the budget violation is
+    reported -- such an execution is outside the problem's adversary
+    model, so no conclusion about the protocol follows from the other
+    predicates (same rule as :meth:`SCProblem.check`, reported as a
+    record instead of raised).
+    """
+    stack = tuple(oracles) if oracles is not None else default_oracles()
+    violations: List[Violation] = []
+    for oracle in stack:
+        found = oracle.check(result, problem)
+        violations.extend(found)
+        if found and isinstance(oracle, FaultBudgetOracle):
+            return violations
+    return violations
+
+
+def safety_violations(
+    result: ExecutionResult, problem: SCProblem
+) -> List[Violation]:
+    """Like :func:`check_execution` but safety predicates only.
+
+    This is the shrinking predicate: dropping schedule entries must
+    preserve a *safety* break, while termination is forfeited by
+    truncation itself and would make every truncation "violating".
+    """
+    stack = tuple(o for o in default_oracles() if o.is_safety)
+    return check_execution(result, problem, stack)
+
+
+def outcome_result(outcome: Outcome) -> ExecutionResult:
+    """Wrap a bare :class:`Outcome` for oracle checking.
+
+    Trace-level oracles vacuously pass (the trace is ``OFF``); use this
+    to run the outcome-level stack over externally produced outcomes,
+    e.g. ``repro verify-run`` on an outcome-only witness.
+    """
+    from repro.runtime.traces import Trace
+
+    return ExecutionResult(
+        outcome=outcome,
+        trace=Trace(TraceMode.OFF),
+        ticks=0,
+        quiescent=True,
+    )
+
+
+__all__.append("outcome_result")

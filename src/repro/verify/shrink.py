@@ -1,0 +1,292 @@
+"""Delta-debugging counterexample shrinker over recorded schedules.
+
+Both kernels are deterministic given the scheduler's choices, so a
+violating run is fully described by its choice sequence (event seqs for
+the MP kernel, pids for the SM kernel; see :mod:`repro.runtime.replay`).
+The shrinker minimizes that sequence: drop chunks of choices, re-run
+deterministically, and keep the shortest schedule that still violates.
+
+Dropping an entry changes which downstream events exist, so a strict
+:class:`~repro.runtime.replay.ReplayScheduler` would diverge.  Shrinking
+therefore replays through :class:`SubsequenceScheduler`, which skips
+entries that are not applicable in the current kernel state and stops
+when the list is exhausted.  Tolerant replay is still deterministic --
+the applied subsequence is a pure function of the choice list and the
+initial state -- so a minimized witness replays bit-identically.
+
+Truncated schedules end runs early; the kernel's
+:class:`~repro.runtime.kernel.SchedulerStall` is caught and the partial
+execution is judged by the *safety* oracles only
+(:func:`repro.verify.oracles.safety_violations`) -- termination is
+forfeited by truncation itself.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.problem import SCProblem
+from repro.runtime.kernel import (
+    ExecutionResult,
+    KernelLimitError,
+    MPKernel,
+    SchedulerStall,
+)
+from repro.runtime.replay import Recording
+from repro.runtime.traces import TraceMode
+from repro.verify.oracles import Violation, safety_violations
+
+__all__ = [
+    "ShrinkResult",
+    "SubsequenceScheduler",
+    "kernel_factory_for_spec",
+    "run_choices",
+    "shrink_recording",
+    "shrink_schedule",
+]
+
+#: Builds a fresh kernel wired to the given scheduler.
+KernelFactory = Callable[[object], object]
+
+
+class SubsequenceScheduler:
+    """Tolerant replay: feed a choice list, skipping inapplicable entries.
+
+    For ``kind="mp"`` a choice is applicable when its event seq is
+    pending; for ``kind="sm"`` when the pid is runnable.  Returns
+    ``None`` once the list is exhausted (the kernel then stops or
+    stalls).  ``applied`` records the choices actually taken, which is
+    the canonical (replayable) form of the schedule.
+    """
+
+    def __init__(self, choices: Sequence[int], kind: str) -> None:
+        if kind not in ("mp", "sm"):
+            raise ValueError(f"kind must be 'mp' or 'sm', got {kind!r}")
+        self._choices = list(choices)
+        self._kind = kind
+        self._index = 0
+        self.applied: List[int] = []
+
+    def _applicable(self, kernel, choice: int) -> bool:
+        if self._kind == "mp":
+            return choice in kernel.pending
+        return kernel.is_runnable(choice)
+
+    def pick(self, kernel) -> Optional[int]:
+        while self._index < len(self._choices):
+            choice = self._choices[self._index]
+            self._index += 1
+            if self._applicable(kernel, choice):
+                self.applied.append(choice)
+                return choice
+        return None
+
+
+def run_choices(
+    kernel_factory: KernelFactory,
+    choices: Sequence[int],
+    kind: str,
+) -> Tuple[ExecutionResult, Tuple[int, ...]]:
+    """Run a fresh kernel under a (possibly truncated) choice list.
+
+    Returns ``(result, applied)`` where ``applied`` is the subsequence
+    of choices actually taken.  A stalled or budget-capped run yields
+    its partial execution state rather than raising, so safety oracles
+    can judge what the prefix already committed to.
+    """
+    scheduler = SubsequenceScheduler(choices, kind)
+    kernel = kernel_factory(scheduler)
+    try:
+        result = kernel.run()
+    except (SchedulerStall, KernelLimitError):
+        result = kernel._result()
+    return result, tuple(scheduler.applied)
+
+
+@dataclasses.dataclass
+class ShrinkResult:
+    """Outcome of one shrinking session."""
+
+    kind: str
+    original: Tuple[int, ...]
+    minimized: Tuple[int, ...]
+    executions: int
+    result: ExecutionResult
+    violations: List[Violation]
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of the original schedule removed (0 = none)."""
+        if not self.original:
+            return 0.0
+        return 1.0 - len(self.minimized) / len(self.original)
+
+    @property
+    def recording(self) -> Recording:
+        """The minimized schedule as a replayable recording."""
+        return Recording(kind=self.kind, choices=self.minimized)
+
+    def summary(self) -> str:
+        return (
+            f"shrunk {len(self.original)} -> {len(self.minimized)} choices "
+            f"({self.reduction:.0%} removed, {self.executions} re-executions); "
+            f"still violating: {', '.join(v.oracle for v in self.violations)}"
+        )
+
+
+def shrink_schedule(
+    kernel_factory: KernelFactory,
+    choices: Sequence[int],
+    kind: str,
+    violates: Optional[Callable[[ExecutionResult], bool]] = None,
+    problem: Optional[SCProblem] = None,
+    max_executions: int = 5_000,
+) -> ShrinkResult:
+    """Minimize a violating schedule by delta debugging (ddmin).
+
+    Args:
+        kernel_factory: builds a fresh kernel (fresh protocol state!)
+            around the scheduler it is passed.
+        choices: the recorded violating schedule.
+        violates: predicate over a (possibly partial) execution; default
+            is "any safety oracle fires for ``problem``".
+        problem: required when ``violates`` is not given.
+        max_executions: budget of deterministic re-runs.
+
+    Raises:
+        ValueError: when the original schedule does not violate (there
+            is nothing to preserve while shrinking).
+    """
+    if violates is None:
+        if problem is None:
+            raise ValueError("provide either a violates predicate or a problem")
+        violates = lambda result: bool(safety_violations(result, problem))
+
+    executions = 0
+
+    def attempt(candidate: Sequence[int]):
+        nonlocal executions
+        executions += 1
+        return run_choices(kernel_factory, candidate, kind)
+
+    result, applied = attempt(choices)
+    if not violates(result):
+        raise ValueError(
+            "the original schedule does not violate; nothing to shrink"
+        )
+    # Canonical form: keep only the choices that were actually applied.
+    current = list(applied)
+    best_result = result
+
+    granularity = 2
+    while len(current) >= 2 and executions < max_executions:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current) and executions < max_executions:
+            candidate = current[:start] + current[start + chunk:]
+            result, applied = attempt(candidate)
+            if violates(result):
+                current = list(applied)
+                best_result = result
+                reduced = True
+                # same start position now holds new content; retry there
+            else:
+                start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(current), granularity * 2)
+        else:
+            granularity = max(2, granularity - 1)
+
+    final = safety_violations(best_result, problem) if problem else []
+    return ShrinkResult(
+        kind=kind,
+        original=tuple(choices),
+        minimized=tuple(current),
+        executions=executions,
+        result=best_result,
+        violations=final,
+    )
+
+
+def shrink_recording(
+    kernel_factory: KernelFactory,
+    recording: Recording,
+    problem: SCProblem,
+    violates: Optional[Callable[[ExecutionResult], bool]] = None,
+    max_executions: int = 5_000,
+) -> ShrinkResult:
+    """:func:`shrink_schedule` over a :class:`Recording` artifact."""
+    return shrink_schedule(
+        kernel_factory,
+        recording.choices,
+        recording.kind,
+        violates=violates,
+        problem=problem,
+        max_executions=max_executions,
+    )
+
+
+def kernel_factory_for_spec(
+    spec,
+    n: int,
+    k: int,
+    t: int,
+    inputs: Sequence,
+    crash_adversary=None,
+    byzantine_behaviours=None,
+    stop_when_decided: bool = True,
+    max_ticks: int = 1_000_000,
+    trace_mode: TraceMode = TraceMode.FULL,
+) -> Tuple[KernelFactory, str]:
+    """Kernel factory for a registered protocol spec.
+
+    Mirrors :func:`repro.harness.runner.run_spec`'s construction but
+    returns a reusable factory (fresh protocol state per call) plus the
+    recording kind, which is what the shrinker and witness replay need.
+    """
+    from repro.shm.kernel import SMKernel
+
+    byz = dict(byzantine_behaviours or {})
+    if spec.is_shared_memory:
+        def build_sm(scheduler):
+            base_program = spec.make(n, k, t)
+            programs = [byz.get(pid, base_program) for pid in range(n)]
+            return SMKernel(
+                programs,
+                list(inputs),
+                t=t,
+                scheduler=scheduler,
+                crash_adversary=copy.deepcopy(crash_adversary),
+                byzantine=sorted(byz),
+                stop_when_decided=stop_when_decided,
+                max_ticks=max_ticks,
+                trace_mode=trace_mode,
+            )
+
+        return build_sm, "sm"
+
+    def build_mp(scheduler):
+        # Byzantine behaviours are stateful Process objects; fork them so
+        # every build starts from fresh state.
+        fresh_byz = copy.deepcopy(byz)
+        processes = [
+            fresh_byz.get(pid) or spec.make(n, k, t) for pid in range(n)
+        ]
+        return MPKernel(
+            processes,
+            list(inputs),
+            t=t,
+            scheduler=scheduler,
+            crash_adversary=copy.deepcopy(crash_adversary),
+            byzantine=sorted(byz),
+            stop_when_decided=stop_when_decided,
+            max_ticks=max_ticks,
+            trace_mode=trace_mode,
+        )
+
+    return build_mp, "mp"

@@ -94,3 +94,34 @@ class TestRunSpec:
         )
         assert report.ok
         assert 0 in report.outcome.faulty
+
+
+class TestVerifyReports:
+    """`verify=True` attaches the oracle stack's findings to the report."""
+
+    def test_clean_run_has_empty_violation_list(self):
+        spec = get_spec("chaudhuri@mp-cr")
+        report = run_spec(spec, 5, 2, 1, list("abcde"), verify=True)
+        assert report.oracle_violations == []
+        assert report.ok
+
+    def test_default_leaves_oracles_unrun(self):
+        spec = get_spec("chaudhuri@mp-cr")
+        report = run_spec(spec, 5, 2, 1, list("abcde"))
+        assert report.oracle_violations is None
+        assert report.ok  # None must not count against ok
+
+    def test_oracle_findings_flip_ok_and_show_in_summary(self):
+        # trivial protocol outside its region: everyone keeps their own
+        # input, so k=1 with distinct inputs breaks agreement.
+        spec = get_spec("trivial@mp-cr")
+        report = run_spec(spec, 3, 1, 0, ["a", "b", "c"], verify=True)
+        assert not report.ok
+        fired = {v.oracle for v in report.oracle_violations}
+        assert "agreement" in fired
+        assert "oracles:" in report.summary()
+
+    def test_sm_path_threads_verify(self):
+        spec = get_spec("protocol-e@sm-cr")
+        report = run_spec(spec, 5, 2, 1, list("abcde"), verify=True)
+        assert report.oracle_violations == []

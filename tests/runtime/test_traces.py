@@ -54,3 +54,66 @@ class TestTrace:
         record = TraceRecord(7, "deliver", 3, 1, ("VAL", "x"))
         text = str(record)
         assert "p3" in text and "peer=p1" in text and "VAL" in text
+
+
+class TestTraceVersion:
+    """The monotonic version counter is the dirty flag for caches
+    derived from the trace (regression: ``ExecutionResult.stats()`` used
+    to cache forever even when a COUNTERS trace was extended)."""
+
+    def test_version_counts_every_counted_append(self):
+        from repro.runtime.traces import TraceMode
+
+        trace = Trace(TraceMode.COUNTERS)
+        assert trace.version == 0
+        trace.record(0, "send", 0, 1, "m")
+        trace.record(1, "deliver", 1, 0, "m")
+        assert trace.version == 2
+
+    def test_version_static_in_off_mode(self):
+        from repro.runtime.traces import TraceMode
+
+        trace = Trace(TraceMode.OFF)
+        trace.record(0, "send", 0, 1, "m")
+        assert trace.version == 0
+
+    def test_stats_cache_invalidated_when_counters_trace_extended(self):
+        from repro.core.problem import Outcome
+        from repro.runtime.kernel import ExecutionResult
+        from repro.runtime.traces import TraceMode
+
+        trace = Trace(TraceMode.COUNTERS)
+        trace.record(0, "send", 0, 1, "m")
+        outcome = Outcome(
+            n=2, inputs={0: "v", 1: "v"}, decisions={}, faulty=frozenset()
+        )
+        result = ExecutionResult(
+            outcome=outcome, trace=trace, ticks=1, quiescent=False
+        )
+        first = result.stats()
+        assert first.sends_by_process.get(0) == 1
+        # Extend the trace after the first stats() call -- the regression
+        # was a stale cache here.
+        trace.record(1, "send", 0, 1, "m2")
+        trace.record(2, "deliver", 1, 0, "m2")
+        second = result.stats()
+        assert second.sends_by_process.get(0) == 2
+        assert second.deliveries_by_process.get(1) == 1
+        # Unchanged trace -> the cached object is reused.
+        assert result.stats() is second
+
+    def test_stats_cache_invalidated_in_full_mode_too(self):
+        from repro.core.problem import Outcome
+        from repro.runtime.kernel import ExecutionResult
+        from repro.runtime.traces import TraceMode
+
+        trace = Trace(TraceMode.FULL)
+        outcome = Outcome(
+            n=1, inputs={0: "v"}, decisions={}, faulty=frozenset()
+        )
+        result = ExecutionResult(
+            outcome=outcome, trace=trace, ticks=0, quiescent=False
+        )
+        assert result.stats().sends_by_process.get(0) is None
+        trace.record(0, "send", 0, 0, "m")
+        assert result.stats().sends_by_process.get(0) == 1

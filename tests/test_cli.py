@@ -219,3 +219,76 @@ class TestRecommendAndSolve:
             "--n", "5", "--k", "3", "--t", "2",
         ]) == 1
         assert "impossible" in capsys.readouterr().out
+
+
+class TestVerifyFlag:
+    """`--verify` runs the oracle stack on top of the normal verdicts."""
+
+    def test_run_verify(self, capsys):
+        code = main([
+            "run", "protocol-b@mp-cr",
+            "--n", "5", "--k", "3", "--t", "1", "--verify",
+        ])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_sweep_verify(self, capsys):
+        code = main([
+            "sweep", "chaudhuri@mp-cr",
+            "--n", "5", "--k", "2", "--t", "1", "--runs", "4", "--verify",
+        ])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exhaustive_verify(self, capsys):
+        code = main([
+            "exhaustive", "protocol-b@mp-cr",
+            "--n", "3", "--k", "2", "--t", "0",
+            "--max-states", "6000", "--verify",
+        ])
+        assert code == 0
+        assert "violations: 0" in capsys.readouterr().out
+
+    def test_attack_verify_and_witness(self, capsys, tmp_path):
+        path = tmp_path / "witness.json"
+        code = main([
+            "attack", "protocol-b@mp-cr",
+            "--n", "5", "--k", "3", "--t", "1",
+            "--attempts", "4", "--verify", "--save-witness", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+        assert "witness" in capsys.readouterr().out
+
+    def test_attack_witness_refused_for_byzantine_attempts(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "witness.json"
+        code = main([
+            "attack", "protocol-d@mp-byz",
+            "--n", "7", "--k", "2", "--t", "1",
+            "--attempts", "6", "--seed", "2", "--save-witness", str(path),
+        ])
+        out = capsys.readouterr().out
+        if code == 2:
+            assert "cannot save witness" in out
+        else:
+            assert path.exists()
+
+
+class TestVerifyRun:
+    def test_round_trip_through_attack(self, capsys, tmp_path):
+        path = tmp_path / "witness.json"
+        assert main([
+            "attack", "protocol-b@mp-cr",
+            "--n", "5", "--k", "3", "--t", "1",
+            "--attempts", "3", "--save-witness", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["verify-run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "replay deterministic" in out
+
+    def test_missing_file_exit_two(self, capsys, tmp_path):
+        assert main(["verify-run", str(tmp_path / "absent.json")]) == 2
+        assert "cannot load witness" in capsys.readouterr().out

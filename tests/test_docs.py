@@ -23,7 +23,7 @@ DOC_FILES = [
 
 _MODULE_REF = re.compile(r"`(repro(?:\.[a-z_]+)+)(?:\.([A-Za-z_][A-Za-z0-9_]*))?`")
 _SPEC_REF = re.compile(r"`([a-z0-9-]+@(?:mp|sm)-(?:cr|byz))`")
-_CLI_REF = re.compile(r"python -m repro ([a-z]+)")
+_CLI_REF = re.compile(r"python -m repro ([a-z][a-z-]*)")
 
 
 def _doc_text():

@@ -1,0 +1,133 @@
+"""Differential oracle: same seeded workload, different configuration.
+
+Two of the invariants are exact by construction -- the sweep engine
+derives every run from ``(seed, index)``, so serial vs sharded must be
+bit-identical, and trace retention is observational, so FULL vs COUNTERS
+must be too.  The MP-vs-SM comparison is exact only at ``t = 0`` (the
+failure-free quorum protocols are full-information and hence
+schedule-independent); at ``t > 0`` the kernels explore different
+schedules and the diff only requires both sides to be violation-free.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.sweep import SweepConfig
+from repro.protocols.base import all_specs, get_spec
+from repro.verify.differential import (
+    SM_COUNTERPARTS,
+    HistogramDiff,
+    diff_mp_sm,
+    diff_serial_parallel,
+    diff_trace_modes,
+    differential_check,
+    sm_counterpart,
+)
+
+CONFIG = SweepConfig(runs=8, seed=17)
+
+
+def test_serial_vs_parallel_identical():
+    diff = diff_serial_parallel(
+        get_spec("chaudhuri@mp-cr"), 5, 2, 1, CONFIG, jobs=2
+    )
+    assert diff.identical, diff.summary()
+    assert diff.ok
+    assert diff.delta() == {}
+
+
+def test_full_vs_counters_identical():
+    diff = diff_trace_modes(get_spec("protocol-b@mp-cr"), 5, 3, 1, CONFIG)
+    assert diff.identical, diff.summary()
+    assert diff.ok
+
+
+def test_mp_vs_sm_strict_equality_at_t0():
+    mp = get_spec("chaudhuri@mp-cr")
+    sm = sm_counterpart(mp)
+    assert sm is not None and sm.name == "sim-chaudhuri@sm-cr"
+    diff = diff_mp_sm(mp, sm, 4, 2, 0, CONFIG)
+    assert diff.required_equal, "t=0 must default to strict"
+    assert diff.identical, diff.summary()
+    assert diff.ok
+
+
+def test_mp_vs_sm_nonstrict_with_failures_both_clean():
+    mp = get_spec("protocol-b@mp-cr")
+    diff = diff_mp_sm(mp, sm_counterpart(mp), 5, 3, 1, CONFIG)
+    assert not diff.required_equal, "t>0 must default to reporting-only"
+    assert diff.violations_a == 0 and diff.violations_b == 0
+    assert diff.ok  # clean on both sides is enough without strictness
+
+
+def test_strict_override_flags_divergence():
+    # Force strictness at a t>0 point: if the histograms happen to
+    # diverge, ok must go false; if they coincide, ok holds -- either
+    # way ok == identical under required_equal with clean sides.
+    mp = get_spec("protocol-b@mp-cr")
+    diff = diff_mp_sm(mp, sm_counterpart(mp), 5, 3, 1, CONFIG, strict=True)
+    assert diff.required_equal
+    assert diff.ok == (diff.identical and not diff.violations_a
+                       and not diff.violations_b)
+
+
+def test_every_counterpart_pair_is_registered_and_compatible():
+    for mp_name, sm_name in SM_COUNTERPARTS.items():
+        mp, sm = get_spec(mp_name), get_spec(sm_name)
+        assert not mp.is_shared_memory
+        assert sm.is_shared_memory
+        assert mp.validity == sm.validity, (mp_name, sm_name)
+
+
+def test_sm_counterpart_none_for_sm_specs():
+    assert sm_counterpart(get_spec("protocol-f@sm-cr")) is None
+
+
+def test_differential_check_bundles_applicable_diffs():
+    report = differential_check(get_spec("chaudhuri@mp-cr"), 4, 2, 0, CONFIG)
+    labels = [(d.label_a, d.label_b) for d in report.diffs]
+    assert len(report.diffs) == 3  # serial/parallel, FULL/COUNTERS, MP/SM
+    assert any("jobs=2" in b for _, b in labels)
+    assert any("COUNTERS" in b for _, b in labels)
+    assert any("sim-chaudhuri" in b for _, b in labels)
+    assert report.ok, report.summary()
+    assert report.failing() == []
+    assert "OK" in report.summary()
+
+
+def test_differential_check_skips_mp_sm_without_counterpart():
+    report = differential_check(get_spec("protocol-a@mp-cr"), 5, 2, 1, CONFIG)
+    assert len(report.diffs) == 2
+
+
+def test_histogram_diff_delta_and_ok_logic():
+    diff = HistogramDiff(
+        label_a="a", label_b="b",
+        histogram_a={1: 5, 2: 3}, histogram_b={1: 5, 2: 1, 3: 2},
+        violations_a=0, violations_b=0, required_equal=False,
+    )
+    assert not diff.identical
+    assert diff.delta() == {2: 2, 3: -2}
+    assert diff.ok  # divergence allowed when not required equal
+    strict = dataclasses.replace(diff, required_equal=True)
+    assert not strict.ok
+    dirty = dataclasses.replace(diff, violations_a=1)
+    assert not dirty.ok  # violations always fail, strict or not
+    assert "allowed" in diff.summary()
+    assert "REQUIRED EQUAL" in strict.summary()
+
+
+@pytest.mark.parametrize(
+    "mp_name", sorted(n for n in SM_COUNTERPARTS if "trivial" not in n)
+)
+def test_counterpart_sweeps_clean_at_t0(mp_name):
+    """Failure-free strict equality holds for every non-trivial pair."""
+    mp = get_spec(mp_name)
+    sm = sm_counterpart(mp)
+    n, k = 4, 2
+    if not (mp.solvable(n, k, 0) and sm.solvable(n, k, 0)):
+        pytest.skip(f"{mp_name} pair not solvable at n={n} k={k} t=0")
+    diff = diff_mp_sm(mp, sm, n, k, 0, SweepConfig(runs=4, seed=5))
+    assert diff.ok, diff.summary()
+    assert diff.identical, diff.summary()

@@ -1,0 +1,67 @@
+"""Property test: the oracle stack is clean across the solvable grid.
+
+Every registered protocol, at a sample of ``(k, t)`` points inside its
+claimed solvable region, runs ``REPRO_VERIFY_RUNS`` seeded randomized
+executions through the *full* oracle stack (fault budget, k-agreement,
+validity, irrevocability, termination) with ``TraceMode.FULL`` so the
+trace-level checks actually exercise records.  Zero violations expected:
+any finding is either a protocol bug or an oracle bug, and both matter.
+
+``REPRO_VERIFY_RUNS`` (env) scales the per-point run count so CI smoke
+jobs can run the same grid cheaply.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.sweep import SweepConfig, sweep_spec
+from repro.protocols.base import all_specs
+from repro.runtime.traces import TraceMode
+
+RUNS = int(os.environ.get("REPRO_VERIFY_RUNS", "4"))
+MAX_POINTS_PER_SPEC = 2
+N = 5
+
+
+def _grid_points():
+    """(spec, n, k, t) sample of each spec's solvable region."""
+    points = []
+    for spec in all_specs():
+        found = 0
+        for t in (1, 0):  # prefer a faulty point, fall back to t=0
+            for k in range(1, N + 1):
+                if found >= MAX_POINTS_PER_SPEC:
+                    break
+                if spec.solvable(N, k, t):
+                    points.append(pytest.param(
+                        spec, N, k, t, id=f"{spec.name}-n{N}k{k}t{t}"
+                    ))
+                    found += 1
+            if found >= MAX_POINTS_PER_SPEC:
+                break
+    return points
+
+
+GRID = _grid_points()
+
+
+def test_grid_covers_every_registered_spec():
+    covered = {p.values[0].name for p in GRID}
+    assert covered == {spec.name for spec in all_specs()}
+
+
+@pytest.mark.parametrize("spec, n, k, t", GRID)
+def test_oracle_stack_clean_on_solvable_point(spec, n, k, t):
+    stats = sweep_spec(
+        spec, n, k, t,
+        SweepConfig(
+            runs=RUNS,
+            seed=20260805,
+            trace_mode=TraceMode.FULL,
+            verify=True,
+        ),
+    )
+    assert stats.clean, "\n".join(v.detail for v in stats.violations)
+    assert stats.runs == RUNS
+    assert stats.max_distinct_decisions <= k

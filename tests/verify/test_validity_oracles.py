@@ -1,0 +1,191 @@
+"""Adversarial edge cases for the validity oracles.
+
+The six paper conditions differ exactly in how they treat faulty
+processes, so the interesting inputs are hand-built outcomes where the
+fault pattern is the whole story: a Byzantine process whose *claimed*
+input diverges (SV2 fires where RV2 is vacuous), failure-free runs
+(the only place WV1/WV2 say anything), and the ``t = 0`` degenerate
+problem where the fault budget itself is the first oracle to fire.
+"""
+
+import pytest
+
+from repro.core.problem import Outcome, SCProblem
+from repro.core.validity import RV1, RV2, SV1, SV2, WV1, WV2, by_code
+from repro.verify.oracles import (
+    FaultBudgetOracle,
+    ValidityOracle,
+    all_validity_oracles,
+    check_execution,
+    outcome_result,
+)
+
+
+def _violations(outcome, problem, condition):
+    return ValidityOracle(condition).check(outcome_result(outcome), problem)
+
+
+def _problem(n, k, t, condition):
+    return SCProblem(n=n, k=k, t=t, validity=condition)
+
+
+class TestByzantineDivergentInput:
+    """All *correct* inputs equal, one Byzantine claims a different one.
+
+    SV2 quantifies over correct inputs only: they are unanimous, so the
+    correct processes must decide that value -- deciding the Byzantine
+    value breaks SV2.  RV2 quantifies over all inputs: the divergent
+    claim voids unanimity and RV2 holds vacuously.  This divergence is
+    the paper's reason for having both strong and regular variants.
+    """
+
+    OUTCOME = Outcome(
+        n=4,
+        inputs={0: "v", 1: "v", 2: "v", 3: "w"},
+        decisions={0: "w", 1: "w", 2: "w"},
+        faulty=frozenset({3}),
+    )
+
+    def test_sv2_fires(self):
+        problem = _problem(4, 1, 1, SV2)
+        found = _violations(self.OUTCOME, problem, SV2)
+        assert len(found) == 1
+        assert found[0].oracle == "validity:SV2"
+
+    def test_rv2_vacuous(self):
+        problem = _problem(4, 1, 1, RV2)
+        assert _violations(self.OUTCOME, problem, RV2) == []
+
+    def test_sv1_fires_rv1_does_not(self):
+        # Same asymmetry one level down: "w" is not a *correct* input
+        # (SV1 fires) but is *some* process's input (RV1 holds).
+        problem = _problem(4, 1, 1, SV1)
+        assert _violations(self.OUTCOME, problem, SV1)
+        assert _violations(self.OUTCOME, problem, RV1) == []
+
+    def test_full_stack_flags_only_the_strong_conditions(self):
+        problem = _problem(4, 1, 1, SV2)
+        fired = {
+            v.oracle
+            for v in check_execution(
+                outcome_result(self.OUTCOME), problem,
+                all_validity_oracles(),
+            )
+        }
+        assert fired == {"validity:SV1", "validity:SV2"}
+
+
+class TestFailureFreeWeakConditions:
+    """WV1/WV2 constrain *all* processes, but only in failure-free runs."""
+
+    def test_wv1_fires_on_zero_failures(self):
+        outcome = Outcome(
+            n=3,
+            inputs={0: "a", 1: "b", 2: "c"},
+            decisions={0: "a", 1: "b", 2: "z"},  # "z" is nobody's input
+            faulty=frozenset(),
+        )
+        problem = _problem(3, 3, 0, WV1)
+        found = _violations(outcome, problem, WV1)
+        assert len(found) == 1
+        assert "failure-free" in found[0].detail
+
+    def test_wv1_vacuous_once_anything_fails(self):
+        outcome = Outcome(
+            n=3,
+            inputs={0: "a", 1: "b", 2: "c"},
+            decisions={0: "z", 1: "z"},
+            faulty=frozenset({2}),
+        )
+        problem = _problem(3, 3, 1, WV1)
+        assert _violations(outcome, problem, WV1) == []
+        # ... where RV1 (no failure-free guard) still fires.
+        assert _violations(outcome, problem, RV1)
+
+    def test_wv2_constrains_even_faulty_decisions(self):
+        # Unlike SV2/RV2, WV2 reads *all* decisions: in a failure-free
+        # unanimous run every recorded decision must be the input value.
+        outcome = Outcome(
+            n=3,
+            inputs={0: "v", 1: "v", 2: "v"},
+            decisions={0: "v", 1: "v", 2: "x"},
+            faulty=frozenset(),
+        )
+        problem = _problem(3, 1, 0, WV2)
+        assert _violations(outcome, problem, WV2)
+
+    def test_wv2_vacuous_without_unanimity(self):
+        outcome = Outcome(
+            n=3,
+            inputs={0: "v", 1: "v", 2: "u"},
+            decisions={0: "x", 1: "x", 2: "x"},
+            faulty=frozenset(),
+        )
+        problem = _problem(3, 1, 0, WV2)
+        assert _violations(outcome, problem, WV2) == []
+
+
+class TestDegenerateBudget:
+    """``t = 0``: any failure at all is outside the adversary model."""
+
+    def test_fault_budget_fires_first_and_short_circuits(self):
+        outcome = Outcome(
+            n=3,
+            inputs={0: "v", 1: "v", 2: "v"},
+            decisions={0: "x", 1: "y"},  # would break SV2 *and* agreement
+            faulty=frozenset({2}),
+        )
+        problem = _problem(3, 1, 0, SV2)
+        found = check_execution(outcome_result(outcome), problem)
+        assert [v.oracle for v in found] == ["fault-budget"]
+
+    def test_budget_oracle_quiet_inside_budget(self):
+        outcome = Outcome(
+            n=3,
+            inputs={0: "v", 1: "v", 2: "v"},
+            decisions={0: "v", 1: "v", 2: "v"},
+            faulty=frozenset(),
+        )
+        problem = _problem(3, 1, 0, SV2)
+        assert FaultBudgetOracle().check(outcome_result(outcome), problem) == []
+        assert check_execution(outcome_result(outcome), problem) == []
+
+    def test_t0_failure_free_all_six_conditions_meaningful(self):
+        # With no failures the strong/regular/weak split collapses: a
+        # non-input decision violates every variant simultaneously.
+        outcome = Outcome(
+            n=3,
+            inputs={0: "v", 1: "v", 2: "v"},
+            decisions={0: "z", 1: "z", 2: "z"},
+            faulty=frozenset(),
+        )
+        problem = _problem(3, 1, 0, SV1)
+        fired = {
+            v.oracle
+            for v in check_execution(
+                outcome_result(outcome), problem, all_validity_oracles()
+            )
+        }
+        assert fired == {
+            "validity:SV1", "validity:SV2", "validity:RV1",
+            "validity:RV2", "validity:WV1", "validity:WV2",
+        }
+
+
+def test_validity_oracle_defaults_to_problem_condition():
+    outcome = Outcome(
+        n=2,
+        inputs={0: "v", 1: "v"},
+        decisions={0: "z", 1: "z"},
+        faulty=frozenset(),
+    )
+    problem = _problem(2, 1, 0, by_code("RV1"))
+    found = ValidityOracle().check(outcome_result(outcome), problem)
+    assert [v.oracle for v in found] == ["validity:RV1"]
+
+
+def test_every_condition_has_a_pinned_oracle():
+    names = {oracle.name for oracle in all_validity_oracles()}
+    assert names == {
+        f"validity:{code}" for code in ("SV1", "SV2", "RV1", "RV2", "WV1", "WV2")
+    }
