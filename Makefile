@@ -2,13 +2,29 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-throughput figures experiments examples all clean
+.PHONY: install test lint bench bench-throughput figures experiments examples all clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# ruff/mypy are optional-dependency extras ([project.optional-dependencies]
+# lint); skip gracefully when absent so `make lint` works in the offline
+# dev container, where only the staticcheck gate (stdlib-only) is enforced.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "lint: ruff not installed, skipping (pip install -e .[lint])"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "lint: mypy not installed, skipping (pip install -e .[lint])"; \
+	fi
+	PYTHONPATH=src $(PYTHON) -m repro staticcheck src --strict
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

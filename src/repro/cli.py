@@ -19,7 +19,9 @@ Subcommands:
 * ``exhaustive``-- verify a protocol over ALL schedules of a tiny
   instance;
 * ``campaign``  -- run a persisted validation campaign;
-* ``verify-run``-- replay a witness file through the oracle stack.
+* ``verify-run``-- replay a witness file through the oracle stack;
+* ``staticcheck`` -- AST lint for determinism & protocol conformance
+  (DET/PROTO/SM rule families, SARIF output, committed baseline).
 
 ``run``, ``sweep``, ``attack``, and ``exhaustive`` all accept
 ``--verify`` to additionally judge executions with the
@@ -186,6 +188,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a witness file and run the oracle stack over it",
     )
     p.add_argument("witness", help="path to a repro-witness/1 JSON file")
+
+    p = sub.add_parser(
+        "staticcheck",
+        help="AST lint: determinism & protocol-conformance rules",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (sarif is SARIF 2.1.0)",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the report to a file instead of stdout",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline of accepted findings "
+             "(default: staticcheck-baseline.json when present)",
+    )
+    p.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="warnings also fail the run (default: errors only)",
+    )
+    p.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept every current finding into the baseline file "
+             "(existing justifications are preserved)",
+    )
 
     p = sub.add_parser("campaign", help="run a persisted validation campaign")
     p.add_argument("--name", default="default")
@@ -484,6 +521,50 @@ def _cmd_verify_run(args) -> int:
     return 1 if report.violations else 0
 
 
+def _cmd_staticcheck(args) -> int:
+    from repro.staticcheck import (
+        DEFAULT_BASELINE_NAME,
+        UsageError,
+        render,
+        run_check,
+        write_baseline,
+    )
+
+    if args.no_baseline:
+        baseline_path = None
+        explicit = False
+    elif args.baseline is not None:
+        baseline_path = args.baseline
+        explicit = True
+    else:
+        baseline_path = DEFAULT_BASELINE_NAME
+        explicit = False
+    try:
+        report = run_check(
+            args.paths,
+            baseline_path=baseline_path,
+            explicit_baseline=explicit,
+            strict=args.strict,
+        )
+        if args.write_baseline:
+            target = baseline_path or DEFAULT_BASELINE_NAME
+            baseline = write_baseline(report, target)
+            print(f"wrote {target} ({len(baseline.entries)} entries)")
+            return 0
+        output = render(report, args.format)
+    except UsageError as reason:
+        print(f"staticcheck: {reason}", file=sys.stderr)
+        return 2
+    if args.out:
+        import pathlib
+
+        pathlib.Path(args.out).write_text(output + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(output)
+    return report.exit_code
+
+
 _DISPATCH = {
     "classify": _cmd_classify,
     "panel": _cmd_panel,
@@ -503,6 +584,7 @@ _DISPATCH = {
     "exhaustive": _cmd_exhaustive,
     "campaign": _cmd_campaign,
     "verify-run": _cmd_verify_run,
+    "staticcheck": _cmd_staticcheck,
 }
 
 

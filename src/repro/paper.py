@@ -14,11 +14,16 @@ from typing import Dict, Optional, Tuple
 
 __all__ = [
     "CITATION",
+    "CLAIMED_REGIONS",
     "FIGURES",
     "LEMMA_INDEX",
     "PROTOCOLS",
+    "ClaimedRegion",
     "PaperArtifact",
     "artifact",
+    "claimed_protocol_symbols",
+    "claimed_region",
+    "claimed_region_by_spec",
     "render_index",
 ]
 
@@ -190,6 +195,125 @@ LEMMA_INDEX: Dict[str, Tuple[str, str]] = {
 
 FIGURES = tuple(a for a in _ARTIFACTS if a.kind == "figure")
 PROTOCOLS = tuple(a for a in _ARTIFACTS if a.kind == "protocol")
+
+
+@dataclasses.dataclass(frozen=True)
+class ClaimedRegion:
+    """One solvability claim: a protocol spec and its ``(k, t, C)`` region.
+
+    The paper's possibility lemmas each claim that a protocol solves
+    ``SC(k, t, C)`` in one model over some region of ``(n, k, t)``.
+    This table is the single source of truth for those claims: the
+    protocol registry (:mod:`repro.protocols.base`) is cross-checked
+    against it by ``tests/test_paper_index.py`` at run time and by the
+    ``PROTO002`` rule of :mod:`repro.staticcheck` at lint time.  The
+    region predicate itself lives on the registered
+    :class:`~repro.protocols.base.ProtocolSpec` (``spec.solvable``).
+
+    Attributes:
+        spec_name: registry key, e.g. ``"protocol-a@mp-cr"``.
+        protocol: implementing symbol (class or program function).
+        model_attr: :class:`~repro.models.Model` member name, e.g.
+            ``"MP_CR"``.
+        validity: claimed validity condition code.
+        lemma: the lemma (or section) making the claim, exactly as the
+            registry states it.
+    """
+
+    spec_name: str
+    protocol: str
+    model_attr: str
+    validity: str
+    lemma: str
+
+    @property
+    def model(self):
+        from repro.models import Model
+
+        return Model[self.model_attr]
+
+
+CLAIMED_REGIONS: Tuple[ClaimedRegion, ...] = (
+    ClaimedRegion("chaudhuri@mp-cr", "ChaudhuriKSet",
+                  "MP_CR", "RV1", "Lemma 3.1"),
+    ClaimedRegion("protocol-a@mp-cr", "ProtocolA",
+                  "MP_CR", "RV2", "Lemma 3.7"),
+    ClaimedRegion("protocol-a-wv2@mp-cr", "ProtocolA",
+                  "MP_CR", "WV2", "Lemma 3.7 (WV2 weaker than RV2)"),
+    ClaimedRegion("protocol-a@mp-byz", "ProtocolA",
+                  "MP_BYZ", "WV2", "Lemmas 3.12 and 3.13"),
+    ClaimedRegion("protocol-b@mp-cr", "ProtocolB",
+                  "MP_CR", "SV2", "Lemma 3.8"),
+    ClaimedRegion("protocol-c@mp-byz", "ProtocolC",
+                  "MP_BYZ", "SV2", "Lemma 3.15"),
+    ClaimedRegion("protocol-c-rv2@mp-byz", "ProtocolC",
+                  "MP_BYZ", "RV2", "Lemma 3.15 (RV2 weaker than SV2)"),
+    ClaimedRegion("protocol-d@mp-byz", "ProtocolD",
+                  "MP_BYZ", "WV1", "Lemma 3.16"),
+    ClaimedRegion("protocol-e@sm-cr", "protocol_e",
+                  "SM_CR", "RV2", "Lemma 4.5"),
+    ClaimedRegion("protocol-e@sm-byz", "protocol_e",
+                  "SM_BYZ", "WV2", "Lemma 4.10"),
+    ClaimedRegion("protocol-f@sm-cr", "protocol_f",
+                  "SM_CR", "SV2", "Lemma 4.7"),
+    ClaimedRegion("protocol-f@sm-byz", "protocol_f",
+                  "SM_BYZ", "SV2", "Lemma 4.12"),
+    ClaimedRegion("sim-chaudhuri@sm-cr", "simulate_mp_over_sm",
+                  "SM_CR", "RV1", "Lemma 4.4"),
+    ClaimedRegion("sim-protocol-b@sm-cr", "simulate_mp_over_sm",
+                  "SM_CR", "SV2", "Lemma 4.6"),
+    ClaimedRegion("sim-protocol-c@sm-byz", "simulate_mp_over_sm",
+                  "SM_BYZ", "SV2", "Lemma 4.11"),
+    ClaimedRegion("sim-protocol-d@sm-byz", "simulate_mp_over_sm",
+                  "SM_BYZ", "WV1", "Lemma 4.13"),
+    ClaimedRegion("trivial@mp-cr", "TrivialOwnValue",
+                  "MP_CR", "SV1", "Section 2"),
+    ClaimedRegion("trivial@mp-byz", "TrivialOwnValue",
+                  "MP_BYZ", "SV1", "Section 2"),
+    ClaimedRegion("trivial@sm-cr", "trivial_own_value_sm",
+                  "SM_CR", "SV1", "Section 2"),
+    ClaimedRegion("trivial@sm-byz", "trivial_own_value_sm",
+                  "SM_BYZ", "SV1", "Section 2"),
+)
+
+_CLAIMS_BY_SPEC: Dict[str, ClaimedRegion] = {
+    claim.spec_name: claim for claim in CLAIMED_REGIONS
+}
+
+
+def claimed_region_by_spec(spec_name: str) -> Optional[ClaimedRegion]:
+    """The claim registered under one spec name, or ``None``."""
+    return _CLAIMS_BY_SPEC.get(spec_name)
+
+
+def claimed_region(protocol) -> Tuple[ClaimedRegion, ...]:
+    """Every claimed region of one protocol.
+
+    ``protocol`` may be a spec name (``"protocol-a@mp-cr"``), an
+    implementing class or function, or its symbol name
+    (``"ProtocolA"``).  Raises :class:`ValueError` when nothing in the
+    table matches.
+    """
+    if isinstance(protocol, str):
+        key = protocol
+    else:
+        key = getattr(protocol, "__name__", None)
+        if key is None:
+            raise ValueError(f"cannot resolve a symbol for {protocol!r}")
+    if key in _CLAIMS_BY_SPEC:
+        return (_CLAIMS_BY_SPEC[key],)
+    claims = tuple(c for c in CLAIMED_REGIONS if c.protocol == key)
+    if not claims:
+        raise ValueError(
+            f"no claimed region for {key!r}; known specs: "
+            f"{sorted(_CLAIMS_BY_SPEC)}"
+        )
+    return claims
+
+
+def claimed_protocol_symbols() -> frozenset:
+    """Implementing symbols with at least one claimed region."""
+    return frozenset(claim.protocol for claim in CLAIMED_REGIONS)
 
 
 def artifact(identifier: str) -> PaperArtifact:

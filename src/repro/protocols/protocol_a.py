@@ -51,7 +51,9 @@ class ProtocolA(Process):
         if len(self._values) >= ctx.n - ctx.t:
             distinct = set(self._values.values())
             if len(distinct) == 1:
-                ctx.decide(next(iter(distinct)))
+                # Singleton unpack: order-insensitive, unlike next(iter(..)).
+                (common,) = distinct
+                ctx.decide(common)
             else:
                 ctx.decide(DEFAULT)
 

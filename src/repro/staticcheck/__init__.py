@@ -1,0 +1,70 @@
+"""``repro.staticcheck`` -- determinism & protocol-conformance linter.
+
+A dependency-free AST linter enforcing, at review time, the invariants
+the :mod:`repro.verify` layer can only check per-execution:
+
+* **DET** rules -- no wall-clock time, no process-global RNG, no
+  order-sensitive picks over unordered collections, no mutable
+  class-level state on the deterministic-replay path;
+* **PROTO** rules -- decide-once irrevocability, and every protocol's
+  claimed ``(k, t, C)`` region declared and cross-checked against the
+  paper's claimed-regions table in :mod:`repro.paper`;
+* **SM** rules -- non-atomic read-modify-write hazards against the
+  SWMR register file.
+
+Run it as ``repro staticcheck [paths] [--format text|json|sarif]
+[--baseline FILE] [--strict]``; accepted findings live in a committed
+baseline file with per-entry justifications.  The linter lints its own
+package (``staticcheck`` is in the DET scope).
+"""
+
+from repro.staticcheck.baseline import (
+    Baseline,
+    BaselineEntry,
+    DEFAULT_BASELINE_NAME,
+    fingerprint,
+    load_baseline,
+    save_baseline,
+)
+from repro.staticcheck.engine import (
+    CheckResult,
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    check_paths,
+    check_source,
+)
+from repro.staticcheck.runner import (
+    CheckReport,
+    UsageError,
+    render,
+    render_text,
+    run_check,
+    write_baseline,
+)
+from repro.staticcheck.sarif import render_sarif, to_sarif
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "CheckReport",
+    "CheckResult",
+    "DEFAULT_BASELINE_NAME",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "UsageError",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "fingerprint",
+    "load_baseline",
+    "render",
+    "render_sarif",
+    "render_text",
+    "run_check",
+    "save_baseline",
+    "to_sarif",
+    "write_baseline",
+]

@@ -1,0 +1,390 @@
+"""Core of the ``repro.staticcheck`` linter: findings, rules, the walker.
+
+The linter is a plain :mod:`ast` pass -- no third-party dependencies --
+that enforces the *static* half of the determinism contract the dynamic
+:mod:`repro.verify` layer checks at run time: replay (and the parallel
+sweep engine's bit-for-bit guarantee) only holds if no protocol or
+kernel code consults wall-clock time, the process-global RNG, or the
+iteration order of an unordered collection on a decision path.
+
+Concepts
+--------
+
+* :class:`Rule` -- one named check (``DET001``, ``PROTO002``, ...) with
+  a severity and a path scope; rules register themselves in a module
+  registry via :func:`register_rule`.
+* :class:`Finding` -- one diagnostic, pointing at a file/line/column.
+* ``# repro: noqa`` / ``# repro: noqa[DET003]`` -- inline escape hatch
+  suppressing all (or the named) rules on that physical line.
+* :func:`check_paths` -- walk files/directories, parse, run every
+  applicable rule, and return a :class:`CheckResult`.
+
+Findings that are expected (grandfathered or deliberate) live in a
+committed baseline file; see :mod:`repro.staticcheck.baseline`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CheckResult",
+    "FileContext",
+    "Finding",
+    "ImportMap",
+    "PARSE_RULE_ID",
+    "Rule",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "dotted_name",
+    "register_rule",
+]
+
+SEVERITIES = ("error", "warning")
+
+#: Pseudo-rule id used for files that do not parse.
+PARSE_RULE_ID = "PARSE001"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule.
+
+    ``occurrence`` disambiguates findings whose (rule, path, source
+    line text) coincide, so baseline fingerprints stay stable under
+    pure line-number drift but still count duplicates.
+    """
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    line_text: str = ""
+    occurrence: int = 0
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return (
+            f"{self.location()}: {self.rule_id} [{self.severity}] "
+            f"{self.message}"
+        )
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Class attributes:
+        rule_id: unique id, e.g. ``"DET001"``.
+        severity: ``"error"`` or ``"warning"``.
+        summary: one-line description (shown in SARIF rule metadata).
+        scopes: path components the rule applies to (``None`` = every
+            file).  A file is in scope when any of its path components
+            matches one of the scope names, so ``("protocols",)``
+            matches both ``src/repro/protocols/x.py`` and a test
+            fixture under ``fixtures/protocols/``.
+    """
+
+    rule_id: str = ""
+    severity: str = "error"
+    summary: str = ""
+    scopes: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, path: str) -> bool:
+        if self.scopes is None:
+            return True
+        parts = _normpath(path).split("/")
+        return any(scope in parts for scope in self.scopes)
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: "FileContext", node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=ctx.path,
+            line=line,
+            col=col,
+            message=message,
+            line_text=ctx.line_text(line),
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"{rule.rule_id}: bad severity {rule.severity!r}")
+    existing = _REGISTRY.get(rule.rule_id)
+    if existing is not None and type(existing) is not cls:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, importing the rule modules on first use."""
+    from repro.staticcheck import rules_det, rules_proto, rules_sm  # noqa: F401
+
+    return tuple(sorted(_REGISTRY.values(), key=lambda r: r.rule_id))
+
+
+def rule_index() -> Dict[str, Rule]:
+    all_rules()
+    return dict(_REGISTRY)
+
+
+class ImportMap:
+    """Resolves names in one module back to dotted import paths.
+
+    Tracks ``import x [as y]`` and ``from x import y [as z]`` so rules
+    can ask "is this call ``time.time``?" regardless of aliasing.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.module_aliases: Dict[str, str] = {}
+        self.from_imports: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self.module_aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports are first-party
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.from_imports[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path of an expression, e.g. ``datetime.datetime.now``."""
+        raw = dotted_name(node)
+        if raw is None:
+            return None
+        head, _, rest = raw.partition(".")
+        if head in self.module_aliases:
+            base = self.module_aliases[head]
+        elif head in self.from_imports:
+            base = self.from_imports[head]
+        else:
+            return raw
+        return f"{base}.{rest}" if rest else base
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class FileContext:
+    """Everything a rule needs to check one file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = _normpath(path)
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self._imports: Optional[ImportMap] = None
+        self._noqa: Optional[Dict[int, Optional[frozenset]]] = None
+
+    @property
+    def imports(self) -> ImportMap:
+        if self._imports is None:
+            self._imports = ImportMap(self.tree)
+        return self._imports
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``# repro: noqa`` on ``line`` silences ``rule_id``."""
+        if self._noqa is None:
+            table: Dict[int, Optional[frozenset]] = {}
+            for num, text in enumerate(self.lines, 1):
+                match = _NOQA_RE.search(text)
+                if not match:
+                    continue
+                names = match.group("rules")
+                if names is None:
+                    table[num] = None  # blanket suppression
+                else:
+                    table[num] = frozenset(
+                        part.strip().upper()
+                        for part in names.split(",")
+                        if part.strip()
+                    )
+            self._noqa = table
+        entry = self._noqa.get(line, _MISSING)
+        if entry is _MISSING:
+            return False
+        return entry is None or rule_id.upper() in entry  # type: ignore[operator]
+
+
+_MISSING: frozenset = frozenset({"\0missing"})
+
+
+@dataclasses.dataclass
+class CheckResult:
+    """Outcome of one linter invocation (before baseline filtering)."""
+
+    findings: List[Finding]
+    files_checked: int
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one source string as if it lived at ``path``."""
+    chosen = tuple(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as err:
+        return [
+            Finding(
+                rule_id=PARSE_RULE_ID,
+                severity="error",
+                path=_normpath(path),
+                line=err.lineno or 1,
+                col=(err.offset or 0) or 1,
+                message=f"file does not parse: {err.msg}",
+            )
+        ]
+    ctx = FileContext(path, source, tree)
+    found: List[Finding] = []
+    for rule in chosen:
+        if not rule.applies_to(ctx.path):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding.rule_id, finding.line):
+                found.append(finding)
+    found.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return _number_occurrences(found)
+
+
+def _number_occurrences(findings: List[Finding]) -> List[Finding]:
+    """Assign occurrence indices among identical (rule, path, text)."""
+    counts: Dict[Tuple[str, str, str], int] = {}
+    numbered = []
+    for finding in findings:
+        key = (finding.rule_id, finding.path, finding.line_text)
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        numbered.append(dataclasses.replace(finding, occurrence=occurrence))
+    return numbered
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``*.py`` paths."""
+    seen = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        full = os.path.join(dirpath, name)
+                        if full not in seen:
+                            seen.add(full)
+                            yield full
+        elif path.endswith(".py") or os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                yield path
+
+
+def check_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[str] = None,
+) -> CheckResult:
+    """Lint files and directories; paths in findings are ``root``-relative."""
+    base = root or os.getcwd()
+    findings: List[Finding] = []
+    files = 0
+    for file_path in iter_python_files(paths):
+        files += 1
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as err:
+            findings.append(
+                Finding(
+                    rule_id=PARSE_RULE_ID,
+                    severity="error",
+                    path=_relpath(file_path, base),
+                    line=1,
+                    col=1,
+                    message=f"cannot read file: {err}",
+                )
+            )
+            continue
+        findings.extend(
+            check_source(source, _relpath(file_path, base), rules=rules)
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return CheckResult(findings=findings, files_checked=files)
+
+
+def _relpath(path: str, base: str) -> str:
+    rel = os.path.relpath(os.path.abspath(path), base)
+    if rel.startswith(".."):
+        rel = os.path.abspath(path)
+    return _normpath(rel)
+
+
+def _normpath(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def walk_statements(node: ast.AST) -> Iterable[ast.stmt]:
+    """All statements inside ``node``, in document order."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.stmt):
+            yield child

@@ -1,0 +1,369 @@
+"""DET rules: sources of replay-breaking nondeterminism.
+
+The deterministic kernels (:mod:`repro.runtime.kernel`,
+:mod:`repro.shm.kernel`) route *all* nondeterminism through seeded
+schedulers, which is what makes witness replay, ddmin shrinking, and
+the parallel sweep engine's serial-equality guarantee sound.  These
+rules reject the three ways code smuggles nondeterminism past that
+funnel:
+
+* DET001 -- wall-clock reads (``time.time``, ``datetime.now``, ...);
+* DET002 -- the process-global RNG (``random.random()`` et al.; a
+  seeded ``random.Random(seed)`` instance is the sanctioned pattern);
+* DET003 -- order-sensitive picks (``min``/``max`` without a key,
+  ``next(iter(...))``, ``.pop()``, multi-target unpacking) over
+  unordered collections (sets, ``dict.values()``/``keys()``/
+  ``items()`` views);
+* DET004 -- mutable class-level state, which is shared across the
+  process *instances* that the harness deliberately isolates.
+
+All four are scoped to the packages on the replay path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.staticcheck.engine import (
+    FileContext,
+    Finding,
+    Rule,
+    register_rule,
+)
+
+__all__ = [
+    "NoGlobalRandomRule",
+    "NoMutableClassStateRule",
+    "NoUnorderedPickRule",
+    "NoWallClockRule",
+]
+
+#: Packages whose code sits on the deterministic-replay path.
+REPLAY_SCOPES: Tuple[str, ...] = (
+    "runtime", "shm", "net", "protocols", "staticcheck",
+)
+
+_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+_SEEDED_RNG_FACTORIES = frozenset({"Random", "SystemRandom"})
+
+
+@register_rule
+class NoWallClockRule(Rule):
+    """DET001: no wall-clock reads on the replay path."""
+
+    rule_id = "DET001"
+    severity = "error"
+    summary = (
+        "wall-clock reads (time.time, datetime.now, ...) break "
+        "deterministic replay; derive logical time from the kernel"
+    )
+    scopes = REPLAY_SCOPES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            if resolved in _CLOCK_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"call to {resolved} reads the wall clock; replay "
+                    f"requires logical time from the kernel",
+                )
+
+
+@register_rule
+class NoGlobalRandomRule(Rule):
+    """DET002: no process-global RNG; inject a seeded ``random.Random``."""
+
+    rule_id = "DET002"
+    severity = "error"
+    summary = (
+        "module-level random.* calls use the process-global RNG; "
+        "inject a seeded random.Random instance instead"
+    )
+    scopes = REPLAY_SCOPES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                resolved = ctx.imports.resolve(node.func)
+                if (
+                    resolved
+                    and resolved.startswith("random.")
+                    and resolved.split(".")[1] not in _SEEDED_RNG_FACTORIES
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        f"{resolved}() uses the process-global RNG; "
+                        f"inject a seeded random.Random instead",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module != "random" or node.level:
+                    continue
+                for alias in node.names:
+                    if alias.name not in _SEEDED_RNG_FACTORIES:
+                        yield self.finding(
+                            ctx, node,
+                            f"'from random import {alias.name}' exposes "
+                            f"the process-global RNG; import random.Random "
+                            f"and seed it explicitly",
+                        )
+
+
+class _UnorderedTracker:
+    """Local names bound to unordered collections within one scope."""
+
+    def __init__(self) -> None:
+        self.names: Set[str] = set()
+
+    def scan_assignments(self, scope_body: list) -> None:
+        for stmt in _walk_scope(scope_body):
+            if isinstance(stmt, ast.Assign):
+                value_unordered = self.is_unordered(stmt.value)
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        if value_unordered:
+                            self.names.add(target.id)
+                        else:
+                            self.names.discard(target.id)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    if self.is_unordered(stmt.value):
+                        self.names.add(stmt.target.id)
+
+    def is_unordered(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in (
+                "set", "frozenset",
+            ):
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "values", "keys", "items",
+            ) and not node.args and not node.keywords:
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_unordered(node.left) or self.is_unordered(
+                node.right
+            )
+        return False
+
+
+def _walk_scope(body: list) -> Iterator[ast.stmt]:
+    """Statements of one function/module scope, skipping nested defs."""
+    for stmt in body:
+        yield stmt
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for field in stmt._fields:
+            value = getattr(stmt, field, None)
+            if isinstance(value, list):
+                yield from _walk_scope(
+                    [s for s in value if isinstance(s, ast.stmt)]
+                )
+
+
+def _iter_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Expression subtrees of one statement, not entering nested stmts."""
+    stack: list = []
+    for field in stmt._fields:
+        value = getattr(stmt, field, None)
+        if isinstance(value, ast.AST) and not isinstance(value, ast.stmt):
+            stack.append(value)
+        elif isinstance(value, list):
+            stack.extend(
+                v for v in value
+                if isinstance(v, ast.AST) and not isinstance(v, ast.stmt)
+            )
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(
+            child for child in ast.iter_child_nodes(node)
+            if not isinstance(child, ast.stmt)
+        )
+
+
+@register_rule
+class NoUnorderedPickRule(Rule):
+    """DET003: order-sensitive picks over unordered collections."""
+
+    rule_id = "DET003"
+    severity = "error"
+    summary = (
+        "an order-sensitive pick (min/max without key, next(iter(..)), "
+        ".pop(), multi-unpack) over a set or dict view depends on hash "
+        "or insertion order; use sorted() or an explicit order key"
+    )
+    scopes = REPLAY_SCOPES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_scope(ctx, ctx.tree.body)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(ctx, node.body)
+
+    def _check_scope(
+        self, ctx: FileContext, body: list
+    ) -> Iterator[Finding]:
+        tracker = _UnorderedTracker()
+        tracker.scan_assignments(body)
+        for stmt in _walk_scope(body):
+            for node in _iter_exprs(stmt):
+                finding = self._check_node(ctx, node, tracker)
+                if finding is not None:
+                    yield finding
+            if isinstance(stmt, ast.Assign):
+                yield from self._check_unpack(ctx, stmt, tracker)
+
+    def _check_node(
+        self, ctx: FileContext, node: ast.AST, tracker: _UnorderedTracker
+    ) -> Optional[Finding]:
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("min", "max"):
+            if (
+                len(node.args) == 1
+                and tracker.is_unordered(node.args[0])
+                and not any(kw.arg == "key" for kw in node.keywords)
+            ):
+                return self.finding(
+                    ctx, node,
+                    f"{func.id}() over an unordered collection without "
+                    f"key=; pass an explicit total order "
+                    f"(e.g. repro.core.values.order_key)",
+                )
+        if isinstance(func, ast.Name) and func.id == "next":
+            if node.args and isinstance(node.args[0], ast.Call):
+                inner = node.args[0]
+                if (
+                    isinstance(inner.func, ast.Name)
+                    and inner.func.id == "iter"
+                    and inner.args
+                    and tracker.is_unordered(inner.args[0])
+                ):
+                    return self.finding(
+                        ctx, node,
+                        "next(iter(..)) picks an arbitrary element of an "
+                        "unordered collection; use min/sorted with an "
+                        "order key (or unpack a known singleton)",
+                    )
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "pop"
+            and not node.args
+            and isinstance(func.value, ast.Name)
+            and func.value.id in tracker.names
+        ):
+            return self.finding(
+                ctx, node,
+                f"{func.value.id}.pop() removes an arbitrary element of "
+                f"an unordered collection",
+            )
+        return None
+
+    def _check_unpack(
+        self, ctx: FileContext, stmt: ast.Assign, tracker: _UnorderedTracker
+    ) -> Iterator[Finding]:
+        if not tracker.is_unordered(stmt.value):
+            return
+        for target in stmt.targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                if len(target.elts) > 1:
+                    yield self.finding(
+                        ctx, stmt,
+                        "unpacking several elements from an unordered "
+                        "collection fixes an arbitrary order; sort first",
+                    )
+
+
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "Counter", "OrderedDict",
+})
+
+
+@register_rule
+class NoMutableClassStateRule(Rule):
+    """DET004: no mutable class-level state shared across instances."""
+
+    rule_id = "DET004"
+    severity = "warning"
+    summary = (
+        "mutable class-level defaults are shared by every process "
+        "instance in a run (and across runs); initialise per-instance "
+        "state in __init__"
+    )
+    scopes = ("runtime", "shm", "net", "protocols")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                yield from self._check_class_stmt(ctx, node, stmt)
+
+    def _check_class_stmt(
+        self, ctx: FileContext, cls: ast.ClassDef, stmt: ast.stmt
+    ) -> Iterator[Finding]:
+        if isinstance(stmt, ast.Assign):
+            targets = [
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            ]
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = (
+                [stmt.target.id]
+                if isinstance(stmt.target, ast.Name) else []
+            )
+            value = stmt.value
+        else:
+            return
+        if not _is_mutable_literal(value):
+            return
+        for name in targets:
+            if name.isupper() or name.startswith("__"):
+                continue
+            yield self.finding(
+                ctx, stmt,
+                f"class-level attribute {cls.name}.{name} holds a "
+                f"mutable default shared across process instances",
+            )
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+         ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_FACTORIES
+    return False

@@ -1,0 +1,123 @@
+"""SM rules: shared-memory race hazards.
+
+The SWMR register file (:mod:`repro.shm.registers`) gives atomicity
+per *operation*, not per handler: a read followed by a dependent write
+is not atomic, and interleaved writers can be lost between the two.
+Protocol generators are immune (every ``yield Read``/``yield Write``
+round-trips through the kernel, which serialises operations), but code
+that holds a :class:`~repro.shm.registers.RegisterFile` directly --
+kernels, schedulers, test harnesses -- can race.
+
+* SM001 -- a read-modify-write on the same register file inside one
+  function: the value bound by ``x = regs.read(..)`` flows into a
+  later ``regs.write(..)`` with no atomic snapshot in between.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.staticcheck.engine import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+
+__all__ = ["ReadModifyWriteRule"]
+
+_READ_ATTRS = frozenset({"read", "current"})
+_WRITE_ATTRS = frozenset({"write"})
+
+
+def _receiver(call: ast.Call) -> str:
+    """Identity of the object a ``.read``/``.write`` call is made on."""
+    assert isinstance(call.func, ast.Attribute)
+    return dotted_name(call.func.value) or ast.dump(call.func.value)
+
+
+def _bound_names(node: ast.AST) -> Set[str]:
+    names = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Store):
+            names.add(child.id)
+    return names
+
+
+def _loaded_names(node: ast.AST) -> Set[str]:
+    names = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+            names.add(child.id)
+    return names
+
+
+@register_rule
+class ReadModifyWriteRule(Rule):
+    """SM001: non-atomic read-modify-write on a shared register file."""
+
+    rule_id = "SM001"
+    severity = "warning"
+    summary = (
+        "a register value read earlier in this handler flows into a "
+        "write to the same register file; the two operations are not "
+        "atomic together -- take a snapshot or restructure as one op"
+    )
+    scopes = ("runtime", "shm", "protocols")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, fn: ast.AST
+    ) -> Iterator[Finding]:
+        # names bound from a `.read()`/`.current()` call, per receiver
+        read_bindings: Dict[str, Set[str]] = {}
+        statements: List[ast.stmt] = []
+        for child in ast.walk(fn):
+            if isinstance(child, ast.stmt):
+                statements.append(child)
+        statements.sort(key=lambda s: (s.lineno, s.col_offset))
+        for stmt in statements:
+            for call in _calls_in(stmt):
+                if not isinstance(call.func, ast.Attribute):
+                    continue
+                attr = call.func.attr
+                if attr in _WRITE_ATTRS:
+                    receiver = _receiver(call)
+                    tainted = read_bindings.get(receiver, set())
+                    value_names = set()
+                    for arg in list(call.args) + [
+                        kw.value for kw in call.keywords
+                    ]:
+                        value_names |= _loaded_names(arg)
+                    if tainted & value_names:
+                        yield self.finding(
+                            ctx, call,
+                            f"write to {receiver} depends on "
+                            f"{sorted(tainted & value_names)} read from "
+                            f"{receiver} earlier in this function; the "
+                            f"read-modify-write is not atomic",
+                        )
+            # record read bindings after checking, so `x = r.read();
+            # r.write(x)` on one line still counts in source order
+            if isinstance(stmt, ast.Assign):
+                for call in _calls_in(stmt.value):
+                    if (
+                        isinstance(call.func, ast.Attribute)
+                        and call.func.attr in _READ_ATTRS
+                    ):
+                        receiver = _receiver(call)
+                        read_bindings.setdefault(receiver, set()).update(
+                            _bound_names(stmt)
+                        )
+
+
+def _calls_in(node: ast.AST) -> Iterator[ast.Call]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child

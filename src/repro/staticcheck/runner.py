@@ -1,0 +1,170 @@
+"""High-level entry point shared by the CLI and the test suite.
+
+:func:`run_check` walks the requested paths, applies the baseline, and
+returns a :class:`CheckReport` with the exit code the CLI should use:
+
+* ``0`` -- no new findings (clean, or everything baselined);
+* ``1`` -- new findings (only ``error``-severity ones count unless
+  ``strict`` is set, which also promotes warnings);
+* ``2`` -- usage errors (unreadable baseline, no such path), raised as
+  :class:`UsageError` for the CLI to present.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.staticcheck import baseline as baseline_mod
+from repro.staticcheck.baseline import (
+    Baseline,
+    BaselineEntry,
+    DEFAULT_BASELINE_NAME,
+)
+from repro.staticcheck.engine import CheckResult, Finding, check_paths
+from repro.staticcheck.sarif import render_sarif
+
+__all__ = ["CheckReport", "UsageError", "run_check", "render_text"]
+
+
+class UsageError(ValueError):
+    """Bad invocation (missing path, unreadable baseline)."""
+
+
+@dataclasses.dataclass
+class CheckReport:
+    """Everything one linter run produced."""
+
+    result: CheckResult
+    new: List[Finding]
+    accepted: List[Finding]
+    stale: List[BaselineEntry]
+    strict: bool
+    baseline_path: Optional[str]
+
+    @property
+    def gating(self) -> List[Finding]:
+        """The new findings that decide the exit code."""
+        if self.strict:
+            return self.new
+        return [f for f in self.new if f.severity == "error"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.gating else 0
+
+    def to_json(self) -> Dict:
+        return {
+            "files_checked": self.result.files_checked,
+            "new": [dataclasses.asdict(f) for f in self.new],
+            "accepted": [dataclasses.asdict(f) for f in self.accepted],
+            "stale_baseline_entries": [
+                e.to_json() for e in self.stale
+            ],
+            "exit_code": self.exit_code,
+        }
+
+
+def _resolve_baseline(
+    baseline_path: Optional[str], explicit: bool
+) -> Optional[Baseline]:
+    if baseline_path is None:
+        return None
+    if not os.path.exists(baseline_path):
+        if explicit:
+            raise UsageError(f"baseline file not found: {baseline_path}")
+        return None
+    try:
+        return baseline_mod.load_baseline(baseline_path)
+    except (OSError, ValueError, KeyError) as err:
+        raise UsageError(f"cannot load baseline: {err}") from err
+
+
+def run_check(
+    paths: Sequence[str],
+    baseline_path: Optional[str] = DEFAULT_BASELINE_NAME,
+    explicit_baseline: bool = False,
+    strict: bool = False,
+    root: Optional[str] = None,
+) -> CheckReport:
+    """Lint ``paths`` and apply the baseline.
+
+    ``baseline_path=None`` disables baselining.  When the default
+    baseline name is used and the file does not exist, the run simply
+    proceeds without one; an explicitly passed missing path is a
+    :class:`UsageError`.
+    """
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        raise UsageError(f"no such path: {', '.join(missing)}")
+    baseline = _resolve_baseline(baseline_path, explicit_baseline)
+    result = check_paths(paths, root=root)
+    new, accepted, stale = baseline_mod.partition(result.findings, baseline)
+    return CheckReport(
+        result=result,
+        new=new,
+        accepted=accepted,
+        stale=stale,
+        strict=strict,
+        baseline_path=baseline_path if baseline is not None else None,
+    )
+
+
+def write_baseline(
+    report: CheckReport,
+    path: str,
+    reasons: Optional[Dict[str, str]] = None,
+) -> Baseline:
+    """Accept every current finding into ``path``, keeping old reasons."""
+    merged: Dict[str, str] = {}
+    if report.baseline_path and os.path.exists(report.baseline_path):
+        for entry in baseline_mod.load_baseline(
+            report.baseline_path
+        ).entries:
+            if entry.reason:
+                merged[entry.fingerprint] = entry.reason
+    merged.update(reasons or {})
+    new_baseline = Baseline.from_findings(
+        report.result.findings, reasons=merged
+    )
+    baseline_mod.save_baseline(new_baseline, path)
+    return new_baseline
+
+
+def render_text(report: CheckReport, verbose: bool = False) -> str:
+    """Human-readable summary (the CLI's default format)."""
+    lines: List[str] = []
+    for finding in report.new:
+        lines.append(finding.render())
+    if verbose:
+        for finding in report.accepted:
+            lines.append(f"{finding.render()}  [baselined]")
+    for entry in report.stale:
+        lines.append(
+            f"stale baseline entry: {entry.rule} {entry.path} "
+            f"({entry.fingerprint}) -- finding no longer produced; "
+            f"prune it"
+        )
+    errors = sum(1 for f in report.new if f.severity == "error")
+    warnings = len(report.new) - errors
+    lines.append(
+        f"checked {report.result.files_checked} files: "
+        f"{errors} new errors, {warnings} new warnings, "
+        f"{len(report.accepted)} baselined, {len(report.stale)} stale "
+        f"baseline entries"
+    )
+    return "\n".join(lines)
+
+
+def render(report: CheckReport, fmt: str) -> str:
+    """Render a report as ``text``, ``json`` or ``sarif``."""
+    if fmt == "text":
+        return render_text(report)
+    if fmt == "json":
+        import json
+
+        return json.dumps(report.to_json(), indent=2)
+    if fmt == "sarif":
+        return render_sarif(report.new)
+    raise UsageError(f"unknown format: {fmt!r}")

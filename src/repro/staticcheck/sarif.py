@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 output for ``repro staticcheck``.
+
+Emits one run with the full rule metadata table and one result per
+(non-baselined) finding, suitable for CI artifact upload and code
+scanning UIs.  Only the stdlib :mod:`json` is used; the document
+follows the OASIS SARIF 2.1.0 schema's required properties.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.staticcheck.engine import (
+    PARSE_RULE_ID,
+    Finding,
+    Rule,
+    all_rules,
+)
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_URI = "https://github.com/repro/repro"
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, Any]:
+    return {
+        "id": rule.rule_id,
+        "shortDescription": {"text": rule.summary or rule.rule_id},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning"),
+        },
+    }
+
+
+def _parse_rule_descriptor() -> Dict[str, Any]:
+    return {
+        "id": PARSE_RULE_ID,
+        "shortDescription": {"text": "file does not parse"},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    tool_version: str = "1.0.0",
+) -> Dict[str, Any]:
+    """Build the SARIF 2.1.0 document as a plain dictionary."""
+    rules: List[Dict[str, Any]] = [
+        _rule_descriptor(rule) for rule in all_rules()
+    ]
+    rules.append(_parse_rule_descriptor())
+    index = {descriptor["id"]: i for i, descriptor in enumerate(rules)}
+
+    results = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "ruleIndex": index.get(finding.rule_id, -1),
+                "level": _LEVELS.get(finding.severity, "warning"),
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.staticcheck",
+                        "informationUri": _TOOL_URI,
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding], tool_version: str = "1.0.0"
+) -> str:
+    return json.dumps(
+        to_sarif(findings, tool_version=tool_version), indent=2
+    )

@@ -57,7 +57,7 @@ class TestCorrectSender:
     def test_all_correct_accept(self):
         n, t, ell = 7, 2, 1
         processes = [EchoUser(ell) for _ in range(n)]
-        report = run_mp(
+        _report = run_mp(
             processes, [f"m{i}" for i in range(n)], k=n - 1, t=t,
             validity=WV2, stop_when_decided=False,
         )
@@ -72,7 +72,7 @@ class TestCorrectSender:
         n, t, ell = 7, 2, 2
         for seed in range(5):
             processes = [EchoUser(ell) for _ in range(n)]
-            report = run_mp(
+            _report = run_mp(
                 processes, ["m"] * n, k=n - 1, t=t, validity=WV2,
                 scheduler=RandomScheduler(seed), stop_when_decided=False,
             )
@@ -115,7 +115,7 @@ class TestByzantineSender:
         assert lemma_3_14_region(n, t, ell)
         byz = SplittingEchoer(["w1", "w2", "w3", "w4"])
         processes = [byz] + [EchoUser(ell) for _ in range(n - 1)]
-        report = run_mp(
+        _report = run_mp(
             processes, ["m"] * n, k=n - 1, t=t, validity=WV2,
             byzantine=[0], stop_when_decided=False, max_ticks=300_000,
         )

@@ -1,0 +1,27 @@
+"""Shared helpers for the staticcheck suite.
+
+Rules are path-scoped, so fixtures are linted under fake paths whose
+components put them in (or out of) scope -- ``protocols/fixture.py``
+is on the replay path, ``analysis/fixture.py`` is not.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.staticcheck import check_source
+
+PROTO_PATH = "protocols/fixture.py"
+
+
+@pytest.fixture
+def lint():
+    """lint(source, path=..., rule=...) -> findings (optionally filtered)."""
+
+    def _lint(source, path=PROTO_PATH, rule=None):
+        findings = check_source(textwrap.dedent(source), path)
+        if rule is not None:
+            findings = [f for f in findings if f.rule_id == rule]
+        return findings
+
+    return _lint

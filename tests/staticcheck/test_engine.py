@@ -1,0 +1,167 @@
+"""Engine mechanics: noqa parsing, scoping, occurrences, PARSE001."""
+
+from repro.staticcheck import all_rules, check_source
+from repro.staticcheck.engine import (
+    PARSE_RULE_ID,
+    FileContext,
+    ImportMap,
+    dotted_name,
+)
+
+import ast
+
+
+class TestRegistry:
+    def test_all_rules_are_registered_once(self):
+        rules = all_rules()
+        ids = [rule.rule_id for rule in rules]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+        assert {"DET001", "DET002", "DET003", "DET004",
+                "PROTO001", "PROTO002", "PROTO003", "SM001"} <= set(ids)
+
+    def test_severities_are_valid(self):
+        for rule in all_rules():
+            assert rule.severity in ("error", "warning"), rule.rule_id
+
+
+class TestScoping:
+    SOURCE = "import time\nnow = time.time()\n"
+
+    def test_replay_path_is_in_scope(self, lint):
+        assert lint(self.SOURCE, path="runtime/fixture.py", rule="DET001")
+
+    def test_outside_scope_is_ignored(self, lint):
+        assert not lint(self.SOURCE, path="analysis/fixture.py")
+
+    def test_scope_matches_any_path_component(self, lint):
+        found = lint(
+            self.SOURCE, path="src/repro/protocols/deep/x.py",
+            rule="DET001",
+        )
+        assert found
+
+    def test_staticcheck_lints_itself(self, lint):
+        assert lint(self.SOURCE, path="staticcheck/fixture.py",
+                    rule="DET001")
+
+
+class TestNoqa:
+    def test_blanket_noqa_suppresses_all(self, lint):
+        src = """\
+        import time
+        now = time.time()  # repro: noqa
+        """
+        assert not lint(src)
+
+    def test_named_noqa_suppresses_that_rule(self, lint):
+        src = """\
+        import time
+        now = time.time()  # repro: noqa[DET001]
+        """
+        assert not lint(src)
+
+    def test_named_noqa_does_not_suppress_others(self, lint):
+        src = """\
+        import time
+        now = time.time()  # repro: noqa[DET003]
+        """
+        assert lint(src, rule="DET001")
+
+    def test_noqa_is_line_local(self, lint):
+        src = """\
+        import time
+        a = time.time()  # repro: noqa[DET001]
+        b = time.time()
+        """
+        found = lint(src, rule="DET001")
+        assert [f.line for f in found] == [3]
+
+    def test_noqa_list_and_case_insensitive(self, lint):
+        src = """\
+        import time, random
+        a = time.time()  # repro: noqa[det001, DET002]
+        b = random.random()  # repro: noqa[DET001,DET002]
+        """
+        assert not lint(src)
+
+
+class TestOccurrences:
+    def test_identical_lines_get_distinct_occurrences(self, lint):
+        src = """\
+        import time
+
+        def f():
+            x = time.time()
+
+        def g():
+            x = time.time()
+        """
+        found = lint(src, rule="DET001")
+        assert len(found) == 2
+        # both findings have the same stripped line text ...
+        assert found[0].line_text == found[1].line_text
+        # ... so the occurrence index is what tells them apart
+        assert sorted(f.occurrence for f in found) == [0, 1]
+
+
+class TestParseErrors:
+    def test_syntax_error_is_a_finding_not_a_crash(self, lint):
+        found = lint("def broken(:\n    pass\n")
+        assert len(found) == 1
+        assert found[0].rule_id == PARSE_RULE_ID
+        assert found[0].severity == "error"
+
+    def test_findings_are_sorted_and_render(self, lint):
+        src = """\
+        import time
+        b = time.time()
+        a = time.time()
+        """
+        found = lint(src, rule="DET001")
+        assert [f.line for f in found] == [2, 3]
+        rendered = found[0].render()
+        assert "DET001" in rendered and "[error]" in rendered
+        assert rendered.startswith("protocols/fixture.py:2:")
+
+
+class TestImportMap:
+    def _resolve(self, source, expr):
+        tree = ast.parse(source + "\n" + expr)
+        imports = ImportMap(tree)
+        return imports.resolve(tree.body[-1].value)
+
+    def test_plain_import(self):
+        assert self._resolve("import time", "time.time") == "time.time"
+
+    def test_aliased_import(self):
+        assert self._resolve("import time as t", "t.time") == "time.time"
+
+    def test_from_import(self):
+        assert (
+            self._resolve("from datetime import datetime", "datetime.now")
+            == "datetime.datetime.now"
+        )
+
+    def test_from_import_aliased(self):
+        assert (
+            self._resolve("from time import time as now", "now")
+            == "time.time"
+        )
+
+    def test_unknown_names_pass_through(self):
+        assert self._resolve("import time", "other.thing") == "other.thing"
+
+    def test_dotted_name_helper(self):
+        node = ast.parse("a.b.c").body[0].value
+        assert dotted_name(node) == "a.b.c"
+        call = ast.parse("f().x").body[0].value
+        assert dotted_name(call) is None
+
+
+class TestFileContext:
+    def test_line_text_bounds(self):
+        ctx = FileContext("protocols/x.py", "a = 1\n", ast.parse("a = 1"))
+        assert ctx.line_text(1) == "a = 1"
+        assert ctx.line_text(0) == ""
+        assert ctx.line_text(99) == ""

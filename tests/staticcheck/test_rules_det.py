@@ -1,0 +1,228 @@
+"""DET rule fixtures: positive, negative, and noqa cases per rule."""
+
+
+class TestDet001WallClock:
+    def test_time_time_flagged(self, lint):
+        assert lint("import time\nt = time.time()\n", rule="DET001")
+
+    def test_aliased_module_still_flagged(self, lint):
+        assert lint("import time as t\nnow = t.monotonic()\n",
+                    rule="DET001")
+
+    def test_from_import_flagged(self, lint):
+        src = """\
+        from time import perf_counter
+        t0 = perf_counter()
+        """
+        assert lint(src, rule="DET001")
+
+    def test_datetime_now_flagged(self, lint):
+        src = """\
+        import datetime
+        stamp = datetime.datetime.now()
+        """
+        assert lint(src, rule="DET001")
+
+    def test_sleep_is_fine(self, lint):
+        # time.sleep affects pacing, not replayed values
+        assert not lint("import time\ntime.sleep(0)\n", rule="DET001")
+
+    def test_unrelated_time_attribute_is_fine(self, lint):
+        # a local object that merely *has* a .time() method
+        src = """\
+        def f(kernel):
+            return kernel.time()
+        """
+        assert not lint(src, rule="DET001")
+
+    def test_noqa_suppresses(self, lint):
+        src = """\
+        import time
+        t = time.time()  # repro: noqa[DET001]
+        """
+        assert not lint(src, rule="DET001")
+
+
+class TestDet002GlobalRandom:
+    def test_module_level_call_flagged(self, lint):
+        assert lint("import random\nx = random.random()\n", rule="DET002")
+
+    def test_aliased_call_flagged(self, lint):
+        assert lint("import random as rnd\nx = rnd.randint(0, 1)\n",
+                    rule="DET002")
+
+    def test_from_import_flagged(self, lint):
+        assert lint("from random import shuffle\n", rule="DET002")
+
+    def test_seeded_instance_is_fine(self, lint):
+        src = """\
+        import random
+        rng = random.Random(42)
+        x = rng.random()
+        """
+        assert not lint(src, rule="DET002")
+
+    def test_from_import_random_class_is_fine(self, lint):
+        src = """\
+        from random import Random
+        rng = Random(7)
+        """
+        assert not lint(src, rule="DET002")
+
+    def test_noqa_suppresses(self, lint):
+        src = """\
+        import random
+        x = random.random()  # repro: noqa[DET002]
+        """
+        assert not lint(src, rule="DET002")
+
+
+class TestDet003UnorderedPick:
+    def test_min_over_set_literal_name(self, lint):
+        src = """\
+        def f(xs):
+            s = set(xs)
+            return min(s)
+        """
+        assert lint(src, rule="DET003")
+
+    def test_min_over_dict_values(self, lint):
+        src = """\
+        def f(d):
+            return min(d.values())
+        """
+        assert lint(src, rule="DET003")
+
+    def test_min_with_key_is_fine(self, lint):
+        src = """\
+        def f(d, order_key):
+            return min(d.values(), key=order_key)
+        """
+        assert not lint(src, rule="DET003")
+
+    def test_min_over_list_is_fine(self, lint):
+        src = """\
+        def f(xs):
+            ys = list(xs)
+            return min(ys)
+        """
+        assert not lint(src, rule="DET003")
+
+    def test_next_iter_over_set(self, lint):
+        src = """\
+        def f(xs):
+            s = {x for x in xs}
+            return next(iter(s))
+        """
+        assert lint(src, rule="DET003")
+
+    def test_set_pop_flagged(self, lint):
+        src = """\
+        def f(xs):
+            s = set(xs)
+            return s.pop()
+        """
+        assert lint(src, rule="DET003")
+
+    def test_list_pop_is_fine(self, lint):
+        src = """\
+        def f(xs):
+            stack = list(xs)
+            return stack.pop()
+        """
+        assert not lint(src, rule="DET003")
+
+    def test_multi_unpack_from_set_flagged(self, lint):
+        src = """\
+        def f(xs):
+            s = frozenset(xs)
+            a, b = s
+            return a
+        """
+        assert lint(src, rule="DET003")
+
+    def test_singleton_unpack_is_fine(self, lint):
+        # order-insensitive: the canonical fix used in protocol_a.py
+        src = """\
+        def f(xs):
+            s = set(xs)
+            (only,) = s
+            return only
+        """
+        assert not lint(src, rule="DET003")
+
+    def test_set_operations_propagate(self, lint):
+        src = """\
+        def f(a, b):
+            s = set(a) | set(b)
+            return min(s)
+        """
+        assert lint(src, rule="DET003")
+
+    def test_rebinding_to_ordered_clears_taint(self, lint):
+        src = """\
+        def f(xs):
+            s = set(xs)
+            s = sorted(s)
+            return min(s)
+        """
+        assert not lint(src, rule="DET003")
+
+    def test_tracking_is_per_scope(self, lint):
+        src = """\
+        def makes_a_set(xs):
+            s = set(xs)
+            return sorted(s)
+
+        def unrelated(s):
+            return min(s)
+        """
+        assert not lint(src, rule="DET003")
+
+    def test_noqa_suppresses(self, lint):
+        src = """\
+        def f(d):
+            return max(d.values())  # repro: noqa[DET003]
+        """
+        assert not lint(src, rule="DET003")
+
+
+class TestDet004MutableClassState:
+    def test_mutable_class_attribute_warns(self, lint):
+        src = """\
+        class P:
+            inbox = []
+        """
+        found = lint(src, rule="DET004")
+        assert found and found[0].severity == "warning"
+
+    def test_factory_call_warns(self, lint):
+        src = """\
+        class P:
+            cache = dict()
+        """
+        assert lint(src, rule="DET004")
+
+    def test_instance_state_is_fine(self, lint):
+        src = """\
+        class P:
+            def __init__(self):
+                self.inbox = []
+        """
+        assert not lint(src, rule="DET004")
+
+    def test_constants_and_dunders_exempt(self, lint):
+        src = """\
+        class P:
+            TAGS = {"A-VAL"}
+            __slots__ = ["x"]
+        """
+        assert not lint(src, rule="DET004")
+
+    def test_out_of_scope_for_staticcheck_package(self, lint):
+        # DET004 does not apply to the linter's own package
+        src = """\
+        class P:
+            registry = {}
+        """
+        assert not lint(src, path="staticcheck/fixture.py", rule="DET004")

@@ -1,0 +1,202 @@
+"""PROTO rule fixtures: decide-once paths, spec claims, unclaimed classes."""
+
+
+class TestProto001DecideOnce:
+    def test_sequential_decides_flagged(self, lint):
+        src = """\
+        def on_message(self, ctx, sender, payload):
+            ctx.decide(payload)
+            ctx.decide(payload)
+        """
+        assert lint(src, rule="PROTO001")
+
+    def test_decide_then_return_is_fine(self, lint):
+        src = """\
+        def on_message(self, ctx, sender, payload):
+            if payload == "fast":
+                ctx.decide(payload)
+                return
+            ctx.decide("v0")
+        """
+        assert not lint(src, rule="PROTO001")
+
+    def test_exclusive_branches_are_fine(self, lint):
+        src = """\
+        def on_message(self, ctx, sender, payload):
+            if payload:
+                ctx.decide(payload)
+            else:
+                ctx.decide("v0")
+        """
+        assert not lint(src, rule="PROTO001")
+
+    def test_fallthrough_branch_then_decide_flagged(self, lint):
+        src = """\
+        def on_message(self, ctx, sender, payload):
+            if payload:
+                ctx.decide(payload)
+            ctx.decide("v0")
+        """
+        assert lint(src, rule="PROTO001")
+
+    def test_decide_in_loop_fallthrough_flagged(self, lint):
+        src = """\
+        def drain(self, ctx, queue):
+            for item in queue:
+                ctx.decide(item)
+        """
+        found = lint(src, rule="PROTO001")
+        assert found and "loop" in found[0].message
+
+    def test_decide_then_break_is_fine(self, lint):
+        src = """\
+        def drain(self, ctx, queue):
+            for item in queue:
+                ctx.decide(item)
+                break
+        """
+        assert not lint(src, rule="PROTO001")
+
+    def test_yield_decide_then_return_is_fine(self, lint):
+        # generator-style SM protocol: `yield Decide(..); return` ends
+        # the path, so a decide on the other branch is unreachable
+        src = """\
+        def protocol(ctx):
+            if ctx.fast:
+                yield Decide(ctx.value)
+                return
+            yield Decide("v0")
+            return
+        """
+        assert not lint(src, rule="PROTO001")
+
+    def test_flag_guard_latch_is_fine(self, lint):
+        # the `if not done: done = True; decide(..)` latch fires at most
+        # once even inside a loop -- the idiom simulation.py relies on
+        src = """\
+        def run(ctx, ticks):
+            reported = False
+            for tick in ticks:
+                if not reported:
+                    reported = True
+                    ctx.decide(tick)
+        """
+        assert not lint(src, rule="PROTO001")
+
+    def test_noqa_suppresses(self, lint):
+        src = """\
+        def on_message(self, ctx, sender, payload):
+            ctx.decide(payload)
+            ctx.decide(payload)  # repro: noqa[PROTO001]
+        """
+        assert not lint(src, rule="PROTO001")
+
+
+class TestProto002SpecClaims:
+    def test_matching_claim_is_clean(self, lint):
+        src = """\
+        from repro.models import Model
+        from repro.protocols.base import ProtocolSpec, register
+
+        SPEC = register(ProtocolSpec(
+            name="protocol-a@mp-cr",
+            title="PROTOCOL A",
+            model=Model.MP_CR,
+            validity="RV2",
+            lemma="Lemma 3.7",
+            solvable=lambda n, k, t: True,
+            make=lambda n, k, t: None,
+        ))
+        """
+        assert not lint(src, rule="PROTO002")
+
+    def test_wrong_validity_flagged(self, lint):
+        src = """\
+        from repro.models import Model
+        from repro.protocols.base import ProtocolSpec
+
+        SPEC = ProtocolSpec(
+            name="protocol-a@mp-cr",
+            model=Model.MP_CR,
+            validity="SV2",
+            lemma="Lemma 3.7",
+        )
+        """
+        found = lint(src, rule="PROTO002")
+        assert found and "validity" in found[0].message
+
+    def test_wrong_model_flagged(self, lint):
+        src = """\
+        from repro.models import Model
+        from repro.protocols.base import ProtocolSpec
+
+        SPEC = ProtocolSpec(
+            name="protocol-a@mp-cr",
+            model=Model.SM_CR,
+            validity="RV2",
+            lemma="Lemma 3.7",
+        )
+        """
+        found = lint(src, rule="PROTO002")
+        assert found and "Model.SM_CR" in found[0].message
+
+    def test_unknown_spec_name_flagged(self, lint):
+        src = """\
+        from repro.protocols.base import ProtocolSpec
+
+        SPEC = ProtocolSpec(
+            name="protocol-z@mp-cr",
+            validity="RV2",
+            lemma="Lemma 9.9",
+        )
+        """
+        found = lint(src, rule="PROTO002")
+        assert found and "claimed-regions" in found[0].message
+
+    def test_non_literal_claim_flagged(self, lint):
+        src = """\
+        from repro.protocols.base import ProtocolSpec
+
+        NAME = "protocol-a@mp-cr"
+        SPEC = ProtocolSpec(name=NAME, validity="RV2", lemma="Lemma 3.7")
+        """
+        found = lint(src, rule="PROTO002")
+        assert found and "literal" in found[0].message
+
+
+class TestProto003UnclaimedProcess:
+    def test_unclaimed_subclass_warns(self, lint):
+        src = """\
+        from repro.runtime.process import Process
+
+        class MysteryProtocol(Process):
+            pass
+        """
+        found = lint(src, rule="PROTO003")
+        assert found and found[0].severity == "warning"
+        assert "MysteryProtocol" in found[0].message
+
+    def test_claimed_subclass_is_clean(self, lint):
+        src = """\
+        from repro.runtime.process import Process
+
+        class ProtocolA(Process):
+            pass
+        """
+        assert not lint(src, rule="PROTO003")
+
+    def test_non_process_class_ignored(self, lint):
+        src = """\
+        class Helper:
+            pass
+        """
+        assert not lint(src, rule="PROTO003")
+
+    def test_out_of_scope_path_ignored(self, lint):
+        src = """\
+        from repro.runtime.process import Process
+
+        class TestDouble(Process):
+            pass
+        """
+        assert not lint(src, path="testing/fixture.py", rule="PROTO003")

@@ -1,0 +1,63 @@
+"""SM001 fixtures: read-modify-write hazards on register files."""
+
+
+class TestSm001ReadModifyWrite:
+    def test_read_then_dependent_write_warns(self, lint):
+        src = """\
+        def bump(regs, i):
+            value = regs.read(i)
+            regs.write(i, value + 1)
+        """
+        found = lint(src, path="shm/fixture.py", rule="SM001")
+        assert found and found[0].severity == "warning"
+        assert "regs" in found[0].message
+
+    def test_current_counts_as_a_read(self, lint):
+        src = """\
+        def bump(regs, i):
+            seen = regs.current(i)
+            regs.write(i, seen)
+        """
+        assert lint(src, path="shm/fixture.py", rule="SM001")
+
+    def test_independent_write_is_fine(self, lint):
+        src = """\
+        def publish(regs, i, value):
+            old = regs.read(i)
+            regs.write(i, value)
+            return old
+        """
+        assert not lint(src, path="shm/fixture.py", rule="SM001")
+
+    def test_different_register_files_are_fine(self, lint):
+        src = """\
+        def copy(src_regs, dst_regs, i):
+            value = src_regs.read(i)
+            dst_regs.write(i, value)
+        """
+        assert not lint(src, path="shm/fixture.py", rule="SM001")
+
+    def test_write_before_read_is_fine(self, lint):
+        src = """\
+        def reset_then_observe(regs, i):
+            regs.write(i, 0)
+            value = regs.read(i)
+            return value
+        """
+        assert not lint(src, path="shm/fixture.py", rule="SM001")
+
+    def test_out_of_scope_path_ignored(self, lint):
+        src = """\
+        def bump(regs, i):
+            value = regs.read(i)
+            regs.write(i, value + 1)
+        """
+        assert not lint(src, path="analysis/fixture.py", rule="SM001")
+
+    def test_noqa_suppresses(self, lint):
+        src = """\
+        def bump(regs, i):
+            value = regs.read(i)
+            regs.write(i, value + 1)  # repro: noqa[SM001]
+        """
+        assert not lint(src, path="shm/fixture.py", rule="SM001")

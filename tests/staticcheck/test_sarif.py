@@ -1,0 +1,68 @@
+"""SARIF output: schema shape, rule table, result records."""
+
+import json
+
+from repro.staticcheck import all_rules
+from repro.staticcheck.engine import PARSE_RULE_ID, Finding
+from repro.staticcheck.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    render_sarif,
+    to_sarif,
+)
+
+
+def make_finding():
+    return Finding(
+        rule_id="DET001",
+        severity="error",
+        path="runtime/kernel.py",
+        line=12,
+        col=9,
+        message="call to time.time reads the wall clock",
+        line_text="now = time.time()",
+    )
+
+
+class TestSarifDocument:
+    def test_required_top_level_properties(self):
+        doc = to_sarif([])
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        assert len(doc["runs"]) == 1
+
+    def test_driver_lists_every_rule(self):
+        doc = to_sarif([])
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro.staticcheck"
+        ids = [rule["id"] for rule in driver["rules"]]
+        expected = [rule.rule_id for rule in all_rules()] + [PARSE_RULE_ID]
+        assert ids == expected
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "error", "warning",
+            )
+
+    def test_result_record_shape(self):
+        doc = to_sarif([make_finding()])
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "DET001"
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "runtime/kernel.py"
+        assert location["region"] == {"startLine": 12, "startColumn": 9}
+
+    def test_rule_index_points_at_the_rule(self):
+        doc = to_sarif([make_finding()])
+        driver = doc["runs"][0]["tool"]["driver"]
+        (result,) = doc["runs"][0]["results"]
+        assert (
+            driver["rules"][result["ruleIndex"]]["id"] == result["ruleId"]
+        )
+
+    def test_render_is_valid_json(self):
+        text = render_sarif([make_finding()])
+        parsed = json.loads(text)
+        assert parsed["version"] == "2.1.0"

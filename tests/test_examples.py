@@ -63,7 +63,7 @@ class TestFastExamples:
 
 class TestHeavierExamples:
     def test_figure_gallery_small(self, tmp_path):
-        out = run_example(
+        run_example(
             "figure_gallery.py", "--n", "10", "--outdir", str(tmp_path),
         )
         assert (tmp_path / "fig2_mp-cr.svg").exists()

@@ -10,10 +10,14 @@ from repro.core.validity import by_code
 from repro.models import ALL_MODELS, Model
 from repro.paper import (
     CITATION,
+    CLAIMED_REGIONS,
     FIGURES,
     LEMMA_INDEX,
     PROTOCOLS,
     artifact,
+    claimed_protocol_symbols,
+    claimed_region,
+    claimed_region_by_spec,
     render_index,
 )
 
@@ -59,6 +63,61 @@ class TestPaperIndex:
         assert "PROTOCOL A" in text
         assert "Lemma 3.16" in text
         assert "repro.protocols.protocol_d" in text
+
+
+class TestClaimedRegions:
+    """repro.paper.CLAIMED_REGIONS is the single source of truth the
+    PROTO002 lint rule checks specs against; here it is cross-checked
+    against the live protocol registry in both directions."""
+
+    def test_every_registered_spec_is_claimed(self):
+        from repro.protocols.base import all_specs
+
+        for spec in all_specs():
+            claim = claimed_region_by_spec(spec.name)
+            assert claim is not None, spec.name
+            assert claim.model_attr == spec.model.name, spec.name
+            assert claim.validity == spec.validity, spec.name
+            assert claim.lemma == spec.lemma, spec.name
+
+    def test_every_claim_names_a_registered_spec(self):
+        from repro.protocols.base import get_spec
+
+        for claim in CLAIMED_REGIONS:
+            spec = get_spec(claim.spec_name)
+            assert spec.model is claim.model, claim.spec_name
+
+    def test_claim_table_has_no_duplicate_specs(self):
+        names = [claim.spec_name for claim in CLAIMED_REGIONS]
+        assert len(names) == len(set(names))
+
+    def test_lookup_by_class(self):
+        from repro.protocols.protocol_a import ProtocolA
+
+        claims = claimed_region(ProtocolA)
+        assert len(claims) == 3
+        assert {c.spec_name for c in claims} == {
+            "protocol-a@mp-cr", "protocol-a-wv2@mp-cr", "protocol-a@mp-byz",
+        }
+
+    def test_lookup_by_spec_name_and_symbol(self):
+        (by_name,) = claimed_region("chaudhuri@mp-cr")
+        assert by_name.lemma == "Lemma 3.1"
+        assert by_name.model is Model.MP_CR
+        by_symbol = claimed_region("ChaudhuriKSet")
+        assert by_name in by_symbol
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(ValueError):
+            claimed_region("NoSuchProtocol")
+
+    def test_claimed_symbols_cover_the_registry(self):
+        from repro.protocols.base import all_specs
+
+        symbols = claimed_protocol_symbols()
+        for spec in all_specs():
+            (claim,) = claimed_region(spec.name)
+            assert claim.protocol in symbols
 
 
 class TestSummaryTable:
