@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-throughput figures experiments examples all clean
+.PHONY: install test lint bench bench-throughput bench-exhaustive figures experiments examples all clean
 
 install:
 	pip install -e .
@@ -31,6 +31,9 @@ bench:
 
 bench-throughput:
 	$(PYTHON) benchmarks/bench_sweep_throughput.py
+
+bench-exhaustive:
+	$(PYTHON) benchmarks/bench_exhaustive_explorer.py
 
 figures:
 	$(PYTHON) examples/figure_gallery.py --n 64 --outdir figures

@@ -181,6 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--t", type=int, required=True)
     p.add_argument("--inputs", nargs="*", default=None)
     p.add_argument("--max-states", type=int, default=200_000)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="split the root fan-out over N worker processes "
+                        "(results are identical for every N)")
+    p.add_argument("--full-dfs", action="store_true",
+                   help="disable partial-order reduction (the unreduced "
+                        "correctness reference)")
+    p.add_argument("--engine", choices=["snapshot", "deepcopy"],
+                   default="snapshot",
+                   help="state-forking strategy; 'deepcopy' is the legacy "
+                        "baseline (message-passing only)")
     add_verify_arg(p)
 
     p = sub.add_parser(
@@ -452,24 +462,52 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_exhaustive(args) -> int:
-    from repro.harness.exhaustive import explore_mp
+    from repro.harness.exhaustive import SpecFactory, explore_mp, explore_sm
 
     spec = get_spec(args.spec)
-    if spec.is_shared_memory:
-        print("exhaustive exploration supports message-passing specs only")
-        return 2
     inputs = args.inputs or [f"v{i}" for i in range(args.n)]
     validity = by_code(spec.validity)
-    result = explore_mp(
-        lambda: [spec.make(args.n, args.k, args.t) for _ in range(args.n)],
-        inputs, args.k, args.t, validity,
-        max_states=args.max_states,
-        verify=args.verify,
-    )
+    # A SpecFactory (not a lambda) so worker processes can unpickle it.
+    factory = SpecFactory(spec.name, args.n, args.k, args.t)
+    if spec.is_shared_memory:
+        if args.engine == "deepcopy":
+            print("the deepcopy engine applies to message-passing specs only")
+            return 2
+        result = explore_sm(
+            factory, inputs, args.k, args.t, validity,
+            max_states=args.max_states,
+            verify=args.verify,
+            jobs=args.jobs,
+        )
+    else:
+        result = explore_mp(
+            factory, inputs, args.k, args.t, validity,
+            max_states=args.max_states,
+            verify=args.verify,
+            por=not args.full_dfs,
+            engine=args.engine,
+            jobs=args.jobs,
+        )
     print(
         f"explored {result.states} states / {result.runs} complete runs "
         f"({'exhaustive' if result.exhausted else 'budget-capped'})"
     )
+    probes = result.cache_hits + result.cache_misses
+    if probes:
+        print(
+            f"visited-state store: {result.cache_hits} hits / "
+            f"{probes} probes ({result.cache_hit_rate:.1%})"
+        )
+    if result.sleep_pruned:
+        print(
+            f"partial-order reduction: {result.sleep_pruned} branches "
+            f"slept, {result.reexpansions} partial re-expansions"
+        )
+    if result.replays:
+        print(
+            f"prefix sharing: {result.replays} replays / "
+            f"{result.replayed_steps} replayed steps"
+        )
     print(f"max distinct decisions: {result.max_distinct_decisions}")
     print(f"violations: {len(result.violations)}")
     for path, verdicts in result.violations[:5]:

@@ -2,7 +2,13 @@
 
 from repro.harness.attack import AttackResult, search_worst_run
 from repro.harness.campaign import Campaign, CampaignResult, run_campaign
-from repro.harness.exhaustive import ExplorationResult, crash_patterns, explore_mp
+from repro.harness.exhaustive import (
+    ExplorationResult,
+    SpecFactory,
+    crash_patterns,
+    explore_mp,
+    explore_sm,
+)
 from repro.harness.inputs import INPUT_PATTERNS, make_inputs
 from repro.harness.parallel import (
     available_jobs,
@@ -19,10 +25,12 @@ __all__ = [
     "CampaignResult",
     "ExperimentReport",
     "ExplorationResult",
+    "SpecFactory",
     "available_jobs",
     "crash_patterns",
     "derive_seed",
     "explore_mp",
+    "explore_sm",
     "parallel_map",
     "resolve_jobs",
     "run_campaign",

@@ -1,17 +1,47 @@
 """Exhaustive schedule exploration for small instances.
 
 Monte-Carlo sweeps sample the schedule space; for small ``n`` the
-message-passing kernel's nondeterminism can be explored *completely*:
-every interleaving of pending events (and optionally every crash
-pattern) is enumerated by depth-first search over kernel states.  A
-protocol property verified here holds for **all** asynchronous runs of
-the instance, which is the actual quantifier in the paper's lemmas.
+kernels' nondeterminism can be explored *completely*: every interleaving
+of pending events (and optionally every crash pattern) is enumerated by
+depth-first search over kernel states.  A protocol property verified
+here holds for **all** asynchronous runs of the instance, which is the
+actual quantifier in the paper's lemmas.
 
-The explorer forks kernel states with ``copy.deepcopy``; protocol
-process objects must therefore hold only plain data (all protocols in
-this library do).  State deduplication uses a structural fingerprint,
-collapsing runs that reach the same configuration through different
-event orders.
+Three cooperating mechanisms keep the search fast:
+
+* **Snapshot/restore forking.**  Branch points capture kernel state with
+  the plain-data snapshot protocol (:meth:`MPKernel.snapshot` /
+  :meth:`MPKernel.restore`) instead of ``copy.deepcopy``; the legacy
+  deepcopy engine is kept behind ``engine="deepcopy"`` as the
+  correctness/bench baseline.  Shared-memory programs are generators and
+  cannot be copied at all, so :func:`explore_sm` shares prefixes: one
+  live kernel is *extended* along depth-first descents and replayed only
+  on backtracks.
+
+* **Partial-order reduction** (``por=True``, the default for
+  :func:`explore_mp`).  Deliveries to distinct processes that cannot
+  crash commute -- the receivers' handler executions touch disjoint
+  state -- so only one representative interleaving per Mazurkiewicz
+  trace class is explored, using sleep sets.  Events whose target may
+  still crash (per ``crash_adversary.potentially_faulty()``) are treated
+  as dependent on everything, and POR disables itself under *dynamic*
+  crash adversaries, whose decisions react to global state.  Full DFS
+  (``por=False``) remains the correctness reference.
+
+* **A visited-state store.**  Structural fingerprints collapse states
+  reached through different event orders; each fingerprint is stored
+  with the sleep sets it was expanded under, and a revisit is cut only
+  when a cached sleep set is a *subset* of the current one (the cached
+  expansion then covered every continuation the revisit needs), which
+  is what makes caching sound under sleep sets.  Hit/miss counters are
+  reported on every result.
+
+:func:`explore_mp` and :func:`explore_sm` also take ``jobs``: the root
+fan-out is expanded breadth-first into a fixed-width frontier whose
+subtrees are distributed over worker processes with
+:func:`repro.harness.parallel.parallel_map`, and the per-subtree results
+are merged in frontier order -- so the merged result is bit-identical
+for every jobs count (``--jobs 1`` vs ``--jobs 8`` agree exactly).
 
 Typical use::
 
@@ -31,27 +61,43 @@ from __future__ import annotations
 import copy
 import dataclasses
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+import operator
+from collections import Counter, deque
+from typing import (
+    Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple,
+)
 
-from repro.core.problem import Outcome, SCProblem
+from repro.core.problem import SCProblem
 from repro.core.validity import ValidityCondition
 from repro.core.values import Value
+from repro.failures.adversary import CrashAdversary
 from repro.failures.crash import CrashPlan, CrashPoint
+from repro.harness.parallel import parallel_map
+from repro.runtime.events import Delivery, Event, Start
 from repro.runtime.kernel import MPKernel
-from repro.runtime.traces import TraceMode
 from repro.runtime.process import Process
+from repro.runtime.traces import TraceMode
 
-__all__ = ["ExplorationResult", "crash_patterns", "explore_mp", "explore_sm"]
+__all__ = [
+    "ExplorationResult",
+    "SpecFactory",
+    "crash_patterns",
+    "explore_mp",
+    "explore_sm",
+]
+
+#: Number of subtree roots the parallel engines expand the search into
+#: before distributing.  Deliberately independent of ``jobs`` so that
+#: the work decomposition -- and therefore the merged result -- is
+#: identical for every worker count.  Workers keep private visited
+#: stores (sharing one would make results scheduling-dependent), so a
+#: wider frontier buys parallelism at the price of re-exploring states
+#: that overlap between subtrees.
+_FRONTIER_WIDTH = 16
 
 
-class _ScriptScheduler:
-    """Feeds the kernel a predetermined next choice (set by the explorer)."""
-
-    def __init__(self) -> None:
-        self.next_choice: Optional[int] = None
-
-    def pick(self, kernel) -> Optional[int]:
-        return self.next_choice
+# ---------------------------------------------------------------------------
+# result type
 
 
 @dataclasses.dataclass
@@ -64,10 +110,73 @@ class ExplorationResult:
     violations: List[Tuple[Tuple[int, ...], Dict[str, object]]]
     max_distinct_decisions: int
     decision_sets: Set[frozenset]
+    #: Visited-state store hits (branches cut because the exact
+    #: (fingerprint, sleep set) node was already expanded).
+    cache_hits: int = 0
+    #: Visited-state store misses (distinct nodes actually expanded).
+    cache_misses: int = 0
+    #: Branch choices suppressed by sleep sets (POR).
+    sleep_pruned: int = 0
+    #: Partial re-expansions of already-visited states whose sleep set
+    #: was incomparable to the stored coverage (POR bookkeeping; not
+    #: counted in ``states``, which counts *distinct* states expanded).
+    reexpansions: int = 0
+    #: Shared-memory engine only: prefix replays performed on backtrack...
+    replays: int = 0
+    #: ...and the total steps re-executed by those replays.
+    replayed_steps: int = 0
 
     @property
     def all_ok(self) -> bool:
         return not self.violations
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of store probes answered by a cached node."""
+        probes = self.cache_hits + self.cache_misses
+        return self.cache_hits / probes if probes else 0.0
+
+    def violation_kinds(self) -> Set[FrozenSet]:
+        """The distinct violation findings, independent of event paths.
+
+        POR and full DFS reach the same violating *configurations*
+        through different representative schedules, so equivalence is
+        compared on this set rather than on raw paths.
+        """
+        return {frozenset(failures.items()) for _, failures in self.violations}
+
+
+def _merge_into(total: ExplorationResult, part: ExplorationResult) -> None:
+    """Fold one subtree's result into the aggregate (order-preserving)."""
+    total.runs += part.runs
+    total.states += part.states
+    total.exhausted = total.exhausted and part.exhausted
+    total.violations.extend(part.violations)
+    total.decision_sets |= part.decision_sets
+    total.max_distinct_decisions = max(
+        total.max_distinct_decisions, part.max_distinct_decisions
+    )
+    total.cache_hits += part.cache_hits
+    total.cache_misses += part.cache_misses
+    total.sleep_pruned += part.sleep_pruned
+    total.reexpansions += part.reexpansions
+    total.replays += part.replays
+    total.replayed_steps += part.replayed_steps
+
+
+def _empty_result() -> ExplorationResult:
+    return ExplorationResult(
+        runs=0,
+        states=0,
+        exhausted=True,
+        violations=[],
+        max_distinct_decisions=0,
+        decision_sets=set(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# leaf judging
 
 
 def _make_judge(problem: SCProblem, verify: bool):
@@ -97,28 +206,574 @@ def _make_judge(problem: SCProblem, verify: bool):
     return oracle_judge
 
 
-def _fingerprint(kernel: MPKernel) -> Tuple:
-    """Structural state of a kernel: pending events + process states.
+def _judge_leaf(kernel, path: Tuple[int, ...], judge, result: ExplorationResult) -> None:
+    execution = kernel._result()
+    result.runs += 1
+    failures = judge(execution)
+    decided = frozenset(execution.outcome.correct_decision_values())
+    result.decision_sets.add(decided)
+    result.max_distinct_decisions = max(
+        result.max_distinct_decisions, len(decided)
+    )
+    if failures:
+        result.violations.append((path, failures))
+
+
+# ---------------------------------------------------------------------------
+# fingerprints and the visited-state store
+
+
+def _freeze(value: Any) -> Any:
+    """Canonical hashable form of a plain-data value.
+
+    Containers are rebuilt as order-normalized tuples (dict items and
+    set members sorted by ``repr``, which is total and deterministic
+    across processes -- the sentinels print as ``<default>`` etc., never
+    by address).  Atoms pass through; exotic leaves fall back to their
+    ``repr``.
+    """
+    cls = value.__class__
+    if cls is dict:
+        return (
+            "d",
+            tuple(sorted(
+                ((_freeze(k), _freeze(v)) for k, v in value.items()),
+                key=repr,
+            )),
+        )
+    if cls in (set, frozenset):
+        return ("s", tuple(sorted((_freeze(v) for v in value), key=repr)))
+    if cls in (list, tuple):
+        return tuple(_freeze(v) for v in value)
+    if cls in (int, str, bool, float, bytes) or value is None:
+        return value
+    fingerprint = getattr(cls, "__fingerprint__", None)
+    if fingerprint is not None:
+        # Composite helpers (e.g. the ℓ-echo engine) expose their
+        # structural state; without this they would freeze by identity
+        # and defeat deduplication across forked branches.
+        return (cls.__qualname__, _freeze(fingerprint(value)))
+    try:
+        hash(value)
+    except TypeError:
+        return repr(value)
+    return value
+
+
+def _event_sig(event: Event) -> Tuple:
+    """Structural identity of a pending event (sequence-number free).
+
+    Sleep sets must survive fingerprint collapsing: two nodes with equal
+    state fingerprints may number the *same* pending events differently,
+    so the sleep component of a store key uses this structural form.
+    """
+    if isinstance(event, Delivery):
+        return (1, event.sender, event.receiver, _freeze(event.payload))
+    return (0, event.pid)
+
+
+def _event_target(event: Event) -> int:
+    """The process whose local state the event's execution touches."""
+    return event.receiver if isinstance(event, Delivery) else event.pid
+
+
+class _SigCache:
+    """Memoized :func:`_event_sig`, keyed by event identity.
+
+    Events are frozen dataclasses, so a signature never changes once
+    computed; the same pending event is re-fingerprinted at every node
+    it survives to, which made signature hashing the hottest path in
+    the profile.  Entries keep a strong reference to their event, which
+    pins its ``id`` for the cache's (per-exploration) lifetime.  The
+    signature's ``repr`` -- the canonical sort key for the pending
+    multiset -- is precomputed alongside it.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Tuple[Event, Tuple, str]] = {}
+
+    def sig(self, event: Event) -> Tuple:
+        entry = self._entries.get(id(event))
+        if entry is None:
+            sig = _event_sig(event)
+            entry = (event, sig, repr(sig))
+            self._entries[id(event)] = entry
+        return entry[1]
+
+    def sig_and_key(self, event: Event) -> Tuple[Tuple, str]:
+        entry = self._entries.get(id(event))
+        if entry is None:
+            sig = _event_sig(event)
+            entry = (event, sig, repr(sig))
+            self._entries[id(event)] = entry
+        return entry[1], entry[2]
+
+
+def _fingerprint_mp(
+    kernel: MPKernel, include_counters: bool, sigs: _SigCache
+) -> Tuple:
+    """Structural state of an MP kernel: pending events + process states.
 
     Two kernel states with the same fingerprint have identical futures,
-    so only one needs expansion.  Process state is captured via
-    ``__dict__`` (sorted, repr-normalized); pending events are a
-    multiset of (sender, receiver, payload).
+    so only one needs expansion.  ``include_counters`` adds the per-
+    process step/send counters; they are part of the future-relevant
+    state exactly when a crash adversary is present (crash points are
+    counter-indexed), and omitting them otherwise lets states that
+    differ only in history collapse.
     """
-    pending = tuple(sorted(
-        (event.sender, event.receiver, repr(event.payload))
-        if hasattr(event, "receiver")
-        else (-1, event.pid, "start")
-        for event in kernel.pending.values()
-    ))
+    pending = tuple(
+        pair[0] for pair in sorted(
+            (sigs.sig_and_key(event) for event in kernel._pending.values()),
+            key=operator.itemgetter(1),
+        )
+    )
     processes = tuple(
-        tuple(sorted((key, repr(value)) for key, value in p.__dict__.items()))
+        tuple(sorted(
+            ((key, _freeze(value)) for key, value in p.__dict__.items()),
+            key=repr,
+        ))
         for p in kernel._processes
     )
     contexts = tuple(
-        (ctx.decided, repr(ctx.decision)) for ctx in kernel._contexts
+        (ctx._decided, _freeze(ctx._decision)) for ctx in kernel._contexts
     )
-    return (pending, processes, contexts, tuple(sorted(kernel.crashed)))
+    counters = (
+        (tuple(kernel._steps_taken), tuple(kernel._sends_made))
+        if include_counters else ()
+    )
+    return (pending, processes, contexts, tuple(sorted(kernel._crashed)), counters)
+
+
+def _fingerprint_sm(kernel) -> Tuple:
+    """Structural state of an SM kernel.
+
+    Generator frames are opaque, but a deterministic generator's
+    internal state is a pure function of the operation results fed into
+    it (``results_log``), so logging results makes SM states
+    fingerprintable -- and gives the SM explorer the deduplication the
+    deepcopy-era code never had.
+    """
+    states = tuple(
+        (
+            st.finished,
+            st.decided,
+            _freeze(st.decision),
+            st.ops_taken,
+            tuple(_freeze(r) for r in st.results_log),
+        )
+        for st in kernel._states
+    )
+    registers = tuple(_freeze(v) for v in kernel.registers.current_values())
+    return (states, registers, tuple(sorted(kernel._crashed)))
+
+
+#: Sentinel returned by :meth:`_VisitedStore.probe` for brand-new or
+#: fully re-expandable nodes ("expand every non-slept choice").
+_EXPAND_ALL = object()
+
+_NO_SLEEP: Counter = Counter()
+
+
+class _VisitedStore:
+    """First-class visited-state store with hit/miss counters.
+
+    Maps each structural fingerprint to the sleep set (a multiset of
+    event signatures) its expansion is known to *cover*: the subtree
+    explored every continuation except those in the stored set.  This is
+    Godefroid's algorithm for combining sleep sets with state caching:
+
+    * probe sleep ⊇ stored sleep -- the cached expansion covered every
+      continuation the revisit needs; cut (a cache *hit*);
+    * otherwise -- re-expand only the difference ``stored - probe`` and
+      shrink the stored entry to the intersection, which the state is
+      covered for from now on.
+
+    Leaves are marked covered unconditionally (an ended run has no
+    continuations to miss).  Without POR every sleep set is empty and
+    the store degenerates to plain fingerprint membership.
+    """
+
+    __slots__ = ("_sleeps", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._sleeps: Dict[Tuple, Counter] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def probe(self, fingerprint: Tuple, sleep: Counter):
+        """Record a visit; says what (if anything) needs expansion.
+
+        Returns ``None`` for a cache hit, :data:`_EXPAND_ALL` for a new
+        state, or the multiset of slept-at-first-visit event signatures
+        that the current visit must still expand.
+        """
+        stored = self._sleeps.get(fingerprint)
+        if stored is None:
+            self._sleeps[fingerprint] = +sleep
+            self.misses += 1
+            return _EXPAND_ALL
+        if all(sleep[sig] >= need for sig, need in stored.items()):
+            self.hits += 1
+            return None
+        missing = stored - sleep
+        self._sleeps[fingerprint] = stored & sleep
+        self.misses += 1
+        return missing
+
+    def set_covered(self, fingerprint: Tuple) -> None:
+        """Mark a state fully covered (every future probe hits)."""
+        self._sleeps[fingerprint] = _NO_SLEEP
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+
+# ---------------------------------------------------------------------------
+# message-passing exploration
+
+
+@dataclasses.dataclass
+class _MPConfig:
+    """Per-exploration constants threaded through the MP engines."""
+
+    judge: Callable
+    max_states: int
+    dedup: bool
+    por: bool
+    include_counters: bool
+    #: Processes the adversary may still crash; events targeting one
+    #: (while it is not yet crashed) are dependent on everything.
+    may_crash: FrozenSet[int]
+    #: Per-exploration memo of event signatures (see :class:`_SigCache`).
+    sigs: _SigCache = dataclasses.field(default_factory=_SigCache)
+
+
+def _is_dynamic(adversary: Optional[CrashAdversary]) -> bool:
+    """Does the adversary override ``dynamic_crashes``?"""
+    if adversary is None:
+        return False
+    return type(adversary).dynamic_crashes is not CrashAdversary.dynamic_crashes
+
+
+def _fresh_mp_kernel(
+    process_factory, inputs, t, crash_adversary
+) -> MPKernel:
+    kernel = MPKernel(
+        list(process_factory()),
+        list(inputs),
+        t=t,
+        scheduler=None,
+        crash_adversary=copy.deepcopy(crash_adversary),
+        stop_when_decided=True,
+        # Explorers need no event logs, and copying accumulated traces
+        # would dominate exploration cost.
+        trace_mode=TraceMode.OFF,
+    )
+    kernel._apply_dynamic_crashes()
+    return kernel
+
+
+class _Frame:
+    """One DFS branch point: a snapshot plus its unexplored choices."""
+
+    __slots__ = ("snapshot", "path", "sleep", "choices", "idx", "target", "may_crash", "fresh")
+
+    def __init__(self, snapshot, path, sleep, choices, target, may_crash):
+        self.snapshot = snapshot
+        self.path = path
+        self.sleep = sleep            # Set[int]: slept seqs at this node
+        self.choices = choices        # List[int]: seqs to explore, ascending
+        self.idx = 0
+        self.target = target          # Dict[seq -> target pid]
+        self.may_crash = may_crash    # Dict[seq -> event is crash-capable]
+        self.fresh = True             # live kernel still sits at `snapshot`
+
+
+def _sleep_sig(kernel: MPKernel, sleep: Set[int], sigs: _SigCache) -> Counter:
+    """The sleep set as a multiset of structural event signatures.
+
+    Sleep sets must survive fingerprint collapsing: two nodes with equal
+    state fingerprints may number the *same* pending events differently,
+    so store bookkeeping uses sequence-number-free signatures (and a
+    multiset, because structurally identical events can coexist).
+    """
+    if not sleep:
+        return _NO_SLEEP
+    return Counter(sigs.sig(kernel._pending[seq]) for seq in sleep)
+
+
+def _process_mp_node(
+    kernel: MPKernel,
+    path: Tuple[int, ...],
+    sleep: Set[int],
+    cfg: _MPConfig,
+    result: ExplorationResult,
+    store: _VisitedStore,
+) -> Optional[_Frame]:
+    """Count/dedup/judge the live kernel state; return a frame to expand.
+
+    Returns ``None`` for cache hits, leaves, and fully-slept nodes.  On
+    a revisit whose sleep set is incomparable to the stored coverage,
+    the returned frame expands only the still-uncovered choices.
+    """
+    pending = kernel._pending
+    fp = None
+    to_expand = _EXPAND_ALL
+    if cfg.dedup:
+        fp = _fingerprint_mp(kernel, cfg.include_counters, cfg.sigs)
+        to_expand = store.probe(fp, _sleep_sig(kernel, sleep, cfg.sigs))
+        if to_expand is None:
+            return None
+    if to_expand is _EXPAND_ALL:
+        result.states += 1
+    else:
+        result.reexpansions += 1
+    if kernel.all_correct_decided() or not pending:
+        _judge_leaf(kernel, path, cfg.judge, result)
+        if fp is not None:
+            store.set_covered(fp)
+        return None
+    if to_expand is _EXPAND_ALL:
+        choices = [seq for seq in sorted(pending) if seq not in sleep]
+    else:
+        # Partial re-expansion: only events slept at the first visit but
+        # not now.  Structurally identical events are interchangeable,
+        # so any non-slept pending event with a needed signature serves.
+        need = dict(to_expand)
+        choices = []
+        for seq in sorted(pending):
+            if seq in sleep:
+                continue
+            sig = cfg.sigs.sig(pending[seq])
+            if need.get(sig, 0) > 0:
+                need[sig] -= 1
+                choices.append(seq)
+    result.sleep_pruned += len(pending) - len(choices)
+    if not choices:
+        # Every continuation here is covered by a sibling's subtree.
+        return None
+    target = {seq: _event_target(pending[seq]) for seq in pending}
+    crashed = kernel._crashed
+    may_crash = {
+        seq: tgt in cfg.may_crash and tgt not in crashed
+        for seq, tgt in target.items()
+    }
+    return _Frame(kernel.snapshot(), path, sleep, choices, target, may_crash)
+
+
+def _child_sleep(frame: _Frame, seq: int, por: bool) -> Set[int]:
+    """Sleep set for the child reached by executing ``seq``.
+
+    Sleep-set rule: the child inherits every event from the parent's
+    sleep set plus the already-explored sibling choices, filtered to
+    those *independent* of ``seq``.  Independence here: distinct target
+    processes, neither of which can still crash.
+    """
+    if not por or frame.may_crash[seq]:
+        return set()
+    tgt = frame.target[seq]
+    inherited = itertools.chain(frame.sleep, frame.choices[:frame.idx - 1])
+    return {
+        z for z in inherited
+        if not frame.may_crash[z] and frame.target[z] != tgt
+    }
+
+
+def _run_mp_dfs(
+    kernel: MPKernel,
+    path: Tuple[int, ...],
+    sleep: Set[int],
+    cfg: _MPConfig,
+    result: ExplorationResult,
+    store: _VisitedStore,
+) -> None:
+    """Depth-first exploration from the kernel's current state.
+
+    One live kernel serves the whole search: descending into the first
+    child of a fresh frame costs a single :meth:`MPKernel.step`;
+    visiting later children restores the frame's snapshot first.
+    """
+    root = _process_mp_node(kernel, path, sleep, cfg, result, store)
+    if root is None:
+        return
+    stack: List[_Frame] = [root]
+    while stack:
+        frame = stack[-1]
+        if frame.idx >= len(frame.choices):
+            stack.pop()
+            continue
+        if result.states >= cfg.max_states:
+            result.exhausted = False
+            return
+        seq = frame.choices[frame.idx]
+        frame.idx += 1
+        if not frame.fresh:
+            kernel.restore(frame.snapshot)
+        frame.fresh = False
+        kernel.step(seq)
+        child = _process_mp_node(
+            kernel,
+            frame.path + (seq,),
+            _child_sleep(frame, seq, cfg.por),
+            cfg, result, store,
+        )
+        if child is not None:
+            stack.append(child)
+
+
+def _explore_mp_deepcopy(
+    process_factory, inputs, t, crash_adversary,
+    cfg: _MPConfig,
+    result: ExplorationResult,
+    store: _VisitedStore,
+) -> None:
+    """The legacy engine: fork every branch with ``copy.deepcopy``.
+
+    Kept as the snapshot engine's correctness and benchmark baseline
+    (``engine="deepcopy"``).  Runs full DFS -- POR never applies -- but
+    shares the fingerprint and store, so its state counts match the
+    snapshot engine's full-DFS counts exactly; only the speed differs.
+    """
+    root = _fresh_mp_kernel(process_factory, inputs, t, crash_adversary)
+    stack: List[Tuple[MPKernel, Tuple[int, ...]]] = [(root, ())]
+    while stack:
+        if result.states >= cfg.max_states:
+            result.exhausted = False
+            break
+        kernel, path = stack.pop()
+        result.states += 1
+        if kernel.all_correct_decided() or not kernel._pending:
+            _judge_leaf(kernel, path, cfg.judge, result)
+            continue
+        for seq in sorted(kernel._pending):
+            branch = copy.deepcopy(kernel)
+            branch.step(seq)
+            if cfg.dedup:
+                # A throwaway cache per call: deepcopied branches hold
+                # fresh event objects, so the shared memo would only
+                # accumulate dead entries.
+                fp = _fingerprint_mp(branch, cfg.include_counters, _SigCache())
+                if store.probe(fp, _NO_SLEEP) is None:
+                    continue
+            stack.append((branch, path + (seq,)))
+
+
+@dataclasses.dataclass(frozen=True)
+class _MPFrontierTask:
+    """Everything a worker needs to explore one frontier subtree."""
+
+    process_factory: Callable[[], Sequence[Process]]
+    inputs: Tuple[Value, ...]
+    k: int
+    t: int
+    validity: ValidityCondition
+    crash_adversary: Optional[CrashAdversary]
+    max_states: int
+    dedup: bool
+    verify: bool
+    por: bool
+    snapshot: Any
+    path: Tuple[int, ...]
+    sleep: Tuple[int, ...]
+
+
+def _mp_frontier_worker(task: _MPFrontierTask) -> ExplorationResult:
+    """Explore one frontier subtree in a fresh process (or inline)."""
+    problem = SCProblem(
+        n=len(task.inputs), k=task.k, t=task.t, validity=task.validity
+    )
+    adversary = task.crash_adversary
+    cfg = _MPConfig(
+        judge=_make_judge(problem, task.verify),
+        max_states=task.max_states,
+        dedup=task.dedup,
+        por=task.por,
+        include_counters=_mp_counters_matter(adversary),
+        may_crash=_may_crash_set(adversary),
+    )
+    kernel = _fresh_mp_kernel(
+        task.process_factory, task.inputs, task.t, adversary
+    )
+    kernel.restore(task.snapshot)
+    result = _empty_result()
+    store = _VisitedStore()
+    _run_mp_dfs(kernel, task.path, set(task.sleep), cfg, result, store)
+    result.cache_hits = store.hits
+    result.cache_misses = store.misses
+    return result
+
+
+def _mp_counters_matter(adversary: Optional[CrashAdversary]) -> bool:
+    return bool(_may_crash_set(adversary)) or _is_dynamic(adversary)
+
+
+def _may_crash_set(adversary: Optional[CrashAdversary]) -> FrozenSet[int]:
+    return adversary.potentially_faulty() if adversary is not None else frozenset()
+
+
+def _explore_mp_frontier(
+    process_factory, inputs, k, t, validity, crash_adversary,
+    cfg: _MPConfig,
+    verify: bool,
+    jobs: int,
+    result: ExplorationResult,
+    store: _VisitedStore,
+) -> None:
+    """Breadth-first root expansion, then parallel per-subtree DFS.
+
+    The frontier width is a constant (not a function of ``jobs``) and
+    subtree results are merged in frontier order, so the merged result
+    is identical for every worker count.  Worker subtrees use private
+    stores; cross-subtree duplicates are re-explored rather than shared,
+    which costs work but keeps the decomposition deterministic.
+    """
+    kernel = _fresh_mp_kernel(process_factory, inputs, t, crash_adversary)
+    queue: deque = deque([(kernel.snapshot(), (), ())])
+    while queue and len(queue) < _FRONTIER_WIDTH:
+        if result.states >= cfg.max_states:
+            result.exhausted = False
+            return
+        snapshot, path, sleep = queue.popleft()
+        kernel.restore(snapshot)
+        frame = _process_mp_node(
+            kernel, path, set(sleep), cfg, result, store
+        )
+        if frame is None:
+            continue
+        for _ in range(len(frame.choices)):
+            seq = frame.choices[frame.idx]
+            frame.idx += 1
+            if not frame.fresh:
+                kernel.restore(frame.snapshot)
+            frame.fresh = False
+            kernel.step(seq)
+            child_sleep = tuple(sorted(_child_sleep(frame, seq, cfg.por)))
+            queue.append((kernel.snapshot(), path + (seq,), child_sleep))
+    result.cache_hits = store.hits
+    result.cache_misses = store.misses
+    if not queue:
+        return
+    tasks = [
+        _MPFrontierTask(
+            process_factory=process_factory,
+            inputs=tuple(inputs),
+            k=k, t=t, validity=validity,
+            crash_adversary=crash_adversary,
+            max_states=cfg.max_states,
+            dedup=cfg.dedup,
+            verify=verify,
+            por=cfg.por,
+            snapshot=snapshot,
+            path=path,
+            sleep=tuple(sleep),
+        )
+        for snapshot, path, sleep in queue
+    ]
+    for part in parallel_map(_mp_frontier_worker, tasks, jobs=jobs):
+        _merge_into(result, part)
 
 
 def explore_mp(
@@ -131,87 +786,171 @@ def explore_mp(
     max_states: int = 200_000,
     dedup: bool = True,
     verify: bool = False,
+    por: bool = True,
+    engine: str = "snapshot",
+    jobs: Optional[int] = None,
 ) -> ExplorationResult:
     """Explore *every* delivery order of one message-passing instance.
 
     Args:
         process_factory: builds the full process list (fresh state).
+            Must be picklable (e.g. a :class:`SpecFactory`) when
+            ``jobs`` exceeds 1.
         inputs, k, t, validity: the ``SC(k, t, C)`` instance.
         crash_adversary: optional fixed crash pattern explored alongside
             the schedules (use :func:`crash_patterns` to enumerate).
         max_states: search budget; when hit, ``exhausted`` is ``False``.
-        dedup: collapse states with identical structural fingerprints.
+            The parallel engine applies it per subtree.
+        dedup: collapse states via the visited-state store.
         verify: judge each leaf with the :mod:`repro.verify.oracles`
             stack instead of the bare outcome checks; violation records
             then map oracle names to findings.  Exploration runs with
             ``TraceMode.OFF``, so trace-dependent oracles stay vacuous.
+        por: prune commuting interleavings with sleep sets.  Sound for
+            static crash adversaries; automatically disabled for dynamic
+            ones.  ``por=False`` is the full-DFS correctness reference.
+        engine: ``"snapshot"`` (default) or ``"deepcopy"`` (the legacy
+            forking strategy, kept as baseline; implies full DFS).
+        jobs: when set, split the root fan-out across this many worker
+            processes (frontier search).  Results are bit-identical for
+            every value of ``jobs``, including 1.
     """
+    if engine not in ("snapshot", "deepcopy"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if jobs is not None and engine != "snapshot":
+        raise ValueError("parallel exploration requires engine='snapshot'")
+
     problem = SCProblem(n=len(inputs), k=k, t=t, validity=validity)
-    judge = _make_judge(problem, verify)
-
-    def fresh_kernel() -> Tuple[MPKernel, _ScriptScheduler]:
-        scheduler = _ScriptScheduler()
-        kernel = MPKernel(
-            list(process_factory()),
-            list(inputs),
-            t=t,
-            scheduler=scheduler,
-            crash_adversary=copy.deepcopy(crash_adversary),
-            stop_when_decided=True,
-            # Forked kernels need no event logs, and deep-copying
-            # accumulated traces would dominate exploration cost.
-            trace_mode=TraceMode.OFF,
-        )
-        kernel._apply_dynamic_crashes()
-        return kernel, scheduler
-
-    result = ExplorationResult(
-        runs=0,
-        states=0,
-        exhausted=True,
-        violations=[],
-        max_distinct_decisions=0,
-        decision_sets=set(),
+    cfg = _MPConfig(
+        judge=_make_judge(problem, verify),
+        max_states=max_states,
+        dedup=dedup,
+        por=(por and engine == "snapshot" and not _is_dynamic(crash_adversary)),
+        include_counters=_mp_counters_matter(crash_adversary),
+        may_crash=_may_crash_set(crash_adversary),
     )
-    seen: Set[Tuple] = set()
+    result = _empty_result()
+    store = _VisitedStore()
 
-    root_kernel, _ = fresh_kernel()
-    stack: List[Tuple[MPKernel, Tuple[int, ...]]] = [(root_kernel, ())]
+    if jobs is not None:
+        _explore_mp_frontier(
+            process_factory, inputs, k, t, validity, crash_adversary,
+            cfg, verify, jobs, result, store,
+        )
+        return result
 
+    if engine == "deepcopy":
+        _explore_mp_deepcopy(
+            process_factory, inputs, t, crash_adversary, cfg, result, store
+        )
+    else:
+        kernel = _fresh_mp_kernel(process_factory, inputs, t, crash_adversary)
+        _run_mp_dfs(kernel, (), set(), cfg, result, store)
+    result.cache_hits = store.hits
+    result.cache_misses = store.misses
+    return result
+
+
+# ---------------------------------------------------------------------------
+# shared-memory exploration
+
+
+def _fresh_sm_kernel(
+    programs_factory, inputs, t, crash_adversary, max_ticks
+):
+    from repro.shm.kernel import SMKernel
+
+    kernel = SMKernel(
+        list(programs_factory()),
+        list(inputs),
+        t=t,
+        scheduler=None,
+        crash_adversary=copy.deepcopy(crash_adversary),
+        stop_when_decided=True,
+        max_ticks=max_ticks,
+        trace_mode=TraceMode.OFF,
+    )
+    kernel._apply_dynamic_crashes()
+    return kernel
+
+
+def _run_sm_dfs(
+    kernel,
+    judge,
+    max_states: int,
+    dedup: bool,
+    result: ExplorationResult,
+    store: _VisitedStore,
+) -> None:
+    """Prefix-sharing DFS over scheduling choices of one live SM kernel.
+
+    The stack holds choice prefixes.  Thanks to LIFO order, the next
+    prefix usually extends the live kernel's current one by a single
+    step (cost 1); only backtracks replay a prefix from the root
+    (:meth:`SMKernel.restore`), and the replay totals are reported in
+    ``replays``/``replayed_steps``.
+    """
+    from repro.shm.kernel import SMSnapshot
+
+    stack: List[Tuple[int, ...]] = [tuple(kernel.choices)]
+    live = None  # the prefix the kernel currently sits at
     while stack:
         if result.states >= max_states:
             result.exhausted = False
-            break
-        kernel, path = stack.pop()
+            return
+        prefix = stack.pop()
+        if prefix == live:
+            pass
+        elif live is not None and prefix[:-1] == live:
+            kernel.step_pid(prefix[-1])
+        else:
+            kernel.restore(SMSnapshot(choices=prefix))
+            result.replays += 1
+            result.replayed_steps += len(prefix)
+        live = prefix
+        if dedup:
+            if store.probe(_fingerprint_sm(kernel), _NO_SLEEP) is None:
+                continue
         result.states += 1
-
-        if kernel.all_correct_decided() or not kernel.pending:
-            execution = kernel._result()
-            result.runs += 1
-            failures = judge(execution)
-            decided = frozenset(execution.outcome.correct_decision_values())
-            result.decision_sets.add(decided)
-            result.max_distinct_decisions = max(
-                result.max_distinct_decisions, len(decided)
-            )
-            if failures:
-                result.violations.append((path, failures))
+        if kernel.all_correct_decided() or not kernel.runnable_pids():
+            _judge_leaf(kernel, prefix, judge, result)
             continue
+        for pid in sorted(kernel.runnable_pids()):
+            stack.append(prefix + (pid,))
 
-        for seq in sorted(kernel.pending):
-            branch = copy.deepcopy(kernel)
-            branch._scheduler = _ScriptScheduler()
-            event = branch._pending.pop(seq)
-            branch._execute(event)
-            branch._apply_dynamic_crashes()
-            branch.tick += 1
-            if dedup:
-                fp = _fingerprint(branch)
-                if fp in seen:
-                    continue
-                seen.add(fp)
-            stack.append((branch, path + (seq,)))
 
+@dataclasses.dataclass(frozen=True)
+class _SMFrontierTask:
+    programs_factory: Callable[[], Sequence]
+    inputs: Tuple[Value, ...]
+    k: int
+    t: int
+    validity: ValidityCondition
+    crash_adversary: Optional[CrashAdversary]
+    max_states: int
+    max_ticks: int
+    dedup: bool
+    verify: bool
+    prefix: Tuple[int, ...]
+
+
+def _sm_frontier_worker(task: _SMFrontierTask) -> ExplorationResult:
+    from repro.shm.kernel import SMSnapshot
+
+    problem = SCProblem(
+        n=len(task.inputs), k=task.k, t=task.t, validity=task.validity
+    )
+    judge = _make_judge(problem, task.verify)
+    kernel = _fresh_sm_kernel(
+        task.programs_factory, task.inputs, task.t,
+        task.crash_adversary, task.max_ticks,
+    )
+    kernel.restore(SMSnapshot(choices=task.prefix))
+    result = _empty_result()
+    store = _VisitedStore()
+    _run_sm_dfs(kernel, judge, task.max_states, task.dedup, result, store)
+    result.cache_hits = store.hits
+    result.cache_misses = store.misses
     return result
 
 
@@ -225,95 +964,127 @@ def explore_sm(
     max_states: int = 100_000,
     max_ticks_per_run: int = 5_000,
     verify: bool = False,
+    dedup: bool = True,
+    jobs: Optional[int] = None,
 ) -> ExplorationResult:
     """Explore every process interleaving of a shared-memory instance.
 
-    Generator-based SM programs cannot be forked with ``deepcopy``, so
-    exploration proceeds by *prefix replay*: the DFS enumerates choice
-    prefixes (which runnable process steps next) and re-executes each
-    prefix from scratch.  Quadratic in run length per leaf, which is
-    fine at the tiny sizes where the interleaving count is tractable
-    (``n = 2`` fully, ``n = 3`` for short programs).
+    Generator-based SM programs cannot be forked, so exploration shares
+    prefixes: one live kernel is extended step-by-step along depth-first
+    descents and replayed (:meth:`SMKernel.restore`) only on backtracks,
+    replacing the old from-scratch re-execution of every prefix.  States
+    are deduplicated via :func:`_fingerprint_sm` (a generator's hidden
+    state is a pure function of its logged operation results).  No POR
+    applies: distinct processes' register operations do not commute.
+
+    ``jobs`` distributes the frontier of choice prefixes across worker
+    processes, merged deterministically (``programs_factory`` must then
+    be picklable, e.g. a :class:`SpecFactory`).
     """
-    import itertools as _it
-
-    from repro.shm.kernel import SMKernel
-
     problem = SCProblem(n=len(inputs), k=k, t=t, validity=validity)
     judge = _make_judge(problem, verify)
+    result = _empty_result()
+    store = _VisitedStore()
 
-    class _PrefixScheduler:
-        """Replays a choice prefix, then yields control back (None)."""
-
-        def __init__(self, prefix: Tuple[int, ...]) -> None:
-            self._prefix = prefix
-            self._index = 0
-            self.exhausted_cleanly = False
-
-        def pick(self, kernel):
-            if self._index >= len(self._prefix):
-                self.exhausted_cleanly = True
-                return None
-            choice = self._prefix[self._index]
-            self._index += 1
-            if not kernel.is_runnable(choice):
-                return None  # diverged (shouldn't happen) -> stall
-            return choice
-
-    def run_prefix(prefix: Tuple[int, ...]):
-        """Execute a prefix; returns (kernel, finished_flag)."""
-        scheduler = _PrefixScheduler(prefix)
-        kernel = SMKernel(
-            list(programs_factory()),
-            list(inputs),
-            t=t,
-            scheduler=scheduler,
-            crash_adversary=copy.deepcopy(crash_adversary),
-            stop_when_decided=True,
-            max_ticks=max_ticks_per_run,
-            trace_mode=TraceMode.OFF,
+    if jobs is not None:
+        _explore_sm_frontier(
+            programs_factory, inputs, k, t, validity, crash_adversary,
+            max_states, max_ticks_per_run, dedup, verify, judge,
+            jobs, result, store,
         )
-        try:
-            kernel.run()
-        except Exception:
-            # the prefix ended mid-run (scheduler returned None while
-            # correct processes undecided): exploration continues below
-            pass
-        return kernel
+        return result
 
-    result = ExplorationResult(
-        runs=0,
-        states=0,
-        exhausted=True,
-        violations=[],
-        max_distinct_decisions=0,
-        decision_sets=set(),
+    kernel = _fresh_sm_kernel(
+        programs_factory, inputs, t, crash_adversary, max_ticks_per_run
     )
+    _run_sm_dfs(kernel, judge, max_states, dedup, result, store)
+    result.cache_hits = store.hits
+    result.cache_misses = store.misses
+    return result
 
-    stack: List[Tuple[int, ...]] = [()]
-    while stack:
+
+def _explore_sm_frontier(
+    programs_factory, inputs, k, t, validity, crash_adversary,
+    max_states, max_ticks, dedup, verify, judge,
+    jobs: int,
+    result: ExplorationResult,
+    store: _VisitedStore,
+) -> None:
+    from repro.shm.kernel import SMSnapshot
+
+    kernel = _fresh_sm_kernel(
+        programs_factory, inputs, t, crash_adversary, max_ticks
+    )
+    queue: deque = deque([()])
+    while queue and len(queue) < _FRONTIER_WIDTH:
         if result.states >= max_states:
             result.exhausted = False
-            break
-        prefix = stack.pop()
+            return
+        prefix = queue.popleft()
+        kernel.restore(SMSnapshot(choices=prefix))
+        result.replays += 1
+        result.replayed_steps += len(prefix)
+        if dedup:
+            if store.probe(_fingerprint_sm(kernel), _NO_SLEEP) is None:
+                continue
         result.states += 1
-        kernel = run_prefix(prefix)
         if kernel.all_correct_decided() or not kernel.runnable_pids():
-            execution = kernel._result()
-            result.runs += 1
-            failures = judge(execution)
-            decided = frozenset(execution.outcome.correct_decision_values())
-            result.decision_sets.add(decided)
-            result.max_distinct_decisions = max(
-                result.max_distinct_decisions, len(decided)
-            )
-            if failures:
-                result.violations.append((prefix, failures))
+            _judge_leaf(kernel, prefix, judge, result)
             continue
         for pid in sorted(kernel.runnable_pids()):
-            stack.append(prefix + (pid,))
+            queue.append(prefix + (pid,))
+    result.cache_hits = store.hits
+    result.cache_misses = store.misses
+    if not queue:
+        return
+    tasks = [
+        _SMFrontierTask(
+            programs_factory=programs_factory,
+            inputs=tuple(inputs),
+            k=k, t=t, validity=validity,
+            crash_adversary=crash_adversary,
+            max_states=max_states,
+            max_ticks=max_ticks,
+            dedup=dedup,
+            verify=verify,
+            prefix=prefix,
+        )
+        for prefix in queue
+    ]
+    for part in parallel_map(_sm_frontier_worker, tasks, jobs=jobs):
+        _merge_into(result, part)
 
-    return result
+
+# ---------------------------------------------------------------------------
+# picklable factories and crash-pattern enumeration
+
+
+class SpecFactory:
+    """Picklable process/program-list factory for a registry spec.
+
+    Worker processes cannot unpickle lambdas; frontier exploration with
+    ``jobs > 1`` therefore takes its factory in this form.  Calling the
+    factory builds ``n`` fresh protocol instances via the spec's
+    ``make`` hook.
+    """
+
+    def __init__(self, name: str, n: int, k: int, t: int) -> None:
+        self.name = name
+        self.n = n
+        self.k = k
+        self.t = t
+
+    def __call__(self):
+        import repro.protocols  # noqa: F401 -- populate the registry
+        from repro.protocols.base import get_spec
+
+        spec = get_spec(self.name)
+        return [spec.make(self.n, self.k, self.t) for _ in range(self.n)]
+
+    def __repr__(self) -> str:
+        return (
+            f"SpecFactory({self.name!r}, n={self.n}, k={self.k}, t={self.t})"
+        )
 
 
 def crash_patterns(

@@ -113,6 +113,35 @@ class LEchoEngine:
             already.append(message)
             self._on_accept(ctx, origin, message)
 
+    # -- snapshot protocol ---------------------------------------------------
+
+    def __copy_plain__(self) -> "LEchoEngine":
+        """Fork hook for the exhaustive explorer's snapshot protocol.
+
+        Returns an engine with independent bookkeeping; the
+        ``on_accept`` callback is shared, which is correct because the
+        kernel restores state *in place* -- the process a bound callback
+        points at is the same object before and after a restore.
+        """
+        fork = LEchoEngine(self.ell, self._on_accept)
+        fork._echoed_for = set(self._echoed_for)
+        fork._echoers = {
+            key: set(votes) for key, votes in self._echoers.items()
+        }
+        fork._accepted = {
+            origin: list(msgs) for origin, msgs in self._accepted.items()
+        }
+        return fork
+
+    def __fingerprint__(self) -> Any:
+        """Structural identity (plain data) for explorer deduplication.
+
+        Excludes the ``on_accept`` callback: it is code, not state, and
+        its binding differs between independently built kernels that
+        are otherwise in identical configurations.
+        """
+        return (self.ell, self._echoed_for, self._echoers, self._accepted)
+
     # -- introspection ------------------------------------------------------
 
     def accepted_from(self, origin: int) -> Tuple[Any, ...]:

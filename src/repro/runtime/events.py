@@ -6,6 +6,13 @@ reproduction, "arbitrary but finite" is exactly the freedom given to a
 *scheduler* (the adversary): the kernel keeps a pool of pending events,
 and at each tick the scheduler picks which pending event happens next.
 Any asynchronous run corresponds to some scheduler choice sequence.
+
+Events are frozen, ``__slots__``-backed dataclasses: the exhaustive
+explorer and the Monte-Carlo sweeps allocate one :class:`Delivery` per
+point-to-point send, so dropping the per-instance ``__dict__`` is a
+measurable allocation win on the hot path (see
+``benchmarks/bench_exhaustive_explorer.py``, which reports the
+allocation rate).
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ def fresh_event_id() -> int:
     return next(_event_counter)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Event:
     """Base class for schedulable events."""
 
@@ -36,7 +43,7 @@ class Event:
     seq: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Start(Event):
     """Process ``pid`` executes its initial step (``on_start``)."""
 
@@ -46,7 +53,7 @@ class Start(Event):
         return f"start(p{self.pid})"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Delivery(Event):
     """Message ``payload`` from ``sender`` is delivered to ``receiver``."""
 

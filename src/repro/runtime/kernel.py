@@ -24,13 +24,13 @@ kernel is usable directly::
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.problem import Outcome
 from repro.core.values import Value
 from repro.failures.adversary import CrashAdversary, NoCrashes
 from repro.runtime.events import Delivery, Event, Start
-from repro.runtime.process import Context, Process, ProtocolError
+from repro.runtime.process import Context, Process, ProtocolError, copy_plain
 from repro.runtime.traces import Trace, TraceMode
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "ExecutionStats",
     "KernelLimitError",
     "MPKernel",
+    "MPSnapshot",
     "SchedulerStall",
 ]
 
@@ -132,6 +133,30 @@ class ExecutionStats:
             f"register_ops={self.total_register_ops} "
             f"last_decision_tick={self.last_decision_tick}"
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class MPSnapshot:
+    """Plain-data capture of an :class:`MPKernel` execution state.
+
+    Everything the kernel's future behaviour depends on, and nothing
+    else: no handler code, no scheduler, no trace records.  Events are
+    frozen dataclasses and are shared, not copied; the mutable parts
+    (process state, crash sets, counters) are plain-data copies, so a
+    snapshot stays valid however the live kernel moves on.  Snapshots
+    are picklable, which is what lets the parallel frontier search ship
+    subtree roots to worker processes.
+    """
+
+    tick: int
+    seq: int
+    pending: Dict[int, Event]
+    crashed: frozenset
+    halted_at_send: frozenset
+    steps_taken: Tuple[int, ...]
+    sends_made: Tuple[int, ...]
+    process_states: Tuple[Dict[str, Any], ...]
+    context_states: Tuple[Tuple[bool, Any], ...]
 
 
 class _KernelContext(Context):
@@ -350,6 +375,72 @@ class MPKernel:
             if pid in self._byzantine:
                 continue
             self._crash(pid)
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot(self) -> MPSnapshot:
+        """Capture the execution state as plain data (no deepcopy).
+
+        The capture covers exactly what future behaviour depends on:
+        pending events, per-process protocol state
+        (:meth:`~repro.runtime.process.Process.snapshot_state`), decision
+        state, crash/halt sets, and the step/send counters the crash
+        adversary keys on.  The trace is deliberately *not* captured --
+        it is monitoring state, not execution state -- so snapshot users
+        (the exhaustive explorer) run with ``TraceMode.OFF``.
+        """
+        return MPSnapshot(
+            tick=self.tick,
+            seq=self._seq,
+            pending=dict(self._pending),
+            crashed=frozenset(self._crashed),
+            halted_at_send=frozenset(self._halted_at_send),
+            steps_taken=tuple(self._steps_taken),
+            sends_made=tuple(self._sends_made),
+            process_states=tuple(
+                p.snapshot_state() for p in self._processes
+            ),
+            context_states=tuple(
+                (ctx._decided, copy_plain(ctx._decision))
+                for ctx in self._contexts
+            ),
+        )
+
+    def restore(self, snapshot: MPSnapshot) -> None:
+        """Reset the kernel to a previously captured snapshot.
+
+        A snapshot may be restored any number of times; each restore
+        installs fresh plain-data copies, so branches forked from the
+        same snapshot never share mutable state.  The scheduler and the
+        trace are left untouched.
+        """
+        self.tick = snapshot.tick
+        self._seq = snapshot.seq
+        self._pending = dict(snapshot.pending)
+        self._crashed = set(snapshot.crashed)
+        self._halted_at_send = set(snapshot.halted_at_send)
+        self._steps_taken = list(snapshot.steps_taken)
+        self._sends_made = list(snapshot.sends_made)
+        for process, state in zip(self._processes, snapshot.process_states):
+            process.restore_state(state)
+        for ctx, (decided, decision) in zip(
+            self._contexts, snapshot.context_states
+        ):
+            ctx._decided = decided
+            ctx._decision = copy_plain(decision)
+
+    def step(self, seq: int) -> None:
+        """Execute one pending event by sequence number.
+
+        The single-step entry point for explorers driving the kernel
+        without a scheduler: pops and executes the event, applies
+        dynamic crashes, and advances the tick -- exactly one iteration
+        of :meth:`run`'s loop.
+        """
+        event = self._pending.pop(seq)
+        self._execute(event)
+        self._apply_dynamic_crashes()
+        self.tick += 1
 
     # -- main loop -----------------------------------------------------------
 

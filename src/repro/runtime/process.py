@@ -18,11 +18,44 @@ real tasks.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.values import Value
 
-__all__ = ["Context", "Process", "ProtocolError"]
+__all__ = ["Context", "Process", "ProtocolError", "copy_plain"]
+
+
+def copy_plain(value: Any) -> Any:
+    """Copy a plain-data value (dicts/lists/sets/tuples of immutables).
+
+    This is the fork primitive of the snapshot protocol: it recursively
+    copies the built-in mutable containers and shares everything else
+    (numbers, strings, frozen dataclasses, ``None``...).  It is an order
+    of magnitude cheaper than :func:`copy.deepcopy` because it never
+    consults ``__deepcopy__``/``__reduce__`` machinery or maintains a
+    memo table -- which is safe precisely because protocol state is
+    plain data (no aliasing cycles, no open files, no generators; the
+    ``SNAP001`` staticcheck rule enforces this for
+    :class:`Process` subclasses).
+
+    Composite helper objects that a process legitimately keeps on
+    ``self`` (e.g. the ℓ-echo engine) opt into forking by defining
+    ``__copy_plain__(self)``, returning an independent copy of their
+    mutable state; anything else is shared by reference.
+    """
+    cls = value.__class__
+    if cls is dict:
+        return {key: copy_plain(item) for key, item in value.items()}
+    if cls is list:
+        return [copy_plain(item) for item in value]
+    if cls is set:
+        return set(value)
+    if cls is tuple:
+        return tuple(copy_plain(item) for item in value)
+    copier = getattr(cls, "__copy_plain__", None)
+    if copier is not None:
+        return copier(value)
+    return value
 
 
 class ProtocolError(RuntimeError):
@@ -106,6 +139,35 @@ class Process:
 
     def on_message(self, ctx: Context, sender: int, payload: Any) -> None:
         """Handle one delivered message from ``sender``."""
+
+    # -- snapshot protocol -------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Plain-data copy of this process's mutable state.
+
+        Part of the kernel fork protocol used by the exhaustive
+        explorer: a snapshot must share no mutable structure with the
+        live process, and :meth:`restore_state` applied to it must
+        reproduce the process bit-for-bit.  The default implementation
+        copies ``__dict__`` with :func:`copy_plain`, which is correct
+        for any process holding only plain data (all protocols in this
+        library); subclasses with exotic state may override both hooks.
+        """
+        return {
+            key: copy_plain(item) for key, item in self.__dict__.items()
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Reset this process to a state captured by :meth:`snapshot_state`.
+
+        The snapshot may be restored many times (once per explored
+        branch), so the installed state is copied again rather than
+        aliased.
+        """
+        self.__dict__.clear()
+        self.__dict__.update(
+            (key, copy_plain(item)) for key, item in state.items()
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -14,7 +14,8 @@ Section 4 of the paper).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Optional, Sequence, Set
+import dataclasses
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.problem import Outcome
 from repro.core.values import Value
@@ -25,7 +26,7 @@ from repro.runtime.traces import Trace, TraceMode
 from repro.shm.ops import Decide, Op, Read, Write
 from repro.shm.registers import RegisterFile
 
-__all__ = ["SMContext", "SMKernel", "SMProgram"]
+__all__ = ["SMContext", "SMKernel", "SMProgram", "SMSnapshot"]
 
 
 class SMContext:
@@ -47,7 +48,10 @@ SMProgram = Callable[[SMContext], Generator[Op, Any, None]]
 
 
 class _ProcessState:
-    __slots__ = ("generator", "pending_result", "finished", "ops_taken", "decision", "decided")
+    __slots__ = (
+        "generator", "pending_result", "finished", "ops_taken",
+        "decision", "decided", "results_log",
+    )
 
     def __init__(self) -> None:
         self.generator: Optional[Generator[Op, Any, None]] = None
@@ -56,6 +60,26 @@ class _ProcessState:
         self.ops_taken = 0
         self.decision: Optional[Value] = None
         self.decided = False
+        #: Every operation result fed (or about to be fed) into the
+        #: generator, in order.  A deterministic generator's internal
+        #: state is a pure function of this sequence, which is what
+        #: makes shared-memory states fingerprintable without copying
+        #: generator frames.
+        self.results_log: List[Any] = []
+
+
+@dataclasses.dataclass(frozen=True)
+class SMSnapshot:
+    """Replay-based capture of an :class:`SMKernel` execution state.
+
+    Generator frames cannot be copied, so an SM snapshot records the
+    *choice sequence* that produced the state instead of the state
+    itself; :meth:`SMKernel.restore` re-executes the sequence against
+    fresh generators.  Deterministic programs plus a deterministic
+    crash adversary make the replay reproduce the state exactly.
+    """
+
+    choices: Tuple[int, ...]
 
 
 class SMKernel:
@@ -116,10 +140,12 @@ class SMKernel:
                 )
 
         self.registers = RegisterFile(self.n)
+        self._trace_mode = trace_mode
         self.trace = Trace(trace_mode)
         self.tick = 0
         self._crashed: Set[int] = set()
         self._states = [_ProcessState() for _ in range(self.n)]
+        self._choices: List[int] = []
         self._contexts = [
             SMContext(pid, self.n, t, self._inputs[pid]) for pid in range(self.n)
         ]
@@ -161,6 +187,11 @@ class SMKernel:
     def runnable_pids(self):
         return [p for p in range(self.n) if self.is_runnable(p)]
 
+    @property
+    def choices(self) -> Tuple[int, ...]:
+        """The scheduling choices executed so far, in order."""
+        return tuple(self._choices)
+
     # -- execution ------------------------------------------------------------
 
     def _crash(self, pid: int) -> None:
@@ -194,6 +225,7 @@ class SMKernel:
         raise ProtocolError(f"p{pid} yielded a non-operation: {op!r}")
 
     def _step(self, pid: int) -> None:
+        self._choices.append(pid)
         state = self._states[pid]
         if pid not in self._byzantine and self._crash_adversary.crashes_before_step(
             pid, state.ops_taken
@@ -210,7 +242,48 @@ class SMKernel:
             self.trace.record(self.tick, "halt", pid)
             return
         state.pending_result = self._execute_op(pid, op)
+        state.results_log.append(state.pending_result)
         state.ops_taken += 1
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def step_pid(self, pid: int) -> None:
+        """Execute one step of ``pid`` -- one iteration of :meth:`run`'s loop.
+
+        The single-step entry point for explorers driving the kernel
+        without a scheduler.
+        """
+        if not self.is_runnable(pid):
+            raise ProtocolError(f"stepped non-runnable p{pid}")
+        self._step(pid)
+        self._apply_dynamic_crashes()
+        self.tick += 1
+
+    def snapshot(self) -> SMSnapshot:
+        """Capture the state as the choice sequence that produced it."""
+        return SMSnapshot(choices=tuple(self._choices))
+
+    def restore(self, snapshot: SMSnapshot) -> None:
+        """Rebuild the snapshot state by replaying its choice sequence.
+
+        Resets registers, generators, crash state, and the trace, then
+        re-executes every recorded choice.  Cost is linear in the prefix
+        length; the exhaustive explorer amortizes this by extending one
+        live kernel along depth-first descents and replaying only on
+        backtracks (see :mod:`repro.harness.exhaustive`).
+        """
+        self.registers = RegisterFile(self.n)
+        self.trace = Trace(self._trace_mode)
+        self.tick = 0
+        self._crashed = set()
+        self._states = [_ProcessState() for _ in range(self.n)]
+        choices = snapshot.choices
+        self._choices = []
+        self._apply_dynamic_crashes()
+        for pid in choices:
+            self._step(pid)
+            self._apply_dynamic_crashes()
+            self.tick += 1
 
     def run(self) -> ExecutionResult:
         """Execute until a stop state and return the result.

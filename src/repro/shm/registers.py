@@ -84,6 +84,14 @@ class RegisterFile:
         """Peek at a register without a stamped operation (testing only)."""
         return self._values[owner]
 
+    def current_values(self) -> Tuple[Any, ...]:
+        """Snapshot of every register's current content (index = owner).
+
+        Unstamped, like :meth:`current`; used by the exhaustive
+        explorer's structural fingerprint.
+        """
+        return tuple(self._values)
+
     def history(self, owner: int) -> Tuple[RegisterHistoryEntry, ...]:
         return tuple(self._histories[owner])
 

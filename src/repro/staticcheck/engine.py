@@ -146,7 +146,12 @@ def register_rule(cls: type) -> type:
 
 def all_rules() -> Tuple[Rule, ...]:
     """Every registered rule, importing the rule modules on first use."""
-    from repro.staticcheck import rules_det, rules_proto, rules_sm  # noqa: F401
+    from repro.staticcheck import (  # noqa: F401
+        rules_det,
+        rules_proto,
+        rules_sm,
+        rules_snapshot,
+    )
 
     return tuple(sorted(_REGISTRY.values(), key=lambda r: r.rule_id))
 

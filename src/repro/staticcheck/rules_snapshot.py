@@ -1,0 +1,171 @@
+"""SNAP rules: snapshot-protocol conformance.
+
+The exhaustive explorer forks execution by copying process state with
+``repro.runtime.snapshot.copy_plain`` -- a recursive plain-data copy
+over dicts/lists/sets/tuples/dataclasses that treats everything else
+as an atom and *shares* it between the original and the restored run.
+That is sound only when every attribute a :class:`Process` subclass
+stores on ``self`` is plain data.  An open file, a generator, a lock,
+a socket, or a stateful RNG held on ``self`` would be shared across
+forked branches: mutating it in one branch silently corrupts every
+other branch (and none of these objects pickle, so ``--jobs`` breaks
+too).
+
+* SNAP001 -- inside a ``Process`` subclass, flag ``self.attr = ...``
+  whose right-hand side constructs a non-plain-data value: ``open()``
+  and friends, bare iterators (``iter``/``map``/``filter``/``zip``/
+  ``enumerate``/``reversed``), generator expressions, ``threading``
+  primitives, sockets, subprocesses, or ``random.Random`` instances.
+  Wrap iterators in ``list(...)`` / ``sorted(...)`` at the assignment,
+  keep RNG state out of processes (adversaries pre-draw their plans),
+  and keep handles off ``self`` entirely.  Deliberate exceptions go in
+  the committed baseline with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.staticcheck.engine import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+
+__all__ = ["NonPlainProcessStateRule"]
+
+#: Builtin calls whose result is an exhaustible iterator or OS handle.
+_BAD_BUILTINS = frozenset({
+    "open": "an open file handle",
+    "iter": "a bare iterator",
+    "map": "a bare iterator",
+    "filter": "a bare iterator",
+    "zip": "a bare iterator",
+    "enumerate": "a bare iterator",
+    "reversed": "a bare iterator",
+    "memoryview": "a memoryview over shared storage",
+}.items())
+
+#: Dotted constructors (resolved through the file's imports) whose
+#: result holds OS or interpreter state that copy_plain cannot fork.
+_BAD_DOTTED = frozenset({
+    "threading.Lock": "a lock",
+    "threading.RLock": "a lock",
+    "threading.Condition": "a condition variable",
+    "threading.Semaphore": "a semaphore",
+    "threading.BoundedSemaphore": "a semaphore",
+    "threading.Event": "a threading event",
+    "threading.Barrier": "a thread barrier",
+    "threading.Thread": "a thread",
+    "socket.socket": "a socket",
+    "socket.create_connection": "a socket",
+    "subprocess.Popen": "a subprocess handle",
+    "random.Random": "a stateful RNG",
+    "random.SystemRandom": "a stateful RNG",
+    "io.open": "an open file handle",
+    "io.BytesIO": "a mutable stream buffer",
+    "io.StringIO": "a mutable stream buffer",
+    "os.fdopen": "an open file handle",
+    "tempfile.TemporaryFile": "an open file handle",
+    "tempfile.NamedTemporaryFile": "an open file handle",
+}.items())
+
+_BAD_BUILTIN_NAMES = dict(_BAD_BUILTINS)
+_BAD_DOTTED_NAMES = dict(_BAD_DOTTED)
+
+
+def _offending_value(
+    value: ast.expr, ctx: FileContext
+) -> Optional[str]:
+    """Why ``value`` is not plain data, or ``None`` if it looks fine."""
+    if isinstance(value, ast.GeneratorExp):
+        return "a generator expression (exhaustible, not copyable)"
+    if not isinstance(value, ast.Call):
+        return None
+    resolved = ctx.imports.resolve(value.func)
+    if resolved is None:
+        return None
+    if resolved in _BAD_DOTTED_NAMES:
+        return f"{_BAD_DOTTED_NAMES[resolved]} ({resolved})"
+    # A bare name that did not resolve through an import is a builtin
+    # (or a local shadow -- close enough for a lint).
+    if "." not in resolved and resolved in _BAD_BUILTIN_NAMES:
+        return f"{_BAD_BUILTIN_NAMES[resolved]} ({resolved}(...))"
+    return None
+
+
+def _self_attr(target: ast.expr) -> Optional[str]:
+    """Attribute name for a ``self.x`` target, else ``None``."""
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr
+    return None
+
+
+def _is_process_class(node: ast.ClassDef) -> bool:
+    return any(
+        (base_name := dotted_name(base))
+        and base_name.split(".")[-1] == "Process"
+        for base in node.bases
+    )
+
+
+@register_rule
+class NonPlainProcessStateRule(Rule):
+    """SNAP001: Process state must survive snapshot()/restore()."""
+
+    rule_id = "SNAP001"
+    severity = "error"
+    summary = (
+        "a Process subclass stores non-plain data (open files, "
+        "iterators, locks, RNGs) on self; copy_plain shares such "
+        "objects across forked branches, breaking snapshot/restore "
+        "and --jobs pickling"
+    )
+    scopes = ("protocols", "failures", "runtime")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_process_class(node):
+                continue
+            yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: FileContext, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for stmt in ast.walk(node):
+            targets: list = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            elif isinstance(stmt, ast.AugAssign):
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            attrs = [
+                attr for target in targets
+                if (attr := _self_attr(target)) is not None
+            ]
+            if not attrs:
+                continue
+            reason = _offending_value(value, ctx)
+            if reason is None:
+                continue
+            yield self.finding(
+                ctx, stmt,
+                f"{node.name}.{attrs[0]} holds {reason}; snapshot() "
+                f"would share it across forked branches -- store plain "
+                f"data instead (e.g. materialise iterators with list())",
+            )

@@ -51,6 +51,8 @@ from repro.verify.shrink import (
 from repro.verify.witness import (
     Witness,
     WitnessReport,
+    confirm_exploration,
+    exploration_witnesses,
     load_witness,
     replay_witness,
     save_witness,
@@ -73,11 +75,13 @@ __all__ = [
     "WitnessReport",
     "all_validity_oracles",
     "check_execution",
+    "confirm_exploration",
     "default_oracles",
     "diff_mp_sm",
     "diff_serial_parallel",
     "diff_trace_modes",
     "differential_check",
+    "exploration_witnesses",
     "kernel_factory_for_spec",
     "load_witness",
     "outcome_result",

@@ -240,6 +240,108 @@ def verify_witness(witness: Witness) -> WitnessReport:
     )
 
 
+def exploration_witnesses(
+    exploration,
+    spec: str,
+    inputs: Sequence[Value],
+    k: int,
+    t: int,
+    crash_adversary=None,
+    validity: Optional[str] = None,
+) -> List[Witness]:
+    """One witness per counterexample an exhaustive exploration found.
+
+    The exhaustive explorer (:mod:`repro.harness.exhaustive`) records a
+    violating run as its choice path -- event seqs for message passing,
+    pids for shared memory.  Under the fast-fork engine nearly every
+    step of that path executed on a *restored* kernel, so turning the
+    path into a replayable witness is the explorer's soundness check:
+    the same choices on a fresh kernel must reproduce the violation.
+    :func:`confirm_exploration` performs that check end to end.
+
+    ``expect`` is filled with the oracle names implied by the
+    explorer's failure keys (the bare judge's ``"validity"`` key maps
+    to the stack's ``"validity:<code>"``).  Termination failures are
+    omitted from ``expect``: a choice-list replay is indistinguishable
+    from a truncated schedule, on which :func:`verify_witness`
+    deliberately skips the termination oracle.
+
+    Dynamic crash adversaries have no serializable form
+    (:func:`crash_points_of` raises); explorations under them cannot be
+    turned into witnesses.
+    """
+    from repro.protocols.base import get_spec
+
+    protocol = get_spec(spec)
+    code = validity or protocol.validity
+    kind = "sm" if protocol.is_shared_memory else "mp"
+    crash_points = crash_points_of(crash_adversary)
+    witnesses = []
+    for path, failures in exploration.violations:
+        expect = tuple(sorted(
+            f"validity:{code}" if key == "validity" else key
+            for key in failures
+            if key != "termination"
+        ))
+        witnesses.append(Witness(
+            spec=spec,
+            n=len(inputs),
+            k=k,
+            t=t,
+            inputs=tuple(inputs),
+            choices=tuple(path),
+            kind=kind,
+            crash_points=dict(crash_points),
+            validity=code,
+            note="exhaustive exploration counterexample",
+            expect=expect,
+        ))
+    return witnesses
+
+
+def confirm_exploration(
+    exploration,
+    spec: str,
+    inputs: Sequence[Value],
+    k: int,
+    t: int,
+    crash_adversary=None,
+    validity: Optional[str] = None,
+) -> List[WitnessReport]:
+    """Replay every explorer counterexample on a fresh kernel.
+
+    This is the explorer's external soundness check: a violation found
+    through snapshot/restore forking must survive being re-executed
+    from scratch.  Returns one report per recorded violation; raises
+    ``ValueError`` if any witness replays non-deterministically or
+    fails to demonstrate the oracles the explorer reported -- either
+    would mean restored states diverged from real executions.
+    """
+    reports = []
+    broken = []
+    for witness in exploration_witnesses(
+        exploration, spec, inputs, k, t,
+        crash_adversary=crash_adversary, validity=validity,
+    ):
+        report = verify_witness(witness)
+        reports.append(report)
+        if not report.deterministic or not report.demonstrates_expected:
+            broken.append(report)
+    if broken:
+        details = "; ".join(
+            f"[{report.witness.describe()}] {report.summary()}"
+            for report in broken
+        )
+        raise ValueError(
+            f"{len(broken)} exploration witness(es) failed to replay: "
+            f"{details}"
+        )
+    return reports
+
+
+__all__ += ["confirm_exploration", "exploration_witnesses"]
+
+
 def save_witness(witness: Witness, path: Union[str, pathlib.Path]) -> None:
     pathlib.Path(path).write_text(witness.to_json() + "\n")
 

@@ -22,6 +22,18 @@ class TestProtocolAExhaustive:
         )
         assert result.exhausted
         assert result.all_ok, result.violations[:3]
+        assert result.runs > 50
+        assert result.max_distinct_decisions <= 2
+
+    def test_all_schedules_n3_full_dfs_reference(self):
+        # por=False is the unreduced reference: every representative
+        # interleaving (modulo state dedup) is judged individually.
+        result = explore_mp(
+            lambda: [ProtocolA() for _ in range(3)],
+            ["v", "v", "w"], k=2, t=1, validity=RV2, por=False,
+        )
+        assert result.exhausted
+        assert result.all_ok, result.violations[:3]
         assert result.runs > 100
         assert result.max_distinct_decisions <= 2
 

@@ -1,0 +1,116 @@
+"""SNAP rule fixtures: non-plain-data state on Process subclasses."""
+
+
+class TestSnap001NonPlainState:
+    def test_open_file_on_self_flagged(self, lint):
+        src = """\
+        class Leaky(Process):
+            def __init__(self):
+                super().__init__()
+                self.log = open("/tmp/x", "w")
+        """
+        found = lint(src, rule="SNAP001")
+        assert found and "file handle" in found[0].message
+
+    def test_generator_expression_flagged(self, lint):
+        src = """\
+        class Leaky(Process):
+            def on_start(self, ctx):
+                self.pending = (v for v in ctx.values)
+        """
+        found = lint(src, rule="SNAP001")
+        assert found and "generator" in found[0].message
+
+    def test_bare_iterator_flagged(self, lint):
+        src = """\
+        class Leaky(Process):
+            def on_start(self, ctx):
+                self.stream = iter(ctx.values)
+        """
+        assert lint(src, rule="SNAP001")
+
+    def test_threading_lock_flagged(self, lint):
+        src = """\
+        import threading
+
+        class Leaky(Process):
+            def __init__(self):
+                self.lock = threading.Lock()
+        """
+        assert lint(src, rule="SNAP001")
+
+    def test_from_import_alias_resolved(self, lint):
+        src = """\
+        from threading import Lock as Mutex
+
+        class Leaky(Process):
+            def __init__(self):
+                self.guard = Mutex()
+        """
+        assert lint(src, rule="SNAP001")
+
+    def test_random_rng_flagged(self, lint):
+        src = """\
+        import random
+
+        class Leaky(Process):
+            def __init__(self, seed):
+                self.rng = random.Random(seed)
+        """
+        found = lint(src, rule="SNAP001")
+        assert found and "RNG" in found[0].message
+
+    def test_materialised_iterator_is_fine(self, lint):
+        src = """\
+        class Clean(Process):
+            def on_start(self, ctx):
+                self.values = list(ctx.values)
+                self.pairs = sorted(zip(ctx.values, ctx.values))
+        """
+        assert not lint(src, rule="SNAP001")
+
+    def test_plain_state_is_fine(self, lint):
+        src = """\
+        class Clean(Process):
+            def __init__(self):
+                super().__init__()
+                self.seen = {}
+                self.heard = set()
+                self.count = 0
+        """
+        assert not lint(src, rule="SNAP001")
+
+    def test_local_variable_iterator_is_fine(self, lint):
+        # only *self* attributes survive into the snapshot; locals are
+        # consumed within the handler and never copied
+        src = """\
+        class Clean(Process):
+            def on_message(self, ctx, sender, payload):
+                stream = iter(payload)
+                self.first = next(stream, None)
+        """
+        assert not lint(src, rule="SNAP001")
+
+    def test_non_process_class_out_of_scope(self, lint):
+        src = """\
+        class Helper:
+            def __init__(self):
+                self.log = open("/tmp/x", "w")
+        """
+        assert not lint(src, rule="SNAP001")
+
+    def test_out_of_scope_path_ignored(self, lint):
+        src = """\
+        class Leaky(Process):
+            def __init__(self):
+                self.log = open("/tmp/x", "w")
+        """
+        assert not lint(src, path="analysis/fixture.py", rule="SNAP001")
+
+    def test_noqa_suppresses(self, lint):
+        src = """\
+        class Leaky(Process):
+            def __init__(self):
+                self.log = open("/tmp/x", "w")  # repro: noqa[SNAP001]
+        """
+        assert not lint(src, rule="SNAP001")

@@ -172,10 +172,19 @@ class TestExhaustiveCommand:
         out = capsys.readouterr().out
         assert "exhaustive" in out and "violations: 0" in out
 
-    def test_sm_spec_rejected(self, capsys):
+    def test_sm_spec_explored(self, capsys):
         assert main([
-            "exhaustive", "protocol-e@sm-cr", "--n", "3", "--k", "2",
-            "--t", "1",
+            "exhaustive", "protocol-e@sm-cr", "--n", "2", "--k", "2",
+            "--t", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "exhaustive" in out and "violations: 0" in out
+        assert "prefix sharing" in out  # replay-based SM snapshots
+
+    def test_sm_spec_rejects_deepcopy_engine(self, capsys):
+        assert main([
+            "exhaustive", "protocol-e@sm-cr", "--n", "2", "--k", "2",
+            "--t", "2", "--engine", "deepcopy",
         ]) == 2
 
 
