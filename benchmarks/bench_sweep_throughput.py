@@ -1,16 +1,24 @@
-"""Sweep throughput benchmark: serial vs parallel, FULL vs COUNTERS.
+"""Sweep throughput benchmark: serial vs parallel vs batch, FULL vs COUNTERS.
 
-Measures Monte-Carlo sweep throughput (runs/second) along the two axes
-the parallel engine optimizes:
+Measures Monte-Carlo sweep throughput (runs/second) along the three
+axes the harness optimizes:
 
 * **trace mode** -- ``FULL`` (every ``TraceRecord`` allocated, the
   replay/forensics default) against ``COUNTERS`` (integer counters
   only, the sweep fast path);
-* **execution** -- serial against ``--jobs``-parallel worker processes.
+* **execution** -- serial against ``--jobs``-parallel worker processes;
+* **engine** -- the scalar discrete-event kernel against the
+  vectorized ``repro.batch`` engine (``--engine batch``), at the
+  sweep's own batch size and again at a 32x bulk batch where the
+  vectorization has room to amortize.
 
 For every measured point the benchmark also *verifies* that the
-verdicts and decision histograms are identical across all four
-configurations -- throughput must never change results.
+verdicts and decision histograms are identical across all four scalar
+configurations -- throughput must never change results -- and
+cross-checks every batch-supported spec with
+``repro.verify.diff_batch_scalar``: the vectorized engine's decisions,
+crash sets, and verdicts must match run-by-run scalar replays of the
+identical plan.
 
 Run as a script to (re)generate ``BENCH_sweep_throughput.json`` at the
 repository root::
@@ -50,6 +58,13 @@ FULL_RUNS = 48
 SMOKE_N_VALUES = (8,)
 SMOKE_RUNS = 12
 
+#: Bulk multiplier for the large-batch measurement: one vectorized
+#: evaluation over ``runs * BULK_FACTOR`` runs.
+BULK_FACTOR = 32
+
+#: Per-spec differential sample size (batch vs scalar replays).
+DIFFERENTIAL_RUNS = 12
+
 
 def _point_for(n: int) -> Dict[str, int]:
     """A (k, t) point inside the spec's solvable region at ``n``."""
@@ -86,6 +101,80 @@ def _measure(
     }
 
 
+def _measure_batch(n: int, k: int, t: int, runs: int) -> Dict:
+    """One vectorized sweep through the ``repro.batch`` engine."""
+    spec = get_spec(SPEC_NAME)
+    config = SweepConfig(
+        runs=runs,
+        seed=derive_seed(BASE_SEED, SPEC_NAME, n, k, t),
+        trace_mode=TraceMode.COUNTERS,
+    )
+    started = time.perf_counter()
+    stats = sweep_spec(spec, n, k, t, config, engine="batch")
+    elapsed = time.perf_counter() - started
+    assert stats.engine == "batch", (
+        f"batch engine fell back to scalar at n={n}: {stats.execution}"
+    )
+    return {
+        "runs": runs,
+        "engine": stats.engine,
+        "seconds": round(elapsed, 4),
+        "runs_per_sec": round(runs / elapsed, 2) if elapsed > 0 else None,
+        "violations": len(stats.violations),
+        "decisions_histogram": {
+            str(key): value
+            for key, value in sorted(stats.decisions_histogram.items())
+        },
+    }
+
+
+def _differential_suite(runs: int) -> List[Dict]:
+    """Batch-vs-scalar cross-check over every batch-supported spec.
+
+    Replays each vectorized plan run-by-run through the scalar kernel
+    and asserts identical histograms, violation counts, and zero
+    per-run mismatches (decisions, crash sets, verdicts).
+    """
+    from repro.batch import BATCH_FAMILIES, supports_point
+    from repro.verify.differential import diff_batch_scalar
+
+    checks: List[Dict] = []
+    for spec_name in sorted(BATCH_FAMILIES):
+        spec = get_spec(spec_name)
+        point = None
+        # The last two points cover the trivial specs (solvable only at
+        # k = n).
+        for n, k, t in (
+            (6, 3, 2), (6, 2, 1), (5, 2, 1), (4, 2, 0), (6, 6, 2), (4, 4, 3)
+        ):
+            if spec.solvable(n, k, t) and supports_point(spec, n, k, t):
+                point = (n, k, t)
+                break
+        if point is None:
+            continue
+        n, k, t = point
+        config = SweepConfig(
+            runs=runs, seed=derive_seed(BASE_SEED, "diff", spec_name)
+        )
+        diff = diff_batch_scalar(spec, n, k, t, config)
+        assert diff.ok, (
+            f"batch/scalar differential failed for {spec_name} at "
+            f"n={n} k={k} t={t}: {diff.summary()}"
+        )
+        checks.append(
+            {
+                "spec": spec_name,
+                "n": n,
+                "k": k,
+                "t": t,
+                "runs": runs,
+                "mismatched_runs": diff.mismatched_runs,
+                "ok": diff.ok,
+            }
+        )
+    return checks
+
+
 def run_suite(smoke: bool = False, jobs: Optional[int] = None) -> Dict:
     """Measure the full grid; returns the JSON-ready payload.
 
@@ -95,6 +184,11 @@ def run_suite(smoke: bool = False, jobs: Optional[int] = None) -> Dict:
     n_values = SMOKE_N_VALUES if smoke else FULL_N_VALUES
     runs = SMOKE_RUNS if smoke else FULL_RUNS
     parallel_jobs = jobs if jobs else available_jobs()
+
+    # Warm up the batch engine (numpy import, kernel compilation of
+    # nothing -- just module load) so the measured series reflects
+    # steady-state throughput, not one-off import cost.
+    _measure_batch(**_point_for(4), runs=4)
 
     points: List[Dict] = []
     for n in n_values:
@@ -110,8 +204,18 @@ def run_suite(smoke: bool = False, jobs: Optional[int] = None) -> Dict:
             label: _measure(n, k, t, runs, j, mode)
             for label, (j, mode) in configs.items()
         }
+        measured["batch"] = _measure_batch(n, k, t, runs)
+        measured["batch_bulk"] = _measure_batch(n, k, t, runs * BULK_FACTOR)
+        # The four scalar configurations share one run stream and must
+        # be bit-identical.  The batch engine draws its plan from its
+        # own seeded streams (different sampling path, same
+        # distribution), so its correctness is checked run-by-run
+        # against scalar *replays of that plan* in the differential
+        # section below, not against the scalar sweep's histogram.
         histograms = {
-            label: m["decisions_histogram"] for label, m in measured.items()
+            label: m["decisions_histogram"]
+            for label, m in measured.items()
+            if not label.startswith("batch")
         }
         reference = histograms["serial_full"]
         for label, histogram in histograms.items():
@@ -122,6 +226,8 @@ def run_suite(smoke: bool = False, jobs: Optional[int] = None) -> Dict:
         serial = measured["serial_counters"]["runs_per_sec"]
         parallel = measured["parallel_counters"]["runs_per_sec"]
         full = measured["serial_full"]["runs_per_sec"]
+        batch = measured["batch"]["runs_per_sec"]
+        batch_bulk = measured["batch_bulk"]["runs_per_sec"]
         points.append(
             {
                 **point,
@@ -133,6 +239,13 @@ def run_suite(smoke: bool = False, jobs: Optional[int] = None) -> Dict:
                 "speedup_counters_vs_full": (
                     round(serial / full, 3) if serial and full else None
                 ),
+                "speedup_batch_vs_serial": (
+                    round(batch / serial, 3) if serial and batch else None
+                ),
+                "speedup_batch_bulk_vs_serial": (
+                    round(batch_bulk / serial, 3)
+                    if serial and batch_bulk else None
+                ),
             }
         )
     return {
@@ -142,7 +255,9 @@ def run_suite(smoke: bool = False, jobs: Optional[int] = None) -> Dict:
         "smoke": smoke,
         "cpu_count": os.cpu_count(),
         "parallel_jobs": parallel_jobs,
+        "bulk_factor": BULK_FACTOR,
         "points": points,
+        "differential": _differential_suite(DIFFERENTIAL_RUNS),
     }
 
 
@@ -176,8 +291,16 @@ def main(argv=None) -> int:
             f"serial COUNTERS {point['serial_counters']['runs_per_sec']}/s, "
             f"parallel COUNTERS {point['parallel_counters']['runs_per_sec']}/s "
             f"(x{point['speedup_parallel_vs_serial']} vs serial, "
-            f"counters x{point['speedup_counters_vs_full']} vs full)"
+            f"counters x{point['speedup_counters_vs_full']} vs full), "
+            f"batch {point['batch']['runs_per_sec']}/s "
+            f"(x{point['speedup_batch_vs_serial']}), "
+            f"batch x{BULK_FACTOR} bulk "
+            f"{point['batch_bulk']['runs_per_sec']}/s "
+            f"(x{point['speedup_batch_bulk_vs_serial']})"
         )
+    checked = [c["spec"] for c in payload["differential"]]
+    print(f"differential batch-vs-scalar OK for {len(checked)} specs: "
+          + ", ".join(checked))
     print(f"wrote {out}")
     return 0
 

@@ -1,0 +1,70 @@
+"""Vectorized batch simulation engine (struct-of-arrays mega-sweeps).
+
+The scalar Monte-Carlo path (:mod:`repro.harness.sweep`) advances one
+pure-Python discrete-event kernel per run, which caps sweep throughput
+at a few hundred to a few thousand runs per second per core.  This
+package represents a whole *batch* of runs as struct-of-arrays numpy
+state -- per-run/per-process arrays for inputs, crash masks, message
+arrival keys, ℓ-echo tallies, and decision values -- and resolves every
+run of the batch with a fixed sequence of array operations instead of
+stepping Python generators.
+
+Layout and semantics are documented in ``DESIGN.md`` (section
+"6d. The vectorized batch engine"); the short version:
+
+* :mod:`repro.batch.prng` -- a counter-based splitmix64 generator.
+  Per-run seeds reuse the SHA-256 mix of
+  :func:`repro.harness.parallel.derive_seed`, so batch runs are
+  bit-reproducible and attributable run-by-run, independent of batch
+  size or chunking.
+* :mod:`repro.batch.plan` -- :class:`BatchPlan`: the sampled adversary
+  (inputs, crash masks, per-receiver message-arrival keys and per-origin
+  acceptance keys) for every run of the batch.
+* :mod:`repro.batch.engine` -- closed-form decision kernels for the
+  threshold-structured protocols (A, B, Chaudhuri, the ℓ-echo family C,
+  D, and the trivial protocol) plus vectorized condition checking.
+* :mod:`repro.batch.replay` -- replays any single planned run through
+  the scalar :class:`~repro.runtime.kernel.MPKernel` under a scheduler
+  realizing the plan's arrival order.  This is the differential-testing
+  bridge: :func:`batch_vs_replay` must agree run-for-run.
+
+The engine models the message-passing **crash** fault model (for the
+Byzantine-model specs it models the crash-restricted sub-adversary,
+which is exercised by the differential check); shared-memory specs and
+oracle-verified sweeps fall back to the scalar path automatically.
+"""
+
+from repro.batch.engine import (
+    BATCH_FAMILIES,
+    BatchResult,
+    batch_run,
+    batch_sweep,
+    batch_vs_replay,
+    supports_point,
+    supports_spec,
+    sweep_unsupported_reason,
+)
+from repro.batch.plan import DEFAULT_CODE, BatchPlan, build_plan, decode_code
+from repro.batch.prng import mix64, run_seeds, stream_u64
+from repro.batch.replay import PlannedScheduler, compare_run, replay_run
+
+__all__ = [
+    "BATCH_FAMILIES",
+    "BatchPlan",
+    "BatchResult",
+    "DEFAULT_CODE",
+    "PlannedScheduler",
+    "batch_run",
+    "batch_sweep",
+    "batch_vs_replay",
+    "build_plan",
+    "compare_run",
+    "decode_code",
+    "mix64",
+    "replay_run",
+    "run_seeds",
+    "stream_u64",
+    "supports_point",
+    "supports_spec",
+    "sweep_unsupported_reason",
+]

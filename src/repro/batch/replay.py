@@ -1,0 +1,268 @@
+"""Scalar replay of planned batch runs: the differential bridge.
+
+The batch engine never executes protocol code -- it evaluates
+closed-form decision functions over the plan arrays.  This module
+replays any single planned run through the real scalar
+:class:`~repro.runtime.kernel.MPKernel` under a scheduler that realizes
+the plan's message ordering, so the closed forms can be checked
+run-by-run against actual protocol executions (:func:`compare_run`,
+driven by :func:`repro.batch.engine.batch_vs_replay` and registered in
+:mod:`repro.verify.differential`).
+
+:class:`PlannedScheduler` realizes the plan as a priority order over
+pending kernel events:
+
+1. all ``Start`` events, in pid order (so every planned crash fires and
+   every first-phase broadcast is made before any delivery);
+2. first-phase deliveries (``*-VAL`` / ``EC-INIT``), per receiver in
+   ``arrival_keys[receiver, sender]`` order;
+3. echo deliveries (``EC-ECHO`` / ``D-ECHO``), grouped per receiver by
+   origin in ``accept_keys[receiver, origin]`` order.
+
+Echoes are only *sent* while phase-1 events execute and priorities are
+compared globally, so every phase-1 delivery precedes every echo
+delivery -- exactly the lock-step semantics the decision kernels assume.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.failures.crash import CrashPlan, CrashPoint
+from repro.harness.runner import ExperimentReport, run_spec
+from repro.harness.sweep import SweepStats, Violation
+from repro.net.schedulers import Scheduler
+from repro.protocols.base import get_spec
+from repro.runtime.events import Delivery, Start
+from repro.runtime.kernel import KernelLimitError
+from repro.runtime.traces import TraceMode
+from repro.batch.plan import NO_DECISION, BatchPlan, decode_code
+
+__all__ = [
+    "ECHO_TAGS",
+    "PHASE0_TAGS",
+    "PlannedScheduler",
+    "compare_run",
+    "replay_run",
+    "replay_stats",
+]
+
+#: First-phase payload tags of the modelled protocols (value floods and
+#: ℓ-echo INITs): ordered by ``arrival_keys``.
+PHASE0_TAGS = frozenset({"A-VAL", "B-VAL", "CH-VAL", "EC-INIT", "D-VAL"})
+
+#: Echo payload tags (``payload[1]`` is the origin): grouped per origin
+#: and ordered by ``accept_keys``.
+ECHO_TAGS = frozenset({"EC-ECHO", "D-ECHO"})
+
+_DEFAULT_MAX_TICKS = 300_000
+
+_Priority = Tuple[int, int, int, int, int]
+
+
+class PlannedScheduler(Scheduler):
+    """Deliver events in the priority order of a batch plan's keys.
+
+    Args:
+        arrival: ``[receiver][origin]`` first-phase ordering keys.
+        accept: ``[receiver][origin]`` echo-group ordering keys.
+    """
+
+    def __init__(
+        self, arrival: Sequence[Sequence[int]], accept: Sequence[Sequence[int]]
+    ) -> None:
+        self._arrival = [[int(key) for key in row] for row in arrival]
+        self._accept = [[int(key) for key in row] for row in accept]
+        self._heap: List[_Priority] = []
+        self._next = 0  # all seqs < _next are already in the heap
+
+    def _priority(self, seq: int, event) -> _Priority:
+        if isinstance(event, Start):
+            return (0, event.pid, 0, 0, seq)
+        if isinstance(event, Delivery):
+            payload = event.payload
+            tag = (
+                payload[0]
+                if isinstance(payload, tuple) and payload
+                else None
+            )
+            if tag in PHASE0_TAGS:
+                key = self._arrival[event.receiver][event.sender]
+                return (1, event.receiver, key, 0, seq)
+            if tag in ECHO_TAGS:
+                origin = payload[1]
+                if isinstance(origin, int) and 0 <= origin < len(self._accept):
+                    return (
+                        2,
+                        event.receiver,
+                        self._accept[event.receiver][origin],
+                        self._arrival[event.receiver][event.sender],
+                        seq,
+                    )
+            return (3, event.receiver, seq, 0, seq)
+        return (3, 0, seq, 0, seq)
+
+    def pick(self, kernel) -> Optional[int]:
+        pending = kernel.pending
+        if not pending:
+            return None
+        # New events are appended at the dict's end with increasing seq,
+        # so scanning from the back up to the first already-seen seq
+        # discovers exactly the events created since the last pick.
+        fresh: List[int] = []
+        for seq in reversed(pending):
+            if seq < self._next:
+                break
+            fresh.append(seq)
+        if fresh:
+            self._next = fresh[0] + 1
+            for seq in reversed(fresh):
+                heapq.heappush(self._heap, self._priority(seq, pending[seq]))
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry[-1] in pending:
+                return entry[-1]
+        return None
+
+
+def _crash_plan(plan: BatchPlan, i: int) -> Optional[CrashPlan]:
+    points = {}
+    for pid in range(plan.n):
+        if plan.pre_crash[i, pid]:
+            points[pid] = CrashPoint(after_steps=0)
+        elif plan.send_victim[i, pid]:
+            points[pid] = CrashPoint(after_sends=int(plan.send_point[i, pid]))
+    return CrashPlan(points) if points else None
+
+
+def replay_run(
+    plan: BatchPlan, i: int, max_ticks: int = _DEFAULT_MAX_TICKS
+) -> ExperimentReport:
+    """Execute planned run ``i`` through the scalar kernel."""
+    pattern = plan.patterns[int(plan.pattern_index[i])]
+    inputs = [
+        decode_code(pattern, int(code)) for code in plan.input_codes[i]
+    ]
+    return run_spec(
+        get_spec(plan.spec_name),
+        plan.n,
+        plan.k,
+        plan.t,
+        inputs,
+        scheduler=PlannedScheduler(
+            plan.arrival_keys[i].tolist(), plan.accept_keys[i].tolist()
+        ),
+        crash_adversary=_crash_plan(plan, i),
+        max_ticks=max_ticks,
+        trace_mode=TraceMode.COUNTERS,
+    )
+
+
+def compare_run(
+    result,  # BatchResult; untyped to avoid an import cycle with engine
+    i: int,
+    report: Optional[ExperimentReport] = None,
+) -> Optional[str]:
+    """Check batch prediction ``i`` against its scalar replay.
+
+    Compares decisions (decoded to concrete values), the realized crash
+    set, the number of distinct correct decisions, and all three
+    condition verdicts.  Returns ``None`` on agreement, else a
+    description of every discrepancy.
+    """
+    plan = result.plan
+    if report is None:
+        report = replay_run(plan, i)
+    pattern = plan.patterns[int(plan.pattern_index[i])]
+    outcome = report.outcome
+    problems: List[str] = []
+    predicted_decisions = {
+        pid: decode_code(pattern, int(result.decisions[i, pid]))
+        for pid in range(plan.n)
+        if int(result.decisions[i, pid]) != NO_DECISION
+    }
+    if dict(outcome.decisions) != predicted_decisions:
+        problems.append(
+            f"decisions: batch {predicted_decisions!r} != scalar "
+            f"{dict(outcome.decisions)!r}"
+        )
+    predicted_faulty = {int(p) for p in np.nonzero(result.faulty[i])[0]}
+    if set(outcome.faulty) != predicted_faulty:
+        problems.append(
+            f"faulty: batch {sorted(predicted_faulty)} != scalar "
+            f"{sorted(outcome.faulty)}"
+        )
+    distinct = len(outcome.correct_decision_values())
+    if distinct != int(result.distinct[i]):
+        problems.append(
+            f"distinct decisions: batch {int(result.distinct[i])} != "
+            f"scalar {distinct}"
+        )
+    predicted_verdicts = {
+        "termination": bool(result.term_ok[i]),
+        "agreement": bool(result.agree_ok[i]),
+        "validity": bool(result.valid_ok[i]),
+    }
+    for name, predicted in predicted_verdicts.items():
+        if bool(report.verdicts[name]) != predicted:
+            problems.append(
+                f"{name}: batch {predicted} != scalar "
+                f"{bool(report.verdicts[name])}"
+            )
+    if not problems:
+        return None
+    return f"run {int(plan.indices[i])}: " + "; ".join(problems)
+
+
+def replay_stats(
+    result,  # BatchResult
+    max_ticks: int = _DEFAULT_MAX_TICKS,
+    mismatches: Optional[List[str]] = None,
+) -> SweepStats:
+    """Replay every planned run and aggregate scalar-side sweep stats.
+
+    When ``mismatches`` is given, each run's replay is also compared
+    against the batch prediction and discrepancy descriptions are
+    appended to it (the replays are shared between the two purposes).
+    """
+    plan = result.plan
+    stats = SweepStats(
+        spec_name=plan.spec_name, n=plan.n, k=plan.k, t=plan.t,
+        engine="scalar",
+        execution=f"scalar replay of a {result.batch_size}-run batch plan",
+    )
+    for i in range(result.batch_size):
+        index = int(plan.indices[i])
+        pattern = plan.patterns[int(plan.pattern_index[i])]
+        stats.runs += 1
+        try:
+            report = replay_run(plan, i, max_ticks=max_ticks)
+        except KernelLimitError as error:
+            stats.violations.append(
+                Violation(index, pattern, ("termination",), str(error))
+            )
+            if mismatches is not None:
+                mismatches.append(f"run {index}: replay hit the tick budget")
+            continue
+        distinct = len(report.outcome.correct_decision_values())
+        stats.decisions_histogram[distinct] = (
+            stats.decisions_histogram.get(distinct, 0) + 1
+        )
+        if not report.ok:
+            violated = report.violated()
+            stats.violations.append(
+                Violation(
+                    index,
+                    pattern,
+                    tuple(violated),
+                    "; ".join(str(v) for v in violated.values()),
+                )
+            )
+        if mismatches is not None:
+            problem = compare_run(result, i, report=report)
+            if problem is not None:
+                mismatches.append(problem)
+    return stats

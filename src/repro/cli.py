@@ -107,6 +107,15 @@ def build_parser() -> argparse.ArgumentParser:
                  "results are identical for any value",
         )
 
+    def add_engine_arg(p):
+        p.add_argument(
+            "--engine", choices=("scalar", "batch", "auto"),
+            default="scalar",
+            help="execution engine: scalar discrete-event kernel (default) "
+                 "or vectorized numpy batch engine; batch/auto fall back "
+                 "to scalar for specs the batch engine does not model",
+        )
+
     p = sub.add_parser("sweep", help="Monte-Carlo sweep at one point")
     p.add_argument("spec")
     p.add_argument("--n", type=int, required=True)
@@ -115,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=50)
     p.add_argument("--seed", type=int, default=0)
     add_jobs_arg(p)
+    add_engine_arg(p)
     add_verify_arg(p)
 
     p = sub.add_parser("attack", help="adversarial search for the worst run")
@@ -242,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="JSON result path (resumable)")
     add_jobs_arg(p)
+    add_engine_arg(p)
 
     return parser
 
@@ -297,8 +308,11 @@ def _cmd_sweep(args) -> int:
         spec, args.n, args.k, args.t,
         SweepConfig(runs=args.runs, seed=args.seed, verify=args.verify),
         jobs=args.jobs,
+        engine=args.engine,
     )
     print(stats.summary())
+    if stats.execution:
+        print(f"  engine {stats.engine}: {stats.execution}")
     for violation in stats.violations[:10]:
         print(f"  !! run {violation.run_index} [{violation.pattern}]: "
               f"{violation.detail}")
@@ -526,6 +540,7 @@ def _cmd_campaign(args) -> int:
         points_per_spec=args.points,
         runs_per_point=args.runs,
         seed=args.seed,
+        engine=args.engine,
     )
     result = run_campaign(
         campaign,

@@ -37,6 +37,9 @@ class Campaign:
     seed: int = 0
     spec_names: Optional[Tuple[str, ...]] = None  # default: all registered
     models: Optional[Tuple[Model, ...]] = None
+    #: execution engine per point: "scalar", "batch", or "auto" (batch
+    #: where supported, scalar fallback) -- see :func:`sweep_spec`.
+    engine: str = "scalar"
 
     def specs(self) -> List[ProtocolSpec]:
         if self.spec_names is not None:
@@ -58,6 +61,9 @@ class PointRecord:
     runs: int
     violations: int
     max_distinct: int
+    #: engine that produced the point ("scalar" default keeps result
+    #: files from before the batch engine loadable).
+    engine: str = "scalar"
 
     @property
     def key(self) -> str:
@@ -80,6 +86,7 @@ class PointRecord:
             runs=stats.runs,
             violations=len(stats.violations),
             max_distinct=stats.max_distinct_decisions,
+            engine=stats.engine,
         )
 
 
@@ -156,10 +163,11 @@ def _pending_points(
 
 def _campaign_point(task) -> PointRecord:
     """Module-level worker: sweep one campaign point."""
-    spec_name, n, k, t, point_seed, runs_per_point = task
+    spec_name, n, k, t, point_seed, runs_per_point, engine = task
     stats = sweep_spec(
         get_spec(spec_name), n, k, t,
         SweepConfig(runs=runs_per_point, seed=point_seed),
+        engine=engine,
     )
     return PointRecord.from_stats(stats)
 
@@ -194,7 +202,7 @@ def run_campaign(
     done = {record.key for record in result.records}
 
     tasks = [
-        point + (campaign.runs_per_point,)
+        point + (campaign.runs_per_point, campaign.engine)
         for point in _pending_points(campaign, done)
     ]
     if jobs != 1:

@@ -36,7 +36,7 @@ from repro.failures.byzantine_sm import (
 )
 from repro.failures.crash import RandomCrashes
 from repro.harness.inputs import INPUT_PATTERNS, make_inputs
-from repro.harness.parallel import parallel_map
+from repro.harness.parallel import parallel_map, plan_execution
 from repro.harness.runner import ExperimentReport, run_spec
 from repro.net.schedulers import RandomScheduler
 from repro.protocols.base import ProtocolSpec, get_spec
@@ -82,6 +82,10 @@ class SweepStats:
     runs: int = 0
     violations: List[Violation] = dataclasses.field(default_factory=list)
     decisions_histogram: Dict[int, int] = dataclasses.field(default_factory=dict)
+    #: which engine produced the stats ("scalar" or "batch")
+    engine: str = "scalar"
+    #: how the runs were executed (serial/parallel/vectorized + why)
+    execution: str = ""
 
     @property
     def clean(self) -> bool:
@@ -227,6 +231,17 @@ def _sweep_task(task) -> Tuple[Optional[Violation], Optional[int]]:
     return _sweep_run(get_spec(spec_name), n, k, t, config, index)
 
 
+def _estimate_run_seconds(n: int) -> float:
+    """Rough per-run cost of one scalar Monte-Carlo execution.
+
+    Fitted against BENCH_sweep_throughput.json: a run schedules O(n^2)
+    deliveries (one broadcast per process) at roughly 4.5 us per event
+    on top of a fixed setup cost.  Only used to decide whether a batch
+    of runs is worth a process pool, so a factor-of-two error is fine.
+    """
+    return 2e-4 + 4.5e-6 * n * n
+
+
 def sweep_spec(
     spec: ProtocolSpec,
     n: int,
@@ -234,6 +249,7 @@ def sweep_spec(
     t: int,
     config: Optional[SweepConfig] = None,
     jobs: int = 1,
+    engine: str = "scalar",
 ) -> SweepStats:
     """Run randomized executions of ``spec`` at ``(n, k, t)``.
 
@@ -244,31 +260,65 @@ def sweep_spec(
     no exception is raised on violations (callers assert on
     :attr:`SweepStats.clean`).
 
-    With ``jobs > 1`` (``0`` = all cores) runs are sharded across worker
-    processes; results are aggregated in run-index order and therefore
-    bit-identical to the serial path.  Parallel execution requires the
-    spec to be resolvable by name in the registry (ad-hoc specs fall
-    back to serial).
+    ``engine`` selects the execution engine: ``"scalar"`` (default) runs
+    the discrete-event kernel per run; ``"batch"`` and ``"auto"`` use
+    the vectorized :mod:`repro.batch` engine where it models the sweep
+    (message-passing crash model, threshold-structured protocols,
+    counters-only tracing) and fall back to scalar otherwise, recording
+    the fallback reason in :attr:`SweepStats.execution`.  The batch
+    engine samples its own (equally distributed) adversary, so batch
+    and scalar sweeps agree in aggregate but not run-by-run;
+    :func:`repro.batch.batch_vs_replay` checks exact per-run agreement.
+
+    With ``jobs > 1`` (``0`` = all cores) scalar runs are sharded across
+    worker processes; results are aggregated in run-index order and
+    therefore bit-identical to the serial path, so the planner falls
+    back to serial whenever the batch is too cheap to amortize pool
+    spin-up.  Parallel execution requires the spec to be resolvable by
+    name in the registry (ad-hoc specs fall back to serial).
     """
     config = config or SweepConfig()
+    if engine not in ("scalar", "batch", "auto"):
+        raise ValueError(f"unknown engine {engine!r}")
+    fallback_note = ""
+    if engine != "scalar":
+        # Function-level import: repro.batch needs numpy and imports
+        # this module back for SweepStats.
+        from repro.batch import batch_sweep, sweep_unsupported_reason
+
+        reason = sweep_unsupported_reason(spec, n, k, t, config)
+        if reason is None:
+            return batch_sweep(spec, n, k, t, config)
+        fallback_note = f"batch engine not applicable ({reason}); "
     stats = SweepStats(spec_name=spec.name, n=n, k=k, t=t)
 
+    plan = plan_execution(jobs, config.runs, _estimate_run_seconds(n))
     registered = False
-    if jobs != 1:
+    if plan.parallel:
         try:
             registered = get_spec(spec.name) is spec
         except ValueError:
             registered = False
-    if registered:
+    if plan.parallel and registered:
         tasks = [
             (spec.name, n, k, t, config, index) for index in range(config.runs)
         ]
-        results = parallel_map(_sweep_task, tasks, jobs=jobs)
+        results = parallel_map(
+            _sweep_task, tasks, jobs=plan.jobs, chunksize=plan.chunksize
+        )
+        stats.execution = fallback_note + plan.describe()
     else:
         results = [
             _sweep_run(spec, n, k, t, config, index)
             for index in range(config.runs)
         ]
+        if plan.parallel:  # requested, but the spec is not registered
+            stats.execution = (
+                fallback_note + "serial: spec not resolvable by name in the "
+                "registry"
+            )
+        else:
+            stats.execution = fallback_note + plan.describe()
 
     for violation, distinct in results:
         stats.runs += 1

@@ -147,6 +147,7 @@ def register_rule(cls: type) -> type:
 def all_rules() -> Tuple[Rule, ...]:
     """Every registered rule, importing the rule modules on first use."""
     from repro.staticcheck import (  # noqa: F401
+        rules_batch,
         rules_det,
         rules_proto,
         rules_sm,

@@ -10,7 +10,8 @@ Three pieces (see the submodule docstrings):
 * :mod:`repro.verify.shrink` -- delta-debugging minimizer over recorded
   schedules, producing minimal deterministic witnesses;
 * :mod:`repro.verify.differential` -- cross-configuration diffing
-  (MP vs SM kernel, FULL vs COUNTERS traces, serial vs ``--jobs N``);
+  (MP vs SM kernel, FULL vs COUNTERS traces, serial vs ``--jobs N``,
+  vectorized batch engine vs scalar replays);
 * :mod:`repro.verify.witness` -- serializable replayable witness files
   (``repro verify-run witness.json``).
 
@@ -20,6 +21,7 @@ The harnesses expose all of this behind opt-in ``--verify`` flags.
 from repro.verify.differential import (
     DifferentialReport,
     HistogramDiff,
+    diff_batch_scalar,
     diff_mp_sm,
     diff_serial_parallel,
     diff_trace_modes,
@@ -77,6 +79,7 @@ __all__ = [
     "check_execution",
     "confirm_exploration",
     "default_oracles",
+    "diff_batch_scalar",
     "diff_mp_sm",
     "diff_serial_parallel",
     "diff_trace_modes",

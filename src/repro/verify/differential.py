@@ -15,7 +15,12 @@ seeded workload twice and diffing aggregate results:
   decision histograms must then be *equal* on a shared seed stream.
   At ``t > 0`` the kernels legitimately explore different schedules, so
   the diff is reported (and both sides must still be violation-free)
-  but equality is not asserted unless ``strict=True``.
+  but equality is not asserted unless ``strict=True``;
+* **batch vs scalar engine** -- the vectorized :mod:`repro.batch`
+  engine evaluates closed-form decision functions; replaying its exact
+  plan through the scalar kernel must reproduce every run's decisions,
+  crash set, and verdicts (histograms and violation counts identical,
+  zero per-run mismatches).
 
 ``differential_check`` bundles all applicable comparisons for one spec.
 """
@@ -33,6 +38,7 @@ __all__ = [
     "SM_COUNTERPARTS",
     "DifferentialReport",
     "HistogramDiff",
+    "diff_batch_scalar",
     "diff_mp_sm",
     "diff_serial_parallel",
     "diff_trace_modes",
@@ -69,6 +75,9 @@ class HistogramDiff:
     violations_a: int
     violations_b: int
     required_equal: bool
+    #: run-by-run discrepancies (currently reported only by the
+    #: batch-vs-scalar diff); any nonzero count fails the diff.
+    mismatched_runs: int = 0
 
     @property
     def identical(self) -> bool:
@@ -76,7 +85,10 @@ class HistogramDiff:
 
     @property
     def ok(self) -> bool:
-        """No violations on either side, and equality where required."""
+        """No violations on either side, no per-run mismatches, and
+        equality where required."""
+        if self.mismatched_runs:
+            return False
         if self.violations_a or self.violations_b:
             return False
         return self.identical or not self.required_equal
@@ -98,9 +110,14 @@ class HistogramDiff:
                 f"histograms differ {self.delta()} "
                 f"({'REQUIRED EQUAL' if self.required_equal else 'allowed'})"
             )
+        tail = (
+            f"; {self.mismatched_runs} run-by-run mismatches"
+            if self.mismatched_runs
+            else ""
+        )
         return (
             f"{self.label_a} vs {self.label_b}: {shape}; "
-            f"violations {self.violations_a}/{self.violations_b}"
+            f"violations {self.violations_a}/{self.violations_b}{tail}"
         )
 
 
@@ -194,6 +211,37 @@ def diff_mp_sm(
     return _diff(mp, sm, mp_spec.name, sm_spec.name, required_equal=strict)
 
 
+def diff_batch_scalar(
+    spec: ProtocolSpec,
+    n: int,
+    k: int,
+    t: int,
+    config: Optional[SweepConfig] = None,
+) -> HistogramDiff:
+    """Vectorized batch engine vs scalar replays of the same plan.
+
+    The batch engine predicts each planned run's decisions in closed
+    form; replaying the identical plan (inputs, crash points, message
+    order) through the scalar kernel must agree run-by-run.  Histograms
+    and violation counts are required equal, and any per-run mismatch
+    (decisions, crash set, or verdicts) fails the diff even when the
+    aggregates happen to collide.
+    """
+    # Function-level import: repro.batch needs numpy and imports
+    # harness modules back.
+    from repro.batch import batch_vs_replay
+
+    config = config or SweepConfig()
+    batch, scalar, mismatched, _details = batch_vs_replay(
+        spec, n, k, t, config
+    )
+    diff = _diff(
+        batch, scalar, f"{spec.name}[batch]", f"{spec.name}[scalar-replay]",
+        required_equal=True,
+    )
+    return dataclasses.replace(diff, mismatched_runs=mismatched)
+
+
 @dataclasses.dataclass
 class DifferentialReport:
     """All applicable differential comparisons for one spec/point."""
@@ -233,8 +281,11 @@ def differential_check(
 
     Always: serial-vs-parallel and FULL-vs-COUNTERS.  Additionally
     MP-vs-SM when the spec has a registered SM counterpart (strictness
-    per :func:`diff_mp_sm`).
+    per :func:`diff_mp_sm`), and batch-vs-scalar when the vectorized
+    engine models the spec at this point.
     """
+    from repro.batch import supports_point
+
     config = config or SweepConfig()
     diffs = [
         diff_serial_parallel(spec, n, k, t, config, jobs=jobs),
@@ -243,6 +294,8 @@ def differential_check(
     twin = sm_counterpart(spec)
     if twin is not None and twin.solvable(n, k, t):
         diffs.append(diff_mp_sm(spec, twin, n, k, t, config))
+    if supports_point(spec, n, k, t):
+        diffs.append(diff_batch_scalar(spec, n, k, t, config))
     return DifferentialReport(
         spec_name=spec.name, n=n, k=k, t=t, diffs=diffs
     )

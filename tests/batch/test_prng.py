@@ -1,0 +1,75 @@
+"""Tests for the batch engine's counter-mode PRNG.
+
+Two properties carry the engine's reproducibility story:
+
+* **attribution** -- per-run seeds are exactly
+  ``derive_seed(sweep_seed, run_index)``, so any batch run can be named
+  and re-derived in isolation;
+* **chunk invariance** -- every draw is a pure function of
+  ``(run_seed, stream, position)``, so splitting a batch into chunks
+  (or resizing batches) can never change a single drawn value.
+"""
+
+import numpy as np
+
+from repro.batch.prng import (
+    STREAM_ARRIVAL,
+    STREAM_INPUT,
+    mix64,
+    run_seeds,
+    stream_u64,
+    u01,
+)
+from repro.harness.parallel import derive_seed
+
+
+class TestRunSeeds:
+    def test_matches_derive_seed_per_index(self):
+        seeds = run_seeds(42, range(10))
+        for index, seed in enumerate(seeds):
+            assert int(seed) == derive_seed(42, index)
+
+    def test_pinned_value(self):
+        # Same guard as TestDeriveSeed.test_pinned_value: recorded
+        # batch artifacts go stale if the mixing scheme drifts.
+        assert int(run_seeds(7, [3])[0]) == derive_seed(7, 3)
+        assert int(run_seeds(1, [0])[0]) == 3658947764513767205
+
+    def test_dtype_and_shape(self):
+        seeds = run_seeds(7, range(5))
+        assert seeds.dtype == np.uint64
+        assert seeds.shape == (5,)
+
+
+class TestStreams:
+    def test_chunk_invariance(self):
+        seeds = run_seeds(3, range(12))
+        whole = stream_u64(seeds, STREAM_ARRIVAL, (4, 4))
+        parts = np.concatenate([
+            stream_u64(seeds[:5], STREAM_ARRIVAL, (4, 4)),
+            stream_u64(seeds[5:], STREAM_ARRIVAL, (4, 4)),
+        ])
+        assert np.array_equal(whole, parts)
+
+    def test_streams_are_independent(self):
+        seeds = run_seeds(3, range(8))
+        a = stream_u64(seeds, STREAM_INPUT, (6,))
+        b = stream_u64(seeds, STREAM_ARRIVAL, (6,))
+        assert not np.array_equal(a, b)
+
+    def test_deterministic(self):
+        seeds = run_seeds(9, range(4))
+        assert np.array_equal(
+            stream_u64(seeds, STREAM_INPUT, (3,)),
+            stream_u64(seeds, STREAM_INPUT, (3,)),
+        )
+
+    def test_mix64_is_a_bijection_sample(self):
+        xs = np.arange(1, 1 << 12, dtype=np.uint64)
+        assert len(np.unique(mix64(xs))) == len(xs)
+
+    def test_u01_range(self):
+        seeds = run_seeds(5, range(16))
+        values = u01(stream_u64(seeds, STREAM_INPUT, (8,)))
+        assert float(values.min()) >= 0.0
+        assert float(values.max()) < 1.0

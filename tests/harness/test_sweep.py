@@ -84,3 +84,61 @@ class TestSweep:
         )
         assert not stats.clean
         assert any("agreement" in v.conditions for v in stats.violations)
+
+
+class TestSweepEngine:
+    """The ``engine`` parameter: batch dispatch and scalar fallback."""
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_spec(
+                get_spec("chaudhuri@mp-cr"), 5, 2, 1,
+                SweepConfig(runs=2), engine="gpu",
+            )
+
+    def test_batch_engine_runs_vectorized(self):
+        stats = sweep_spec(
+            get_spec("chaudhuri@mp-cr"), 5, 2, 1,
+            SweepConfig(runs=12, seed=4), engine="batch",
+        )
+        assert stats.engine == "batch"
+        assert stats.runs == 12
+        assert "vectorized" in stats.execution
+        assert sum(stats.decisions_histogram.values()) == 12
+
+    def test_batch_falls_back_for_shared_memory(self):
+        stats = sweep_spec(
+            get_spec("protocol-e@sm-cr"), 3, 3, 1,
+            SweepConfig(runs=3, seed=4), engine="batch",
+        )
+        assert stats.engine == "scalar"
+        assert "not applicable" in stats.execution
+        assert "shared-memory" in stats.execution
+
+    def test_auto_falls_back_for_byzantine_sweep(self):
+        stats = sweep_spec(
+            get_spec("protocol-c@mp-byz"), 6, 2, 1,
+            SweepConfig(runs=2, seed=4), engine="auto",
+        )
+        assert stats.engine == "scalar"
+        assert "Byzantine" in stats.execution
+
+    def test_scalar_records_amortization_fallback(self):
+        # jobs=2 on a tiny sweep must run serial (pool spin-up would
+        # dominate) and say so in the recorded execution mode.
+        stats = sweep_spec(
+            get_spec("chaudhuri@mp-cr"), 5, 2, 1,
+            SweepConfig(runs=4, seed=4), jobs=2,
+        )
+        assert stats.engine == "scalar"
+        assert "amortize" in stats.execution
+
+    def test_batch_and_scalar_agree_in_aggregate(self):
+        # Not run-by-run (different adversary sampling paths) but both
+        # clean inside the solvable region, same run count.
+        spec = get_spec("protocol-a@mp-cr")
+        config = SweepConfig(runs=24, seed=9)
+        scalar = sweep_spec(spec, 6, 3, 3, config)
+        batch = sweep_spec(spec, 6, 3, 3, config, engine="batch")
+        assert scalar.clean and batch.clean
+        assert scalar.runs == batch.runs

@@ -1,0 +1,69 @@
+"""BATCH001 fixtures: no per-element Python loops over the batch axis."""
+
+BATCH_PATH = "batch/fixture.py"
+
+
+class TestBatch001AxisLoop:
+    def test_loop_indexing_with_loop_var_flagged(self, lint):
+        src = """\
+        def aggregate(decisions):
+            out = []
+            for i in range(len(decisions)):
+                out.append(decisions[i].sum())
+            return out
+        """
+        found = lint(src, path=BATCH_PATH, rule="BATCH001")
+        assert found and "vectorize" in found[0].message
+
+    def test_tuple_index_leading_loop_var_flagged(self, lint):
+        src = """\
+        def walk(faulty, n):
+            for run in range(8):
+                for pid in range(n):
+                    touch(faulty[run, pid])
+        """
+        assert lint(src, path=BATCH_PATH, rule="BATCH001")
+
+    def test_store_only_subscript_not_flagged(self, lint):
+        src = """\
+        def fill(out, parts):
+            for i, part in enumerate(parts):
+                out[i] = part.total
+        """
+        # ``out[i] = ...`` alone is a Store; reading ``part.total``
+        # does not subscript with the loop variable.
+        assert not lint(src, path=BATCH_PATH, rule="BATCH001")
+
+    def test_loop_without_subscript_not_flagged(self, lint):
+        src = """\
+        def names(specs):
+            for spec in specs:
+                yield spec.name
+        """
+        assert not lint(src, path=BATCH_PATH, rule="BATCH001")
+
+    def test_noqa_suppresses(self, lint):
+        src = """\
+        def report(violations, decisions):
+            for i in violations:  # repro: noqa[BATCH001] -- cold path
+                print(decisions[i])
+        """
+        assert not lint(src, path=BATCH_PATH, rule="BATCH001")
+
+    def test_out_of_scope_paths_ignored(self, lint):
+        src = """\
+        def scalar_ok(reports):
+            for i in range(len(reports)):
+                check(reports[i])
+        """
+        assert not lint(src, path="harness/fixture.py", rule="BATCH001")
+        # replay.py is the scalar bridge: per-run loops are its job.
+        assert not lint(src, path="batch/replay.py", rule="BATCH001")
+
+    def test_fires_on_real_engine_style_loop(self, lint):
+        src = """\
+        def stats(self):
+            for i in np.nonzero(bad)[0]:
+                conditions = judge(self.term_ok[i])
+        """
+        assert lint(src, path=BATCH_PATH, rule="BATCH001")

@@ -7,6 +7,9 @@ must be too.  The MP-vs-SM comparison is exact only at ``t = 0`` (the
 failure-free quorum protocols are full-information and hence
 schedule-independent); at ``t > 0`` the kernels explore different
 schedules and the diff only requires both sides to be violation-free.
+The batch-vs-scalar comparison is exact run-by-run: the vectorized
+engine's plan is replayed through the scalar kernel and any per-run
+discrepancy fails the diff.
 """
 
 import dataclasses
@@ -18,6 +21,7 @@ from repro.protocols.base import all_specs, get_spec
 from repro.verify.differential import (
     SM_COUNTERPARTS,
     HistogramDiff,
+    diff_batch_scalar,
     diff_mp_sm,
     diff_serial_parallel,
     diff_trace_modes,
@@ -87,10 +91,12 @@ def test_sm_counterpart_none_for_sm_specs():
 def test_differential_check_bundles_applicable_diffs():
     report = differential_check(get_spec("chaudhuri@mp-cr"), 4, 2, 0, CONFIG)
     labels = [(d.label_a, d.label_b) for d in report.diffs]
-    assert len(report.diffs) == 3  # serial/parallel, FULL/COUNTERS, MP/SM
+    # serial/parallel, FULL/COUNTERS, MP/SM, batch/scalar-replay
+    assert len(report.diffs) == 4
     assert any("jobs=2" in b for _, b in labels)
     assert any("COUNTERS" in b for _, b in labels)
     assert any("sim-chaudhuri" in b for _, b in labels)
+    assert any("scalar-replay" in b for _, b in labels)
     assert report.ok, report.summary()
     assert report.failing() == []
     assert "OK" in report.summary()
@@ -98,7 +104,31 @@ def test_differential_check_bundles_applicable_diffs():
 
 def test_differential_check_skips_mp_sm_without_counterpart():
     report = differential_check(get_spec("protocol-a@mp-cr"), 5, 2, 1, CONFIG)
-    assert len(report.diffs) == 2
+    assert len(report.diffs) == 3  # no SM twin; batch still applies
+
+
+def test_differential_check_skips_batch_for_sm_spec():
+    report = differential_check(get_spec("protocol-f@sm-cr"), 5, 3, 1, CONFIG)
+    labels = [d.label_b for d in report.diffs]
+    assert not any("scalar-replay" in b for b in labels)
+
+
+def test_batch_vs_scalar_identical():
+    diff = diff_batch_scalar(get_spec("chaudhuri@mp-cr"), 5, 2, 1, CONFIG)
+    assert diff.label_a == "chaudhuri@mp-cr[batch]"
+    assert diff.label_b == "chaudhuri@mp-cr[scalar-replay]"
+    assert diff.required_equal
+    assert diff.mismatched_runs == 0
+    assert diff.identical, diff.summary()
+    assert diff.ok
+
+
+def test_batch_vs_scalar_byzantine_spec_crash_restricted():
+    # Byzantine-model specs are modelled under the crash-restricted
+    # sub-adversary; the differential still replays them exactly.
+    diff = diff_batch_scalar(get_spec("protocol-d@mp-byz"), 5, 2, 1, CONFIG)
+    assert diff.ok, diff.summary()
+    assert diff.mismatched_runs == 0
 
 
 def test_histogram_diff_delta_and_ok_logic():
@@ -116,6 +146,23 @@ def test_histogram_diff_delta_and_ok_logic():
     assert not dirty.ok  # violations always fail, strict or not
     assert "allowed" in diff.summary()
     assert "REQUIRED EQUAL" in strict.summary()
+
+
+def test_histogram_diff_mismatched_runs_always_fail():
+    # Per-run mismatches fail the diff even when the aggregate
+    # histograms collide and both sides are violation-free.
+    diff = HistogramDiff(
+        label_a="a", label_b="b",
+        histogram_a={1: 5}, histogram_b={1: 5},
+        violations_a=0, violations_b=0, required_equal=True,
+        mismatched_runs=2,
+    )
+    assert diff.identical
+    assert not diff.ok
+    assert "2 run-by-run mismatches" in diff.summary()
+    clean = dataclasses.replace(diff, mismatched_runs=0)
+    assert clean.ok
+    assert "mismatches" not in clean.summary()
 
 
 @pytest.mark.parametrize(
