@@ -43,6 +43,7 @@ from typing import Any, Dict, List, Optional
 from repro.core.validity import RV2, SV2
 from repro.failures.crash import CrashPlan, CrashPoint
 from repro.harness.exhaustive import explore_mp
+from repro.io import atomic_write_json
 from repro.protocols.ablations import ProtocolBStrictQuorum
 from repro.protocols.protocol_a import ProtocolA
 from repro.runtime.events import Delivery
@@ -301,7 +302,7 @@ def main(argv=None) -> int:
 
     payload = run_suite(smoke=args.smoke)
     out = pathlib.Path(args.out)
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(out, payload)
     throughput = payload["throughput"]
     print(
         f"n={THROUGHPUT_N} cap={throughput['cap']}: "

@@ -41,6 +41,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.harness.parallel import available_jobs, derive_seed
+from repro.io import atomic_write_json
 from repro.harness.sweep import SweepConfig, sweep_spec
 from repro.protocols.base import get_spec
 from repro.runtime.traces import TraceMode
@@ -282,7 +283,7 @@ def main(argv=None) -> int:
 
     payload = run_suite(smoke=args.smoke, jobs=args.jobs or None)
     out = pathlib.Path(args.out)
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(out, payload)
     for point in payload["points"]:
         print(
             f"n={point['n']} k={point['k']} t={point['t']} "

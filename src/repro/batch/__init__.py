@@ -36,7 +36,9 @@ oracle-verified sweeps fall back to the scalar path automatically.
 
 from repro.batch.engine import (
     BATCH_FAMILIES,
+    FALLBACK_REASON_CODES,
     BatchResult,
+    UnsupportedReason,
     batch_run,
     batch_sweep,
     batch_vs_replay,
@@ -53,6 +55,8 @@ __all__ = [
     "BatchPlan",
     "BatchResult",
     "DEFAULT_CODE",
+    "FALLBACK_REASON_CODES",
+    "UnsupportedReason",
     "PlannedScheduler",
     "batch_run",
     "batch_sweep",

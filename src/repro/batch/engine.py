@@ -55,7 +55,9 @@ from repro.batch.plan import (
 
 __all__ = [
     "BATCH_FAMILIES",
+    "FALLBACK_REASON_CODES",
     "BatchResult",
+    "UnsupportedReason",
     "batch_run",
     "batch_sweep",
     "batch_vs_replay",
@@ -104,30 +106,76 @@ def supports_point(spec: ProtocolSpec, n: int, k: int, t: int) -> bool:
     return True
 
 
+class UnsupportedReason(str):
+    """A human-readable fallback reason carrying a machine-readable code.
+
+    Behaves exactly like the message string it always was (callers
+    embed it in ``SweepStats.execution`` and tests match substrings),
+    while ``.code`` gives automation -- the CLI echo, the fallback
+    test-matrix, result-file consumers -- a stable identifier that does
+    not drift with wording.
+    """
+
+    code: str
+
+    def __new__(cls, code: str, message: str) -> "UnsupportedReason":
+        obj = super().__new__(cls, message)
+        obj.code = code
+        return obj
+
+
+#: Every scalar-fallback reason code :func:`sweep_unsupported_reason`
+#: can emit (the closed vocabulary the fallback tests assert against).
+FALLBACK_REASON_CODES = (
+    "sm-spec",
+    "no-kernel",
+    "byzantine-model",
+    "unsupported-point",
+    "verify-oracles",
+    "unknown-patterns",
+)
+
+
 def sweep_unsupported_reason(
     spec: ProtocolSpec, n: int, k: int, t: int, config: SweepConfig
-) -> Optional[str]:
+) -> Optional[UnsupportedReason]:
     """Why ``sweep_spec`` cannot use the batch engine here (None = it can).
 
     Sweeps additionally require the crash fault model (Byzantine sweeps
     draw from a behaviour pool the engine does not model) and no oracle
-    verification (oracles consume real scalar executions).
+    verification (oracles consume real scalar executions).  The return
+    value reads as the human-facing message; its ``.code`` attribute is
+    the stable machine-readable identifier (one of
+    :data:`FALLBACK_REASON_CODES`).
     """
     if spec.is_shared_memory:
-        return "shared-memory spec"
+        return UnsupportedReason("sm-spec", "shared-memory spec")
     if not supports_spec(spec):
-        return f"no batch kernel for {spec.name!r}"
+        return UnsupportedReason(
+            "no-kernel", f"no batch kernel for {spec.name!r}"
+        )
     if not spec.model.is_crash:
-        return "Byzantine-model sweep (batch models crash faults only)"
+        return UnsupportedReason(
+            "byzantine-model",
+            "Byzantine-model sweep (batch models crash faults only)",
+        )
     if not supports_point(spec, n, k, t):
-        return f"point (n={n}, k={k}, t={t}) outside batch support"
+        return UnsupportedReason(
+            "unsupported-point",
+            f"point (n={n}, k={k}, t={t}) outside batch support",
+        )
     if config.verify:
-        return "--verify runs the oracle stack over scalar executions"
+        return UnsupportedReason(
+            "verify-oracles",
+            "--verify runs the oracle stack over scalar executions",
+        )
     unknown = [p for p in config.input_patterns if p not in
                ("distinct", "unanimous", "unanimous-correct", "two-valued",
                 "random")]
     if unknown:
-        return f"unknown input patterns {unknown}"
+        return UnsupportedReason(
+            "unknown-patterns", f"unknown input patterns {unknown}"
+        )
     return None
 
 

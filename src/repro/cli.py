@@ -18,10 +18,16 @@ Subcommands:
   space-time diagram;
 * ``exhaustive``-- verify a protocol over ALL schedules of a tiny
   instance;
-* ``campaign``  -- run a persisted validation campaign;
+* ``campaign``  -- run a persisted validation campaign; with ``--store``
+  it runs crash-safe on the :mod:`repro.jobs` layer (supervised
+  workers, per-shard timeouts, retries with backoff, ``--resume``,
+  deterministic chaos injection);
+* ``diff-resumed`` -- assert a resumed campaign result is
+  bit-identical to an uninterrupted reference result;
 * ``verify-run``-- replay a witness file through the oracle stack;
 * ``staticcheck`` -- AST lint for determinism & protocol conformance
-  (DET/PROTO/SM rule families, SARIF output, committed baseline).
+  (DET/PROTO/SM/BATCH/ROB rule families, SARIF output, committed
+  baseline).
 
 ``run``, ``sweep``, ``attack``, and ``exhaustive`` all accept
 ``--verify`` to additionally judge executions with the
@@ -250,9 +256,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--points", type=int, default=2)
     p.add_argument("--runs", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--specs", nargs="*", default=None, metavar="SPEC",
+        help="restrict to these protocol specs (default: all registered)",
+    )
     p.add_argument("--out", default=None, help="JSON result path (resumable)")
     add_jobs_arg(p)
     add_engine_arg(p)
+    durable = p.add_argument_group(
+        "durable execution (repro.jobs)",
+        "crash-safe sqlite-backed job queue with supervised workers, "
+        "per-shard timeouts, bounded retries with backoff, and resume",
+    )
+    durable.add_argument(
+        "--store", default=None, metavar="DB",
+        help="sqlite job-store path; enables durable execution",
+    )
+    durable.add_argument(
+        "--run-id", default=None,
+        help="run identifier inside the store (default: campaign name)",
+    )
+    durable.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="resume an interrupted run from the store (requires --store; "
+             "the campaign definition is loaded from the run row)",
+    )
+    durable.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="per-shard timeout in seconds (durable mode)",
+    )
+    durable.add_argument(
+        "--retries", type=int, default=3,
+        help="max attempts per shard before it is marked failed",
+    )
+    durable.add_argument(
+        "--backoff", type=float, default=0.1,
+        help="base retry backoff in seconds (exponential, jittered)",
+    )
+    durable.add_argument(
+        "--max-shards", type=int, default=None,
+        help="stop after settling N shards (interruption drills; the "
+             "run stays resumable)",
+    )
+    chaos = p.add_argument_group(
+        "chaos injection (repro.jobs.chaos)",
+        "deterministically sabotage worker attempts to exercise the "
+        "supervisor; rates are per shard attempt and must sum to <= 1",
+    )
+    chaos.add_argument("--chaos-kill", type=float, default=0.0,
+                       metavar="RATE", help="SIGKILL the worker")
+    chaos.add_argument("--chaos-hang", type=float, default=0.0,
+                       metavar="RATE",
+                       help="hang the worker past its timeout")
+    chaos.add_argument("--chaos-error", type=float, default=0.0,
+                       metavar="RATE", help="raise a transient exception")
+    chaos.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the deterministic fault schedule")
+
+    p = sub.add_parser(
+        "diff-resumed",
+        help="assert a resumed campaign result is bit-identical to an "
+             "uninterrupted reference result",
+    )
+    p.add_argument("resumed", help="result JSON of the resumed run")
+    p.add_argument("reference", help="result JSON of the uninterrupted run")
 
     return parser
 
@@ -313,6 +380,8 @@ def _cmd_sweep(args) -> int:
     print(stats.summary())
     if stats.execution:
         print(f"  engine {stats.engine}: {stats.execution}")
+    if stats.fallback_reason:
+        print(f"  fallback reason: {stats.fallback_reason}")
     for violation in stats.violations[:10]:
         print(f"  !! run {violation.run_index} [{violation.pattern}]: "
               f"{violation.detail}")
@@ -430,8 +499,10 @@ def _cmd_svg(args) -> int:
     else:
         region = region_map(model, by_code(args.validity), args.n)
         content = panel_svg(region)
+    from repro.io import atomic_write_text
+
     path = pathlib.Path(args.out)
-    path.write_text(content)
+    atomic_write_text(path, content)
     print(f"wrote {path} ({len(content)} bytes)")
     return 0
 
@@ -532,25 +603,103 @@ def _cmd_exhaustive(args) -> int:
 def _cmd_campaign(args) -> int:
     import pathlib
 
-    from repro.harness.campaign import Campaign, run_campaign
+    from repro.harness.campaign import (
+        Campaign,
+        run_campaign,
+        run_campaign_durable,
+    )
 
-    campaign = Campaign(
-        name=args.name,
-        n_values=tuple(args.n),
-        points_per_spec=args.points,
-        runs_per_point=args.runs,
-        seed=args.seed,
-        engine=args.engine,
+    result_path = pathlib.Path(args.out) if args.out else None
+    if args.resume and not args.store:
+        print("--resume requires --store", file=sys.stderr)
+        return 2
+    spec_names = tuple(args.specs) if args.specs else None
+    if not args.store:
+        campaign = Campaign(
+            name=args.name,
+            n_values=tuple(args.n),
+            points_per_spec=args.points,
+            runs_per_point=args.runs,
+            seed=args.seed,
+            spec_names=spec_names,
+            engine=args.engine,
+        )
+        result = run_campaign(campaign, result_path=result_path,
+                              jobs=args.jobs)
+        print(result.summary())
+        for record in result.violating()[:10]:
+            print(f"  !! {record.key}: {record.violations} violations")
+        return 0 if result.clean else 1
+
+    from repro.jobs import ChaosPolicy, JobStore, RetryPolicy
+
+    policy = RetryPolicy(
+        max_attempts=args.retries,
+        timeout=args.timeout,
+        backoff_base=args.backoff,
     )
-    result = run_campaign(
-        campaign,
-        result_path=pathlib.Path(args.out) if args.out else None,
-        jobs=args.jobs,
-    )
+    chaos = None
+    if args.chaos_kill or args.chaos_hang or args.chaos_error:
+        chaos = ChaosPolicy(
+            seed=args.chaos_seed,
+            kill_rate=args.chaos_kill,
+            hang_rate=args.chaos_hang,
+            error_rate=args.chaos_error,
+        )
+    if args.resume:
+        campaign, run_id = None, args.resume
+    else:
+        campaign = Campaign(
+            name=args.name,
+            n_values=tuple(args.n),
+            points_per_spec=args.points,
+            runs_per_point=args.runs,
+            seed=args.seed,
+            spec_names=spec_names,
+            engine=args.engine,
+        )
+        run_id = args.run_id or campaign.name
+    with JobStore(args.store) as store:
+        try:
+            result, report = run_campaign_durable(
+                store,
+                campaign=campaign,
+                run_id=run_id,
+                jobs=args.jobs,
+                policy=policy,
+                chaos=chaos,
+                max_shards=args.max_shards,
+                result_path=result_path,
+            )
+        except KeyError as err:
+            print(f"cannot resume: {err.args[0]}", file=sys.stderr)
+            return 2
     print(result.summary())
+    print(f"  execution: {report.describe()}")
+    remaining = report.remaining
+    if report.stopped_early:
+        print(
+            f"  INCOMPLETE: {remaining.get('pending', 0)} pending / "
+            f"{remaining.get('leased', 0)} leased / "
+            f"{remaining.get('failed', 0)} failed shards remain; "
+            f"resume with: repro campaign --store {args.store} "
+            f"--resume {run_id}"
+        )
     for record in result.violating()[:10]:
         print(f"  !! {record.key}: {record.violations} violations")
-    return 0 if result.clean else 1
+    if report.stopped_early:
+        return 3
+    return 0 if result.clean and not report.failed else 1
+
+
+def _cmd_diff_resumed(args) -> int:
+    from repro.verify.differential import diff_resumed_files
+
+    diff = diff_resumed_files(args.resumed, args.reference)
+    print(diff.summary())
+    for index, got, want in diff.mismatches[:10]:
+        print(f"  !! record {index}: resumed={got} reference={want}")
+    return 0 if diff.ok else 1
 
 
 def _cmd_verify_run(args) -> int:
@@ -609,9 +758,9 @@ def _cmd_staticcheck(args) -> int:
         print(f"staticcheck: {reason}", file=sys.stderr)
         return 2
     if args.out:
-        import pathlib
+        from repro.io import atomic_write_text
 
-        pathlib.Path(args.out).write_text(output + "\n")
+        atomic_write_text(args.out, output + "\n")
         print(f"wrote {args.out}")
     else:
         print(output)
@@ -636,6 +785,7 @@ _DISPATCH = {
     "trace": _cmd_trace,
     "exhaustive": _cmd_exhaustive,
     "campaign": _cmd_campaign,
+    "diff-resumed": _cmd_diff_resumed,
     "verify-run": _cmd_verify_run,
     "staticcheck": _cmd_staticcheck,
 }

@@ -4,8 +4,23 @@ A *campaign* runs Monte-Carlo sweeps for many protocols over many
 ``(n, k, t)`` points and records the results as JSON, so that large
 validations (the kind backing EXPERIMENTS.md) are resumable and
 diffable across library versions.  Re-running a campaign with the same
-seed reproduces it exactly; points already present in the result file
-are skipped.
+seed reproduces it exactly.
+
+Two persistence modes:
+
+* **Result-file mode** (:func:`run_campaign` with ``result_path``) --
+  the original lightweight path: points already present in the JSON
+  result file are skipped, the file is rewritten (atomically) as
+  points complete.
+* **Durable mode** (:func:`run_campaign_durable`) -- the campaign is
+  decomposed into *shards* (one per point, seeded deterministically via
+  :func:`~repro.harness.parallel.derive_seed`) in a sqlite
+  :class:`~repro.jobs.store.JobStore` and executed by the
+  :mod:`repro.jobs` supervisor: per-shard timeouts, bounded retries
+  with backoff, dead-worker re-lease, and crash-safe ``--resume``.
+  Because every shard's result is a pure function of its payload, a
+  resumed campaign's aggregate is bit-identical to an uninterrupted
+  one (checked by :func:`repro.verify.diff_resumed`).
 """
 
 from __future__ import annotations
@@ -13,17 +28,25 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.report import sample_solvable_points
-from repro.harness.parallel import parallel_map
+from repro.harness.parallel import derive_seed, parallel_map
 from repro.harness.sweep import SweepConfig, SweepStats, sweep_spec
+from repro.io import atomic_write_json
 from repro.protocols.base import ProtocolSpec, all_specs, get_spec
 from repro.models import Model
 
 import random
 
-__all__ = ["Campaign", "CampaignResult", "PointRecord", "run_campaign"]
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "PointRecord",
+    "campaign_shards",
+    "run_campaign",
+    "run_campaign_durable",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,6 +71,44 @@ class Campaign:
         if self.models is not None:
             specs = [s for s in specs if s.model in self.models]
         return specs
+
+    def to_json(self) -> Dict:
+        """JSON form (stored in the job store's run row)."""
+        return {
+            "name": self.name,
+            "n_values": list(self.n_values),
+            "points_per_spec": self.points_per_spec,
+            "runs_per_point": self.runs_per_point,
+            "seed": self.seed,
+            "spec_names": (
+                list(self.spec_names) if self.spec_names is not None
+                else None
+            ),
+            "models": (
+                [m.shorthand for m in self.models]
+                if self.models is not None else None
+            ),
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "Campaign":
+        return cls(
+            name=data["name"],
+            n_values=tuple(data["n_values"]),
+            points_per_spec=data["points_per_spec"],
+            runs_per_point=data["runs_per_point"],
+            seed=data["seed"],
+            spec_names=(
+                tuple(data["spec_names"])
+                if data.get("spec_names") is not None else None
+            ),
+            models=(
+                tuple(Model.from_shorthand(s) for s in data["models"])
+                if data.get("models") is not None else None
+            ),
+            engine=data.get("engine", "scalar"),
+        )
 
 
 @dataclasses.dataclass
@@ -97,6 +158,9 @@ class CampaignResult:
     campaign: str
     seed: int
     records: List[PointRecord] = dataclasses.field(default_factory=list)
+    #: how the run executed (supervisor report + supervision events);
+    #: observational metadata only -- never part of aggregate equality.
+    execution: Optional[Dict] = None
 
     @property
     def clean(self) -> bool:
@@ -115,7 +179,9 @@ class CampaignResult:
             "seed": self.seed,
             "records": [record.to_json() for record in self.records],
         }
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        if self.execution is not None:
+            payload["execution"] = self.execution
+        atomic_write_json(path, payload)
 
     @classmethod
     def load(cls, path: pathlib.Path) -> "CampaignResult":
@@ -124,6 +190,7 @@ class CampaignResult:
             campaign=payload["campaign"],
             seed=payload["seed"],
             records=[PointRecord.from_json(r) for r in payload["records"]],
+            execution=payload.get("execution"),
         )
 
     def summary(self) -> str:
@@ -134,15 +201,20 @@ class CampaignResult:
         )
 
 
-def _pending_points(
-    campaign: Campaign, done: set
-) -> List[Tuple[str, int, int, int, int]]:
-    """Points still to sweep, in deterministic campaign order.
+def _point_seed(campaign_seed: int, key: str) -> int:
+    """Deterministic per-point sweep seed (SHA-256 mix, cross-process
+    and cross-platform stable -- the same derivation the parallel and
+    durable execution layers rely on)."""
+    return derive_seed("campaign-point", campaign_seed, key) % (1 << 30)
+
+
+def _campaign_points(campaign: Campaign) -> List[Tuple[str, int, int, int, int]]:
+    """Every point of the campaign, in deterministic campaign order.
 
     Each entry is ``(spec_name, n, k, t, point_seed)``; the per-point
-    seed is derived from the point's key, so resuming an interrupted
-    campaign (or running it in parallel) reproduces the same runs
-    exactly.
+    seed depends only on ``(campaign.seed, point key)``, so any subset
+    of points can run anywhere, in any order, and still reproduce the
+    same sweeps exactly.
     """
     points: List[Tuple[str, int, int, int, int]] = []
     for spec in campaign.specs():
@@ -152,13 +224,21 @@ def _pending_points(
                 spec, n, campaign.points_per_spec, point_rng
             ):
                 key = f"{spec.name}|n={n}|k={k}|t={t}"
-                if key in done:
-                    continue
-                point_seed = random.Random(
-                    f"{campaign.seed}:{key}"
-                ).randrange(1 << 30)
-                points.append((spec.name, n, k, t, point_seed))
+                points.append(
+                    (spec.name, n, k, t,
+                     _point_seed(campaign.seed, key))
+                )
     return points
+
+
+def _pending_points(
+    campaign: Campaign, done: set
+) -> List[Tuple[str, int, int, int, int]]:
+    """Points still to sweep, in deterministic campaign order."""
+    return [
+        point for point in _campaign_points(campaign)
+        if f"{point[0]}|n={point[1]}|k={point[2]}|t={point[3]}" not in done
+    ]
 
 
 def _campaign_point(task) -> PointRecord:
@@ -177,11 +257,13 @@ def run_campaign(
     result_path: Optional[pathlib.Path] = None,
     jobs: int = 1,
 ) -> CampaignResult:
-    """Execute (or resume) a campaign.
+    """Execute (or resume) a campaign in result-file mode.
 
     When ``result_path`` exists, previously completed points are loaded
-    and skipped; new records are appended and the file rewritten after
-    every point, so an interrupted campaign loses at most one sweep.
+    and skipped; new records are appended and the file rewritten
+    (atomically) after every point, so an interrupted campaign loses at
+    most one sweep.  For crash-safe execution with supervised workers
+    and retries, see :func:`run_campaign_durable`.
 
     With ``jobs > 1`` (``0`` = all cores) points are swept in parallel
     worker processes.  Records are appended in the same deterministic
@@ -217,3 +299,106 @@ def run_campaign(
         if result_path is not None:
             result.save(result_path)
     return result
+
+
+# -- durable mode (repro.jobs) -----------------------------------------
+
+
+def campaign_shards(campaign: Campaign) -> List[Tuple[str, Dict]]:
+    """Decompose a campaign into durable ``(shard_id, payload)`` units.
+
+    One shard per point; the payload is self-contained (spec name,
+    point, seed, run count, engine), so a shard can execute in any
+    process at any time and produce the identical
+    :class:`PointRecord`.
+    """
+    shards: List[Tuple[str, Dict]] = []
+    for spec_name, n, k, t, point_seed in _campaign_points(campaign):
+        key = f"{spec_name}|n={n}|k={k}|t={t}"
+        shards.append((key, {
+            "spec": spec_name,
+            "n": n,
+            "k": k,
+            "t": t,
+            "seed": point_seed,
+            "runs": campaign.runs_per_point,
+            "engine": campaign.engine,
+        }))
+    return shards
+
+
+def campaign_shard_worker(payload: Dict) -> Dict:
+    """Module-level shard worker: sweep one point, return its record."""
+    record = _campaign_point((
+        payload["spec"], payload["n"], payload["k"], payload["t"],
+        payload["seed"], payload["runs"], payload["engine"],
+    ))
+    return record.to_json()
+
+
+def run_campaign_durable(
+    store,
+    campaign: Optional[Campaign] = None,
+    run_id: Optional[str] = None,
+    jobs: int = 1,
+    policy=None,
+    chaos=None,
+    max_shards: Optional[int] = None,
+    result_path: Optional[pathlib.Path] = None,
+):
+    """Execute (or resume) a campaign through the crash-safe job layer.
+
+    With ``campaign`` given, the run is registered in ``store`` under
+    ``run_id`` (default: the campaign name) and its shard grid
+    submitted -- both idempotently, so invoking again after a crash
+    resumes exactly where the queue stands.  With ``campaign`` omitted,
+    the campaign specification is loaded from the store (the
+    ``--resume <run-id>`` path).
+
+    Returns ``(result, report)``: the aggregate
+    :class:`CampaignResult` assembled from completed shards in
+    deterministic campaign order -- bit-identical to an uninterrupted
+    run once the queue drains -- and the supervisor's
+    :class:`~repro.jobs.supervisor.SupervisorReport`.  Retry, timeout,
+    worker-death, and serial-fallback events are embedded in
+    ``result.execution`` and persisted to ``result_path`` when given.
+    """
+    from repro.jobs import run_shards
+
+    if campaign is None:
+        if run_id is None:
+            raise ValueError("a resume needs a run_id")
+        kind, spec = store.load_run(run_id)
+        if kind != "campaign":
+            raise ValueError(
+                f"run {run_id!r} is a {kind!r} run, not a campaign"
+            )
+        campaign = Campaign.from_json(spec)
+    else:
+        run_id = run_id or campaign.name
+        store.create_run(run_id, "campaign", campaign.to_json())
+    store.add_shards(run_id, campaign_shards(campaign))
+
+    report = run_shards(
+        store, run_id, campaign_shard_worker,
+        jobs=jobs, policy=policy, chaos=chaos, max_shards=max_shards,
+    )
+
+    records = [PointRecord.from_json(r) for r in store.results(run_id)]
+    failed = store.shards(run_id, state="failed")
+    execution = {
+        "run_id": run_id,
+        "supervisor": report.to_json(),
+        "events": [e.to_json() for e in store.events(run_id)],
+        "failed_shards": [
+            {"shard": s.shard_id, "attempts": s.attempts, "error": s.error}
+            for s in failed
+        ],
+    }
+    result = CampaignResult(
+        campaign=campaign.name, seed=campaign.seed, records=records,
+        execution=execution,
+    )
+    if result_path is not None:
+        result.save(result_path)
+    return result, report

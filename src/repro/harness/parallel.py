@@ -24,11 +24,12 @@ name rather than by :class:`~repro.protocols.base.ProtocolSpec` object
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
 
 __all__ = [
     "ExecutionPlan",
@@ -37,6 +38,7 @@ __all__ = [
     "parallel_map",
     "plan_execution",
     "resolve_jobs",
+    "supervised_pool",
 ]
 
 _T = TypeVar("_T")
@@ -150,6 +152,52 @@ def _warm_registry() -> None:
     import repro.protocols  # noqa: F401  (imported for registration)
 
 
+@contextlib.contextmanager
+def supervised_pool(jobs: int) -> Iterator[ProcessPoolExecutor]:
+    """A :class:`ProcessPoolExecutor` with guaranteed clean teardown.
+
+    The executor's own context manager blocks in ``shutdown(wait=True)``
+    on exit, which on KeyboardInterrupt or a worker death (pre-3.9
+    semantics, and still the case for in-flight ``map`` chunks) leaves
+    live children and queued work behind.  This wrapper makes the error
+    path explicit: pending work is **cancelled**, surviving workers are
+    **reaped** (terminated, then killed if necessary, then joined), and
+    the interruption is **reported** by annotating the propagating
+    exception -- so a Ctrl-C'd sweep neither orphans processes nor dies
+    silently mid-aggregation.
+    """
+    executor = ProcessPoolExecutor(
+        max_workers=jobs, initializer=_warm_registry
+    )
+    try:
+        yield executor
+    except BaseException as error:
+        # Snapshot the children first: shutdown() clears ``_processes``.
+        processes = list((getattr(executor, "_processes", None) or {}).values())
+        # Cancel: drop everything not yet running.
+        executor.shutdown(wait=False, cancel_futures=True)
+        # Reap: no orphaned children, whatever state the pool is in.
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=1)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+        # Report: annotate rather than replace, so callers still see
+        # the original exception type (KeyboardInterrupt included).
+        if hasattr(error, "add_note"):
+            error.add_note(
+                f"supervised_pool: tore down {len(processes)} worker "
+                f"process(es) after {type(error).__name__}; pending "
+                f"tasks cancelled"
+            )
+        raise
+    else:
+        executor.shutdown(wait=True)
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     tasks: Iterable[_T],
@@ -162,7 +210,8 @@ def parallel_map(
     comprehension -- the serial reference path.  Otherwise tasks are
     dispatched to a process pool; because results come back in input
     order, any deterministic aggregation over the returned list is
-    bit-identical to the serial path.
+    bit-identical to the serial path.  On interruption or worker death
+    the pool is torn down cleanly (see :func:`supervised_pool`).
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -172,7 +221,5 @@ def parallel_map(
     if chunksize is None:
         # A few chunks per worker amortizes IPC without starving the pool.
         chunksize = max(1, len(tasks) // (jobs * 4))
-    with ProcessPoolExecutor(
-        max_workers=jobs, initializer=_warm_registry
-    ) as executor:
+    with supervised_pool(jobs) as executor:
         return list(executor.map(fn, tasks, chunksize=chunksize))

@@ -86,6 +86,11 @@ class SweepStats:
     engine: str = "scalar"
     #: how the runs were executed (serial/parallel/vectorized + why)
     execution: str = ""
+    #: machine-readable code for why a batch/auto request fell back to
+    #: the scalar engine (one of
+    #: :data:`repro.batch.FALLBACK_REASON_CODES`); empty when no
+    #: fallback happened.
+    fallback_reason: str = ""
 
     @property
     def clean(self) -> bool:
@@ -281,6 +286,7 @@ def sweep_spec(
     if engine not in ("scalar", "batch", "auto"):
         raise ValueError(f"unknown engine {engine!r}")
     fallback_note = ""
+    fallback_code = ""
     if engine != "scalar":
         # Function-level import: repro.batch needs numpy and imports
         # this module back for SweepStats.
@@ -290,7 +296,11 @@ def sweep_spec(
         if reason is None:
             return batch_sweep(spec, n, k, t, config)
         fallback_note = f"batch engine not applicable ({reason}); "
-    stats = SweepStats(spec_name=spec.name, n=n, k=k, t=t)
+        fallback_code = reason.code
+    stats = SweepStats(
+        spec_name=spec.name, n=n, k=k, t=t,
+        fallback_reason=fallback_code,
+    )
 
     plan = plan_execution(jobs, config.runs, _estimate_run_seconds(n))
     registered = False

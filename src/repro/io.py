@@ -1,0 +1,72 @@
+"""Atomic file writes shared by every artifact-producing layer.
+
+Campaign result files, witness JSON, BENCH_*.json, SVG figures, and
+staticcheck baselines are all consumed by *other* runs (resume paths,
+``verify-run`` replays, CI baseline gates).  A plain ``write_text``
+interrupted by a crash -- the very crashes :mod:`repro.jobs` exists to
+survive -- leaves a torn file that then poisons the next run with a
+JSON parse error, or worse, half a result set that parses.
+
+:func:`atomic_write_text` removes that failure mode: content is written
+to a temporary file in the *same directory* (same filesystem, so the
+final rename cannot degrade to a copy), flushed and fsynced, and moved
+into place with :func:`os.replace`, which POSIX guarantees is atomic.
+Readers therefore observe either the old complete file or the new
+complete file, never a prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Union
+
+__all__ = ["atomic_write_json", "atomic_write_text"]
+
+
+def atomic_write_text(
+    path: Union[str, pathlib.Path], content: str
+) -> None:
+    """Write ``content`` to ``path`` atomically (tmp file + rename).
+
+    A crash at any point leaves either the previous file intact or the
+    new one complete; it never leaves a torn artifact.  The temporary
+    file is created next to the target so :func:`os.replace` stays a
+    same-filesystem rename.
+    """
+    target = pathlib.Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent or pathlib.Path("."),
+        prefix=f".{target.name}.",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(content)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass  # best-effort tmp cleanup; the original error matters more
+        raise
+
+
+def atomic_write_json(
+    path: Union[str, pathlib.Path],
+    payload: object,
+    indent: int = 2,
+    sort_keys: bool = True,
+) -> None:
+    """Serialize ``payload`` as JSON and write it atomically.
+
+    Uses the repo-wide result-file conventions (two-space indent,
+    sorted keys, trailing newline) so artifacts diff cleanly.
+    """
+    atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    )

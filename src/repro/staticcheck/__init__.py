@@ -10,7 +10,11 @@ the :mod:`repro.verify` layer can only check per-execution:
   claimed ``(k, t, C)`` region declared and cross-checked against the
   paper's claimed-regions table in :mod:`repro.paper`;
 * **SM** rules -- non-atomic read-modify-write hazards against the
-  SWMR register file.
+  SWMR register file;
+* **ROB** rules -- no bare ``except:`` or swallowed-and-ignored
+  exception handlers in the harness/jobs execution layers (silent
+  failure hides exactly the faults the crash-safe supervisor exists
+  to surface).
 
 Run it as ``repro staticcheck [paths] [--format text|json|sarif]
 [--baseline FILE] [--strict]``; accepted findings live in a committed

@@ -150,6 +150,7 @@ def all_rules() -> Tuple[Rule, ...]:
         rules_batch,
         rules_det,
         rules_proto,
+        rules_rob,
         rules_sm,
         rules_snapshot,
     )

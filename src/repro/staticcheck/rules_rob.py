@@ -1,0 +1,81 @@
+"""ROB rules: no silent failure in the execution layers.
+
+The crash-safety story of :mod:`repro.jobs` (and of the harness code it
+supervises) rests on every fault being *observed*: a worker death is
+re-leased, a timeout is retried, an exhausted shard is marked failed
+with its error.  A ``bare except`` or a swallowed-and-ignored handler
+is the antithesis -- it converts exactly the faults this machinery
+exists to surface into silent no-ops, and it also eats
+``KeyboardInterrupt``/``SystemExit``, wedging the teardown paths.
+
+* ROB001 -- inside ``repro/harness`` and ``repro/jobs``, flag
+
+  - ``except:`` with no exception type (catches everything, including
+    interpreter-exit exceptions), and
+  - handlers whose body does nothing but ``pass`` / ``...`` /
+    ``continue`` (the exception is caught and discarded without being
+    recorded, re-raised, or transformed).
+
+  Justified cases (e.g. best-effort resource cleanup on an error path
+  that must not mask the original exception) carry an entry in the
+  committed baseline with their reason, or an inline
+  ``# repro: noqa[ROB001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.engine import FileContext, Finding, Rule, register_rule
+
+__all__ = ["NoSilentExceptRule"]
+
+
+def _is_noop(statement: ast.stmt) -> bool:
+    """A statement that discards control flow without observing it."""
+    if isinstance(statement, (ast.Pass, ast.Continue)):
+        return True
+    return (
+        isinstance(statement, ast.Expr)
+        and isinstance(statement.value, ast.Constant)
+        and statement.value.value is Ellipsis
+    )
+
+
+@register_rule
+class NoSilentExceptRule(Rule):
+    """ROB001: no bare or swallowed exception handlers in the
+    execution layers."""
+
+    rule_id = "ROB001"
+    severity = "error"
+    summary = (
+        "bare `except:` or a swallowed-and-ignored exception handler in "
+        "the harness/jobs execution layers; silent failure hides exactly "
+        "the faults the crash-safe supervisor exists to surface"
+    )
+    scopes = ("harness", "jobs")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare `except:` catches everything (including "
+                    "KeyboardInterrupt/SystemExit); name the exceptions "
+                    "this path can actually recover from",
+                )
+                continue
+            if node.body and all(_is_noop(stmt) for stmt in node.body):
+                caught = ast.unparse(node.type)
+                yield self.finding(
+                    ctx, node,
+                    f"exception handler for {caught} swallows the error "
+                    f"without recording, re-raising, or transforming it; "
+                    f"report the fault (store event, stats field, log) or "
+                    f"justify via the baseline / "
+                    f"`# repro: noqa[ROB001]`",
+                )

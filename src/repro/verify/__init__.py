@@ -21,8 +21,11 @@ The harnesses expose all of this behind opt-in ``--verify`` flags.
 from repro.verify.differential import (
     DifferentialReport,
     HistogramDiff,
+    ResumeDiff,
     diff_batch_scalar,
     diff_mp_sm,
+    diff_resumed,
+    diff_resumed_files,
     diff_serial_parallel,
     diff_trace_modes,
     differential_check,
@@ -68,6 +71,7 @@ __all__ = [
     "HistogramDiff",
     "IrrevocabilityOracle",
     "KAgreementOracle",
+    "ResumeDiff",
     "ShrinkResult",
     "SubsequenceScheduler",
     "TerminationOracle",
@@ -81,6 +85,8 @@ __all__ = [
     "default_oracles",
     "diff_batch_scalar",
     "diff_mp_sm",
+    "diff_resumed",
+    "diff_resumed_files",
     "diff_serial_parallel",
     "diff_trace_modes",
     "differential_check",

@@ -20,7 +20,12 @@ seeded workload twice and diffing aggregate results:
   engine evaluates closed-form decision functions; replaying its exact
   plan through the scalar kernel must reproduce every run's decisions,
   crash set, and verdicts (histograms and violation counts identical,
-  zero per-run mismatches).
+  zero per-run mismatches);
+* **resumed vs uninterrupted campaign** -- the crash-safe
+  :mod:`repro.jobs` layer promises that a campaign killed mid-run and
+  resumed yields the *bit-identical* aggregate of the same campaign
+  run straight through; :func:`diff_resumed` checks record-for-record
+  equality (supervision metadata is observational and excluded).
 
 ``differential_check`` bundles all applicable comparisons for one spec.
 """
@@ -28,7 +33,8 @@ seeded workload twice and diffing aggregate results:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+import pathlib
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.harness.sweep import SweepConfig, SweepStats, sweep_spec
 from repro.protocols.base import ProtocolSpec, get_spec
@@ -38,8 +44,11 @@ __all__ = [
     "SM_COUNTERPARTS",
     "DifferentialReport",
     "HistogramDiff",
+    "ResumeDiff",
     "diff_batch_scalar",
     "diff_mp_sm",
+    "diff_resumed",
+    "diff_resumed_files",
     "diff_serial_parallel",
     "diff_trace_modes",
     "differential_check",
@@ -240,6 +249,103 @@ def diff_batch_scalar(
         required_equal=True,
     )
     return dataclasses.replace(diff, mismatched_runs=mismatched)
+
+
+@dataclasses.dataclass(frozen=True)
+class ResumeDiff:
+    """Resumed-campaign aggregate vs the uninterrupted reference.
+
+    ``ok`` demands bit-identical aggregates: same campaign identity,
+    same number of records, and every :class:`PointRecord` equal
+    field-for-field *in the same deterministic campaign order*.  The
+    ``execution`` metadata (supervisor events, retry counts) is
+    deliberately ignored -- a resumed run legitimately has a different
+    supervision history, but never different results.
+    """
+
+    label_resumed: str
+    label_reference: str
+    identity_ok: bool
+    records_resumed: int
+    records_reference: int
+    #: ``(index, resumed_record_json, reference_record_json)`` triples
+    #: for every position where the two runs disagree (None marks a
+    #: missing record on that side).
+    mismatches: Tuple[Tuple[int, Optional[Dict], Optional[Dict]], ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.identity_ok and not self.mismatches and (
+            self.records_resumed == self.records_reference
+        )
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"{self.label_resumed} vs {self.label_reference}: "
+                f"bit-identical ({self.records_resumed} records)"
+            )
+        problems = []
+        if not self.identity_ok:
+            problems.append("campaign identity differs")
+        if self.records_resumed != self.records_reference:
+            problems.append(
+                f"record counts differ "
+                f"{self.records_resumed}/{self.records_reference}"
+            )
+        if self.mismatches:
+            problems.append(f"{len(self.mismatches)} mismatched records")
+        return (
+            f"{self.label_resumed} vs {self.label_reference}: "
+            f"{'; '.join(problems)}"
+        )
+
+
+def diff_resumed(resumed, reference, label_resumed: str = "resumed",
+                 label_reference: str = "uninterrupted") -> ResumeDiff:
+    """Diff two :class:`~repro.harness.campaign.CampaignResult` objects.
+
+    The crash-safety acceptance check: ``resumed`` (a campaign that was
+    interrupted -- chaos SIGKILL, Ctrl-C, supervisor crash -- and
+    completed via resume) must aggregate bit-identically to
+    ``reference`` (the same campaign run uninterrupted).
+    """
+    identity_ok = (
+        resumed.campaign == reference.campaign
+        and resumed.seed == reference.seed
+    )
+    a = [record.to_json() for record in resumed.records]
+    b = [record.to_json() for record in reference.records]
+    mismatches = []
+    for index in range(max(len(a), len(b))):
+        record_a = a[index] if index < len(a) else None
+        record_b = b[index] if index < len(b) else None
+        if record_a != record_b:
+            mismatches.append((index, record_a, record_b))
+    return ResumeDiff(
+        label_resumed=label_resumed,
+        label_reference=label_reference,
+        identity_ok=identity_ok,
+        records_resumed=len(a),
+        records_reference=len(b),
+        mismatches=tuple(mismatches),
+    )
+
+
+def diff_resumed_files(
+    resumed_path: Union[str, pathlib.Path],
+    reference_path: Union[str, pathlib.Path],
+) -> ResumeDiff:
+    """File-level :func:`diff_resumed` (what the CI chaos drill calls)."""
+    from repro.harness.campaign import CampaignResult
+
+    resumed = CampaignResult.load(pathlib.Path(resumed_path))
+    reference = CampaignResult.load(pathlib.Path(reference_path))
+    return diff_resumed(
+        resumed, reference,
+        label_resumed=str(resumed_path),
+        label_reference=str(reference_path),
+    )
 
 
 @dataclasses.dataclass

@@ -343,7 +343,11 @@ __all__ += ["confirm_exploration", "exploration_witnesses"]
 
 
 def save_witness(witness: Witness, path: Union[str, pathlib.Path]) -> None:
-    pathlib.Path(path).write_text(witness.to_json() + "\n")
+    # Atomic: a crash mid-save must never leave a torn witness that a
+    # later ``verify-run`` fails to parse.
+    from repro.io import atomic_write_text
+
+    atomic_write_text(path, witness.to_json() + "\n")
 
 
 def load_witness(path: Union[str, pathlib.Path]) -> Witness:

@@ -8,8 +8,11 @@ from repro.harness.campaign import (
     Campaign,
     CampaignResult,
     PointRecord,
+    campaign_shards,
     run_campaign,
+    run_campaign_durable,
 )
+from repro.jobs import JobStore, RetryPolicy, StoreConflictError
 from repro.models import Model
 
 
@@ -85,6 +88,109 @@ class TestRunCampaign:
         assert result.records
         for record in result.records:
             assert record.spec.endswith("@mp-cr")
+
+
+FAST = RetryPolicy(
+    max_attempts=3, timeout=10.0, backoff_base=0.01, backoff_max=0.05
+)
+
+
+class TestCampaignJson:
+    def test_roundtrip(self):
+        campaign = Campaign(
+            name="rt", n_values=(5, 7), points_per_spec=2,
+            runs_per_point=4, seed=11,
+            spec_names=("chaudhuri@mp-cr",), engine="auto",
+        )
+        assert Campaign.from_json(campaign.to_json()) == campaign
+
+    def test_roundtrip_with_models(self):
+        campaign = Campaign(name="rt", models=(Model.MP_CR, Model.SM_CR))
+        assert Campaign.from_json(campaign.to_json()) == campaign
+
+    def test_defaults_roundtrip(self):
+        campaign = Campaign(name="plain")
+        assert Campaign.from_json(campaign.to_json()) == campaign
+
+
+class TestCampaignShards:
+    def test_deterministic_and_unique(self):
+        a = campaign_shards(SMALL)
+        b = campaign_shards(SMALL)
+        assert a == b
+        ids = [shard_id for shard_id, _ in a]
+        assert len(ids) == len(set(ids))
+
+    def test_payload_is_self_contained(self):
+        for _, payload in campaign_shards(SMALL):
+            assert set(payload) >= {"spec", "n", "k", "t", "seed", "runs"}
+
+    def test_seed_changes_shard_seeds(self):
+        reseeded = Campaign(
+            name="unit-test", n_values=(5,), points_per_spec=1,
+            runs_per_point=3, seed=10,
+            spec_names=("chaudhuri@mp-cr", "protocol-e@sm-cr"),
+        )
+        seeds = lambda shards: [p["seed"] for _, p in shards]
+        assert seeds(campaign_shards(SMALL)) != seeds(
+            campaign_shards(reseeded)
+        )
+
+
+class TestRunCampaignDurable:
+    def test_matches_legacy_run(self, tmp_path):
+        with JobStore(tmp_path / "jobs.sqlite") as store:
+            durable, report = run_campaign_durable(
+                store, campaign=SMALL, jobs=2, policy=FAST
+            )
+        legacy = run_campaign(SMALL)
+        assert [r.to_json() for r in durable.records] == [
+            r.to_json() for r in legacy.records
+        ]
+        assert report.drained
+
+    def test_resume_completed_run_is_noop_and_identical(self, tmp_path):
+        with JobStore(tmp_path / "jobs.sqlite") as store:
+            first, _ = run_campaign_durable(
+                store, campaign=SMALL, jobs=1, policy=FAST
+            )
+            again, report = run_campaign_durable(
+                store, run_id=SMALL.name, jobs=1, policy=FAST
+            )
+        assert report.completed == 0
+        assert [r.to_json() for r in again.records] == [
+            r.to_json() for r in first.records
+        ]
+
+    def test_conflicting_campaign_same_run_id_rejected(self, tmp_path):
+        other = Campaign(
+            name=SMALL.name, n_values=(7,), points_per_spec=1,
+            runs_per_point=3, seed=9, spec_names=("chaudhuri@mp-cr",),
+        )
+        with JobStore(tmp_path / "jobs.sqlite") as store:
+            run_campaign_durable(store, campaign=SMALL, policy=FAST,
+                                 max_shards=1)
+            with pytest.raises(StoreConflictError):
+                run_campaign_durable(store, campaign=other, policy=FAST)
+
+    def test_resume_unknown_run_raises(self, tmp_path):
+        with JobStore(tmp_path / "jobs.sqlite") as store:
+            with pytest.raises(KeyError):
+                run_campaign_durable(store, run_id="ghost")
+
+    def test_result_file_roundtrips_execution_metadata(self, tmp_path):
+        path = tmp_path / "result.json"
+        with JobStore(tmp_path / "jobs.sqlite") as store:
+            result, _ = run_campaign_durable(
+                store, campaign=SMALL, jobs=1, policy=FAST,
+                result_path=path,
+            )
+        loaded = CampaignResult.load(path)
+        assert loaded.execution is not None
+        assert loaded.execution["run_id"] == SMALL.name
+        assert [r.to_json() for r in loaded.records] == [
+            r.to_json() for r in result.records
+        ]
 
 
 class TestPointRecord:

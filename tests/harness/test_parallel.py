@@ -6,6 +6,9 @@ time, never results.
 """
 
 import dataclasses
+import os
+import signal
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -17,6 +20,7 @@ from repro.harness.parallel import (
     parallel_map,
     plan_execution,
     resolve_jobs,
+    supervised_pool,
 )
 from repro.harness.sweep import SweepConfig, sweep_spec
 from repro.protocols.base import get_spec
@@ -39,6 +43,48 @@ class TestParallelMap:
 
     def test_empty(self):
         assert parallel_map(_square, [], jobs=4) == []
+
+
+def _kill_self():
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestSupervisedPool:
+    def test_clean_exit_reaps_workers(self):
+        with supervised_pool(2) as executor:
+            assert executor.submit(_square, 3).result() == 9
+            workers = list(executor._processes.values())
+        for process in workers:
+            assert not process.is_alive()
+
+    def test_worker_death_tears_down_and_annotates(self):
+        # A SIGKILLed worker breaks the pool; the context manager must
+        # reap every surviving child and annotate the propagating error
+        # instead of leaking orphans (the old unclean-shutdown bug).
+        workers = []
+        with pytest.raises(BrokenProcessPool) as excinfo:
+            with supervised_pool(2) as executor:
+                executor.submit(_square, 1).result()  # pool is warm
+                workers = list(executor._processes.values())
+                executor.submit(_kill_self).result()
+        assert workers
+        for process in workers:
+            process.join(timeout=5)
+            assert not process.is_alive()
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("supervised_pool" in note for note in notes)
+
+    def test_user_exception_inside_block_still_cleans_up(self):
+        workers = []
+        with pytest.raises(RuntimeError, match="abort"):
+            with supervised_pool(2) as executor:
+                executor.submit(_square, 1).result()
+                workers = list(executor._processes.values())
+                raise RuntimeError("abort")
+        assert workers
+        for process in workers:
+            process.join(timeout=5)
+            assert not process.is_alive()
 
 
 class TestResolveJobs:

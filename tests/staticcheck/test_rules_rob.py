@@ -1,0 +1,121 @@
+"""ROB rule fixtures: silent exception handling in the execution layers."""
+
+HARNESS = "harness/fixture.py"
+JOBS = "src/repro/jobs/fixture.py"
+OUT_OF_SCOPE = "analysis/fixture.py"
+
+
+class TestRob001BareExcept:
+    def test_bare_except_flagged(self, lint):
+        src = """\
+        try:
+            run()
+        except:
+            handle()
+        """
+        findings = lint(src, path=HARNESS, rule="ROB001")
+        assert findings
+        assert "bare" in findings[0].message
+
+    def test_named_handler_with_real_body_is_fine(self, lint):
+        src = """\
+        try:
+            run()
+        except OSError as err:
+            record(err)
+        """
+        assert not lint(src, path=HARNESS, rule="ROB001")
+
+
+class TestRob001Swallowed:
+    def test_pass_body_flagged(self, lint):
+        src = """\
+        try:
+            run()
+        except OSError:
+            pass
+        """
+        findings = lint(src, path=HARNESS, rule="ROB001")
+        assert findings
+        assert "OSError" in findings[0].message
+
+    def test_ellipsis_body_flagged(self, lint):
+        src = """\
+        try:
+            run()
+        except ValueError:
+            ...
+        """
+        assert lint(src, path=HARNESS, rule="ROB001")
+
+    def test_continue_body_flagged(self, lint):
+        src = """\
+        for item in items:
+            try:
+                run(item)
+            except (KeyError, ValueError):
+                continue
+        """
+        findings = lint(src, path=HARNESS, rule="ROB001")
+        assert findings
+        assert "(KeyError, ValueError)" in findings[0].message
+
+    def test_reraise_is_fine(self, lint):
+        src = """\
+        try:
+            run()
+        except OSError:
+            raise
+        """
+        assert not lint(src, path=HARNESS, rule="ROB001")
+
+    def test_transforming_handler_is_fine(self, lint):
+        src = """\
+        try:
+            run()
+        except OSError as err:
+            raise RuntimeError("worker lost") from err
+        """
+        assert not lint(src, path=HARNESS, rule="ROB001")
+
+    def test_logging_handler_is_fine(self, lint):
+        src = """\
+        try:
+            run()
+        except OSError as err:
+            events.append(str(err))
+        """
+        assert not lint(src, path=HARNESS, rule="ROB001")
+
+
+class TestRob001Scope:
+    def test_jobs_package_in_scope(self, lint):
+        src = """\
+        try:
+            run()
+        except OSError:
+            pass
+        """
+        assert lint(src, path=JOBS, rule="ROB001")
+
+    def test_other_packages_out_of_scope(self, lint):
+        # the rule targets the execution layers only; a best-effort
+        # swallow in, say, analysis rendering is not its business
+        src = """\
+        try:
+            run()
+        except OSError:
+            pass
+        """
+        assert not lint(src, path=OUT_OF_SCOPE, rule="ROB001")
+
+
+class TestRob001Noqa:
+    def test_inline_suppression(self, lint):
+        src = """\
+        try:
+            run()
+        except OSError:  # repro: noqa[ROB001]
+            pass
+        """
+        assert not lint(src, path=HARNESS, rule="ROB001")

@@ -199,6 +199,70 @@ class TestCampaignCommand:
         assert "clean" in capsys.readouterr().out
 
 
+class TestDurableCampaignCommand:
+    ARGS = [
+        "--name", "cli-durable", "--specs", "chaudhuri@mp-cr",
+        "protocol-b@mp-cr", "--n", "5", "--points", "1", "--runs", "2",
+        "--seed", "7", "--backoff", "0.01",
+    ]
+
+    def test_durable_run_reports_execution(self, tmp_path, capsys):
+        store = tmp_path / "jobs.sqlite"
+        assert main([
+            "campaign", *self.ARGS, "--store", str(store),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "execution:" in out
+        assert "shards completed" in out
+
+    def test_interrupt_resume_diff_cycle(self, tmp_path, capsys):
+        # the CI chaos drill, in miniature: chaos-interrupted run (exit
+        # 3), resume to completion, diff against a fresh clean run
+        store = tmp_path / "jobs.sqlite"
+        resumed = tmp_path / "resumed.json"
+        fresh = tmp_path / "fresh.json"
+        assert main([
+            "campaign", *self.ARGS, "--store", str(store),
+            "--jobs", "2", "--chaos-kill", "0.5", "--chaos-seed", "3",
+            "--max-shards", "1", "--out", str(resumed),
+        ]) == 3
+        out = capsys.readouterr().out
+        assert "INCOMPLETE" in out and "--resume cli-durable" in out
+        assert main([
+            "campaign", "--resume", "cli-durable", "--store", str(store),
+            "--backoff", "0.01", "--out", str(resumed),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["campaign", *self.ARGS, "--out", str(fresh)]) == 0
+        capsys.readouterr()
+        assert main(["diff-resumed", str(resumed), str(fresh)]) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_diff_resumed_detects_divergence(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["campaign", *self.ARGS, "--out", str(a)]) == 0
+        assert main([
+            "campaign", "--name", "cli-durable", "--specs",
+            "chaudhuri@mp-cr", "protocol-b@mp-cr", "--n", "5",
+            "--points", "1", "--runs", "2", "--seed", "8",
+            "--out", str(b),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["diff-resumed", str(a), str(b)]) == 1
+
+    def test_resume_requires_store(self, capsys):
+        assert main(["campaign", "--resume", "x"]) == 2
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_resume_unknown_run_exit_two(self, tmp_path, capsys):
+        store = tmp_path / "jobs.sqlite"
+        assert main([
+            "campaign", "--resume", "ghost", "--store", str(store),
+        ]) == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+
 class TestRecommendAndSolve:
     def test_recommend_lists_candidates(self, capsys):
         assert main([

@@ -1,0 +1,58 @@
+"""Tests for atomic artifact writes (``repro.io``)."""
+
+import json
+import os
+
+import pytest
+
+from repro.io import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failure_leaves_original_intact_and_no_droppings(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+        with pytest.raises(TypeError):
+            atomic_write_text(target, object())  # not a str: write fails
+        assert target.read_text() == "precious"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_relative_path_in_cwd(self, tmp_path, monkeypatch):
+        # a bare filename has no parent directory component
+        monkeypatch.chdir(tmp_path)
+        atomic_write_text("bare.txt", "ok")
+        assert (tmp_path / "bare.txt").read_text() == "ok"
+
+
+class TestAtomicWriteJson:
+    def test_repo_conventions(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"b": 1, "a": [2]})
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert text == json.dumps({"a": [2], "b": 1}, indent=2,
+                                  sort_keys=True) + "\n"
+
+    def test_unserializable_payload_keeps_old_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"ok": True})
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": object()})
+        assert json.loads(target.read_text()) == {"ok": True}
+        assert os.listdir(tmp_path) == ["out.json"]

@@ -178,3 +178,83 @@ def test_counterpart_sweeps_clean_at_t0(mp_name):
     diff = diff_mp_sm(mp, sm, n, k, 0, SweepConfig(runs=4, seed=5))
     assert diff.ok, diff.summary()
     assert diff.identical, diff.summary()
+
+
+class TestDiffResumed:
+    """Unit tests of the resumed-vs-uninterrupted comparator itself
+    (the end-to-end chaos drill lives in tests/jobs/)."""
+
+    @staticmethod
+    def _result(records=None, campaign="c", seed=1, execution=None):
+        from repro.harness.campaign import CampaignResult, PointRecord
+
+        return CampaignResult(
+            campaign=campaign,
+            seed=seed,
+            records=[PointRecord.from_json(r) for r in (records or [])],
+            execution=execution,
+        )
+
+    RECORD = {
+        "spec": "x", "n": 5, "k": 2, "t": 1, "runs": 3,
+        "violations": 0, "max_distinct": 2, "engine": "scalar",
+    }
+
+    def test_identical_results_pass(self):
+        from repro.verify import diff_resumed
+
+        diff = diff_resumed(
+            self._result([self.RECORD]), self._result([self.RECORD])
+        )
+        assert diff.ok
+        assert "bit-identical" in diff.summary()
+
+    def test_execution_metadata_is_ignored(self):
+        # the resumed run legitimately carries a different supervision
+        # story (retries, chaos events); only the aggregate must match
+        from repro.verify import diff_resumed
+
+        noisy = self._result(
+            [self.RECORD], execution={"run_id": "c", "events": [1, 2]}
+        )
+        assert diff_resumed(noisy, self._result([self.RECORD])).ok
+
+    def test_record_divergence_detected(self):
+        from repro.verify import diff_resumed
+
+        altered = dict(self.RECORD, violations=1)
+        diff = diff_resumed(
+            self._result([altered]), self._result([self.RECORD])
+        )
+        assert not diff.ok
+        assert diff.mismatches[0][0] == 0
+        assert "1 mismatched records" in diff.summary()
+
+    def test_missing_record_detected(self):
+        from repro.verify import diff_resumed
+
+        diff = diff_resumed(
+            self._result([]), self._result([self.RECORD])
+        )
+        assert not diff.ok
+        assert "record counts differ 0/1" in diff.summary()
+
+    def test_campaign_identity_checked(self):
+        from repro.verify import diff_resumed
+
+        diff = diff_resumed(
+            self._result([self.RECORD], campaign="other"),
+            self._result([self.RECORD]),
+        )
+        assert not diff.ok
+        assert "identity" in diff.summary()
+
+    def test_file_level_diff(self, tmp_path):
+        from repro.verify import diff_resumed_files
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._result([self.RECORD]).save(a)
+        self._result([self.RECORD]).save(b)
+        diff = diff_resumed_files(a, b)
+        assert diff.ok
+        assert str(a) in diff.summary()
