@@ -11,6 +11,11 @@ legacy ``copy.deepcopy``-per-edge baseline (kept as
   against the unreduced full DFS on exhaustible n=3 points, asserting
   both see identical decision sets and violation kinds;
 * **visited-store effectiveness** -- cache hit rate over probes;
+* **symmetry reduction** -- POR-only against POR+process-permutation
+  symmetry on instances with interchangeable processes, asserting equal
+  findings and strictly fewer states (the n=4 chaudhuri uniform point
+  is the headline: POR alone exhausts its 400k budget, the quotient
+  finishes in ~24k states);
 * **event allocation** -- ``__slots__``-backed frozen events against a
   ``__dict__``-backed clone (the pre-slots layout).
 
@@ -40,11 +45,12 @@ import sys
 import time
 from typing import Any, Dict, List, Optional
 
-from repro.core.validity import RV2, SV2
+from repro.core.validity import RV1, RV2, SV2
 from repro.failures.crash import CrashPlan, CrashPoint
 from repro.harness.exhaustive import explore_mp
 from repro.io import atomic_write_json
 from repro.protocols.ablations import ProtocolBStrictQuorum
+from repro.protocols.chaudhuri import ChaudhuriKSet
 from repro.protocols.protocol_a import ProtocolA
 from repro.runtime.events import Delivery
 
@@ -91,13 +97,46 @@ POR_GRID = (
     },
 )
 
+#: Symmetry-reduction series: POR-only vs POR+symmetry.  ``smoke``
+#: marks the points cheap enough for CI; ``guard`` marks the ones the
+#: ``--check-baseline`` regression guard re-measures.  ``cap`` bounds
+#: the POR-only side where it cannot exhaust (the symmetry side must
+#: always exhaust -- that asymmetry *is* the result).
+SYM_GRID = (
+    {
+        "name": "protocol-a n=3 (v,v,w)",
+        "protocol": "a",
+        "inputs": ("v", "v", "w"),
+        "k": 2, "t": 1,
+        "crash": None,
+        "smoke": True, "guard": True, "cap": 200_000,
+    },
+    {
+        "name": "protocol-a n=4 (v,v,v,w)",
+        "protocol": "a",
+        "inputs": ("v", "v", "v", "w"),
+        "k": 2, "t": 1,
+        "crash": None,
+        "smoke": False, "guard": False, "cap": 400_000,
+    },
+    {
+        "name": "chaudhuri n=4 uniform",
+        "protocol": "chaudhuri",
+        "inputs": ("v", "v", "v", "v"),
+        "k": 3, "t": 2,
+        "crash": None,
+        "smoke": False, "guard": False, "cap": 400_000,
+    },
+)
+
 
 def _grid_factory(point: Dict[str, Any]):
+    n = len(point["inputs"])
     if point["protocol"] == "a":
-        return lambda: [ProtocolA() for _ in range(len(point["inputs"]))]
-    return lambda: [
-        ProtocolBStrictQuorum() for _ in range(len(point["inputs"]))
-    ]
+        return lambda: [ProtocolA() for _ in range(n)]
+    if point["protocol"] == "chaudhuri":
+        return lambda: [ChaudhuriKSet() for _ in range(n)]
+    return lambda: [ProtocolBStrictQuorum() for _ in range(n)]
 
 
 def _grid_adversary(point: Dict[str, Any]) -> Optional[CrashPlan]:
@@ -113,7 +152,11 @@ def _grid_adversary(point: Dict[str, Any]) -> Optional[CrashPlan]:
 
 
 def _grid_validity(point: Dict[str, Any]):
-    return SV2 if point["protocol"] == "b-strict" else RV2
+    if point["protocol"] == "b-strict":
+        return SV2
+    if point["protocol"] == "chaudhuri":
+        return RV1
+    return RV2
 
 
 def _measure_engine(engine: str, por: bool, cap: int) -> Dict[str, Any]:
@@ -175,6 +218,45 @@ def _measure_por_point(point: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _measure_sym_point(point: Dict[str, Any]) -> Dict[str, Any]:
+    """POR-only vs POR+symmetry on one instance; asserts equivalence.
+
+    The symmetry side must exhaust; the POR-only side may hit ``cap``
+    (recorded in ``por_exhausted``), in which case only the violation
+    verdicts are comparable -- when both exhaust, decision sets must
+    match exactly.
+    """
+    kwargs = dict(
+        inputs=list(point["inputs"]),
+        k=point["k"], t=point["t"],
+        validity=_grid_validity(point),
+        crash_adversary=_grid_adversary(point),
+        max_states=point["cap"],
+    )
+    por = explore_mp(_grid_factory(point), **kwargs)
+    sym = explore_mp(_grid_factory(point), symmetry=True, **kwargs)
+    assert sym.exhausted, f"{point['name']}: symmetry side must exhaust"
+    assert sym.stats.symmetry, f"{point['name']}: symmetry was disabled"
+    assert sym.violation_kinds() == por.violation_kinds(), point["name"]
+    if por.exhausted:
+        assert sym.decision_sets == por.decision_sets, point["name"]
+    assert sym.states < por.states, (
+        f"{point['name']}: symmetry explored {sym.states} >= "
+        f"POR-only {por.states}"
+    )
+    return {
+        "point": point["name"],
+        "por_states": por.states,
+        "por_exhausted": por.exhausted,
+        "sym_states": sym.states,
+        "group_size": sym.stats.group_size,
+        "canonicalizations": sym.stats.canonicalizations,
+        "orbit_hits": sym.stats.orbit_hits,
+        "states_reduction": round(sym.states / por.states, 4),
+        "violations": len(sym.violations),
+    }
+
+
 def _measure_event_allocation(count: int) -> Dict[str, Any]:
     """``__slots__`` events against the pre-slots ``__dict__`` layout."""
 
@@ -225,6 +307,11 @@ def run_suite(smoke: bool = False) -> Dict[str, Any]:
     throughput["speedup_snapshot_vs_deepcopy_full_dfs"] = round(mech / base, 2)
 
     por_points = [_measure_por_point(point) for point in POR_GRID]
+    sym_points = [
+        _measure_sym_point(point)
+        for point in SYM_GRID
+        if point["smoke"] or not smoke
+    ]
 
     return {
         "benchmark": "exhaustive_explorer",
@@ -240,6 +327,10 @@ def run_suite(smoke: bool = False) -> Dict[str, Any]:
         "por_reduction": por_points,
         "por_states_baseline": {
             point["point"]: point["por_states"] for point in por_points
+        },
+        "symmetry_reduction": sym_points,
+        "symmetry_states_baseline": {
+            point["point"]: point["sym_states"] for point in sym_points
         },
         "event_allocation": _measure_event_allocation(
             ALLOC_COUNT_SMOKE if smoke else ALLOC_COUNT_FULL
@@ -267,6 +358,22 @@ def check_baseline(artifact_path: pathlib.Path) -> List[str]:
                 f"{name}: POR now expands {measured['por_states']} states "
                 f"(baseline {recorded[name]})"
             )
+    recorded_sym = json.loads(artifact_path.read_text()).get(
+        "symmetry_states_baseline", {}
+    )
+    for point in SYM_GRID:
+        if not point["guard"]:
+            continue  # the expensive n=4 points are artifact-only
+        name = point["name"]
+        if name not in recorded_sym:
+            failures.append(f"{name}: missing from {artifact_path.name}")
+            continue
+        measured = _measure_sym_point(point)
+        if measured["sym_states"] > recorded_sym[name]:
+            failures.append(
+                f"{name}: symmetry now expands {measured['sym_states']} "
+                f"states (baseline {recorded_sym[name]})"
+            )
     return failures
 
 
@@ -278,6 +385,9 @@ def test_exhaustive_throughput_smoke(benchmark):
     throughput = payload["throughput"]
     assert throughput["speedup_snapshot_por_vs_deepcopy"] > 1.0
     assert payload["por_reduction"], "no POR points measured"
+    assert payload["symmetry_reduction"], "no symmetry points measured"
+    for point in payload["symmetry_reduction"]:
+        assert point["sym_states"] < point["por_states"], point
     print(json.dumps(throughput, indent=2))
 
 
@@ -317,6 +427,13 @@ def main(argv=None) -> int:
             f"POR {point['point']}: {point['full_states']} -> "
             f"{point['por_states']} states, {point['full_runs']} -> "
             f"{point['por_runs']} runs"
+        )
+    for point in payload["symmetry_reduction"]:
+        capped = "" if point["por_exhausted"] else " (POR capped)"
+        print(
+            f"SYM {point['point']}: {point['por_states']} -> "
+            f"{point['sym_states']} states, group {point['group_size']}, "
+            f"{point['orbit_hits']} orbit hits{capped}"
         )
     alloc = payload["event_allocation"]
     print(

@@ -207,7 +207,52 @@ def build_parser() -> argparse.ArgumentParser:
                    default="snapshot",
                    help="state-forking strategy; 'deepcopy' is the legacy "
                         "baseline (message-passing only)")
+    p.add_argument("--visited", choices=["exact", "compact", "bitstate"],
+                   default="exact",
+                   help="visited-state store: exact dict, hash-compacted, "
+                        "or fixed-memory bitstate (lossy)")
+    p.add_argument("--bitstate-bits", type=int, default=1 << 23,
+                   help="bit-array width for --visited bitstate "
+                        "(power of two)")
+    p.add_argument("--symmetry", action="store_true",
+                   help="canonicalize states modulo renaming of "
+                        "interchangeable processes (auto-disabled where "
+                        "unsound, with the reason reported)")
     add_verify_arg(p)
+
+    p = sub.add_parser(
+        "certify",
+        help="machine-certify the paper's claimed regions at one n",
+    )
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--specs", nargs="*", default=None,
+                   help="spec-name filter (default: every claim; sim-* "
+                        "claims are skipped unless named here)")
+    p.add_argument("--ks", type=int, nargs="*", default=None,
+                   help="restrict the k grid (default 1..n)")
+    p.add_argument("--ts", type=int, nargs="*", default=None,
+                   help="restrict the t grid (default 0..n-1)")
+    p.add_argument("--visited", choices=["exact", "compact", "bitstate"],
+                   default="exact")
+    p.add_argument("--no-symmetry", action="store_true",
+                   help="disable symmetry reduction (on by default here)")
+    p.add_argument("--max-states", type=int, default=500_000,
+                   help="per-exploration budget; exceeding it marks the "
+                        "point INCONCLUSIVE")
+    p.add_argument("--max-sends", type=int, default=1,
+                   help="partial-broadcast crash depth for MP crash plans")
+    p.add_argument("--jobs", type=int, default=None)
+    p.add_argument("--out", default=None,
+                   help="write the repro-certification/1 JSON report here")
+    p.add_argument("--witness-dir", default=None,
+                   help="save counterexample witness files here")
+    p.add_argument("--check-baseline", default=None,
+                   help="compare state counts against a committed baseline "
+                        "(fail if symmetry reduction regressed)")
+    p.add_argument("--write-baseline", default=None,
+                   help="write the state-count baseline file and exit")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-point progress lines")
 
     p = sub.add_parser(
         "verify-run",
@@ -547,13 +592,19 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_exhaustive(args) -> int:
-    from repro.harness.exhaustive import SpecFactory, explore_mp, explore_sm
+    from repro.harness.exhaustive import (
+        SpecFactory,
+        VisitedSpec,
+        explore_mp,
+        explore_sm,
+    )
 
     spec = get_spec(args.spec)
     inputs = args.inputs or [f"v{i}" for i in range(args.n)]
     validity = by_code(spec.validity)
     # A SpecFactory (not a lambda) so worker processes can unpickle it.
     factory = SpecFactory(spec.name, args.n, args.k, args.t)
+    visited = VisitedSpec(kind=args.visited, bitstate_bits=args.bitstate_bits)
     if spec.is_shared_memory:
         if args.engine == "deepcopy":
             print("the deepcopy engine applies to message-passing specs only")
@@ -563,6 +614,8 @@ def _cmd_exhaustive(args) -> int:
             max_states=args.max_states,
             verify=args.verify,
             jobs=args.jobs,
+            visited=visited,
+            symmetry=args.symmetry,
         )
     else:
         result = explore_mp(
@@ -572,11 +625,32 @@ def _cmd_exhaustive(args) -> int:
             por=not args.full_dfs,
             engine=args.engine,
             jobs=args.jobs,
+            visited=visited,
+            symmetry=args.symmetry,
         )
     print(
         f"explored {result.states} states / {result.runs} complete runs "
         f"({'exhaustive' if result.exhausted else 'budget-capped'})"
     )
+    stats = result.stats
+    if args.symmetry:
+        if stats.symmetry:
+            print(
+                f"symmetry: group of {stats.group_size} permutations, "
+                f"{stats.canonicalizations} canonicalizations, "
+                f"{stats.orbit_hits} orbit hits"
+            )
+        else:
+            print(f"symmetry: disabled ({stats.symmetry_reason})")
+    if stats.visited_store != "exact":
+        line = f"visited store: {stats.visited_store}"
+        if stats.visited_store == "bitstate":
+            line += (
+                f" ({stats.bitstate_set_bits}/{stats.bitstate_bits} bits, "
+                f"saturation {stats.bitstate_saturation:.2%}, "
+                f"expected false hits {stats.bitstate_fp_budget:.3g})"
+            )
+        print(line)
     probes = result.cache_hits + result.cache_misses
     if probes:
         print(
@@ -598,6 +672,105 @@ def _cmd_exhaustive(args) -> int:
     for path, verdicts in result.violations[:5]:
         print(f"  !! schedule {path}: {verdicts}")
     return 0 if result.all_ok else 1
+
+
+def _cmd_certify(args) -> int:
+    import json
+    import pathlib
+
+    from repro.verify.certify import certify_claims
+
+    progress = None if args.quiet else (lambda line: print(f"  {line}"))
+    report = certify_claims(
+        n=args.n,
+        specs=args.specs,
+        ks=args.ks,
+        ts=args.ts,
+        visited=args.visited,
+        symmetry=not args.no_symmetry,
+        max_states=args.max_states,
+        jobs=args.jobs,
+        max_sends=args.max_sends,
+        witness_dir=args.witness_dir,
+        progress=progress,
+    )
+    counts = report.verdict_counts()
+    summary = ", ".join(
+        f"{count} {verdict}" for verdict, count in counts.items() if count
+    )
+    print(
+        f"certified {len(report.claims)} claims at n={report.n} "
+        f"({report.total_states} states): {summary}"
+    )
+    if report.skipped_specs:
+        print(f"skipped sim claims: {', '.join(report.skipped_specs)}")
+    if args.out:
+        report.save(args.out)
+        print(f"wrote {args.out}")
+    if args.write_baseline:
+        from repro.io import atomic_write_text
+
+        atomic_write_text(
+            args.write_baseline,
+            json.dumps(_certify_baseline(report), indent=2, sort_keys=True)
+            + "\n",
+        )
+        print(f"wrote baseline {args.write_baseline}")
+        return 0
+    ok = report.ok
+    if args.check_baseline:
+        baseline = json.loads(pathlib.Path(args.check_baseline).read_text())
+        failures = _check_certify_baseline(report, baseline)
+        for line in failures:
+            print(f"BASELINE: {line}")
+        ok = ok and not failures
+        if not failures:
+            print(f"baseline check passed ({args.check_baseline})")
+    return 0 if ok else 1
+
+
+def _certify_baseline(report) -> dict:
+    """State-count baseline: the certified verdict and cost per point."""
+    points = {}
+    for claim in report.claims:
+        for point in claim.points:
+            key = f"{claim.spec_name}:k={point.k}:t={point.t}"
+            points[key] = {"verdict": point.verdict, "states": point.states}
+    return {
+        "format": "repro-certify-baseline/1",
+        "n": report.n,
+        "visited": report.visited,
+        "symmetry": report.symmetry,
+        "points": points,
+    }
+
+
+def _check_certify_baseline(report, baseline: dict) -> List[str]:
+    """Fail on changed verdicts or state counts above the baseline.
+
+    Exploration is deterministic, so equal configurations must reproduce
+    the baseline verdicts exactly; a state count *above* the recorded
+    one means the symmetry/POR reduction regressed.
+    """
+    failures = []
+    recorded = baseline.get("points", {})
+    current = _certify_baseline(report)["points"]
+    for key, expected in sorted(recorded.items()):
+        actual = current.get(key)
+        if actual is None:
+            failures.append(f"{key}: missing from this run")
+            continue
+        if actual["verdict"] != expected["verdict"]:
+            failures.append(
+                f"{key}: verdict {actual['verdict']} != "
+                f"baseline {expected['verdict']}"
+            )
+        if actual["states"] > expected["states"]:
+            failures.append(
+                f"{key}: {actual['states']} states > "
+                f"baseline {expected['states']} (reduction regressed)"
+            )
+    return failures
 
 
 def _cmd_campaign(args) -> int:
@@ -784,6 +957,7 @@ _DISPATCH = {
     "svg": _cmd_svg,
     "trace": _cmd_trace,
     "exhaustive": _cmd_exhaustive,
+    "certify": _cmd_certify,
     "campaign": _cmd_campaign,
     "diff-resumed": _cmd_diff_resumed,
     "verify-run": _cmd_verify_run,

@@ -73,6 +73,9 @@ from repro.core.values import Value
 from repro.failures.adversary import CrashAdversary
 from repro.failures.crash import CrashPlan, CrashPoint
 from repro.harness.parallel import parallel_map
+from repro.harness.visited import (
+    EXPAND_ALL, NO_SLEEP, ExactStore, VisitedSpec, make_visited_store,
+)
 from repro.runtime.events import Delivery, Event, Start
 from repro.runtime.kernel import MPKernel
 from repro.runtime.process import Process
@@ -80,7 +83,9 @@ from repro.runtime.traces import TraceMode
 
 __all__ = [
     "ExplorationResult",
+    "ExplorationStats",
     "SpecFactory",
+    "VisitedSpec",
     "crash_patterns",
     "explore_mp",
     "explore_sm",
@@ -98,6 +103,36 @@ _FRONTIER_WIDTH = 16
 
 # ---------------------------------------------------------------------------
 # result type
+
+
+@dataclasses.dataclass
+class ExplorationStats:
+    """Symmetry and visited-store observability counters.
+
+    Reductions must be visible, not silent: these counters say which
+    store ran, whether symmetry applied (and if not, why), and how much
+    work the reductions actually did.
+    """
+
+    #: Which visited store ran: ``exact`` / ``compact`` / ``bitstate``.
+    visited_store: str = "exact"
+    #: Whether process-permutation symmetry reduction was active.
+    symmetry: bool = False
+    #: Why symmetry was disabled (empty when active or never requested).
+    symmetry_reason: str = ""
+    #: Size of the process-permutation group (1 when symmetry is off).
+    group_size: int = 1
+    #: Canonical fingerprints computed (one per deduplicated node).
+    canonicalizations: int = 0
+    #: Store hits at states whose canonical representative is a proper
+    #: renaming of the raw state -- hits attributable to symmetry.
+    orbit_hits: int = 0
+    #: Bitstate store only: array width, bits set, peak fill fraction,
+    #: and the accumulated expected number of false-positive hits.
+    bitstate_bits: int = 0
+    bitstate_set_bits: int = 0
+    bitstate_saturation: float = 0.0
+    bitstate_fp_budget: float = 0.0
 
 
 @dataclasses.dataclass
@@ -125,6 +160,10 @@ class ExplorationResult:
     replays: int = 0
     #: ...and the total steps re-executed by those replays.
     replayed_steps: int = 0
+    #: Symmetry / visited-store observability (see ExplorationStats).
+    stats: ExplorationStats = dataclasses.field(
+        default_factory=ExplorationStats
+    )
 
     @property
     def all_ok(self) -> bool:
@@ -162,6 +201,13 @@ def _merge_into(total: ExplorationResult, part: ExplorationResult) -> None:
     total.reexpansions += part.reexpansions
     total.replays += part.replays
     total.replayed_steps += part.replayed_steps
+    total.stats.canonicalizations += part.stats.canonicalizations
+    total.stats.orbit_hits += part.stats.orbit_hits
+    total.stats.bitstate_set_bits += part.stats.bitstate_set_bits
+    total.stats.bitstate_saturation = max(
+        total.stats.bitstate_saturation, part.stats.bitstate_saturation
+    )
+    total.stats.bitstate_fp_budget += part.stats.bitstate_fp_budget
 
 
 def _empty_result() -> ExplorationResult:
@@ -369,66 +415,14 @@ def _fingerprint_sm(kernel) -> Tuple:
     return (states, registers, tuple(sorted(kernel._crashed)))
 
 
-#: Sentinel returned by :meth:`_VisitedStore.probe` for brand-new or
-#: fully re-expandable nodes ("expand every non-slept choice").
-_EXPAND_ALL = object()
+# The visited stores (exact / compact / bitstate) live in
+# :mod:`repro.harness.visited`; these aliases keep the explorer's
+# long-standing internal names stable for tests and callers.
+_EXPAND_ALL = EXPAND_ALL
 
-_NO_SLEEP: Counter = Counter()
+_NO_SLEEP: Counter = NO_SLEEP
 
-
-class _VisitedStore:
-    """First-class visited-state store with hit/miss counters.
-
-    Maps each structural fingerprint to the sleep set (a multiset of
-    event signatures) its expansion is known to *cover*: the subtree
-    explored every continuation except those in the stored set.  This is
-    Godefroid's algorithm for combining sleep sets with state caching:
-
-    * probe sleep ⊇ stored sleep -- the cached expansion covered every
-      continuation the revisit needs; cut (a cache *hit*);
-    * otherwise -- re-expand only the difference ``stored - probe`` and
-      shrink the stored entry to the intersection, which the state is
-      covered for from now on.
-
-    Leaves are marked covered unconditionally (an ended run has no
-    continuations to miss).  Without POR every sleep set is empty and
-    the store degenerates to plain fingerprint membership.
-    """
-
-    __slots__ = ("_sleeps", "hits", "misses")
-
-    def __init__(self) -> None:
-        self._sleeps: Dict[Tuple, Counter] = {}
-        self.hits = 0
-        self.misses = 0
-
-    def probe(self, fingerprint: Tuple, sleep: Counter):
-        """Record a visit; says what (if anything) needs expansion.
-
-        Returns ``None`` for a cache hit, :data:`_EXPAND_ALL` for a new
-        state, or the multiset of slept-at-first-visit event signatures
-        that the current visit must still expand.
-        """
-        stored = self._sleeps.get(fingerprint)
-        if stored is None:
-            self._sleeps[fingerprint] = +sleep
-            self.misses += 1
-            return _EXPAND_ALL
-        if all(sleep[sig] >= need for sig, need in stored.items()):
-            self.hits += 1
-            return None
-        missing = stored - sleep
-        self._sleeps[fingerprint] = stored & sleep
-        self.misses += 1
-        return missing
-
-    def set_covered(self, fingerprint: Tuple) -> None:
-        """Mark a state fully covered (every future probe hits)."""
-        self._sleeps[fingerprint] = _NO_SLEEP
-
-    @property
-    def probes(self) -> int:
-        return self.hits + self.misses
+_VisitedStore = ExactStore
 
 
 # ---------------------------------------------------------------------------
@@ -447,6 +441,9 @@ class _MPConfig:
     #: Processes the adversary may still crash; events targeting one
     #: (while it is not yet crashed) are dependent on everything.
     may_crash: FrozenSet[int]
+    #: Symmetry canonicalizer, or ``None`` when the reduction is off
+    #: (see :func:`repro.harness.symmetry.mp_symmetry_context`).
+    sym: Optional[Any] = None
     #: Per-exploration memo of event signatures (see :class:`_SigCache`).
     sigs: _SigCache = dataclasses.field(default_factory=_SigCache)
 
@@ -521,11 +518,41 @@ def _process_mp_node(
     """
     pending = kernel._pending
     fp = None
+    sym_sigs = None
     to_expand = _EXPAND_ALL
     if cfg.dedup:
-        fp = _fingerprint_mp(kernel, cfg.include_counters, cfg.sigs)
-        to_expand = store.probe(fp, _sleep_sig(kernel, sleep, cfg.sigs))
+        if cfg.sym is not None:
+            # Canonical store coordinates: the fingerprint *and* every
+            # sleep/re-expansion signature are renamed by the same
+            # canonicalizing permutation, so Godefroid bookkeeping
+            # operates consistently inside each symmetry orbit.
+            fp, sym_sigs, identity = cfg.sym.canonical(
+                kernel, cfg.include_counters
+            )
+            result.stats.canonicalizations += 1
+            if not sleep:
+                sleep_sig = _NO_SLEEP
+            else:
+                sleep_sig = Counter(
+                    store.sig_key(sym_sigs[id(pending[seq])])
+                    for seq in sleep
+                )
+        else:
+            identity = True
+            fp = _fingerprint_mp(kernel, cfg.include_counters, cfg.sigs)
+            if not sleep:
+                sleep_sig = _NO_SLEEP
+            elif type(store) is ExactStore:
+                sleep_sig = _sleep_sig(kernel, sleep, cfg.sigs)
+            else:
+                sleep_sig = Counter(
+                    store.sig_key(cfg.sigs.sig(pending[seq]))
+                    for seq in sleep
+                )
+        to_expand = store.probe(fp, sleep_sig)
         if to_expand is None:
+            if not identity:
+                result.stats.orbit_hits += 1
             return None
     if to_expand is _EXPAND_ALL:
         result.states += 1
@@ -547,9 +574,12 @@ def _process_mp_node(
         for seq in sorted(pending):
             if seq in sleep:
                 continue
-            sig = cfg.sigs.sig(pending[seq])
-            if need.get(sig, 0) > 0:
-                need[sig] -= 1
+            if sym_sigs is not None:
+                key = store.sig_key(sym_sigs[id(pending[seq])])
+            else:
+                key = store.sig_key(cfg.sigs.sig(pending[seq]))
+            if need.get(key, 0) > 0:
+                need[key] -= 1
                 choices.append(seq)
     result.sleep_pruned += len(pending) - len(choices)
     if not choices:
@@ -675,9 +705,43 @@ class _MPFrontierTask:
     dedup: bool
     verify: bool
     por: bool
+    visited: VisitedSpec
+    symmetry: bool
     snapshot: Any
     path: Tuple[int, ...]
     sleep: Tuple[int, ...]
+
+
+def _mp_symmetry_for(
+    kernel: MPKernel,
+    inputs: Sequence[Value],
+    t: int,
+    crash_adversary,
+    requested: bool,
+    engine: str,
+    dedup: bool,
+    stats: ExplorationStats,
+):
+    """Resolve the symmetry canonicalizer and record why when disabled."""
+    if not requested:
+        return None
+    if engine != "snapshot":
+        stats.symmetry_reason = "deepcopy engine is the full-DFS baseline"
+        return None
+    if not dedup:
+        stats.symmetry_reason = "dedup disabled (no visited store to key)"
+        return None
+    from repro.harness.symmetry import mp_symmetry_context
+
+    sym, reason = mp_symmetry_context(
+        kernel._processes, inputs, t, crash_adversary
+    )
+    if sym is None:
+        stats.symmetry_reason = reason
+        return None
+    stats.symmetry = True
+    stats.group_size = sym.group_size
+    return sym
 
 
 def _mp_frontier_worker(task: _MPFrontierTask) -> ExplorationResult:
@@ -686,6 +750,16 @@ def _mp_frontier_worker(task: _MPFrontierTask) -> ExplorationResult:
         n=len(task.inputs), k=task.k, t=task.t, validity=task.validity
     )
     adversary = task.crash_adversary
+    kernel = _fresh_mp_kernel(
+        task.process_factory, task.inputs, task.t, adversary
+    )
+    result = _empty_result()
+    store = task.visited.build()
+    result.stats.visited_store = store.kind
+    sym = _mp_symmetry_for(
+        kernel, task.inputs, task.t, adversary,
+        task.symmetry, "snapshot", task.dedup, result.stats,
+    )
     cfg = _MPConfig(
         judge=_make_judge(problem, task.verify),
         max_states=task.max_states,
@@ -693,16 +767,13 @@ def _mp_frontier_worker(task: _MPFrontierTask) -> ExplorationResult:
         por=task.por,
         include_counters=_mp_counters_matter(adversary),
         may_crash=_may_crash_set(adversary),
-    )
-    kernel = _fresh_mp_kernel(
-        task.process_factory, task.inputs, task.t, adversary
+        sym=sym,
     )
     kernel.restore(task.snapshot)
-    result = _empty_result()
-    store = _VisitedStore()
     _run_mp_dfs(kernel, task.path, set(task.sleep), cfg, result, store)
     result.cache_hits = store.hits
     result.cache_misses = store.misses
+    store.fill_stats(result.stats)
     return result
 
 
@@ -720,7 +791,9 @@ def _explore_mp_frontier(
     verify: bool,
     jobs: int,
     result: ExplorationResult,
-    store: _VisitedStore,
+    store,
+    visited_spec: VisitedSpec,
+    symmetry: bool,
 ) -> None:
     """Breadth-first root expansion, then parallel per-subtree DFS.
 
@@ -754,6 +827,7 @@ def _explore_mp_frontier(
             queue.append((kernel.snapshot(), path + (seq,), child_sleep))
     result.cache_hits = store.hits
     result.cache_misses = store.misses
+    store.fill_stats(result.stats)
     if not queue:
         return
     tasks = [
@@ -766,6 +840,8 @@ def _explore_mp_frontier(
             dedup=cfg.dedup,
             verify=verify,
             por=cfg.por,
+            visited=visited_spec,
+            symmetry=symmetry,
             snapshot=snapshot,
             path=path,
             sleep=tuple(sleep),
@@ -789,6 +865,8 @@ def explore_mp(
     por: bool = True,
     engine: str = "snapshot",
     jobs: Optional[int] = None,
+    visited: Union[str, VisitedSpec] = "exact",
+    symmetry: bool = False,
 ) -> ExplorationResult:
     """Explore *every* delivery order of one message-passing instance.
 
@@ -814,6 +892,15 @@ def explore_mp(
         jobs: when set, split the root fan-out across this many worker
             processes (frontier search).  Results are bit-identical for
             every value of ``jobs``, including 1.
+        visited: visited-store kind (``"exact"`` / ``"compact"`` /
+            ``"bitstate"``) or a :class:`VisitedSpec`; see
+            :mod:`repro.harness.visited`.  Lossy stores may under-
+            explore on hash collisions (recorded in ``result.stats``).
+        symmetry: canonicalize states modulo process renaming (see
+            :mod:`repro.harness.symmetry`).  Automatically disabled --
+            with the reason recorded in ``result.stats`` -- for
+            undeclared protocols, symmetry-breaking adversaries, and
+            the deepcopy engine.
     """
     if engine not in ("snapshot", "deepcopy"):
         raise ValueError(f"unknown engine {engine!r}")
@@ -821,6 +908,14 @@ def explore_mp(
         raise ValueError("parallel exploration requires engine='snapshot'")
 
     problem = SCProblem(n=len(inputs), k=k, t=t, validity=validity)
+    result = _empty_result()
+    store, visited_spec = make_visited_store(visited)
+    result.stats.visited_store = store.kind
+    kernel = _fresh_mp_kernel(process_factory, inputs, t, crash_adversary)
+    sym = _mp_symmetry_for(
+        kernel, inputs, t, crash_adversary,
+        symmetry, engine, dedup, result.stats,
+    )
     cfg = _MPConfig(
         judge=_make_judge(problem, verify),
         max_states=max_states,
@@ -828,14 +923,13 @@ def explore_mp(
         por=(por and engine == "snapshot" and not _is_dynamic(crash_adversary)),
         include_counters=_mp_counters_matter(crash_adversary),
         may_crash=_may_crash_set(crash_adversary),
+        sym=sym,
     )
-    result = _empty_result()
-    store = _VisitedStore()
 
     if jobs is not None:
         _explore_mp_frontier(
             process_factory, inputs, k, t, validity, crash_adversary,
-            cfg, verify, jobs, result, store,
+            cfg, verify, jobs, result, store, visited_spec, symmetry,
         )
         return result
 
@@ -844,10 +938,10 @@ def explore_mp(
             process_factory, inputs, t, crash_adversary, cfg, result, store
         )
     else:
-        kernel = _fresh_mp_kernel(process_factory, inputs, t, crash_adversary)
         _run_mp_dfs(kernel, (), set(), cfg, result, store)
     result.cache_hits = store.hits
     result.cache_misses = store.misses
+    store.fill_stats(result.stats)
     return result
 
 
@@ -881,6 +975,7 @@ def _run_sm_dfs(
     dedup: bool,
     result: ExplorationResult,
     store: _VisitedStore,
+    sym=None,
 ) -> None:
     """Prefix-sharing DFS over scheduling choices of one live SM kernel.
 
@@ -909,7 +1004,14 @@ def _run_sm_dfs(
             result.replayed_steps += len(prefix)
         live = prefix
         if dedup:
-            if store.probe(_fingerprint_sm(kernel), _NO_SLEEP) is None:
+            if sym is not None:
+                fingerprint, identity = sym.canonical(kernel)
+                result.stats.canonicalizations += 1
+            else:
+                fingerprint, identity = _fingerprint_sm(kernel), True
+            if store.probe(fingerprint, _NO_SLEEP) is None:
+                if not identity:
+                    result.stats.orbit_hits += 1
                 continue
         result.states += 1
         if kernel.all_correct_decided() or not kernel.runnable_pids():
@@ -932,6 +1034,30 @@ class _SMFrontierTask:
     dedup: bool
     verify: bool
     prefix: Tuple[int, ...]
+    visited: VisitedSpec = VisitedSpec()
+    symmetry: bool = False
+
+
+def _sm_symmetry_for(
+    kernel, inputs, t, crash_adversary, requested: bool, dedup: bool, stats
+):
+    """Resolve the SM symmetry context (or record why it is off)."""
+    from repro.harness.symmetry import sm_symmetry_context
+
+    if not requested:
+        return None
+    if not dedup:
+        stats.symmetry_reason = "dedup disabled (no visited store to key)"
+        return None
+    sym, reason = sm_symmetry_context(
+        kernel._programs, inputs, t, crash_adversary
+    )
+    if sym is None:
+        stats.symmetry_reason = reason
+        return None
+    stats.symmetry = True
+    stats.group_size = sym.group_size
+    return sym
 
 
 def _sm_frontier_worker(task: _SMFrontierTask) -> ExplorationResult:
@@ -947,10 +1073,18 @@ def _sm_frontier_worker(task: _SMFrontierTask) -> ExplorationResult:
     )
     kernel.restore(SMSnapshot(choices=task.prefix))
     result = _empty_result()
-    store = _VisitedStore()
-    _run_sm_dfs(kernel, judge, task.max_states, task.dedup, result, store)
+    store = task.visited.build()
+    result.stats.visited_store = store.kind
+    sym = _sm_symmetry_for(
+        kernel, task.inputs, task.t, task.crash_adversary,
+        task.symmetry, task.dedup, result.stats,
+    )
+    _run_sm_dfs(
+        kernel, judge, task.max_states, task.dedup, result, store, sym
+    )
     result.cache_hits = store.hits
     result.cache_misses = store.misses
+    store.fill_stats(result.stats)
     return result
 
 
@@ -966,6 +1100,8 @@ def explore_sm(
     verify: bool = False,
     dedup: bool = True,
     jobs: Optional[int] = None,
+    visited: Union[str, VisitedSpec] = "exact",
+    symmetry: bool = False,
 ) -> ExplorationResult:
     """Explore every process interleaving of a shared-memory instance.
 
@@ -984,22 +1120,28 @@ def explore_sm(
     problem = SCProblem(n=len(inputs), k=k, t=t, validity=validity)
     judge = _make_judge(problem, verify)
     result = _empty_result()
-    store = _VisitedStore()
+    store, visited_spec = make_visited_store(visited)
+    result.stats.visited_store = store.kind
+
+    kernel = _fresh_sm_kernel(
+        programs_factory, inputs, t, crash_adversary, max_ticks_per_run
+    )
+    sym = _sm_symmetry_for(
+        kernel, inputs, t, crash_adversary, symmetry, dedup, result.stats
+    )
 
     if jobs is not None:
         _explore_sm_frontier(
             programs_factory, inputs, k, t, validity, crash_adversary,
             max_states, max_ticks_per_run, dedup, verify, judge,
-            jobs, result, store,
+            jobs, result, store, sym, visited_spec, symmetry,
         )
         return result
 
-    kernel = _fresh_sm_kernel(
-        programs_factory, inputs, t, crash_adversary, max_ticks_per_run
-    )
-    _run_sm_dfs(kernel, judge, max_states, dedup, result, store)
+    _run_sm_dfs(kernel, judge, max_states, dedup, result, store, sym)
     result.cache_hits = store.hits
     result.cache_misses = store.misses
+    store.fill_stats(result.stats)
     return result
 
 
@@ -1009,6 +1151,9 @@ def _explore_sm_frontier(
     jobs: int,
     result: ExplorationResult,
     store: _VisitedStore,
+    sym,
+    visited_spec: VisitedSpec,
+    symmetry: bool,
 ) -> None:
     from repro.shm.kernel import SMSnapshot
 
@@ -1025,7 +1170,14 @@ def _explore_sm_frontier(
         result.replays += 1
         result.replayed_steps += len(prefix)
         if dedup:
-            if store.probe(_fingerprint_sm(kernel), _NO_SLEEP) is None:
+            if sym is not None:
+                fingerprint, identity = sym.canonical(kernel)
+                result.stats.canonicalizations += 1
+            else:
+                fingerprint, identity = _fingerprint_sm(kernel), True
+            if store.probe(fingerprint, _NO_SLEEP) is None:
+                if not identity:
+                    result.stats.orbit_hits += 1
                 continue
         result.states += 1
         if kernel.all_correct_decided() or not kernel.runnable_pids():
@@ -1035,6 +1187,7 @@ def _explore_sm_frontier(
             queue.append(prefix + (pid,))
     result.cache_hits = store.hits
     result.cache_misses = store.misses
+    store.fill_stats(result.stats)
     if not queue:
         return
     tasks = [
@@ -1048,6 +1201,8 @@ def _explore_sm_frontier(
             dedup=dedup,
             verify=verify,
             prefix=prefix,
+            visited=visited_spec,
+            symmetry=symmetry,
         )
         for prefix in queue
     ]

@@ -1,0 +1,591 @@
+"""Process-permutation symmetry reduction for exhaustive exploration.
+
+All protocols in this reproduction treat process identities
+symmetrically up to three observable distinctions: the *input value* a
+process starts with, the *crash point* a static adversary assigns to
+it, and -- for PROTOCOL D -- its *role* (broadcaster ``pid <= t`` or
+not).  Renaming processes by any permutation that preserves those three
+classifications maps every reachable global state onto another
+reachable global state with an isomorphic future: the renaming is an
+automorphism of the exploration's transition system.
+
+The explorer exploits that by canonicalizing every structural
+fingerprint *modulo the symmetry group* before it touches the visited
+store: a state is recognized as already-explored when any renaming of
+it was.  Representative counterexample paths are unaffected -- pruning
+only cuts branches whose orbit was covered -- so witnesses still replay
+on fresh kernels.
+
+Soundness is gated explicitly, never assumed:
+
+* Renaming a state requires knowing where process ids live inside
+  protocol state and message payloads.  Every participating protocol
+  *declares* that shape (:class:`MPSymmetry` / :class:`SMSymmetry`);
+  undeclared protocols, heterogeneous process lists, and unknown state
+  fields disable symmetry with a recorded reason.
+* Only adversaries that assign crash behaviour *per process, statically*
+  compose: ``None`` / :class:`~repro.failures.adversary.NoCrashes` (no
+  constraint) and exact :class:`~repro.failures.crash.CrashPlan`
+  (permutations must preserve each process's crash point).  Anything
+  else -- dynamic adversaries especially -- breaks symmetry and
+  disables the reduction.
+* Shared-memory programs observe register *owners* in program order, so
+  an arbitrary renaming of a partial scan is not a reachable log shape.
+  Declared SM programs state their scan discipline
+  (``write_then_scan`` / ``decide_only``) and each candidate
+  permutation is checked per state: it must stabilize every in-progress
+  scan prefix (which is always ``{0 .. m-1}`` for ascending scans).
+
+Canonical fingerprints are computed as the ``repr``-minimum over the
+group of the fully renamed fingerprint; ``repr`` ordering is total and
+deterministic across processes, which keeps parallel frontier merges
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import operator
+from typing import (
+    Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple,
+)
+
+from repro.failures.adversary import CrashAdversary, NoCrashes
+from repro.failures.crash import CrashPlan
+from repro.runtime.events import Delivery
+
+__all__ = [
+    "MPSymmetry",
+    "MPSymmetryContext",
+    "SMSymmetry",
+    "SMSymmetryContext",
+    "mp_symmetry_context",
+    "register_mp_symmetry",
+    "register_sm_symmetry",
+    "sm_symmetry_context",
+    "symmetry_group",
+]
+
+#: A process renaming: ``perm[old_pid] == new_pid``.
+Perm = Tuple[int, ...]
+
+
+# ---------------------------------------------------------------------------
+# declarations
+
+
+#: How one state field of a message-passing process mentions pids.
+#:
+#: * ``"plain"``        -- pid-free plain data, renamed as-is.
+#: * ``"pid_keyed"``    -- ``Dict[pid, pid-free value]``.
+#: * ``"pid_set"``      -- ``Set[pid]``.
+#: * ``"origin_votes"`` -- ``Dict[(origin_pid, pid-free msg), Set[pid]]``.
+#: * ``"echo_engine"``  -- an :class:`~repro.protocols.echo.LEchoEngine`.
+_FIELD_KINDS = frozenset(
+    {"plain", "pid_keyed", "pid_set", "origin_votes", "echo_engine"}
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class MPSymmetry:
+    """Renaming declaration for one message-passing protocol class.
+
+    Attributes:
+        fields: state-field name -> field kind (see :data:`_FIELD_KINDS`).
+            Every attribute the protocol ever stores on ``self`` must be
+            declared; an unknown field disables symmetry (fail-safe).
+        origin_tags: payload tags whose element ``[1]`` is a process id
+            (e.g. ``("EC-ECHO", origin, msg)``); every other payload
+            must be pid-free.
+        roles: optional ``(pid, n, t) -> role key``; permutations must
+            preserve roles (PROTOCOL D's broadcasters ``pid <= t``).
+    """
+
+    fields: Mapping[str, str]
+    origin_tags: FrozenSet[str] = frozenset()
+    roles: Optional[Callable[[int, int, int], Any]] = None
+
+    def __post_init__(self) -> None:
+        unknown = sorted(set(self.fields.values()) - _FIELD_KINDS)
+        if unknown:
+            raise ValueError(f"unknown symmetry field kinds: {unknown}")
+
+
+#: Scan disciplines a shared-memory program may declare.
+#:
+#: * ``"write_then_scan"`` -- one initial ``Write``, then ``Read`` ops
+#:   over owners ``0 .. n-1`` in ascending cycles, then one ``Decide``
+#:   (PROTOCOLs E and F).
+#: * ``"decide_only"``     -- no register operations that mention owners
+#:   (the trivial protocol).
+_SM_SHAPES = frozenset({"write_then_scan", "decide_only"})
+
+
+@dataclasses.dataclass(frozen=True)
+class SMSymmetry:
+    """Renaming declaration for one shared-memory program."""
+
+    shape: str
+
+    def __post_init__(self) -> None:
+        if self.shape not in _SM_SHAPES:
+            raise ValueError(f"unknown SM symmetry shape: {self.shape!r}")
+
+
+_MP_REGISTRY: Dict[type, MPSymmetry] = {}
+_SM_REGISTRY: Dict[Any, SMSymmetry] = {}
+
+
+def register_mp_symmetry(cls: type, decl: MPSymmetry) -> None:
+    _MP_REGISTRY[cls] = decl
+
+
+def register_sm_symmetry(program: Any, decl: SMSymmetry) -> None:
+    _SM_REGISTRY[program] = decl
+
+
+# ---------------------------------------------------------------------------
+# group construction
+
+
+def symmetry_group(keys: Sequence[Any]) -> List[Perm]:
+    """All permutations of ``range(len(keys))`` preserving ``keys``.
+
+    Processes with equal keys are interchangeable; the group is the
+    direct product of the symmetric groups on each equality class.  The
+    identity permutation is always first.
+    """
+    classes: Dict[str, List[int]] = {}
+    for pid, key in enumerate(keys):
+        classes.setdefault(repr(key), []).append(pid)
+    perms: List[List[int]] = [list(range(len(keys)))]
+    for name in sorted(classes):
+        members = classes[name]
+        if len(members) == 1:
+            continue
+        extended: List[List[int]] = []
+        for perm in perms:
+            for arrangement in itertools.permutations(members):
+                renamed = perm.copy()
+                for old, new in zip(members, arrangement):
+                    renamed[old] = new
+                extended.append(renamed)
+        perms = extended
+    return [tuple(perm) for perm in perms]
+
+
+def _adversary_crash_keys(
+    crash_adversary: Optional[CrashAdversary], n: int
+) -> Tuple[Optional[List[Any]], str]:
+    """Per-pid crash classification, or a reason symmetry must disable.
+
+    Only statically-assigned crash behaviour composes with renaming:
+    permutations are restricted to preserve each process's crash point
+    exactly, so the renamed execution runs under the *same* adversary.
+    """
+    if crash_adversary is None or isinstance(crash_adversary, NoCrashes):
+        return [None] * n, ""
+    if type(crash_adversary) is CrashPlan:
+        points = crash_adversary._points
+        return [points.get(pid) for pid in range(n)], ""
+    return None, (
+        f"adversary {type(crash_adversary).__name__} is not a static "
+        "per-process crash plan"
+    )
+
+
+# ---------------------------------------------------------------------------
+# message-passing canonicalization
+
+
+class MPSymmetryContext:
+    """Per-exploration canonicalizer for one MP instance.
+
+    Built once per exploration (the group depends only on inputs,
+    adversary, and roles); :meth:`canonical` is called per node.
+    """
+
+    __slots__ = ("_decl", "_perms", "_n")
+
+    def __init__(self, decl: MPSymmetry, perms: List[Perm], n: int) -> None:
+        self._decl = decl
+        self._perms = perms
+        self._n = n
+
+    @property
+    def group_size(self) -> int:
+        return len(self._perms)
+
+    def canonical(
+        self, kernel, include_counters: bool
+    ) -> Tuple[Tuple, Dict[int, Tuple], bool]:
+        """Canonical fingerprint of the kernel's current state.
+
+        Returns ``(fingerprint, sig_by_event_id, is_identity)`` where
+        ``sig_by_event_id`` maps ``id(event)`` of every pending event to
+        its signature *renamed by the canonicalizing permutation* --
+        sleep-set bookkeeping must live in the same coordinates as the
+        store key -- and ``is_identity`` says whether the canonical
+        representative is the unrenamed state itself.
+        """
+        best: Optional[Tuple] = None
+        best_repr = ""
+        best_sigs: Dict[int, Tuple] = {}
+        best_identity = False
+        for index, perm in enumerate(self._perms):
+            fingerprint, sigs = self._renamed_fingerprint(
+                kernel, include_counters, perm
+            )
+            key = repr(fingerprint)
+            if best is None or key < best_repr:
+                best = fingerprint
+                best_repr = key
+                best_sigs = sigs
+                best_identity = index == 0
+        assert best is not None
+        return best, best_sigs, best_identity
+
+    # -- renaming ------------------------------------------------------------
+
+    def _renamed_fingerprint(
+        self, kernel, include_counters: bool, perm: Perm
+    ) -> Tuple[Tuple, Dict[int, Tuple]]:
+        from repro.harness.exhaustive import _freeze
+
+        n = self._n
+        sigs: Dict[int, Tuple] = {}
+        entries = []
+        for _, event in sorted(kernel._pending.items()):
+            if isinstance(event, Delivery):
+                sig = (
+                    1,
+                    perm[event.sender],
+                    perm[event.receiver],
+                    _freeze(self._rename_payload(event.payload, perm)),
+                )
+            else:
+                sig = (0, perm[event.pid])
+            sigs[id(event)] = sig
+            entries.append((sig, repr(sig)))
+        pending = tuple(
+            sig for sig, _ in sorted(entries, key=operator.itemgetter(1))
+        )
+        processes: List[Any] = [None] * n
+        for pid, process in enumerate(kernel._processes):
+            processes[perm[pid]] = self._rename_process(process, perm)
+        contexts: List[Any] = [None] * n
+        for pid, ctx in enumerate(kernel._contexts):
+            contexts[perm[pid]] = (ctx._decided, _freeze(ctx._decision))
+        crashed = tuple(sorted(perm[pid] for pid in kernel._crashed))
+        counters: Tuple = ()
+        if include_counters:
+            steps = [0] * n
+            sends = [0] * n
+            for pid in range(n):
+                steps[perm[pid]] = kernel._steps_taken[pid]
+                sends[perm[pid]] = kernel._sends_made[pid]
+            counters = (tuple(steps), tuple(sends))
+        fingerprint = (
+            pending, tuple(processes), tuple(contexts), crashed, counters,
+        )
+        return fingerprint, sigs
+
+    def _rename_payload(self, payload: Any, perm: Perm) -> Any:
+        if (
+            isinstance(payload, tuple)
+            and len(payload) >= 2
+            and payload[0] in self._decl.origin_tags
+            and isinstance(payload[1], int)
+            and 0 <= payload[1] < self._n
+        ):
+            return (payload[0], perm[payload[1]]) + tuple(payload[2:])
+        return payload
+
+    def _rename_process(self, process, perm: Perm) -> Tuple:
+        from repro.harness.exhaustive import _freeze
+
+        fields = self._decl.fields
+        items = []
+        for key, value in sorted(process.__dict__.items()):
+            renamed = self._rename_value(fields[key], value, perm)
+            items.append((key, _freeze(renamed)))
+        return tuple(sorted(items, key=repr))
+
+    def _rename_value(self, kind: str, value: Any, perm: Perm) -> Any:
+        if kind == "plain":
+            return value
+        if kind == "pid_keyed":
+            return {
+                perm[pid]: entry for pid, entry in sorted(value.items())
+            }
+        if kind == "pid_set":
+            return {perm[pid] for pid in value}
+        if kind == "origin_votes":
+            return {
+                (perm[origin],) + tuple(rest): {perm[pid] for pid in votes}
+                for (origin, *rest), votes in sorted(
+                    value.items(), key=repr
+                )
+            }
+        # "echo_engine": mirror _freeze's __fingerprint__ shape so the
+        # identity renaming reproduces the plain fingerprint exactly.
+        from repro.harness.exhaustive import _freeze
+
+        renamed = (
+            value.ell,
+            {perm[pid] for pid in value._echoed_for},
+            {
+                (perm[origin], message): {perm[pid] for pid in votes}
+                for (origin, message), votes in sorted(
+                    value._echoers.items(), key=repr
+                )
+            },
+            {
+                perm[origin]: list(messages)
+                for origin, messages in sorted(value._accepted.items())
+            },
+        )
+        return (type(value).__qualname__, _freeze(renamed))
+
+
+def mp_symmetry_context(
+    processes: Sequence[Any],
+    inputs: Sequence[Any],
+    t: int,
+    crash_adversary: Optional[CrashAdversary],
+) -> Tuple[Optional[MPSymmetryContext], str]:
+    """Build the canonicalizer for an MP instance, or explain why not.
+
+    Returns ``(context, "")`` when symmetry applies with a non-trivial
+    group, else ``(None, reason)``.
+    """
+    n = len(inputs)
+    classes = {type(process) for process in processes}
+    if len(classes) != 1:
+        return None, "heterogeneous process classes"
+    cls = classes.pop()
+    decl = _MP_REGISTRY.get(cls)
+    if decl is None:
+        return None, f"no symmetry declaration for {cls.__name__}"
+    declared = set(decl.fields)
+    for process in processes:
+        undeclared = sorted(set(process.__dict__) - declared)
+        if undeclared:
+            return None, (
+                f"undeclared state field {undeclared[0]!r} on {cls.__name__}"
+            )
+    crash_keys, reason = _adversary_crash_keys(crash_adversary, n)
+    if crash_keys is None:
+        return None, reason
+    keys = [
+        (
+            inputs[pid],
+            crash_keys[pid],
+            decl.roles(pid, n, t) if decl.roles is not None else None,
+        )
+        for pid in range(n)
+    ]
+    perms = symmetry_group(keys)
+    if len(perms) == 1:
+        return None, "trivial symmetry group (no interchangeable processes)"
+    return MPSymmetryContext(decl, perms, n), ""
+
+
+# ---------------------------------------------------------------------------
+# shared-memory canonicalization
+
+
+class SMSymmetryContext:
+    """Per-exploration canonicalizer for one SM instance.
+
+    Candidate permutations are filtered *per state*: ascending-scan
+    programs read owners ``0, 1, ...`` in order, so a renaming yields a
+    reachable log shape only when it stabilizes every in-progress scan
+    prefix ``{0 .. m-1}``.  The identity permutation always qualifies.
+    """
+
+    __slots__ = ("_shape", "_perms", "_inverses", "_n")
+
+    def __init__(self, shape: str, perms: List[Perm], n: int) -> None:
+        self._shape = shape
+        self._perms = perms
+        self._inverses = []
+        for perm in perms:
+            inverse = [0] * n
+            for old, new in enumerate(perm):
+                inverse[new] = old
+            self._inverses.append(tuple(inverse))
+        self._n = n
+
+    @property
+    def group_size(self) -> int:
+        return len(self._perms)
+
+    def canonical(self, kernel) -> Tuple[Tuple, bool]:
+        """Canonical fingerprint; returns ``(fingerprint, is_identity)``."""
+        parsed = [self._parse_log(state) for state in kernel._states]
+        prefix_lengths = sorted(
+            {len(partial) for _, _, partial, _ in parsed if partial}
+        )
+        best: Optional[Tuple] = None
+        best_repr = ""
+        best_identity = False
+        for index, perm in enumerate(self._perms):
+            if index and not all(
+                all(perm[pid] < m for pid in range(m)) for m in prefix_lengths
+            ):
+                continue
+            fingerprint = self._renamed_fingerprint(
+                kernel, parsed, perm, self._inverses[index]
+            )
+            key = repr(fingerprint)
+            if best is None or key < best_repr:
+                best = fingerprint
+                best_repr = key
+                best_identity = index == 0
+        assert best is not None
+        return best, best_identity
+
+    # -- log parsing and renaming -------------------------------------------
+
+    def _parse_log(
+        self, state
+    ) -> Tuple[Optional[Any], List[List[Any]], List[Any], List[Any]]:
+        """Split a results log into (write ack, full scans, partial, tail).
+
+        ``write_then_scan`` logs are ``[write ack] + reads + [decide
+        ack]?``; reads cycle through owners ``0 .. n-1``, so position
+        alone identifies each read's owner.  ``decide_only`` logs carry
+        no owner information and pass through unrenamed.
+        """
+        log = state.results_log
+        if self._shape == "decide_only" or not log:
+            return None, [], [], list(log)
+        reads = log[1:-1] if state.decided else log[1:]
+        tail = [log[-1]] if state.decided else []
+        n = self._n
+        full = len(reads) // n
+        blocks = [reads[i * n:(i + 1) * n] for i in range(full)]
+        return log[0], blocks, reads[full * n:], tail
+
+    def _renamed_fingerprint(
+        self, kernel, parsed, perm: Perm, inverse: Perm
+    ) -> Tuple:
+        from repro.harness.exhaustive import _freeze
+
+        n = self._n
+        states: List[Any] = [None] * n
+        for pid, state in enumerate(kernel._states):
+            ack, blocks, partial, tail = parsed[pid]
+            if self._shape == "decide_only":
+                log: List[Any] = tail
+            else:
+                log = [] if ack is None and not blocks and not partial else [ack]
+                for block in blocks:
+                    log.extend(block[inverse[j]] for j in range(n))
+                log.extend(partial[inverse[j]] for j in range(len(partial)))
+                log.extend(tail)
+            states[perm[pid]] = (
+                state.finished,
+                state.decided,
+                _freeze(state.decision),
+                state.ops_taken,
+                tuple(_freeze(entry) for entry in log),
+            )
+        registers: List[Any] = [None] * n
+        for owner, value in enumerate(kernel.registers.current_values()):
+            registers[perm[owner]] = _freeze(value)
+        crashed = tuple(sorted(perm[pid] for pid in kernel._crashed))
+        return (tuple(states), tuple(registers), crashed)
+
+
+def sm_symmetry_context(
+    programs: Sequence[Any],
+    inputs: Sequence[Any],
+    t: int,
+    crash_adversary: Optional[CrashAdversary],
+) -> Tuple[Optional[SMSymmetryContext], str]:
+    """Build the canonicalizer for an SM instance, or explain why not."""
+    n = len(inputs)
+    distinct = {id(program) for program in programs}
+    if len(distinct) != 1:
+        return None, "heterogeneous programs"
+    program = programs[0]
+    decl = _SM_REGISTRY.get(program)
+    if decl is None:
+        name = getattr(program, "__qualname__", repr(program))
+        return None, f"no symmetry declaration for program {name}"
+    crash_keys, reason = _adversary_crash_keys(crash_adversary, n)
+    if crash_keys is None:
+        return None, reason
+    keys = [(inputs[pid], crash_keys[pid]) for pid in range(n)]
+    perms = symmetry_group(keys)
+    if len(perms) == 1:
+        return None, "trivial symmetry group (no interchangeable processes)"
+    return SMSymmetryContext(decl.shape, perms, n), ""
+
+
+# ---------------------------------------------------------------------------
+# declarations for the registered protocols
+#
+# Every declaration is a soundness claim reviewed against the protocol
+# source: state fields must be listed with the exact way they mention
+# process ids, and payload tags carrying pids must be named.  The
+# permutation-fuzz property tests (tests/harness/test_symmetry.py)
+# exercise each declaration on both kernels.
+
+
+def _broadcaster_role(pid: int, n: int, t: int) -> bool:
+    # PROTOCOL D: p_0 .. p_t broadcast and decide their own values.
+    return pid <= t
+
+
+def _register_declarations() -> None:
+    from repro.protocols.ablations import (
+        CredulousProcess, ProtocolBStrictQuorum, ProtocolCPlainBroadcast,
+    )
+    from repro.protocols.chaudhuri import ChaudhuriKSet
+    from repro.protocols.protocol_a import ProtocolA
+    from repro.protocols.protocol_b import ProtocolB
+    from repro.protocols.protocol_c import ProtocolC
+    from repro.protocols.protocol_d import ProtocolD
+    from repro.protocols.protocol_e import protocol_e
+    from repro.protocols.protocol_f import protocol_f
+    from repro.protocols.trivial import TrivialOwnValue, trivial_own_value_sm
+
+    values_only = MPSymmetry(fields={"_values": "pid_keyed"})
+    register_mp_symmetry(ProtocolA, values_only)
+    register_mp_symmetry(ProtocolB, values_only)
+    register_mp_symmetry(ChaudhuriKSet, values_only)
+    register_mp_symmetry(ProtocolBStrictQuorum, values_only)
+    register_mp_symmetry(ProtocolCPlainBroadcast, values_only)
+    register_mp_symmetry(CredulousProcess, values_only)
+    register_mp_symmetry(TrivialOwnValue, MPSymmetry(fields={}))
+    register_mp_symmetry(
+        ProtocolC,
+        MPSymmetry(
+            fields={
+                "ell": "plain",
+                "_engine": "echo_engine",
+                "_first_value": "pid_keyed",
+            },
+            origin_tags=frozenset({"EC-ECHO"}),
+        ),
+    )
+    register_mp_symmetry(
+        ProtocolD,
+        MPSymmetry(
+            fields={"_echoed_for": "pid_set", "_echoers": "origin_votes"},
+            origin_tags=frozenset({"D-ECHO"}),
+            roles=_broadcaster_role,
+        ),
+    )
+    register_sm_symmetry(protocol_e, SMSymmetry(shape="write_then_scan"))
+    register_sm_symmetry(protocol_f, SMSymmetry(shape="write_then_scan"))
+    register_sm_symmetry(
+        trivial_own_value_sm, SMSymmetry(shape="decide_only")
+    )
+
+
+_register_declarations()

@@ -1,0 +1,261 @@
+"""Pluggable visited-state stores for the exhaustive explorer.
+
+The explorer's visited store maps structural state fingerprints to the
+sleep-set coverage they were expanded under (Godefroid's combination of
+state caching with sleep sets; see
+:class:`repro.harness.exhaustive._VisitedStore`'s original docstring,
+now :class:`ExactStore`).  At ``n = 6`` the exact store's fingerprints
+dominate memory, so the store is now pluggable:
+
+* ``exact``    -- the reference store: full fingerprints, full sleep
+  multisets, exact Godefroid semantics.  Lossless.
+* ``compact``  -- same semantics on 8-byte BLAKE2b digests of the
+  fingerprints and sleep signatures.  A digest collision could cut an
+  unexplored branch, but with 64-bit digests the expected collision
+  count is ``~states^2 / 2^65`` -- negligible at any reachable state
+  count -- and the memory per entry drops by an order of magnitude.
+* ``bitstate`` -- bitstate hashing (Holzmann): ``hashes`` bit positions
+  per ``(fingerprint, sleep)`` key in a fixed ``bits``-wide bit array.
+  Constant memory, but false positives are *expected* once the array
+  fills; the store therefore records its saturation and an accumulated
+  false-positive budget (the sum over hits of the probability that the
+  hit was spurious), which certification uses to decide when a lossy
+  "no violation found" verdict must be escalated to an exact re-run.
+
+All digests are deterministic BLAKE2b over ``repr`` (never Python's
+per-process-randomized ``hash``), so parallel frontier workers using
+private stores still merge bit-identically for every worker count.
+
+Sleep-set soundness of ``bitstate``: the bit positions key the sleep
+multiset *together with* the fingerprint, so a probe only ever hits a
+state recorded under the identical sleep coverage -- the partial
+re-expansion machinery (which needs per-fingerprint coverage deltas) is
+simply never exercised, trading extra re-exploration for bounded
+memory, never soundness of a hit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections import Counter
+from typing import Any, Dict, Tuple, Union
+
+__all__ = [
+    "BitstateStore",
+    "CompactStore",
+    "EXPAND_ALL",
+    "ExactStore",
+    "NO_SLEEP",
+    "VisitedSpec",
+    "make_visited_store",
+]
+
+#: Sentinel returned by ``probe`` for brand-new or fully re-expandable
+#: nodes ("expand every non-slept choice").
+EXPAND_ALL = object()
+
+NO_SLEEP: Counter = Counter()
+
+
+def _digest64(value: Any) -> int:
+    """Deterministic 64-bit digest of a plain-data value via ``repr``."""
+    raw = hashlib.blake2b(repr(value).encode(), digest_size=8).digest()
+    return int.from_bytes(raw, "big")
+
+
+class ExactStore:
+    """The reference visited store: exact Godefroid sleep-set caching.
+
+    Maps each structural fingerprint to the sleep set (a multiset of
+    event signatures) its expansion is known to *cover*: the subtree
+    explored every continuation except those in the stored set.
+
+    * probe sleep ⊇ stored sleep -- the cached expansion covered every
+      continuation the revisit needs; cut (a cache *hit*);
+    * otherwise -- re-expand only the difference ``stored - probe`` and
+      shrink the stored entry to the intersection, which the state is
+      covered for from now on.
+
+    Leaves are marked covered unconditionally (an ended run has no
+    continuations to miss).  Without POR every sleep set is empty and
+    the store degenerates to plain fingerprint membership.
+    """
+
+    kind = "exact"
+    lossy = False
+
+    __slots__ = ("_sleeps", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._sleeps: Dict[Any, Counter] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def sig_key(self, sig: Tuple) -> Any:
+        """Store-internal key for one event signature (identity here)."""
+        return sig
+
+    def fingerprint_key(self, fingerprint: Tuple) -> Any:
+        return fingerprint
+
+    def probe(self, fingerprint: Tuple, sleep: Counter):
+        """Record a visit; says what (if anything) needs expansion.
+
+        Returns ``None`` for a cache hit, :data:`EXPAND_ALL` for a new
+        state, or the multiset of slept-at-first-visit event signature
+        keys that the current visit must still expand.
+        """
+        key = self.fingerprint_key(fingerprint)
+        stored = self._sleeps.get(key)
+        if stored is None:
+            self._sleeps[key] = +sleep
+            self.misses += 1
+            return EXPAND_ALL
+        if all(sleep[sig] >= need for sig, need in stored.items()):
+            self.hits += 1
+            return None
+        missing = stored - sleep
+        self._sleeps[key] = stored & sleep
+        self.misses += 1
+        return missing
+
+    def set_covered(self, fingerprint: Tuple) -> None:
+        """Mark a state fully covered (every future probe hits)."""
+        self._sleeps[self.fingerprint_key(fingerprint)] = NO_SLEEP
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    def fill_stats(self, stats) -> None:
+        """Contribute store-specific counters to an ExplorationStats."""
+
+
+class CompactStore(ExactStore):
+    """Godefroid caching on 64-bit digests of fingerprints and sigs.
+
+    Sleep multisets must be keyed consistently with the store --
+    partial re-expansion matches pending events by signature key -- so
+    :meth:`sig_key` digests signatures too.
+    """
+
+    kind = "compact"
+    lossy = True
+
+    __slots__ = ()
+
+    def sig_key(self, sig: Tuple) -> Any:
+        return _digest64(sig)
+
+    def fingerprint_key(self, fingerprint: Tuple) -> Any:
+        return _digest64(fingerprint)
+
+
+class BitstateStore:
+    """Bitstate (Bloom-filter) membership over ``(fingerprint, sleep)``.
+
+    ``bits`` is the bit-array width (a power of two); each key sets
+    ``hashes`` positions derived from one 16-byte BLAKE2b digest.  A
+    probe whose positions are all already set is reported as a hit --
+    possibly falsely, with probability ``saturation ** hashes`` -- so
+    the accumulated expected number of false hits is tracked in
+    ``false_positive_budget`` and surfaced through the exploration
+    stats.  ``set_covered`` is a no-op: leaves were already recorded by
+    their probe, and widening coverage cannot be represented in a bit.
+    """
+
+    kind = "bitstate"
+    lossy = True
+
+    __slots__ = (
+        "bits", "hashes", "_array", "set_bits", "hits", "misses",
+        "false_positive_budget",
+    )
+
+    def __init__(self, bits: int = 1 << 23, hashes: int = 4) -> None:
+        if bits <= 0 or bits & (bits - 1):
+            raise ValueError("bits must be a positive power of two")
+        self.bits = bits
+        self.hashes = hashes
+        self._array = bytearray(bits // 8)
+        self.set_bits = 0
+        self.hits = 0
+        self.misses = 0
+        self.false_positive_budget = 0.0
+
+    def sig_key(self, sig: Tuple) -> Any:
+        return _digest64(sig)
+
+    def _positions(self, fingerprint: Tuple, sleep: Counter):
+        key = (fingerprint, tuple(sorted(sleep.items())))
+        raw = hashlib.blake2b(repr(key).encode(), digest_size=16).digest()
+        mask = self.bits - 1
+        value = int.from_bytes(raw, "big")
+        positions = []
+        for _ in range(self.hashes):
+            positions.append(value & mask)
+            value >>= 24
+        return positions
+
+    def probe(self, fingerprint: Tuple, sleep: Counter):
+        positions = self._positions(fingerprint, sleep)
+        array = self._array
+        hit = True
+        for position in positions:
+            byte, bit = position >> 3, 1 << (position & 7)
+            if not array[byte] & bit:
+                hit = False
+                array[byte] |= bit
+                self.set_bits += 1
+        if hit:
+            self.hits += 1
+            self.false_positive_budget += self.saturation ** self.hashes
+            return None
+        self.misses += 1
+        return EXPAND_ALL
+
+    def set_covered(self, fingerprint: Tuple) -> None:
+        pass
+
+    @property
+    def saturation(self) -> float:
+        return self.set_bits / self.bits
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    def fill_stats(self, stats) -> None:
+        stats.bitstate_bits = self.bits
+        stats.bitstate_set_bits += self.set_bits
+        stats.bitstate_saturation = max(
+            stats.bitstate_saturation, self.saturation
+        )
+        stats.bitstate_fp_budget += self.false_positive_budget
+
+
+@dataclasses.dataclass(frozen=True)
+class VisitedSpec:
+    """Picklable visited-store configuration (threaded to workers)."""
+
+    kind: str = "exact"
+    bitstate_bits: int = 1 << 23
+    bitstate_hashes: int = 4
+
+    def build(self) -> Union[ExactStore, BitstateStore]:
+        if self.kind == "exact":
+            return ExactStore()
+        if self.kind == "compact":
+            return CompactStore()
+        if self.kind == "bitstate":
+            return BitstateStore(self.bitstate_bits, self.bitstate_hashes)
+        raise ValueError(f"unknown visited store kind {self.kind!r}")
+
+
+def make_visited_store(
+    visited: Union[str, VisitedSpec]
+) -> Tuple[Union[ExactStore, BitstateStore], VisitedSpec]:
+    """Resolve a kind string or spec into (store, normalized spec)."""
+    spec = VisitedSpec(kind=visited) if isinstance(visited, str) else visited
+    return spec.build(), spec

@@ -153,6 +153,7 @@ def all_rules() -> Tuple[Rule, ...]:
         rules_rob,
         rules_sm,
         rules_snapshot,
+        rules_sym,
     )
 
     return tuple(sorted(_REGISTRY.values(), key=lambda r: r.rule_id))

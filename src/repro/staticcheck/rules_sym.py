@@ -1,0 +1,119 @@
+"""SYM rules: canonicalization code must be iteration-order-safe.
+
+Symmetry reduction (:mod:`repro.harness.symmetry`) and the visited
+stores (:mod:`repro.harness.visited`) derive *canonical* fingerprints
+and digests: two structurally equal states must map to byte-identical
+keys in every process, or the explorer silently splits orbits (missed
+reductions) and parallel frontier merges stop being bit-identical.
+Python dicts iterate in insertion order and sets in hash order, so any
+enumeration of an unordered collection that feeds a fingerprint must go
+through ``sorted``.
+
+* SYM001 -- inside ``symmetry.py`` and ``visited.py``, flag any use of
+  ``.items()`` / ``.keys()`` / ``.values()`` whose result order can
+  escape into a value: ``for`` loops, list/dict comprehensions, and
+  order-preserving constructors (``tuple``, ``list``, ``dict``).
+  Consumption by an order-insensitive reducer is allowed: ``sorted``
+  (the canonical fix), ``set`` / ``frozenset`` / set comprehensions,
+  ``Counter``, ``len`` / ``sum`` / ``min`` / ``max`` / ``any`` /
+  ``all``, including through a directly-consumed generator expression
+  (``all(f(x) for x in d.items())``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from repro.staticcheck.engine import FileContext, Finding, Rule, register_rule
+
+__all__ = ["OrderSensitiveCanonicalizationRule"]
+
+_UNORDERED_VIEWS = frozenset({"items", "keys", "values"})
+
+#: Callables whose result does not depend on argument iteration order.
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "set", "frozenset", "Counter",
+    "len", "sum", "min", "max", "any", "all",
+})
+
+
+def _callee_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _parents(tree: ast.AST) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _is_view_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _UNORDERED_VIEWS
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _consumed_safely(node: ast.AST, parents: Dict[int, ast.AST]) -> bool:
+    """Whether the view's iteration order cannot reach a produced value."""
+    parent = parents.get(id(node))
+    if isinstance(parent, ast.Call) and node in parent.args:
+        return _callee_name(parent) in _ORDER_INSENSITIVE
+    if isinstance(parent, ast.comprehension) and parent.iter is node:
+        owner = parents.get(id(parent))
+        if isinstance(owner, ast.SetComp):
+            return True
+        if isinstance(owner, ast.GeneratorExp):
+            # Order-safe only when the generator itself is immediately
+            # drained by an order-insensitive reducer.
+            consumer = parents.get(id(owner))
+            return (
+                isinstance(consumer, ast.Call)
+                and owner in consumer.args
+                and _callee_name(consumer) in _ORDER_INSENSITIVE
+            )
+        return False
+    return False
+
+
+@register_rule
+class OrderSensitiveCanonicalizationRule(Rule):
+    """SYM001: no order-sensitive iteration of unordered collections in
+    canonicalization code."""
+
+    rule_id = "SYM001"
+    severity = "error"
+    summary = (
+        "canonicalization iterates a dict view in insertion/hash order; "
+        "canonical fingerprints and digests must be byte-identical for "
+        "structurally equal states, so wrap the view in sorted() or "
+        "consume it with an order-insensitive reducer"
+    )
+    scopes = ("symmetry.py", "visited.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        parents = _parents(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not _is_view_call(node):
+                continue
+            if _consumed_safely(node, parents):
+                continue
+            view = node.func.attr  # type: ignore[union-attr]
+            yield self.finding(
+                ctx, node,
+                f".{view}() iterated order-sensitively; dict order is "
+                f"insertion order, which differs between structurally "
+                f"equal states -- wrap in sorted() (or drain with an "
+                f"order-insensitive reducer such as set/Counter/all)",
+            )

@@ -53,6 +53,12 @@ from repro.verify.shrink import (
     shrink_recording,
     shrink_schedule,
 )
+from repro.verify.certify import (
+    CertificationReport,
+    ClaimResult,
+    PointResult,
+    certify_claims,
+)
 from repro.verify.witness import (
     Witness,
     WitnessReport,
@@ -65,12 +71,15 @@ from repro.verify.witness import (
 )
 
 __all__ = [
+    "CertificationReport",
+    "ClaimResult",
     "DifferentialReport",
     "ExecutionOracle",
     "FaultBudgetOracle",
     "HistogramDiff",
     "IrrevocabilityOracle",
     "KAgreementOracle",
+    "PointResult",
     "ResumeDiff",
     "ShrinkResult",
     "SubsequenceScheduler",
@@ -80,6 +89,7 @@ __all__ = [
     "Witness",
     "WitnessReport",
     "all_validity_oracles",
+    "certify_claims",
     "check_execution",
     "confirm_exploration",
     "default_oracles",

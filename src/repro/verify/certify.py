@@ -1,0 +1,497 @@
+"""Machine certification of the paper's claimed regions.
+
+:data:`repro.paper.CLAIMED_REGIONS` records which protocol is claimed to
+solve ``SC(k, t, C)`` where.  This module turns that lookup table into a
+checked artifact: for one ``n`` it sweeps every claim over the full
+``(k, t)`` grid and, point by point,
+
+* **inside** the claimed region (``spec.solvable(n, k, t)``), runs the
+  protocol through the exhaustive explorer over every input pattern and
+  every enumerated crash plan; the point is ``CONFIRMED_SOLVABLE`` only
+  when every exploration is exhaustive and violation-free;
+* **outside** the region, where the solvability classifier says the
+  point is ``IMPOSSIBLE``, hunts for a counterexample run; the first
+  violating schedule is replayed on a fresh kernel through the full
+  :mod:`repro.verify` oracle stack (:func:`confirm_exploration`) and
+  optionally saved as a replayable witness file
+  (``COUNTEREXAMPLE_CONFIRMED``);
+* outside the region where the protocol's factory refuses to build at
+  all, records ``REGION_GUARDED`` -- the implementation enforces its own
+  precondition, which is itself evidence the claim's boundary is real;
+* outside the region where the classifier says ``POSSIBLE`` or ``OPEN``
+  the point is ``SKIPPED``: the claim says nothing there.
+
+Lossy visited stores may *miss* violations (a hash collision can cut an
+unexplored branch), so a lossy "no counterexample found" is never
+trusted: the point is re-run on the exact store before any verdict is
+downgraded to ``COUNTEREXAMPLE_MISSING`` (the re-run is flagged
+``escalated``).  This is the invariant the bitstate property tests pin:
+a false positive can cost re-verification work, never a wrong verdict.
+
+Byzantine-model claims are certified under the crash-restricted
+sub-adversary the explorer models; crash failures are a subset of
+Byzantine behaviour, so counterexamples transfer soundly while
+``CONFIRMED_SOLVABLE`` is, for those claims, confirmation under crash
+failures only (recorded in the claim's ``note``).
+
+The report serializes as ``repro-certification/1`` JSON for CI baseline
+guards (``repro certify --check-baseline``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.solvability import Solvability, classify
+from repro.core.validity import by_code
+from repro.failures.crash import CrashPlan, CrashPoint
+from repro.harness.exhaustive import (
+    SpecFactory,
+    VisitedSpec,
+    crash_patterns,
+    explore_mp,
+    explore_sm,
+)
+from repro.paper import CLAIMED_REGIONS, ClaimedRegion
+from repro.verify.witness import (
+    confirm_exploration,
+    exploration_witnesses,
+    save_witness,
+)
+
+__all__ = [
+    "CertificationReport",
+    "ClaimResult",
+    "PointResult",
+    "REPORT_FORMAT",
+    "certify_claims",
+]
+
+REPORT_FORMAT = "repro-certification/1"
+
+#: Point verdicts, in severity order (worst first).
+VERDICTS = (
+    "REFUTED",                   # claimed solvable, violation found
+    "COUNTEREXAMPLE_MISSING",    # claimed impossible, no violation found
+    "INCONCLUSIVE",              # exploration hit its state budget
+    "COUNTEREXAMPLE_CONFIRMED",  # impossibility witnessed + re-proven
+    "CONFIRMED_SOLVABLE",        # clean exhaustive sweep inside region
+    "REGION_GUARDED",            # factory refuses outside its region
+    "SKIPPED",                   # claim says nothing at this point
+)
+
+_FAILING = frozenset({"REFUTED", "COUNTEREXAMPLE_MISSING"})
+
+
+@dataclasses.dataclass
+class PointResult:
+    """Certification outcome of one ``(k, t)`` grid point."""
+
+    k: int
+    t: int
+    inside: bool
+    classification: str
+    verdict: str
+    states: int = 0
+    explorations: int = 0
+    #: Lossy store found nothing and the point was re-run exactly.
+    escalated: bool = False
+    witness_path: Optional[str] = None
+    note: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class ClaimResult:
+    """All grid points of one claimed region."""
+
+    spec_name: str
+    protocol: str
+    model: str
+    validity: str
+    lemma: str
+    points: List[PointResult] = dataclasses.field(default_factory=list)
+    note: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not any(p.verdict in _FAILING for p in self.points)
+
+    @property
+    def states(self) -> int:
+        return sum(p.states for p in self.points)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec_name": self.spec_name,
+            "protocol": self.protocol,
+            "model": self.model,
+            "validity": self.validity,
+            "lemma": self.lemma,
+            "ok": self.ok,
+            "note": self.note,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+
+@dataclasses.dataclass
+class CertificationReport:
+    """One full certification sweep, serializable for CI guards."""
+
+    n: int
+    visited: str
+    symmetry: bool
+    claims: List[ClaimResult] = dataclasses.field(default_factory=list)
+    skipped_specs: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(claim.ok for claim in self.claims)
+
+    @property
+    def total_states(self) -> int:
+        return sum(claim.states for claim in self.claims)
+
+    def verdict_counts(self) -> Dict[str, int]:
+        counts = {verdict: 0 for verdict in VERDICTS}
+        for claim in self.claims:
+            for point in claim.points:
+                counts[point.verdict] += 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": REPORT_FORMAT,
+            "n": self.n,
+            "visited": self.visited,
+            "symmetry": self.symmetry,
+            "ok": self.ok,
+            "total_states": self.total_states,
+            "verdicts": self.verdict_counts(),
+            "skipped_specs": list(self.skipped_specs),
+            "claims": [claim.to_dict() for claim in self.claims],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        from repro.io import atomic_write_text
+
+        atomic_write_text(path, self.to_json() + "\n")
+
+
+# ---------------------------------------------------------------------------
+# instance enumeration
+
+
+def _input_patterns(n: int) -> List[Tuple[str, List[str]]]:
+    """The input vectors each point is certified over.
+
+    ``uniform`` probes the agreement-trivial corner, ``split`` the
+    two-value validity conditions, ``distinct`` the k-agreement pigeon-
+    hole (with n distinct inputs any decision spread beyond ``k`` values
+    is observable).  Patterns are swept in this order; counterexample
+    hunts therefore try the most discriminating vector first.
+    """
+    distinct = [f"v{i}" for i in range(n)]
+    split = ["v" if i < (n + 1) // 2 else "w" for i in range(n)]
+    uniform = ["v"] * n
+    return [("distinct", distinct), ("split", split), ("uniform", uniform)]
+
+
+def _sm_crash_plans(n: int, t: int) -> List[Optional[CrashPlan]]:
+    """Crash plans for shared-memory points (step-indexed only).
+
+    SM processes take no send actions, so only ``after_steps`` crash
+    points are meaningful: the failure-free plan plus every single
+    victim halting before op 0, 1, or 2 (before its write, mid-scan,
+    and between scan cycles).
+    """
+    plans: List[Optional[CrashPlan]] = [None]
+    if t < 1:
+        return plans
+    for victim in range(n):
+        for ops in (0, 1, 2):
+            plans.append(CrashPlan({victim: CrashPoint(after_steps=ops)}))
+    return plans
+
+
+def _explore_point(
+    spec,
+    inputs: Sequence[str],
+    n: int,
+    k: int,
+    t: int,
+    plan: Optional[CrashPlan],
+    visited: Union[str, VisitedSpec],
+    symmetry: bool,
+    max_states: int,
+    jobs: Optional[int],
+):
+    factory = SpecFactory(spec.name, n, k, t)
+    validity = by_code(spec.validity)
+    if spec.is_shared_memory:
+        return factory, explore_sm(
+            factory, inputs, k, t, validity,
+            crash_adversary=plan,
+            max_states=max_states,
+            jobs=jobs,
+            visited=visited,
+            symmetry=symmetry,
+        )
+    return factory, explore_mp(
+        factory, inputs, k, t, validity,
+        crash_adversary=plan,
+        max_states=max_states,
+        jobs=jobs,
+        visited=visited,
+        symmetry=symmetry,
+    )
+
+
+# ---------------------------------------------------------------------------
+# per-point certification
+
+
+def _certify_inside(
+    spec, point: PointResult, n: int,
+    instances: List[Tuple[str, List[str], Optional[CrashPlan]]],
+    visited, symmetry, max_states, jobs,
+) -> None:
+    """Inside the claimed region every instance must come back clean."""
+    for label, inputs, plan in instances:
+        try:
+            _, result = _explore_point(
+                spec, inputs, n, point.k, point.t, plan,
+                visited, symmetry, max_states, jobs,
+            )
+        except Exception as exc:  # pragma: no cover - claim must build
+            point.verdict = "REFUTED"
+            point.note = f"factory failed inside region ({label}): {exc}"
+            return
+        point.explorations += 1
+        point.states += result.states
+        if result.violations:
+            point.verdict = "REFUTED"
+            point.note = (
+                f"violation under inputs={label} plan={plan!r}: "
+                f"{sorted(map(sorted, result.violation_kinds()))}"
+            )
+            return
+        if not result.exhausted:
+            point.verdict = "INCONCLUSIVE"
+            point.note = f"state budget hit under inputs={label}"
+            return
+    point.verdict = "CONFIRMED_SOLVABLE"
+
+
+def _certify_outside_impossible(
+    spec, point: PointResult, n: int,
+    instances: List[Tuple[str, List[str], Optional[CrashPlan]]],
+    visited, symmetry, max_states, jobs,
+    witness_dir: Optional[pathlib.Path],
+) -> None:
+    """Outside + IMPOSSIBLE: find, re-prove, and save one counterexample."""
+    store_is_lossy = not (
+        visited == "exact"
+        or (isinstance(visited, VisitedSpec) and visited.kind == "exact")
+    )
+    for label, inputs, plan in instances:
+        try:
+            factory, result = _explore_point(
+                spec, inputs, n, point.k, point.t, plan,
+                visited, symmetry, max_states, jobs,
+            )
+        except Exception as exc:
+            point.verdict = "REGION_GUARDED"
+            point.note = f"factory refuses outside region: {exc}"
+            return
+        point.explorations += 1
+        point.states += result.states
+        if not result.violations and store_is_lossy:
+            # A lossy store may have cut the violating branch on a hash
+            # collision; only the exact store may testify to absence.
+            try:
+                factory, result = _explore_point(
+                    spec, inputs, n, point.k, point.t, plan,
+                    "exact", symmetry, max_states, jobs,
+                )
+            except Exception as exc:  # pragma: no cover - built above
+                point.verdict = "REGION_GUARDED"
+                point.note = f"factory refuses outside region: {exc}"
+                return
+            point.escalated = True
+            point.explorations += 1
+            point.states += result.states
+        if result.violations:
+            # Re-prove only the first violation: one independently
+            # replayed counterexample certifies the impossibility, and
+            # confirming thousands of equivalent ones would dominate
+            # certification cost.
+            result.violations = result.violations[:1]
+            confirm_exploration(
+                result, spec.name, inputs, point.k, point.t,
+                crash_adversary=plan, validity=spec.validity,
+            )
+            if witness_dir is not None:
+                witness = exploration_witnesses(
+                    result, spec.name, inputs, point.k, point.t,
+                    crash_adversary=plan, validity=spec.validity,
+                )[0]
+                path = witness_dir / (
+                    f"{spec.name}-n{n}-k{point.k}-t{point.t}.json"
+                )
+                witness_dir.mkdir(parents=True, exist_ok=True)
+                save_witness(witness, path)
+                point.witness_path = str(path)
+            point.verdict = "COUNTEREXAMPLE_CONFIRMED"
+            point.note = f"inputs={label} plan={plan!r}"
+            return
+        if not result.exhausted:
+            point.verdict = "INCONCLUSIVE"
+            point.note = f"state budget hit under inputs={label}"
+            return
+    point.verdict = "COUNTEREXAMPLE_MISSING"
+    point.note = (
+        "no violating schedule within the enumerated instance family"
+    )
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+
+
+def certify_claims(
+    n: int = 4,
+    specs: Optional[Sequence[str]] = None,
+    ks: Optional[Sequence[int]] = None,
+    ts: Optional[Sequence[int]] = None,
+    visited: Union[str, VisitedSpec] = "exact",
+    symmetry: bool = True,
+    max_states: int = 500_000,
+    jobs: Optional[int] = None,
+    max_sends: int = 1,
+    include_sim: bool = False,
+    witness_dir: Optional[Union[str, pathlib.Path]] = None,
+    progress=None,
+) -> CertificationReport:
+    """Certify ``CLAIMED_REGIONS`` exhaustively at one ``n``.
+
+    Args:
+        n: system size; the grid is ``k in 1..n`` x ``t in 0..n-1``
+            (restrictable via ``ks``/``ts``).
+        specs: spec-name filter (default: every claim).
+        visited: visited-store selection for the underlying explorer.
+            Lossy stores escalate absent counterexamples to ``exact``.
+        symmetry: enable process-permutation reduction (on by default;
+            the explorer drops it automatically where unsound).
+        max_states: per-exploration state budget; exceeding it makes a
+            point ``INCONCLUSIVE``, never silently certified.
+        max_sends: partial-broadcast crash depth for MP crash plans
+            (see :func:`repro.harness.exhaustive.crash_patterns`).
+        include_sim: also certify the ``sim-*`` simulation claims
+            (skipped by default: each point multiplies the grid by the
+            simulated protocol's own exploration).
+        witness_dir: when set, counterexample witnesses are saved here.
+        progress: optional callable invoked as ``progress(message)``
+            after every finished point (the CLI prints these).
+    """
+    report = CertificationReport(
+        n=n,
+        visited=visited if isinstance(visited, str) else visited.kind,
+        symmetry=symmetry,
+    )
+    directory = pathlib.Path(witness_dir) if witness_dir else None
+    wanted = set(specs) if specs is not None else None
+    k_values = list(ks) if ks is not None else list(range(1, n + 1))
+    t_values = list(ts) if ts is not None else list(range(n))
+
+    for claim in CLAIMED_REGIONS:
+        if wanted is not None and claim.spec_name not in wanted:
+            continue
+        if claim.spec_name.startswith("sim-") and not include_sim:
+            if wanted is None:
+                report.skipped_specs.append(claim.spec_name)
+                continue
+        spec = _registry_spec(claim)
+        result = ClaimResult(
+            spec_name=claim.spec_name,
+            protocol=claim.protocol,
+            model=claim.model_attr,
+            validity=claim.validity,
+            lemma=claim.lemma,
+        )
+        if claim.model.is_byzantine:
+            result.note = (
+                "certified under the crash-restricted sub-adversary: "
+                "crash failures are a subset of Byzantine behaviour, so "
+                "counterexamples transfer; solvable confirmations cover "
+                "crash failures only"
+            )
+        for k in k_values:
+            for t in t_values:
+                point = _certify_point(
+                    claim, spec, n, k, t, visited, symmetry,
+                    max_states, jobs, max_sends, directory,
+                )
+                result.points.append(point)
+                if progress is not None:
+                    progress(
+                        f"{claim.spec_name} k={k} t={t}: {point.verdict}"
+                        f" ({point.states} states)"
+                    )
+        report.claims.append(result)
+    return report
+
+
+def _registry_spec(claim: ClaimedRegion):
+    import repro.protocols  # noqa: F401 -- populate the registry
+    from repro.protocols.base import get_spec
+
+    return get_spec(claim.spec_name)
+
+
+def _certify_point(
+    claim: ClaimedRegion, spec, n: int, k: int, t: int,
+    visited, symmetry, max_states, jobs, max_sends,
+    witness_dir: Optional[pathlib.Path],
+) -> PointResult:
+    classification = classify(
+        claim.model, by_code(claim.validity), n, k, t
+    )
+    inside = bool(spec.solvable(n, k, t))
+    point = PointResult(
+        k=k, t=t, inside=inside,
+        classification=classification.status.value,
+        verdict="SKIPPED",
+    )
+    if spec.is_shared_memory:
+        plans = _sm_crash_plans(n, t)
+    else:
+        plans = crash_patterns(n, t, max_sends)
+    instances = [
+        (label, inputs, plan)
+        for label, inputs in _input_patterns(n)
+        for plan in plans
+    ]
+    if inside:
+        _certify_inside(
+            spec, point, n, instances, visited, symmetry, max_states, jobs
+        )
+    elif classification.status is Solvability.IMPOSSIBLE:
+        _certify_outside_impossible(
+            spec, point, n, instances, visited, symmetry, max_states,
+            jobs, witness_dir,
+        )
+    else:
+        point.note = (
+            f"outside claimed region, classifier says "
+            f"{classification.status.value}: nothing to certify"
+        )
+    return point

@@ -1,0 +1,263 @@
+"""The claims-certification tier: ``repro.verify.certify_claims``.
+
+Certification is the repo's end-to-end statement that the paper's
+claimed-region table is *checked*, not transcribed: solvable claims come
+back from clean exhaustive sweeps, impossibility claims come back with a
+replayed counterexample.  These tests pin the report format, the verdict
+semantics (including the lossy-store escalation invariant), witness
+replayability, and the CLI baseline guard used by the certify-smoke CI
+job.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.exhaustive import VisitedSpec
+from repro.verify.certify import (
+    REPORT_FORMAT,
+    VERDICTS,
+    CertificationReport,
+    ClaimResult,
+    PointResult,
+    certify_claims,
+)
+from repro.verify.witness import load_witness, verify_witness
+
+
+@pytest.fixture(scope="module")
+def trivial_report(tmp_path_factory):
+    """Full n=3 grid of the trivial claim, witnesses saved.
+
+    ``trivial@mp-cr`` decides own input: solvable iff k = n, impossible
+    below, so one sweep exercises both the CONFIRMED_SOLVABLE and the
+    COUNTEREXAMPLE_CONFIRMED paths.
+    """
+    witness_dir = tmp_path_factory.mktemp("witnesses")
+    report = certify_claims(
+        n=3, specs=["trivial@mp-cr"], witness_dir=witness_dir,
+    )
+    return report
+
+
+class TestReportStructure:
+    def test_one_claim_full_grid(self, trivial_report):
+        assert len(trivial_report.claims) == 1
+        claim = trivial_report.claims[0]
+        assert claim.spec_name == "trivial@mp-cr"
+        assert len(claim.points) == 9  # k in 1..3 x t in 0..2
+        assert trivial_report.ok and claim.ok
+
+    def test_verdicts_are_known(self, trivial_report):
+        for point in trivial_report.claims[0].points:
+            assert point.verdict in VERDICTS
+
+    def test_both_certification_paths_exercised(self, trivial_report):
+        counts = trivial_report.verdict_counts()
+        assert counts["CONFIRMED_SOLVABLE"] > 0
+        assert counts["COUNTEREXAMPLE_CONFIRMED"] > 0
+        assert counts["REFUTED"] == 0
+        assert counts["COUNTEREXAMPLE_MISSING"] == 0
+
+    def test_verdict_counts_cover_every_point(self, trivial_report):
+        counts = trivial_report.verdict_counts()
+        assert sum(counts.values()) == len(trivial_report.claims[0].points)
+
+    def test_inside_points_swept_clean(self, trivial_report):
+        for point in trivial_report.claims[0].points:
+            if point.inside:
+                assert point.verdict == "CONFIRMED_SOLVABLE"
+                assert point.explorations > 0
+                assert point.states > 0
+
+    def test_json_round_trip(self, trivial_report):
+        blob = trivial_report.to_json()
+        data = json.loads(blob)
+        assert data == trivial_report.to_dict()
+        assert data["format"] == REPORT_FORMAT
+        assert data["n"] == 3
+        assert data["ok"] is True
+        assert data["total_states"] == trivial_report.total_states
+
+    def test_save(self, trivial_report, tmp_path):
+        path = tmp_path / "report.json"
+        trivial_report.save(path)
+        assert json.loads(path.read_text()) == trivial_report.to_dict()
+
+
+class TestWitnesses:
+    def test_counterexamples_replay_through_the_oracle_stack(
+        self, trivial_report
+    ):
+        confirmed = [
+            p for p in trivial_report.claims[0].points
+            if p.verdict == "COUNTEREXAMPLE_CONFIRMED"
+        ]
+        assert confirmed
+        for point in confirmed:
+            assert point.witness_path, "witness_dir was set"
+            witness = load_witness(point.witness_path)
+            verdict = verify_witness(witness)
+            assert verdict.deterministic
+            assert verdict.violations
+            assert verdict.demonstrates_expected
+
+
+class TestLossyStores:
+    def test_bitstate_never_flips_an_impossibility_verdict(self):
+        """A saturated 64-bit array false-hits constantly; the escalation
+        to the exact store must still deliver the counterexample."""
+        report = certify_claims(
+            n=3, specs=["trivial@mp-cr"], ks=[1], ts=[1],
+            visited=VisitedSpec(
+                kind="bitstate", bitstate_bits=64, bitstate_hashes=2
+            ),
+        )
+        (point,) = report.claims[0].points
+        assert point.verdict == "COUNTEREXAMPLE_CONFIRMED"
+        assert point.verdict != "COUNTEREXAMPLE_MISSING"
+
+    def test_compact_store_agrees_with_exact(self):
+        exact = certify_claims(n=3, specs=["trivial@mp-cr"], ks=[3], ts=[1])
+        compact = certify_claims(
+            n=3, specs=["trivial@mp-cr"], ks=[3], ts=[1], visited="compact",
+        )
+        assert (
+            [p.verdict for p in exact.claims[0].points]
+            == [p.verdict for p in compact.claims[0].points]
+        )
+
+
+class TestSweepFilters:
+    def test_sim_claims_skipped_by_default(self):
+        # Empty grids keep this structural: the sweep visits every claim
+        # but certifies zero points.
+        report = certify_claims(n=3, ks=[], ts=[])
+        assert any(
+            name.startswith("sim-") for name in report.skipped_specs
+        )
+        assert all(
+            not claim.spec_name.startswith("sim-")
+            for claim in report.claims
+        )
+
+    def test_grid_restriction(self):
+        report = certify_claims(n=3, specs=["trivial@mp-cr"], ks=[3], ts=[0])
+        (point,) = report.claims[0].points
+        assert (point.k, point.t) == (3, 0)
+
+    def test_progress_callback_fires_per_point(self):
+        lines = []
+        certify_claims(
+            n=3, specs=["trivial@mp-cr"], ks=[3], ts=[0],
+            progress=lines.append,
+        )
+        assert len(lines) == 1
+        assert "trivial@mp-cr k=3 t=0" in lines[0]
+
+
+def _fake_report():
+    claim = ClaimResult(
+        spec_name="fake@mp-cr", protocol="fake", model="mp-cr",
+        validity="SV2", lemma="L0",
+        points=[
+            PointResult(
+                k=2, t=1, inside=True, classification="POSSIBLE",
+                verdict="CONFIRMED_SOLVABLE", states=100,
+            ),
+        ],
+    )
+    return CertificationReport(
+        n=3, visited="exact", symmetry=True, claims=[claim],
+    )
+
+
+class TestBaselineGuard:
+    def test_round_trip_passes(self):
+        from repro.cli import _certify_baseline, _check_certify_baseline
+
+        report = _fake_report()
+        baseline = _certify_baseline(report)
+        assert baseline["format"] == "repro-certify-baseline/1"
+        assert baseline["points"]["fake@mp-cr:k=2:t=1"] == {
+            "verdict": "CONFIRMED_SOLVABLE", "states": 100,
+        }
+        assert _check_certify_baseline(report, baseline) == []
+
+    def test_verdict_change_fails(self):
+        from repro.cli import _certify_baseline, _check_certify_baseline
+
+        report = _fake_report()
+        baseline = _certify_baseline(report)
+        report.claims[0].points[0].verdict = "REFUTED"
+        failures = _check_certify_baseline(report, baseline)
+        assert failures and "verdict" in failures[0]
+
+    def test_state_regression_fails(self):
+        from repro.cli import _certify_baseline, _check_certify_baseline
+
+        report = _fake_report()
+        baseline = _certify_baseline(report)
+        report.claims[0].points[0].states = 101
+        failures = _check_certify_baseline(report, baseline)
+        assert failures and "regressed" in failures[0]
+
+    def test_fewer_states_is_fine(self):
+        from repro.cli import _certify_baseline, _check_certify_baseline
+
+        report = _fake_report()
+        baseline = _certify_baseline(report)
+        report.claims[0].points[0].states = 50
+        assert _check_certify_baseline(report, baseline) == []
+
+    def test_missing_point_fails(self):
+        from repro.cli import _certify_baseline, _check_certify_baseline
+
+        report = _fake_report()
+        baseline = _certify_baseline(report)
+        report.claims[0].points = []
+        failures = _check_certify_baseline(report, baseline)
+        assert failures and "missing" in failures[0]
+
+
+class TestCli:
+    def test_certify_exit_zero_and_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        code = main([
+            "certify", "--n", "3", "--specs", "trivial@mp-cr",
+            "--ks", "3", "--ts", "0", "--quiet", "--out", str(out),
+        ])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["format"] == REPORT_FORMAT
+        assert "1 CONFIRMED_SOLVABLE" in capsys.readouterr().out
+
+    def test_baseline_write_then_check(self, tmp_path, capsys):
+        from repro.cli import main
+
+        baseline = tmp_path / "baseline.json"
+        argv = [
+            "certify", "--n", "3", "--specs", "trivial@mp-cr",
+            "--ks", "3", "--ts", "0", "--quiet",
+        ]
+        assert main(argv + ["--write-baseline", str(baseline)]) == 0
+        assert main(argv + ["--check-baseline", str(baseline)]) == 0
+        assert "baseline check passed" in capsys.readouterr().out
+
+    def test_tampered_baseline_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        baseline = tmp_path / "baseline.json"
+        argv = [
+            "certify", "--n", "3", "--specs", "trivial@mp-cr",
+            "--ks", "3", "--ts", "0", "--quiet",
+        ]
+        assert main(argv + ["--write-baseline", str(baseline)]) == 0
+        data = json.loads(baseline.read_text())
+        key = "trivial@mp-cr:k=3:t=0"
+        data["points"][key]["states"] = 1  # pretend it used to be cheaper
+        baseline.write_text(json.dumps(data))
+        assert main(argv + ["--check-baseline", str(baseline)]) == 1
+        assert "regressed" in capsys.readouterr().out

@@ -181,3 +181,96 @@ class TestSerialVsParallelFrontier:
         )
         assert serial.exhausted and fanned.exhausted
         _same_findings(serial, fanned)
+
+
+class TestSymmetryVisitedMatrix:
+    """Symmetry reduction x visited store x worker count.
+
+    Every combination must find exactly what the full DFS finds; the
+    lossy stores may change *how much* is explored (bitstate false
+    positives cut branches sleep-soundly, worker-private stores re-cover
+    overlaps) but never the findings, and ``--jobs`` stays bit-identical
+    for every store/symmetry selection.
+    """
+
+    STORES = ("exact", "compact", "bitstate")
+
+    def test_clean_instance_matrix(self):
+        factory = SpecFactory("protocol-a@mp-cr", n=3, k=2, t=1)
+        full = explore_mp(
+            factory, ["v", "v", "w"], k=2, t=1, validity=RV2, por=False,
+        )
+        for visited in self.STORES:
+            for symmetry in (False, True):
+                run = explore_mp(
+                    factory, ["v", "v", "w"], k=2, t=1, validity=RV2,
+                    visited=visited, symmetry=symmetry,
+                )
+                assert run.exhausted, (visited, symmetry)
+                _same_findings(full, run)
+                assert run.stats.visited_store == visited
+                if symmetry:
+                    assert run.stats.symmetry, visited
+                    assert run.states < full.states
+
+    def test_violating_ablation_matrix(self):
+        """The counterexample must survive every store, the symmetry
+        quotient, and both engines -- same violation kinds, and the same
+        first violating schedule wherever a schedule is reported."""
+        def run(**kwargs):
+            return explore_mp(
+                lambda: [ProtocolBStrictQuorum() for _ in range(3)],
+                ["w", "v", "v"], k=2, t=1, validity=SV2,
+                crash_adversary=CrashPlan({0: CrashPoint(after_steps=1)}),
+                **kwargs,
+            )
+
+        full = run(por=False)
+        assert not full.all_ok
+        for visited in self.STORES:
+            for symmetry in (False, True):
+                got = run(visited=visited, symmetry=symmetry)
+                assert got.exhausted, (visited, symmetry)
+                _same_findings(full, got)
+        deep = run(engine="deepcopy", symmetry=True)
+        _same_findings(full, deep)
+        assert not deep.stats.symmetry  # the full-DFS baseline opts out
+
+    def test_jobs_bit_identical_for_every_store_and_symmetry(self):
+        factory = SpecFactory("protocol-a@mp-cr", n=3, k=2, t=1)
+        for visited in self.STORES:
+            for symmetry in (False, True):
+                one = explore_mp(
+                    factory, ["v", "v", "w"], k=2, t=1, validity=RV2,
+                    visited=visited, symmetry=symmetry, jobs=1,
+                )
+                fanned = explore_mp(
+                    factory, ["v", "v", "w"], k=2, t=1, validity=RV2,
+                    visited=visited, symmetry=symmetry, jobs=3,
+                )
+                assert one == fanned, (visited, symmetry)
+
+    def test_sm_jobs_bit_identical_under_symmetry(self):
+        factory = SpecFactory("protocol-e@sm-cr", n=3, k=2, t=0)
+        one = explore_sm(
+            factory, ["a", "a", "b"], k=2, t=0, validity=RV2,
+            symmetry=True, jobs=1,
+        )
+        fanned = explore_sm(
+            factory, ["a", "a", "b"], k=2, t=0, validity=RV2,
+            symmetry=True, jobs=3,
+        )
+        assert one == fanned
+        assert one.stats.symmetry
+
+    def test_n4_symmetry_agrees_and_reduces(self):
+        factory = SpecFactory("protocol-a@mp-cr", n=4, k=2, t=1)
+        inputs = ["v", "v", "v", "w"]
+        por = explore_mp(factory, inputs, k=2, t=1, validity=RV2)
+        sym = explore_mp(
+            factory, inputs, k=2, t=1, validity=RV2, symmetry=True,
+        )
+        assert por.exhausted and sym.exhausted
+        _same_findings(por, sym)
+        assert sym.stats.symmetry and sym.stats.group_size == 6
+        assert sym.states < por.states

@@ -1,0 +1,215 @@
+"""Unit tests for the pluggable visited stores.
+
+The explorer's correctness leans on three store-level contracts:
+
+* Godefroid semantics (exact/compact): a probe under a superset sleep
+  is a hit, a probe under an incomparable sleep re-expands exactly the
+  stored-minus-probe difference and shrinks the entry to the
+  intersection, and ``set_covered`` makes every future probe hit.
+* Determinism: digests come from BLAKE2b over ``repr``, never Python's
+  per-process-randomized ``hash``, so two independently built stores
+  agree bit for bit (the parallel frontier merge relies on this).
+* Bitstate lossiness is one-sided: a probe returns only hit or
+  EXPAND_ALL (never a partial re-expansion), false positives are
+  *recorded* in a budget, and ``set_covered`` is a no-op (a bit cannot
+  represent widened coverage).
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.harness.visited import (
+    EXPAND_ALL,
+    BitstateStore,
+    CompactStore,
+    ExactStore,
+    NO_SLEEP,
+    VisitedSpec,
+    make_visited_store,
+)
+
+FP = ("state", 1, ("a", "b"))
+OTHER = ("state", 2, ("c",))
+SIG_X = (1, 0, 1, ("m",))
+SIG_Y = (1, 1, 2, ("m",))
+
+
+class TestExactStore:
+    def test_new_state_expands_all(self):
+        store = ExactStore()
+        assert store.probe(FP, NO_SLEEP) is EXPAND_ALL
+        assert store.misses == 1 and store.hits == 0
+
+    def test_superset_sleep_is_hit(self):
+        store = ExactStore()
+        store.probe(FP, Counter([SIG_X]))
+        assert store.probe(FP, Counter([SIG_X, SIG_Y])) is None
+        assert store.hits == 1
+
+    def test_equal_sleep_is_hit(self):
+        store = ExactStore()
+        store.probe(FP, Counter([SIG_X]))
+        assert store.probe(FP, Counter([SIG_X])) is None
+
+    def test_partial_reexpansion_returns_difference(self):
+        store = ExactStore()
+        store.probe(FP, Counter([SIG_X, SIG_Y]))
+        missing = store.probe(FP, Counter([SIG_Y]))
+        assert missing == Counter([SIG_X])
+        # The entry shrank to the intersection: a revisit under the
+        # smaller sleep is now covered.
+        assert store.probe(FP, Counter([SIG_Y])) is None
+
+    def test_disjoint_sleep_shrinks_to_empty(self):
+        store = ExactStore()
+        store.probe(FP, Counter([SIG_X]))
+        missing = store.probe(FP, Counter([SIG_Y]))
+        assert missing == Counter([SIG_X])
+        assert store.probe(FP, NO_SLEEP) is None
+
+    def test_multiset_counts_respected(self):
+        store = ExactStore()
+        store.probe(FP, Counter({SIG_X: 2}))
+        missing = store.probe(FP, Counter({SIG_X: 1}))
+        assert missing == Counter({SIG_X: 1})
+
+    def test_set_covered_makes_every_probe_hit(self):
+        store = ExactStore()
+        store.probe(FP, Counter([SIG_X, SIG_Y]))
+        store.set_covered(FP)
+        assert store.probe(FP, NO_SLEEP) is None
+
+    def test_probe_copies_the_sleep(self):
+        store = ExactStore()
+        sleep = Counter([SIG_X])
+        store.probe(FP, sleep)
+        sleep[SIG_Y] += 1  # caller mutation must not leak into the store
+        assert store.probe(FP, Counter([SIG_X])) is None
+
+    def test_distinct_fingerprints_independent(self):
+        store = ExactStore()
+        store.probe(FP, NO_SLEEP)
+        assert store.probe(OTHER, NO_SLEEP) is EXPAND_ALL
+
+    def test_sig_key_is_identity(self):
+        assert ExactStore().sig_key(SIG_X) == SIG_X
+
+
+class TestCompactStore:
+    def test_same_godefroid_semantics_on_digests(self):
+        store = CompactStore()
+        sleep = Counter([store.sig_key(SIG_X), store.sig_key(SIG_Y)])
+        assert store.probe(FP, sleep) is EXPAND_ALL
+        missing = store.probe(FP, Counter([store.sig_key(SIG_Y)]))
+        assert missing == Counter([store.sig_key(SIG_X)])
+
+    def test_digests_are_ints(self):
+        store = CompactStore()
+        assert isinstance(store.fingerprint_key(FP), int)
+        assert isinstance(store.sig_key(SIG_X), int)
+
+    def test_digests_deterministic_across_instances(self):
+        assert (
+            CompactStore().fingerprint_key(FP)
+            == CompactStore().fingerprint_key(FP)
+        )
+        assert CompactStore().sig_key(SIG_X) == CompactStore().sig_key(SIG_X)
+
+    def test_distinct_values_distinct_digests(self):
+        store = CompactStore()
+        assert store.fingerprint_key(FP) != store.fingerprint_key(OTHER)
+
+
+class TestBitstateStore:
+    def test_bits_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            BitstateStore(bits=100)
+        with pytest.raises(ValueError):
+            BitstateStore(bits=0)
+
+    def test_new_key_expands_all_and_sets_bits(self):
+        store = BitstateStore(bits=1 << 10, hashes=4)
+        assert store.probe(FP, NO_SLEEP) is EXPAND_ALL
+        assert 1 <= store.set_bits <= 4
+        assert store.saturation == store.set_bits / (1 << 10)
+
+    def test_repeat_probe_hits_and_accrues_budget(self):
+        store = BitstateStore(bits=1 << 10, hashes=4)
+        store.probe(FP, NO_SLEEP)
+        assert store.probe(FP, NO_SLEEP) is None
+        assert store.hits == 1
+        assert store.false_positive_budget == store.saturation ** 4
+
+    def test_sleep_is_part_of_the_key(self):
+        # A hit under a *different* sleep would be unsound (the cached
+        # subtree may have skipped exactly the continuations the
+        # revisit needs), so sleep is hashed into the bit positions.
+        store = BitstateStore(bits=1 << 16, hashes=4)
+        store.probe(FP, Counter([store.sig_key(SIG_X)]))
+        assert store.probe(FP, NO_SLEEP) is EXPAND_ALL
+
+    def test_never_returns_partial_reexpansion(self):
+        store = BitstateStore(bits=1 << 16, hashes=4)
+        for sleep in (NO_SLEEP, Counter([store.sig_key(SIG_X)])):
+            result = store.probe(FP, sleep)
+            assert result is EXPAND_ALL or result is None
+
+    def test_set_covered_is_a_noop(self):
+        store = BitstateStore(bits=1 << 16, hashes=4)
+        store.set_covered(FP)
+        assert store.set_bits == 0
+        assert store.probe(FP, NO_SLEEP) is EXPAND_ALL
+
+    def test_positions_deterministic_across_instances(self):
+        a = BitstateStore(bits=1 << 12, hashes=4)
+        b = BitstateStore(bits=1 << 12, hashes=4)
+        for fp in (FP, OTHER, ("x", 3)):
+            assert a._positions(fp, NO_SLEEP) == b._positions(fp, NO_SLEEP)
+
+    def test_tiny_array_saturates_and_false_hits_are_budgeted(self):
+        store = BitstateStore(bits=64, hashes=2)
+        for i in range(200):
+            store.probe(("state", i), NO_SLEEP)
+        assert store.saturation > 0.5
+        # With 64 bits and 200 distinct keys some probes inevitably
+        # collided; the budget must reflect a non-trivial expectation.
+        assert store.hits > 0
+        assert store.false_positive_budget > 0
+
+    def test_fill_stats(self):
+        from repro.harness.exhaustive import ExplorationStats
+
+        store = BitstateStore(bits=1 << 10, hashes=4)
+        store.probe(FP, NO_SLEEP)
+        store.probe(FP, NO_SLEEP)
+        stats = ExplorationStats()
+        store.fill_stats(stats)
+        assert stats.bitstate_bits == 1 << 10
+        assert stats.bitstate_set_bits == store.set_bits
+        assert stats.bitstate_saturation == store.saturation
+        assert stats.bitstate_fp_budget == store.false_positive_budget
+
+
+class TestVisitedSpec:
+    def test_build_each_kind(self):
+        assert type(VisitedSpec("exact").build()) is ExactStore
+        assert type(VisitedSpec("compact").build()) is CompactStore
+        store = VisitedSpec("bitstate", bitstate_bits=1 << 12).build()
+        assert type(store) is BitstateStore
+        assert store.bits == 1 << 12
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            VisitedSpec("mystery").build()
+
+    def test_make_visited_store_from_string(self):
+        store, spec = make_visited_store("compact")
+        assert store.kind == "compact"
+        assert spec == VisitedSpec("compact")
+
+    def test_make_visited_store_passes_spec_through(self):
+        wanted = VisitedSpec("bitstate", bitstate_bits=1 << 12)
+        store, spec = make_visited_store(wanted)
+        assert spec is wanted
+        assert store.bits == 1 << 12

@@ -1,0 +1,116 @@
+"""SYM rule fixtures: order-sensitive iteration in canonicalization."""
+
+SYM_PATH = "symmetry.py"
+
+
+class TestSym001OrderSensitiveIteration:
+    def test_tuple_of_items_flagged(self, lint):
+        src = """\
+        def canon(d):
+            return tuple(d.items())
+        """
+        found = lint(src, path=SYM_PATH, rule="SYM001")
+        assert found and "sorted()" in found[0].message
+
+    def test_for_loop_over_items_flagged(self, lint):
+        src = """\
+        def canon(d):
+            out = []
+            for key, value in d.items():
+                out.append((key, value))
+            return out
+        """
+        assert lint(src, path=SYM_PATH, rule="SYM001")
+
+    def test_list_comprehension_over_values_flagged(self, lint):
+        src = """\
+        def canon(d):
+            return [v for v in d.values()]
+        """
+        assert lint(src, path=SYM_PATH, rule="SYM001")
+
+    def test_dict_constructor_flagged(self, lint):
+        src = """\
+        def canon(d):
+            return dict(d.items())
+        """
+        assert lint(src, path=SYM_PATH, rule="SYM001")
+
+    def test_dict_comprehension_over_items_flagged(self, lint):
+        src = """\
+        def canon(d, perm):
+            return {perm[k]: v for k, v in d.items()}
+        """
+        assert lint(src, path=SYM_PATH, rule="SYM001")
+
+    def test_sorted_wrap_ok(self, lint):
+        src = """\
+        def canon(d):
+            return tuple(sorted(d.items()))
+        """
+        assert not lint(src, path=SYM_PATH, rule="SYM001")
+
+    def test_sorted_comprehension_ok(self, lint):
+        src = """\
+        def canon(d, perm):
+            return {perm[k]: v for k, v in sorted(d.items())}
+        """
+        assert not lint(src, path=SYM_PATH, rule="SYM001")
+
+    def test_order_insensitive_reducers_ok(self, lint):
+        src = """\
+        def probe(stored, sleep):
+            return all(sleep[s] >= n for s, n in stored.items())
+
+        def size(d):
+            return len(d.keys()) + sum(d.values())
+
+        def multiset(d):
+            return Counter(d.values())
+        """
+        assert not lint(src, path=SYM_PATH, rule="SYM001")
+
+    def test_set_comprehension_ok(self, lint):
+        src = """\
+        def owners(d):
+            return {k for k in d.keys()}
+        """
+        assert not lint(src, path=SYM_PATH, rule="SYM001")
+
+    def test_generator_into_list_flagged(self, lint):
+        src = """\
+        def canon(d):
+            return list(v for v in d.values())
+        """
+        assert lint(src, path=SYM_PATH, rule="SYM001")
+
+    def test_visited_path_in_scope(self, lint):
+        src = """\
+        def canon(d):
+            return tuple(d.items())
+        """
+        assert lint(src, path="harness/visited.py", rule="SYM001")
+
+    def test_out_of_scope_not_flagged(self, lint):
+        src = """\
+        def canon(d):
+            return tuple(d.items())
+        """
+        assert not lint(src, path="analysis/fixture.py", rule="SYM001")
+
+    def test_real_modules_are_clean(self):
+        import pathlib
+
+        from repro.staticcheck import check_source
+
+        for name in ("symmetry.py", "visited.py"):
+            path = (
+                pathlib.Path(__file__).resolve().parents[2]
+                / "src" / "repro" / "harness" / name
+            )
+            findings = [
+                f
+                for f in check_source(path.read_text(), str(path))
+                if f.rule_id == "SYM001"
+            ]
+            assert not findings, findings

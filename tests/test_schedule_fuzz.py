@@ -121,3 +121,42 @@ def test_choice_stream_determinism(stream):
     first, second = once(), once()
     assert first.outcome.decisions == second.outcome.decisions
     assert first.result.ticks == second.result.ticks
+
+
+@settings(max_examples=16, deadline=None)
+@given(st.lists(st.sampled_from(["v", "w"]), min_size=3, max_size=3))
+def test_symmetry_reduction_preserves_findings_under_input_fuzz(inputs):
+    """For every input vector (any mix of interchangeable processes) the
+    symmetry-quotiented exploration finds exactly what the plain one
+    does -- the quotient may only shrink the state count."""
+    from repro.core.validity import by_code
+    from repro.harness.exhaustive import SpecFactory, explore_mp
+
+    factory = SpecFactory("protocol-a@mp-cr", 3, 2, 0)
+    validity = by_code("RV2")
+    base = explore_mp(factory, inputs, 2, 0, validity)
+    sym = explore_mp(factory, inputs, 2, 0, validity, symmetry=True)
+    assert base.exhausted and sym.exhausted
+    assert sym.violation_kinds() == base.violation_kinds()
+    assert sym.decision_sets == base.decision_sets
+    assert sym.states <= base.states
+    if len(set(inputs)) < len(inputs):
+        assert sym.stats.symmetry
+        assert sym.states < base.states
+
+
+@settings(max_examples=4, deadline=None)
+@given(st.sampled_from(["aaa", "aab", "abb", "bbb"]))
+def test_sm_symmetry_preserves_findings_under_input_fuzz(pattern):
+    from repro.core.validity import by_code
+    from repro.harness.exhaustive import SpecFactory, explore_sm
+
+    factory = SpecFactory("protocol-e@sm-cr", 3, 2, 0)
+    validity = by_code("RV2")
+    inputs = list(pattern)
+    base = explore_sm(factory, inputs, 2, 0, validity)
+    sym = explore_sm(factory, inputs, 2, 0, validity, symmetry=True)
+    assert base.exhausted and sym.exhausted
+    assert sym.violation_kinds() == base.violation_kinds()
+    assert sym.decision_sets == base.decision_sets
+    assert sym.states <= base.states
