@@ -292,7 +292,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--write-baseline", action="store_true",
         help="accept every current finding into the baseline file "
-             "(existing justifications are preserved)",
+             "(existing justifications are preserved; rewrites the "
+             "file in the v2 fingerprint format)",
+    )
+    flow_group = p.add_mutually_exclusive_group()
+    flow_group.add_argument(
+        "--flow", dest="flow", action="store_true", default=True,
+        help="run the whole-program FLOW rules (interprocedural "
+             "taint, cross-helper decide-once, jobs lease automaton); "
+             "on by default",
+    )
+    flow_group.add_argument(
+        "--no-flow", dest="flow", action="store_false",
+        help="per-file rules only; skip the whole-program analysis",
+    )
+    p.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print what a rule id checks and how to suppress it, "
+             "then exit",
     )
 
     p = sub.add_parser("campaign", help="run a persisted validation campaign")
@@ -900,11 +917,19 @@ def _cmd_staticcheck(args) -> int:
     from repro.staticcheck import (
         DEFAULT_BASELINE_NAME,
         UsageError,
+        explain,
         render,
         run_check,
         write_baseline,
     )
 
+    if args.explain is not None:
+        try:
+            print(explain(args.explain))
+        except UsageError as reason:
+            print(f"staticcheck: {reason}", file=sys.stderr)
+            return 2
+        return 0
     if args.no_baseline:
         baseline_path = None
         explicit = False
@@ -920,6 +945,7 @@ def _cmd_staticcheck(args) -> int:
             baseline_path=baseline_path,
             explicit_baseline=explicit,
             strict=args.strict,
+            flow=args.flow,
         )
         if args.write_baseline:
             target = baseline_path or DEFAULT_BASELINE_NAME

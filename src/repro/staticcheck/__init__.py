@@ -14,12 +14,21 @@ the :mod:`repro.verify` layer can only check per-execution:
 * **ROB** rules -- no bare ``except:`` or swallowed-and-ignored
   exception handlers in the harness/jobs execution layers (silent
   failure hides exactly the faults the crash-safe supervisor exists
-  to surface).
+  to surface);
+* **FLOW** rules -- whole-program passes over an import-resolved call
+  graph (:mod:`repro.staticcheck.callgraph`) with fixpoint taint
+  propagation (:mod:`repro.staticcheck.flow`): interprocedural
+  nondeterminism reaching decision/message sites with the full
+  source-to-sink chain (FLOW001), decide-once proven across helper
+  calls (FLOW002), and static conformance of every
+  :mod:`repro.jobs` store call site to the
+  pending->leased->done/failed lease automaton (FLOW003).
 
 Run it as ``repro staticcheck [paths] [--format text|json|sarif]
-[--baseline FILE] [--strict]``; accepted findings live in a committed
-baseline file with per-entry justifications.  The linter lints its own
-package (``staticcheck`` is in the DET scope).
+[--baseline FILE] [--strict] [--flow/--no-flow] [--explain RULE]``;
+accepted findings live in a committed baseline file with per-entry
+justifications.  The linter lints its own package (``staticcheck`` is
+in the DET scope).
 """
 
 from repro.staticcheck.baseline import (
@@ -27,14 +36,17 @@ from repro.staticcheck.baseline import (
     BaselineEntry,
     DEFAULT_BASELINE_NAME,
     fingerprint,
+    fingerprint_v1,
     load_baseline,
     save_baseline,
 )
+from repro.staticcheck.callgraph import Program
 from repro.staticcheck.engine import (
     CheckResult,
     FileContext,
     Finding,
     Rule,
+    TraceStep,
     all_rules,
     check_paths,
     check_source,
@@ -42,6 +54,7 @@ from repro.staticcheck.engine import (
 from repro.staticcheck.runner import (
     CheckReport,
     UsageError,
+    explain,
     render,
     render_text,
     run_check,
@@ -57,12 +70,17 @@ __all__ = [
     "DEFAULT_BASELINE_NAME",
     "FileContext",
     "Finding",
+    "Program",
     "Rule",
+    "TraceStep",
     "UsageError",
     "all_rules",
     "check_paths",
+    "check_program",
     "check_source",
+    "explain",
     "fingerprint",
+    "fingerprint_v1",
     "load_baseline",
     "render",
     "render_sarif",
@@ -72,3 +90,11 @@ __all__ = [
     "to_sarif",
     "write_baseline",
 ]
+
+
+def check_program(paths, root=None, program=None):
+    """Run the whole-program FLOW rules; see
+    :func:`repro.staticcheck.rules_flow.check_program`."""
+    from repro.staticcheck.rules_flow import check_program as impl
+
+    return impl(paths, root=root, program=program)

@@ -1,0 +1,332 @@
+"""Whole-program model for the flow analysis: modules, functions, calls.
+
+The per-file rules in :mod:`repro.staticcheck.rules_det` et al. see one
+:class:`~repro.staticcheck.engine.FileContext` at a time, which is
+exactly the blind spot an interprocedural check needs to close: a
+wall-clock read laundered through one helper function is invisible to a
+single-file pass.  This module builds the shared substrate the flow
+rules (:mod:`repro.staticcheck.rules_flow`) reason over:
+
+* :class:`Program` -- every ``*.py`` file under the checked paths,
+  parsed once, with dotted module names recovered from the directory
+  layout (``src/repro/jobs/store.py`` -> ``repro.jobs.store``);
+* :class:`FunctionInfo` -- one function or method, addressable by
+  qualified name (``repro.jobs.store.JobStore.lease``);
+* :meth:`Program.resolve_call` -- best-effort static resolution of a
+  call expression to the :class:`FunctionInfo` it invokes, following
+  import aliases (via :class:`~repro.staticcheck.engine.ImportMap`),
+  package re-exports (``from repro.runtime import Process``), local
+  helpers, and ``self.method()`` dispatch through the defining class
+  and its statically-resolvable bases.
+
+Resolution is deliberately *under*-approximate: dynamic dispatch
+through variables, ``getattr``, decorators that replace functions, and
+monkey-patching all resolve to ``None`` and simply end the analysis at
+that edge.  The flow rules inherit this soundness limit (documented in
+DESIGN.md); the contract is "no false alarms from guessed edges", not
+"every laundering path is found".
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.staticcheck.engine import (
+    FileContext,
+    ImportMap,
+    iter_python_files,
+)
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Program",
+    "module_name_for",
+]
+
+#: Re-export chains longer than this are abandoned (cycle guard).
+_REEXPORT_DEPTH = 8
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name recovered from a repo-relative file path.
+
+    A leading ``src/`` component (the conventional layout root) is
+    dropped; ``__init__.py`` names the package itself.  Paths that do
+    not look like package members still get a stable dotted name, so
+    test fixtures under ``tmp_path`` work the same way.
+    """
+    parts = path.replace(os.sep, "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        last = parts[-1][: -len(".py")]
+        parts = parts[:-1] if last == "__init__" else parts[:-1] + [last]
+    return ".".join(part for part in parts if part)
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function or method in the program."""
+
+    qualname: str  # e.g. "repro.jobs.store.JobStore.lease"
+    name: str  # bare name, e.g. "lease"
+    module: "ModuleInfo"
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    def param_names(self) -> List[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        names.extend(a.arg for a in args.kwonlyargs)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def __repr__(self) -> str:
+        return f"FunctionInfo({self.qualname})"
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class: its methods and the dotted names of its bases."""
+
+    qualname: str
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = dataclasses.field(
+        default_factory=dict
+    )
+    base_names: Tuple[str, ...] = ()
+
+
+class ModuleInfo:
+    """One parsed module and its local name tables."""
+
+    def __init__(self, name: str, ctx: FileContext) -> None:
+        self.name = name
+        self.ctx = ctx
+        self.path = ctx.path
+        self.tree = ctx.tree
+        self.functions: Dict[str, FunctionInfo] = {}  # module-level defs
+        self.classes: Dict[str, ClassInfo] = {}
+        self._index()
+
+    @property
+    def imports(self) -> ImportMap:
+        return self.ctx.imports
+
+    def _index(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = FunctionInfo(
+                    qualname=f"{self.name}.{node.name}",
+                    name=node.name,
+                    module=self,
+                    node=node,
+                )
+            elif isinstance(node, ast.ClassDef):
+                info = ClassInfo(
+                    qualname=f"{self.name}.{node.name}",
+                    name=node.name,
+                    module=self,
+                    node=node,
+                    base_names=tuple(
+                        name
+                        for base in node.bases
+                        if (name := self.imports.resolve(base)) is not None
+                    ),
+                )
+                for child in node.body:
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        info.methods[child.name] = FunctionInfo(
+                            qualname=(
+                                f"{self.name}.{node.name}.{child.name}"
+                            ),
+                            name=child.name,
+                            module=self,
+                            node=child,
+                            class_name=node.name,
+                        )
+                self.classes[node.name] = info
+
+    def all_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()
+        for cls in self.classes.values():
+            yield from cls.methods.values()
+
+
+class Program:
+    """All modules under the checked paths, plus call resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}  # dotted name -> info
+        self.by_path: Dict[str, ModuleInfo] = {}
+
+    @classmethod
+    def load(
+        cls, paths: Sequence[str], root: Optional[str] = None
+    ) -> "Program":
+        """Parse every ``*.py`` under ``paths`` (skipping syntax errors).
+
+        Paths in the program are ``root``-relative with ``/``
+        separators, matching the per-file engine so findings and
+        baseline entries agree on identity.
+        """
+        base = root or os.getcwd()
+        program = cls()
+        for file_path in iter_python_files(paths):
+            try:
+                with open(file_path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                tree = ast.parse(source)
+            except (OSError, SyntaxError):
+                continue  # the per-file pass reports PARSE001
+            rel = os.path.relpath(os.path.abspath(file_path), base)
+            if rel.startswith(".."):
+                rel = os.path.abspath(file_path)
+            rel = rel.replace(os.sep, "/")
+            program.add_module(rel, FileContext(rel, source, tree))
+        return program
+
+    def add_module(self, path: str, ctx: FileContext) -> ModuleInfo:
+        info = ModuleInfo(module_name_for(path), ctx)
+        self.modules[info.name] = info
+        self.by_path[info.path] = info
+        return info
+
+    def all_functions(self) -> Iterator[FunctionInfo]:
+        for module in self.modules.values():
+            yield from module.all_functions()
+
+    # -- lookup --------------------------------------------------------
+
+    def lookup(self, dotted: str) -> Optional[FunctionInfo]:
+        """Function/method for a dotted name, chasing re-exports.
+
+        Handles ``pkg.mod.func``, ``pkg.mod.Class.method``, and names
+        that pass through package ``__init__`` re-exports
+        (``repro.runtime.Process.on_start`` resolves into
+        ``repro.runtime.process``).
+        """
+        return self._lookup(dotted, depth=0)
+
+    def _lookup(self, dotted: str, depth: int) -> Optional[FunctionInfo]:
+        if depth > _REEXPORT_DEPTH:
+            return None
+        # Longest module prefix wins: "a.b.c.d" tries module "a.b.c"
+        # with member "d" before module "a.b" with member "c.d".
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = self.modules.get(".".join(parts[:cut]))
+            if module is None:
+                continue
+            member = parts[cut:]
+            found = self._member(module, member)
+            if found is not None:
+                return found
+            # Re-export: the module imports the name from elsewhere.
+            head = member[0]
+            target = module.imports.from_imports.get(head)
+            if target is None:
+                alias = module.imports.module_aliases.get(head)
+                target = alias if alias != head else None
+            if target is not None:
+                rest = ".".join(member[1:])
+                chased = f"{target}.{rest}" if rest else target
+                return self._lookup(chased, depth + 1)
+        return None
+
+    def _member(
+        self, module: ModuleInfo, member: List[str]
+    ) -> Optional[FunctionInfo]:
+        if len(member) == 1:
+            return module.functions.get(member[0])
+        if len(member) == 2:
+            cls = module.classes.get(member[0])
+            if cls is not None:
+                return self.method_on(cls, member[1])
+        return None
+
+    def class_for(self, dotted: str) -> Optional[ClassInfo]:
+        """ClassInfo for a dotted name, chasing re-exports."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = self.modules.get(".".join(parts[:cut]))
+            if module is None:
+                continue
+            member = parts[cut:]
+            if len(member) == 1:
+                if member[0] in module.classes:
+                    return module.classes[member[0]]
+                target = module.imports.from_imports.get(member[0])
+                if target is not None:
+                    return self.class_for(target)
+        return None
+
+    def method_on(
+        self, cls: ClassInfo, name: str, depth: int = 0
+    ) -> Optional[FunctionInfo]:
+        """Method lookup on a class, walking statically-known bases."""
+        if depth > _REEXPORT_DEPTH:
+            return None
+        if name in cls.methods:
+            return cls.methods[name]
+        for base_name in cls.base_names:
+            base = self.class_for(base_name)
+            if base is not None:
+                found = self.method_on(base, name, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    # -- call resolution -----------------------------------------------
+
+    def resolve_call(
+        self, caller: FunctionInfo, node: ast.Call
+    ) -> Optional[FunctionInfo]:
+        """The function a call statically invokes, or ``None``.
+
+        ``None`` means "unknown" (dynamic dispatch, a builtin, or a
+        callee outside the program); callers must treat that edge as
+        opaque.
+        """
+        func = node.func
+        module = caller.module
+        if isinstance(func, ast.Name):
+            # Local helper in the same module shadows any import.
+            local = module.functions.get(func.id)
+            if local is not None:
+                return local
+            resolved = module.imports.resolve(func)
+            if resolved is not None and resolved != func.id:
+                return self.lookup(resolved)
+            return None
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in ("self", "cls")
+                and caller.class_name is not None
+            ):
+                cls = module.classes.get(caller.class_name)
+                if cls is not None:
+                    return self.method_on(cls, func.attr)
+                return None
+            resolved = module.imports.resolve(func)
+            if resolved is not None:
+                return self.lookup(resolved)
+        return None

@@ -36,8 +36,10 @@ __all__ = [
     "FileContext",
     "Finding",
     "ImportMap",
+    "NOQA_RULE_ID",
     "PARSE_RULE_ID",
     "Rule",
+    "TraceStep",
     "all_rules",
     "check_paths",
     "check_source",
@@ -50,9 +52,22 @@ SEVERITIES = ("error", "warning")
 #: Pseudo-rule id used for files that do not parse.
 PARSE_RULE_ID = "PARSE001"
 
+#: Pseudo-rule id for malformed ``# repro: noqa`` comments (unknown ids).
+NOQA_RULE_ID = "NOQA001"
+
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
 )
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceStep:
+    """One hop of a flow finding's source-to-sink path."""
+
+    path: str
+    line: int
+    col: int
+    note: str
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,7 +76,11 @@ class Finding:
 
     ``occurrence`` disambiguates findings whose (rule, path, source
     line text) coincide, so baseline fingerprints stay stable under
-    pure line-number drift but still count duplicates.
+    pure line-number drift but still count duplicates.  ``end_line``
+    is the last physical line of the flagged expression (== ``line``
+    for single-line constructs); ``trace`` carries the source-to-sink
+    call chain of interprocedural (FLOW) findings and is rendered as a
+    SARIF ``codeFlow``.
     """
 
     rule_id: str
@@ -72,15 +91,23 @@ class Finding:
     message: str
     line_text: str = ""
     occurrence: int = 0
+    end_line: int = 0
+    trace: Tuple[TraceStep, ...] = ()
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
 
     def render(self) -> str:
-        return (
+        text = (
             f"{self.location()}: {self.rule_id} [{self.severity}] "
             f"{self.message}"
         )
+        for index, step in enumerate(self.trace):
+            text += (
+                f"\n    [{index + 1}] {step.path}:{step.line}:{step.col} "
+                f"{step.note}"
+            )
+        return text
 
 
 class Rule:
@@ -112,7 +139,11 @@ class Rule:
         raise NotImplementedError
 
     def finding(
-        self, ctx: "FileContext", node: ast.AST, message: str
+        self,
+        ctx: "FileContext",
+        node: ast.AST,
+        message: str,
+        trace: Tuple[TraceStep, ...] = (),
     ) -> Finding:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0) + 1
@@ -124,7 +155,22 @@ class Rule:
             col=col,
             message=message,
             line_text=ctx.line_text(line),
+            end_line=_expression_end_line(node, line),
+            trace=trace,
         )
+
+
+def _expression_end_line(node: ast.AST, line: int) -> int:
+    """Last physical line a ``# repro: noqa`` may sit on for ``node``.
+
+    Expressions and simple statements span to their ``end_lineno`` (a
+    noqa on the closing line of a multi-line call counts); compound
+    statements (defs, classes, loops) would swallow their whole body,
+    so they stay anchored to the header line.
+    """
+    if hasattr(node, "body") and isinstance(node, ast.stmt):
+        return line
+    return getattr(node, "end_lineno", None) or line
 
 
 _REGISTRY: Dict[str, Rule] = {}
@@ -149,6 +195,7 @@ def all_rules() -> Tuple[Rule, ...]:
     from repro.staticcheck import (  # noqa: F401
         rules_batch,
         rules_det,
+        rules_flow,
         rules_proto,
         rules_rob,
         rules_sm,
@@ -169,11 +216,17 @@ class ImportMap:
 
     Tracks ``import x [as y]`` and ``from x import y [as z]`` so rules
     can ask "is this call ``time.time``?" regardless of aliasing.
+    Simple assignment aliases (``clock = time.time``, ``_t = time``)
+    are tracked too, so rebinding an import to a new name does not
+    launder it past the DET rules; a name bound inconsistently (two
+    assignments with different resolutions, or one that is not an
+    import chain) is dropped as unknown rather than guessed at.
     """
 
     def __init__(self, tree: ast.AST) -> None:
         self.module_aliases: Dict[str, str] = {}
         self.from_imports: Dict[str, str] = {}
+        self.value_aliases: Dict[str, Optional[str]] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -188,6 +241,37 @@ class ImportMap:
                         continue
                     local = alias.asname or alias.name
                     self.from_imports[local] = f"{node.module}.{alias.name}"
+        # Second pass so forward references (``clock = time.time`` above
+        # a late ``import time`` in document order) still resolve.
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                name = node.targets[0].id
+                resolved = self._resolve_alias_value(node.value)
+                if name in self.value_aliases:
+                    if self.value_aliases[name] != resolved:
+                        self.value_aliases[name] = None  # conflicting
+                else:
+                    self.value_aliases[name] = resolved
+
+    def _resolve_alias_value(self, node: ast.AST) -> Optional[str]:
+        """Dotted import target of an assignment RHS, if it is one."""
+        raw = dotted_name(node)
+        if raw is None:
+            return None
+        head, _, rest = raw.partition(".")
+        if head in self.module_aliases:
+            base = self.module_aliases[head]
+        elif head in self.from_imports:
+            base = self.from_imports[head]
+        elif self.value_aliases.get(head):
+            base = self.value_aliases[head]  # one more alias hop
+        else:
+            return None
+        return f"{base}.{rest}" if rest else base
 
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Dotted path of an expression, e.g. ``datetime.datetime.now``."""
@@ -199,6 +283,8 @@ class ImportMap:
             base = self.module_aliases[head]
         elif head in self.from_imports:
             base = self.from_imports[head]
+        elif self.value_aliases.get(head):
+            base = self.value_aliases[head]
         else:
             return raw
         return f"{base}.{rest}" if rest else base
@@ -238,8 +324,9 @@ class FileContext:
             return self.lines[line - 1].strip()
         return ""
 
-    def suppressed(self, rule_id: str, line: int) -> bool:
-        """Whether ``# repro: noqa`` on ``line`` silences ``rule_id``."""
+    @property
+    def noqa_table(self) -> Dict[int, Optional[frozenset]]:
+        """Line -> suppressed rule-id set (``None`` = blanket noqa)."""
         if self._noqa is None:
             table: Dict[int, Optional[frozenset]] = {}
             for num, text in enumerate(self.lines, 1):
@@ -256,10 +343,28 @@ class FileContext:
                         if part.strip()
                     )
             self._noqa = table
-        entry = self._noqa.get(line, _MISSING)
-        if entry is _MISSING:
-            return False
-        return entry is None or rule_id.upper() in entry  # type: ignore[operator]
+        return self._noqa
+
+    def suppressed(
+        self, rule_id: str, line: int, end_line: int = 0
+    ) -> bool:
+        """Whether a ``# repro: noqa`` silences ``rule_id``.
+
+        A noqa counts when it sits on the finding's first line or --
+        for multi-line expressions -- on the flagged node's last
+        physical line (``end_line``), where a trailing comment
+        naturally lands after a continuation.
+        """
+        lines = {line}
+        if end_line:
+            lines.add(end_line)
+        for num in lines:
+            entry = self.noqa_table.get(num, _MISSING)
+            if entry is _MISSING:
+                continue
+            if entry is None or rule_id.upper() in entry:
+                return True
+        return False
 
 
 _MISSING: frozenset = frozenset({"\0missing"})
@@ -307,10 +412,43 @@ def check_source(
         if not rule.applies_to(ctx.path):
             continue
         for finding in rule.check(ctx):
-            if not ctx.suppressed(finding.rule_id, finding.line):
+            if not ctx.suppressed(
+                finding.rule_id, finding.line, finding.end_line
+            ):
                 found.append(finding)
+    found.extend(_noqa_hygiene(ctx))
     found.sort(key=lambda f: (f.line, f.col, f.rule_id))
     return _number_occurrences(found)
+
+
+def _noqa_hygiene(ctx: FileContext) -> Iterator[Finding]:
+    """NOQA001: unknown rule ids in a noqa list are a warning.
+
+    A typo'd rule id (DET01 for DET001, say) otherwise suppresses
+    nothing and tells nobody -- the comment looks like an accepted
+    exception while the finding it meant to justify still gates.
+    """
+    known = set(rule_index()) | {PARSE_RULE_ID, NOQA_RULE_ID}
+    for num in sorted(ctx.noqa_table):
+        names = ctx.noqa_table[num]
+        if names is None:
+            continue
+        for name in sorted(names - known):
+            finding = Finding(
+                rule_id=NOQA_RULE_ID,
+                severity="warning",
+                path=ctx.path,
+                line=num,
+                col=1,
+                message=(
+                    f"unknown rule id {name!r} in noqa comment; it "
+                    f"suppresses nothing (known ids: see `repro "
+                    f"staticcheck --explain`)"
+                ),
+                line_text=ctx.line_text(num),
+            )
+            if not ctx.suppressed(NOQA_RULE_ID, num):
+                yield finding
 
 
 def _number_occurrences(findings: List[Finding]) -> List[Finding]:

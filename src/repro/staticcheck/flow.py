@@ -1,0 +1,725 @@
+"""Interprocedural taint propagation for the determinism contract.
+
+The dynamic layers (replay, witnesses, the parallel sweep engine's
+bit-identity guarantee) are sound only because *all* nondeterminism
+flows through seeded schedulers.  The per-file DET rules catch direct
+violations; this module catches the laundered ones: a wall-clock read
+returned through two helper calls into a decision, an unordered
+iteration order materialised in one function and broadcast from
+another.
+
+The analysis is a summary-based fixpoint over the
+:class:`~repro.staticcheck.callgraph.Program` call graph:
+
+* **Sources** taint a value: wall-clock reads, the process-global RNG,
+  OS entropy (``os.urandom``, ``uuid.uuid4``, ``secrets.*``),
+  ``id()``, and *order materialisation* of unordered collections
+  (``list(a_set)``, ``next(iter(d.values()))``, ``s.pop()``,
+  un-keyed ``min``/``max``).
+* **Propagation** follows assignments, arithmetic/containers/f-strings,
+  ``self`` attributes (cross-method, via a per-class attribute table),
+  and -- the interprocedural part -- call/return edges: each function
+  gets a :class:`Summary` saying whether its return value is tainted
+  and which parameters pass taint through to the return; summaries are
+  iterated to a fixpoint so chains of any depth converge.
+* **Sinks** are checked by :mod:`repro.staticcheck.rules_flow`
+  (decision sites, message payloads, scheduler picks, batch-plan
+  builders); every finding carries the full source-to-sink chain as
+  :class:`~repro.staticcheck.engine.TraceStep` records.
+
+Precision over soundness: unresolved calls (dynamic dispatch,
+``getattr``, out-of-program callees) do not propagate taint, and
+``sorted(...)`` launders *order* taint (it is the sanctioned fix).
+Taint may therefore be missed, never invented -- the right polarity
+for a CI gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.staticcheck.callgraph import FunctionInfo, Program
+from repro.staticcheck.engine import TraceStep
+
+__all__ = [
+    "FlowAnalysis",
+    "Summary",
+    "Taint",
+    "SOURCE_KINDS",
+]
+
+#: Human-readable names of the taint kinds, used in messages.
+SOURCE_KINDS = {
+    "clock": "wall-clock time",
+    "rng": "the process-global RNG",
+    "entropy": "OS entropy",
+    "identity": "the id() of an object",
+    "order": "unordered-collection iteration order",
+}
+
+_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+_ENTROPY_CALLS = frozenset({
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbits",
+    "secrets.randbelow",
+    "secrets.choice",
+})
+
+#: Builtins through which a tainted argument taints the result.
+_PROPAGATING_BUILTINS = frozenset({
+    "list", "tuple", "dict", "set", "frozenset", "str", "repr", "bytes",
+    "int", "float", "bool", "abs", "round", "len", "sum", "min", "max",
+    "next", "iter", "reversed", "zip", "enumerate", "map", "filter",
+    "format", "hash", "divmod", "pow",
+})
+
+#: Chains longer than this stop growing (recursion guard).
+_MAX_CHAIN = 16
+
+#: Fixpoint round cap; summaries converge long before this in practice.
+_MAX_ROUNDS = 20
+
+
+@dataclasses.dataclass(frozen=True)
+class Taint:
+    """A tainted value: which source kind, and the path it travelled."""
+
+    kind: str
+    chain: Tuple[TraceStep, ...]
+
+    def extended(self, step: TraceStep) -> "Taint":
+        if len(self.chain) >= _MAX_CHAIN:
+            return self
+        return Taint(kind=self.kind, chain=self.chain + (step,))
+
+
+def _join(a: Optional[Taint], b: Optional[Taint]) -> Optional[Taint]:
+    """First-wins join: deterministic, and keeps chains short."""
+    return a if a is not None else b
+
+
+@dataclasses.dataclass
+class Summary:
+    """What one function does with taint, seen from a call site."""
+
+    #: the return value may carry this taint
+    returns: Optional[Taint] = None
+    #: parameter indices whose taint flows into the return value
+    passthrough: FrozenSet[int] = frozenset()
+    #: the return value is an unordered collection (set/dict view)
+    returns_unordered: bool = False
+    #: parameter index -> in-function site that materialises that
+    #: parameter's iteration order (``list(param)``, un-keyed
+    #: ``min(param)``...); an *unordered* argument at a call site
+    #: makes the result order-tainted
+    materialise_order: Dict[int, TraceStep] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Summary):
+            return NotImplemented
+        return (
+            self.returns == other.returns
+            and self.passthrough == other.passthrough
+            and self.returns_unordered == other.returns_unordered
+            and self.materialise_order == other.materialise_order
+        )
+
+
+#: report(function, sink_node, sink_kind, taint) for each tainted sink.
+SinkReport = Callable[[FunctionInfo, ast.AST, str, Taint], None]
+
+
+class FlowAnalysis:
+    """Fixpoint taint analysis over one :class:`Program`."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.summaries: Dict[str, Summary] = {}
+        #: (class qualname, attribute) -> taint written by any method
+        self.attr_taint: Dict[Tuple[str, str], Optional[Taint]] = {}
+        #: (class qualname, attribute) set to an unordered collection
+        self.attr_unordered: Set[Tuple[str, str]] = set()
+        self.rounds = 0
+
+    def run(self) -> "FlowAnalysis":
+        """Iterate function summaries to a fixpoint."""
+        functions = list(self.program.all_functions())
+        for fn in functions:
+            self.summaries[fn.qualname] = Summary()
+        for round_index in range(_MAX_ROUNDS):
+            self.rounds = round_index + 1
+            changed = False
+            for fn in functions:
+                summary = _FunctionScan(self, fn).scan()
+                if summary != self.summaries[fn.qualname]:
+                    self.summaries[fn.qualname] = summary
+                    changed = True
+            if not changed:
+                break
+        return self
+
+    def summary(self, fn: FunctionInfo) -> Summary:
+        return self.summaries.get(fn.qualname) or Summary()
+
+    def scan_sinks(self, report: SinkReport) -> None:
+        """Re-scan every function, reporting tainted sink reaches."""
+        for fn in self.program.all_functions():
+            _FunctionScan(self, fn, report=report).scan()
+
+
+class _FunctionScan:
+    """One abstract-interpretation pass over one function body."""
+
+    def __init__(
+        self,
+        analysis: FlowAnalysis,
+        fn: FunctionInfo,
+        report: Optional[SinkReport] = None,
+    ) -> None:
+        self.analysis = analysis
+        self.fn = fn
+        self.report = report
+        self.params = fn.param_names()
+        if fn.is_method and self.params:
+            self.self_name: Optional[str] = self.params[0]
+        else:
+            self.self_name = None
+        self.env: Dict[str, Taint] = {}
+        self.env_params: Dict[str, FrozenSet[int]] = {
+            name: frozenset({index})
+            for index, name in enumerate(self.params)
+        }
+        self.unordered: Set[str] = set()
+        #: local name -> param indices whose unordered-ness it inherits
+        self.unordered_param_sets: Dict[str, FrozenSet[int]] = {
+            name: frozenset({index})
+            for index, name in enumerate(self.params)
+        }
+        self.summary = Summary()
+        self._returns: Optional[Taint] = None
+        self._passthrough: Set[int] = set()
+        self._returns_unordered = False
+        self._materialise: Dict[int, TraceStep] = {}
+        self._reported: Set[Tuple[int, int, str]] = set()
+
+    # -- driving -------------------------------------------------------
+
+    def scan(self) -> Summary:
+        body = getattr(self.fn.node, "body", [])
+        # Two passes so taint bound late in a loop body reaches uses at
+        # the top on the next "iteration"; monotone, so this is safe.
+        self._scan_suite(body)
+        self._scan_suite(body)
+        return Summary(
+            returns=self._returns,
+            passthrough=frozenset(self._passthrough),
+            returns_unordered=self._returns_unordered,
+            materialise_order=dict(self._materialise),
+        )
+
+    def _scan_suite(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt)
+
+    def _scan_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs are opaque to the summary
+        if isinstance(stmt, ast.ClassDef):
+            return
+        if isinstance(stmt, ast.Assign):
+            taint = self._taint(stmt.value)
+            params = self._params_of(stmt.value)
+            unordered = self._is_unordered(stmt.value)
+            inherited = self._unordered_params_of(stmt.value)
+            for target in stmt.targets:
+                self._bind(
+                    target, taint, params, unordered,
+                    unordered_params=inherited,
+                )
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(
+                    stmt.target,
+                    self._taint(stmt.value),
+                    self._params_of(stmt.value),
+                    self._is_unordered(stmt.value),
+                    unordered_params=self._unordered_params_of(
+                        stmt.value
+                    ),
+                )
+            return
+        if isinstance(stmt, ast.AugAssign):
+            taint = _join(self._taint(stmt.value), self._taint(stmt.target))
+            params = self._params_of(stmt.value) | self._params_of(
+                stmt.target
+            )
+            self._bind(stmt.target, taint, params, unordered=False)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._returns = _join(
+                    self._returns, self._taint(stmt.value)
+                )
+                self._passthrough |= self._params_of(stmt.value)
+                if self._is_unordered(stmt.value):
+                    self._returns_unordered = True
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._taint(stmt.test)
+            self._scan_suite(stmt.body)
+            self._scan_suite(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taint = self._taint(stmt.iter)
+            self._bind(
+                stmt.target,
+                iter_taint,
+                self._params_of(stmt.iter),
+                unordered=False,
+            )
+            self._scan_suite(stmt.body)
+            self._scan_suite(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self._taint(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(
+                        item.optional_vars,
+                        taint,
+                        self._params_of(item.context_expr),
+                        unordered=False,
+                    )
+            self._scan_suite(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self._scan_suite(stmt.body)
+            for handler in stmt.handlers:
+                self._scan_suite(handler.body)
+            self._scan_suite(stmt.orelse)
+            self._scan_suite(stmt.finalbody)
+            return
+        # Everything else: evaluate contained expressions for effects
+        # (sink checks fire inside _taint).
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._taint(child)
+
+    # -- binding -------------------------------------------------------
+
+    def _bind(
+        self,
+        target: ast.AST,
+        taint: Optional[Taint],
+        params: FrozenSet[int],
+        unordered: bool,
+        unordered_params: FrozenSet[int] = frozenset(),
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if taint is None:
+                self.env.pop(target.id, None)
+            else:
+                self.env[target.id] = taint
+            self.env_params[target.id] = params
+            if unordered:
+                self.unordered.add(target.id)
+            else:
+                self.unordered.discard(target.id)
+            if unordered_params:
+                self.unordered_param_sets[target.id] = unordered_params
+            else:
+                self.unordered_param_sets.pop(target.id, None)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint, params, unordered=False)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind(target.value, taint, params, unordered=False)
+            return
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == self.self_name
+            and self.fn.class_name is not None
+        ):
+            key = (self._class_qualname(), target.attr)
+            if taint is None:
+                self.env.pop(f"self.{target.attr}", None)
+            else:
+                self.env[f"self.{target.attr}"] = taint
+            existing = self.analysis.attr_taint.get(key)
+            joined = _join(existing, taint)
+            if joined is not None:
+                self.analysis.attr_taint[key] = joined
+            if unordered:
+                self.analysis.attr_unordered.add(key)
+
+    def _class_qualname(self) -> str:
+        return f"{self.fn.module.name}.{self.fn.class_name}"
+
+    # -- expression taint ----------------------------------------------
+
+    def _params_of(self, node: ast.AST) -> FrozenSet[int]:
+        """Parameter indices the value of ``node`` may derive from."""
+        if isinstance(node, ast.Name):
+            return self.env_params.get(node.id, frozenset())
+        if isinstance(node, ast.Call):
+            target = self.analysis.program.resolve_call(self.fn, node)
+            if target is not None:
+                summary = self.analysis.summary(target)
+                derived: Set[int] = set()
+                for index, arg in enumerate(node.args):
+                    if index in summary.passthrough:
+                        derived |= self._params_of(arg)
+                return frozenset(derived)
+            func = node.func
+            if isinstance(func, ast.Name) and (
+                func.id in _PROPAGATING_BUILTINS
+            ):
+                derived = set()
+                for arg in node.args:
+                    derived |= self._params_of(arg)
+                return frozenset(derived)
+            return frozenset()
+        derived = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                derived |= self._params_of(child)
+        return frozenset(derived)
+
+    def _taint(self, node: ast.AST) -> Optional[Taint]:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == self.self_name
+                and self.fn.class_name is not None
+            ):
+                local = self.env.get(f"self.{node.attr}")
+                if local is not None:
+                    return local
+                return self.analysis.attr_taint.get(
+                    (self._class_qualname(), node.attr)
+                )
+            return self._taint(node.value)
+        if isinstance(node, ast.Call):
+            return self._call_taint(node)
+        if isinstance(node, ast.JoinedStr):
+            taint: Optional[Taint] = None
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    taint = _join(taint, self._taint(value.value))
+            return taint
+        if isinstance(node, ast.FormattedValue):
+            return self._taint(node.value)
+        if isinstance(node, (ast.Constant,)):
+            return None
+        # Generic join over child expressions: BinOp, BoolOp, Compare,
+        # IfExp, Subscript, containers, comprehensions, Starred, Await,
+        # Yield values, unary ops...
+        taint = None
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                taint = _join(taint, self._taint(child))
+            elif isinstance(child, ast.comprehension):
+                taint = _join(taint, self._taint(child.iter))
+        return taint
+
+    def _call_taint(self, node: ast.Call) -> Optional[Taint]:
+        arg_taints = [self._taint(arg) for arg in node.args]
+        kw_taints = [self._taint(kw.value) for kw in node.keywords]
+        self._check_sinks(node, arg_taints, kw_taints)
+
+        source = self._source_taint(node)
+        if source is not None:
+            return source
+
+        target = self.analysis.program.resolve_call(self.fn, node)
+        if target is not None:
+            summary = self.analysis.summary(target)
+            if summary.returns is not None:
+                return summary.returns.extended(
+                    self._step(node, f"via call to {target.name}()")
+                )
+            for index, taint in enumerate(arg_taints):
+                if taint is not None and index in summary.passthrough:
+                    return taint.extended(
+                        self._step(
+                            node, f"passes through {target.name}()"
+                        )
+                    )
+            for index, site in summary.materialise_order.items():
+                if index >= len(node.args):
+                    continue
+                arg = node.args[index]
+                if self._is_unordered(arg):
+                    return Taint(kind="order", chain=(site,)).extended(
+                        self._step(
+                            node,
+                            f"{target.name}() materialises its "
+                            f"unordered argument's iteration order",
+                        )
+                    )
+                # Passing one of *our own* parameters along defers the
+                # judgement one level further up the call graph.
+                for inherited in self._unordered_params_of(arg):
+                    self._materialise.setdefault(inherited, site)
+            return None
+
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "sorted":
+                inner = _join(
+                    next((t for t in arg_taints if t), None),
+                    next((t for t in kw_taints if t), None),
+                )
+                if inner is not None and inner.kind == "order":
+                    return None  # sorted() is the sanctioned fix
+                return inner
+            if func.id in _PROPAGATING_BUILTINS:
+                return _join(
+                    next((t for t in arg_taints if t), None),
+                    next((t for t in kw_taints if t), None),
+                )
+            return None
+        if isinstance(func, ast.Attribute):
+            # Method call on a tainted object keeps the object's taint
+            # (str.format, int.to_bytes, ...); untainted receivers stay
+            # clean even with tainted arguments (log.append(x)).
+            return self._taint(func.value)
+        return None
+
+    # -- sources -------------------------------------------------------
+
+    def _source_taint(self, node: ast.Call) -> Optional[Taint]:
+        func = node.func
+        resolved = self.fn.module.imports.resolve(func)
+        if resolved in _CLOCK_CALLS:
+            return self._source(node, "clock", f"{resolved}()")
+        if resolved in _ENTROPY_CALLS:
+            return self._source(node, "entropy", f"{resolved}()")
+        if (
+            resolved is not None
+            and resolved.startswith("random.")
+            and "." not in resolved[len("random."):]
+            and resolved != "random.Random"
+        ):
+            return self._source(node, "rng", f"{resolved}()")
+        if isinstance(func, ast.Name):
+            if func.id == "id" and len(node.args) == 1:
+                return self._source(node, "identity", "id()")
+            if func.id in ("list", "tuple", "iter", "reversed"):
+                if node.args and self._is_unordered(node.args[0]):
+                    return self._source(
+                        node, "order",
+                        f"{func.id}() materialises an unordered "
+                        f"collection's iteration order",
+                    )
+                if node.args:
+                    self._record_materialise(
+                        node.args[0],
+                        node,
+                        f"{func.id}() materialises the iteration "
+                        f"order of its argument",
+                    )
+            if func.id in ("min", "max"):
+                if (
+                    len(node.args) == 1
+                    and not any(kw.arg == "key" for kw in node.keywords)
+                ):
+                    if self._is_unordered(node.args[0]):
+                        return self._source(
+                            node, "order",
+                            f"un-keyed {func.id}() over an unordered "
+                            f"collection",
+                        )
+                    self._record_materialise(
+                        node.args[0],
+                        node,
+                        f"un-keyed {func.id}() over its argument",
+                    )
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "pop"
+            and not node.args
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.unordered
+        ):
+            return self._source(
+                node, "order",
+                f"{func.value.id}.pop() removes an arbitrary element",
+            )
+        return None
+
+    def _record_materialise(
+        self, arg: ast.AST, node: ast.Call, what: str
+    ) -> None:
+        """Note that this function materialises a parameter's order.
+
+        The argument is not *known* unordered here -- whether the call
+        is deterministic depends on what the caller passes, so the site
+        is recorded in the summary and judged at each call site.
+        """
+        for index in self._unordered_params_of(arg):
+            self._materialise.setdefault(
+                index,
+                self._step(
+                    node,
+                    f"source: {what} "
+                    f"[{SOURCE_KINDS['order']}]",
+                ),
+            )
+
+    def _source(self, node: ast.AST, kind: str, what: str) -> Taint:
+        return Taint(
+            kind=kind,
+            chain=(
+                self._step(
+                    node, f"source: {what} [{SOURCE_KINDS[kind]}]"
+                ),
+            ),
+        )
+
+    def _step(self, node: ast.AST, note: str) -> TraceStep:
+        return TraceStep(
+            path=self.fn.module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            note=note,
+        )
+
+    # -- unorderedness -------------------------------------------------
+
+    def _unordered_params_of(self, node: ast.AST) -> FrozenSet[int]:
+        """Parameter indices whose unordered-ness ``node`` inherits.
+
+        Distinct from :meth:`_params_of` (taint passthrough): this
+        tracks names still referring to a parameter *as a collection*,
+        so a helper that does ``list(values)`` can be flagged at call
+        sites that pass a set.
+        """
+        if isinstance(node, ast.Name):
+            return self.unordered_param_sets.get(node.id, frozenset())
+        return frozenset()
+
+    def _is_unordered(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.unordered
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self.self_name
+            and self.fn.class_name is not None
+        ):
+            return (
+                self._class_qualname(), node.attr
+            ) in self.analysis.attr_unordered
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in (
+                "set", "frozenset",
+            ):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("values", "keys", "items")
+                and not node.args
+                and not node.keywords
+            ):
+                return True
+            target = self.analysis.program.resolve_call(self.fn, node)
+            if target is not None:
+                return self.analysis.summary(target).returns_unordered
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_unordered(node.left) or self._is_unordered(
+                node.right
+            )
+        return False
+
+    # -- sinks ---------------------------------------------------------
+
+    def _check_sinks(
+        self,
+        node: ast.Call,
+        arg_taints: List[Optional[Taint]],
+        kw_taints: List[Optional[Taint]],
+    ) -> None:
+        if self.report is None:
+            return
+        sink = self._sink_kind(node)
+        if sink is None:
+            return
+        taint = _join(
+            next((t for t in arg_taints if t), None),
+            next((t for t in kw_taints if t), None),
+        )
+        if taint is None:
+            return
+        key = (
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            sink,
+        )
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.report(self.fn, node, sink, taint)
+
+    def _sink_kind(self, node: ast.Call) -> Optional[str]:
+        """Which replay-path sink this call is, if any."""
+        func = node.func
+        parts = self.fn.module.path.split("/")
+        on_replay_path = any(
+            scope in parts
+            for scope in ("protocols", "runtime", "shm", "net")
+        )
+        if isinstance(func, ast.Attribute):
+            if func.attr == "decide" and node.args:
+                return "a decision site (ctx.decide)"
+            if (
+                func.attr in ("send", "broadcast")
+                and on_replay_path
+                and node.args
+            ):
+                return f"a message payload ({func.attr})"
+        if isinstance(func, ast.Name):
+            if func.id == "Decide" and node.args:
+                return "a decision event (Decide)"
+            if func.id in ("build_plan", "concat_plans", "BatchPlan"):
+                return f"a batch-plan builder ({func.id})"
+        resolved = self.fn.module.imports.resolve(func)
+        if resolved is not None and resolved.startswith("repro.batch"):
+            return f"a batch-plan builder ({resolved})"
+        return None

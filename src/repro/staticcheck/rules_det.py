@@ -59,7 +59,11 @@ _CLOCK_CALLS = frozenset({
     "datetime.date.today",
 })
 
-_SEEDED_RNG_FACTORIES = frozenset({"Random", "SystemRandom"})
+# Only random.Random(seed) is sanctioned.  SystemRandom deliberately is
+# NOT: it draws from os.urandom and cannot be seeded, so it is exactly
+# the nondeterminism the replay contract bans, wearing an RNG-class
+# coat.
+_SEEDED_RNG_FACTORIES = frozenset({"Random"})
 
 
 @register_rule
@@ -108,10 +112,16 @@ class NoGlobalRandomRule(Rule):
                     and resolved.startswith("random.")
                     and resolved.split(".")[1] not in _SEEDED_RNG_FACTORIES
                 ):
+                    if "SystemRandom" in resolved:
+                        detail = (
+                            "draws from os.urandom and cannot be seeded"
+                        )
+                    else:
+                        detail = "uses the process-global RNG"
                     yield self.finding(
                         ctx, node,
-                        f"{resolved}() uses the process-global RNG; "
-                        f"inject a seeded random.Random instead",
+                        f"{resolved}() {detail}; inject a seeded "
+                        f"random.Random instead",
                     )
             elif isinstance(node, ast.ImportFrom):
                 if node.module != "random" or node.level:

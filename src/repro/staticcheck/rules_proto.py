@@ -38,17 +38,20 @@ from repro.staticcheck.engine import (
 )
 
 __all__ = [
+    "DecideEvent",
     "DecideOnceRule",
+    "DecidePathScanner",
     "SpecClaimRule",
     "UnclaimedProcessRule",
+    "decide_calls",
 ]
 
 _DECIDE_ATTRS = frozenset({"decide"})
 _DECIDE_NAMES = frozenset({"Decide"})
 
 
-def _decide_calls(node: ast.AST) -> List[ast.Call]:
-    """Decide events inside one expression/statement subtree."""
+def decide_calls(node: ast.AST) -> List[ast.Call]:
+    """Literal decide events inside one expression/statement subtree."""
     calls = []
     for child in ast.walk(node):
         if not isinstance(child, ast.Call):
@@ -62,52 +65,74 @@ def _decide_calls(node: ast.AST) -> List[ast.Call]:
 
 
 @dataclasses.dataclass
+class DecideEvent:
+    """One decide occurrence on a path.
+
+    ``payload`` is opaque to the scanner; PROTO001 leaves it ``None``
+    (a literal decide call), FLOW002 attaches the helper function a
+    call resolves into so interprocedural events are distinguishable.
+    """
+
+    node: ast.AST
+    payload: object = None
+
+
+@dataclasses.dataclass
 class _SuiteInfo:
     """What a statement (or suite) does with respect to deciding."""
 
     has_decide: bool = False
     falls_through: bool = False  # may complete normally *after* deciding
-    first_decide: Optional[ast.Call] = None
+    first_event: Optional[DecideEvent] = None
 
 
 def _flag_guarded(node: ast.If) -> bool:
-    """The ``if not done: done = True; ... decide(..)`` latch idiom."""
+    """The ``if not done: done = True; ... decide(..)`` latch idiom.
+
+    Both local flags (``done``) and instance-attribute flags
+    (``self._done``) latch; so does a test on a ``.decided`` property.
+    """
+    for sub in ast.walk(node.test):
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr == "decided"
+        ):
+            return True
     guards = {
-        sub.operand.id
+        guard
         for sub in ast.walk(node.test)
         if isinstance(sub, ast.UnaryOp)
         and isinstance(sub.op, ast.Not)
-        and isinstance(sub.operand, ast.Name)
+        and (guard := dotted_name(sub.operand)) is not None
     }
     if not guards:
         return False
     for stmt in node.body:
         if isinstance(stmt, ast.Assign):
             for target in stmt.targets:
-                if isinstance(target, ast.Name) and target.id in guards:
+                if dotted_name(target) in guards:
                     return True
     return False
 
 
-@register_rule
-class DecideOnceRule(Rule):
-    """PROTO001: no path through a handler decides twice."""
+class DecidePathScanner:
+    """Path-sensitive decide-once scan over one function body.
 
-    rule_id = "PROTO001"
-    severity = "error"
-    summary = (
-        "a decision is irrevocable; a path that can reach two "
-        "decide sites raises ProtocolError at run time"
-    )
-    scopes = ("protocols",)
+    Parameterised over what counts as a decide event so both PROTO001
+    (literal ``ctx.decide``/``Decide`` calls) and FLOW002 (those plus
+    calls into helpers that may decide, via the call graph) share one
+    path analysis.  ``report(kind, earlier, event)`` is invoked with
+    ``kind`` ``"path"`` (a second decide reachable after an earlier one)
+    or ``"loop"`` (a decide that can repeat across iterations);
+    ``earlier`` is the suite's first event where known.
+    """
 
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
-        self._found: List[Finding] = []
-        self._ctx = ctx
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                self._scan_suite(node.body, in_loop=False)
-        yield from self._found
+    def __init__(self, events_of, report) -> None:
+        self._events_of = events_of
+        self._report = report
+
+    def scan_function(self, node: ast.AST) -> None:
+        self._scan_suite(node.body, in_loop=False)
 
     # -- path analysis -----------------------------------------------------
 
@@ -120,13 +145,11 @@ class DecideOnceRule(Rule):
             stmt_info = self._scan_stmt(stmt, in_loop)
             if stmt_info.has_decide:
                 info.has_decide = True
-                if info.first_decide is None:
-                    info.first_decide = stmt_info.first_decide
-                if live:
+                if info.first_event is None:
+                    info.first_event = stmt_info.first_event
+                if live and stmt_info.first_event is not None:
                     self._report(
-                        stmt_info.first_decide or stmt,
-                        "this decide is reachable after an earlier "
-                        "decide on the same path",
+                        "path", info.first_event, stmt_info.first_event
                     )
             if stmt_info.has_decide and stmt_info.falls_through:
                 live = True
@@ -145,45 +168,41 @@ class DecideOnceRule(Rule):
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             return _SuiteInfo()  # nested defs are scanned independently
         if isinstance(stmt, (ast.Return, ast.Raise)):
-            decides = _decide_calls(stmt)
+            events = self._events_of(stmt)
             return _SuiteInfo(
-                has_decide=bool(decides),
+                has_decide=bool(events),
                 falls_through=False,
-                first_decide=decides[0] if decides else None,
+                first_event=events[0] if events else None,
             )
         if isinstance(stmt, ast.If):
             body = self._scan_suite(stmt.body, in_loop)
             orelse = self._scan_suite(stmt.orelse, in_loop)
-            test_decides = _decide_calls(stmt.test)
+            test_events = self._events_of(stmt.test)
             if body.has_decide and _flag_guarded(stmt):
                 body = _SuiteInfo()  # latched: fires at most once
             return _SuiteInfo(
                 has_decide=(
                     body.has_decide or orelse.has_decide
-                    or bool(test_decides)
+                    or bool(test_events)
                 ),
                 falls_through=(
                     body.falls_through or orelse.falls_through
-                    or bool(test_decides)
+                    or bool(test_events)
                 ),
-                first_decide=(
-                    (test_decides[0] if test_decides else None)
-                    or body.first_decide or orelse.first_decide
+                first_event=(
+                    (test_events[0] if test_events else None)
+                    or body.first_event or orelse.first_event
                 ),
             )
         if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
             inner = self._scan_suite(stmt.body, in_loop=True)
             if inner.has_decide and inner.falls_through:
-                self._report(
-                    inner.first_decide or stmt,
-                    "a decide inside this loop can execute on more than "
-                    "one iteration; decide then return/break",
-                )
+                self._report("loop", inner.first_event, inner.first_event)
             orelse = self._scan_suite(stmt.orelse, in_loop)
             return _SuiteInfo(
                 has_decide=inner.has_decide or orelse.has_decide,
                 falls_through=inner.has_decide or orelse.falls_through,
-                first_decide=inner.first_decide or orelse.first_decide,
+                first_event=inner.first_event or orelse.first_event,
             )
         if isinstance(stmt, ast.Try):
             suites = [
@@ -198,24 +217,63 @@ class DecideOnceRule(Rule):
             return _SuiteInfo(
                 has_decide=any(s.has_decide for s in suites),
                 falls_through=any(s.falls_through for s in suites),
-                first_decide=next(
-                    (s.first_decide for s in suites if s.first_decide),
+                first_event=next(
+                    (s.first_event for s in suites if s.first_event),
                     None,
                 ),
             )
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
             return self._scan_suite(stmt.body, in_loop)
-        decides = _decide_calls(stmt)
+        events = self._events_of(stmt)
         return _SuiteInfo(
-            has_decide=bool(decides),
-            falls_through=bool(decides),
-            first_decide=decides[0] if decides else None,
+            has_decide=bool(events),
+            falls_through=bool(events),
+            first_event=events[0] if events else None,
         )
 
-    def _report(self, node: Optional[ast.AST], message: str) -> None:
-        self._found.append(
-            self.finding(self._ctx, node or self._ctx.tree, message)
-        )
+
+@register_rule
+class DecideOnceRule(Rule):
+    """PROTO001: no path through a handler decides twice."""
+
+    rule_id = "PROTO001"
+    severity = "error"
+    summary = (
+        "a decision is irrevocable; a path that can reach two "
+        "decide sites raises ProtocolError at run time"
+    )
+    scopes = ("protocols",)
+
+    _MESSAGES = {
+        "path": (
+            "this decide is reachable after an earlier decide on the "
+            "same path"
+        ),
+        "loop": (
+            "a decide inside this loop can execute on more than one "
+            "iteration; decide then return/break"
+        ),
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        found: List[Finding] = []
+
+        def report(
+            kind: str,
+            earlier: Optional[DecideEvent],
+            event: Optional[DecideEvent],
+        ) -> None:
+            node = event.node if event is not None else ctx.tree
+            found.append(self.finding(ctx, node, self._MESSAGES[kind]))
+
+        def events_of(node: ast.AST) -> List[DecideEvent]:
+            return [DecideEvent(call) for call in decide_calls(node)]
+
+        scanner = DecidePathScanner(events_of, report)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scanner.scan_function(node)
+        yield from found
 
 
 def _spec_calls(tree: ast.AST) -> Iterator[ast.Call]:

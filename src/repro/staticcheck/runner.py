@@ -25,7 +25,15 @@ from repro.staticcheck.baseline import (
 from repro.staticcheck.engine import CheckResult, Finding, check_paths
 from repro.staticcheck.sarif import render_sarif
 
-__all__ = ["CheckReport", "UsageError", "run_check", "render_text"]
+__all__ = [
+    "CheckReport",
+    "UsageError",
+    "explain",
+    "render",
+    "render_text",
+    "run_check",
+    "write_baseline",
+]
 
 
 class UsageError(ValueError):
@@ -87,19 +95,29 @@ def run_check(
     explicit_baseline: bool = False,
     strict: bool = False,
     root: Optional[str] = None,
+    flow: bool = False,
 ) -> CheckReport:
     """Lint ``paths`` and apply the baseline.
 
     ``baseline_path=None`` disables baselining.  When the default
     baseline name is used and the file does not exist, the run simply
     proceeds without one; an explicitly passed missing path is a
-    :class:`UsageError`.
+    :class:`UsageError`.  ``flow=True`` additionally runs the
+    whole-program FLOW rules (:mod:`repro.staticcheck.rules_flow`) and
+    merges their findings into the same baseline gate.
     """
     missing = [p for p in paths if not os.path.exists(p)]
     if missing:
         raise UsageError(f"no such path: {', '.join(missing)}")
     baseline = _resolve_baseline(baseline_path, explicit_baseline)
     result = check_paths(paths, root=root)
+    if flow:
+        from repro.staticcheck.rules_flow import check_program
+
+        result.findings.extend(check_program(paths, root=root))
+        result.findings.sort(
+            key=lambda f: (f.path, f.line, f.col, f.rule_id)
+        )
     new, accepted, stale = baseline_mod.partition(result.findings, baseline)
     return CheckReport(
         result=result,
@@ -109,6 +127,35 @@ def run_check(
         strict=strict,
         baseline_path=baseline_path if baseline is not None else None,
     )
+
+
+def explain(rule_id: str) -> str:
+    """One-paragraph description of a rule, for ``--explain``."""
+    from repro.staticcheck.engine import rule_index
+
+    index = rule_index()
+    rule = index.get(rule_id.upper())
+    if rule is None:
+        known = ", ".join(sorted(index))
+        raise UsageError(
+            f"unknown rule id {rule_id!r}; known rules: {known}"
+        )
+    doc = (type(rule).__doc__ or "").strip()
+    lines = [
+        f"{rule.rule_id} [{rule.severity}]",
+        f"  {rule.summary}",
+    ]
+    if doc:
+        lines.append(f"  {doc}")
+    if rule.scopes:
+        lines.append(f"  scope: {', '.join(rule.scopes)}")
+    else:
+        lines.append("  scope: all checked files")
+    lines.append(
+        f"  suppress with: # repro: noqa[{rule.rule_id}] on the "
+        f"flagged line, or baseline it with a reason"
+    )
+    return "\n".join(lines)
 
 
 def write_baseline(

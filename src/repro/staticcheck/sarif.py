@@ -12,6 +12,7 @@ import json
 from typing import Any, Dict, List, Sequence
 
 from repro.staticcheck.engine import (
+    NOQA_RULE_ID,
     PARSE_RULE_ID,
     Finding,
     Rule,
@@ -49,38 +50,73 @@ def _parse_rule_descriptor() -> Dict[str, Any]:
     }
 
 
+def _noqa_rule_descriptor() -> Dict[str, Any]:
+    return {
+        "id": NOQA_RULE_ID,
+        "shortDescription": {
+            "text": "unknown rule id in a noqa comment suppresses nothing"
+        },
+        "defaultConfiguration": {"level": "warning"},
+    }
+
+
+def _location(path: str, line: int, col: int) -> Dict[str, Any]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": line, "startColumn": col},
+        }
+    }
+
+
+def _code_flow(finding: Finding) -> Dict[str, Any]:
+    """The finding's source-to-sink trace as one SARIF codeFlow."""
+    locations = []
+    for step in finding.trace:
+        location = _location(step.path, step.line, step.col)
+        location["message"] = {"text": step.note}
+        locations.append({"location": location})
+    return {"threadFlows": [{"locations": locations}]}
+
+
 def to_sarif(
     findings: Sequence[Finding],
     tool_version: str = "1.0.0",
 ) -> Dict[str, Any]:
-    """Build the SARIF 2.1.0 document as a plain dictionary."""
+    """Build the SARIF 2.1.0 document as a plain dictionary.
+
+    Interprocedural (FLOW) findings carry their source-to-sink chain
+    as a ``codeFlows`` entry, which code-scanning UIs render as a
+    step-through trace; ``partialFingerprints`` carries the baseline's
+    v2 fingerprint so dedup across uploads matches the gate's notion
+    of identity.
+    """
+    from repro.staticcheck.baseline import fingerprint
+
     rules: List[Dict[str, Any]] = [
         _rule_descriptor(rule) for rule in all_rules()
     ]
     rules.append(_parse_rule_descriptor())
+    rules.append(_noqa_rule_descriptor())
     index = {descriptor["id"]: i for i, descriptor in enumerate(rules)}
 
     results = []
     for finding in findings:
-        results.append(
-            {
-                "ruleId": finding.rule_id,
-                "ruleIndex": index.get(finding.rule_id, -1),
-                "level": _LEVELS.get(finding.severity, "warning"),
-                "message": {"text": finding.message},
-                "locations": [
-                    {
-                        "physicalLocation": {
-                            "artifactLocation": {"uri": finding.path},
-                            "region": {
-                                "startLine": finding.line,
-                                "startColumn": finding.col,
-                            },
-                        }
-                    }
-                ],
-            }
-        )
+        result = {
+            "ruleId": finding.rule_id,
+            "ruleIndex": index.get(finding.rule_id, -1),
+            "level": _LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                _location(finding.path, finding.line, finding.col)
+            ],
+            "partialFingerprints": {
+                "reproStaticcheckV2": fingerprint(finding),
+            },
+        }
+        if finding.trace:
+            result["codeFlows"] = [_code_flow(finding)]
+        results.append(result)
 
     return {
         "$schema": SARIF_SCHEMA_URI,

@@ -1,0 +1,145 @@
+"""Call-graph construction: module naming, lookup, call resolution."""
+
+import textwrap
+
+import pytest
+
+from repro.staticcheck.callgraph import Program, module_name_for
+
+
+def build(tmp_path, files):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return Program.load([str(tmp_path)], root=str(tmp_path))
+
+
+class TestModuleNames:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("src/repro/jobs/store.py", "repro.jobs.store"),
+            ("src/repro/runtime/__init__.py", "repro.runtime"),
+            ("protocols/fixture.py", "protocols.fixture"),
+            ("single.py", "single"),
+        ],
+    )
+    def test_recovered_names(self, path, expected):
+        assert module_name_for(path) == expected
+
+
+class TestLookupAndResolution:
+    def test_local_helper_resolves(self, tmp_path):
+        program = build(tmp_path, {
+            "pkg/mod.py": """
+                def helper():
+                    return 1
+
+                def caller():
+                    return helper()
+            """,
+        })
+        caller = program.lookup("pkg.mod.caller")
+        assert caller is not None
+        call = caller.node.body[0].value
+        target = program.resolve_call(caller, call)
+        assert target is not None and target.qualname == "pkg.mod.helper"
+
+    def test_cross_module_import_resolves(self, tmp_path):
+        program = build(tmp_path, {
+            "pkg/util.py": """
+                def stamp():
+                    return 0
+            """,
+            "pkg/main.py": """
+                from pkg.util import stamp
+
+                def run():
+                    return stamp()
+            """,
+        })
+        run = program.lookup("pkg.main.run")
+        call = run.node.body[0].value
+        target = program.resolve_call(run, call)
+        assert target is not None and target.qualname == "pkg.util.stamp"
+
+    def test_module_alias_resolves(self, tmp_path):
+        program = build(tmp_path, {
+            "pkg/util.py": "def stamp():\n    return 0\n",
+            "pkg/main.py": """
+                import pkg.util as u
+
+                def run():
+                    return u.stamp()
+            """,
+        })
+        run = program.lookup("pkg.main.run")
+        call = run.node.body[0].value
+        target = program.resolve_call(run, call)
+        assert target is not None and target.qualname == "pkg.util.stamp"
+
+    def test_reexport_chased_through_package_init(self, tmp_path):
+        program = build(tmp_path, {
+            "pkg/__init__.py": "from pkg.impl import core\n",
+            "pkg/impl.py": "def core():\n    return 7\n",
+            "app.py": """
+                from pkg import core
+
+                def run():
+                    return core()
+            """,
+        })
+        run = program.lookup("app.run")
+        call = run.node.body[0].value
+        target = program.resolve_call(run, call)
+        assert target is not None and target.qualname == "pkg.impl.core"
+
+    def test_self_method_resolves_through_base(self, tmp_path):
+        program = build(tmp_path, {
+            "pkg/base.py": """
+                class Base:
+                    def shared(self):
+                        return 1
+            """,
+            "pkg/child.py": """
+                from pkg.base import Base
+
+                class Child(Base):
+                    def go(self):
+                        return self.shared()
+            """,
+        })
+        go = program.lookup("pkg.child.Child.go")
+        call = go.node.body[0].value
+        target = program.resolve_call(go, call)
+        assert target is not None
+        assert target.qualname == "pkg.base.Base.shared"
+
+    def test_dynamic_dispatch_is_opaque(self, tmp_path):
+        program = build(tmp_path, {
+            "pkg/mod.py": """
+                def run(callback, obj):
+                    callback()
+                    obj.method()
+                    return getattr(obj, "x")()
+            """,
+        })
+        run = program.lookup("pkg.mod.run")
+        calls = [stmt.value for stmt in run.node.body[:2]]
+        for call in calls:
+            assert program.resolve_call(run, call) is None
+
+    def test_syntax_error_files_are_skipped(self, tmp_path):
+        program = build(tmp_path, {
+            "ok.py": "def fine():\n    return 1\n",
+            "broken.py": "def broken(:\n",
+        })
+        assert program.lookup("ok.fine") is not None
+        assert "broken" not in program.modules
+
+    def test_paths_are_root_relative(self, tmp_path):
+        program = build(tmp_path, {
+            "pkg/mod.py": "def f():\n    return 1\n",
+        })
+        assert "pkg/mod.py" in program.by_path

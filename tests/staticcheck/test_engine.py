@@ -85,6 +85,64 @@ class TestNoqa:
         """
         assert not lint(src)
 
+    def test_noqa_list_tolerates_ragged_whitespace(self, lint):
+        src = """\
+        import time, random
+        a = time.time()  # repro:  noqa[ DET001 ,  DET002 ]
+        b = random.random()  # repro: noqa[DET002 , DET001]
+        """
+        assert not lint(src)
+
+    def test_noqa_on_closing_line_of_multiline_call(self, lint):
+        src = """\
+        import time
+        now = time.time(
+        )  # repro: noqa[DET001]
+        """
+        assert not lint(src, rule="DET001")
+
+    def test_noqa_on_opening_line_of_multiline_call(self, lint):
+        src = """\
+        import time
+        now = time.time(  # repro: noqa[DET001]
+        )
+        """
+        assert not lint(src, rule="DET001")
+
+
+class TestNoqaHygiene:
+    def test_unknown_rule_id_warns_and_suppresses_nothing(self, lint):
+        src = """\
+        import time
+        now = time.time()  # repro: noqa[DET01]
+        """
+        found = lint(src)
+        by_rule = {f.rule_id: f for f in found}
+        assert "DET001" in by_rule  # the typo'd noqa did not suppress
+        warning = by_rule["NOQA001"]
+        assert warning.severity == "warning"
+        assert "DET01" in warning.message
+
+    def test_unknown_id_in_a_valid_list_still_suppresses_known(
+        self, lint
+    ):
+        src = """\
+        import time
+        now = time.time()  # repro: noqa[DET001, DET01]
+        """
+        found = lint(src)
+        rules = [f.rule_id for f in found]
+        assert "DET001" not in rules  # the known id still works
+        assert rules.count("NOQA001") == 1
+
+    def test_known_ids_never_warn(self, lint):
+        src = """\
+        import time
+        now = time.time()  # repro: noqa[DET001]
+        x = 1  # repro: noqa
+        """
+        assert not lint(src, rule="NOQA001")
+
 
 class TestOccurrences:
     def test_identical_lines_get_distinct_occurrences(self, lint):

@@ -1,0 +1,226 @@
+"""Fixpoint taint propagation: sources, summaries, cleansing."""
+
+import textwrap
+
+from repro.staticcheck.callgraph import Program
+from repro.staticcheck.flow import FlowAnalysis
+
+
+def analyse(tmp_path, files):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    program = Program.load([str(tmp_path)], root=str(tmp_path))
+    return program, FlowAnalysis(program).run()
+
+
+def summary_of(program, analysis, qualname):
+    fn = program.lookup(qualname)
+    assert fn is not None, qualname
+    return analysis.summary(fn)
+
+
+class TestSources:
+    def test_clock_read_taints_return(self, tmp_path):
+        program, analysis = analyse(tmp_path, {
+            "m.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        })
+        summary = summary_of(program, analysis, "m.stamp")
+        assert summary.returns is not None
+        assert summary.returns.kind == "clock"
+
+    def test_aliased_clock_read_taints_return(self, tmp_path):
+        program, analysis = analyse(tmp_path, {
+            "m.py": """
+                from time import time as now
+
+                def stamp():
+                    return now()
+            """,
+        })
+        summary = summary_of(program, analysis, "m.stamp")
+        assert summary.returns is not None
+        assert summary.returns.kind == "clock"
+
+    def test_entropy_and_identity_sources(self, tmp_path):
+        program, analysis = analyse(tmp_path, {
+            "m.py": """
+                import os
+
+                def token():
+                    return os.urandom(8)
+
+                def ident(x):
+                    return id(x)
+            """,
+        })
+        assert summary_of(
+            program, analysis, "m.token"
+        ).returns.kind == "entropy"
+        assert summary_of(
+            program, analysis, "m.ident"
+        ).returns.kind == "identity"
+
+    def test_global_rng_is_source_but_seeded_rng_is_not(self, tmp_path):
+        program, analysis = analyse(tmp_path, {
+            "m.py": """
+                import random
+
+                def bad():
+                    return random.random()
+
+                def good(seed):
+                    rng = random.Random(seed)
+                    return rng.random()
+            """,
+        })
+        assert summary_of(
+            program, analysis, "m.bad"
+        ).returns.kind == "rng"
+        assert summary_of(program, analysis, "m.good").returns is None
+
+    def test_order_materialisation_is_source(self, tmp_path):
+        program, analysis = analyse(tmp_path, {
+            "m.py": """
+                def first(values):
+                    pending = set(values)
+                    return list(pending)[0]
+            """,
+        })
+        assert summary_of(
+            program, analysis, "m.first"
+        ).returns.kind == "order"
+
+    def test_sorted_cleanses_order_taint(self, tmp_path):
+        program, analysis = analyse(tmp_path, {
+            "m.py": """
+                def first(values):
+                    pending = set(values)
+                    return sorted(pending)[0]
+            """,
+        })
+        assert summary_of(program, analysis, "m.first").returns is None
+
+
+class TestPropagation:
+    def test_two_hop_chain_converges(self, tmp_path):
+        program, analysis = analyse(tmp_path, {
+            "m.py": """
+                import time
+
+                def deep():
+                    return time.time()
+
+                def middle():
+                    return deep()
+
+                def outer():
+                    return middle()
+            """,
+        })
+        summary = summary_of(program, analysis, "m.outer")
+        assert summary.returns is not None
+        notes = [step.note for step in summary.returns.chain]
+        assert "source" in notes[0]
+        assert any("deep" in note for note in notes)
+        assert any("middle" in note for note in notes)
+
+    def test_param_passthrough_composes(self, tmp_path):
+        program, analysis = analyse(tmp_path, {
+            "m.py": """
+                def inner(x):
+                    return x
+
+                def tag(v):
+                    return inner(v)
+            """,
+        })
+        assert 0 in summary_of(
+            program, analysis, "m.inner"
+        ).passthrough
+        assert 0 in summary_of(program, analysis, "m.tag").passthrough
+
+    def test_taint_through_self_attribute(self, tmp_path):
+        program, analysis = analyse(tmp_path, {
+            "m.py": """
+                import time
+
+                class C:
+                    def start(self):
+                        self.t0 = time.time()
+
+                    def report(self):
+                        return self.t0
+            """,
+        })
+        summary = summary_of(program, analysis, "m.C.report")
+        assert summary.returns is not None
+        assert summary.returns.kind == "clock"
+
+    def test_fstring_joins_taint(self, tmp_path):
+        program, analysis = analyse(tmp_path, {
+            "m.py": """
+                import time
+
+                def tag():
+                    return f"run-{time.time()}"
+            """,
+        })
+        assert summary_of(
+            program, analysis, "m.tag"
+        ).returns.kind == "clock"
+
+    def test_unresolved_calls_do_not_propagate(self, tmp_path):
+        program, analysis = analyse(tmp_path, {
+            "m.py": """
+                import time
+
+                def launder(transform):
+                    return transform(time.time())
+            """,
+        })
+        # Precision over soundness: taint passed into an unknown
+        # callable is dropped, never guessed at.
+        assert summary_of(program, analysis, "m.launder").returns is None
+
+    def test_unordered_return_tracked_across_calls(self, tmp_path):
+        program, analysis = analyse(tmp_path, {
+            "m.py": """
+                def pending(xs):
+                    return set(xs)
+
+                def pick(xs):
+                    return list(pending(xs))[0]
+            """,
+        })
+        assert summary_of(
+            program, analysis, "m.pending"
+        ).returns_unordered
+        assert summary_of(
+            program, analysis, "m.pick"
+        ).returns.kind == "order"
+
+    def test_fixpoint_terminates_on_recursion(self, tmp_path):
+        program, analysis = analyse(tmp_path, {
+            "m.py": """
+                import time
+
+                def ping(n):
+                    if n <= 0:
+                        return time.time()
+                    return pong(n - 1)
+
+                def pong(n):
+                    return ping(n)
+            """,
+        })
+        assert summary_of(
+            program, analysis, "m.ping"
+        ).returns.kind == "clock"
+        assert analysis.rounds < 20

@@ -43,6 +43,40 @@ class TestDet001WallClock:
         assert not lint(src, rule="DET001")
 
 
+class TestDet001AliasEvasion:
+    """Regressions for laundering a clock read through aliases."""
+
+    def test_from_import_alias(self, lint):
+        src = """\
+        from time import time as now
+        t = now()
+        """
+        assert lint(src, rule="DET001")
+
+    def test_module_rebound_to_local_name(self, lint):
+        src = """\
+        import time
+        _t = time
+        x = _t.time()
+        """
+        assert lint(src, rule="DET001")
+
+    def test_bound_function_alias(self, lint):
+        src = """\
+        import time
+        clock = time.time
+        x = clock()
+        """
+        assert lint(src, rule="DET001")
+
+    def test_innocent_local_named_like_alias_is_fine(self, lint):
+        src = """\
+        def f(clock):
+            return clock()
+        """
+        assert not lint(src, rule="DET001")
+
+
 class TestDet002GlobalRandom:
     def test_module_level_call_flagged(self, lint):
         assert lint("import random\nx = random.random()\n", rule="DET002")
@@ -68,6 +102,33 @@ class TestDet002GlobalRandom:
         rng = Random(7)
         """
         assert not lint(src, rule="DET002")
+
+    def test_aliased_from_import_flagged(self, lint):
+        src = """\
+        from random import random as roll
+        x = roll()
+        """
+        assert lint(src, rule="DET002")
+
+    def test_module_rebound_to_local_name(self, lint):
+        src = """\
+        import random
+        rnd = random
+        x = rnd.random()
+        """
+        assert lint(src, rule="DET002")
+
+    def test_system_random_is_flagged_as_unseedable(self, lint):
+        # SystemRandom reads OS entropy; seeding it is a no-op, so it
+        # is not an acceptable "seeded instance".
+        src = """\
+        import random
+        r = random.SystemRandom()
+        x = r.random()
+        """
+        found = lint(src, rule="DET002")
+        assert found
+        assert "SystemRandom" in found[0].message
 
     def test_noqa_suppresses(self, lint):
         src = """\

@@ -1,0 +1,316 @@
+"""FLOW001/002/003: whole-program rule behaviour over fixtures."""
+
+import textwrap
+
+from repro.staticcheck.rules_flow import check_program
+
+
+def run_flow(tmp_path, files):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return check_program([str(tmp_path)], root=str(tmp_path))
+
+
+def by_rule(findings, rule_id):
+    return [f for f in findings if f.rule_id == rule_id]
+
+
+class TestFlow001:
+    def test_two_hop_laundering_reaches_decide(self, tmp_path):
+        """The acceptance fixture: a clock read two calls deep."""
+        findings = run_flow(tmp_path, {
+            "protocols/helpers.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+
+                def tagged(v):
+                    return f"run-{v}"
+            """,
+            "protocols/proto.py": """
+                from protocols.helpers import stamp, tagged
+
+                class P:
+                    def on_message(self, ctx, msg):
+                        tag = tagged(stamp())
+                        ctx.decide(tag)
+            """,
+        })
+        flagged = by_rule(findings, "FLOW001")
+        assert len(flagged) == 1
+        finding = flagged[0]
+        assert finding.path == "protocols/proto.py"
+        assert "wall-clock" in finding.message
+        # The trace walks source -> both hops -> sink, across files.
+        assert len(finding.trace) == 4
+        assert finding.trace[0].path == "protocols/helpers.py"
+        assert finding.trace[-1].path == "protocols/proto.py"
+        assert "source" in finding.trace[0].note
+        assert "reaches" in finding.trace[-1].note
+
+    def test_intra_function_flow_is_not_flow001(self, tmp_path):
+        """Direct source-to-sink in one function is DET territory."""
+        findings = run_flow(tmp_path, {
+            "protocols/proto.py": """
+                import time
+
+                class P:
+                    def on_message(self, ctx, msg):
+                        ctx.decide(time.time())
+            """,
+        })
+        assert not by_rule(findings, "FLOW001")
+
+    def test_order_taint_through_helper_into_send(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "protocols/proto.py": """
+                def arbitrary(values):
+                    return list(values)[0]
+
+                class P:
+                    def on_message(self, ctx, msg):
+                        pending = set(msg)
+                        ctx.send(0, arbitrary(pending))
+            """,
+        })
+        flagged = by_rule(findings, "FLOW001")
+        assert len(flagged) == 1
+        assert "iteration order" in flagged[0].message
+
+    def test_sorted_helper_is_clean(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "protocols/proto.py": """
+                def smallest(values):
+                    return sorted(values)[0]
+
+                class P:
+                    def on_message(self, ctx, msg):
+                        pending = set(msg)
+                        ctx.decide(smallest(pending))
+            """,
+        })
+        assert not by_rule(findings, "FLOW001")
+
+    def test_tainted_scheduler_pick_return(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "net/sched.py": """
+                import random
+
+                def roll():
+                    return random.random()
+
+                class BadScheduler:
+                    def pick(self, kernel):
+                        return roll()
+            """,
+        })
+        flagged = by_rule(findings, "FLOW001")
+        assert len(flagged) == 1
+        assert "scheduler pick" in flagged[0].message
+
+    def test_noqa_on_sink_line_suppresses(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "protocols/proto.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+
+                class P:
+                    def on_message(self, ctx, msg):
+                        ctx.decide(stamp())  # repro: noqa[FLOW001]
+            """,
+        })
+        assert not by_rule(findings, "FLOW001")
+
+
+class TestFlow002:
+    def test_decide_after_helper_decide(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "protocols/proto.py": """
+                class P:
+                    def _finish(self, ctx, v):
+                        ctx.decide(v)
+
+                    def on_message(self, ctx, msg):
+                        self._finish(ctx, msg)
+                        ctx.decide(msg)
+            """,
+        })
+        flagged = by_rule(findings, "FLOW002")
+        assert len(flagged) == 1
+        assert any("_finish" in s.note for s in flagged[0].trace)
+
+    def test_helper_in_loop_may_repeat(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "protocols/proto.py": """
+                class P:
+                    def _finish(self, ctx, v):
+                        ctx.decide(v)
+
+                    def on_message(self, ctx, msgs):
+                        for m in msgs:
+                            self._finish(ctx, m)
+            """,
+        })
+        flagged = by_rule(findings, "FLOW002")
+        assert len(flagged) == 1
+        assert "loop" in flagged[0].message
+
+    def test_latched_helper_is_guarded(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "protocols/proto.py": """
+                class P:
+                    def _finish(self, ctx, v):
+                        if not self._done:
+                            self._done = True
+                            ctx.decide(v)
+
+                    def on_message(self, ctx, msgs):
+                        for m in msgs:
+                            self._finish(ctx, m)
+            """,
+        })
+        assert not by_rule(findings, "FLOW002")
+
+    def test_exclusive_branches_are_clean(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "protocols/proto.py": """
+                class P:
+                    def _finish(self, ctx, v):
+                        ctx.decide(v)
+
+                    def on_message(self, ctx, msg):
+                        if msg:
+                            self._finish(ctx, msg)
+                        else:
+                            ctx.decide(None)
+            """,
+        })
+        assert not by_rule(findings, "FLOW002")
+
+    def test_purely_literal_double_decide_left_to_proto001(
+        self, tmp_path
+    ):
+        findings = run_flow(tmp_path, {
+            "protocols/proto.py": """
+                class P:
+                    def on_message(self, ctx, msg):
+                        ctx.decide(msg)
+                        ctx.decide(msg)
+            """,
+        })
+        assert not by_rule(findings, "FLOW002")
+
+    def test_transitive_helper_chain(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "protocols/proto.py": """
+                class P:
+                    def _decide_now(self, ctx, v):
+                        ctx.decide(v)
+
+                    def _finish(self, ctx, v):
+                        self._decide_now(ctx, v)
+
+                    def on_message(self, ctx, msg):
+                        self._finish(ctx, msg)
+                        ctx.decide(msg)
+            """,
+        })
+        assert len(by_rule(findings, "FLOW002")) == 1
+
+
+class TestFlow003:
+    def test_complete_on_pending_shard(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "jobs/driver.py": """
+                def skip_guard(store, run_id, payload):
+                    for shard in store.shards(run_id, "pending"):
+                        store.complete(run_id, shard.shard_id, payload)
+            """,
+        })
+        flagged = by_rule(findings, "FLOW003")
+        assert len(flagged) == 1
+        assert "'pending'" in flagged[0].message
+        assert len(flagged[0].trace) == 2
+
+    def test_double_terminal_transition(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "jobs/driver.py": """
+                def double(store, run_id, payload):
+                    leased = store.lease(run_id, now=0, timeout=30)
+                    for shard in leased:
+                        store.complete(run_id, shard.shard_id, payload)
+                        store.fail(run_id, shard.shard_id, "late")
+            """,
+        })
+        flagged = by_rule(findings, "FLOW003")
+        assert len(flagged) == 1
+        assert "already transitioned" in flagged[0].message
+
+    def test_discarded_lease_result(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "jobs/driver.py": """
+                def discards(store, run_id):
+                    store.lease(run_id, now=0, timeout=30)
+            """,
+        })
+        flagged = by_rule(findings, "FLOW003")
+        assert len(flagged) == 1
+        assert "discarded" in flagged[0].message
+
+    def test_lease_then_complete_or_fail_is_clean(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "jobs/driver.py": """
+                def good(store, run_id, payload):
+                    leased = store.lease(run_id, now=0, timeout=30)
+                    for shard in leased:
+                        try:
+                            store.complete(
+                                run_id, shard.shard_id, payload
+                            )
+                        except RuntimeError:
+                            store.fail(run_id, shard.shard_id, "boom")
+            """,
+        })
+        assert not by_rule(findings, "FLOW003")
+
+    def test_unknown_origin_is_never_guessed(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "jobs/driver.py": """
+                def handle_failure(store, run_id, shard, error):
+                    store.fail(run_id, shard.shard_id, error)
+            """,
+        })
+        assert not by_rule(findings, "FLOW003")
+
+    def test_release_expired_shards_are_pending_again(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "jobs/driver.py": """
+                def reaper(store, run_id, now):
+                    expired = store.release_expired(run_id, now)
+                    for shard_id in expired:
+                        store.complete(run_id, shard_id, None)
+            """,
+        })
+        flagged = by_rule(findings, "FLOW003")
+        assert len(flagged) == 1
+        assert "'pending'" in flagged[0].message
+
+    def test_out_of_scope_module_is_ignored(self, tmp_path):
+        findings = run_flow(tmp_path, {
+            "web/driver.py": """
+                def unrelated(store, run_id):
+                    store.complete(run_id, 3, None)
+                    store.lease(run_id, now=0, timeout=30)
+            """,
+        })
+        assert not by_rule(findings, "FLOW003")
+
+
+class TestCleanProgram:
+    def test_empty_program_is_clean(self, tmp_path):
+        assert run_flow(tmp_path, {"m.py": "x = 1\n"}) == []

@@ -36,6 +36,22 @@ CLEAN_PROTOCOL = textwrap.dedent(
     """
 )
 
+#: Clean file-by-file; only the interprocedural pass sees the flow
+#: (the helper materialises *its caller's* set, which no single-file
+#: rule can know).
+LAUNDERED_PROTOCOL = textwrap.dedent(
+    """\
+    def arbitrary(values):
+        return list(values)[0]
+
+
+    class P:
+        def on_message(self, ctx, msg):
+            pending = set(msg)
+            ctx.send(0, arbitrary(pending))
+    """
+)
+
 
 def write_fixture(tmp_path, source, name="fixture.py"):
     pkg = tmp_path / "protocols"
@@ -75,6 +91,22 @@ class TestRunCheck:
             root=str(tmp_path),
         )
         assert relaxed.exit_code == 0 and relaxed.new
+        assert strict.exit_code == 1
+
+    def test_strict_promotes_noqa_hygiene_warnings(self, tmp_path):
+        write_fixture(
+            tmp_path,
+            "x = 1  # repro: noqa[DET999]\n",  # typo'd id: NOQA001
+        )
+        relaxed = run_check(
+            [str(tmp_path)], baseline_path=None, root=str(tmp_path)
+        )
+        strict = run_check(
+            [str(tmp_path)], baseline_path=None, strict=True,
+            root=str(tmp_path),
+        )
+        assert relaxed.exit_code == 0
+        assert [f.rule_id for f in relaxed.new] == ["NOQA001"]
         assert strict.exit_code == 1
 
     def test_missing_path_is_usage_error(self, tmp_path):
@@ -119,6 +151,37 @@ class TestRunCheck:
         summary = render_text(second)
         assert "0 new errors" in summary
 
+    def test_flow_pass_finds_laundered_nondeterminism(self, tmp_path):
+        write_fixture(tmp_path, LAUNDERED_PROTOCOL)
+        without = run_check(
+            [str(tmp_path)], baseline_path=None, root=str(tmp_path)
+        )
+        assert without.exit_code == 0  # per-file rules see nothing
+        with_flow = run_check(
+            [str(tmp_path)], baseline_path=None, root=str(tmp_path),
+            flow=True,
+        )
+        assert with_flow.exit_code == 1
+        assert [f.rule_id for f in with_flow.new] == ["FLOW001"]
+        assert with_flow.new[0].trace  # carries the full chain
+
+    def test_flow_findings_are_baselinable(self, tmp_path):
+        write_fixture(tmp_path, LAUNDERED_PROTOCOL)
+        baseline_path = tmp_path / "baseline.json"
+        first = run_check(
+            [str(tmp_path)], baseline_path=None, root=str(tmp_path),
+            flow=True,
+        )
+        write_baseline(first, str(baseline_path))
+        second = run_check(
+            [str(tmp_path)],
+            baseline_path=str(baseline_path),
+            explicit_baseline=True,
+            root=str(tmp_path),
+            flow=True,
+        )
+        assert second.exit_code == 0 and not second.new
+
     def test_render_formats(self, tmp_path):
         write_fixture(tmp_path, BAD_PROTOCOL)
         report = run_check(
@@ -154,7 +217,7 @@ class TestSnapshot:
         raw = json.loads(
             (REPO / "staticcheck-baseline.json").read_text()
         )
-        assert raw["format"] == "repro-staticcheck-baseline/1"
+        assert raw["format"] == "repro-staticcheck-baseline/2"
         assert raw["entries"], "baseline unexpectedly empty"
         for entry in raw["entries"]:
             assert entry["reason"].strip(), entry
@@ -195,6 +258,38 @@ class TestCli:
         doc = json.loads(out_path.read_text())
         assert doc["version"] == "2.1.0"
         assert doc["runs"][0]["results"]
+
+    def test_flow_is_on_by_default_and_no_flow_disables(
+        self, tmp_path, capsys
+    ):
+        write_fixture(tmp_path, LAUNDERED_PROTOCOL)
+        code = main(["staticcheck", str(tmp_path), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1 and "FLOW001" in out
+        code = main([
+            "staticcheck", str(tmp_path), "--no-baseline", "--no-flow",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0 and "FLOW001" not in out
+
+    def test_flow_and_no_flow_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "staticcheck", str(tmp_path), "--flow", "--no-flow",
+            ])
+
+    def test_explain_known_rule(self, capsys):
+        code = main(["staticcheck", "--explain", "FLOW001"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FLOW001" in out and "source-to-sink" in out
+        assert "noqa[FLOW001]" in out
+
+    def test_explain_unknown_rule_is_usage_error(self, capsys):
+        code = main(["staticcheck", "--explain", "NOPE"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown rule id" in err and "FLOW001" in err
 
     def test_write_baseline_round_trip(self, tmp_path, capsys):
         from repro.staticcheck.baseline import Baseline, save_baseline

@@ -3,7 +3,13 @@
 import json
 
 from repro.staticcheck import all_rules
-from repro.staticcheck.engine import PARSE_RULE_ID, Finding
+from repro.staticcheck.baseline import fingerprint
+from repro.staticcheck.engine import (
+    NOQA_RULE_ID,
+    PARSE_RULE_ID,
+    Finding,
+    TraceStep,
+)
 from repro.staticcheck.sarif import (
     SARIF_SCHEMA_URI,
     SARIF_VERSION,
@@ -24,6 +30,32 @@ def make_finding():
     )
 
 
+def make_flow_finding():
+    return Finding(
+        rule_id="FLOW001",
+        severity="error",
+        path="protocols/proto.py",
+        line=8,
+        col=9,
+        message="wall-clock time reaches a decision site",
+        line_text="ctx.decide(tag)",
+        trace=(
+            TraceStep(
+                path="protocols/helpers.py", line=4, col=12,
+                note="source: time.time() [wall-clock time]",
+            ),
+            TraceStep(
+                path="protocols/proto.py", line=7, col=15,
+                note="via call to stamp()",
+            ),
+            TraceStep(
+                path="protocols/proto.py", line=8, col=9,
+                note="reaches a decision site (ctx.decide)",
+            ),
+        ),
+    )
+
+
 class TestSarifDocument:
     def test_required_top_level_properties(self):
         doc = to_sarif([])
@@ -36,8 +68,12 @@ class TestSarifDocument:
         driver = doc["runs"][0]["tool"]["driver"]
         assert driver["name"] == "repro.staticcheck"
         ids = [rule["id"] for rule in driver["rules"]]
-        expected = [rule.rule_id for rule in all_rules()] + [PARSE_RULE_ID]
+        expected = [rule.rule_id for rule in all_rules()] + [
+            PARSE_RULE_ID,
+            NOQA_RULE_ID,
+        ]
         assert ids == expected
+        assert {"FLOW001", "FLOW002", "FLOW003"} <= set(ids)
         for rule in driver["rules"]:
             assert rule["shortDescription"]["text"]
             assert rule["defaultConfiguration"]["level"] in (
@@ -66,3 +102,35 @@ class TestSarifDocument:
         text = render_sarif([make_finding()])
         parsed = json.loads(text)
         assert parsed["version"] == "2.1.0"
+
+
+class TestCodeFlows:
+    def test_trace_becomes_a_code_flow(self):
+        finding = make_flow_finding()
+        doc = to_sarif([finding])
+        (result,) = doc["runs"][0]["results"]
+        (code_flow,) = result["codeFlows"]
+        (thread_flow,) = code_flow["threadFlows"]
+        locations = thread_flow["locations"]
+        assert len(locations) == len(finding.trace)
+        first = locations[0]["location"]
+        assert (
+            first["physicalLocation"]["artifactLocation"]["uri"]
+            == "protocols/helpers.py"
+        )
+        assert first["message"]["text"].startswith("source:")
+        last = locations[-1]["location"]
+        assert last["physicalLocation"]["region"]["startLine"] == 8
+
+    def test_traceless_findings_carry_no_code_flow(self):
+        doc = to_sarif([make_finding()])
+        (result,) = doc["runs"][0]["results"]
+        assert "codeFlows" not in result
+
+    def test_partial_fingerprint_matches_baseline_print(self):
+        finding = make_flow_finding()
+        doc = to_sarif([finding])
+        (result,) = doc["runs"][0]["results"]
+        assert result["partialFingerprints"] == {
+            "reproStaticcheckV2": fingerprint(finding),
+        }
