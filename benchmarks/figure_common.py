@@ -40,6 +40,13 @@ RUNS_PER_POINT = 12
 #: this without changing what is asserted.
 JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
+#: Sweep engine for the empirical sweeps.  ``auto`` uses the vectorized
+#: batch kernels where a spec supports them and falls back to the scalar
+#: engine (recording why); ``scalar`` forces the reference engine.  The
+#: engine actually chosen per point lands in the ``*_engines.json``
+#: artifact next to the figure outputs.
+ENGINE = os.environ.get("REPRO_ENGINE", "auto")
+
 
 def write_figure_artifacts(model: Model, n: int = 64) -> pathlib.Path:
     """Render the full figure and per-panel CSVs into ``benchmarks/out``."""
@@ -80,7 +87,9 @@ def run_empirical_validation(model: Model, seed: int = 0):
         runs_per_point=RUNS_PER_POINT,
         seed=seed,
         jobs=JOBS,
+        engine=ENGINE,
     )
+    write_engine_artifact(model, validation)
     assert validation.possible_side_clean, [
         s.summary() for s in validation.sweeps if not s.clean
     ]
@@ -88,6 +97,35 @@ def run_empirical_validation(model: Model, seed: int = 0):
         c.summary() for c in validation.constructions
     ]
     return validation
+
+
+def write_engine_artifact(model: Model, validation) -> pathlib.Path:
+    """Record which sweep engine each empirical point actually used."""
+    from repro.io import atomic_write_json
+
+    OUT_DIR.mkdir(exist_ok=True)
+    number = FIGURE_BY_MODEL[model]
+    slug = model.shorthand.replace("/", "-").lower()
+    path = OUT_DIR / f"fig{number}_{slug}_engines.json"
+    atomic_write_json(path, {
+        "format": "repro-figure-engines/1",
+        "model": model.shorthand,
+        "requested_engine": ENGINE,
+        "points": [
+            {
+                "spec": s.spec_name,
+                "n": s.n,
+                "k": s.k,
+                "t": s.t,
+                "runs": s.runs,
+                "engine": s.engine,
+                "execution": s.execution,
+                "fallback_reason": s.fallback_reason,
+            }
+            for s in validation.sweeps
+        ],
+    })
+    return path
 
 
 def print_figure_summary(model: Model, n: int = 64) -> None:

@@ -121,9 +121,10 @@ def _figure_sweep_task(task) -> SweepStats:
     """Module-level worker: one figure-validation grid point."""
     from repro.protocols.base import get_spec
 
-    spec_name, n, k, t, runs, seed = task
+    spec_name, n, k, t, runs, seed, engine = task
     return sweep_spec(
-        get_spec(spec_name), n, k, t, SweepConfig(runs=runs, seed=seed)
+        get_spec(spec_name), n, k, t, SweepConfig(runs=runs, seed=seed),
+        engine=engine,
     )
 
 
@@ -134,6 +135,7 @@ def validate_figure(
     runs_per_point: int = 20,
     seed: int = 0,
     jobs: int = 1,
+    engine: str = "scalar",
 ) -> FigureValidation:
     """Empirically validate one figure's possible and impossible sides.
 
@@ -150,7 +152,7 @@ def validate_figure(
         for (k, t) in sample_solvable_points(spec, n_empirical, points_per_spec, rng):
             tasks.append(
                 (spec.name, n_empirical, k, t, runs_per_point,
-                 rng.randrange(1 << 30))
+                 rng.randrange(1 << 30), engine)
             )
     sweeps = parallel_map(_figure_sweep_task, tasks, jobs=jobs)
     return FigureValidation(

@@ -200,6 +200,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None,
                    help="split the root fan-out over N worker processes "
                         "(results are identical for every N)")
+    p.add_argument("--shared", action="store_true",
+                   help="work-stealing engine with one cross-worker "
+                        "visited store (requires --jobs; verdict-"
+                        "identical, not bit-identical)")
+    p.add_argument("--stop-on-violation", action="store_true",
+                   help="abandon the search at the first violation "
+                        "(cross-worker cancellation in parallel modes)")
     p.add_argument("--full-dfs", action="store_true",
                    help="disable partial-order reduction (the unreduced "
                         "correctness reference)")
@@ -207,13 +214,18 @@ def build_parser() -> argparse.ArgumentParser:
                    default="snapshot",
                    help="state-forking strategy; 'deepcopy' is the legacy "
                         "baseline (message-passing only)")
-    p.add_argument("--visited", choices=["exact", "compact", "bitstate"],
+    p.add_argument("--visited",
+                   choices=["exact", "compact", "bitstate", "disk"],
                    default="exact",
                    help="visited-state store: exact dict, hash-compacted, "
-                        "or fixed-memory bitstate (lossy)")
+                        "fixed-memory bitstate (lossy), or sqlite-backed "
+                        "disk table shared across workers")
     p.add_argument("--bitstate-bits", type=int, default=1 << 23,
                    help="bit-array width for --visited bitstate "
                         "(power of two)")
+    p.add_argument("--disk-path", default=None,
+                   help="sqlite file for --visited disk (default: a "
+                        "temporary file deleted after the run)")
     p.add_argument("--symmetry", action="store_true",
                    help="canonicalize states modulo renaming of "
                         "interchangeable processes (auto-disabled where "
@@ -232,8 +244,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict the k grid (default 1..n)")
     p.add_argument("--ts", type=int, nargs="*", default=None,
                    help="restrict the t grid (default 0..n-1)")
-    p.add_argument("--visited", choices=["exact", "compact", "bitstate"],
+    p.add_argument("--visited",
+                   choices=["exact", "compact", "bitstate", "disk"],
                    default="exact")
+    p.add_argument("--disk-path", default=None,
+                   help="sqlite file for --visited disk (default: a "
+                        "temporary file deleted after the run)")
+    p.add_argument("--shared", action="store_true",
+                   help="work-stealing engine with one cross-worker "
+                        "visited store (requires --jobs)")
+    p.add_argument("--stop-on-violation", action="store_true",
+                   help="stop each outside-region exploration at its "
+                        "first violation (verdicts unchanged)")
     p.add_argument("--no-symmetry", action="store_true",
                    help="disable symmetry reduction (on by default here)")
     p.add_argument("--max-states", type=int, default=500_000,
@@ -621,7 +643,14 @@ def _cmd_exhaustive(args) -> int:
     validity = by_code(spec.validity)
     # A SpecFactory (not a lambda) so worker processes can unpickle it.
     factory = SpecFactory(spec.name, args.n, args.k, args.t)
-    visited = VisitedSpec(kind=args.visited, bitstate_bits=args.bitstate_bits)
+    visited = VisitedSpec(
+        kind=args.visited,
+        bitstate_bits=args.bitstate_bits,
+        disk_path=args.disk_path,
+    )
+    if args.shared and args.jobs is None:
+        print("--shared requires --jobs")
+        return 2
     if spec.is_shared_memory:
         if args.engine == "deepcopy":
             print("the deepcopy engine applies to message-passing specs only")
@@ -633,6 +662,8 @@ def _cmd_exhaustive(args) -> int:
             jobs=args.jobs,
             visited=visited,
             symmetry=args.symmetry,
+            shared=args.shared,
+            stop_on_violation=args.stop_on_violation,
         )
     else:
         result = explore_mp(
@@ -644,12 +675,27 @@ def _cmd_exhaustive(args) -> int:
             jobs=args.jobs,
             visited=visited,
             symmetry=args.symmetry,
+            shared=args.shared,
+            stop_on_violation=args.stop_on_violation,
         )
+    if result.exhausted:
+        coverage = "exhaustive"
+    elif args.stop_on_violation and result.violations:
+        coverage = "stopped at first violation"
+    else:
+        coverage = "budget-capped"
     print(
         f"explored {result.states} states / {result.runs} complete runs "
-        f"({'exhaustive' if result.exhausted else 'budget-capped'})"
+        f"({coverage})"
     )
     stats = result.stats
+    if stats.shared_store:
+        print(
+            f"shared frontier: {stats.stolen_subtrees} stolen subtrees, "
+            f"{stats.shared_hits} shared-store hits, "
+            f"{stats.reexplored_states} re-explored states, "
+            f"{stats.worker_failures} worker failures"
+        )
     if args.symmetry:
         if stats.symmetry:
             print(
@@ -695,21 +741,30 @@ def _cmd_certify(args) -> int:
     import json
     import pathlib
 
+    from repro.harness.exhaustive import VisitedSpec
     from repro.verify.certify import certify_claims
 
     progress = None if args.quiet else (lambda line: print(f"  {line}"))
+    if args.shared and args.jobs is None:
+        print("--shared requires --jobs")
+        return 2
+    visited: object = args.visited
+    if args.visited == "disk" or args.disk_path:
+        visited = VisitedSpec(kind=args.visited, disk_path=args.disk_path)
     report = certify_claims(
         n=args.n,
         specs=args.specs,
         ks=args.ks,
         ts=args.ts,
-        visited=args.visited,
+        visited=visited,
         symmetry=not args.no_symmetry,
         max_states=args.max_states,
         jobs=args.jobs,
         max_sends=args.max_sends,
         witness_dir=args.witness_dir,
         progress=progress,
+        shared=args.shared,
+        stop_on_violation=args.stop_on_violation,
     )
     counts = report.verdict_counts()
     summary = ", ".join(
@@ -719,6 +774,21 @@ def _cmd_certify(args) -> int:
         f"certified {len(report.claims)} claims at n={report.n} "
         f"({report.total_states} states): {summary}"
     )
+    if report.shared:
+        stolen = sum(p.stolen_subtrees for c in report.claims
+                     for p in c.points)
+        redone = sum(p.reexplored_states for c in report.claims
+                     for p in c.points)
+        print(
+            f"shared frontier: {stolen} stolen subtrees, "
+            f"{redone} re-explored states"
+        )
+    reasons = sorted({
+        p.symmetry_reason for c in report.claims for p in c.points
+        if p.symmetry_reason
+    })
+    for reason in reasons:
+        print(f"symmetry disabled: {reason}")
     if report.skipped_specs:
         print(f"skipped sim claims: {', '.join(report.skipped_specs)}")
     if args.out:

@@ -43,6 +43,21 @@ subtrees are distributed over worker processes with
 are merged in frontier order -- so the merged result is bit-identical
 for every jobs count (``--jobs 1`` vs ``--jobs 8`` agree exactly).
 
+Two execution-mode extensions trade that bit-identity for speed, both
+*verdict-identical* to the default mode (same violations-found verdict;
+state counts may vary):
+
+* ``shared=True`` replaces the one-shot frontier with the work-stealing
+  scheduler of :mod:`repro.harness.shared_frontier`: workers share one
+  cross-worker visited table (:mod:`repro.harness.visited`) and shed
+  subtree roots to idle peers on demand, eliminating both the
+  duplicate-work and the load-imbalance cost of private stores.
+* ``stop_on_violation=True`` terminates the search at the first
+  recorded violation (cross-worker cancellation in the parallel
+  modes), which makes counterexample hunts over outside-region points
+  cheap -- the result then reports ``exhausted=False`` whenever a
+  violation was found.
+
 Typical use::
 
     outcome = explore_mp(
@@ -62,6 +77,8 @@ import copy
 import dataclasses
 import itertools
 import operator
+import os
+import tempfile
 from collections import Counter, deque
 from typing import (
     Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple,
@@ -74,7 +91,7 @@ from repro.failures.adversary import CrashAdversary
 from repro.failures.crash import CrashPlan, CrashPoint
 from repro.harness.parallel import parallel_map
 from repro.harness.visited import (
-    EXPAND_ALL, NO_SLEEP, ExactStore, VisitedSpec, make_visited_store,
+    EXPAND_ALL, NO_SLEEP, ExactStore, VisitedSpec,
 )
 from repro.runtime.events import Delivery, Event, Start
 from repro.runtime.kernel import MPKernel
@@ -114,8 +131,23 @@ class ExplorationStats:
     work the reductions actually did.
     """
 
-    #: Which visited store ran: ``exact`` / ``compact`` / ``bitstate``.
+    #: Which visited store ran: ``exact`` / ``compact`` / ``bitstate``
+    #: / ``disk``.
     visited_store: str = "exact"
+    #: Whether a cross-worker (shared-memory or disk) table was in play.
+    shared_store: bool = False
+    #: Probes answered by another worker's recorded expansion.
+    shared_hits: int = 0
+    #: States expanded by this worker that some worker had already
+    #: expanded under a different sleep coverage (duplicate work the
+    #: shared table could not cut).
+    reexplored_states: int = 0
+    #: Subtree roots executed by a worker other than their producer
+    #: (work-stealing scheduler only).
+    stolen_subtrees: int = 0
+    #: Workers that died (EOF/kill) during a shared-frontier run; any
+    #: nonzero count forces ``exhausted=False``.
+    worker_failures: int = 0
     #: Whether process-permutation symmetry reduction was active.
     symmetry: bool = False
     #: Why symmetry was disabled (empty when active or never requested).
@@ -208,6 +240,13 @@ def _merge_into(total: ExplorationResult, part: ExplorationResult) -> None:
         total.stats.bitstate_saturation, part.stats.bitstate_saturation
     )
     total.stats.bitstate_fp_budget += part.stats.bitstate_fp_budget
+    total.stats.shared_store = (
+        total.stats.shared_store or part.stats.shared_store
+    )
+    total.stats.shared_hits += part.stats.shared_hits
+    total.stats.reexplored_states += part.stats.reexplored_states
+    total.stats.stolen_subtrees += part.stats.stolen_subtrees
+    total.stats.worker_failures += part.stats.worker_failures
 
 
 def _empty_result() -> ExplorationResult:
@@ -446,6 +485,8 @@ class _MPConfig:
     sym: Optional[Any] = None
     #: Per-exploration memo of event signatures (see :class:`_SigCache`).
     sigs: _SigCache = dataclasses.field(default_factory=_SigCache)
+    #: Abandon the search at the first recorded violation.
+    stop_on_violation: bool = False
 
 
 def _is_dynamic(adversary: Optional[CrashAdversary]) -> bool:
@@ -612,6 +653,11 @@ def _child_sleep(frame: _Frame, seq: int, por: bool) -> Set[int]:
     }
 
 
+#: DFS iterations between control-hook polls in the work-stealing
+#: engine (stop/feed messages are answered within this many choices).
+_CONTROL_INTERVAL = 64
+
+
 def _run_mp_dfs(
     kernel: MPKernel,
     path: Tuple[int, ...],
@@ -619,6 +665,7 @@ def _run_mp_dfs(
     cfg: _MPConfig,
     result: ExplorationResult,
     store: _VisitedStore,
+    control: Optional[Callable] = None,
 ) -> None:
     """Depth-first exploration from the kernel's current state.
 
@@ -627,9 +674,32 @@ def _run_mp_dfs(
     visiting later children restores the frame's snapshot first.
     """
     root = _process_mp_node(kernel, path, sleep, cfg, result, store)
+    if cfg.stop_on_violation and result.violations:
+        result.exhausted = False
+        return
     if root is None:
         return
-    stack: List[_Frame] = [root]
+    _drive_mp_stack(kernel, [root], cfg, result, store, control)
+
+
+def _drive_mp_stack(
+    kernel: MPKernel,
+    stack: List[_Frame],
+    cfg: _MPConfig,
+    result: ExplorationResult,
+    store: _VisitedStore,
+    control: Optional[Callable] = None,
+) -> None:
+    """Drive an explicit DFS stack of frames to completion (or abort).
+
+    ``control``, when given, is called every :data:`_CONTROL_INTERVAL`
+    iterations with ``(stack, result)``; returning ``True`` aborts the
+    search (the work-stealing worker uses the hook to answer stop and
+    shed-a-subtree requests without a second thread).  With no control
+    hook and ``stop_on_violation`` off, behaviour is bit-identical to
+    the historical single-loop DFS.
+    """
+    ticks = 0
     while stack:
         frame = stack[-1]
         if frame.idx >= len(frame.choices):
@@ -638,6 +708,13 @@ def _run_mp_dfs(
         if result.states >= cfg.max_states:
             result.exhausted = False
             return
+        if control is not None:
+            ticks += 1
+            if ticks >= _CONTROL_INTERVAL:
+                ticks = 0
+                if control(stack, result):
+                    result.exhausted = False
+                    return
         seq = frame.choices[frame.idx]
         frame.idx += 1
         if not frame.fresh:
@@ -650,6 +727,9 @@ def _run_mp_dfs(
             _child_sleep(frame, seq, cfg.por),
             cfg, result, store,
         )
+        if cfg.stop_on_violation and result.violations:
+            result.exhausted = False
+            return
         if child is not None:
             stack.append(child)
 
@@ -677,6 +757,9 @@ def _explore_mp_deepcopy(
         result.states += 1
         if kernel.all_correct_decided() or not kernel._pending:
             _judge_leaf(kernel, path, cfg.judge, result)
+            if cfg.stop_on_violation and result.violations:
+                result.exhausted = False
+                break
             continue
         for seq in sorted(kernel._pending):
             branch = copy.deepcopy(kernel)
@@ -710,6 +793,7 @@ class _MPFrontierTask:
     snapshot: Any
     path: Tuple[int, ...]
     sleep: Tuple[int, ...]
+    stop_on_violation: bool = False
 
 
 def _mp_symmetry_for(
@@ -768,11 +852,13 @@ def _mp_frontier_worker(task: _MPFrontierTask) -> ExplorationResult:
         include_counters=_mp_counters_matter(adversary),
         may_crash=_may_crash_set(adversary),
         sym=sym,
+        stop_on_violation=task.stop_on_violation,
     )
     kernel.restore(task.snapshot)
     _run_mp_dfs(kernel, task.path, set(task.sleep), cfg, result, store)
     result.cache_hits = store.hits
     result.cache_misses = store.misses
+    store.flush()
     store.fill_stats(result.stats)
     return result
 
@@ -814,6 +900,9 @@ def _explore_mp_frontier(
         frame = _process_mp_node(
             kernel, path, set(sleep), cfg, result, store
         )
+        if cfg.stop_on_violation and result.violations:
+            result.exhausted = False
+            break
         if frame is None:
             continue
         for _ in range(len(frame.choices)):
@@ -827,8 +916,9 @@ def _explore_mp_frontier(
             queue.append((kernel.snapshot(), path + (seq,), child_sleep))
     result.cache_hits = store.hits
     result.cache_misses = store.misses
+    store.flush()
     store.fill_stats(result.stats)
-    if not queue:
+    if not queue or (cfg.stop_on_violation and result.violations):
         return
     tasks = [
         _MPFrontierTask(
@@ -845,11 +935,39 @@ def _explore_mp_frontier(
             snapshot=snapshot,
             path=path,
             sleep=tuple(sleep),
+            stop_on_violation=cfg.stop_on_violation,
         )
         for snapshot, path, sleep in queue
     ]
     for part in parallel_map(_mp_frontier_worker, tasks, jobs=jobs):
         _merge_into(result, part)
+
+
+def _normalize_visited(
+    visited: Union[str, VisitedSpec]
+) -> Tuple[VisitedSpec, Optional[str]]:
+    """Resolve the spec; auto-provision a temp file for pathless disk.
+
+    Returns ``(spec, auto_path)``; ``auto_path`` is non-None when this
+    call created a temporary sqlite file the caller must delete after
+    the exploration (user-supplied paths are never touched).
+    """
+    spec = VisitedSpec(kind=visited) if isinstance(visited, str) else visited
+    if spec.kind == "disk" and not spec.disk_path:
+        fd, path = tempfile.mkstemp(prefix="repro-visited-", suffix=".sqlite")
+        os.close(fd)
+        return dataclasses.replace(spec, disk_path=path), path
+    return spec, None
+
+
+def _cleanup_disk(auto_path: Optional[str]) -> None:
+    if not auto_path:
+        return
+    for suffix in ("", "-wal", "-shm"):
+        try:
+            os.unlink(auto_path + suffix)
+        except OSError:  # repro: noqa[ROB001] -- best-effort temp cleanup
+            pass
 
 
 def explore_mp(
@@ -867,6 +985,8 @@ def explore_mp(
     jobs: Optional[int] = None,
     visited: Union[str, VisitedSpec] = "exact",
     symmetry: bool = False,
+    shared: bool = False,
+    stop_on_violation: bool = False,
 ) -> ExplorationResult:
     """Explore *every* delivery order of one message-passing instance.
 
@@ -901,48 +1021,79 @@ def explore_mp(
             with the reason recorded in ``result.stats`` -- for
             undeclared protocols, symmetry-breaking adversaries, and
             the deepcopy engine.
+        shared: run the work-stealing shared-frontier engine
+            (:mod:`repro.harness.shared_frontier`): one cross-worker
+            visited table, subtree stealing, cross-worker cancellation.
+            Requires ``jobs`` and the snapshot engine.  Verdict-
+            identical to the default mode, not bit-identical.
+        stop_on_violation: abandon the search at the first recorded
+            violation (``exhausted`` is then ``False``).  Searches that
+            find no violation are unaffected.
     """
     if engine not in ("snapshot", "deepcopy"):
         raise ValueError(f"unknown engine {engine!r}")
     if jobs is not None and engine != "snapshot":
         raise ValueError("parallel exploration requires engine='snapshot'")
+    if shared and jobs is None:
+        raise ValueError("shared exploration requires jobs")
 
     problem = SCProblem(n=len(inputs), k=k, t=t, validity=validity)
     result = _empty_result()
-    store, visited_spec = make_visited_store(visited)
-    result.stats.visited_store = store.kind
-    kernel = _fresh_mp_kernel(process_factory, inputs, t, crash_adversary)
-    sym = _mp_symmetry_for(
-        kernel, inputs, t, crash_adversary,
-        symmetry, engine, dedup, result.stats,
-    )
-    cfg = _MPConfig(
-        judge=_make_judge(problem, verify),
-        max_states=max_states,
-        dedup=dedup,
-        por=(por and engine == "snapshot" and not _is_dynamic(crash_adversary)),
-        include_counters=_mp_counters_matter(crash_adversary),
-        may_crash=_may_crash_set(crash_adversary),
-        sym=sym,
-    )
-
-    if jobs is not None:
-        _explore_mp_frontier(
-            process_factory, inputs, k, t, validity, crash_adversary,
-            cfg, verify, jobs, result, store, visited_spec, symmetry,
+    visited_spec, auto_path = _normalize_visited(visited)
+    try:
+        store = visited_spec.build()
+        result.stats.visited_store = store.kind
+        kernel = _fresh_mp_kernel(process_factory, inputs, t, crash_adversary)
+        sym = _mp_symmetry_for(
+            kernel, inputs, t, crash_adversary,
+            symmetry, engine, dedup, result.stats,
         )
+        cfg = _MPConfig(
+            judge=_make_judge(problem, verify),
+            max_states=max_states,
+            dedup=dedup,
+            por=(
+                por and engine == "snapshot"
+                and not _is_dynamic(crash_adversary)
+            ),
+            include_counters=_mp_counters_matter(crash_adversary),
+            may_crash=_may_crash_set(crash_adversary),
+            sym=sym,
+            stop_on_violation=stop_on_violation,
+        )
+
+        if shared:
+            # Function-level import: shared_frontier imports this module.
+            from repro.harness.shared_frontier import explore_shared_mp
+
+            explore_shared_mp(
+                process_factory, inputs, k, t, validity, crash_adversary,
+                max_states, dedup, verify, cfg.por, visited_spec, symmetry,
+                stop_on_violation, jobs, kernel, result,
+            )
+            return result
+
+        if jobs is not None:
+            _explore_mp_frontier(
+                process_factory, inputs, k, t, validity, crash_adversary,
+                cfg, verify, jobs, result, store, visited_spec, symmetry,
+            )
+            return result
+
+        if engine == "deepcopy":
+            _explore_mp_deepcopy(
+                process_factory, inputs, t, crash_adversary, cfg, result,
+                store,
+            )
+        else:
+            _run_mp_dfs(kernel, (), set(), cfg, result, store)
+        result.cache_hits = store.hits
+        result.cache_misses = store.misses
+        store.flush()
+        store.fill_stats(result.stats)
         return result
-
-    if engine == "deepcopy":
-        _explore_mp_deepcopy(
-            process_factory, inputs, t, crash_adversary, cfg, result, store
-        )
-    else:
-        _run_mp_dfs(kernel, (), set(), cfg, result, store)
-    result.cache_hits = store.hits
-    result.cache_misses = store.misses
-    store.fill_stats(result.stats)
-    return result
+    finally:
+        _cleanup_disk(auto_path)
 
 
 # ---------------------------------------------------------------------------
@@ -976,6 +1127,8 @@ def _run_sm_dfs(
     result: ExplorationResult,
     store: _VisitedStore,
     sym=None,
+    control: Optional[Callable] = None,
+    stop_on_violation: bool = False,
 ) -> None:
     """Prefix-sharing DFS over scheduling choices of one live SM kernel.
 
@@ -984,15 +1137,27 @@ def _run_sm_dfs(
     step (cost 1); only backtracks replay a prefix from the root
     (:meth:`SMKernel.restore`), and the replay totals are reported in
     ``replays``/``replayed_steps``.
+
+    ``control`` follows the same contract as :func:`_drive_mp_stack`:
+    called with ``(stack, result)`` every :data:`_CONTROL_INTERVAL`
+    iterations, returning ``True`` aborts (sets ``exhausted=False``).
     """
     from repro.shm.kernel import SMSnapshot
 
     stack: List[Tuple[int, ...]] = [tuple(kernel.choices)]
     live = None  # the prefix the kernel currently sits at
+    ticks = 0
     while stack:
         if result.states >= max_states:
             result.exhausted = False
             return
+        if control is not None:
+            ticks += 1
+            if ticks >= _CONTROL_INTERVAL:
+                ticks = 0
+                if control(stack, result):
+                    result.exhausted = False
+                    return
         prefix = stack.pop()
         if prefix == live:
             pass
@@ -1016,6 +1181,9 @@ def _run_sm_dfs(
         result.states += 1
         if kernel.all_correct_decided() or not kernel.runnable_pids():
             _judge_leaf(kernel, prefix, judge, result)
+            if stop_on_violation and result.violations:
+                result.exhausted = False
+                return
             continue
         for pid in sorted(kernel.runnable_pids()):
             stack.append(prefix + (pid,))
@@ -1036,6 +1204,7 @@ class _SMFrontierTask:
     prefix: Tuple[int, ...]
     visited: VisitedSpec = VisitedSpec()
     symmetry: bool = False
+    stop_on_violation: bool = False
 
 
 def _sm_symmetry_for(
@@ -1080,10 +1249,12 @@ def _sm_frontier_worker(task: _SMFrontierTask) -> ExplorationResult:
         task.symmetry, task.dedup, result.stats,
     )
     _run_sm_dfs(
-        kernel, judge, task.max_states, task.dedup, result, store, sym
+        kernel, judge, task.max_states, task.dedup, result, store, sym,
+        stop_on_violation=task.stop_on_violation,
     )
     result.cache_hits = store.hits
     result.cache_misses = store.misses
+    store.flush()
     store.fill_stats(result.stats)
     return result
 
@@ -1102,6 +1273,8 @@ def explore_sm(
     jobs: Optional[int] = None,
     visited: Union[str, VisitedSpec] = "exact",
     symmetry: bool = False,
+    shared: bool = False,
+    stop_on_violation: bool = False,
 ) -> ExplorationResult:
     """Explore every process interleaving of a shared-memory instance.
 
@@ -1115,34 +1288,57 @@ def explore_sm(
 
     ``jobs`` distributes the frontier of choice prefixes across worker
     processes, merged deterministically (``programs_factory`` must then
-    be picklable, e.g. a :class:`SpecFactory`).
+    be picklable, e.g. a :class:`SpecFactory`).  ``shared`` and
+    ``stop_on_violation`` match :func:`explore_mp`: work-stealing over
+    one cross-worker visited table, and first-violation cancellation.
     """
+    if shared and jobs is None:
+        raise ValueError("shared exploration requires jobs")
     problem = SCProblem(n=len(inputs), k=k, t=t, validity=validity)
     judge = _make_judge(problem, verify)
     result = _empty_result()
-    store, visited_spec = make_visited_store(visited)
-    result.stats.visited_store = store.kind
+    visited_spec, auto_path = _normalize_visited(visited)
+    try:
+        store = visited_spec.build()
+        result.stats.visited_store = store.kind
 
-    kernel = _fresh_sm_kernel(
-        programs_factory, inputs, t, crash_adversary, max_ticks_per_run
-    )
-    sym = _sm_symmetry_for(
-        kernel, inputs, t, crash_adversary, symmetry, dedup, result.stats
-    )
-
-    if jobs is not None:
-        _explore_sm_frontier(
-            programs_factory, inputs, k, t, validity, crash_adversary,
-            max_states, max_ticks_per_run, dedup, verify, judge,
-            jobs, result, store, sym, visited_spec, symmetry,
+        kernel = _fresh_sm_kernel(
+            programs_factory, inputs, t, crash_adversary, max_ticks_per_run
         )
-        return result
+        sym = _sm_symmetry_for(
+            kernel, inputs, t, crash_adversary, symmetry, dedup, result.stats
+        )
 
-    _run_sm_dfs(kernel, judge, max_states, dedup, result, store, sym)
-    result.cache_hits = store.hits
-    result.cache_misses = store.misses
-    store.fill_stats(result.stats)
-    return result
+        if shared:
+            from repro.harness.shared_frontier import explore_shared_sm
+
+            explore_shared_sm(
+                programs_factory, inputs, k, t, validity, crash_adversary,
+                max_states, max_ticks_per_run, dedup, verify, visited_spec,
+                symmetry, stop_on_violation, jobs, result,
+            )
+            return result
+
+        if jobs is not None:
+            _explore_sm_frontier(
+                programs_factory, inputs, k, t, validity, crash_adversary,
+                max_states, max_ticks_per_run, dedup, verify, judge,
+                jobs, result, store, sym, visited_spec, symmetry,
+                stop_on_violation,
+            )
+            return result
+
+        _run_sm_dfs(
+            kernel, judge, max_states, dedup, result, store, sym,
+            stop_on_violation=stop_on_violation,
+        )
+        result.cache_hits = store.hits
+        result.cache_misses = store.misses
+        store.flush()
+        store.fill_stats(result.stats)
+        return result
+    finally:
+        _cleanup_disk(auto_path)
 
 
 def _explore_sm_frontier(
@@ -1154,6 +1350,7 @@ def _explore_sm_frontier(
     sym,
     visited_spec: VisitedSpec,
     symmetry: bool,
+    stop_on_violation: bool = False,
 ) -> None:
     from repro.shm.kernel import SMSnapshot
 
@@ -1182,13 +1379,17 @@ def _explore_sm_frontier(
         result.states += 1
         if kernel.all_correct_decided() or not kernel.runnable_pids():
             _judge_leaf(kernel, prefix, judge, result)
+            if stop_on_violation and result.violations:
+                result.exhausted = False
+                break
             continue
         for pid in sorted(kernel.runnable_pids()):
             queue.append(prefix + (pid,))
     result.cache_hits = store.hits
     result.cache_misses = store.misses
+    store.flush()
     store.fill_stats(result.stats)
-    if not queue:
+    if not queue or (stop_on_violation and result.violations):
         return
     tasks = [
         _SMFrontierTask(
@@ -1203,6 +1404,7 @@ def _explore_sm_frontier(
             prefix=prefix,
             visited=visited_spec,
             symmetry=symmetry,
+            stop_on_violation=stop_on_violation,
         )
         for prefix in queue
     ]

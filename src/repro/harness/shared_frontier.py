@@ -1,0 +1,517 @@
+"""Work-stealing shared-frontier engine for the exhaustive explorer.
+
+The private-store frontier (``explore_mp(jobs=...)``) buys determinism
+with duplicate work: every worker re-explores whatever its subtree
+shares with the others, and the one-shot fixed-width decomposition
+leaves late workers idle while one deep subtree finishes.  This engine
+trades bit-identity for throughput (the result is *verdict-identical*:
+same violations verdict, state counts may vary):
+
+* **One cross-worker visited table.**  Every worker's store is built by
+  :func:`repro.harness.visited.make_shared_store`: a private Godefroid
+  store layered over a fork-shared lock-free digest table (or the
+  sqlite-backed disk table), so a subtree another worker already
+  expanded under the same sleep coverage is cut instead of re-explored.
+
+* **Work stealing.**  The parent process is a pipe-based scheduler: a
+  deque of pending subtree roots is dealt to idle workers, and when it
+  runs dry, busy workers are asked to shed the shallowest frame of
+  their DFS stack (the largest pending subtree) for reassignment.
+
+* **Cross-worker cancellation.**  ``stop_on_violation`` and the global
+  ``max_states`` budget broadcast a stop; workers poll their pipe every
+  :data:`repro.harness.exhaustive._CONTROL_INTERVAL` DFS iterations.
+
+Crash-safety is structural: there are **no shared locks anywhere** --
+the digest tables are lock-free, the disk table is WAL sqlite, and all
+coordination runs over per-worker pipes owned by the parent -- so a
+SIGKILLed worker can never wedge survivors on a dead lock holder.  The
+scheduler detects the EOF on the dead worker's pipe, counts it in
+``stats.worker_failures``, and clears ``exhausted`` (the dead worker's
+assigned subtree is lost, so the search cannot claim completeness).
+
+Workers are forked, not spawned: the shared RawArray tables are not
+picklable and must be inherited at ``Process`` creation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+from collections import deque
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.problem import SCProblem
+from repro.harness import exhaustive as _ex
+from repro.harness.parallel import resolve_jobs
+from repro.harness.visited import (
+    VisitedSpec, make_shared_store, make_shared_tables,
+)
+
+__all__ = ["explore_shared_mp", "explore_shared_sm"]
+
+#: Test seam: when set, called with the list of worker ``Process``
+#: objects right after they start (the chaos suite uses it to SIGKILL
+#: a worker mid-run and assert the shared store survives).
+_CHAOS_HOOK: Optional[Callable[[List[multiprocessing.Process]], None]] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class _SharedSetup:
+    """Everything a forked worker needs to build its exploration."""
+
+    mode: str  # "mp" | "sm"
+    factory: Any
+    inputs: Tuple
+    k: int
+    t: int
+    validity: Any
+    crash_adversary: Any
+    max_states: int
+    max_ticks: int  # sm only
+    dedup: bool
+    verify: bool
+    por: bool  # mp only
+    visited: VisitedSpec
+    symmetry: bool
+    stop_on_violation: bool
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+def _shed_mp(stack) -> Optional[Tuple]:
+    """Detach the shallowest still-expandable frame (largest subtree).
+
+    The top frame is never shed -- it is the one the live kernel is
+    driving.  Frames are self-contained (own snapshot and choice list),
+    so deleting one from the middle of the stack does not disturb the
+    frames above or below it.
+    """
+    for i in range(len(stack) - 1):
+        frame = stack[i]
+        if frame.idx < len(frame.choices):
+            del stack[i]
+            return (
+                "frame", frame.snapshot, frame.path, tuple(frame.sleep),
+                tuple(frame.choices), frame.idx, dict(frame.target),
+                dict(frame.may_crash),
+            )
+    return None
+
+
+def _shed_sm(stack) -> Optional[Tuple]:
+    """Detach the oldest pending choice prefix (shallowest subtree)."""
+    if len(stack) < 2:
+        return None
+    return ("prefix", stack.pop(0))
+
+
+class _Control:
+    """Worker-side control hook plugged into the DFS loops.
+
+    Called every ``_CONTROL_INTERVAL`` iterations with the live DFS
+    stack: reports the progress delta (the scheduler enforces the
+    global state budget from these), answers ``feed`` requests by
+    shedding a subtree, and latches ``stop``.  Returning ``True``
+    aborts the current task with ``exhausted=False``.
+    """
+
+    __slots__ = ("conn", "shed", "reported", "stop")
+
+    def __init__(self, conn, shed) -> None:
+        self.conn = conn
+        self.shed = shed
+        self.reported = 0
+        self.stop = False
+
+    def begin(self) -> None:
+        self.reported = 0
+
+    def __call__(self, stack, result) -> bool:
+        conn = self.conn
+        delta = result.states - self.reported
+        if delta:
+            conn.send(("prog", delta))
+            self.reported = result.states
+        while conn.poll():
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                self.stop = True
+            elif kind == "feed":
+                conn.send(("shed", self.shed(stack)))
+        return self.stop
+
+
+def _worker_main(conn, tables, setup: _SharedSetup) -> None:
+    try:
+        if setup.mode == "mp":
+            _mp_worker_loop(conn, tables, setup)
+        else:
+            _sm_worker_loop(conn, tables, setup)
+    except (EOFError, OSError, KeyboardInterrupt):  # repro: noqa[ROB001]
+        # Scheduler went away; there is nothing left to report to.  The
+        # parent counts the dead pipe as a worker failure on its side.
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:  # repro: noqa[ROB001] -- already torn down
+            pass
+
+
+def _finish_worker(conn, store) -> None:
+    """Send the once-per-worker store counters and exit."""
+    tail = _ex._empty_result()
+    store.flush()
+    tail.cache_hits = store.hits
+    tail.cache_misses = store.misses
+    store.fill_stats(tail.stats)
+    conn.send(("final", tail))
+
+
+def _mp_worker_loop(conn, tables, setup: _SharedSetup) -> None:
+    problem = SCProblem(
+        n=len(setup.inputs), k=setup.k, t=setup.t, validity=setup.validity
+    )
+    store = make_shared_store(setup.visited, tables)
+    kernel = _ex._fresh_mp_kernel(
+        setup.factory, setup.inputs, setup.t, setup.crash_adversary
+    )
+    sym = _ex._mp_symmetry_for(
+        kernel, setup.inputs, setup.t, setup.crash_adversary,
+        setup.symmetry, "snapshot", setup.dedup, _ex.ExplorationStats(),
+    )
+    cfg = _ex._MPConfig(
+        judge=_ex._make_judge(problem, setup.verify),
+        max_states=setup.max_states,
+        dedup=setup.dedup,
+        por=setup.por,
+        include_counters=_ex._mp_counters_matter(setup.crash_adversary),
+        may_crash=_ex._may_crash_set(setup.crash_adversary),
+        sym=sym,
+        stop_on_violation=setup.stop_on_violation,
+    )
+    control = _Control(conn, _shed_mp)
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        if kind == "exit":
+            break
+        if kind == "feed":
+            conn.send(("shed", None))  # idle: nothing to shed
+            continue
+        if kind != "task":
+            continue  # late "stop" while idle
+        payload = message[1]
+        part = _ex._empty_result()
+        control.begin()
+        if payload[0] == "root":
+            _, snapshot, path, sleep = payload
+            kernel.restore(snapshot)
+            _ex._run_mp_dfs(
+                kernel, tuple(path), set(sleep), cfg, part, store,
+                control=control,
+            )
+        else:  # a stolen frame: already probed/counted by its producer
+            (_, snapshot, path, sleep, choices, idx, target,
+             may_crash) = payload
+            frame = _ex._Frame(
+                snapshot, tuple(path), set(sleep), list(choices),
+                dict(target), dict(may_crash),
+            )
+            frame.idx = idx
+            frame.fresh = False
+            _ex._drive_mp_stack(
+                kernel, [frame], cfg, part, store, control=control
+            )
+        store.flush()
+        conn.send(("done", part, control.reported))
+    _finish_worker(conn, store)
+
+
+def _sm_worker_loop(conn, tables, setup: _SharedSetup) -> None:
+    from repro.shm.kernel import SMSnapshot
+
+    problem = SCProblem(
+        n=len(setup.inputs), k=setup.k, t=setup.t, validity=setup.validity
+    )
+    judge = _ex._make_judge(problem, setup.verify)
+    store = make_shared_store(setup.visited, tables)
+    kernel = _ex._fresh_sm_kernel(
+        setup.factory, setup.inputs, setup.t, setup.crash_adversary,
+        setup.max_ticks,
+    )
+    sym = _ex._sm_symmetry_for(
+        kernel, setup.inputs, setup.t, setup.crash_adversary,
+        setup.symmetry, setup.dedup, _ex.ExplorationStats(),
+    )
+    control = _Control(conn, _shed_sm)
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        if kind == "exit":
+            break
+        if kind == "feed":
+            conn.send(("shed", None))
+            continue
+        if kind != "task":
+            continue
+        prefix = tuple(message[1][1])
+        part = _ex._empty_result()
+        control.begin()
+        kernel.restore(SMSnapshot(choices=prefix))
+        part.replays += 1
+        part.replayed_steps += len(prefix)
+        _ex._run_sm_dfs(
+            kernel, judge, setup.max_states, setup.dedup, part, store, sym,
+            control=control, stop_on_violation=setup.stop_on_violation,
+        )
+        store.flush()
+        conn.send(("done", part, control.reported))
+    _finish_worker(conn, store)
+
+
+# ---------------------------------------------------------------------------
+# scheduler (parent) side
+# ---------------------------------------------------------------------------
+
+
+class _Handle:
+    """Scheduler-side view of one worker."""
+
+    __slots__ = ("index", "proc", "conn", "busy", "dead", "feed_sent",
+                 "no_shed")
+
+    def __init__(self, index, proc, conn) -> None:
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        self.busy = False
+        self.dead = False
+        self.feed_sent = False  # one outstanding feed request at a time
+        self.no_shed = False    # last feed came back empty; wait for prog
+
+
+def _run_scheduler(
+    setup: _SharedSetup,
+    jobs: Optional[int],
+    result,
+    root_payload: Tuple,
+) -> None:
+    workers = max(1, resolve_jobs(jobs))
+    ctx = multiprocessing.get_context("fork")
+    tables = make_shared_tables(setup.visited)
+    handles: List[_Handle] = []
+    for index in range(workers):
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, tables, setup),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        handles.append(_Handle(index, proc, parent_conn))
+    if _CHAOS_HOOK is not None:
+        _CHAOS_HOOK([handle.proc for handle in handles])
+
+    #: (payload, producer worker index or None for the root)
+    pending: deque = deque([(root_payload, None)])
+    progress = 0
+    stolen = 0
+    failures = 0
+    stopping = False
+    dropped = False
+
+    def mark_dead(handle: _Handle) -> None:
+        nonlocal failures
+        if handle.dead:
+            return
+        handle.dead = True
+        handle.busy = False
+        failures += 1
+        try:
+            handle.conn.close()
+        except OSError:  # repro: noqa[ROB001] -- failure already counted
+            pass
+
+    def broadcast_stop() -> None:
+        nonlocal stopping, dropped
+        if stopping:
+            return
+        stopping = True
+        if pending:
+            dropped = True
+            pending.clear()
+        for handle in handles:
+            if handle.busy and not handle.dead:
+                try:
+                    handle.conn.send(("stop",))
+                except OSError:
+                    mark_dead(handle)
+
+    while True:
+        if not stopping:
+            for handle in handles:
+                if not pending:
+                    break
+                if handle.dead or handle.busy:
+                    continue
+                payload, producer = pending[0]
+                try:
+                    handle.conn.send(("task", payload))
+                except OSError:
+                    mark_dead(handle)
+                    continue
+                pending.popleft()
+                if producer is not None and producer != handle.index:
+                    stolen += 1
+                handle.busy = True
+                handle.no_shed = False
+        busy = [h for h in handles if h.busy and not h.dead]
+        if not busy:
+            if (pending and not stopping
+                    and any(not h.dead for h in handles)):
+                continue  # workers freed up above; deal the queue again
+            break
+        idle_exists = any(not h.dead and not h.busy for h in handles)
+        if not pending and not stopping and idle_exists:
+            for handle in busy:
+                if not handle.feed_sent and not handle.no_shed:
+                    try:
+                        handle.conn.send(("feed",))
+                        handle.feed_sent = True
+                    except OSError:
+                        mark_dead(handle)
+        busy = [h for h in handles if h.busy and not h.dead]
+        if not busy:
+            continue
+        ready = mp_connection.wait([h.conn for h in busy], timeout=5.0)
+        for conn in ready:
+            handle = next(h for h in handles if h.conn is conn)
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                # The worker died mid-task (chaos kill, OOM, crash).
+                # Its assigned subtree is lost; completeness is gone.
+                mark_dead(handle)
+                continue
+            kind = message[0]
+            if kind == "prog":
+                progress += message[1]
+                handle.no_shed = False  # stack likely regrown; retry feeds
+                if progress >= setup.max_states:
+                    broadcast_stop()
+            elif kind == "shed":
+                handle.feed_sent = False
+                if message[1] is None:
+                    handle.no_shed = True
+                elif stopping:
+                    dropped = True
+                else:
+                    pending.append((message[1], handle.index))
+            elif kind == "done":
+                part, reported = message[1], message[2]
+                progress += part.states - reported
+                handle.busy = False
+                handle.feed_sent = False
+                _ex._merge_into(result, part)
+                if setup.stop_on_violation and part.violations:
+                    broadcast_stop()
+                if progress >= setup.max_states:
+                    broadcast_stop()
+
+    if pending:
+        dropped = True
+    for handle in handles:
+        if not handle.dead:
+            try:
+                handle.conn.send(("exit",))
+            except OSError:
+                mark_dead(handle)
+    for handle in handles:
+        if handle.dead:
+            continue
+        while True:  # drain stragglers until the final store counters
+            if not handle.conn.poll(10.0):
+                mark_dead(handle)
+                break
+            try:
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                mark_dead(handle)
+                break
+            if message[0] == "final":
+                _ex._merge_into(result, message[1])
+                break
+            if message[0] == "done":
+                _ex._merge_into(result, message[1])
+            elif message[0] == "shed" and message[1] is not None:
+                dropped = True  # late shed: that subtree never ran
+    for handle in handles:
+        handle.proc.join(timeout=10.0)
+        if handle.proc.is_alive():
+            handle.proc.kill()
+            handle.proc.join(timeout=10.0)
+
+    result.stats.stolen_subtrees += stolen
+    result.stats.worker_failures += failures
+    result.exhausted = (
+        result.exhausted and not dropped and failures == 0 and not stopping
+    )
+
+
+# ---------------------------------------------------------------------------
+# entry points (called by explore_mp / explore_sm)
+# ---------------------------------------------------------------------------
+
+
+def explore_shared_mp(
+    process_factory, inputs, k, t, validity, crash_adversary,
+    max_states, dedup, verify, por, visited_spec, symmetry,
+    stop_on_violation, jobs, kernel, result,
+) -> None:
+    setup = _SharedSetup(
+        mode="mp",
+        factory=process_factory,
+        inputs=tuple(inputs),
+        k=k, t=t, validity=validity,
+        crash_adversary=crash_adversary,
+        max_states=max_states,
+        max_ticks=0,
+        dedup=dedup,
+        verify=verify,
+        por=por,
+        visited=visited_spec,
+        symmetry=symmetry,
+        stop_on_violation=stop_on_violation,
+    )
+    _run_scheduler(setup, jobs, result, ("root", kernel.snapshot(), (), ()))
+
+
+def explore_shared_sm(
+    programs_factory, inputs, k, t, validity, crash_adversary,
+    max_states, max_ticks, dedup, verify, visited_spec, symmetry,
+    stop_on_violation, jobs, result,
+) -> None:
+    setup = _SharedSetup(
+        mode="sm",
+        factory=programs_factory,
+        inputs=tuple(inputs),
+        k=k, t=t, validity=validity,
+        crash_adversary=crash_adversary,
+        max_states=max_states,
+        max_ticks=max_ticks,
+        dedup=dedup,
+        verify=verify,
+        por=False,
+        visited=visited_spec,
+        symmetry=symmetry,
+        stop_on_violation=stop_on_violation,
+    )
+    _run_scheduler(setup, jobs, result, ("prefix", ()))

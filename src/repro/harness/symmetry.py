@@ -510,6 +510,25 @@ def sm_symmetry_context(
     n = len(inputs)
     distinct = {id(program) for program in programs}
     if len(distinct) != 1:
+        # Distinct program objects usually mean genuinely heterogeneous
+        # code, but the sim-* simulation wrappers build one fresh
+        # closure per process from the *same* factory -- distinguish
+        # that case so certification reports say what is actually
+        # missing (a symmetry declaration for the wrapper), not just
+        # "heterogeneous".
+        codes = {getattr(program, "__code__", None) for program in programs}
+        if None not in codes and len(codes) == 1:
+            qualname = getattr(programs[0], "__qualname__", "")
+            if "simulate_mp_over_sm" in qualname:
+                return None, (
+                    "simulation wrapper: per-process closures carry the "
+                    "simulated protocol's state (no symmetry declaration "
+                    "for sim-* yet)"
+                )
+            return None, (
+                f"per-process closures of {qualname or repr(programs[0])} "
+                "(no shared program object to declare symmetry on)"
+            )
         return None, "heterogeneous programs"
     program = programs[0]
     decl = _SM_REGISTRY.get(program)

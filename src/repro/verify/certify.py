@@ -101,6 +101,15 @@ class PointResult:
     escalated: bool = False
     witness_path: Optional[str] = None
     note: str = ""
+    #: Why symmetry reduction was refused (empty when active or off);
+    #: surfaces e.g. the sim-* simulation wrappers' refusal instead of
+    #: silently exploring unreduced.
+    symmetry_reason: str = ""
+    #: Whether any exploration of this point used a cross-worker store.
+    shared: bool = False
+    #: Work-stealing duplicate-work counters, summed over explorations.
+    stolen_subtrees: int = 0
+    reexplored_states: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -146,6 +155,8 @@ class CertificationReport:
     n: int
     visited: str
     symmetry: bool
+    shared: bool = False
+    stop_on_violation: bool = False
     claims: List[ClaimResult] = dataclasses.field(default_factory=list)
     skipped_specs: List[str] = dataclasses.field(default_factory=list)
 
@@ -170,6 +181,8 @@ class CertificationReport:
             "n": self.n,
             "visited": self.visited,
             "symmetry": self.symmetry,
+            "shared": self.shared,
+            "stop_on_violation": self.stop_on_violation,
             "ok": self.ok,
             "total_states": self.total_states,
             "verdicts": self.verdict_counts(),
@@ -233,6 +246,8 @@ def _explore_point(
     symmetry: bool,
     max_states: int,
     jobs: Optional[int],
+    shared: bool = False,
+    stop_on_violation: bool = False,
 ):
     factory = SpecFactory(spec.name, n, k, t)
     validity = by_code(spec.validity)
@@ -244,6 +259,8 @@ def _explore_point(
             jobs=jobs,
             visited=visited,
             symmetry=symmetry,
+            shared=shared,
+            stop_on_violation=stop_on_violation,
         )
     return factory, explore_mp(
         factory, inputs, k, t, validity,
@@ -252,7 +269,20 @@ def _explore_point(
         jobs=jobs,
         visited=visited,
         symmetry=symmetry,
+        shared=shared,
+        stop_on_violation=stop_on_violation,
     )
+
+
+def _note_stats(point: PointResult, result) -> None:
+    """Fold one exploration's observability stats into the point."""
+    point.explorations += 1
+    point.states += result.states
+    point.shared = point.shared or result.stats.shared_store
+    point.stolen_subtrees += result.stats.stolen_subtrees
+    point.reexplored_states += result.stats.reexplored_states
+    if not point.symmetry_reason and result.stats.symmetry_reason:
+        point.symmetry_reason = result.stats.symmetry_reason
 
 
 # ---------------------------------------------------------------------------
@@ -263,6 +293,7 @@ def _certify_inside(
     spec, point: PointResult, n: int,
     instances: List[Tuple[str, List[str], Optional[CrashPlan]]],
     visited, symmetry, max_states, jobs,
+    shared: bool = False, stop_on_violation: bool = False,
 ) -> None:
     """Inside the claimed region every instance must come back clean."""
     for label, inputs, plan in instances:
@@ -270,13 +301,13 @@ def _certify_inside(
             _, result = _explore_point(
                 spec, inputs, n, point.k, point.t, plan,
                 visited, symmetry, max_states, jobs,
+                shared, stop_on_violation,
             )
         except Exception as exc:  # pragma: no cover - claim must build
             point.verdict = "REFUTED"
             point.note = f"factory failed inside region ({label}): {exc}"
             return
-        point.explorations += 1
-        point.states += result.states
+        _note_stats(point, result)
         if result.violations:
             point.verdict = "REFUTED"
             point.note = (
@@ -296,9 +327,13 @@ def _certify_outside_impossible(
     instances: List[Tuple[str, List[str], Optional[CrashPlan]]],
     visited, symmetry, max_states, jobs,
     witness_dir: Optional[pathlib.Path],
+    shared: bool = False, stop_on_violation: bool = False,
 ) -> None:
     """Outside + IMPOSSIBLE: find, re-prove, and save one counterexample."""
-    store_is_lossy = not (
+    # Shared-frontier runs are lossy as a *mode*, independent of the
+    # store kind: cross-worker cuts are keyed on digests, so "no
+    # violation found" must be escalated exactly like a lossy store's.
+    store_is_lossy = shared or not (
         visited == "exact"
         or (isinstance(visited, VisitedSpec) and visited.kind == "exact")
     )
@@ -307,28 +342,29 @@ def _certify_outside_impossible(
             factory, result = _explore_point(
                 spec, inputs, n, point.k, point.t, plan,
                 visited, symmetry, max_states, jobs,
+                shared, stop_on_violation,
             )
         except Exception as exc:
             point.verdict = "REGION_GUARDED"
             point.note = f"factory refuses outside region: {exc}"
             return
-        point.explorations += 1
-        point.states += result.states
+        _note_stats(point, result)
         if not result.violations and store_is_lossy:
             # A lossy store may have cut the violating branch on a hash
-            # collision; only the exact store may testify to absence.
+            # collision; only the exact store (private, deterministic
+            # mode) may testify to absence.
             try:
                 factory, result = _explore_point(
                     spec, inputs, n, point.k, point.t, plan,
                     "exact", symmetry, max_states, jobs,
+                    shared=False, stop_on_violation=stop_on_violation,
                 )
             except Exception as exc:  # pragma: no cover - built above
                 point.verdict = "REGION_GUARDED"
                 point.note = f"factory refuses outside region: {exc}"
                 return
             point.escalated = True
-            point.explorations += 1
-            point.states += result.states
+            _note_stats(point, result)
         if result.violations:
             # Re-prove only the first violation: one independently
             # replayed counterexample certifies the impossibility, and
@@ -380,6 +416,8 @@ def certify_claims(
     include_sim: bool = False,
     witness_dir: Optional[Union[str, pathlib.Path]] = None,
     progress=None,
+    shared: bool = False,
+    stop_on_violation: bool = False,
 ) -> CertificationReport:
     """Certify ``CLAIMED_REGIONS`` exhaustively at one ``n``.
 
@@ -401,11 +439,21 @@ def certify_claims(
         witness_dir: when set, counterexample witnesses are saved here.
         progress: optional callable invoked as ``progress(message)``
             after every finished point (the CLI prints these).
+        shared: explore with the work-stealing shared-frontier engine
+            (requires ``jobs``); "no violation" verdicts then escalate
+            to a private exact re-run like any lossy store's.
+        stop_on_violation: abandon each exploration at its first
+            violation -- outside-region counterexample hunts return at
+            the first hit instead of exploring to exhaustion.
     """
+    if shared and jobs is None:
+        raise ValueError("shared certification requires jobs")
     report = CertificationReport(
         n=n,
         visited=visited if isinstance(visited, str) else visited.kind,
         symmetry=symmetry,
+        shared=shared,
+        stop_on_violation=stop_on_violation,
     )
     directory = pathlib.Path(witness_dir) if witness_dir else None
     wanted = set(specs) if specs is not None else None
@@ -439,6 +487,7 @@ def certify_claims(
                 point = _certify_point(
                     claim, spec, n, k, t, visited, symmetry,
                     max_states, jobs, max_sends, directory,
+                    shared, stop_on_violation,
                 )
                 result.points.append(point)
                 if progress is not None:
@@ -461,6 +510,7 @@ def _certify_point(
     claim: ClaimedRegion, spec, n: int, k: int, t: int,
     visited, symmetry, max_states, jobs, max_sends,
     witness_dir: Optional[pathlib.Path],
+    shared: bool = False, stop_on_violation: bool = False,
 ) -> PointResult:
     classification = classify(
         claim.model, by_code(claim.validity), n, k, t
@@ -482,12 +532,13 @@ def _certify_point(
     ]
     if inside:
         _certify_inside(
-            spec, point, n, instances, visited, symmetry, max_states, jobs
+            spec, point, n, instances, visited, symmetry, max_states, jobs,
+            shared, stop_on_violation,
         )
     elif classification.status is Solvability.IMPOSSIBLE:
         _certify_outside_impossible(
             spec, point, n, instances, visited, symmetry, max_states,
-            jobs, witness_dir,
+            jobs, witness_dir, shared, stop_on_violation,
         )
     else:
         point.note = (

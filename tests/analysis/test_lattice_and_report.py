@@ -85,6 +85,40 @@ class TestValidateFigure:
         assert validation.impossible_side_demonstrated
         assert validation.ok
 
+    def test_engine_threads_through_to_sweeps(self):
+        """``engine="auto"`` reaches every grid point; each sweep records
+        which engine actually ran (batch where supported, else a scalar
+        fallback with a machine-readable reason)."""
+        validation = validate_figure(
+            Model.MP_CR, n_empirical=6, points_per_spec=1, runs_per_point=4,
+            seed=1, engine="auto",
+        )
+        assert validation.ok
+        assert validation.sweeps
+        for sweep in validation.sweeps:
+            assert sweep.engine in ("batch", "scalar")
+            assert sweep.execution
+            if sweep.engine == "scalar":
+                assert sweep.fallback_reason
+        assert any(s.engine == "batch" for s in validation.sweeps)
+
+    def test_engine_threads_through_parallel_map(self):
+        """The task tuples stay picklable with the engine field."""
+        serial = validate_figure(
+            Model.MP_CR, n_empirical=6, points_per_spec=1, runs_per_point=4,
+            seed=1, engine="auto", jobs=1,
+        )
+        fanned = validate_figure(
+            Model.MP_CR, n_empirical=6, points_per_spec=1, runs_per_point=4,
+            seed=1, engine="auto", jobs=2,
+        )
+        assert [s.summary() for s in serial.sweeps] == [
+            s.summary() for s in fanned.sweeps
+        ]
+        assert [s.engine for s in serial.sweeps] == [
+            s.engine for s in fanned.sweeps
+        ]
+
     def test_constructions_per_model_nonempty(self):
         for model in Model:
             results = constructions_for_model(model)

@@ -128,6 +128,52 @@ class TestLossyStores:
         )
 
 
+class TestSharedFrontierCertification:
+    def test_shared_requires_jobs(self):
+        with pytest.raises(ValueError):
+            certify_claims(
+                n=3, specs=["trivial@mp-cr"], ks=[3], ts=[0], shared=True,
+            )
+
+    def test_shared_early_exit_report(self):
+        """The work-stealing engine with early exit certifies the same
+        verdicts; the report records the mode and the shared store is
+        treated as lossy (escalation still lands the counterexample)."""
+        report = certify_claims(
+            n=3, specs=["trivial@mp-cr"], ks=[1, 3], ts=[1],
+            visited="compact", jobs=2, shared=True, stop_on_violation=True,
+        )
+        assert report.shared and report.stop_on_violation
+        verdicts = {
+            (p.k, p.t): p.verdict for p in report.claims[0].points
+        }
+        assert verdicts[(1, 1)] == "COUNTEREXAMPLE_CONFIRMED"
+        assert verdicts[(3, 1)] == "CONFIRMED_SOLVABLE"
+        data = report.to_dict()
+        assert data["shared"] is True
+        assert data["stop_on_violation"] is True
+        for claim in data["claims"]:
+            for point in claim["points"]:
+                assert point["shared"] is True
+                assert "stolen_subtrees" in point
+                assert "reexplored_states" in point
+                assert "symmetry_reason" in point
+
+    def test_serial_report_records_modes_off(self, trivial_report):
+        data = trivial_report.to_dict()
+        assert data["shared"] is False
+        assert data["stop_on_violation"] is False
+
+    def test_symmetry_refusal_reason_surfaced(self):
+        """When symmetry cannot engage, the report says why per point."""
+        report = certify_claims(
+            n=3, specs=["trivial@mp-cr"], ks=[3], ts=[0], symmetry=True,
+        )
+        (point,) = report.claims[0].points
+        # the all-distinct-inputs instance always refuses (trivial group)
+        assert "trivial symmetry group" in point.symmetry_reason
+
+
 class TestSweepFilters:
     def test_sim_claims_skipped_by_default(self):
         # Empty grids keep this structural: the sweep visits every claim

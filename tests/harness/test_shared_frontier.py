@@ -1,0 +1,212 @@
+"""Differential matrix and chaos tests for the shared-frontier engine.
+
+The work-stealing engine trades the private frontier's bit-identity for
+throughput, so its contract is *verdict equivalence*: for every visited
+store kind (shared-memory digest tables and the sqlite disk table),
+worker count, and early-exit setting, it must reach the same decision
+sets, the same violation kinds, and the same exhaustiveness verdict as
+the serial exact-store explorer -- on clean and on violating instances.
+
+The chaos test SIGKILLs a worker mid-run: the scheduler must neither
+hang nor mask the loss (``worker_failures`` counted, ``exhausted``
+cleared), and the sqlite store file must stay uncorrupted.
+"""
+
+import os
+import signal
+import sqlite3
+import threading
+import time
+
+import pytest
+
+from repro.core.validity import RV2
+from repro.harness import shared_frontier
+from repro.harness.exhaustive import (
+    SpecFactory,
+    VisitedSpec,
+    explore_mp,
+    explore_sm,
+)
+
+MP_FACTORY = SpecFactory("protocol-a@mp-cr", n=3, k=2, t=1)
+MP_INPUTS = ["v", "v", "w"]
+SM_FACTORY = SpecFactory("protocol-e@sm-cr", n=2, k=2, t=2)
+SM_INPUTS = ["a", "b"]
+
+
+def _same_findings(a, b):
+    assert a.decision_sets == b.decision_sets
+    assert a.max_distinct_decisions == b.max_distinct_decisions
+    assert a.violation_kinds() == b.violation_kinds()
+    assert a.all_ok == b.all_ok
+
+
+def _mp(shared=False, jobs=None, visited="exact", stop=False, k=2):
+    return explore_mp(
+        MP_FACTORY, MP_INPUTS, k=k, t=1, validity=RV2,
+        jobs=jobs, visited=visited, shared=shared, stop_on_violation=stop,
+    )
+
+
+def _sm(shared=False, jobs=None, visited="exact", stop=False, k=2, t=2):
+    return explore_sm(
+        SM_FACTORY, SM_INPUTS, k=k, t=t, validity=RV2,
+        jobs=jobs, visited=visited, shared=shared, stop_on_violation=stop,
+    )
+
+
+def _disk_spec(tmp_path, name="visited.sqlite"):
+    return VisitedSpec(kind="disk", disk_path=str(tmp_path / name))
+
+
+class TestSharedRequiresJobs:
+    def test_mp_rejects_shared_without_jobs(self):
+        with pytest.raises(ValueError):
+            _mp(shared=True, jobs=None)
+
+    def test_sm_rejects_shared_without_jobs(self):
+        with pytest.raises(ValueError):
+            _sm(shared=True, jobs=None)
+
+
+class TestMPDifferentialMatrix:
+    """{private, shared-mem, disk} x jobs {1, 4} vs the serial baseline."""
+
+    def test_clean_instance_matrix(self, tmp_path):
+        serial = _mp()
+        assert serial.exhausted and serial.all_ok
+        private = _mp(jobs=4)
+        assert private.exhausted
+        _same_findings(serial, private)
+        for jobs in (1, 4):
+            for name in ("exact", "compact", "disk"):
+                visited = (
+                    _disk_spec(tmp_path, f"clean-{jobs}.sqlite")
+                    if name == "disk" else name
+                )
+                result = _mp(shared=True, jobs=jobs, visited=visited)
+                assert result.exhausted, (name, jobs)
+                assert result.stats.shared_store, (name, jobs)
+                _same_findings(serial, result)
+
+    def test_shared_jobs1_exact_matches_serial_counts(self):
+        """One worker over the shared store is the serial exploration."""
+        serial = _mp()
+        lone = _mp(shared=True, jobs=1)
+        assert lone.states == serial.states
+        assert lone.runs == serial.runs
+        _same_findings(serial, lone)
+
+    def test_violating_instance_matrix(self, tmp_path):
+        serial = _mp(k=1)
+        assert serial.exhausted and not serial.all_ok
+        for jobs in (1, 4):
+            full = _mp(shared=True, jobs=jobs, visited="compact", k=1)
+            assert full.exhausted
+            _same_findings(serial, full)
+            for visited in ("exact", _disk_spec(tmp_path, f"v{jobs}.sqlite")):
+                early = _mp(
+                    shared=True, jobs=jobs, visited=visited, stop=True, k=1
+                )
+                assert early.violations, (visited, jobs)
+                assert not early.all_ok
+                assert not early.exhausted  # stopped: no completeness claim
+                assert early.violation_kinds() <= serial.violation_kinds()
+
+    def test_private_frontier_early_exit_stays_bit_identical(self):
+        """Early exit in the private frontier stops each subtree at its
+        own first violation, so bit-identity per worker count holds."""
+        one = _mp(jobs=1, stop=True, k=1)
+        fanned = _mp(jobs=3, stop=True, k=1)
+        assert one == fanned
+        assert one.violations and not one.exhausted
+
+    def test_early_exit_on_clean_instance_stays_exhaustive(self):
+        serial = _mp()
+        stopped = _mp(shared=True, jobs=2, stop=True)
+        assert stopped.exhausted  # nothing to stop on
+        _same_findings(serial, stopped)
+
+
+class TestSMDifferentialMatrix:
+    def test_clean_instance_matrix(self, tmp_path):
+        serial = _sm()
+        assert serial.exhausted and serial.all_ok
+        for jobs in (1, 4):
+            for name, visited in (
+                ("compact", "compact"),
+                ("disk", _disk_spec(tmp_path, f"sm{jobs}.sqlite")),
+            ):
+                result = _sm(shared=True, jobs=jobs, visited=visited)
+                assert result.exhausted, (name, jobs)
+                _same_findings(serial, result)
+
+    def test_violating_instance_and_early_exit(self, tmp_path):
+        serial = _sm(k=1, t=0)
+        assert serial.exhausted and not serial.all_ok
+        full = _sm(shared=True, jobs=4, k=1, t=0)
+        assert full.exhausted
+        _same_findings(serial, full)
+        early = _sm(
+            shared=True, jobs=2, k=1, t=0, stop=True,
+            visited=_disk_spec(tmp_path, "sm-early.sqlite"),
+        )
+        assert early.violations and not early.exhausted
+        assert early.violation_kinds() <= serial.violation_kinds()
+
+
+class TestChaos:
+    """SIGKILL a worker mid-run: no hang, no corruption, loss reported."""
+
+    def _kill_one_later(self, delay):
+        def hook(procs):
+            def killer():
+                time.sleep(delay)
+                try:
+                    os.kill(procs[0].pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+            threading.Thread(target=killer, daemon=True).start()
+        return hook
+
+    def test_worker_killed_before_start(self, monkeypatch, tmp_path):
+        """The assigned subtree dies with the worker: loss is reported."""
+        monkeypatch.setattr(
+            shared_frontier, "_CHAOS_HOOK",
+            lambda procs: os.kill(procs[0].pid, signal.SIGKILL),
+        )
+        result = _mp(shared=True, jobs=2)
+        assert result.stats.worker_failures >= 1
+        assert not result.exhausted
+
+    def test_worker_killed_mid_run_disk_store_survives(
+        self, monkeypatch, tmp_path
+    ):
+        spec = _disk_spec(tmp_path, "chaos.sqlite")
+        monkeypatch.setattr(
+            shared_frontier, "_CHAOS_HOOK", self._kill_one_later(0.15)
+        )
+        chaotic = _mp(shared=True, jobs=2, visited=spec)
+        # either the kill landed (loss reported, exhaustiveness gone) or
+        # the run finished before the timer -- both must leave a
+        # readable, uncorrupted store file
+        if chaotic.stats.worker_failures:
+            assert not chaotic.exhausted
+        conn = sqlite3.connect(spec.disk_path)
+        try:
+            assert conn.execute(
+                "PRAGMA integrity_check"
+            ).fetchone()[0] == "ok"
+        finally:
+            conn.close()
+        # a fresh store (interrupted tables may record expansions that
+        # never finished, so they must not be trusted) reproduces the
+        # serial verdict
+        monkeypatch.setattr(shared_frontier, "_CHAOS_HOOK", None)
+        rerun = _mp(
+            shared=True, jobs=2,
+            visited=_disk_spec(tmp_path, "chaos-rerun.sqlite"),
+        )
+        assert rerun.exhausted
+        _same_findings(_mp(), rerun)

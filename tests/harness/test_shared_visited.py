@@ -1,0 +1,193 @@
+"""Unit tests for the cross-worker shared visited stores.
+
+The shared frontier's soundness rests on store-level contracts that are
+cheapest to pin here, without spawning workers:
+
+* The lock-free digest table is probe-and-insert with "0 means empty";
+  a zero digest is remapped, a full probe window degrades to a miss
+  (costing re-exploration, never a false hit).
+* The hybrid store consults the local Godefroid store first, so a lone
+  worker behaves exactly like the serial store; the cross-worker table
+  only converts *local misses* into hits when another store recorded
+  the identical (fingerprint, sleep) pair.
+* The sqlite pair table is idempotent, persistent across reconnects,
+  and maps unsigned 64-bit digests into sqlite's signed INTEGER and
+  back without collisions.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.harness.visited import (
+    EXPAND_ALL,
+    DiskBackedStore,
+    DiskPairTable,
+    ExactStore,
+    NO_SLEEP,
+    SharedTables,
+    SharedVisitedStore,
+    VisitedSpec,
+    _signed,
+    _table_probe,
+    make_shared_store,
+    make_shared_tables,
+)
+
+FP = ("state", 1, ("a", "b"))
+OTHER = ("state", 2, ("c",))
+SIG_X = (1, 0, 1, ("m",))
+
+
+def _sleep(*sigs) -> Counter:
+    return Counter({sig: 1 for sig in sigs})
+
+
+class TestTableProbe:
+    def test_insert_then_hit(self):
+        tables = SharedTables(slots=64)
+        assert _table_probe(tables.pairs, 12345) is False
+        assert _table_probe(tables.pairs, 12345) is True
+
+    def test_zero_digest_remapped(self):
+        tables = SharedTables(slots=64)
+        assert _table_probe(tables.pairs, 0) is False
+        assert _table_probe(tables.pairs, 0) is True
+        # the remap target is digest 1, so they share a slot value
+        assert _table_probe(tables.pairs, 1) is True
+
+    def test_no_insert_mode_leaves_table_unchanged(self):
+        tables = SharedTables(slots=64)
+        assert _table_probe(tables.pairs, 777, insert=False) is False
+        assert _table_probe(tables.pairs, 777) is False  # still absent
+
+    def test_full_table_degrades_to_miss(self):
+        tables = SharedTables(slots=4)
+        for digest in (1, 2, 3, 4):
+            _table_probe(tables.pairs, digest)
+        # every slot taken by a different digest: probe terminates and
+        # reports a miss (sound: the caller just re-explores)
+        assert _table_probe(tables.pairs, 999) is False
+
+    def test_collision_distinct_digests_do_not_alias(self):
+        tables = SharedTables(slots=64)
+        a, b = 7, 7 + 64  # same home slot
+        assert _table_probe(tables.pairs, a) is False
+        assert _table_probe(tables.pairs, b) is False
+        assert _table_probe(tables.pairs, a) is True
+        assert _table_probe(tables.pairs, b) is True
+
+
+class TestSharedVisitedStore:
+    def _pair(self):
+        spec = VisitedSpec(kind="exact")
+        tables = make_shared_tables(spec)
+        return (
+            make_shared_store(spec, tables),
+            make_shared_store(spec, tables),
+        )
+
+    def test_lone_store_matches_serial_semantics(self):
+        store, _ = self._pair()
+        plain = ExactStore()
+        assert store.probe(FP, _sleep(SIG_X)) is plain.probe(FP, _sleep(SIG_X))
+        assert store.probe(FP, _sleep(SIG_X)) is plain.probe(FP, _sleep(SIG_X))
+        assert store.shared_hits == 0
+
+    def test_cross_store_pair_hit_cuts_subtree(self):
+        a, b = self._pair()
+        assert a.probe(FP, _sleep(SIG_X)) is EXPAND_ALL
+        # b never saw FP locally, but a recorded the identical pair
+        assert b.probe(FP, _sleep(SIG_X)) is None
+        assert b.shared_hits == 1
+        assert b.hits == 1
+
+    def test_different_sleep_is_not_a_shared_hit(self):
+        a, b = self._pair()
+        assert a.probe(FP, NO_SLEEP) is EXPAND_ALL
+        # a different sleep set digests differently: b must re-expand,
+        # and the bare-fingerprint table counts the duplicate work
+        assert b.probe(FP, _sleep(SIG_X)) is EXPAND_ALL
+        assert b.shared_hits == 0
+        assert b.reexplored == 1
+
+    def test_set_covered_publishes_full_coverage(self):
+        a, b = self._pair()
+        a.probe(FP, NO_SLEEP)
+        a.set_covered(FP)
+        assert b.probe(FP, NO_SLEEP) is None
+
+    def test_fill_stats_reports_shared_counters(self):
+        from repro.harness.exhaustive import ExplorationStats
+
+        a, b = self._pair()
+        a.probe(FP, _sleep(SIG_X))
+        b.probe(FP, _sleep(SIG_X))
+        b.probe(OTHER, _sleep(SIG_X))
+        stats = ExplorationStats()
+        b.fill_stats(stats)
+        assert stats.shared_store is True
+        assert stats.shared_hits == 1
+
+
+class TestDiskPairTable:
+    def test_idempotent_and_persistent(self, tmp_path):
+        path = str(tmp_path / "visited.sqlite")
+        table = DiskPairTable(path)
+        assert table.seen_pair(42) is False
+        assert table.seen_pair(42) is True  # buffered, own-cache visible
+        table.flush()
+        fresh = DiskPairTable(path)
+        assert fresh.seen_pair(42) is True
+        assert fresh.seen_fp(42) is False  # tables are independent
+
+    def test_unsigned_digests_round_trip(self, tmp_path):
+        path = str(tmp_path / "visited.sqlite")
+        table = DiskPairTable(path)
+        high = (1 << 64) - 3  # would overflow sqlite INTEGER unsigned
+        low = 3
+        assert _signed(high) < 0 < _signed(low)
+        assert table.seen_fp(high) is False
+        table.flush()
+        fresh = DiskPairTable(path)
+        assert fresh.seen_fp(high) is True
+        assert fresh.seen_fp(low) is False
+
+    def test_disk_backed_store_shares_by_path(self, tmp_path):
+        path = str(tmp_path / "visited.sqlite")
+        a = DiskBackedStore(path)
+        b = DiskBackedStore(path)
+        assert a.probe(FP, _sleep(SIG_X)) is EXPAND_ALL
+        a.flush()
+        assert b.probe(FP, _sleep(SIG_X)) is None
+        assert b.shared_hits == 1
+
+    def test_unflushed_rows_invisible_to_others(self, tmp_path):
+        path = str(tmp_path / "visited.sqlite")
+        a = DiskBackedStore(path)
+        b = DiskBackedStore(path)
+        a.probe(FP, _sleep(SIG_X))  # buffered only
+        assert b.probe(FP, _sleep(SIG_X)) is EXPAND_ALL  # duplicate work
+        b.flush()
+
+
+class TestSpecPlumbing:
+    def test_disk_spec_requires_path(self):
+        with pytest.raises(ValueError):
+            VisitedSpec(kind="disk").build()
+
+    def test_make_shared_tables_skips_disk(self):
+        assert make_shared_tables(VisitedSpec(kind="disk")) is None
+
+    def test_make_shared_store_kinds(self, tmp_path):
+        disk = VisitedSpec(kind="disk", disk_path=str(tmp_path / "v.sqlite"))
+        assert make_shared_store(disk, None).kind == "disk"
+        for kind in ("exact", "compact"):
+            spec = VisitedSpec(kind=kind)
+            store = make_shared_store(spec, make_shared_tables(spec))
+            assert isinstance(store, SharedVisitedStore)
+            assert store.kind == kind
+            assert store.shared and store.lossy
+        bit = VisitedSpec(kind="bitstate", bitstate_bits=1 << 10)
+        store = make_shared_store(bit, make_shared_tables(bit))
+        assert store.kind == "bitstate" and store.shared

@@ -238,7 +238,9 @@ class TestSMCanonicalInvariance:
 
     def test_sim_specs_refuse_gracefully(self):
         """Simulation wrappers carry per-pid closure state the renamer
-        has no declaration for; the context must refuse, not guess."""
+        has no declaration for; the context must refuse with the
+        sim-specific reason (surfaced by certification reports), not a
+        generic "heterogeneous programs"."""
         for name in ("sim-chaudhuri@sm-cr", "sim-protocol-b@sm-cr"):
             spec = get_spec(name)
             factory = SpecFactory(name, N, 2, 1)
@@ -247,10 +249,25 @@ class TestSMCanonicalInvariance:
                 kernel._programs, INPUTS, 1, None
             )
             assert ctx is None
-            assert (
-                "no symmetry declaration" in reason
-                or "heterogeneous" in reason
-            )
+            assert "simulation wrapper" in reason
+
+    def test_non_sim_closure_programs_get_closure_reason(self):
+        """Distinct per-pid closures that are not the simulation wrapper
+        still refuse, naming the closure rather than the sim gap."""
+        def make():
+            state = []
+
+            def program(ctx):
+                state.append(ctx)
+                yield
+
+            return program
+
+        programs = [make(), make(), make()]
+        ctx, reason = sm_symmetry_context(programs, ["v", "v", "w"], 1, None)
+        assert ctx is None
+        assert "per-process closures" in reason
+        assert "simulation wrapper" not in reason
 
 
 class TestSymmetryGroup:
